@@ -1,0 +1,238 @@
+//! Ablation studies beyond the paper's figures — the design-choice
+//! sensitivities DESIGN.md calls out plus the paper's stated future work:
+//!
+//! 1. **TTA+ OP-unit count** — §V-C2 leaves "strategically reducing the
+//!    number of parallel operation units" to future work; this sweeps 1–4
+//!    units per type and prices each point with the Table IV area model.
+//! 2. **Crossbar hop latency** — the interconnect share of TTA+ overhead.
+//! 3. **Child prefetching** — the simple treelet-style prefetcher (the
+//!    orthogonal architectural improvement of Fig. 17) on the baseline RTA.
+//! 4. **DRAM bandwidth scaling** — how much of the TTA advantage depends on
+//!    the memory system.
+
+use tta_bench::{fx, Args, Report};
+use trees::BTreeFlavor;
+use tta::op_unit::OpUnit;
+use tta::ttaplus::TtaPlusConfig;
+use workloads::btree::BTreeExperiment;
+use workloads::lumibench::{RtExperiment, RtWorkload};
+use workloads::rtree::RTreeExperiment;
+use workloads::{Platform, RunResult};
+
+fn main() {
+    let args = Args::parse();
+    unit_count_sweep(&args);
+    crossbar_sweep(&args);
+    prefetch_study(&args);
+    dram_scaling(&args);
+    sorted_queries(&args);
+    rtree_extension(&args);
+}
+
+fn ttaplus_with(f: impl FnOnce(&mut TtaPlusConfig)) -> Platform {
+    let mut cfg = TtaPlusConfig::default_paper();
+    f(&mut cfg);
+    Platform::TtaPlus(cfg, BTreeExperiment::uop_programs())
+}
+
+fn unit_area_um2(units_per_type: usize, with_sqrt: bool) -> f64 {
+    // One crossbar + `units_per_type` of each priced unit.
+    let mut a = energy::area::TTAPLUS_INTERCONNECT_UM2;
+    for u in OpUnit::ALL {
+        if u == OpUnit::Sqrt && !with_sqrt {
+            continue;
+        }
+        if let Some(ua) = energy::area::op_unit_area_um2(u) {
+            let count = if u == OpUnit::Reciprocal { 3 } else { 1 };
+            a += ua * count as f64 * units_per_type as f64;
+        }
+    }
+    a
+}
+
+fn unit_count_sweep(args: &Args) {
+    let mut rep = Report::new(
+        "ablation_units",
+        "Ablation 1: TTA+ OP units per type (B-Tree queries)",
+        "future work in §V-C2: fewer units save area, cost throughput",
+    );
+    rep.columns(&["units/type", "cycles", "vs 4 units", "area um^2", "vs baseline RTA area"]);
+    let keys = args.sized(32_000);
+    let queries = args.sized(16_384);
+    let run = |n: usize| {
+        BTreeExperiment::new(
+            BTreeFlavor::BTree,
+            keys,
+            queries,
+            ttaplus_with(|c| c.units_per_type = n),
+        )
+        .run()
+    };
+    let four = run(4);
+    for n in [1usize, 2, 4] {
+        let r = if n == 4 { four.clone() } else { run(n) };
+        let area = unit_area_um2(n, true);
+        rep.row(vec![
+            n.to_string(),
+            r.cycles().to_string(),
+            fx(four.cycles() as f64 / r.cycles() as f64),
+            format!("{area:.0}"),
+            format!("{:+.1}%", (area / energy::area::BASELINE_TOTAL_UM2 - 1.0) * 100.0),
+        ]);
+    }
+    rep.finish();
+}
+
+fn crossbar_sweep(args: &Args) {
+    let mut rep = Report::new(
+        "ablation_crossbar",
+        "Ablation 2: crossbar hop latency (B-Tree queries on TTA+)",
+        "the ICNT share of the TTA+ overhead (Fig. 18 bottom)",
+    );
+    rep.columns(&["hop cycles", "cycles", "vs hop=4"]);
+    let keys = args.sized(32_000);
+    let queries = args.sized(16_384);
+    let run = |hop: u64| {
+        BTreeExperiment::new(
+            BTreeFlavor::BTree,
+            keys,
+            queries,
+            ttaplus_with(|c| c.crossbar_hop_latency = hop),
+        )
+        .run()
+    };
+    let base = run(4);
+    for hop in [1u64, 2, 4, 8] {
+        let r = if hop == 4 { base.clone() } else { run(hop) };
+        rep.row(vec![
+            hop.to_string(),
+            r.cycles().to_string(),
+            fx(base.cycles() as f64 / r.cycles() as f64),
+        ]);
+    }
+    rep.finish();
+}
+
+fn prefetch_study(args: &Args) {
+    let mut rep = Report::new(
+        "ablation_prefetch",
+        "Ablation 3: child prefetching on the baseline RTA (Fig. 17's orthogonal improvement)",
+        "prefetching recovers part of the Perf.RT headroom",
+    );
+    rep.columns(&["workload", "no prefetch", "prefetch", "perfect node fetch", "prefetch gain"]);
+    let run = |prefetch: bool, perfect: bool| -> RunResult {
+        let mut cfg = rta::RtaConfig::baseline();
+        cfg.prefetch_children = prefetch;
+        let mut e = RtExperiment::new(RtWorkload::BlobPt, Platform::BaselineRta(cfg));
+        e.width = args.sized(64);
+        e.height = args.sized(48);
+        e.perfect_node_fetch = perfect;
+        e.run()
+    };
+    let plain = run(false, false);
+    let pf = run(true, false);
+    let perfect = run(false, true);
+    rep.row(vec![
+        "BLOB_PT (RTA)".to_owned(),
+        plain.cycles().to_string(),
+        pf.cycles().to_string(),
+        perfect.cycles().to_string(),
+        fx(plain.cycles() as f64 / pf.cycles() as f64),
+    ]);
+    rep.finish();
+}
+
+fn dram_scaling(args: &Args) {
+    let mut rep = Report::new(
+        "ablation_dram",
+        "Ablation 4: DRAM bandwidth scaling (B-Tree, baseline GPU vs TTA)",
+        "the TTA advantage persists across memory systems",
+    );
+    rep.columns(&["bw scale", "BASE cycles", "TTA cycles", "speedup"]);
+    let keys = args.sized(32_000);
+    let queries = args.sized(16_384);
+    for scale in [0.5f64, 1.0, 2.0] {
+        let mut gpu = gpu_sim::GpuConfig::vulkan_sim_default();
+        gpu.mem.dram_bytes_per_cycle_per_channel *= scale;
+        let mut base =
+            BTreeExperiment::new(BTreeFlavor::BTree, keys, queries, Platform::BaselineGpu);
+        base.gpu = gpu.clone();
+        let base = base.run();
+        let mut tta = BTreeExperiment::new(
+            BTreeFlavor::BTree,
+            keys,
+            queries,
+            Platform::Tta(tta::backend::TtaConfig::default_paper()),
+        );
+        tta.gpu = gpu;
+        let tta = tta.run();
+        rep.row(vec![
+            format!("{scale:.1}x"),
+            base.cycles().to_string(),
+            tta.cycles().to_string(),
+            fx(tta.speedup_over(&base)),
+        ]);
+    }
+    rep.finish();
+}
+
+fn sorted_queries(args: &Args) {
+    let mut rep = Report::new(
+        "ablation_sorted",
+        "Ablation 5: software query sorting (Harmonia-style) vs TTA",
+        "sorting narrows the baseline's divergence penalty; TTA still wins",
+    );
+    rep.columns(&["queries", "BASE random", "BASE sorted", "TTA speedup (random)", "TTA speedup (sorted)"]);
+    let keys = args.sized(32_000);
+    let queries = args.sized(16_384);
+    let run = |platform: Platform, sorted: bool| {
+        let mut e = BTreeExperiment::new(BTreeFlavor::BTree, keys, queries, platform);
+        e.sort_queries = sorted;
+        e.run()
+    };
+    let base_rand = run(Platform::BaselineGpu, false);
+    let base_sort = run(Platform::BaselineGpu, true);
+    let tta_rand = run(Platform::Tta(tta::backend::TtaConfig::default_paper()), false);
+    let tta_sort = run(Platform::Tta(tta::backend::TtaConfig::default_paper()), true);
+    rep.row(vec![
+        queries.to_string(),
+        base_rand.cycles().to_string(),
+        base_sort.cycles().to_string(),
+        fx(tta_rand.speedup_over(&base_rand)),
+        fx(tta_sort.speedup_over(&base_sort)),
+    ]);
+    rep.finish();
+}
+
+fn rtree_extension(args: &Args) {
+    let mut rep = Report::new(
+        "ablation_rtree",
+        "Extension: R-Tree range queries (the workload §I motivates)",
+        "MBR overlap tests map onto the same min/max network as Query-Key",
+    );
+    rep.columns(&["rects", "queries", "BASE cycles", "TTA", "TTA+"]);
+    let queries = args.sized(8_192);
+    for rects in [args.sized(16_000), args.sized(64_000)] {
+        let base = RTreeExperiment::new(rects, queries, Platform::BaselineGpu).run();
+        let tta = RTreeExperiment::new(
+            rects,
+            queries,
+            Platform::Tta(tta::backend::TtaConfig::default_paper()),
+        )
+        .run();
+        let plus = RTreeExperiment::new(
+            rects,
+            queries,
+            Platform::TtaPlus(TtaPlusConfig::default_paper(), RTreeExperiment::uop_programs()),
+        )
+        .run();
+        rep.row(vec![
+            rects.to_string(),
+            queries.to_string(),
+            base.cycles().to_string(),
+            fx(tta.speedup_over(&base)),
+            fx(plus.speedup_over(&base)),
+        ]);
+    }
+    rep.finish();
+}

@@ -1,0 +1,72 @@
+//! Fig. 1 — SIMT efficiency and DRAM bandwidth utilization of tree
+//! traversal applications on GPUs with and without TTAs.
+//!
+//! Paper shape to match: the baseline GPU shows *low* SIMT efficiency for
+//! B-Tree variants and ray tracing (N-Body stays high), and low DRAM
+//! utilization across the board; with the traversal offloaded, the few
+//! remaining core instructions are coherent (efficiency near 100%) and
+//! DRAM utilization roughly doubles.
+
+use tta_bench::{pct, platform_tta, platform_ttaplus, Args, Report};
+use trees::BTreeFlavor;
+use workloads::btree::BTreeExperiment;
+use workloads::lumibench::{RtExperiment, RtWorkload};
+use workloads::nbody::NBodyExperiment;
+use workloads::runner::RunResult;
+use workloads::Platform;
+
+fn main() {
+    let args = Args::parse();
+    let mut rep = Report::new(
+        "fig01",
+        "Fig. 1: SIMT efficiency & DRAM bandwidth utilization, baseline vs TTA",
+        "baseline: low SIMT eff (except N-Body) and low DRAM util; TTA: ~2x DRAM util",
+    );
+    rep.columns(&[
+        "app",
+        "BASE simt",
+        "BASE dram",
+        "TTA simt",
+        "TTA dram",
+    ]);
+
+    let queries = args.sized(16_384);
+    let keys = args.sized(64_000);
+    for flavor in BTreeFlavor::ALL {
+        let base = BTreeExperiment::new(flavor, keys, queries, Platform::BaselineGpu).run();
+        let tta = BTreeExperiment::new(flavor, keys, queries, platform_tta()).run();
+        row(&mut rep, &flavor.to_string(), &base, &tta);
+    }
+
+    let bodies = args.sized(4_000);
+    let base = NBodyExperiment::new(3, bodies, Platform::BaselineGpu).run();
+    let tta = NBodyExperiment::new(3, bodies, platform_tta()).run();
+    row(&mut rep, "N-Body 3D", &base, &tta);
+
+    // Ray tracing: SIMT kernel vs accelerator offload (TTA+ programs so
+    // the sphere-free triangle path is fully offloaded).
+    let mut rt_base = RtExperiment::new(RtWorkload::BlobPt, Platform::BaselineGpu);
+    rt_base.width = args.sized(64);
+    rt_base.height = args.sized(48);
+    let rt_base = rt_base.run();
+    let mut rt_tta = RtExperiment::new(
+        RtWorkload::BlobPt,
+        platform_ttaplus(RtExperiment::uop_programs()),
+    );
+    rt_tta.width = args.sized(64);
+    rt_tta.height = args.sized(48);
+    let rt_tta = rt_tta.run();
+    row(&mut rep, "RT (BLOB_PT)", &rt_base, &rt_tta);
+
+    rep.finish();
+}
+
+fn row(rep: &mut Report, name: &str, base: &RunResult, tta: &RunResult) {
+    rep.row(vec![
+        name.to_owned(),
+        pct(base.stats.simt_efficiency()),
+        pct(base.stats.dram_utilization()),
+        pct(tta.stats.simt_efficiency()),
+        pct(tta.stats.dram_utilization()),
+    ]);
+}

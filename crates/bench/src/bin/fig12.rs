@@ -1,0 +1,146 @@
+//! Fig. 12 — Performance of selected applications on TTA and TTA+ relative
+//! to the baseline GPU (CUDA applications top, RTA applications bottom).
+//!
+//! Paper shape to match: B-Tree variants up to 5.4× (geomean ≈2.4× across
+//! variants/sizes, larger trees → smaller speedups once keys outnumber
+//! queries); B+Tree lowest of the three; N-Body 1.1–1.7× with the merged
+//! kernel reaching ≈1.9×; RTNN ≈1.0 on TTA+ naive, up to 1.4× for \*RTNN.
+
+use tta_bench::{fx, platform_rta, platform_tta, platform_ttaplus, Args, Report};
+use trees::BTreeFlavor;
+use workloads::btree::BTreeExperiment;
+use workloads::nbody::{NBodyExperiment, PostProcess};
+use workloads::rtnn::{LeafPath, RtnnExperiment};
+use workloads::Platform;
+
+fn main() {
+    let args = Args::parse();
+    btree_section(&args);
+    nbody_section(&args);
+    rtnn_section(&args);
+}
+
+fn btree_section(args: &Args) {
+    let mut rep = Report::new(
+        "fig12_btree",
+        "Fig. 12 (top): B-Tree variants, speedup over baseline GPU",
+        "up to 5.4x; geomean ~2.4x; B+Tree lowest; shrinks as keys grow",
+    );
+    rep.columns(&["variant", "keys", "queries", "BASE cycles", "TTA", "TTA+"]);
+    let queries = args.sized(16_384);
+    let mut speedups = Vec::new();
+    for flavor in BTreeFlavor::ALL {
+        for keys in [args.sized(1_000), args.sized(16_000), args.sized(96_000)] {
+            let base = BTreeExperiment::new(flavor, keys, queries, Platform::BaselineGpu).run();
+            let tta =
+                BTreeExperiment::new(flavor, keys, queries, platform_tta()).run();
+            let plus = BTreeExperiment::new(
+                flavor,
+                keys,
+                queries,
+                platform_ttaplus(BTreeExperiment::uop_programs()),
+            )
+            .run();
+            let s_tta = tta.speedup_over(&base);
+            let s_plus = plus.speedup_over(&base);
+            speedups.push(s_tta);
+            speedups.push(s_plus);
+            rep.row(vec![
+                flavor.to_string(),
+                keys.to_string(),
+                queries.to_string(),
+                base.cycles().to_string(),
+                fx(s_tta),
+                fx(s_plus),
+            ]);
+        }
+    }
+    rep.finish();
+    let geomean = (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
+    println!("B-Tree family geomean speedup: {}\n", fx(geomean));
+}
+
+fn nbody_section(args: &Args) {
+    let mut rep = Report::new(
+        "fig12_nbody",
+        "Fig. 12 (top): N-Body 2D/3D, speedup over baseline GPU force kernel",
+        "1.1-1.7x; TTA+ merged kernel reaches ~1.9x",
+    );
+    rep.columns(&["dims", "bodies", "BASE cycles", "TTA", "TTA+", "TTA+ merged"]);
+    let bodies = args.sized(4_000);
+    for dims in [2usize, 3] {
+        let base = NBodyExperiment::new(dims, bodies, Platform::BaselineGpu).run();
+        let tta = NBodyExperiment::new(dims, bodies, platform_tta()).run();
+        let plus = NBodyExperiment::new(
+            dims,
+            bodies,
+            platform_ttaplus(NBodyExperiment::uop_programs()),
+        )
+        .run();
+        // Merged vs split comparison includes the integration kernel on
+        // both sides (the §V-A study).
+        let mut split = NBodyExperiment::new(
+            dims,
+            bodies,
+            platform_ttaplus(NBodyExperiment::uop_programs()),
+        );
+        split.post = PostProcess::Split;
+        let split = split.run();
+        let mut merged = NBodyExperiment::new(
+            dims,
+            bodies,
+            platform_ttaplus(NBodyExperiment::uop_programs()),
+        );
+        merged.post = PostProcess::Merged;
+        let merged = merged.run();
+        let merged_gain = split.cycles() as f64 / merged.cycles() as f64;
+        rep.row(vec![
+            format!("{dims}D"),
+            bodies.to_string(),
+            base.cycles().to_string(),
+            fx(tta.speedup_over(&base)),
+            fx(plus.speedup_over(&base)),
+            format!("{} (merge gain {})", fx(plus.speedup_over(&base) * merged_gain), fx(merged_gain)),
+        ]);
+    }
+    rep.finish();
+}
+
+fn rtnn_section(args: &Args) {
+    let mut rep = Report::new(
+        "fig12_rtnn",
+        "Fig. 12 (bottom): RTNN radius search relative to baseline RTA",
+        "TTA+ naive ~1.0 or below; *RTNN up to 1.4x",
+    );
+    rep.columns(&["points", "queries", "RTA cycles", "TTA+ naive", "*RTNN TTA", "*RTNN TTA+"]);
+    let queries = args.sized(2_048);
+    for points in [args.sized(32_000), args.sized(64_000), args.sized(96_000)] {
+        let base =
+            RtnnExperiment::new(points, queries, platform_rta(), LeafPath::Shader).run();
+        let naive = RtnnExperiment::new(
+            points,
+            queries,
+            platform_ttaplus(RtnnExperiment::uop_programs()),
+            LeafPath::Shader,
+        )
+        .run();
+        let star_tta =
+            RtnnExperiment::new(points, queries, platform_tta(), LeafPath::Offloaded).run();
+        let star_plus = RtnnExperiment::new(
+            points,
+            queries,
+            platform_ttaplus(RtnnExperiment::uop_programs()),
+            LeafPath::Offloaded,
+        )
+        .run();
+        rep.row(vec![
+            points.to_string(),
+            queries.to_string(),
+            base.cycles().to_string(),
+            fx(naive.speedup_over(&base)),
+            fx(star_tta.speedup_over(&base)),
+            fx(star_plus.speedup_over(&base)),
+        ]);
+    }
+    rep.finish();
+}

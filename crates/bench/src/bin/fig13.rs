@@ -1,0 +1,82 @@
+//! Fig. 13 — DRAM bandwidth utilization of selected applications on the
+//! non-accelerated baseline GPU, baseline RTA, TTA and TTA+.
+//!
+//! Paper shape to match: the accelerators' dedicated memory scheduler
+//! roughly doubles DRAM utilization over the SIMT baseline for the
+//! tree-index workloads.
+
+use tta_bench::{pct, platform_tta, platform_ttaplus, Args, Report};
+use trees::BTreeFlavor;
+use workloads::btree::BTreeExperiment;
+use workloads::nbody::NBodyExperiment;
+use workloads::rtnn::{LeafPath, RtnnExperiment};
+use workloads::Platform;
+
+fn main() {
+    let args = Args::parse();
+    let mut rep = Report::new(
+        "fig13",
+        "Fig. 13: DRAM bandwidth utilization by platform",
+        "TTA/TTA+ roughly double the baseline GPU's utilization",
+    );
+    rep.columns(&["app", "BASE", "TTA", "TTA+"]);
+
+    let queries = args.sized(16_384);
+    let keys = args.sized(64_000);
+    for flavor in BTreeFlavor::ALL {
+        let base = BTreeExperiment::new(flavor, keys, queries, Platform::BaselineGpu).run();
+        let tta = BTreeExperiment::new(flavor, keys, queries, platform_tta()).run();
+        let plus = BTreeExperiment::new(
+            flavor,
+            keys,
+            queries,
+            platform_ttaplus(BTreeExperiment::uop_programs()),
+        )
+        .run();
+        rep.row(vec![
+            flavor.to_string(),
+            pct(base.stats.dram_utilization()),
+            pct(tta.stats.dram_utilization()),
+            pct(plus.stats.dram_utilization()),
+        ]);
+    }
+
+    let bodies = args.sized(4_000);
+    let base = NBodyExperiment::new(3, bodies, Platform::BaselineGpu).run();
+    let tta = NBodyExperiment::new(3, bodies, platform_tta()).run();
+    let plus =
+        NBodyExperiment::new(3, bodies, platform_ttaplus(NBodyExperiment::uop_programs())).run();
+    rep.row(vec![
+        "N-Body 3D".to_owned(),
+        pct(base.stats.dram_utilization()),
+        pct(tta.stats.dram_utilization()),
+        pct(plus.stats.dram_utilization()),
+    ]);
+
+    // RTNN has no SIMT baseline in the paper; report RTA as its base.
+    let points = args.sized(64_000);
+    let rtnn_base = RtnnExperiment::new(
+        points,
+        args.sized(2_048),
+        tta_bench::platform_rta(),
+        LeafPath::Shader,
+    )
+    .run();
+    let rtnn_tta =
+        RtnnExperiment::new(points, args.sized(2_048), platform_tta(), LeafPath::Offloaded).run();
+    let rtnn_plus = RtnnExperiment::new(
+        points,
+        args.sized(2_048),
+        platform_ttaplus(RtnnExperiment::uop_programs()),
+        LeafPath::Offloaded,
+    )
+    .run();
+    rep.row(vec![
+        "RTNN (vs RTA)".to_owned(),
+        pct(rtnn_base.stats.dram_utilization()),
+        pct(rtnn_tta.stats.dram_utilization()),
+        pct(rtnn_plus.stats.dram_utilization()),
+    ]);
+
+    rep.finish();
+}

@@ -1,0 +1,64 @@
+//! Fig. 14 — TTA configuration sensitivity on B-Trees: warp-buffer size
+//! and intersection-test latency.
+//!
+//! Paper shape to match: performance grows with the warp buffer until it
+//! saturates around 8 warps (then memory interference flattens it);
+//! intersection latency barely matters — the isolated 3-cycle min/max and
+//! the full 13-cycle unit are indistinguishable, and even 10× (130 cycles)
+//! retains a ≥2× speedup over the baseline GPU.
+
+use tta_bench::{fx, Args, Report};
+use trees::BTreeFlavor;
+use tta::backend::TtaConfig;
+use workloads::btree::BTreeExperiment;
+use workloads::{Platform, RunResult};
+
+fn main() {
+    let args = Args::parse();
+    let keys = args.sized(32_000);
+    let queries = args.sized(16_384);
+
+    let baseline = |flavor| {
+        BTreeExperiment::new(flavor, keys, queries, Platform::BaselineGpu).run()
+    };
+    let tta_with = |flavor, warps: usize, latency: u64| -> RunResult {
+        let mut cfg = TtaConfig::default_paper();
+        cfg.rta.warp_buffer_warps = warps;
+        cfg.query_key_latency = latency;
+        BTreeExperiment::new(flavor, keys, queries, Platform::Tta(cfg)).run()
+    };
+
+    let mut rep = Report::new(
+        "fig14_warps",
+        "Fig. 14 (left): warp-buffer size sweep (speedup over baseline GPU)",
+        "improves up to ~8 warps, then saturates",
+    );
+    rep.columns(&["variant", "1", "2", "4", "8", "16", "32"]);
+    for flavor in BTreeFlavor::ALL {
+        let base = baseline(flavor);
+        let mut row = vec![flavor.to_string()];
+        for warps in [1usize, 2, 4, 8, 16, 32] {
+            let r = tta_with(flavor, warps, 13);
+            row.push(fx(r.speedup_over(&base)));
+        }
+        rep.row(row);
+    }
+    rep.finish();
+
+    let mut rep = Report::new(
+        "fig14_latency",
+        "Fig. 14 (right): intersection-latency sweep at 4 warps",
+        "3cy (isolated minmax) ~ 13cy (full unit); even 130cy (10x) keeps >2x",
+    );
+    rep.columns(&["variant", "3cy", "13cy", "130cy"]);
+    for flavor in BTreeFlavor::ALL {
+        let base = baseline(flavor);
+        let mut row = vec![flavor.to_string()];
+        for lat in [3u64, 13, 130] {
+            let r = tta_with(flavor, 4, lat);
+            row.push(fx(r.speedup_over(&base)));
+        }
+        rep.row(row);
+    }
+    rep.finish();
+}

@@ -1,0 +1,53 @@
+//! Fig. 15 — TTA intersection-unit utilization: average occupancy and peak
+//! concurrent operations per unit.
+//!
+//! Paper shape to match: node processing is bursty — peak in-flight counts
+//! are much higher than average occupancy, yet still far below the pipeline
+//! depth; RTNN repurposes the previously-idle Ray-Triangle units for
+//! distance calculations. (\*WKND_PT is unsupported on TTA.)
+
+use tta_bench::{platform_tta, Args, Report};
+use trees::BTreeFlavor;
+use workloads::btree::BTreeExperiment;
+use workloads::nbody::NBodyExperiment;
+use workloads::rtnn::{LeafPath, RtnnExperiment};
+use workloads::RunResult;
+
+fn main() {
+    let args = Args::parse();
+    let mut rep = Report::new(
+        "fig15",
+        "Fig. 15: TTA intersection-unit utilization (avg occupancy / peak in flight)",
+        "bursty: low average, much higher peak; RTNN activates the idle Ray-Tri units",
+    );
+    rep.columns(&["app", "unit", "ops", "avg occupancy", "peak in flight"]);
+
+    let mut add = |name: &str, r: &RunResult| {
+        let Some(accel) = &r.accel else { return };
+        for (unit, s) in &accel.units {
+            if s.invocations == 0 {
+                continue;
+            }
+            rep.row(vec![
+                name.to_owned(),
+                unit.clone(),
+                s.invocations.to_string(),
+                format!("{:.3}", s.avg_occupancy(r.stats.cycles)),
+                s.peak_in_flight.to_string(),
+            ]);
+        }
+    };
+
+    let queries = args.sized(16_384);
+    let r = BTreeExperiment::new(BTreeFlavor::BTree, args.sized(64_000), queries, platform_tta())
+        .run();
+    add("B-Tree", &r);
+    let r = NBodyExperiment::new(3, args.sized(4_000), platform_tta()).run();
+    add("N-Body 3D", &r);
+    let r = RtnnExperiment::new(args.sized(64_000), args.sized(2_048), platform_tta(), LeafPath::Offloaded)
+        .run();
+    add("*RTNN", &r);
+
+    rep.finish();
+    println!("note: *WKND_PT is absent — its Ray-Sphere test needs SQRT, unsupported on TTA.");
+}

@@ -1,0 +1,74 @@
+//! Fig. 20 — Breakdown of total dynamically executed instructions for the
+//! baseline, TTA and TTA+.
+//!
+//! Paper shape to match: a single TTA instruction replaces the dynamic
+//! instructions of an entire traversal loop, eliminating ~91% of dynamic
+//! instructions on average; TTA instructions themselves are only ~2% of
+//! the total.
+
+use tta_bench::{pct, platform_tta, platform_ttaplus, Args, Report};
+use trees::BTreeFlavor;
+use workloads::btree::BTreeExperiment;
+use workloads::nbody::NBodyExperiment;
+use workloads::{Platform, RunResult};
+
+fn main() {
+    let args = Args::parse();
+    let mut rep = Report::new(
+        "fig20",
+        "Fig. 20: dynamic instruction breakdown (lane-level)",
+        "~91% fewer dynamic instructions with TTA; traverse instrs ~2% of total",
+    );
+    rep.columns(&["app", "platform", "alu", "control", "memory", "traverse", "shader", "vs base"]);
+
+    let queries = args.sized(16_384);
+    let keys = args.sized(64_000);
+
+    let mut reductions = Vec::new();
+    let mut add = |name: &str, base: &RunResult, others: Vec<(&str, RunResult)>| {
+        let total_base = base.core_instructions() + base.stats.mix.traverse;
+        let mut emit = |plat: &str, r: &RunResult| {
+            let shader = r.accel.as_ref().map_or(0, |a| a.shader_lane_instructions);
+            let total = r.core_instructions() + r.stats.mix.traverse;
+            let red = 1.0 - total as f64 / total_base as f64;
+            rep.row(vec![
+                name.to_owned(),
+                plat.to_owned(),
+                r.stats.mix.alu.to_string(),
+                r.stats.mix.control.to_string(),
+                r.stats.mix.memory.to_string(),
+                r.stats.mix.traverse.to_string(),
+                shader.to_string(),
+                if plat == "BASE" { "-".to_owned() } else { format!("-{}", pct(red)) },
+            ]);
+            red
+        };
+        emit("BASE", base);
+        for (plat, r) in &others {
+            reductions.push(emit(plat, r));
+        }
+    };
+
+    for flavor in BTreeFlavor::ALL {
+        let base = BTreeExperiment::new(flavor, keys, queries, Platform::BaselineGpu).run();
+        let tta = BTreeExperiment::new(flavor, keys, queries, platform_tta()).run();
+        let plus = BTreeExperiment::new(
+            flavor,
+            keys,
+            queries,
+            platform_ttaplus(BTreeExperiment::uop_programs()),
+        )
+        .run();
+        add(&flavor.to_string(), &base, vec![("TTA", tta), ("TTA+", plus)]);
+    }
+    let bodies = args.sized(4_000);
+    let base = NBodyExperiment::new(3, bodies, Platform::BaselineGpu).run();
+    let tta = NBodyExperiment::new(3, bodies, platform_tta()).run();
+    let plus =
+        NBodyExperiment::new(3, bodies, platform_ttaplus(NBodyExperiment::uop_programs())).run();
+    add("N-Body 3D", &base, vec![("TTA", tta), ("TTA+", plus)]);
+
+    rep.finish();
+    let avg = reductions.iter().sum::<f64>() / reductions.len() as f64;
+    println!("average dynamic-instruction reduction: {}", pct(avg));
+}

@@ -1,0 +1,190 @@
+//! Shared support for the figure/table harness binaries.
+//!
+//! Every binary under `src/bin/` regenerates one table or figure of the
+//! paper (see `DESIGN.md` §5 for the index). They share:
+//!
+//! * [`Args`] — a tiny CLI: `--scale <f>` multiplies workload sizes
+//!   (default 1.0 = the laptop-scale defaults documented in DESIGN.md;
+//!   larger values approach the paper's sizes), `--quick` shrinks runs for
+//!   smoke testing.
+//! * [`Report`] — aligned console tables plus a CSV copy under `results/`.
+//! * [`activity_of`] — adapts a [`workloads::RunResult`] into the energy
+//!   model's [`energy::ActivityCounts`].
+
+use energy::ActivityCounts;
+use workloads::RunResult;
+
+/// Command-line arguments shared by all harness binaries.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Workload size multiplier.
+    pub scale: f64,
+    /// Smoke-test mode: tiny sizes, for CI.
+    pub quick: bool,
+}
+
+impl Args {
+    /// Parses `std::env::args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn parse() -> Self {
+        let mut args = Args { scale: 1.0, quick: false };
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--scale" => {
+                    let v = it.next().expect("--scale needs a value");
+                    args.scale = v.parse().expect("--scale needs a number");
+                }
+                "--quick" => args.quick = true,
+                "--help" | "-h" => {
+                    eprintln!("usage: [--scale <f>] [--quick]");
+                    std::process::exit(0);
+                }
+                other => panic!("unknown argument `{other}` (try --help)"),
+            }
+        }
+        args
+    }
+
+    /// Scales a default size, with a floor so nothing degenerates.
+    pub fn sized(&self, default: usize) -> usize {
+        let f = if self.quick { self.scale * 0.25 } else { self.scale };
+        ((default as f64 * f) as usize).max(64)
+    }
+}
+
+/// A console + CSV report writer.
+#[derive(Debug)]
+pub struct Report {
+    name: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// Starts a report; `name` becomes `results/<name>.csv`.
+    pub fn new(name: &str, title: &str, paper_expectation: &str) -> Self {
+        println!("==================================================================");
+        println!("{title}");
+        println!("paper: {paper_expectation}");
+        println!("==================================================================");
+        Report { name: name.to_owned(), columns: Vec::new(), rows: Vec::new() }
+    }
+
+    /// Sets the column headers.
+    pub fn columns(&mut self, cols: &[&str]) {
+        self.columns = cols.iter().map(|s| (*s).to_owned()).collect();
+    }
+
+    /// Adds one row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Prints the aligned table and writes the CSV.
+    pub fn finish(&self) {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let print_row = |cells: &[String]| {
+            let line: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:<w$}", w = widths[i]))
+                .collect();
+            println!("{}", line.join("  "));
+        };
+        print_row(&self.columns);
+        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        for row in &self.rows {
+            print_row(row);
+        }
+        // CSV copy.
+        let _ = std::fs::create_dir_all("results");
+        let mut csv = self.columns.join(",") + "\n";
+        for row in &self.rows {
+            csv.push_str(&row.join(","));
+            csv.push('\n');
+        }
+        let path = format!("results/{}.csv", self.name);
+        if let Err(e) = std::fs::write(&path, csv) {
+            eprintln!("warning: could not write {path}: {e}");
+        } else {
+            println!("(csv written to {path})");
+        }
+        println!();
+    }
+}
+
+/// Adapts a finished run into energy-model activity counts.
+pub fn activity_of(run: &RunResult) -> ActivityCounts {
+    let mut unit_ops = Vec::new();
+    let mut warp_buffer_accesses = 0;
+    if let Some(a) = &run.accel {
+        warp_buffer_accesses = a.engine.warp_buffer_accesses;
+        for (name, s) in &a.units {
+            if s.invocations > 0 {
+                unit_ops.push((name.clone(), s.invocations));
+            }
+        }
+    }
+    ActivityCounts {
+        cycles: run.stats.cycles,
+        core_lane_instructions: run.core_instructions(),
+        dram_bytes: run.stats.dram.bytes_read + run.stats.dram.bytes_written,
+        warp_buffer_accesses,
+        unit_ops,
+    }
+}
+
+/// The canonical baseline-RTA platform.
+pub fn platform_rta() -> workloads::Platform {
+    workloads::Platform::BaselineRta(rta::RtaConfig::baseline())
+}
+
+/// The canonical TTA platform (paper defaults).
+pub fn platform_tta() -> workloads::Platform {
+    workloads::Platform::Tta(tta::backend::TtaConfig::default_paper())
+}
+
+/// The canonical TTA+ platform with the given μop programs registered.
+pub fn platform_ttaplus(programs: Vec<tta::programs::UopProgram>) -> workloads::Platform {
+    workloads::Platform::TtaPlus(tta::ttaplus::TtaPlusConfig::default_paper(), programs)
+}
+
+/// Formats a ratio as `N.NNx`.
+pub fn fx(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+/// Formats a fraction as a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sized_applies_scale_and_floor() {
+        let a = Args { scale: 0.5, quick: false };
+        assert_eq!(a.sized(1000), 500);
+        assert_eq!(a.sized(10), 64, "floor applies");
+        let q = Args { scale: 1.0, quick: true };
+        assert_eq!(q.sized(1000), 250);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fx(2.0), "2.00x");
+        assert_eq!(pct(0.153), "15.3%");
+    }
+}

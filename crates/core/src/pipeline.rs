@@ -1,0 +1,459 @@
+//! The TTA/TTA+ programming interface — the Rust analogue of the paper's
+//! Listing 1 API (`DecodeR`/`DecodeI`/`DecodeL`, `ConfigI`/`ConfigL`,
+//! `ConfigTerminate`, `vkCreateTTAPipeline`).
+//!
+//! A [`PipelineBuilder`] collects the record layouts, intersection-test
+//! configuration and termination condition, then validates the whole bundle
+//! against the chosen accelerator generation at [`PipelineBuilder::build`]
+//! time: layouts must fit the 64-byte warp-buffer entries (Fig. 7), the
+//! baseline RTA accepts only its fixed-function tests, TTA adds Query-Key
+//! and Point-to-Point, and only TTA+ accepts μop programs (and only when a
+//! SQRT unit is present, if the program needs one).
+//!
+//! # Examples
+//!
+//! Configuring the B-Tree pipeline of §III-A:
+//!
+//! ```
+//! use tta::pipeline::{AcceleratorGen, PipelineBuilder, TerminateCond, TestConfig};
+//! use tta::programs::UopProgram;
+//!
+//! let pipeline = PipelineBuilder::new("btree-search")
+//!     .decode_r(&[4, 4, 4, 4])            // key, found, visited, pad
+//!     .decode_i(&[4, 4, 32])              // header, first child, keys
+//!     .decode_l(&[4, 4, 32])
+//!     .config_i(TestConfig::QueryKey)
+//!     .config_l(TestConfig::QueryKey)
+//!     .config_terminate(TerminateCond::StackEmpty)
+//!     .build(AcceleratorGen::Tta)
+//!     .expect("valid TTA pipeline");
+//! assert_eq!(pipeline.name(), "btree-search");
+//!
+//! // The same pipeline with μop programs requires TTA+:
+//! let err = PipelineBuilder::new("btree-uops")
+//!     .decode_r(&[4, 4, 4, 4])
+//!     .decode_i(&[4, 4, 32])
+//!     .decode_l(&[4, 4, 32])
+//!     .config_i(TestConfig::Uops(UopProgram::query_key_inner()))
+//!     .config_l(TestConfig::Uops(UopProgram::query_key_leaf()))
+//!     .config_terminate(TerminateCond::StackEmpty)
+//!     .build(AcceleratorGen::Tta);
+//! assert!(err.is_err());
+//! ```
+
+use crate::programs::UopProgram;
+use rta::units::TestKind;
+
+/// Maximum bytes of one warp-buffer record (16 × 32-bit registers, Fig. 7).
+pub const MAX_RECORD_BYTES: usize = 64;
+
+/// Which accelerator generation a pipeline targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcceleratorGen {
+    /// Unmodified RTA: Ray-Box/Ray-Triangle/Transform + shader callbacks.
+    BaselineRta,
+    /// TTA: adds Query-Key and Point-to-Point fixed-function tests.
+    Tta,
+    /// TTA+ with the SQRT unit: arbitrary μop programs.
+    TtaPlus,
+    /// TTA+ without SQRT (the −10.8% area design point of Table IV).
+    TtaPlusNoSqrt,
+}
+
+/// A record layout declared via `DecodeR`/`DecodeI`/`DecodeL`: field sizes
+/// in bytes, mirroring the byte-offset arrays of Listing 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordLayout {
+    fields: Vec<usize>,
+}
+
+impl RecordLayout {
+    /// Builds a layout from field sizes.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty layouts, zero-sized or non-4-byte-multiple fields, and
+    /// layouts exceeding [`MAX_RECORD_BYTES`].
+    pub fn new(field_sizes: &[usize]) -> Result<Self, ConfigError> {
+        if field_sizes.is_empty() {
+            return Err(ConfigError::EmptyLayout);
+        }
+        for &f in field_sizes {
+            if f == 0 || f % 4 != 0 {
+                return Err(ConfigError::BadFieldSize(f));
+            }
+        }
+        let total: usize = field_sizes.iter().sum();
+        if total > MAX_RECORD_BYTES {
+            return Err(ConfigError::LayoutTooLarge(total));
+        }
+        Ok(RecordLayout { fields: field_sizes.to_vec() })
+    }
+
+    /// Field sizes in bytes.
+    pub fn fields(&self) -> &[usize] {
+        &self.fields
+    }
+
+    /// Byte offset of field `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn offset_of(&self, i: usize) -> usize {
+        assert!(i < self.fields.len(), "field index out of range");
+        self.fields[..i].iter().sum()
+    }
+
+    /// Total bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.fields.iter().sum()
+    }
+}
+
+/// Intersection-test configuration for `ConfigI`/`ConfigL`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TestConfig {
+    /// Fixed-function Ray-Box.
+    RayBox,
+    /// Fixed-function Ray-Triangle.
+    RayTriangle,
+    /// TTA Query-Key comparison.
+    QueryKey,
+    /// TTA Point-to-Point distance.
+    PointToPoint,
+    /// Intersection shader on the general-purpose cores.
+    Shader,
+    /// A TTA+ μop program.
+    Uops(UopProgram),
+}
+
+/// Traversal termination condition (`ConfigTerminate`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TerminateCond {
+    /// Stop when the traversal stack drains (index search, radius search).
+    StackEmpty,
+    /// Stop when a ray-record field at this byte offset becomes non-zero
+    /// (e.g. a found flag or accepted-hit marker) — checked when the given
+    /// μop PC of the leaf program executes, per Listing 1.
+    RayFieldNonZero {
+        /// Byte offset within the ray record.
+        offset: usize,
+        /// μop PC at which the check fires.
+        at_pc: usize,
+    },
+}
+
+/// Errors from pipeline configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// A layout had no fields.
+    EmptyLayout,
+    /// A field size was zero or not a multiple of 4 bytes.
+    BadFieldSize(usize),
+    /// Layout exceeds the 64-byte warp-buffer record.
+    LayoutTooLarge(usize),
+    /// A required `Decode`/`Config` call is missing.
+    Missing(&'static str),
+    /// The test is not supported by the targeted accelerator generation.
+    UnsupportedTest {
+        /// Which configuration slot was rejected.
+        slot: &'static str,
+        /// Why.
+        reason: String,
+    },
+    /// A termination field offset lies outside the ray record.
+    TerminateOutOfRange(usize),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::EmptyLayout => write!(f, "record layout has no fields"),
+            ConfigError::BadFieldSize(s) => {
+                write!(f, "field size {s} is not a positive multiple of 4 bytes")
+            }
+            ConfigError::LayoutTooLarge(t) => write!(
+                f,
+                "layout of {t} bytes exceeds the {MAX_RECORD_BYTES}-byte warp-buffer record"
+            ),
+            ConfigError::Missing(what) => write!(f, "pipeline is missing {what}"),
+            ConfigError::UnsupportedTest { slot, reason } => {
+                write!(f, "{slot} test unsupported: {reason}")
+            }
+            ConfigError::TerminateOutOfRange(o) => {
+                write!(f, "terminate field offset {o} lies outside the ray record")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// A validated traversal pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraversalPipeline {
+    name: String,
+    gen: AcceleratorGen,
+    ray_layout: RecordLayout,
+    inner_layout: RecordLayout,
+    leaf_layout: RecordLayout,
+    inner: TestConfig,
+    leaf: TestConfig,
+    terminate: TerminateCond,
+}
+
+impl TraversalPipeline {
+    /// Pipeline name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Target generation.
+    pub fn generation(&self) -> AcceleratorGen {
+        self.gen
+    }
+
+    /// The validated ray layout.
+    pub fn ray_layout(&self) -> &RecordLayout {
+        &self.ray_layout
+    }
+
+    /// The inner-node test as an engine [`TestKind`]. μop programs map to
+    /// [`TestKind::Program`] with the id assigned by the caller's backend
+    /// registration order.
+    pub fn inner_test_kind(&self, program_id: u16) -> TestKind {
+        Self::kind_of(&self.inner, program_id)
+    }
+
+    /// The leaf-node test as an engine [`TestKind`].
+    pub fn leaf_test_kind(&self, program_id: u16) -> TestKind {
+        Self::kind_of(&self.leaf, program_id)
+    }
+
+    /// The inner test configuration.
+    pub fn inner_config(&self) -> &TestConfig {
+        &self.inner
+    }
+
+    /// The leaf test configuration.
+    pub fn leaf_config(&self) -> &TestConfig {
+        &self.leaf
+    }
+
+    /// The termination condition.
+    pub fn terminate(&self) -> TerminateCond {
+        self.terminate
+    }
+
+    fn kind_of(cfg: &TestConfig, program_id: u16) -> TestKind {
+        match cfg {
+            TestConfig::RayBox => TestKind::RayBox,
+            TestConfig::RayTriangle => TestKind::RayTriangle,
+            TestConfig::QueryKey => TestKind::QueryKey,
+            TestConfig::PointToPoint => TestKind::PointToPoint,
+            TestConfig::Shader => TestKind::IntersectionShader,
+            TestConfig::Uops(_) => TestKind::Program(program_id),
+        }
+    }
+}
+
+/// Builder for [`TraversalPipeline`] (the Listing 1 call sequence).
+#[derive(Debug, Clone, Default)]
+pub struct PipelineBuilder {
+    name: String,
+    ray_layout: Option<Result<RecordLayout, ConfigError>>,
+    inner_layout: Option<Result<RecordLayout, ConfigError>>,
+    leaf_layout: Option<Result<RecordLayout, ConfigError>>,
+    inner: Option<TestConfig>,
+    leaf: Option<TestConfig>,
+    terminate: Option<TerminateCond>,
+}
+
+impl PipelineBuilder {
+    /// Starts a pipeline configuration.
+    pub fn new(name: impl Into<String>) -> Self {
+        PipelineBuilder { name: name.into(), ..Default::default() }
+    }
+
+    /// `DecodeR`: declares the ray record layout.
+    pub fn decode_r(mut self, field_sizes: &[usize]) -> Self {
+        self.ray_layout = Some(RecordLayout::new(field_sizes));
+        self
+    }
+
+    /// `DecodeI`: declares the internal-node layout.
+    pub fn decode_i(mut self, field_sizes: &[usize]) -> Self {
+        self.inner_layout = Some(RecordLayout::new(field_sizes));
+        self
+    }
+
+    /// `DecodeL`: declares the leaf-node layout.
+    pub fn decode_l(mut self, field_sizes: &[usize]) -> Self {
+        self.leaf_layout = Some(RecordLayout::new(field_sizes));
+        self
+    }
+
+    /// `ConfigI`: the internal-node intersection test.
+    pub fn config_i(mut self, test: TestConfig) -> Self {
+        self.inner = Some(test);
+        self
+    }
+
+    /// `ConfigL`: the leaf-node intersection test.
+    pub fn config_l(mut self, test: TestConfig) -> Self {
+        self.leaf = Some(test);
+        self
+    }
+
+    /// `ConfigTerminate`: the termination condition.
+    pub fn config_terminate(mut self, cond: TerminateCond) -> Self {
+        self.terminate = Some(cond);
+        self
+    }
+
+    /// Validates against `gen` and produces the pipeline.
+    ///
+    /// # Errors
+    ///
+    /// See [`ConfigError`] — missing pieces, oversized layouts, or tests the
+    /// targeted generation cannot execute.
+    pub fn build(self, gen: AcceleratorGen) -> Result<TraversalPipeline, ConfigError> {
+        let ray_layout = self.ray_layout.ok_or(ConfigError::Missing("DecodeR"))??;
+        let inner_layout = self.inner_layout.ok_or(ConfigError::Missing("DecodeI"))??;
+        let leaf_layout = self.leaf_layout.ok_or(ConfigError::Missing("DecodeL"))??;
+        let inner = self.inner.ok_or(ConfigError::Missing("ConfigI"))?;
+        let leaf = self.leaf.ok_or(ConfigError::Missing("ConfigL"))?;
+        let terminate = self.terminate.ok_or(ConfigError::Missing("ConfigTerminate"))?;
+
+        Self::check_test(gen, "inner", &inner)?;
+        Self::check_test(gen, "leaf", &leaf)?;
+        if let TerminateCond::RayFieldNonZero { offset, .. } = terminate {
+            if offset + 4 > ray_layout.total_bytes() {
+                return Err(ConfigError::TerminateOutOfRange(offset));
+            }
+        }
+        Ok(TraversalPipeline {
+            name: self.name,
+            gen,
+            ray_layout,
+            inner_layout,
+            leaf_layout,
+            inner,
+            leaf,
+            terminate,
+        })
+    }
+
+    fn check_test(
+        gen: AcceleratorGen,
+        slot: &'static str,
+        test: &TestConfig,
+    ) -> Result<(), ConfigError> {
+        let reject = |reason: &str| {
+            Err(ConfigError::UnsupportedTest { slot, reason: reason.to_owned() })
+        };
+        match (gen, test) {
+            (AcceleratorGen::BaselineRta, TestConfig::QueryKey | TestConfig::PointToPoint) => {
+                reject("the baseline RTA has no modified units; TTA is required")
+            }
+            (
+                AcceleratorGen::BaselineRta | AcceleratorGen::Tta,
+                TestConfig::Uops(_),
+            ) => reject("μop programs require the modular TTA+ design"),
+            (AcceleratorGen::TtaPlusNoSqrt, TestConfig::Uops(p)) if p.needs_sqrt() => reject(
+                "program needs the SQRT unit; use the full TTA+ configuration (+36.4% area)",
+            ),
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> PipelineBuilder {
+        PipelineBuilder::new("t")
+            .decode_r(&[4, 4, 4, 4])
+            .decode_i(&[4, 4, 32])
+            .decode_l(&[4, 4, 32])
+            .config_terminate(TerminateCond::StackEmpty)
+    }
+
+    #[test]
+    fn valid_tta_pipeline_builds() {
+        let p = base()
+            .config_i(TestConfig::QueryKey)
+            .config_l(TestConfig::QueryKey)
+            .build(AcceleratorGen::Tta)
+            .unwrap();
+        assert_eq!(p.inner_test_kind(0), TestKind::QueryKey);
+        assert_eq!(p.ray_layout().total_bytes(), 16);
+        assert_eq!(p.ray_layout().offset_of(2), 8);
+    }
+
+    #[test]
+    fn baseline_rejects_tta_tests() {
+        let err = base()
+            .config_i(TestConfig::QueryKey)
+            .config_l(TestConfig::QueryKey)
+            .build(AcceleratorGen::BaselineRta)
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::UnsupportedTest { slot: "inner", .. }));
+    }
+
+    #[test]
+    fn tta_rejects_uop_programs() {
+        let err = base()
+            .config_i(TestConfig::Uops(UopProgram::query_key_inner()))
+            .config_l(TestConfig::QueryKey)
+            .build(AcceleratorGen::Tta)
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::UnsupportedTest { .. }));
+    }
+
+    #[test]
+    fn ttaplus_without_sqrt_rejects_sphere_program() {
+        let err = base()
+            .config_i(TestConfig::RayBox)
+            .config_l(TestConfig::Uops(UopProgram::ray_sphere_leaf()))
+            .build(AcceleratorGen::TtaPlusNoSqrt)
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::UnsupportedTest { slot: "leaf", .. }));
+        // With SQRT it builds.
+        assert!(base()
+            .config_i(TestConfig::RayBox)
+            .config_l(TestConfig::Uops(UopProgram::ray_sphere_leaf()))
+            .build(AcceleratorGen::TtaPlus)
+            .is_ok());
+    }
+
+    #[test]
+    fn layout_validation() {
+        assert_eq!(RecordLayout::new(&[]), Err(ConfigError::EmptyLayout));
+        assert_eq!(RecordLayout::new(&[3]), Err(ConfigError::BadFieldSize(3)));
+        assert_eq!(RecordLayout::new(&[0]), Err(ConfigError::BadFieldSize(0)));
+        assert_eq!(RecordLayout::new(&[32, 36]), Err(ConfigError::LayoutTooLarge(68)));
+        let l = RecordLayout::new(&[12, 12, 4, 4]).unwrap();
+        assert_eq!(l.offset_of(3), 28);
+        assert_eq!(l.total_bytes(), 32);
+    }
+
+    #[test]
+    fn missing_pieces_reported() {
+        let err = PipelineBuilder::new("x").build(AcceleratorGen::Tta).unwrap_err();
+        assert_eq!(err, ConfigError::Missing("DecodeR"));
+    }
+
+    #[test]
+    fn terminate_bounds_checked() {
+        let err = base()
+            .config_i(TestConfig::RayBox)
+            .config_l(TestConfig::RayTriangle)
+            .config_terminate(TerminateCond::RayFieldNonZero { offset: 60, at_pc: 3 })
+            .build(AcceleratorGen::BaselineRta)
+            .unwrap_err();
+        assert_eq!(err, ConfigError::TerminateOutOfRange(60));
+    }
+}

@@ -1,0 +1,378 @@
+//! TTA+ μop programs: the contents of `ConfigI`/`ConfigL` for every
+//! benchmark, matching Table III of the paper μop-for-μop.
+//!
+//! A [`UopProgram`] is the validated list of μops an intersection test
+//! executes by visiting OP units through the crossbar. The canned
+//! constructors below reproduce each row of Table III; a unit test asserts
+//! the exact per-unit counts of the table.
+
+use crate::op_unit::OpUnit;
+
+/// One micro-operation: which unit executes it.
+///
+/// Operand routing (the Config Regs / OP Dest Table state) is modelled at
+/// validation time: the program records the unit *sequence*; the crossbar
+/// transfer between consecutive μops is charged by the TTA+ backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Uop {
+    /// Executing unit.
+    pub unit: OpUnit,
+}
+
+/// A validated μop program for one intersection test.
+///
+/// # Examples
+///
+/// ```
+/// use tta::programs::UopProgram;
+///
+/// let p = UopProgram::ray_box();
+/// assert_eq!(p.len(), 19); // Table III: RTNN/LumiBench inner test
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UopProgram {
+    name: String,
+    uops: Vec<Uop>,
+}
+
+impl UopProgram {
+    /// Builds a program from a unit sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError::Empty`] for an empty sequence and
+    /// [`ProgramError::TooLong`] beyond 64 μops (the OP Dest Table depth).
+    pub fn new(name: impl Into<String>, units: Vec<OpUnit>) -> Result<Self, ProgramError> {
+        if units.is_empty() {
+            return Err(ProgramError::Empty);
+        }
+        if units.len() > 64 {
+            return Err(ProgramError::TooLong(units.len()));
+        }
+        Ok(UopProgram {
+            name: name.into(),
+            uops: units.into_iter().map(|unit| Uop { unit }).collect(),
+        })
+    }
+
+    /// Program name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The μops in execution order.
+    pub fn uops(&self) -> &[Uop] {
+        &self.uops
+    }
+
+    /// Number of μops.
+    pub fn len(&self) -> usize {
+        self.uops.len()
+    }
+
+    /// `true` for a zero-μop program (never constructible via `new`).
+    pub fn is_empty(&self) -> bool {
+        self.uops.is_empty()
+    }
+
+    /// Count of μops executing on `unit`.
+    pub fn count_of(&self, unit: OpUnit) -> usize {
+        self.uops.iter().filter(|u| u.unit == unit).count()
+    }
+
+    /// Whether the program needs the SQRT unit (unsupported on TTA; the
+    /// reason WKND_PT cannot be offloaded there, §V-A).
+    pub fn needs_sqrt(&self) -> bool {
+        self.count_of(OpUnit::Sqrt) > 0
+    }
+
+    /// Sum of unit latencies — the serialised lower bound on the test's
+    /// latency, before crossbar hops and contention.
+    pub fn unit_latency_sum(&self) -> u64 {
+        self.uops.iter().map(|u| u.unit.latency()).sum()
+    }
+
+    // ---- Table III rows ------------------------------------------------
+
+    /// B-Tree/B\*Tree/B+Tree inner node: Query-Key comparison (12 μops:
+    /// 6 MIN/MAX, 3 Vec3 CMP, 3 Vec3 OR).
+    pub fn query_key_inner() -> Self {
+        let mut units = Vec::new();
+        // Three minmax/maxmin pairs, each comparing the query to 3 keys.
+        for _ in 0..3 {
+            units.push(OpUnit::MinMax);
+            units.push(OpUnit::MaxMin);
+        }
+        // Equality checks and one-hot child selection.
+        units.extend([OpUnit::Vec3Cmp; 3]);
+        units.extend([OpUnit::Logical; 3]);
+        Self::new("QueryKey/Inner", units).expect("static program")
+    }
+
+    /// B-Tree leaf: Query-Key equality only (3 Vec3 CMP μops).
+    pub fn query_key_leaf() -> Self {
+        Self::new("QueryKey/Leaf", vec![OpUnit::Vec3Cmp; 3]).expect("static program")
+    }
+
+    /// N-Body inner node: Point-to-Point distance (3 μops: SUB, DOT, CMP).
+    pub fn point_to_point_inner() -> Self {
+        Self::new(
+            "PointToPoint/Inner",
+            vec![OpUnit::Vec3AddSub, OpUnit::DotProduct, OpUnit::Vec3Cmp],
+        )
+        .expect("static program")
+    }
+
+    /// N-Body leaf: force computation (5 μops: 3 MUL, 1 SQRT, 1 R-XFORM —
+    /// the paper folds three multiplications into one R-XFORM).
+    pub fn nbody_force_leaf() -> Self {
+        Self::new(
+            "NBodyForce/Leaf",
+            vec![
+                OpUnit::Multiplier,
+                OpUnit::Multiplier,
+                OpUnit::Multiplier,
+                OpUnit::Sqrt,
+                OpUnit::RayTransform,
+            ],
+        )
+        .expect("static program")
+    }
+
+    /// Ray-Box intersection (19 μops: 2 SUB, 6 MUL, 3 RCP, 6 MIN/MAX,
+    /// 1 CMP, 1 OR) — the inner test of RTNN, WKND_PT and LumiBench.
+    pub fn ray_box() -> Self {
+        let mut units = Vec::new();
+        units.extend([OpUnit::Vec3AddSub; 2]); // box.min - o, box.max - o
+        units.extend([OpUnit::Reciprocal; 3]); // 1 / dir.xyz
+        units.extend([OpUnit::Multiplier; 6]); // t planes
+        for _ in 0..3 {
+            units.push(OpUnit::MinMax);
+            units.push(OpUnit::MaxMin);
+        }
+        units.push(OpUnit::Vec3Cmp); // t_enter <= t_exit
+        units.push(OpUnit::Logical); // interval and validity
+        Self::new("RayBox/Inner", units).expect("static program")
+    }
+
+    /// RTNN leaf: Point-to-Point distance with radius compare (5 μops:
+    /// SUB, MUL, DOT, CMP, OR).
+    pub fn rtnn_leaf() -> Self {
+        Self::new(
+            "RTNN/Leaf",
+            vec![
+                OpUnit::Vec3AddSub,
+                OpUnit::DotProduct,
+                OpUnit::Multiplier,
+                OpUnit::Vec3Cmp,
+                OpUnit::Logical,
+            ],
+        )
+        .expect("static program")
+    }
+
+    /// WKND_PT leaf: Ray-Sphere intersection (18 μops: 5 SUB, 5 MUL,
+    /// 1 SQRT, 1 RCP, 3 DOT, 2 CMP, 1 OR).
+    pub fn ray_sphere_leaf() -> Self {
+        let mut units = Vec::new();
+        units.extend([OpUnit::Vec3AddSub; 5]);
+        units.extend([OpUnit::Multiplier; 5]);
+        units.extend([OpUnit::DotProduct; 3]);
+        units.push(OpUnit::Sqrt);
+        units.push(OpUnit::Reciprocal);
+        units.extend([OpUnit::Vec3Cmp; 2]);
+        units.push(OpUnit::Logical);
+        Self::new("RaySphere/Leaf", units).expect("static program")
+    }
+
+    /// LumiBench leaf: Ray-Triangle (Möller-Trumbore, 17 μops: 3 SUB,
+    /// 3 MUL, 1 RCP, 2 CROSS, 4 DOT, 2 CMP, 2 OR).
+    pub fn ray_triangle_leaf() -> Self {
+        let mut units = Vec::new();
+        units.extend([OpUnit::Vec3AddSub; 3]); // edges + tvec
+        units.extend([OpUnit::CrossProduct; 2]); // pvec, qvec
+        units.extend([OpUnit::DotProduct; 4]); // det, u, v, t
+        units.push(OpUnit::Reciprocal); // 1/det
+        units.extend([OpUnit::Multiplier; 3]); // scale u, v, t
+        units.extend([OpUnit::Vec3Cmp; 2]); // range checks
+        units.extend([OpUnit::Logical; 2]); // combine
+        Self::new("RayTriangle/Leaf", units).expect("static program")
+    }
+
+    /// The two-level-BVH transform step (1 R-XFORM μop) used by RTNN,
+    /// WKND_PT and LumiBench between BVH levels.
+    pub fn transform() -> Self {
+        Self::new("Transform", vec![OpUnit::RayTransform]).expect("static program")
+    }
+
+    /// The §IV-A strength-reduction the paper applies to the N-Body force
+    /// program: "we also optimize operations on the TTA+ by combining three
+    /// multiplications into a single R-XFORM operation". Every run of three
+    /// consecutive Multiplier μops becomes one R-XFORM μop (the transform
+    /// unit is a 3-lane multiply-accumulate array).
+    ///
+    /// Returns `self` unchanged when no such run exists.
+    pub fn fuse_muls_into_xform(&self) -> Self {
+        let mut units = Vec::with_capacity(self.uops.len());
+        let mut run = 0usize;
+        for uop in &self.uops {
+            if uop.unit == OpUnit::Multiplier {
+                run += 1;
+                if run == 3 {
+                    units.push(OpUnit::RayTransform);
+                    run = 0;
+                }
+            } else {
+                units.extend(std::iter::repeat_n(OpUnit::Multiplier, run));
+                run = 0;
+                units.push(uop.unit);
+            }
+        }
+        units.extend(std::iter::repeat_n(OpUnit::Multiplier, run));
+        Self::new(format!("{}+fused", self.name), units).expect("fusion preserves validity")
+    }
+}
+
+/// Errors from μop program construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProgramError {
+    /// A program must contain at least one μop.
+    Empty,
+    /// Program exceeds the OP Dest Table depth.
+    TooLong(usize),
+}
+
+impl std::fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProgramError::Empty => write!(f, "μop program must not be empty"),
+            ProgramError::TooLong(n) => {
+                write!(f, "μop program of {n} μops exceeds the 64-entry OP Dest Table")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(p: &UopProgram) -> [usize; 11] {
+        let mut c = [0usize; 11];
+        for (i, u) in OpUnit::ALL.iter().enumerate() {
+            c[i] = p.count_of(*u);
+        }
+        c
+    }
+
+    // Table III columns: [SUB, MUL, RCP, CROSS, DOT, CMP, MINMAX, MAXMIN,
+    // OR, SQRT, XFORM] — reordered to OpUnit::ALL order:
+    // [Vec3AddSub, Multiplier, Reciprocal, Cross, Dot, Vec3Cmp, MinMax,
+    //  MaxMin, Logical, Sqrt, RayTransform]
+
+    #[test]
+    fn table_iii_btree_rows() {
+        let inner = UopProgram::query_key_inner();
+        assert_eq!(inner.len(), 12);
+        assert_eq!(counts(&inner), [0, 0, 0, 0, 0, 3, 3, 3, 3, 0, 0]);
+        let leaf = UopProgram::query_key_leaf();
+        assert_eq!(leaf.len(), 3);
+        assert_eq!(counts(&leaf), [0, 0, 0, 0, 0, 3, 0, 0, 0, 0, 0]);
+        assert!(!inner.needs_sqrt());
+    }
+
+    #[test]
+    fn table_iii_nbody_rows() {
+        let inner = UopProgram::point_to_point_inner();
+        assert_eq!(inner.len(), 3);
+        assert_eq!(counts(&inner), [1, 0, 0, 0, 1, 1, 0, 0, 0, 0, 0]);
+        let leaf = UopProgram::nbody_force_leaf();
+        assert_eq!(leaf.len(), 5);
+        assert_eq!(counts(&leaf), [0, 3, 0, 0, 0, 0, 0, 0, 0, 1, 1]);
+        assert!(leaf.needs_sqrt(), "force computation needs SQRT (TTA+ only)");
+    }
+
+    #[test]
+    fn table_iii_ray_box_row() {
+        let p = UopProgram::ray_box();
+        assert_eq!(p.len(), 19);
+        assert_eq!(counts(&p), [2, 6, 3, 0, 0, 1, 3, 3, 1, 0, 0]);
+    }
+
+    #[test]
+    fn table_iii_rtnn_leaf_row() {
+        let p = UopProgram::rtnn_leaf();
+        assert_eq!(p.len(), 5);
+        assert_eq!(counts(&p), [1, 1, 0, 0, 1, 1, 0, 0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn table_iii_ray_sphere_row() {
+        let p = UopProgram::ray_sphere_leaf();
+        assert_eq!(p.len(), 18);
+        assert_eq!(counts(&p), [5, 5, 1, 0, 3, 2, 0, 0, 1, 1, 0]);
+        assert!(p.needs_sqrt(), "Ray-Sphere needs SQRT — unsupported by TTA");
+    }
+
+    #[test]
+    fn table_iii_ray_triangle_row() {
+        let p = UopProgram::ray_triangle_leaf();
+        assert_eq!(p.len(), 17);
+        assert_eq!(counts(&p), [3, 3, 1, 2, 4, 2, 0, 0, 2, 0, 0]);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert_eq!(UopProgram::new("x", vec![]), Err(ProgramError::Empty));
+        assert_eq!(
+            UopProgram::new("x", vec![OpUnit::Logical; 65]),
+            Err(ProgramError::TooLong(65))
+        );
+    }
+
+    #[test]
+    fn mul_fusion_matches_the_papers_nbody_optimisation() {
+        // Table III already shows the fused form of the force program
+        // (3 MUL + R-XFORM); fusing an unfused 6-MUL variant produces two
+        // R-XFORMs and shortens the μop chain.
+        let unfused = UopProgram::new(
+            "force-unfused",
+            vec![
+                OpUnit::Multiplier,
+                OpUnit::Multiplier,
+                OpUnit::Multiplier,
+                OpUnit::Multiplier,
+                OpUnit::Multiplier,
+                OpUnit::Multiplier,
+                OpUnit::Sqrt,
+            ],
+        )
+        .unwrap();
+        let fused = unfused.fuse_muls_into_xform();
+        assert_eq!(fused.len(), 3, "6 MUL + SQRT -> 2 R-XFORM + SQRT");
+        assert_eq!(fused.count_of(OpUnit::RayTransform), 2);
+        assert_eq!(fused.count_of(OpUnit::Multiplier), 0);
+        // Partial runs survive unfused.
+        let partial = UopProgram::new(
+            "p",
+            vec![OpUnit::Multiplier, OpUnit::Multiplier, OpUnit::Vec3Cmp],
+        )
+        .unwrap();
+        let out = partial.fuse_muls_into_xform();
+        assert_eq!(out.count_of(OpUnit::Multiplier), 2);
+        assert_eq!(out.count_of(OpUnit::RayTransform), 0);
+        // Fewer μops means fewer crossbar hops: latency bound improves.
+        let cost = |p: &UopProgram| p.unit_latency_sum() + 4 * p.len() as u64;
+        assert!(cost(&fused) < cost(&unfused));
+    }
+
+    #[test]
+    fn latency_sum_reflects_units() {
+        // Query-Key inner: 6×1 + 3×1 + 3×1 = 12 cycles of raw unit time.
+        assert_eq!(UopProgram::query_key_inner().unit_latency_sum(), 12);
+        // Ray-Box: 2×4 + 6×4 + 3×4 + 6×1 + 1×1 + 1×1 = 52.
+        assert_eq!(UopProgram::ray_box().unit_latency_sum(), 52);
+    }
+}

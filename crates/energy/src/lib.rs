@@ -1,0 +1,37 @@
+//! Area, power, and energy models for the TTA reproduction.
+//!
+//! The paper evaluates hardware cost with FreePDK45 synthesis (area/power),
+//! CACTI 7 (warp-buffer energy) and AccelWattch (core energy). Those tools
+//! are outside the scope of a software reproduction, so this crate anchors
+//! an analytical model on every number the paper *publishes* and derives
+//! the rest by first-order scaling:
+//!
+//! * [`area`] — Table IV verbatim: baseline 602,078 μm², TTA+ without SQRT
+//!   −10.8%, with SQRT +36.4%; TTA's +1.8% Ray-Box overhead (<1% total).
+//! * [`power`] — the Ray-Box 259.4 → 261.1 mW anchor (+0.7%), remaining
+//!   units area-scaled at constant power density.
+//! * [`model`] — the Fig. 19 energy decomposition (compute core / warp
+//!   buffer / intersection) from simulator activity counts.
+//!
+//! # Examples
+//!
+//! ```
+//! use tta_energy::model::{energy_of, ActivityCounts};
+//!
+//! let run = ActivityCounts {
+//!     cycles: 100_000,
+//!     core_lane_instructions: 1_000_000,
+//!     dram_bytes: 5_000_000,
+//!     warp_buffer_accesses: 100_000,
+//!     unit_ops: vec![("RayBox".into(), 50_000)],
+//! };
+//! let e = energy_of(&run);
+//! assert!(e.total_uj() > 0.0);
+//! ```
+
+pub mod area;
+pub mod model;
+pub mod power;
+pub mod report;
+
+pub use model::{energy_of, ActivityCounts, EnergyBreakdown};

@@ -1,0 +1,73 @@
+//! Power model: the paper's published unit powers plus area-proportional
+//! derivations for components it does not list.
+//!
+//! §V-C1 publishes one anchor pair: the Ray-Box unit draws **259.4 mW**
+//! baseline, **261.1 mW** with the TTA modifications (+0.7%). Powers for
+//! the remaining units are derived by scaling that anchor with Table IV
+//! areas (constant power density), a standard first-order estimate that
+//! preserves every *relative* statement the paper makes.
+
+use crate::area;
+use tta::op_unit::OpUnit;
+
+/// Baseline Ray-Box unit power, mW (§V-C1).
+pub const RAY_BOX_POWER_MW: f64 = 259.4;
+/// TTA-modified Ray-Box unit power, mW (+0.7%, §V-C1).
+pub const TTA_RAY_BOX_POWER_MW: f64 = 261.1;
+
+/// Compute clock, Hz (Table II: 1365 MHz).
+pub const CLOCK_HZ: f64 = 1.365e9;
+
+/// Power density anchor, mW per μm².
+fn density() -> f64 {
+    RAY_BOX_POWER_MW / area::BASELINE_RAY_BOX_UM2
+}
+
+/// Baseline Ray-Triangle unit power, mW (area-scaled).
+pub fn ray_triangle_power_mw() -> f64 {
+    density() * area::BASELINE_RAY_TRIANGLE_UM2
+}
+
+/// A TTA+ OP unit's power, mW (area-scaled; comparator/logic/transform
+/// units, unpriced in Table IV, are approximated by the MINMAX row).
+pub fn op_unit_power_mw(unit: OpUnit) -> f64 {
+    let a = area::op_unit_area_um2(unit)
+        .unwrap_or_else(|| area::op_unit_area_um2(OpUnit::MinMax).expect("priced"));
+    density() * a
+}
+
+/// The TTA+ interconnect power, mW (area-scaled).
+pub fn interconnect_power_mw() -> f64 {
+    density() * area::TTAPLUS_INTERCONNECT_UM2
+}
+
+/// Energy of one *active cycle* of a block drawing `power_mw`, picojoules:
+/// `E = P · t_cycle`.
+pub fn energy_per_active_cycle_pj(power_mw: f64) -> f64 {
+    power_mw * 1e-3 / CLOCK_HZ * 1e12
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tta_power_increase_is_0_7_percent() {
+        let inc = TTA_RAY_BOX_POWER_MW / RAY_BOX_POWER_MW - 1.0;
+        assert!((inc - 0.007).abs() < 0.001, "got {inc}");
+    }
+
+    #[test]
+    fn derived_powers_scale_with_area() {
+        assert!(ray_triangle_power_mw() > RAY_BOX_POWER_MW);
+        assert!(op_unit_power_mw(OpUnit::Sqrt) > op_unit_power_mw(OpUnit::Multiplier));
+        assert!(op_unit_power_mw(OpUnit::MinMax) < op_unit_power_mw(OpUnit::DotProduct));
+    }
+
+    #[test]
+    fn active_cycle_energy_plausible() {
+        // 259.4 mW at 1.365 GHz ≈ 190 pJ per cycle.
+        let e = energy_per_active_cycle_pj(RAY_BOX_POWER_MW);
+        assert!((e - 190.0).abs() < 5.0, "got {e}");
+    }
+}

@@ -1,0 +1,66 @@
+//! Human-readable energy reports (the textual form of a Fig. 19 bar).
+
+use crate::model::EnergyBreakdown;
+
+/// Renders one breakdown as a labelled bar with percentages.
+///
+/// # Examples
+///
+/// ```
+/// use tta_energy::model::EnergyBreakdown;
+/// use tta_energy::report::render;
+///
+/// let e = EnergyBreakdown {
+///     compute_core_uj: 80.0,
+///     warp_buffer_uj: 15.0,
+///     intersection_uj: 5.0,
+/// };
+/// let text = render("B-Tree TTA", &e, None);
+/// assert!(text.contains("80.0%"));
+/// ```
+pub fn render(label: &str, e: &EnergyBreakdown, baseline: Option<&EnergyBreakdown>) -> String {
+    let total = e.total_uj().max(1e-12);
+    let pct = |v: f64| v / total * 100.0;
+    let rel = baseline
+        .map(|b| format!(" ({:+.1}% vs baseline)", (e.total_uj() / b.total_uj() - 1.0) * 100.0))
+        .unwrap_or_default();
+    format!(
+        "{label}: {:.1} uJ{rel}\n  compute core {:.1} uJ ({:.1}%) | warp buffer {:.1} uJ ({:.1}%) | intersection {:.1} uJ ({:.1}%)",
+        e.total_uj(),
+        e.compute_core_uj,
+        pct(e.compute_core_uj),
+        e.warp_buffer_uj,
+        pct(e.warp_buffer_uj),
+        e.intersection_uj,
+        pct(e.intersection_uj),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EnergyBreakdown {
+        EnergyBreakdown { compute_core_uj: 60.0, warp_buffer_uj: 30.0, intersection_uj: 10.0 }
+    }
+
+    #[test]
+    fn percentages_sum_to_hundred() {
+        let text = render("x", &sample(), None);
+        assert!(text.contains("60.0%"));
+        assert!(text.contains("30.0%"));
+        assert!(text.contains("10.0%"));
+        assert!(!text.contains("vs baseline"));
+    }
+
+    #[test]
+    fn relative_line_present_with_baseline() {
+        let base = EnergyBreakdown {
+            compute_core_uj: 180.0,
+            warp_buffer_uj: 0.0,
+            intersection_uj: 20.0,
+        };
+        let text = render("x", &sample(), Some(&base));
+        assert!(text.contains("-50.0% vs baseline"), "{text}");
+    }
+}

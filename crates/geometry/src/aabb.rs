@@ -1,0 +1,212 @@
+//! Axis-aligned bounding boxes, the internal-node geometry of BVH trees.
+
+use crate::vec3::Vec3;
+
+/// An axis-aligned bounding box, stored as `min`/`max` corners.
+///
+/// BVH internal nodes carry one of these per child; the paper's Ray-Box unit
+/// tests a ray against the box with the slab method (Fig. 5 left).
+///
+/// # Examples
+///
+/// ```
+/// use tta_geometry::{Aabb, Vec3};
+///
+/// let a = Aabb::new(Vec3::ZERO, Vec3::ONE);
+/// let b = Aabb::new(Vec3::splat(0.5), Vec3::splat(2.0));
+/// let merged = a.union(&b);
+/// assert_eq!(merged.min, Vec3::ZERO);
+/// assert_eq!(merged.max, Vec3::splat(2.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb {
+    /// Minimum corner.
+    pub min: Vec3,
+    /// Maximum corner.
+    pub max: Vec3,
+}
+
+impl Aabb {
+    /// Creates a box from its corners.
+    ///
+    /// The corners are not reordered; use [`Aabb::empty`] + [`Aabb::grow`] to
+    /// accumulate points when the extent is not known up front.
+    #[inline]
+    pub const fn new(min: Vec3, max: Vec3) -> Self {
+        Aabb { min, max }
+    }
+
+    /// The canonical empty box (`min = +inf`, `max = -inf`): the identity of
+    /// [`Aabb::union`].
+    #[inline]
+    pub fn empty() -> Self {
+        Aabb { min: Vec3::splat(f32::INFINITY), max: Vec3::splat(f32::NEG_INFINITY) }
+    }
+
+    /// `true` when the box contains no points (any `min` component exceeds
+    /// the corresponding `max`).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x || self.min.y > self.max.y || self.min.z > self.max.z
+    }
+
+    /// Expands the box to contain `point`.
+    #[inline]
+    pub fn grow(&mut self, point: Vec3) {
+        self.min = self.min.min(point);
+        self.max = self.max.max(point);
+    }
+
+    /// Expands the box to contain `other`.
+    #[inline]
+    pub fn grow_box(&mut self, other: &Aabb) {
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The smallest box containing both inputs.
+    #[inline]
+    pub fn union(&self, other: &Aabb) -> Aabb {
+        Aabb { min: self.min.min(other.min), max: self.max.max(other.max) }
+    }
+
+    /// Box centre. Meaningless for empty boxes.
+    #[inline]
+    pub fn center(&self) -> Vec3 {
+        (self.min + self.max) * 0.5
+    }
+
+    /// Edge lengths (`max - min`), clamped to zero for empty boxes.
+    #[inline]
+    pub fn extent(&self) -> Vec3 {
+        if self.is_empty() {
+            Vec3::ZERO
+        } else {
+            self.max - self.min
+        }
+    }
+
+    /// Surface area; the quantity minimised by SAH BVH builders and used by
+    /// the SATO traversal-order optimisation the paper enables on TTA+.
+    #[inline]
+    pub fn surface_area(&self) -> f32 {
+        let e = self.extent();
+        2.0 * (e.x * e.y + e.y * e.z + e.z * e.x)
+    }
+
+    /// `true` when `point` lies inside or on the boundary.
+    #[inline]
+    pub fn contains(&self, point: Vec3) -> bool {
+        point.x >= self.min.x
+            && point.x <= self.max.x
+            && point.y >= self.min.y
+            && point.y <= self.max.y
+            && point.z >= self.min.z
+            && point.z <= self.max.z
+    }
+
+    /// `true` when the boxes share any point (boundaries touching counts).
+    #[inline]
+    pub fn overlaps(&self, other: &Aabb) -> bool {
+        self.min.x <= other.max.x
+            && self.max.x >= other.min.x
+            && self.min.y <= other.max.y
+            && self.max.y >= other.min.y
+            && self.min.z <= other.max.z
+            && self.max.z >= other.min.z
+    }
+
+    /// Minimum squared distance from `point` to the box (zero when inside).
+    /// Used by radius-search pruning.
+    #[inline]
+    pub fn distance_squared(&self, point: Vec3) -> f32 {
+        let clamped = point.max(self.min).min(self.max);
+        (clamped - point).length_squared()
+    }
+
+    /// Grows the box by `margin` on every side.
+    #[inline]
+    pub fn inflated(&self, margin: f32) -> Aabb {
+        Aabb { min: self.min - Vec3::splat(margin), max: self.max + Vec3::splat(margin) }
+    }
+
+    /// Builds the bounding box of a set of points; empty input produces
+    /// [`Aabb::empty`].
+    pub fn from_points<I: IntoIterator<Item = Vec3>>(points: I) -> Aabb {
+        let mut b = Aabb::empty();
+        for p in points {
+            b.grow(p);
+        }
+        b
+    }
+}
+
+impl Default for Aabb {
+    fn default() -> Self {
+        Aabb::empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_union_identity() {
+        let b = Aabb::new(Vec3::new(-1.0, 0.0, 2.0), Vec3::new(1.0, 3.0, 4.0));
+        assert!(Aabb::empty().is_empty());
+        assert_eq!(Aabb::empty().union(&b), b);
+        assert_eq!(b.union(&Aabb::empty()), b);
+    }
+
+    #[test]
+    fn grow_contains_all_points() {
+        let pts = [Vec3::new(1.0, 2.0, 3.0), Vec3::new(-5.0, 0.0, 1.0), Vec3::new(0.0, 7.0, -2.0)];
+        let b = Aabb::from_points(pts);
+        for p in pts {
+            assert!(b.contains(p));
+        }
+        assert_eq!(b.min, Vec3::new(-5.0, 0.0, -2.0));
+        assert_eq!(b.max, Vec3::new(1.0, 7.0, 3.0));
+    }
+
+    #[test]
+    fn surface_area_of_unit_cube() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::ONE);
+        assert_eq!(b.surface_area(), 6.0);
+        assert_eq!(b.center(), Vec3::splat(0.5));
+        assert_eq!(b.extent(), Vec3::ONE);
+    }
+
+    #[test]
+    fn empty_box_has_zero_extent_and_area() {
+        let b = Aabb::empty();
+        assert_eq!(b.extent(), Vec3::ZERO);
+        assert_eq!(b.surface_area(), 0.0);
+    }
+
+    #[test]
+    fn overlap_is_symmetric_and_touching_counts() {
+        let a = Aabb::new(Vec3::ZERO, Vec3::ONE);
+        let b = Aabb::new(Vec3::splat(1.0), Vec3::splat(2.0));
+        let c = Aabb::new(Vec3::splat(1.5), Vec3::splat(2.5));
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn distance_squared_zero_inside_positive_outside() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::ONE);
+        assert_eq!(b.distance_squared(Vec3::splat(0.5)), 0.0);
+        assert_eq!(b.distance_squared(Vec3::new(2.0, 0.5, 0.5)), 1.0);
+        assert_eq!(b.distance_squared(Vec3::new(2.0, 2.0, 0.5)), 2.0);
+    }
+
+    #[test]
+    fn inflate_grows_every_side() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::ONE).inflated(0.5);
+        assert_eq!(b.min, Vec3::splat(-0.5));
+        assert_eq!(b.max, Vec3::splat(1.5));
+    }
+}

@@ -1,0 +1,321 @@
+//! Ray/primitive intersection tests — the functional behaviour of the
+//! paper's fixed-function units and μop programs.
+//!
+//! Each function here is the *software reference* for a hardware pipeline:
+//!
+//! | function | hardware in the paper |
+//! |---|---|
+//! | [`ray_aabb`] | Ray-Box unit (13-cycle, 4-stage; Fig. 4b) |
+//! | [`ray_triangle`] | Ray-Triangle unit (37-cycle; Möller-Trumbore) |
+//! | [`ray_sphere`] | intersection shader / TTA+ Ray-Sphere μop program |
+//! | [`point_distance_within`] | TTA Point-to-Point datapath (Algorithm 2) |
+//!
+//! The accelerator models in `tta-rta` and `tta` call these for functional
+//! results while separately accounting cycles for the pipelines.
+
+use crate::aabb::Aabb;
+use crate::ray::Ray;
+use crate::sphere::Sphere;
+use crate::triangle::Triangle;
+use crate::vec3::Vec3;
+
+/// Result of a ray-box slab test: the parametric entry/exit distances.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxHit {
+    /// Distance where the ray enters the box (clamped to the ray interval).
+    pub t_enter: f32,
+    /// Distance where the ray exits the box.
+    pub t_exit: f32,
+}
+
+/// Result of a ray-triangle test: hit distance plus barycentric coordinates,
+/// exactly the values the Ray-Triangle unit writes back for shading.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TriangleHit {
+    /// Hit distance along the ray.
+    pub t: f32,
+    /// Barycentric `u` (weight of `v1`).
+    pub u: f32,
+    /// Barycentric `v` (weight of `v2`).
+    pub v: f32,
+}
+
+/// Result of a ray-sphere test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SphereHit {
+    /// Nearest hit distance within the ray interval.
+    pub t: f32,
+    /// Outward surface normal at the hit point.
+    pub normal: Vec3,
+}
+
+/// Slab-method ray/AABB intersection over `[tmin, tmax]`.
+///
+/// Computes the per-axis plane distances (`tx0, tx1, ...` of Fig. 5) with the
+/// precomputed reciprocal direction and folds them with the min/max network
+/// the paper repurposes for Query-Key comparison. Returns `None` when the
+/// intervals do not overlap.
+///
+/// Rays parallel to a slab (zero direction component) follow IEEE-754
+/// infinity semantics, which handles the inside/outside cases correctly as
+/// long as the origin is not exactly on a slab plane.
+///
+/// # Examples
+///
+/// ```
+/// use tta_geometry::{Aabb, Ray, Vec3, intersect::ray_aabb};
+///
+/// let bbox = Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0));
+/// let ray = Ray::new(Vec3::new(0.0, 0.0, -3.0), Vec3::new(0.0, 0.0, 1.0));
+/// let hit = ray_aabb(&ray, &bbox, ray.tmin, ray.tmax).unwrap();
+/// assert!((hit.t_enter - 2.0).abs() < 1e-6);
+/// assert!((hit.t_exit - 4.0).abs() < 1e-6);
+/// ```
+#[inline]
+pub fn ray_aabb(ray: &Ray, bbox: &Aabb, tmin: f32, tmax: f32) -> Option<BoxHit> {
+    let inv = ray.inv_dir();
+    let t0 = (bbox.min - ray.origin) * inv;
+    let t1 = (bbox.max - ray.origin) * inv;
+    let tsmall = t0.min(t1);
+    let tbig = t0.max(t1);
+    // minmax / maxmin sequences of the Ray-Box unit (Fig. 9 of the paper).
+    let t_enter = tsmall.max_component().max(tmin);
+    let t_exit = tbig.min_component().min(tmax);
+    if t_enter <= t_exit {
+        Some(BoxHit { t_enter, t_exit })
+    } else {
+        None
+    }
+}
+
+/// Möller-Trumbore ray/triangle intersection.
+///
+/// Returns the hit distance and barycentric coordinates when the ray pierces
+/// the triangle within `[ray.tmin, ray.tmax]`; `None` otherwise (including
+/// rays parallel to the triangle plane within `epsilon`).
+///
+/// This is the algorithm of the paper's Fig. 5 (right): one cross product to
+/// form `pvec`, a determinant test, two more cross/dot sequences for `u` and
+/// `v`, and a reciprocal to normalise — matching the 17-μop Ray-Tri program
+/// of Table III.
+///
+/// # Examples
+///
+/// ```
+/// use tta_geometry::{Ray, Triangle, Vec3, intersect::ray_triangle};
+///
+/// let tri = Triangle::new(
+///     Vec3::new(-1.0, -1.0, 0.0),
+///     Vec3::new(1.0, -1.0, 0.0),
+///     Vec3::new(0.0, 1.0, 0.0),
+/// );
+/// let ray = Ray::new(Vec3::new(0.0, 0.0, -1.0), Vec3::new(0.0, 0.0, 1.0));
+/// let hit = ray_triangle(&ray, &tri).unwrap();
+/// assert!((hit.t - 1.0).abs() < 1e-6);
+/// ```
+pub fn ray_triangle(ray: &Ray, tri: &Triangle) -> Option<TriangleHit> {
+    const EPSILON: f32 = 1e-8;
+    let edge1 = tri.v1 - tri.v0;
+    let edge2 = tri.v2 - tri.v0;
+    let pvec = ray.dir.cross(edge2);
+    let det = edge1.dot(pvec);
+    if det.abs() < EPSILON {
+        return None;
+    }
+    let inv_det = 1.0 / det;
+    let tvec = ray.origin - tri.v0;
+    let u = tvec.dot(pvec) * inv_det;
+    if !(0.0..=1.0).contains(&u) {
+        return None;
+    }
+    let qvec = tvec.cross(edge1);
+    let v = ray.dir.dot(qvec) * inv_det;
+    if v < 0.0 || u + v > 1.0 {
+        return None;
+    }
+    let t = edge2.dot(qvec) * inv_det;
+    if ray.accepts(t) {
+        Some(TriangleHit { t, u, v })
+    } else {
+        None
+    }
+}
+
+/// Ray/sphere intersection returning the nearest accepted hit.
+///
+/// Solves the quadratic `|o + t d - c|² = r²`; needs a square root, which is
+/// why the paper's TTA cannot run it while TTA+ (with its SQRT unit) can.
+///
+/// # Examples
+///
+/// ```
+/// use tta_geometry::{Ray, Sphere, Vec3, intersect::ray_sphere};
+///
+/// let s = Sphere::new(Vec3::new(0.0, 0.0, 5.0), 1.0);
+/// let ray = Ray::new(Vec3::ZERO, Vec3::new(0.0, 0.0, 1.0));
+/// let hit = ray_sphere(&ray, &s).unwrap();
+/// assert!((hit.t - 4.0).abs() < 1e-5);
+/// ```
+pub fn ray_sphere(ray: &Ray, sphere: &Sphere) -> Option<SphereHit> {
+    let oc = ray.origin - sphere.center;
+    let a = ray.dir.dot(ray.dir);
+    let half_b = oc.dot(ray.dir);
+    let c = oc.dot(oc) - sphere.radius * sphere.radius;
+    let disc = half_b * half_b - a * c;
+    if disc < 0.0 {
+        return None;
+    }
+    let sqrt_d = disc.sqrt();
+    // Try the nearer root first, then the farther (ray origin inside sphere).
+    for t in [(-half_b - sqrt_d) / a, (-half_b + sqrt_d) / a] {
+        if ray.accepts(t) {
+            let normal = sphere.normal_at(ray.at(t));
+            return Some(SphereHit { t, normal });
+        }
+    }
+    None
+}
+
+/// Point-to-Point distance test: `|b - a|² < threshold²` (Algorithm 2).
+///
+/// The comparison is strict, matching the pseudocode. Squaring both sides
+/// keeps the test within the subtract/dot/multiply/compare units that
+/// already exist in the Ray-Triangle pipeline — the observation that lets
+/// TTA support it with a datapath rearrangement only.
+///
+/// # Examples
+///
+/// ```
+/// use tta_geometry::{Vec3, intersect::point_distance_within};
+///
+/// assert!(point_distance_within(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0), 1.5));
+/// assert!(!point_distance_within(Vec3::ZERO, Vec3::new(2.0, 0.0, 0.0), 1.5));
+/// ```
+#[inline]
+pub fn point_distance_within(a: Vec3, b: Vec3, threshold: f32) -> bool {
+    let dis = b - a;
+    let dis2 = dis.dot(dis);
+    dis2 < threshold * threshold
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ray_misses_box_beside_it() {
+        let bbox = Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0));
+        let ray = Ray::new(Vec3::new(5.0, 0.0, -3.0), Vec3::new(0.0, 0.0, 1.0));
+        assert!(ray_aabb(&ray, &bbox, ray.tmin, ray.tmax).is_none());
+    }
+
+    #[test]
+    fn ray_origin_inside_box() {
+        let bbox = Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0));
+        let ray = Ray::new(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0));
+        let hit = ray_aabb(&ray, &bbox, ray.tmin, ray.tmax).unwrap();
+        assert!((hit.t_exit - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn box_behind_ray_is_missed() {
+        let bbox = Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0));
+        let ray = Ray::new(Vec3::new(0.0, 0.0, 5.0), Vec3::new(0.0, 0.0, 1.0));
+        assert!(ray_aabb(&ray, &bbox, ray.tmin, ray.tmax).is_none());
+    }
+
+    #[test]
+    fn axis_parallel_ray_inside_slab() {
+        let bbox = Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0));
+        // Direction has zero x/y components, origin inside those slabs.
+        let ray = Ray::new(Vec3::new(0.5, -0.5, -4.0), Vec3::new(0.0, 0.0, 1.0));
+        assert!(ray_aabb(&ray, &bbox, ray.tmin, ray.tmax).is_some());
+        // Same direction but origin outside the x slab: must miss.
+        let ray = Ray::new(Vec3::new(2.0, -0.5, -4.0), Vec3::new(0.0, 0.0, 1.0));
+        assert!(ray_aabb(&ray, &bbox, ray.tmin, ray.tmax).is_none());
+    }
+
+    #[test]
+    fn shrunk_interval_culls_box() {
+        let bbox = Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0));
+        let ray = Ray::new(Vec3::new(0.0, 0.0, -10.0), Vec3::new(0.0, 0.0, 1.0));
+        // Box spans t in [9, 11]; a tmax of 5 culls it (closest-hit pruning).
+        assert!(ray_aabb(&ray, &bbox, ray.tmin, 5.0).is_none());
+        assert!(ray_aabb(&ray, &bbox, ray.tmin, 20.0).is_some());
+    }
+
+    #[test]
+    fn triangle_hit_barycentrics_are_consistent() {
+        let tri = Triangle::new(
+            Vec3::new(0.0, 0.0, 2.0),
+            Vec3::new(2.0, 0.0, 2.0),
+            Vec3::new(0.0, 2.0, 2.0),
+        );
+        let target = Vec3::new(0.5, 0.5, 2.0);
+        let ray = Ray::new(Vec3::ZERO, target);
+        let hit = ray_triangle(&ray, &tri).unwrap();
+        let p = tri.at_barycentric(hit.u, hit.v);
+        assert!((p - target).length() < 1e-5);
+        assert!((ray.at(hit.t) - target).length() < 1e-5);
+    }
+
+    #[test]
+    fn triangle_edge_cases() {
+        let tri = Triangle::new(
+            Vec3::new(-1.0, -1.0, 1.0),
+            Vec3::new(1.0, -1.0, 1.0),
+            Vec3::new(0.0, 1.0, 1.0),
+        );
+        // Ray parallel to the triangle plane: no hit.
+        let parallel = Ray::new(Vec3::new(0.0, 0.0, 0.0), Vec3::new(1.0, 0.0, 0.0));
+        assert!(ray_triangle(&parallel, &tri).is_none());
+        // Ray pointing away: no hit.
+        let away = Ray::new(Vec3::ZERO, Vec3::new(0.0, 0.0, -1.0));
+        assert!(ray_triangle(&away, &tri).is_none());
+        // Ray through a point outside the triangle but in its plane bbox.
+        let outside = Ray::new(Vec3::new(0.9, 0.9, 0.0), Vec3::new(0.0, 0.0, 1.0));
+        assert!(ray_triangle(&outside, &tri).is_none());
+    }
+
+    #[test]
+    fn backface_still_hits() {
+        // Möller-Trumbore without culling reports back-facing hits too.
+        let tri = Triangle::new(
+            Vec3::new(-1.0, -1.0, 1.0),
+            Vec3::new(1.0, -1.0, 1.0),
+            Vec3::new(0.0, 1.0, 1.0),
+        );
+        let ray = Ray::new(Vec3::new(0.0, 0.0, 2.0), Vec3::new(0.0, 0.0, -1.0));
+        assert!(ray_triangle(&ray, &tri).is_some());
+    }
+
+    #[test]
+    fn sphere_hit_from_outside_and_inside() {
+        let s = Sphere::new(Vec3::ZERO, 1.0);
+        let outside = Ray::new(Vec3::new(0.0, 0.0, -3.0), Vec3::new(0.0, 0.0, 1.0));
+        let hit = ray_sphere(&outside, &s).unwrap();
+        assert!((hit.t - 2.0).abs() < 1e-5);
+        assert!((hit.normal - Vec3::new(0.0, 0.0, -1.0)).length() < 1e-5);
+
+        let inside = Ray::new(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0));
+        let hit = ray_sphere(&inside, &s).unwrap();
+        assert!((hit.t - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn sphere_miss_and_behind() {
+        let s = Sphere::new(Vec3::new(0.0, 5.0, 0.0), 1.0);
+        let miss = Ray::new(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0));
+        assert!(ray_sphere(&miss, &s).is_none());
+        let behind = Ray::new(Vec3::ZERO, Vec3::new(0.0, -1.0, 0.0));
+        assert!(ray_sphere(&behind, &s).is_none());
+    }
+
+    #[test]
+    fn point_distance_strictness() {
+        let a = Vec3::ZERO;
+        let b = Vec3::new(1.0, 0.0, 0.0);
+        assert!(!point_distance_within(a, b, 1.0), "comparison is strict");
+        assert!(point_distance_within(a, b, 1.0 + 1e-5));
+    }
+}

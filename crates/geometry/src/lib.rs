@@ -1,0 +1,40 @@
+//! Vector math and ray/primitive intersection kernels.
+//!
+//! This crate provides the geometric foundation shared by every other crate
+//! in the TTA reproduction: [`Vec3`] arithmetic, axis-aligned bounding boxes
+//! ([`Aabb`]), [`Ray`]s, and the three intersection tests that the paper's
+//! accelerators implement in hardware:
+//!
+//! * **Ray-Box** ([`intersect::ray_aabb`]) — the slab test used at every
+//!   internal BVH node (Fig. 5 left of the paper).
+//! * **Ray-Triangle** ([`intersect::ray_triangle`]) — the Möller-Trumbore
+//!   algorithm producing barycentric coordinates (Fig. 5 right).
+//! * **Ray-Sphere** ([`intersect::ray_sphere`]) — the procedural-geometry
+//!   test used by the WKND_PT and RTNN workloads.
+//!
+//! All math is `f32`, matching the FP32 operation units of Table I.
+//!
+//! # Examples
+//!
+//! ```
+//! use tta_geometry::{Aabb, Ray, Vec3, intersect};
+//!
+//! let bbox = Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0));
+//! let ray = Ray::new(Vec3::new(0.0, 0.0, -5.0), Vec3::new(0.0, 0.0, 1.0));
+//! let hit = intersect::ray_aabb(&ray, &bbox, 0.0, f32::INFINITY);
+//! assert!(hit.is_some());
+//! ```
+
+pub mod aabb;
+pub mod intersect;
+pub mod ray;
+pub mod sphere;
+pub mod triangle;
+pub mod vec3;
+
+pub use aabb::Aabb;
+pub use intersect::{BoxHit, SphereHit, TriangleHit};
+pub use ray::Ray;
+pub use sphere::Sphere;
+pub use triangle::Triangle;
+pub use vec3::Vec3;

@@ -1,0 +1,103 @@
+//! Rays: origin + direction, with the `[tmin, tmax]` interval the paper's
+//! warp buffer stores per ray.
+
+use crate::vec3::Vec3;
+
+/// A ray `origin + t * direction` restricted to `t ∈ [tmin, tmax]`.
+///
+/// Matches the per-ray state the RTA warp buffer stores (origin, direction,
+/// tmin, tmax — the 32-byte "ray" payload of the paper's Fig. 11 layout).
+///
+/// # Examples
+///
+/// ```
+/// use tta_geometry::{Ray, Vec3};
+///
+/// let ray = Ray::new(Vec3::ZERO, Vec3::new(0.0, 0.0, 1.0));
+/// assert_eq!(ray.at(2.0), Vec3::new(0.0, 0.0, 2.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ray {
+    /// Ray origin.
+    pub origin: Vec3,
+    /// Ray direction; not required to be normalised.
+    pub dir: Vec3,
+    /// Minimum accepted hit distance.
+    pub tmin: f32,
+    /// Maximum accepted hit distance. Shrinks during closest-hit traversal.
+    pub tmax: f32,
+}
+
+impl Ray {
+    /// Creates a ray with the default interval `[1e-4, +inf)`.
+    ///
+    /// The small positive `tmin` is the conventional self-intersection
+    /// epsilon used by secondary rays.
+    #[inline]
+    pub fn new(origin: Vec3, dir: Vec3) -> Self {
+        Ray { origin, dir, tmin: 1e-4, tmax: f32::INFINITY }
+    }
+
+    /// Creates a ray with an explicit `[tmin, tmax]` interval.
+    #[inline]
+    pub fn with_interval(origin: Vec3, dir: Vec3, tmin: f32, tmax: f32) -> Self {
+        Ray { origin, dir, tmin, tmax }
+    }
+
+    /// The point at parameter `t`.
+    #[inline]
+    pub fn at(&self, t: f32) -> Vec3 {
+        self.origin + self.dir * t
+    }
+
+    /// Component-wise reciprocal of the direction, precomputed by traversal
+    /// loops so each slab test costs only multiplies (the three RCP μops of
+    /// the Table III Ray-Box program).
+    #[inline]
+    pub fn inv_dir(&self) -> Vec3 {
+        self.dir.recip()
+    }
+
+    /// `true` when `t` lies in the ray's accepted interval.
+    #[inline]
+    pub fn accepts(&self, t: f32) -> bool {
+        t >= self.tmin && t <= self.tmax
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_walks_along_direction() {
+        let r = Ray::new(Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 2.0, 0.0));
+        assert_eq!(r.at(0.0), Vec3::new(1.0, 0.0, 0.0));
+        assert_eq!(r.at(1.5), Vec3::new(1.0, 3.0, 0.0));
+    }
+
+    #[test]
+    fn default_interval() {
+        let r = Ray::new(Vec3::ZERO, Vec3::ONE);
+        assert!(r.tmin > 0.0);
+        assert_eq!(r.tmax, f32::INFINITY);
+        assert!(r.accepts(1.0));
+        assert!(!r.accepts(0.0));
+        assert!(!r.accepts(-1.0));
+    }
+
+    #[test]
+    fn inv_dir_matches_reciprocal() {
+        let r = Ray::new(Vec3::ZERO, Vec3::new(2.0, -4.0, 0.5));
+        assert_eq!(r.inv_dir(), Vec3::new(0.5, -0.25, 2.0));
+    }
+
+    #[test]
+    fn explicit_interval_respected() {
+        let r = Ray::with_interval(Vec3::ZERO, Vec3::ONE, 1.0, 2.0);
+        assert!(!r.accepts(0.5));
+        assert!(r.accepts(1.0));
+        assert!(r.accepts(2.0));
+        assert!(!r.accepts(2.5));
+    }
+}

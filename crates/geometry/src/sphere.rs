@@ -1,0 +1,88 @@
+//! Spheres, the procedural primitive of the WKND_PT and RTNN workloads.
+
+use crate::aabb::Aabb;
+use crate::vec3::Vec3;
+
+/// A sphere given by centre and radius.
+///
+/// Spheres are not natively supported by the baseline RTA and therefore
+/// require the programmable *intersection shader* path (or, with TTA+, a
+/// Ray-Sphere μop program — the *WKND_PT optimisation of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use tta_geometry::{Sphere, Vec3};
+///
+/// let s = Sphere::new(Vec3::ZERO, 2.0);
+/// assert!(s.contains(Vec3::new(1.0, 1.0, 1.0)));
+/// assert!(!s.contains(Vec3::splat(2.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sphere {
+    /// Centre point.
+    pub center: Vec3,
+    /// Radius. Must be non-negative.
+    pub radius: f32,
+}
+
+impl Sphere {
+    /// Creates a sphere.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `radius` is negative.
+    #[inline]
+    pub fn new(center: Vec3, radius: f32) -> Self {
+        debug_assert!(radius >= 0.0, "sphere radius must be non-negative");
+        Sphere { center, radius }
+    }
+
+    /// The sphere's bounding box.
+    #[inline]
+    pub fn aabb(&self) -> Aabb {
+        Aabb::new(self.center - Vec3::splat(self.radius), self.center + Vec3::splat(self.radius))
+    }
+
+    /// `true` when `point` lies inside or on the sphere. This is the
+    /// Point-to-Point distance test of Algorithm 2 with the sphere radius as
+    /// the threshold.
+    #[inline]
+    pub fn contains(&self, point: Vec3) -> bool {
+        self.center.distance_squared(point) <= self.radius * self.radius
+    }
+
+    /// Outward unit normal at a surface point.
+    #[inline]
+    pub fn normal_at(&self, point: Vec3) -> Vec3 {
+        (point - self.center).normalized()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aabb_bounds_sphere() {
+        let s = Sphere::new(Vec3::new(1.0, 2.0, 3.0), 0.5);
+        let b = s.aabb();
+        assert_eq!(b.min, Vec3::new(0.5, 1.5, 2.5));
+        assert_eq!(b.max, Vec3::new(1.5, 2.5, 3.5));
+    }
+
+    #[test]
+    fn contains_boundary() {
+        let s = Sphere::new(Vec3::ZERO, 1.0);
+        assert!(s.contains(Vec3::new(1.0, 0.0, 0.0)));
+        assert!(s.contains(Vec3::ZERO));
+        assert!(!s.contains(Vec3::new(1.0001, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn normal_is_unit_and_radial() {
+        let s = Sphere::new(Vec3::new(1.0, 0.0, 0.0), 2.0);
+        let n = s.normal_at(Vec3::new(3.0, 0.0, 0.0));
+        assert!((n - Vec3::new(1.0, 0.0, 0.0)).length() < 1e-6);
+    }
+}

@@ -1,0 +1,110 @@
+//! Triangles, the leaf primitive of ray-tracing BVHs.
+
+use crate::aabb::Aabb;
+use crate::vec3::Vec3;
+
+/// A triangle given by three vertices (36 bytes — the leaf payload consumed
+/// by the paper's Ray-Triangle unit).
+///
+/// # Examples
+///
+/// ```
+/// use tta_geometry::{Triangle, Vec3};
+///
+/// let tri = Triangle::new(
+///     Vec3::new(0.0, 0.0, 0.0),
+///     Vec3::new(1.0, 0.0, 0.0),
+///     Vec3::new(0.0, 1.0, 0.0),
+/// );
+/// assert_eq!(tri.area(), 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Triangle {
+    /// First vertex.
+    pub v0: Vec3,
+    /// Second vertex.
+    pub v1: Vec3,
+    /// Third vertex.
+    pub v2: Vec3,
+}
+
+impl Triangle {
+    /// Creates a triangle from its vertices.
+    #[inline]
+    pub const fn new(v0: Vec3, v1: Vec3, v2: Vec3) -> Self {
+        Triangle { v0, v1, v2 }
+    }
+
+    /// The triangle's bounding box.
+    #[inline]
+    pub fn aabb(&self) -> Aabb {
+        Aabb::from_points([self.v0, self.v1, self.v2])
+    }
+
+    /// Centroid (used by BVH builders for binning).
+    #[inline]
+    pub fn centroid(&self) -> Vec3 {
+        (self.v0 + self.v1 + self.v2) / 3.0
+    }
+
+    /// Geometric (unnormalised) normal `(v1 - v0) × (v2 - v0)`.
+    #[inline]
+    pub fn normal(&self) -> Vec3 {
+        (self.v1 - self.v0).cross(self.v2 - self.v0)
+    }
+
+    /// Surface area.
+    #[inline]
+    pub fn area(&self) -> f32 {
+        self.normal().length() * 0.5
+    }
+
+    /// The point at barycentric coordinates `(u, v)` — the pair the
+    /// Ray-Triangle unit returns to the shading cores.
+    #[inline]
+    pub fn at_barycentric(&self, u: f32, v: f32) -> Vec3 {
+        self.v0 * (1.0 - u - v) + self.v1 * u + self.v2 * v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_tri() -> Triangle {
+        Triangle::new(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 1.0, 0.0))
+    }
+
+    #[test]
+    fn aabb_covers_vertices() {
+        let t = unit_tri();
+        let b = t.aabb();
+        assert!(b.contains(t.v0));
+        assert!(b.contains(t.v1));
+        assert!(b.contains(t.v2));
+        assert_eq!(b.min, Vec3::ZERO);
+        assert_eq!(b.max, Vec3::new(1.0, 1.0, 0.0));
+    }
+
+    #[test]
+    fn normal_and_area() {
+        let t = unit_tri();
+        assert_eq!(t.normal(), Vec3::new(0.0, 0.0, 1.0));
+        assert_eq!(t.area(), 0.5);
+    }
+
+    #[test]
+    fn centroid_is_average() {
+        let t = unit_tri();
+        let c = t.centroid();
+        assert!((c - Vec3::new(1.0 / 3.0, 1.0 / 3.0, 0.0)).length() < 1e-6);
+    }
+
+    #[test]
+    fn barycentric_corners() {
+        let t = unit_tri();
+        assert_eq!(t.at_barycentric(0.0, 0.0), t.v0);
+        assert_eq!(t.at_barycentric(1.0, 0.0), t.v1);
+        assert_eq!(t.at_barycentric(0.0, 1.0), t.v2);
+    }
+}

@@ -1,0 +1,390 @@
+//! Three-component `f32` vector, the `vec3` of the paper's OP units.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Index, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A three-component single-precision vector.
+///
+/// Matches the FP32 `vec3` operand format of the TTA+ operation units
+/// (Table I of the paper): 12 bytes, component-wise arithmetic, plus the dot
+/// and cross products implemented by the DOT and CROSS units.
+///
+/// # Examples
+///
+/// ```
+/// use tta_geometry::Vec3;
+///
+/// let a = Vec3::new(1.0, 2.0, 3.0);
+/// let b = Vec3::new(4.0, 5.0, 6.0);
+/// assert_eq!(a.dot(b), 32.0);
+/// assert_eq!(a.cross(b), Vec3::new(-3.0, 6.0, -3.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    /// X component.
+    pub x: f32,
+    /// Y component.
+    pub y: f32,
+    /// Z component.
+    pub z: f32,
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    /// The all-ones vector.
+    pub const ONE: Vec3 = Vec3 { x: 1.0, y: 1.0, z: 1.0 };
+
+    /// Creates a vector from its components.
+    #[inline]
+    pub const fn new(x: f32, y: f32, z: f32) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Creates a vector with all components equal to `v`.
+    #[inline]
+    pub const fn splat(v: f32) -> Self {
+        Vec3 { x: v, y: v, z: v }
+    }
+
+    /// Dot product (the DOT OP unit, 5 cycles in Table I).
+    #[inline]
+    pub fn dot(self, rhs: Vec3) -> f32 {
+        self.x * rhs.x + self.y * rhs.y + self.z * rhs.z
+    }
+
+    /// Cross product (the CROSS OP unit, 5 cycles in Table I).
+    #[inline]
+    pub fn cross(self, rhs: Vec3) -> Vec3 {
+        Vec3 {
+            x: self.y * rhs.z - self.z * rhs.y,
+            y: self.z * rhs.x - self.x * rhs.z,
+            z: self.x * rhs.y - self.y * rhs.x,
+        }
+    }
+
+    /// Squared Euclidean length. Cheaper than [`Vec3::length`]; the paper's
+    /// Point-to-Point distance test (Algorithm 2) compares squared values to
+    /// avoid the square root on TTA.
+    #[inline]
+    pub fn length_squared(self) -> f32 {
+        self.dot(self)
+    }
+
+    /// Euclidean length (requires the SQRT unit on TTA+).
+    #[inline]
+    pub fn length(self) -> f32 {
+        self.length_squared().sqrt()
+    }
+
+    /// Squared distance to another point.
+    #[inline]
+    pub fn distance_squared(self, rhs: Vec3) -> f32 {
+        (rhs - self).length_squared()
+    }
+
+    /// Returns the vector scaled to unit length.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the length is zero or non-finite.
+    #[inline]
+    pub fn normalized(self) -> Vec3 {
+        let len = self.length();
+        debug_assert!(len.is_finite() && len > 0.0, "cannot normalize {self:?}");
+        self / len
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x.min(rhs.x), self.y.min(rhs.y), self.z.min(rhs.z))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x.max(rhs.x), self.y.max(rhs.y), self.z.max(rhs.z))
+    }
+
+    /// Largest component.
+    #[inline]
+    pub fn max_component(self) -> f32 {
+        self.x.max(self.y).max(self.z)
+    }
+
+    /// Smallest component.
+    #[inline]
+    pub fn min_component(self) -> f32 {
+        self.x.min(self.y).min(self.z)
+    }
+
+    /// Component-wise reciprocal (the RCP OP unit applied per component).
+    /// Zero components produce infinities, matching IEEE-754 and the
+    /// behaviour relied on by the slab ray-box test.
+    #[inline]
+    pub fn recip(self) -> Vec3 {
+        Vec3::new(1.0 / self.x, 1.0 / self.y, 1.0 / self.z)
+    }
+
+    /// Component-wise absolute value.
+    #[inline]
+    pub fn abs(self) -> Vec3 {
+        Vec3::new(self.x.abs(), self.y.abs(), self.z.abs())
+    }
+
+    /// Index of the largest component (0 = x, 1 = y, 2 = z); ties resolve to
+    /// the lower index. Used by BVH builders to pick a split axis.
+    #[inline]
+    pub fn max_axis(self) -> usize {
+        if self.x >= self.y && self.x >= self.z {
+            0
+        } else if self.y >= self.z {
+            1
+        } else {
+            2
+        }
+    }
+
+    /// `true` when every component is finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+
+    /// Components as an array `[x, y, z]`.
+    #[inline]
+    pub fn to_array(self) -> [f32; 3] {
+        [self.x, self.y, self.z]
+    }
+
+    /// Linear interpolation: `self` at `t == 0`, `rhs` at `t == 1`.
+    #[inline]
+    pub fn lerp(self, rhs: Vec3, t: f32) -> Vec3 {
+        self + (rhs - self) * t
+    }
+}
+
+impl From<[f32; 3]> for Vec3 {
+    #[inline]
+    fn from(a: [f32; 3]) -> Self {
+        Vec3::new(a[0], a[1], a[2])
+    }
+}
+
+impl From<Vec3> for [f32; 3] {
+    #[inline]
+    fn from(v: Vec3) -> Self {
+        v.to_array()
+    }
+}
+
+impl Index<usize> for Vec3 {
+    type Output = f32;
+
+    /// # Panics
+    ///
+    /// Panics if `index > 2`.
+    #[inline]
+    fn index(&self, index: usize) -> &f32 {
+        match index {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("Vec3 index out of range: {index}"),
+        }
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec3) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vec3) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f32> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, rhs: f32) -> Vec3 {
+        Vec3::new(self.x * rhs, self.y * rhs, self.z * rhs)
+    }
+}
+
+impl Mul<Vec3> for f32 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, rhs: Vec3) -> Vec3 {
+        rhs * self
+    }
+}
+
+/// Component-wise (Hadamard) product.
+impl Mul<Vec3> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x * rhs.x, self.y * rhs.y, self.z * rhs.z)
+    }
+}
+
+impl MulAssign<f32> for Vec3 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: f32) {
+        *self = *self * rhs;
+    }
+}
+
+impl Div<f32> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn div(self, rhs: f32) -> Vec3 {
+        Vec3::new(self.x / rhs, self.y / rhs, self.z / rhs)
+    }
+}
+
+impl DivAssign<f32> for Vec3 {
+    #[inline]
+    fn div_assign(&mut self, rhs: f32) {
+        *self = *self / rhs;
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl fmt::Display for Vec3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.x, self.y, self.z)
+    }
+}
+
+impl std::iter::Sum for Vec3 {
+    fn sum<I: Iterator<Item = Vec3>>(iter: I) -> Vec3 {
+        iter.fold(Vec3::ZERO, Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let v = Vec3::new(1.0, -2.0, 3.5);
+        assert_eq!(v + Vec3::ZERO, v);
+        assert_eq!(v - v, Vec3::ZERO);
+        assert_eq!(v * 1.0, v);
+        assert_eq!(v / 1.0, v);
+        assert_eq!(-(-v), v);
+        assert_eq!(v * Vec3::ONE, v);
+    }
+
+    #[test]
+    fn dot_and_cross() {
+        let x = Vec3::new(1.0, 0.0, 0.0);
+        let y = Vec3::new(0.0, 1.0, 0.0);
+        let z = Vec3::new(0.0, 0.0, 1.0);
+        assert_eq!(x.cross(y), z);
+        assert_eq!(y.cross(z), x);
+        assert_eq!(z.cross(x), y);
+        assert_eq!(x.dot(y), 0.0);
+        // Cross product is perpendicular to both inputs.
+        let a = Vec3::new(1.5, -0.5, 2.0);
+        let b = Vec3::new(-3.0, 1.0, 0.25);
+        let c = a.cross(b);
+        assert!(c.dot(a).abs() < 1e-5);
+        assert!(c.dot(b).abs() < 1e-5);
+    }
+
+    #[test]
+    fn length_and_normalize() {
+        let v = Vec3::new(3.0, 4.0, 0.0);
+        assert_eq!(v.length_squared(), 25.0);
+        assert_eq!(v.length(), 5.0);
+        let n = v.normalized();
+        assert!((n.length() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn min_max_components() {
+        let a = Vec3::new(1.0, 5.0, -2.0);
+        let b = Vec3::new(2.0, -1.0, 0.0);
+        assert_eq!(a.min(b), Vec3::new(1.0, -1.0, -2.0));
+        assert_eq!(a.max(b), Vec3::new(2.0, 5.0, 0.0));
+        assert_eq!(a.max_component(), 5.0);
+        assert_eq!(a.min_component(), -2.0);
+        assert_eq!(a.max_axis(), 1);
+        assert_eq!(Vec3::new(3.0, 1.0, 2.0).max_axis(), 0);
+        assert_eq!(Vec3::new(0.0, 1.0, 2.0).max_axis(), 2);
+    }
+
+    #[test]
+    fn recip_produces_infinities_for_zero() {
+        let v = Vec3::new(0.0, 2.0, -4.0).recip();
+        assert!(v.x.is_infinite());
+        assert_eq!(v.y, 0.5);
+        assert_eq!(v.z, -0.25);
+    }
+
+    #[test]
+    fn indexing_and_conversion() {
+        let v = Vec3::new(7.0, 8.0, 9.0);
+        assert_eq!(v[0], 7.0);
+        assert_eq!(v[1], 8.0);
+        assert_eq!(v[2], 9.0);
+        assert_eq!(Vec3::from([7.0, 8.0, 9.0]), v);
+        let arr: [f32; 3] = v.into();
+        assert_eq!(arr, [7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn indexing_out_of_range_panics() {
+        let _ = Vec3::ZERO[3];
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Vec3::new(0.0, 0.0, 0.0);
+        let b = Vec3::new(2.0, 4.0, 6.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Vec3::new(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn sum_of_vectors() {
+        let vs = [Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 2.0, 0.0), Vec3::new(0.0, 0.0, 3.0)];
+        let s: Vec3 = vs.into_iter().sum();
+        assert_eq!(s, Vec3::new(1.0, 2.0, 3.0));
+    }
+}

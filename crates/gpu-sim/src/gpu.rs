@@ -1,0 +1,387 @@
+//! Top-level GPU: SMs + memory system + per-SM accelerators, with an
+//! event-skipping simulation loop.
+
+use crate::accel::{AccelCtx, Accelerator};
+use crate::config::GpuConfig;
+use crate::kernel::Kernel;
+use crate::mem::{GlobalMemory, MemorySystem};
+use crate::simt::Warp;
+use crate::sm::Sm;
+use crate::stats::SimStats;
+
+/// A simulated GPU.
+///
+/// # Examples
+///
+/// ```
+/// use tta_gpu_sim::{Gpu, GpuConfig};
+/// use tta_gpu_sim::kernel::KernelBuilder;
+/// use tta_gpu_sim::isa::SReg;
+///
+/// // Kernel: out[tid] = tid * 2
+/// let mut k = KernelBuilder::new("double");
+/// let tid = k.reg();
+/// let out = k.reg();
+/// let v = k.reg();
+/// k.mov_sreg(tid, SReg::ThreadId);
+/// k.mov_sreg(out, SReg::Param(0));
+/// let t = k.reg();
+/// k.shl_imm(t, tid, 2);
+/// k.iadd(out, out, t);
+/// k.shl_imm(v, tid, 1);
+/// k.store(v, out, 0);
+/// k.exit();
+/// let kernel = k.build();
+///
+/// let mut gpu = Gpu::new(GpuConfig::small_test(), 1 << 20);
+/// let buf = gpu.gmem.alloc(4 * 64, 64);
+/// let stats = gpu.launch(&kernel, 64, &[buf as u32]);
+/// assert!(stats.cycles > 0);
+/// assert_eq!(gpu.gmem.read_u32(buf + 4 * 10), 20);
+/// ```
+#[derive(Debug)]
+pub struct Gpu {
+    /// Configuration (Table II by default).
+    pub cfg: GpuConfig,
+    /// Functional global memory.
+    pub gmem: GlobalMemory,
+    mem: MemorySystem,
+    sms: Vec<Sm>,
+    accels: Vec<Option<Box<dyn Accelerator>>>,
+    clock: u64,
+    /// Fig. 17 "Perf. RT" limit: accelerator node fetches are free.
+    pub perfect_node_fetch: bool,
+}
+
+impl Gpu {
+    /// Creates a GPU with `mem_capacity` bytes of global memory.
+    pub fn new(cfg: GpuConfig, mem_capacity: usize) -> Self {
+        cfg.validate();
+        let mem = MemorySystem::new(&cfg.mem, cfg.num_sms, cfg.perfect_memory);
+        let sms = (0..cfg.num_sms).map(|i| Sm::new(i, cfg.max_warps_per_sm)).collect();
+        let accels = (0..cfg.num_sms).map(|_| None).collect();
+        Gpu {
+            cfg,
+            gmem: GlobalMemory::new(mem_capacity),
+            mem,
+            sms,
+            accels,
+            clock: 0,
+            perfect_node_fetch: false,
+        }
+    }
+
+    /// Attaches one accelerator per SM, built by `make(sm_id)`.
+    pub fn attach_accelerators<F>(&mut self, make: F)
+    where
+        F: Fn(usize) -> Box<dyn Accelerator>,
+    {
+        for i in 0..self.cfg.num_sms {
+            self.accels[i] = Some(make(i));
+        }
+    }
+
+    /// Current global cycle (persists across launches so cache and DRAM
+    /// state stay warm, like consecutive kernels on a real GPU).
+    pub fn now(&self) -> u64 {
+        self.clock
+    }
+
+    /// Runs `kernel` over `num_threads` threads and returns the statistics
+    /// of this launch (cycles, instruction mix, cache/DRAM deltas).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel executes `Traverse` with no accelerator
+    /// attached, or if simulation exceeds an internal watchdog limit
+    /// (indicating a hung kernel).
+    pub fn launch(&mut self, kernel: &Kernel, num_threads: usize, params: &[u32]) -> SimStats {
+        assert!(num_threads > 0, "launch requires at least one thread");
+        let start_cycle = self.clock;
+        let l1_before = self.mem.l1_stats;
+        let l2_before = self.mem.l2_stats;
+        let dram_before = self.mem.dram_stats.clone();
+
+        let mut stats = SimStats { dram_channels: self.cfg.mem.dram_channels, ..Default::default() };
+
+        // Pending warp descriptors: (base_tid, lanes).
+        let warp_width = self.cfg.warp_width;
+        let num_warps = num_threads.div_ceil(warp_width);
+        let mut next_warp = 0usize;
+        let warp_desc = |i: usize| {
+            let base = i * warp_width;
+            let lanes = warp_width.min(num_threads - base);
+            (base as u32, lanes)
+        };
+
+        let watchdog = 4_000_000_000u64;
+        loop {
+            let now = self.clock;
+            // 1. Fill free warp slots round-robin.
+            if next_warp < num_warps {
+                'fill: for sm in &mut self.sms {
+                    while sm.has_free_slot() {
+                        if next_warp >= num_warps {
+                            break 'fill;
+                        }
+                        let (base_tid, lanes) = warp_desc(next_warp);
+                        sm.add_warp(Warp::new(next_warp, base_tid, lanes, kernel.num_regs, 0));
+                        next_warp += 1;
+                    }
+                }
+            }
+
+            // 2. Tick accelerators (process events due now, deliver wakeups).
+            for i in 0..self.sms.len() {
+                if let Some(acc) = self.accels[i].as_mut() {
+                    let mut ctx = AccelCtx {
+                        mem: &mut self.mem,
+                        gmem: &mut self.gmem,
+                        sm_id: i,
+                        perfect_node_fetch: self.perfect_node_fetch,
+                    };
+                    acc.tick(now, &mut ctx);
+                    for token in acc.drain_completed() {
+                        self.sms[i].complete_traversal(token as usize);
+                    }
+                }
+            }
+
+            // 3. One issue slot per SM.
+            let mut any_issued = false;
+            let mut min_wake: Option<u64> = None;
+            for i in 0..self.sms.len() {
+                let accel = self.accels[i].as_mut();
+                let r = self.sms[i].tick(
+                    now,
+                    &self.cfg,
+                    kernel,
+                    params,
+                    &mut self.mem,
+                    &mut self.gmem,
+                    accel,
+                    &mut stats,
+                );
+                any_issued |= r.issued;
+                if let Some(w) = r.next_wake {
+                    min_wake = Some(min_wake.map_or(w, |m: u64| m.min(w)));
+                }
+            }
+            if any_issued {
+                stats.sm_active_cycles += 1;
+            }
+
+            // 4. Termination check.
+            let sms_idle = self.sms.iter().all(Sm::is_idle);
+            let accels_idle = self
+                .accels
+                .iter()
+                .all(|a| a.as_deref().is_none_or(|a| !a.busy()));
+            if sms_idle && accels_idle && next_warp >= num_warps {
+                break;
+            }
+
+            // 5. Advance time, skipping dead cycles.
+            let mut next = now + 1;
+            if !any_issued {
+                let mut target: Option<u64> = min_wake;
+                for acc in self.accels.iter().filter_map(|a| a.as_deref()) {
+                    if let Some(e) = acc.next_event(now) {
+                        target = Some(target.map_or(e, |t: u64| t.min(e)));
+                    }
+                }
+                if let Some(t) = target {
+                    next = next.max(t.max(now + 1));
+                }
+            }
+            self.clock = next;
+            assert!(
+                self.clock - start_cycle < watchdog,
+                "kernel `{}` exceeded the simulation watchdog",
+                kernel.name
+            );
+        }
+
+        stats.cycles = self.clock - start_cycle;
+        stats.l1.hits = self.mem.l1_stats.hits - l1_before.hits;
+        stats.l1.misses = self.mem.l1_stats.misses - l1_before.misses;
+        stats.l1.mshr_merges = self.mem.l1_stats.mshr_merges - l1_before.mshr_merges;
+        stats.l2.hits = self.mem.l2_stats.hits - l2_before.hits;
+        stats.l2.misses = self.mem.l2_stats.misses - l2_before.misses;
+        stats.l2.mshr_merges = self.mem.l2_stats.mshr_merges - l2_before.mshr_merges;
+        stats.dram.bytes_read = self.mem.dram_stats.bytes_read - dram_before.bytes_read;
+        stats.dram.bytes_written = self.mem.dram_stats.bytes_written - dram_before.bytes_written;
+        stats.dram.bytes_requested =
+            self.mem.dram_stats.bytes_requested - dram_before.bytes_requested;
+        stats.dram.busy_channel_cycles =
+            self.mem.dram_stats.busy_channel_cycles - dram_before.busy_channel_cycles;
+        stats.dram.transactions = self.mem.dram_stats.transactions - dram_before.transactions;
+        stats
+    }
+
+    /// Read-only access to an attached accelerator (for harvesting its
+    /// statistics after a run).
+    pub fn accelerator(&self, sm: usize) -> Option<&dyn Accelerator> {
+        self.accels[sm].as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accel::NullAccelerator;
+    use crate::isa::{Cmp, SReg};
+    use crate::kernel::KernelBuilder;
+
+    /// out[tid] = in[tid] + 1
+    fn incr_kernel() -> Kernel {
+        let mut k = KernelBuilder::new("incr");
+        let tid = k.reg();
+        let inp = k.reg();
+        let out = k.reg();
+        let v = k.reg();
+        let one = k.reg();
+        let off = k.reg();
+        k.mov_sreg(tid, SReg::ThreadId);
+        k.mov_sreg(inp, SReg::Param(0));
+        k.mov_sreg(out, SReg::Param(1));
+        k.shl_imm(off, tid, 2);
+        k.iadd(inp, inp, off);
+        k.iadd(out, out, off);
+        k.load(v, inp, 0);
+        k.mov_imm(one, 1);
+        k.iadd(v, v, one);
+        k.store(v, out, 0);
+        k.exit();
+        k.build()
+    }
+
+    #[test]
+    fn functional_correctness_and_stats() {
+        let mut gpu = Gpu::new(GpuConfig::small_test(), 1 << 20);
+        let n = 1000usize;
+        let inp = gpu.gmem.alloc(4 * n, 64);
+        let out = gpu.gmem.alloc(4 * n, 64);
+        for i in 0..n {
+            gpu.gmem.write_u32(inp + 4 * i as u64, i as u32 * 3);
+        }
+        let stats = gpu.launch(&incr_kernel(), n, &[inp as u32, out as u32]);
+        for i in 0..n {
+            assert_eq!(gpu.gmem.read_u32(out + 4 * i as u64), i as u32 * 3 + 1);
+        }
+        assert!(stats.cycles > 0);
+        assert_eq!(stats.mix.memory, 2 * n as u64);
+        assert!(stats.simt_efficiency() > 0.9, "straight-line code should not diverge");
+        assert!(stats.l1.hits + stats.l1.misses > 0);
+    }
+
+    /// Kernel with data-dependent loop counts: thread i loops (i % 8) + 1
+    /// times, producing divergence.
+    fn divergent_kernel() -> Kernel {
+        let mut k = KernelBuilder::new("divergent");
+        let tid = k.reg();
+        let count = k.reg();
+        let acc = k.reg();
+        let cond = k.reg();
+        let zero = k.reg();
+        k.mov_sreg(tid, SReg::ThreadId);
+        k.and_imm(count, tid, 7);
+        k.iadd_imm(count, count, 1);
+        k.mov_imm(acc, 0);
+        k.mov_imm(zero, 0);
+        let mut l = k.begin_loop();
+        k.icmp(Cmp::Gt, cond, count, zero);
+        k.break_if_z(cond, &mut l);
+        k.iadd_imm(acc, acc, 5);
+        k.iadd_imm(count, count, u32::MAX); // -1
+        k.end_loop(l);
+        // Store acc to park the result.
+        let out = k.reg();
+        let off = k.reg();
+        k.mov_sreg(out, SReg::Param(0));
+        k.shl_imm(off, tid, 2);
+        k.iadd(out, out, off);
+        k.store(acc, out, 0);
+        k.exit();
+        k.build()
+    }
+
+    #[test]
+    fn divergence_lowers_simt_efficiency() {
+        let mut gpu = Gpu::new(GpuConfig::small_test(), 1 << 20);
+        let n = 256usize;
+        let out = gpu.gmem.alloc(4 * n, 64);
+        let stats = gpu.launch(&divergent_kernel(), n, &[out as u32]);
+        for i in 0..n {
+            let expect = ((i % 8) + 1) as u32 * 5;
+            assert_eq!(gpu.gmem.read_u32(out + 4 * i as u64), expect, "thread {i}");
+        }
+        let eff = stats.simt_efficiency();
+        assert!(eff < 0.95, "variable trip counts must diverge (eff = {eff})");
+        assert!(eff > 0.2, "efficiency implausibly low (eff = {eff})");
+    }
+
+    #[test]
+    fn traverse_offload_roundtrip() {
+        let mut k = KernelBuilder::new("offload");
+        let q = k.reg();
+        let root = k.reg();
+        k.mov_sreg(q, SReg::Param(0));
+        k.mov_sreg(root, SReg::Param(1));
+        k.traverse(q, root, 0);
+        k.exit();
+        let kernel = k.build();
+
+        let mut gpu = Gpu::new(GpuConfig::small_test(), 1 << 20);
+        gpu.attach_accelerators(|_| Box::new(NullAccelerator::new(50)));
+        let stats = gpu.launch(&kernel, 128, &[0, 0]);
+        assert_eq!(stats.traversals_offloaded, 128 / 32);
+        assert_eq!(stats.mix.traverse, 128);
+        assert!(stats.cycles >= 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "no accelerator")]
+    fn traverse_without_accelerator_panics() {
+        let mut k = KernelBuilder::new("offload");
+        let q = k.reg();
+        k.mov_sreg(q, SReg::Param(0));
+        k.traverse(q, q, 0);
+        k.exit();
+        let kernel = k.build();
+        let mut gpu = Gpu::new(GpuConfig::small_test(), 1 << 16);
+        let _ = gpu.launch(&kernel, 32, &[0]);
+    }
+
+    #[test]
+    fn perfect_memory_is_faster() {
+        let n = 4096usize;
+        let run = |perfect: bool| {
+            let mut cfg = GpuConfig::small_test();
+            cfg.perfect_memory = perfect;
+            let mut gpu = Gpu::new(cfg, 1 << 22);
+            let inp = gpu.gmem.alloc(4 * n, 64);
+            let out = gpu.gmem.alloc(4 * n, 64);
+            gpu.launch(&incr_kernel(), n, &[inp as u32, out as u32]).cycles
+        };
+        let real = run(false);
+        let perfect = run(true);
+        assert!(
+            perfect < real,
+            "perfect memory ({perfect}) must beat real memory ({real})"
+        );
+    }
+
+    #[test]
+    fn multiple_launches_accumulate_clock() {
+        let mut gpu = Gpu::new(GpuConfig::small_test(), 1 << 20);
+        let inp = gpu.gmem.alloc(4 * 64, 64);
+        let out = gpu.gmem.alloc(4 * 64, 64);
+        let s1 = gpu.launch(&incr_kernel(), 64, &[inp as u32, out as u32]);
+        let t1 = gpu.now();
+        let s2 = gpu.launch(&incr_kernel(), 64, &[inp as u32, out as u32]);
+        assert_eq!(gpu.now(), t1 + s2.cycles);
+        // Second run hits warm caches: no slower than the first.
+        assert!(s2.cycles <= s1.cycles);
+    }
+}

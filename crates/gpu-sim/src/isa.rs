@@ -1,0 +1,403 @@
+//! The mini-ISA executed by the simulated SIMT cores.
+//!
+//! The baseline ("CUDA") versions of every workload are written in this
+//! instruction set; the accelerated versions replace the whole traversal
+//! loop with a single [`Instr::Traverse`] — the paper's `traceRay` /
+//! `traverseTreeTTA` instruction.
+//!
+//! Registers are 32-bit and untyped: integer instructions interpret the bit
+//! pattern as `u32`/`i32`, floating-point instructions as `f32` (exactly how
+//! PTX treats its untyped registers). Comparison instructions write 0/1 into
+//! a general register; divergent branches test a register against zero and
+//! carry an explicit reconvergence PC computed by the
+//! [`crate::kernel::KernelBuilder`].
+
+/// A register index (per-thread, 32-bit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u8);
+
+impl std::fmt::Display for Reg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Special (read-only) registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SReg {
+    /// Global thread index.
+    ThreadId,
+    /// Lane index within the warp (0–31).
+    LaneId,
+    /// Warp index.
+    WarpId,
+    /// Kernel launch parameter `i` (32-bit).
+    Param(u8),
+}
+
+/// Comparison predicates for [`Instr::ICmp`] / [`Instr::FCmp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl Cmp {
+    /// Evaluates the predicate on ordered operands.
+    pub fn eval<T: PartialOrd>(self, a: T, b: T) -> bool {
+        match self {
+            Cmp::Eq => a == b,
+            Cmp::Ne => a != b,
+            Cmp::Lt => a < b,
+            Cmp::Le => a <= b,
+            Cmp::Gt => a > b,
+            Cmp::Ge => a >= b,
+        }
+    }
+}
+
+/// Binary integer ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IOp {
+    /// Wrapping add.
+    Add,
+    /// Wrapping subtract.
+    Sub,
+    /// Wrapping multiply.
+    Mul,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Logical shift left (by rhs & 31).
+    Shl,
+    /// Logical shift right (by rhs & 31).
+    Shr,
+    /// Unsigned minimum.
+    Min,
+    /// Unsigned maximum.
+    Max,
+}
+
+/// Binary floating-point ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (SFU latency).
+    Div,
+    /// Minimum (NaN-propagation-free, like hardware min).
+    Min,
+    /// Maximum.
+    Max,
+}
+
+/// Instruction category for the dynamic-instruction breakdown of Fig. 20.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstrClass {
+    /// Arithmetic / logic / conversion / move.
+    Alu,
+    /// Branches and jumps.
+    Control,
+    /// Loads and stores.
+    Memory,
+    /// The offloaded traversal instruction.
+    Traverse,
+}
+
+/// One machine instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Instr {
+    /// `rd = imm`.
+    MovImm {
+        /// Destination.
+        rd: Reg,
+        /// 32-bit immediate (bit pattern; use `f32::to_bits` for floats).
+        imm: u32,
+    },
+    /// `rd = sreg`.
+    MovSreg {
+        /// Destination.
+        rd: Reg,
+        /// Source special register.
+        sreg: SReg,
+    },
+    /// `rd = rs`.
+    Mov {
+        /// Destination.
+        rd: Reg,
+        /// Source.
+        rs: Reg,
+    },
+    /// `rd = op(rs1, rs2)` on integers.
+    IAlu {
+        /// Operation.
+        op: IOp,
+        /// Destination.
+        rd: Reg,
+        /// Left operand.
+        rs1: Reg,
+        /// Right operand.
+        rs2: Reg,
+    },
+    /// `rd = op(rs1, imm)` on integers.
+    IAluImm {
+        /// Operation.
+        op: IOp,
+        /// Destination.
+        rd: Reg,
+        /// Left operand.
+        rs1: Reg,
+        /// Immediate right operand.
+        imm: u32,
+    },
+    /// `rd = op(rs1, rs2)` on floats.
+    FAlu {
+        /// Operation.
+        op: FOp,
+        /// Destination.
+        rd: Reg,
+        /// Left operand.
+        rs1: Reg,
+        /// Right operand.
+        rs2: Reg,
+    },
+    /// `rd = sqrt(rs)` (SFU latency).
+    FSqrt {
+        /// Destination.
+        rd: Reg,
+        /// Operand.
+        rs: Reg,
+    },
+    /// `rd = (rs1 cmp rs2) ? 1 : 0` on signed integers.
+    ICmp {
+        /// Predicate.
+        cmp: Cmp,
+        /// Destination (receives 0 or 1).
+        rd: Reg,
+        /// Left operand.
+        rs1: Reg,
+        /// Right operand.
+        rs2: Reg,
+        /// Compare as unsigned when `true`.
+        unsigned: bool,
+    },
+    /// `rd = (rs1 cmp rs2) ? 1 : 0` on floats.
+    FCmp {
+        /// Predicate.
+        cmp: Cmp,
+        /// Destination (receives 0 or 1).
+        rd: Reg,
+        /// Left operand.
+        rs1: Reg,
+        /// Right operand.
+        rs2: Reg,
+    },
+    /// `rd = (f32) (i32) rs`.
+    ItoF {
+        /// Destination.
+        rd: Reg,
+        /// Operand.
+        rs: Reg,
+    },
+    /// `rd = (i32) (f32) rs` (round toward zero).
+    FtoI {
+        /// Destination.
+        rd: Reg,
+        /// Operand.
+        rs: Reg,
+    },
+    /// `rd = mem[rs_addr + offset]` (32-bit).
+    Load {
+        /// Destination.
+        rd: Reg,
+        /// Base address register (byte address).
+        rs_addr: Reg,
+        /// Constant byte offset.
+        offset: i32,
+    },
+    /// `mem[rs_addr + offset] = rs_val` (32-bit).
+    Store {
+        /// Value register.
+        rs_val: Reg,
+        /// Base address register (byte address).
+        rs_addr: Reg,
+        /// Constant byte offset.
+        offset: i32,
+    },
+    /// Divergent branch: lanes whose `rs != 0` jump to `target`; the warp
+    /// reconverges at `reconv`.
+    BranchNz {
+        /// Condition register.
+        rs: Reg,
+        /// Branch target PC.
+        target: u32,
+        /// Reconvergence PC (immediate post-dominator).
+        reconv: u32,
+    },
+    /// Divergent branch on `rs == 0`.
+    BranchZ {
+        /// Condition register.
+        rs: Reg,
+        /// Branch target PC.
+        target: u32,
+        /// Reconvergence PC.
+        reconv: u32,
+    },
+    /// Unconditional (warp-uniform within the current stack entry) jump.
+    Jump {
+        /// Target PC.
+        target: u32,
+    },
+    /// Offload a tree traversal to the attached accelerator: per active
+    /// lane, `rs_query` holds the byte address of the lane's query record
+    /// and `rs_root` the root node byte address. `pipeline` selects which
+    /// configured traversal pipeline to run.
+    Traverse {
+        /// Query record address register.
+        rs_query: Reg,
+        /// Root node address register.
+        rs_root: Reg,
+        /// Traversal pipeline id.
+        pipeline: u16,
+    },
+    /// Terminates the warp's thread(s).
+    Exit,
+}
+
+impl Instr {
+    /// The Fig. 20 category of the instruction.
+    pub fn class(&self) -> InstrClass {
+        match self {
+            Instr::Load { .. } | Instr::Store { .. } => InstrClass::Memory,
+            Instr::BranchNz { .. } | Instr::BranchZ { .. } | Instr::Jump { .. } | Instr::Exit => {
+                InstrClass::Control
+            }
+            Instr::Traverse { .. } => InstrClass::Traverse,
+            _ => InstrClass::Alu,
+        }
+    }
+
+    /// `true` for floating-point arithmetic (counted as FLOPs for the
+    /// roofline of Fig. 6).
+    pub fn is_flop(&self) -> bool {
+        matches!(self, Instr::FAlu { .. } | Instr::FSqrt { .. } | Instr::FCmp { .. })
+    }
+
+    /// Destination register written by this instruction, if any.
+    pub fn dest(&self) -> Option<Reg> {
+        match *self {
+            Instr::MovImm { rd, .. }
+            | Instr::MovSreg { rd, .. }
+            | Instr::Mov { rd, .. }
+            | Instr::IAlu { rd, .. }
+            | Instr::IAluImm { rd, .. }
+            | Instr::FAlu { rd, .. }
+            | Instr::FSqrt { rd, .. }
+            | Instr::ICmp { rd, .. }
+            | Instr::FCmp { rd, .. }
+            | Instr::ItoF { rd, .. }
+            | Instr::FtoI { rd, .. }
+            | Instr::Load { rd, .. } => Some(rd),
+            _ => None,
+        }
+    }
+
+    /// Source registers packed into a fixed array (allocation-free hot
+    /// path for the issue logic): returns the buffer and the count.
+    pub fn sources_packed(&self) -> ([Reg; 2], usize) {
+        match *self {
+            Instr::Mov { rs, .. } | Instr::FSqrt { rs, .. } | Instr::ItoF { rs, .. }
+            | Instr::FtoI { rs, .. } => ([rs, rs], 1),
+            Instr::IAlu { rs1, rs2, .. }
+            | Instr::FAlu { rs1, rs2, .. }
+            | Instr::ICmp { rs1, rs2, .. }
+            | Instr::FCmp { rs1, rs2, .. } => ([rs1, rs2], 2),
+            Instr::IAluImm { rs1, .. } => ([rs1, rs1], 1),
+            Instr::Load { rs_addr, .. } => ([rs_addr, rs_addr], 1),
+            Instr::Store { rs_val, rs_addr, .. } => ([rs_val, rs_addr], 2),
+            Instr::BranchNz { rs, .. } | Instr::BranchZ { rs, .. } => ([rs, rs], 1),
+            Instr::Traverse { rs_query, rs_root, .. } => ([rs_query, rs_root], 2),
+            Instr::MovImm { .. } | Instr::MovSreg { .. } | Instr::Jump { .. } | Instr::Exit => {
+                ([Reg(0), Reg(0)], 0)
+            }
+        }
+    }
+
+    /// Source registers read by this instruction.
+    pub fn sources(&self) -> Vec<Reg> {
+        match *self {
+            Instr::Mov { rs, .. } | Instr::FSqrt { rs, .. } | Instr::ItoF { rs, .. }
+            | Instr::FtoI { rs, .. } => vec![rs],
+            Instr::IAlu { rs1, rs2, .. }
+            | Instr::FAlu { rs1, rs2, .. }
+            | Instr::ICmp { rs1, rs2, .. }
+            | Instr::FCmp { rs1, rs2, .. } => vec![rs1, rs2],
+            Instr::IAluImm { rs1, .. } => vec![rs1],
+            Instr::Load { rs_addr, .. } => vec![rs_addr],
+            Instr::Store { rs_val, rs_addr, .. } => vec![rs_val, rs_addr],
+            Instr::BranchNz { rs, .. } | Instr::BranchZ { rs, .. } => vec![rs],
+            Instr::Traverse { rs_query, rs_root, .. } => vec![rs_query, rs_root],
+            Instr::MovImm { .. } | Instr::MovSreg { .. } | Instr::Jump { .. } | Instr::Exit => {
+                Vec::new()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes() {
+        assert_eq!(Instr::Load { rd: Reg(0), rs_addr: Reg(1), offset: 0 }.class(), InstrClass::Memory);
+        assert_eq!(Instr::Jump { target: 3 }.class(), InstrClass::Control);
+        assert_eq!(
+            Instr::Traverse { rs_query: Reg(0), rs_root: Reg(1), pipeline: 0 }.class(),
+            InstrClass::Traverse
+        );
+        assert_eq!(Instr::MovImm { rd: Reg(0), imm: 0 }.class(), InstrClass::Alu);
+    }
+
+    #[test]
+    fn cmp_eval() {
+        assert!(Cmp::Lt.eval(1, 2));
+        assert!(!Cmp::Lt.eval(2, 2));
+        assert!(Cmp::Le.eval(2, 2));
+        assert!(Cmp::Ne.eval(1.0, 2.0));
+        assert!(Cmp::Ge.eval(2.0, 2.0));
+    }
+
+    #[test]
+    fn dest_and_sources() {
+        let i = Instr::IAlu { op: IOp::Add, rd: Reg(3), rs1: Reg(1), rs2: Reg(2) };
+        assert_eq!(i.dest(), Some(Reg(3)));
+        assert_eq!(i.sources(), vec![Reg(1), Reg(2)]);
+        let s = Instr::Store { rs_val: Reg(4), rs_addr: Reg(5), offset: 8 };
+        assert_eq!(s.dest(), None);
+        assert_eq!(s.sources(), vec![Reg(4), Reg(5)]);
+    }
+
+    #[test]
+    fn flop_flags() {
+        assert!(Instr::FAlu { op: FOp::Mul, rd: Reg(0), rs1: Reg(1), rs2: Reg(2) }.is_flop());
+        assert!(!Instr::IAlu { op: IOp::Mul, rd: Reg(0), rs1: Reg(1), rs2: Reg(2) }.is_flop());
+    }
+}

@@ -1,0 +1,537 @@
+//! Kernels and the structured-control-flow builder.
+//!
+//! Branch divergence on real GPUs reconverges at the immediate
+//! post-dominator of the branch. Rather than computing post-dominators from
+//! arbitrary control flow, kernels are written with a *structured* builder
+//! (`if`/`else`, `loop`/`break`) that knows every join point exactly, so the
+//! emitted [`Instr::BranchNz`]/[`Instr::BranchZ`] instructions carry correct
+//! reconvergence PCs by construction.
+
+use crate::isa::{Cmp, FOp, IOp, Instr, Reg, SReg};
+
+/// Sentinel for not-yet-patched branch targets.
+const PATCH: u32 = u32::MAX;
+
+/// A finished kernel: a program plus its register demand.
+///
+/// # Examples
+///
+/// ```
+/// use tta_gpu_sim::kernel::KernelBuilder;
+/// use tta_gpu_sim::isa::SReg;
+///
+/// let mut k = KernelBuilder::new("copy");
+/// let tid = k.reg();
+/// let addr = k.reg();
+/// let v = k.reg();
+/// k.mov_sreg(tid, SReg::ThreadId);
+/// k.mov_sreg(addr, SReg::Param(0));
+/// // addr += tid * 4
+/// let t = k.reg();
+/// k.shl_imm(t, tid, 2);
+/// k.iadd(addr, addr, t);
+/// k.load(v, addr, 0);
+/// k.store(v, addr, 4096);
+/// k.exit();
+/// let kernel = k.build();
+/// assert!(kernel.instrs.len() >= 6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    /// Kernel name (for reports).
+    pub name: String,
+    /// The program.
+    pub instrs: Vec<Instr>,
+    /// Number of registers used per thread.
+    pub num_regs: usize,
+}
+
+/// Token for an open `if` block. Must be closed with
+/// [`KernelBuilder::end_if`].
+#[derive(Debug)]
+#[must_use = "an open if-block must be closed with end_if"]
+pub struct IfToken {
+    branch_pc: usize,
+    else_jump_pc: Option<usize>,
+}
+
+/// Token for an open loop. Must be closed with [`KernelBuilder::end_loop`].
+#[derive(Debug)]
+#[must_use = "an open loop must be closed with end_loop"]
+pub struct LoopToken {
+    start_pc: usize,
+    break_pcs: Vec<usize>,
+}
+
+/// Incremental builder for [`Kernel`]s with structured control flow.
+#[derive(Debug)]
+pub struct KernelBuilder {
+    name: String,
+    instrs: Vec<Instr>,
+    next_reg: u8,
+}
+
+impl KernelBuilder {
+    /// Starts a new kernel.
+    pub fn new(name: impl Into<String>) -> Self {
+        KernelBuilder { name: name.into(), instrs: Vec::new(), next_reg: 0 }
+    }
+
+    /// Allocates a fresh register.
+    ///
+    /// # Panics
+    ///
+    /// Panics after 128 registers (the per-thread register file size).
+    pub fn reg(&mut self) -> Reg {
+        assert!(self.next_reg < 128, "out of registers");
+        let r = Reg(self.next_reg);
+        self.next_reg += 1;
+        r
+    }
+
+    /// Current PC (index of the next emitted instruction).
+    pub fn pc(&self) -> u32 {
+        self.instrs.len() as u32
+    }
+
+    /// Emits a raw instruction (escape hatch; prefer the typed helpers).
+    pub fn emit(&mut self, instr: Instr) {
+        self.instrs.push(instr);
+    }
+
+    // ---- moves & constants -------------------------------------------------
+
+    /// `rd = imm` (raw bit pattern).
+    pub fn mov_imm(&mut self, rd: Reg, imm: u32) {
+        self.emit(Instr::MovImm { rd, imm });
+    }
+
+    /// `rd = imm` (float).
+    pub fn mov_imm_f32(&mut self, rd: Reg, imm: f32) {
+        self.emit(Instr::MovImm { rd, imm: imm.to_bits() });
+    }
+
+    /// `rd = sreg`.
+    pub fn mov_sreg(&mut self, rd: Reg, sreg: SReg) {
+        self.emit(Instr::MovSreg { rd, sreg });
+    }
+
+    /// `rd = rs`.
+    pub fn mov(&mut self, rd: Reg, rs: Reg) {
+        self.emit(Instr::Mov { rd, rs });
+    }
+
+    // ---- integer ALU -------------------------------------------------------
+
+    /// `rd = rs1 + rs2` (wrapping).
+    pub fn iadd(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::IAlu { op: IOp::Add, rd, rs1, rs2 });
+    }
+
+    /// `rd = rs1 + imm`.
+    pub fn iadd_imm(&mut self, rd: Reg, rs1: Reg, imm: u32) {
+        self.emit(Instr::IAluImm { op: IOp::Add, rd, rs1, imm });
+    }
+
+    /// `rd = rs1 - rs2`.
+    pub fn isub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::IAlu { op: IOp::Sub, rd, rs1, rs2 });
+    }
+
+    /// `rd = rs1 * rs2`.
+    pub fn imul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::IAlu { op: IOp::Mul, rd, rs1, rs2 });
+    }
+
+    /// `rd = rs1 * imm`.
+    pub fn imul_imm(&mut self, rd: Reg, rs1: Reg, imm: u32) {
+        self.emit(Instr::IAluImm { op: IOp::Mul, rd, rs1, imm });
+    }
+
+    /// `rd = rs1 & imm`.
+    pub fn and_imm(&mut self, rd: Reg, rs1: Reg, imm: u32) {
+        self.emit(Instr::IAluImm { op: IOp::And, rd, rs1, imm });
+    }
+
+    /// `rd = rs1 & rs2`.
+    pub fn and(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::IAlu { op: IOp::And, rd, rs1, rs2 });
+    }
+
+    /// `rd = rs1 | rs2`.
+    pub fn or(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::IAlu { op: IOp::Or, rd, rs1, rs2 });
+    }
+
+    /// `rd = rs1 << imm`.
+    pub fn shl_imm(&mut self, rd: Reg, rs1: Reg, imm: u32) {
+        self.emit(Instr::IAluImm { op: IOp::Shl, rd, rs1, imm });
+    }
+
+    /// `rd = rs1 >> imm` (logical).
+    pub fn shr_imm(&mut self, rd: Reg, rs1: Reg, imm: u32) {
+        self.emit(Instr::IAluImm { op: IOp::Shr, rd, rs1, imm });
+    }
+
+    // ---- float ALU ---------------------------------------------------------
+
+    /// `rd = rs1 + rs2` (f32).
+    pub fn fadd(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::FAlu { op: FOp::Add, rd, rs1, rs2 });
+    }
+
+    /// `rd = rs1 - rs2` (f32).
+    pub fn fsub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::FAlu { op: FOp::Sub, rd, rs1, rs2 });
+    }
+
+    /// `rd = rs1 * rs2` (f32).
+    pub fn fmul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::FAlu { op: FOp::Mul, rd, rs1, rs2 });
+    }
+
+    /// `rd = rs1 / rs2` (f32, SFU latency).
+    pub fn fdiv(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::FAlu { op: FOp::Div, rd, rs1, rs2 });
+    }
+
+    /// `rd = min(rs1, rs2)` (f32).
+    pub fn fmin(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::FAlu { op: FOp::Min, rd, rs1, rs2 });
+    }
+
+    /// `rd = max(rs1, rs2)` (f32).
+    pub fn fmax(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::FAlu { op: FOp::Max, rd, rs1, rs2 });
+    }
+
+    /// `rd = sqrt(rs)` (f32, SFU latency).
+    pub fn fsqrt(&mut self, rd: Reg, rs: Reg) {
+        self.emit(Instr::FSqrt { rd, rs });
+    }
+
+    /// `rd = (f32) rs`.
+    pub fn itof(&mut self, rd: Reg, rs: Reg) {
+        self.emit(Instr::ItoF { rd, rs });
+    }
+
+    /// `rd = (i32) rs`.
+    pub fn ftoi(&mut self, rd: Reg, rs: Reg) {
+        self.emit(Instr::FtoI { rd, rs });
+    }
+
+    // ---- comparisons -------------------------------------------------------
+
+    /// `rd = (rs1 cmp rs2)` on signed integers.
+    pub fn icmp(&mut self, cmp: Cmp, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::ICmp { cmp, rd, rs1, rs2, unsigned: false });
+    }
+
+    /// `rd = (rs1 cmp rs2)` on unsigned integers.
+    pub fn ucmp(&mut self, cmp: Cmp, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::ICmp { cmp, rd, rs1, rs2, unsigned: true });
+    }
+
+    /// `rd = (rs1 cmp rs2)` on floats.
+    pub fn fcmp(&mut self, cmp: Cmp, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::FCmp { cmp, rd, rs1, rs2 });
+    }
+
+    // ---- memory ------------------------------------------------------------
+
+    /// `rd = mem[rs_addr + offset]`.
+    pub fn load(&mut self, rd: Reg, rs_addr: Reg, offset: i32) {
+        self.emit(Instr::Load { rd, rs_addr, offset });
+    }
+
+    /// `mem[rs_addr + offset] = rs_val`.
+    pub fn store(&mut self, rs_val: Reg, rs_addr: Reg, offset: i32) {
+        self.emit(Instr::Store { rs_val, rs_addr, offset });
+    }
+
+    // ---- accelerator offload ----------------------------------------------
+
+    /// Offloads a traversal (the `traverseTreeTTA` call).
+    pub fn traverse(&mut self, rs_query: Reg, rs_root: Reg, pipeline: u16) {
+        self.emit(Instr::Traverse { rs_query, rs_root, pipeline });
+    }
+
+    /// Warp exit.
+    pub fn exit(&mut self) {
+        self.emit(Instr::Exit);
+    }
+
+    // ---- structured control flow -------------------------------------------
+
+    /// Opens an `if (cond != 0) { ... }` block.
+    pub fn begin_if_nz(&mut self, cond: Reg) -> IfToken {
+        // Lanes failing the condition branch forward past the block.
+        let branch_pc = self.instrs.len();
+        self.emit(Instr::BranchZ { rs: cond, target: PATCH, reconv: PATCH });
+        IfToken { branch_pc, else_jump_pc: None }
+    }
+
+    /// Opens an `if (cond == 0) { ... }` block.
+    pub fn begin_if_z(&mut self, cond: Reg) -> IfToken {
+        let branch_pc = self.instrs.len();
+        self.emit(Instr::BranchNz { rs: cond, target: PATCH, reconv: PATCH });
+        IfToken { branch_pc, else_jump_pc: None }
+    }
+
+    /// Switches an open `if` block to its `else` part.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the token already has an `else`.
+    pub fn begin_else(&mut self, token: &mut IfToken) {
+        assert!(token.else_jump_pc.is_none(), "if-block already has an else");
+        // Then-lanes jump over the else part; they still reconverge at end.
+        let jump_pc = self.instrs.len();
+        self.emit(Instr::Jump { target: PATCH });
+        let else_start = self.pc();
+        self.patch_branch_target(token.branch_pc, else_start);
+        token.else_jump_pc = Some(jump_pc);
+    }
+
+    /// Closes an `if`(/`else`) block: patches the join point.
+    pub fn end_if(&mut self, token: IfToken) {
+        let end = self.pc();
+        if let Some(jp) = token.else_jump_pc {
+            // Branch target was already patched to the else start.
+            if let Instr::Jump { target } = &mut self.instrs[jp] {
+                *target = end;
+            } else {
+                unreachable!("else jump slot must hold a Jump");
+            }
+        } else {
+            self.patch_branch_target(token.branch_pc, end);
+        }
+        self.patch_branch_reconv(token.branch_pc, end);
+    }
+
+    /// Opens a loop; the body starts immediately.
+    pub fn begin_loop(&mut self) -> LoopToken {
+        LoopToken { start_pc: self.instrs.len(), break_pcs: Vec::new() }
+    }
+
+    /// Breaks out of the loop for lanes where `cond == 0`.
+    pub fn break_if_z(&mut self, cond: Reg, token: &mut LoopToken) {
+        token.break_pcs.push(self.instrs.len());
+        self.emit(Instr::BranchZ { rs: cond, target: PATCH, reconv: PATCH });
+    }
+
+    /// Breaks out of the loop for lanes where `cond != 0`.
+    pub fn break_if_nz(&mut self, cond: Reg, token: &mut LoopToken) {
+        token.break_pcs.push(self.instrs.len());
+        self.emit(Instr::BranchNz { rs: cond, target: PATCH, reconv: PATCH });
+    }
+
+    /// Closes the loop: emits the back-jump and patches every break to the
+    /// instruction after it (the loop's reconvergence point).
+    pub fn end_loop(&mut self, token: LoopToken) {
+        self.emit(Instr::Jump { target: token.start_pc as u32 });
+        let end = self.pc();
+        for pc in token.break_pcs {
+            self.patch_branch_target(pc, end);
+            self.patch_branch_reconv(pc, end);
+        }
+    }
+
+    fn patch_branch_target(&mut self, pc: usize, value: u32) {
+        match &mut self.instrs[pc] {
+            Instr::BranchNz { target, .. } | Instr::BranchZ { target, .. } => *target = value,
+            other => unreachable!("patch target on non-branch {other:?}"),
+        }
+    }
+
+    fn patch_branch_reconv(&mut self, pc: usize, value: u32) {
+        match &mut self.instrs[pc] {
+            Instr::BranchNz { reconv, .. } | Instr::BranchZ { reconv, .. } => *reconv = value,
+            other => unreachable!("patch reconv on non-branch {other:?}"),
+        }
+    }
+
+    /// Finishes the kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a branch was left unpatched (an unclosed `if`/loop), if a
+    /// target is out of range, or if the program does not end in `Exit`.
+    pub fn build(self) -> Kernel {
+        let len = self.instrs.len() as u32;
+        assert!(len > 0, "empty kernel");
+        for (pc, instr) in self.instrs.iter().enumerate() {
+            match *instr {
+                Instr::BranchNz { target, reconv, .. } | Instr::BranchZ { target, reconv, .. } => {
+                    assert!(target != PATCH && target <= len, "unpatched branch at pc {pc}");
+                    assert!(reconv != PATCH && reconv <= len, "unpatched reconv at pc {pc}");
+                }
+                Instr::Jump { target } => {
+                    assert!(target != PATCH && target <= len, "unpatched jump at pc {pc}");
+                }
+                _ => {}
+            }
+        }
+        assert!(
+            matches!(self.instrs.last(), Some(Instr::Exit)),
+            "kernel must end with Exit"
+        );
+        Kernel { name: self.name, instrs: self.instrs, num_regs: self.next_reg as usize }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn if_else_patching() {
+        let mut k = KernelBuilder::new("t");
+        let c = k.reg();
+        let r = k.reg();
+        k.mov_imm(c, 1);
+        let mut t = k.begin_if_nz(c);
+        k.mov_imm(r, 10);
+        k.begin_else(&mut t);
+        k.mov_imm(r, 20);
+        k.end_if(t);
+        k.exit();
+        let kernel = k.build();
+        // pc1 = BranchZ to else start (pc3), reconv at end (pc4... after else).
+        match kernel.instrs[1] {
+            Instr::BranchZ { target, reconv, .. } => {
+                assert_eq!(target, 4); // else body starts after then + jump
+                assert_eq!(reconv, 5); // join point
+            }
+            ref other => panic!("expected BranchZ, got {other:?}"),
+        }
+        match kernel.instrs[3] {
+            Instr::Jump { target } => assert_eq!(target, 5),
+            ref other => panic!("expected Jump, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn loop_break_patching() {
+        let mut k = KernelBuilder::new("t");
+        let c = k.reg();
+        k.mov_imm(c, 3);
+        let mut l = k.begin_loop();
+        k.iadd_imm(c, c, 0xffff_ffff); // c -= 1
+        k.break_if_z(c, &mut l);
+        k.end_loop(l);
+        k.exit();
+        let kernel = k.build();
+        match kernel.instrs[2] {
+            Instr::BranchZ { target, reconv, .. } => {
+                assert_eq!(target, 4);
+                assert_eq!(reconv, 4);
+            }
+            ref other => panic!("expected BranchZ, got {other:?}"),
+        }
+        match kernel.instrs[3] {
+            Instr::Jump { target } => assert_eq!(target, 1),
+            ref other => panic!("expected Jump, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "end with Exit")]
+    fn missing_exit_panics() {
+        let mut k = KernelBuilder::new("t");
+        let r = k.reg();
+        k.mov_imm(r, 0);
+        let _ = k.build();
+    }
+
+    #[test]
+    fn register_allocation_is_sequential() {
+        let mut k = KernelBuilder::new("t");
+        assert_eq!(k.reg(), Reg(0));
+        assert_eq!(k.reg(), Reg(1));
+        k.exit();
+        assert_eq!(k.build().num_regs, 2);
+    }
+}
+
+impl Kernel {
+    /// Disassembles the program into one line per instruction — the
+    /// debugging view of a kernel (PCs match branch targets).
+    pub fn disassemble(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "; kernel `{}` ({} regs)", self.name, self.num_regs);
+        for (pc, i) in self.instrs.iter().enumerate() {
+            let _ = writeln!(out, "{pc:>4}: {}", format_instr(i));
+        }
+        out
+    }
+}
+
+fn format_instr(i: &Instr) -> String {
+    match *i {
+        Instr::MovImm { rd, imm } => format!("mov   {rd}, #{imm:#x}"),
+        Instr::MovSreg { rd, sreg } => format!("mov   {rd}, {sreg:?}"),
+        Instr::Mov { rd, rs } => format!("mov   {rd}, {rs}"),
+        Instr::IAlu { op, rd, rs1, rs2 } => {
+            format!("{:<5} {rd}, {rs1}, {rs2}", format!("i{op:?}").to_lowercase())
+        }
+        Instr::IAluImm { op, rd, rs1, imm } => {
+            format!("{:<5} {rd}, {rs1}, #{imm:#x}", format!("i{op:?}").to_lowercase())
+        }
+        Instr::FAlu { op, rd, rs1, rs2 } => {
+            format!("{:<5} {rd}, {rs1}, {rs2}", format!("f{op:?}").to_lowercase())
+        }
+        Instr::FSqrt { rd, rs } => format!("fsqrt {rd}, {rs}"),
+        Instr::ICmp { cmp, rd, rs1, rs2, unsigned } => format!(
+            "{}cmp.{:<2} {rd}, {rs1}, {rs2}",
+            if unsigned { "u" } else { "i" },
+            format!("{cmp:?}").to_lowercase()
+        ),
+        Instr::FCmp { cmp, rd, rs1, rs2 } => {
+            format!("fcmp.{:<2} {rd}, {rs1}, {rs2}", format!("{cmp:?}").to_lowercase())
+        }
+        Instr::ItoF { rd, rs } => format!("itof  {rd}, {rs}"),
+        Instr::FtoI { rd, rs } => format!("ftoi  {rd}, {rs}"),
+        Instr::Load { rd, rs_addr, offset } => format!("ld    {rd}, [{rs_addr}{offset:+}]"),
+        Instr::Store { rs_val, rs_addr, offset } => format!("st    [{rs_addr}{offset:+}], {rs_val}"),
+        Instr::BranchNz { rs, target, reconv } => {
+            format!("bnz   {rs}, ->{target} (join {reconv})")
+        }
+        Instr::BranchZ { rs, target, reconv } => format!("bz    {rs}, ->{target} (join {reconv})"),
+        Instr::Jump { target } => format!("jmp   ->{target}"),
+        Instr::Traverse { rs_query, rs_root, pipeline } => {
+            format!("traverse {rs_query}, {rs_root}, pipe{pipeline}")
+        }
+        Instr::Exit => "exit".to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod disasm_tests {
+    use super::*;
+    use crate::isa::SReg;
+
+    #[test]
+    fn disassembly_lists_every_instruction_with_pc() {
+        let mut k = KernelBuilder::new("demo");
+        let a = k.reg();
+        let b = k.reg();
+        k.mov_sreg(a, SReg::ThreadId);
+        k.iadd_imm(b, a, 4);
+        let t = k.begin_if_nz(b);
+        k.load(a, b, 8);
+        k.end_if(t);
+        k.store(a, b, -4);
+        k.exit();
+        let kernel = k.build();
+        let text = kernel.disassemble();
+        assert!(text.contains("kernel `demo`"));
+        assert_eq!(text.lines().count(), kernel.instrs.len() + 1);
+        assert!(text.contains("traverse") == false);
+        assert!(text.contains("bz    r1"));
+        assert!(text.contains("ld    r0, [r1+8]"));
+        assert!(text.contains("st    [r1-4], r0"));
+        assert!(text.contains("exit"));
+    }
+}

@@ -1,0 +1,224 @@
+//! Warp state: per-thread registers, the SIMT reconvergence stack, and the
+//! scoreboard.
+//!
+//! Divergence follows the classic PDOM stack scheme: executing a divergent
+//! branch turns the current entry into a reconvergence entry (its PC becomes
+//! the branch's reconvergence PC) and pushes one entry per outcome; whenever
+//! the top entry's PC reaches its reconvergence PC it pops, implicitly
+//! merging lanes back together. SIMT efficiency reported by the simulator is
+//! the average fraction of active lanes across issued instructions.
+
+/// Maximum architectural registers per thread. (Generous: register-heavy
+/// kernels like the SIMT ray tracer use ~70; occupancy/register trade-offs
+/// are outside this model.)
+pub const MAX_REGS: usize = 128;
+
+/// One SIMT stack entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StackEntry {
+    /// Next PC for the lanes in this entry.
+    pub pc: u32,
+    /// Reconvergence PC: when `pc == rpc`, the entry pops.
+    pub rpc: u32,
+    /// Active-lane mask.
+    pub mask: u32,
+}
+
+/// Scheduling state of a warp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WarpState {
+    /// Can issue (subject to the scoreboard).
+    Ready,
+    /// Waiting for the accelerator to finish a [`crate::isa::Instr::Traverse`].
+    WaitAccel,
+    /// All lanes exited.
+    Finished,
+}
+
+/// A resident warp.
+#[derive(Debug, Clone)]
+pub struct Warp {
+    /// Global warp index.
+    pub id: usize,
+    /// Global thread id of lane 0.
+    pub base_tid: u32,
+    /// Lanes that exist (tail warps may be partial).
+    pub init_mask: u32,
+    /// SIMT stack; never empty while running.
+    pub stack: Vec<StackEntry>,
+    /// Per-lane registers, `regs[reg * 32 + lane]`.
+    regs: Vec<u32>,
+    /// Cycle at which each architectural register's value is available.
+    pub reg_ready: [u64; MAX_REGS],
+    /// Scheduling state.
+    pub state: WarpState,
+    /// Activation order stamp (for GTO age).
+    pub age: u64,
+}
+
+impl Warp {
+    /// Creates a warp starting at PC 0 with `lanes` live lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is 0 or exceeds 32.
+    pub fn new(id: usize, base_tid: u32, lanes: usize, num_regs: usize, age: u64) -> Self {
+        assert!((1..=32).contains(&lanes), "warp must have 1..=32 lanes");
+        let init_mask = if lanes == 32 { u32::MAX } else { (1u32 << lanes) - 1 };
+        Warp {
+            id,
+            base_tid,
+            init_mask,
+            stack: vec![StackEntry { pc: 0, rpc: u32::MAX, mask: init_mask }],
+            regs: vec![0; num_regs.max(1) * 32],
+            reg_ready: [0; MAX_REGS],
+            state: WarpState::Ready,
+            age,
+        }
+    }
+
+    /// Reads lane `lane`'s register `r`.
+    #[inline]
+    pub fn reg(&self, r: u8, lane: usize) -> u32 {
+        self.regs[r as usize * 32 + lane]
+    }
+
+    /// Writes lane `lane`'s register `r`.
+    #[inline]
+    pub fn set_reg(&mut self, r: u8, lane: usize, value: u32) {
+        self.regs[r as usize * 32 + lane] = value;
+    }
+
+    /// Pops reconverged entries; returns the current (pc, mask) or `None`
+    /// when the warp has fully finished.
+    pub fn reconverge(&mut self) -> Option<(u32, u32)> {
+        while let Some(top) = self.stack.last() {
+            if self.stack.len() > 1 && top.pc == top.rpc {
+                self.stack.pop();
+            } else {
+                break;
+            }
+        }
+        self.stack.last().map(|e| (e.pc, e.mask))
+    }
+
+    /// Advances the current entry to the next PC.
+    #[inline]
+    pub fn advance_pc(&mut self) {
+        self.stack.last_mut().expect("running warp has a stack").pc += 1;
+    }
+
+    /// Sets the current entry's PC (uniform jump).
+    #[inline]
+    pub fn set_pc(&mut self, pc: u32) {
+        self.stack.last_mut().expect("running warp has a stack").pc = pc;
+    }
+
+    /// Applies a potentially divergent branch: lanes in `taken` go to
+    /// `target`, the rest fall through; everyone reconverges at `reconv`.
+    pub fn branch(&mut self, taken: u32, target: u32, reconv: u32) {
+        let top = *self.stack.last().expect("running warp has a stack");
+        let fallthrough_pc = top.pc + 1;
+        let not_taken = top.mask & !taken;
+        if taken == 0 {
+            self.set_pc(fallthrough_pc);
+        } else if not_taken == 0 {
+            self.set_pc(target);
+        } else {
+            // Divergence: current entry becomes the reconvergence point.
+            let last = self.stack.last_mut().expect("running warp has a stack");
+            last.pc = reconv;
+            self.stack.push(StackEntry { pc: fallthrough_pc, rpc: reconv, mask: not_taken });
+            self.stack.push(StackEntry { pc: target, rpc: reconv, mask: taken });
+            debug_assert!(self.stack.len() <= 64, "SIMT stack runaway");
+        }
+    }
+
+    /// Earliest cycle at which all `regs` are available.
+    pub fn regs_ready_at(&self, regs: impl IntoIterator<Item = u8>) -> u64 {
+        regs.into_iter().map(|r| self.reg_ready[r as usize]).max().unwrap_or(0)
+    }
+
+    /// Marks the warp finished.
+    pub fn finish(&mut self) {
+        self.state = WarpState::Finished;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_branch_does_not_push() {
+        let mut w = Warp::new(0, 0, 32, 4, 0);
+        w.branch(u32::MAX, 10, 20);
+        assert_eq!(w.stack.len(), 1);
+        assert_eq!(w.reconverge(), Some((10, u32::MAX)));
+        w.branch(0, 5, 20);
+        assert_eq!(w.reconverge(), Some((11, u32::MAX)));
+    }
+
+    #[test]
+    fn divergent_branch_pushes_and_reconverges() {
+        let mut w = Warp::new(0, 0, 32, 4, 0);
+        // At pc 0, half the lanes take a branch to 10, reconverge at 20.
+        let taken = 0x0000_ffff;
+        w.branch(taken, 10, 20);
+        assert_eq!(w.stack.len(), 3);
+        // Taken path executes first.
+        assert_eq!(w.reconverge(), Some((10, taken)));
+        // Simulate the taken path reaching the reconvergence point.
+        w.set_pc(20);
+        assert_eq!(w.reconverge(), Some((1, !taken)));
+        // Fallthrough path reaches reconvergence too.
+        w.set_pc(20);
+        assert_eq!(w.reconverge(), Some((20, u32::MAX)));
+        assert_eq!(w.stack.len(), 1);
+    }
+
+    #[test]
+    fn nested_divergence() {
+        let mut w = Warp::new(0, 0, 32, 4, 0);
+        w.branch(0x0000_00ff, 10, 30); // outer
+        let (pc, mask) = w.reconverge().unwrap();
+        assert_eq!((pc, mask), (10, 0xff));
+        // Inner divergence within the taken path.
+        w.branch(0x0000_000f, 15, 25);
+        assert_eq!(w.reconverge(), Some((15, 0x0f)));
+        w.set_pc(25);
+        assert_eq!(w.reconverge(), Some((11, 0xf0)));
+        w.set_pc(25);
+        // Inner reconverged: back to the outer taken entry at pc 25.
+        assert_eq!(w.reconverge(), Some((25, 0xff)));
+        w.set_pc(30);
+        assert_eq!(w.reconverge(), Some((1, 0xffff_ff00)));
+        w.set_pc(30);
+        assert_eq!(w.reconverge(), Some((30, u32::MAX)));
+    }
+
+    #[test]
+    fn partial_warp_masks() {
+        let w = Warp::new(0, 0, 5, 4, 0);
+        assert_eq!(w.init_mask, 0b11111);
+    }
+
+    #[test]
+    fn register_file_isolated_per_lane() {
+        let mut w = Warp::new(0, 0, 32, 8, 0);
+        w.set_reg(3, 7, 99);
+        assert_eq!(w.reg(3, 7), 99);
+        assert_eq!(w.reg(3, 8), 0);
+        assert_eq!(w.reg(4, 7), 0);
+    }
+
+    #[test]
+    fn scoreboard_max() {
+        let mut w = Warp::new(0, 0, 32, 8, 0);
+        w.reg_ready[2] = 100;
+        w.reg_ready[5] = 50;
+        assert_eq!(w.regs_ready_at([2, 5]), 100);
+        assert_eq!(w.regs_ready_at([5]), 50);
+        assert_eq!(w.regs_ready_at([]), 0);
+    }
+}

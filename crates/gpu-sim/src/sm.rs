@@ -1,0 +1,438 @@
+//! Streaming multiprocessor: GTO issue, functional execution, coalescing.
+//!
+//! Each SM issues at most one warp-instruction per cycle, selected
+//! greedy-then-oldest (GTO, per Table II): the warp that issued last keeps
+//! issuing until it stalls, then the oldest ready warp takes over. Execution
+//! is functional-at-issue: register values update immediately while the
+//! scoreboard delays dependent issue until the producing unit's latency (or
+//! the memory system's computed completion time) has elapsed.
+
+use crate::accel::{Accelerator, LaneTraversal, TraversalRequest};
+use crate::config::GpuConfig;
+use crate::isa::{FOp, IOp, Instr, InstrClass, SReg};
+use crate::kernel::Kernel;
+use crate::mem::{GlobalMemory, MemorySystem};
+use crate::simt::{Warp, WarpState};
+use crate::stats::SimStats;
+
+/// Result of one SM tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IssueResult {
+    /// Whether an instruction was issued this cycle.
+    pub issued: bool,
+    /// Earliest cycle a currently-blocked warp becomes ready, if known.
+    pub next_wake: Option<u64>,
+}
+
+/// One streaming multiprocessor.
+#[derive(Debug)]
+pub struct Sm {
+    /// SM index.
+    pub id: usize,
+    slots: Vec<Option<Warp>>,
+    /// Occupied slots in ascending age order (maintained incrementally so
+    /// the per-cycle issue loop does not sort).
+    order: Vec<usize>,
+    last_issued: Option<usize>,
+    next_age: u64,
+}
+
+impl Sm {
+    /// Creates an SM with `max_warps` resident-warp slots.
+    pub fn new(id: usize, max_warps: usize) -> Self {
+        Sm {
+            id,
+            slots: (0..max_warps).map(|_| None).collect(),
+            order: Vec::with_capacity(max_warps),
+            last_issued: None,
+            next_age: 0,
+        }
+    }
+
+    /// `true` when a warp slot is free.
+    pub fn has_free_slot(&self) -> bool {
+        self.slots.iter().any(Option::is_none)
+    }
+
+    /// Number of resident warps.
+    pub fn resident_warps(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// `true` when no warps are resident.
+    pub fn is_idle(&self) -> bool {
+        self.slots.iter().all(Option::is_none)
+    }
+
+    /// Installs a warp into a free slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no slot is free.
+    pub fn add_warp(&mut self, mut warp: Warp) {
+        let slot = self
+            .slots
+            .iter()
+            .position(Option::is_none)
+            .expect("add_warp requires a free slot");
+        warp.age = self.next_age;
+        self.next_age += 1;
+        self.slots[slot] = Some(warp);
+        self.order.push(slot); // monotone ages keep `order` sorted
+    }
+
+    /// Wakes the warp in `slot` after its offloaded traversal completed.
+    pub fn complete_traversal(&mut self, slot: usize) {
+        let warp = self.slots[slot]
+            .as_mut()
+            .expect("traversal completion for an empty slot");
+        debug_assert_eq!(warp.state, WarpState::WaitAccel);
+        warp.state = WarpState::Ready;
+    }
+
+    /// Attempts to issue one instruction.
+    #[allow(clippy::too_many_arguments)]
+    pub fn tick(
+        &mut self,
+        now: u64,
+        cfg: &GpuConfig,
+        kernel: &Kernel,
+        params: &[u32],
+        mem: &mut MemorySystem,
+        gmem: &mut GlobalMemory,
+        mut accel: Option<&mut Box<dyn Accelerator>>,
+        stats: &mut SimStats,
+    ) -> IssueResult {
+        // GTO: greedy on the last-issued warp, then oldest-first. `order`
+        // is kept age-sorted incrementally; start iteration at the greedy
+        // candidate and wrap around.
+        let mut next_wake: Option<u64> = None;
+        let mut note_wake = |t: u64| {
+            next_wake = Some(next_wake.map_or(t, |w: u64| w.min(t)));
+        };
+
+        let n = self.order.len();
+        let start = self
+            .last_issued
+            .and_then(|last| self.order.iter().position(|&i| i == last))
+            .unwrap_or(0);
+        for k in 0..n {
+            let slot = self.order[(start + k) % n];
+            let warp = self.slots[slot].as_mut().expect("listed slot is occupied");
+            if warp.state != WarpState::Ready {
+                continue;
+            }
+            let Some((pc, mask)) = warp.reconverge() else {
+                continue;
+            };
+            let instr = kernel.instrs[pc as usize];
+
+            // Scoreboard: sources and destination must be available.
+            let (srcs, nsrc) = instr.sources_packed();
+            let mut ready_at = 0u64;
+            for r in &srcs[..nsrc] {
+                ready_at = ready_at.max(warp.reg_ready[r.0 as usize]);
+            }
+            if let Some(rd) = instr.dest() {
+                ready_at = ready_at.max(warp.reg_ready[rd.0 as usize]);
+            }
+            if ready_at > now {
+                note_wake(ready_at);
+                continue;
+            }
+
+            // Traverse is special: it can be rejected by a full warp buffer.
+            if let Instr::Traverse { rs_query, rs_root, pipeline } = instr {
+                let Some(acc) = accel.as_mut() else {
+                    panic!("kernel uses Traverse but no accelerator is attached");
+                };
+                let lanes: Vec<LaneTraversal> = (0..32)
+                    .filter(|l| mask & (1 << l) != 0)
+                    .map(|l| LaneTraversal {
+                        lane: l as u8,
+                        query_addr: warp.reg(rs_query.0, l) as u64,
+                        root_addr: warp.reg(rs_root.0, l) as u64,
+                    })
+                    .collect();
+                let req = TraversalRequest { token: slot as u64, pipeline, lanes };
+                match acc.try_submit(req, now) {
+                    Ok(()) => {
+                        warp.state = WarpState::WaitAccel;
+                        warp.advance_pc();
+                        let lanes = mask.count_ones() as u64;
+                        stats.warp_instrs += 1;
+                        stats.lane_instrs += lanes;
+                        stats.mix.add(InstrClass::Traverse, lanes);
+                        stats.traversals_offloaded += 1;
+                        self.last_issued = Some(slot);
+                        return IssueResult { issued: true, next_wake };
+                    }
+                    Err(_) => {
+                        // Warp buffer full: retry once the accelerator moves.
+                        note_wake(now + 1);
+                        continue;
+                    }
+                }
+            }
+
+            // Execute functionally and account timing.
+            let lanes = mask.count_ones() as u64;
+            stats.warp_instrs += 1;
+            stats.lane_instrs += lanes;
+            stats.mix.add(instr.class(), lanes);
+            if instr.is_flop() {
+                stats.flops += lanes;
+            }
+            Self::execute(warp, instr, mask, now, cfg, params, mem, gmem, self.id);
+            if matches!(instr, Instr::Exit) {
+                self.slots[slot] = None;
+                self.order.retain(|&i| i != slot);
+                self.last_issued = None;
+            } else {
+                self.last_issued = Some(slot);
+            }
+            return IssueResult { issued: true, next_wake };
+        }
+        IssueResult { issued: false, next_wake }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn execute(
+        warp: &mut Warp,
+        instr: Instr,
+        mask: u32,
+        now: u64,
+        cfg: &GpuConfig,
+        params: &[u32],
+        mem: &mut MemorySystem,
+        gmem: &mut GlobalMemory,
+        sm_id: usize,
+    ) {
+        let active = |l: usize| mask & (1 << l) != 0;
+        let alu_done = now + cfg.alu_latency;
+        let sfu_done = now + cfg.sfu_latency;
+        match instr {
+            Instr::MovImm { rd, imm } => {
+                for l in 0..32 {
+                    if active(l) {
+                        warp.set_reg(rd.0, l, imm);
+                    }
+                }
+                warp.reg_ready[rd.0 as usize] = alu_done;
+                warp.advance_pc();
+            }
+            Instr::MovSreg { rd, sreg } => {
+                for l in 0..32 {
+                    if active(l) {
+                        let v = match sreg {
+                            SReg::ThreadId => warp.base_tid + l as u32,
+                            SReg::LaneId => l as u32,
+                            SReg::WarpId => warp.id as u32,
+                            SReg::Param(i) => *params
+                                .get(i as usize)
+                                .unwrap_or_else(|| panic!("missing launch param {i}")),
+                        };
+                        warp.set_reg(rd.0, l, v);
+                    }
+                }
+                warp.reg_ready[rd.0 as usize] = alu_done;
+                warp.advance_pc();
+            }
+            Instr::Mov { rd, rs } => {
+                for l in 0..32 {
+                    if active(l) {
+                        let v = warp.reg(rs.0, l);
+                        warp.set_reg(rd.0, l, v);
+                    }
+                }
+                warp.reg_ready[rd.0 as usize] = alu_done;
+                warp.advance_pc();
+            }
+            Instr::IAlu { op, rd, rs1, rs2 } => {
+                for l in 0..32 {
+                    if active(l) {
+                        let a = warp.reg(rs1.0, l);
+                        let b = warp.reg(rs2.0, l);
+                        warp.set_reg(rd.0, l, Self::ialu(op, a, b));
+                    }
+                }
+                warp.reg_ready[rd.0 as usize] = alu_done;
+                warp.advance_pc();
+            }
+            Instr::IAluImm { op, rd, rs1, imm } => {
+                for l in 0..32 {
+                    if active(l) {
+                        let a = warp.reg(rs1.0, l);
+                        warp.set_reg(rd.0, l, Self::ialu(op, a, imm));
+                    }
+                }
+                warp.reg_ready[rd.0 as usize] = alu_done;
+                warp.advance_pc();
+            }
+            Instr::FAlu { op, rd, rs1, rs2 } => {
+                for l in 0..32 {
+                    if active(l) {
+                        let a = f32::from_bits(warp.reg(rs1.0, l));
+                        let b = f32::from_bits(warp.reg(rs2.0, l));
+                        let v = match op {
+                            FOp::Add => a + b,
+                            FOp::Sub => a - b,
+                            FOp::Mul => a * b,
+                            FOp::Div => a / b,
+                            FOp::Min => a.min(b),
+                            FOp::Max => a.max(b),
+                        };
+                        warp.set_reg(rd.0, l, v.to_bits());
+                    }
+                }
+                warp.reg_ready[rd.0 as usize] =
+                    if matches!(op, FOp::Div) { sfu_done } else { alu_done };
+                warp.advance_pc();
+            }
+            Instr::FSqrt { rd, rs } => {
+                for l in 0..32 {
+                    if active(l) {
+                        let v = f32::from_bits(warp.reg(rs.0, l)).sqrt();
+                        warp.set_reg(rd.0, l, v.to_bits());
+                    }
+                }
+                warp.reg_ready[rd.0 as usize] = sfu_done;
+                warp.advance_pc();
+            }
+            Instr::ICmp { cmp, rd, rs1, rs2, unsigned } => {
+                for l in 0..32 {
+                    if active(l) {
+                        let a = warp.reg(rs1.0, l);
+                        let b = warp.reg(rs2.0, l);
+                        let r = if unsigned {
+                            cmp.eval(a, b)
+                        } else {
+                            cmp.eval(a as i32, b as i32)
+                        };
+                        warp.set_reg(rd.0, l, r as u32);
+                    }
+                }
+                warp.reg_ready[rd.0 as usize] = alu_done;
+                warp.advance_pc();
+            }
+            Instr::FCmp { cmp, rd, rs1, rs2 } => {
+                for l in 0..32 {
+                    if active(l) {
+                        let a = f32::from_bits(warp.reg(rs1.0, l));
+                        let b = f32::from_bits(warp.reg(rs2.0, l));
+                        warp.set_reg(rd.0, l, cmp.eval(a, b) as u32);
+                    }
+                }
+                warp.reg_ready[rd.0 as usize] = alu_done;
+                warp.advance_pc();
+            }
+            Instr::ItoF { rd, rs } => {
+                for l in 0..32 {
+                    if active(l) {
+                        let v = warp.reg(rs.0, l) as i32 as f32;
+                        warp.set_reg(rd.0, l, v.to_bits());
+                    }
+                }
+                warp.reg_ready[rd.0 as usize] = alu_done;
+                warp.advance_pc();
+            }
+            Instr::FtoI { rd, rs } => {
+                for l in 0..32 {
+                    if active(l) {
+                        let v = f32::from_bits(warp.reg(rs.0, l)) as i32 as u32;
+                        warp.set_reg(rd.0, l, v);
+                    }
+                }
+                warp.reg_ready[rd.0 as usize] = alu_done;
+                warp.advance_pc();
+            }
+            Instr::Load { rd, rs_addr, offset } => {
+                // Functional read + coalesced timing.
+                let line_size = mem.line_size() as u64;
+                let mut lines: Vec<(u64, u32)> = Vec::new(); // (line, lanes)
+                for l in 0..32 {
+                    if active(l) {
+                        let addr =
+                            (warp.reg(rs_addr.0, l) as i64 + offset as i64) as u64;
+                        let v = gmem.read_u32(addr);
+                        warp.set_reg(rd.0, l, v);
+                        let line = addr / line_size;
+                        match lines.iter_mut().find(|(ln, _)| *ln == line) {
+                            Some((_, n)) => *n += 1,
+                            None => lines.push((line, 1)),
+                        }
+                    }
+                }
+                let mut done = now;
+                for (line, lanes_on_line) in lines {
+                    let t = mem.read(sm_id, line * line_size, lanes_on_line * 4, now);
+                    done = done.max(t);
+                }
+                warp.reg_ready[rd.0 as usize] = done;
+                warp.advance_pc();
+            }
+            Instr::Store { rs_val, rs_addr, offset } => {
+                let line_size = mem.line_size() as u64;
+                let mut lines: Vec<(u64, u32)> = Vec::new();
+                for l in 0..32 {
+                    if active(l) {
+                        let addr =
+                            (warp.reg(rs_addr.0, l) as i64 + offset as i64) as u64;
+                        gmem.write_u32(addr, warp.reg(rs_val.0, l));
+                        let line = addr / line_size;
+                        match lines.iter_mut().find(|(ln, _)| *ln == line) {
+                            Some((_, n)) => *n += 1,
+                            None => lines.push((line, 1)),
+                        }
+                    }
+                }
+                for (line, lanes_on_line) in lines {
+                    // Fire-and-forget write-through.
+                    let _ = mem.write(sm_id, line * line_size, lanes_on_line * 4, now);
+                }
+                warp.advance_pc();
+            }
+            Instr::BranchNz { rs, target, reconv } => {
+                let mut taken = 0u32;
+                for l in 0..32 {
+                    if active(l) && warp.reg(rs.0, l) != 0 {
+                        taken |= 1 << l;
+                    }
+                }
+                warp.branch(taken, target, reconv);
+            }
+            Instr::BranchZ { rs, target, reconv } => {
+                let mut taken = 0u32;
+                for l in 0..32 {
+                    if active(l) && warp.reg(rs.0, l) == 0 {
+                        taken |= 1 << l;
+                    }
+                }
+                warp.branch(taken, target, reconv);
+            }
+            Instr::Jump { target } => {
+                warp.set_pc(target);
+            }
+            Instr::Exit => {
+                debug_assert_eq!(warp.stack.len(), 1, "Exit must be reached converged");
+                warp.finish();
+            }
+            Instr::Traverse { .. } => unreachable!("Traverse handled in tick"),
+        }
+    }
+
+    fn ialu(op: IOp, a: u32, b: u32) -> u32 {
+        match op {
+            IOp::Add => a.wrapping_add(b),
+            IOp::Sub => a.wrapping_sub(b),
+            IOp::Mul => a.wrapping_mul(b),
+            IOp::And => a & b,
+            IOp::Or => a | b,
+            IOp::Xor => a ^ b,
+            IOp::Shl => a.wrapping_shl(b & 31),
+            IOp::Shr => a.wrapping_shr(b & 31),
+            IOp::Min => a.min(b),
+            IOp::Max => a.max(b),
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Simulation statistics: everything the paper's figures are computed from.
+
+use crate::isa::InstrClass;
+use crate::mem::{CacheStats, DramStats};
+
+/// Dynamic instruction counts by category (lane-level, i.e. one increment
+/// per *active lane* per issued instruction — the quantity Fig. 20 plots).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InstrMix {
+    /// Arithmetic/logic/move instructions.
+    pub alu: u64,
+    /// Branches and jumps.
+    pub control: u64,
+    /// Loads and stores.
+    pub memory: u64,
+    /// Offloaded traversal instructions.
+    pub traverse: u64,
+}
+
+impl InstrMix {
+    /// Adds `lanes` executions of an instruction of class `class`.
+    pub fn add(&mut self, class: InstrClass, lanes: u64) {
+        match class {
+            InstrClass::Alu => self.alu += lanes,
+            InstrClass::Control => self.control += lanes,
+            InstrClass::Memory => self.memory += lanes,
+            InstrClass::Traverse => self.traverse += lanes,
+        }
+    }
+
+    /// Total dynamic (lane) instructions.
+    pub fn total(&self) -> u64 {
+        self.alu + self.control + self.memory + self.traverse
+    }
+}
+
+/// Full statistics of one simulation run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimStats {
+    /// Total elapsed cycles.
+    pub cycles: u64,
+    /// Warp-instructions issued by the SIMT cores.
+    pub warp_instrs: u64,
+    /// Sum of active lanes over issued instructions.
+    pub lane_instrs: u64,
+    /// Lane-level instruction mix.
+    pub mix: InstrMix,
+    /// Floating-point lane operations (roofline numerator).
+    pub flops: u64,
+    /// L1 statistics (all SMs aggregated).
+    pub l1: CacheStats,
+    /// L2 statistics.
+    pub l2: CacheStats,
+    /// DRAM statistics.
+    pub dram: DramStats,
+    /// Number of DRAM channels (to compute utilization).
+    pub dram_channels: usize,
+    /// Warps that executed a Traverse offload.
+    pub traversals_offloaded: u64,
+    /// Cycles during which at least one SM issued an instruction.
+    pub sm_active_cycles: u64,
+}
+
+impl SimStats {
+    /// SIMT efficiency in [0, 1]: average active-lane fraction per issued
+    /// warp instruction (Fig. 1 metric).
+    pub fn simt_efficiency(&self) -> f64 {
+        if self.warp_instrs == 0 {
+            return 1.0;
+        }
+        self.lane_instrs as f64 / (self.warp_instrs as f64 * 32.0)
+    }
+
+    /// DRAM bandwidth utilization in [0, 1] (Fig. 1 / Fig. 13 metric).
+    pub fn dram_utilization(&self) -> f64 {
+        self.dram.utilization(self.cycles, self.dram_channels.max(1))
+    }
+
+    /// Arithmetic intensity in FLOP/byte over DRAM traffic (Fig. 6 x-axis).
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let bytes = (self.dram.bytes_read + self.dram.bytes_written) as f64;
+        if bytes == 0.0 {
+            return 0.0;
+        }
+        self.flops as f64 / bytes
+    }
+
+    /// Achieved performance in FLOP/cycle (Fig. 6 y-axis).
+    pub fn flops_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.flops as f64 / self.cycles as f64
+    }
+
+    /// Speedup of `self` relative to a `baseline` run of the same work.
+    pub fn speedup_over(&self, baseline: &SimStats) -> f64 {
+        baseline.cycles as f64 / self.cycles.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_accumulates() {
+        let mut mix = InstrMix::default();
+        mix.add(InstrClass::Alu, 32);
+        mix.add(InstrClass::Memory, 8);
+        mix.add(InstrClass::Control, 4);
+        mix.add(InstrClass::Traverse, 1);
+        assert_eq!(mix.total(), 45);
+        assert_eq!(mix.alu, 32);
+    }
+
+    #[test]
+    fn efficiency_bounds() {
+        let mut s = SimStats { warp_instrs: 10, lane_instrs: 160, ..Default::default() };
+        assert!((s.simt_efficiency() - 0.5).abs() < 1e-9);
+        s.warp_instrs = 0;
+        assert_eq!(s.simt_efficiency(), 1.0);
+    }
+
+    #[test]
+    fn speedup_ratio() {
+        let fast = SimStats { cycles: 100, ..Default::default() };
+        let slow = SimStats { cycles: 500, ..Default::default() };
+        assert!((fast.speedup_over(&slow) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn roofline_values() {
+        let s = SimStats {
+            cycles: 1000,
+            flops: 5000,
+            dram: DramStats { bytes_read: 1000, bytes_written: 0, ..Default::default() },
+            dram_channels: 6,
+            ..Default::default()
+        };
+        assert!((s.arithmetic_intensity() - 5.0).abs() < 1e-9);
+        assert!((s.flops_per_cycle() - 5.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,218 @@
+//! Static kernel checks: catch common authoring mistakes in mini-ISA
+//! kernels before simulation (read-before-write registers, unreachable
+//! code, branch-target sanity, SIMT-stack depth bounds).
+//!
+//! Hand-writing traversal kernels with the builder is error-prone in
+//! exactly the ways real assembly is; [`check`] runs a conservative
+//! abstract interpretation over the CFG and reports [`KernelIssue`]s. The
+//! workload tests run it over every shipped kernel.
+
+use crate::isa::Instr;
+use crate::kernel::Kernel;
+
+/// A problem found in a kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelIssue {
+    /// A register is read on some path before any instruction writes it.
+    ReadBeforeWrite {
+        /// Program counter of the reading instruction.
+        pc: usize,
+        /// The register.
+        reg: u8,
+    },
+    /// An instruction can never be reached from PC 0.
+    Unreachable {
+        /// Program counter of the dead instruction.
+        pc: usize,
+    },
+    /// Structured nesting exceeds the SIMT stack budget.
+    ExcessiveNesting {
+        /// Deepest branch nesting found.
+        depth: usize,
+    },
+}
+
+impl std::fmt::Display for KernelIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KernelIssue::ReadBeforeWrite { pc, reg } => {
+                write!(f, "pc {pc}: register r{reg} may be read before it is written")
+            }
+            KernelIssue::Unreachable { pc } => write!(f, "pc {pc}: unreachable instruction"),
+            KernelIssue::ExcessiveNesting { depth } => {
+                write!(f, "branch nesting depth {depth} exceeds the SIMT stack budget")
+            }
+        }
+    }
+}
+
+/// Maximum divergent-branch nesting the SIMT stack supports comfortably.
+const MAX_NESTING: usize = 30;
+
+/// Checks a kernel; returns every issue found (empty = clean).
+///
+/// The analysis is a forward dataflow over the CFG: the set of
+/// definitely-written registers is intersected at join points, so a
+/// `ReadBeforeWrite` report means *some* path reaches the read without a
+/// write — conservative but exact for the structured CFGs the builder
+/// emits.
+pub fn check(kernel: &Kernel) -> Vec<KernelIssue> {
+    let n = kernel.instrs.len();
+    let mut issues = Vec::new();
+
+    // written[pc] = bitmask of registers definitely written before pc
+    // executes; None = not yet visited.
+    let mut written: Vec<Option<u128>> = vec![None; n + 1];
+    written[0] = Some(0);
+    let mut work = vec![0usize];
+    let mut max_depth = 0usize;
+    // Track nesting depth as #branches on the path (approximation).
+    let mut depth: Vec<usize> = vec![0; n + 1];
+
+    while let Some(pc) = work.pop() {
+        if pc >= n {
+            continue;
+        }
+        let in_set = written[pc].expect("queued pcs are initialised");
+        let instr = &kernel.instrs[pc];
+
+        // Report reads of never-written registers (first time only).
+        let (srcs, cnt) = instr.sources_packed();
+        for r in &srcs[..cnt] {
+            if in_set & (1u128 << r.0) == 0 {
+                let issue = KernelIssue::ReadBeforeWrite { pc, reg: r.0 };
+                if !issues.contains(&issue) {
+                    issues.push(issue);
+                }
+            }
+        }
+
+        let mut out = in_set;
+        if let Some(rd) = instr.dest() {
+            out |= 1u128 << rd.0;
+        }
+
+        let d_in = depth[pc];
+        let successors: &[(usize, usize)] = match *instr {
+            Instr::Exit => &[],
+            Instr::Jump { target } => &[(target as usize, d_in)],
+            Instr::BranchNz { target, .. } | Instr::BranchZ { target, .. } => {
+                &[(target as usize, d_in + 1), (pc + 1, d_in + 1)]
+            }
+            _ => &[(pc + 1, d_in)],
+        };
+        for &(succ, d) in successors {
+            if succ > n {
+                continue;
+            }
+            max_depth = max_depth.max(d);
+            let merged = match written[succ] {
+                // Join: a register counts as written only when written on
+                // every incoming path.
+                Some(prev) => prev & out,
+                None => out,
+            };
+            if written[succ] != Some(merged) {
+                written[succ] = Some(merged);
+                depth[succ] = depth[succ].max(d);
+                work.push(succ);
+            } else if depth[succ] < d {
+                depth[succ] = d;
+            }
+        }
+    }
+
+    for (pc, w) in written.iter().enumerate().take(n) {
+        if w.is_none() {
+            issues.push(KernelIssue::Unreachable { pc });
+        }
+    }
+    if max_depth > MAX_NESTING {
+        issues.push(KernelIssue::ExcessiveNesting { depth: max_depth });
+    }
+    issues
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Cmp, SReg};
+    use crate::kernel::KernelBuilder;
+
+    #[test]
+    fn clean_kernel_passes() {
+        let mut k = KernelBuilder::new("clean");
+        let a = k.reg();
+        let b = k.reg();
+        k.mov_sreg(a, SReg::ThreadId);
+        k.iadd_imm(b, a, 1);
+        let t = k.begin_if_nz(b);
+        k.iadd_imm(a, a, 2);
+        k.end_if(t);
+        k.store(a, b, 0);
+        k.exit();
+        assert_eq!(check(&k.build()), vec![]);
+    }
+
+    #[test]
+    fn read_before_write_is_reported() {
+        let mut k = KernelBuilder::new("rbw");
+        let a = k.reg();
+        let b = k.reg();
+        k.iadd_imm(b, a, 1); // reads r0 before any write
+        k.store(b, b, 0);
+        k.exit();
+        let issues = check(&k.build());
+        assert!(issues.contains(&KernelIssue::ReadBeforeWrite { pc: 0, reg: 0 }));
+    }
+
+    #[test]
+    fn write_on_only_one_branch_arm_is_flagged_after_join() {
+        let mut k = KernelBuilder::new("halfwrite");
+        let c = k.reg();
+        let v = k.reg();
+        k.mov_sreg(c, SReg::ThreadId);
+        let t = k.begin_if_nz(c);
+        k.mov_imm(v, 7); // v written only when c != 0
+        k.end_if(t);
+        k.store(v, c, 0); // may read unwritten v
+        k.exit();
+        let issues = check(&k.build());
+        assert!(
+            issues.iter().any(|i| matches!(i, KernelIssue::ReadBeforeWrite { reg: 1, .. })),
+            "{issues:?}"
+        );
+    }
+
+    #[test]
+    fn loops_do_not_false_positive() {
+        let mut k = KernelBuilder::new("loop");
+        let i = k.reg();
+        let n = k.reg();
+        let c = k.reg();
+        k.mov_imm(i, 0);
+        k.mov_imm(n, 10);
+        let mut l = k.begin_loop();
+        k.icmp(Cmp::Lt, c, i, n);
+        k.break_if_z(c, &mut l);
+        k.iadd_imm(i, i, 1);
+        k.end_loop(l);
+        k.store(i, n, 0);
+        k.exit();
+        assert_eq!(check(&k.build()), vec![]);
+    }
+
+    #[test]
+    fn shipped_workload_kernels_are_clean() {
+        // The production kernels must all pass the validator. (This lives
+        // here as a smoke test; the workloads crate re-runs it per kernel.)
+        let mut k = KernelBuilder::new("traverse_only_shape");
+        let tid = k.reg();
+        let q = k.reg();
+        k.mov_sreg(tid, SReg::ThreadId);
+        k.mov_sreg(q, SReg::Param(0));
+        k.traverse(q, tid, 0);
+        k.exit();
+        assert_eq!(check(&k.build()), vec![]);
+    }
+}

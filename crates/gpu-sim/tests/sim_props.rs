@@ -1,0 +1,210 @@
+//! Property tests for the SIMT simulator: random programs must compute the
+//! same results as a straightforward sequential interpreter, regardless of
+//! warp shape, divergence, or timing.
+
+use proptest::prelude::*;
+
+use tta_gpu_sim::isa::{Cmp, IOp, SReg};
+use tta_gpu_sim::kernel::{Kernel, KernelBuilder};
+use tta_gpu_sim::{Gpu, GpuConfig};
+
+/// A tiny random straight-line program over 4 working registers, ending by
+/// storing register 0.
+#[derive(Debug, Clone)]
+enum Op {
+    AddImm(u8, u8, u32),
+    Mul(u8, u8, u8),
+    Xor(u8, u8, u8),
+    Shl(u8, u8, u32),
+    CmpLt(u8, u8, u8),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let r = 0u8..4;
+    prop_oneof![
+        (r.clone(), r.clone(), any::<u32>()).prop_map(|(a, b, i)| Op::AddImm(a, b, i)),
+        (r.clone(), r.clone(), r.clone()).prop_map(|(a, b, c)| Op::Mul(a, b, c)),
+        (r.clone(), r.clone(), r.clone()).prop_map(|(a, b, c)| Op::Xor(a, b, c)),
+        (r.clone(), r.clone(), 0u32..32).prop_map(|(a, b, i)| Op::Shl(a, b, i)),
+        (r.clone(), r.clone(), r).prop_map(|(a, b, c)| Op::CmpLt(a, b, c)),
+    ]
+}
+
+/// Reference semantics of one op on a 4-register machine.
+fn eval(regs: &mut [u32; 4], op: &Op) {
+    match *op {
+        Op::AddImm(d, s, i) => regs[d as usize] = regs[s as usize].wrapping_add(i),
+        Op::Mul(d, a, b) => regs[d as usize] = regs[a as usize].wrapping_mul(regs[b as usize]),
+        Op::Xor(d, a, b) => regs[d as usize] = regs[a as usize] ^ regs[b as usize],
+        Op::Shl(d, s, i) => regs[d as usize] = regs[s as usize].wrapping_shl(i),
+        Op::CmpLt(d, a, b) => {
+            regs[d as usize] = ((regs[a as usize] as i32) < (regs[b as usize] as i32)) as u32
+        }
+    }
+}
+
+/// Builds the kernel: r0..r3 seeded from tid, then the op sequence, then
+/// store r0 to out[tid].
+fn build_kernel(ops: &[Op]) -> Kernel {
+    let mut k = KernelBuilder::new("random");
+    let regs: Vec<_> = (0..4).map(|_| k.reg()).collect();
+    let tid = k.reg();
+    let out = k.reg();
+    let t = k.reg();
+    k.mov_sreg(tid, SReg::ThreadId);
+    // Seed: r_i = tid * (2i + 3) + i
+    for (i, &r) in regs.iter().enumerate() {
+        k.imul_imm(r, tid, (2 * i as u32) + 3);
+        k.iadd_imm(r, r, i as u32);
+    }
+    for op in ops {
+        match *op {
+            Op::AddImm(d, s, i) => k.iadd_imm(regs[d as usize], regs[s as usize], i),
+            Op::Mul(d, a, b) => k.imul(regs[d as usize], regs[a as usize], regs[b as usize]),
+            Op::Xor(d, a, b) => k.emit(tta_gpu_sim::isa::Instr::IAlu {
+                op: IOp::Xor,
+                rd: regs[d as usize],
+                rs1: regs[a as usize],
+                rs2: regs[b as usize],
+            }),
+            Op::Shl(d, s, i) => k.shl_imm(regs[d as usize], regs[s as usize], i),
+            Op::CmpLt(d, a, b) => {
+                k.icmp(Cmp::Lt, regs[d as usize], regs[a as usize], regs[b as usize])
+            }
+        }
+    }
+    k.mov_sreg(out, SReg::Param(0));
+    k.shl_imm(t, tid, 2);
+    k.iadd(out, out, t);
+    k.store(regs[0], out, 0);
+    k.exit();
+    k.build()
+}
+
+fn reference(tid: u32, ops: &[Op]) -> u32 {
+    let mut regs = [0u32; 4];
+    for (i, r) in regs.iter_mut().enumerate() {
+        *r = tid.wrapping_mul(2 * i as u32 + 3).wrapping_add(i as u32);
+    }
+    for op in ops {
+        eval(&mut regs, op);
+    }
+    regs[0]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_straightline_kernels_match_reference(
+        ops in prop::collection::vec(arb_op(), 1..40),
+        nthreads in 1usize..200,
+    ) {
+        let kernel = build_kernel(&ops);
+        let mut gpu = Gpu::new(GpuConfig::small_test(), 1 << 20);
+        let out = gpu.gmem.alloc(4 * nthreads, 64);
+        let stats = gpu.launch(&kernel, nthreads, &[out as u32]);
+        prop_assert!(stats.cycles > 0);
+        // Straight-line code never diverges: efficiency is exactly the
+        // live-lane fraction (tail warps are partial by construction).
+        let warps = nthreads.div_ceil(32);
+        let expected = nthreads as f64 / (warps * 32) as f64;
+        prop_assert!(
+            (stats.simt_efficiency() - expected).abs() < 1e-9,
+            "eff {} vs expected {}",
+            stats.simt_efficiency(),
+            expected
+        );
+        for tid in 0..nthreads as u32 {
+            let got = gpu.gmem.read_u32(out + tid as u64 * 4);
+            prop_assert_eq!(got, reference(tid, &ops), "tid {}", tid);
+        }
+    }
+
+    /// Divergent loop: each thread iterates `tid % k + 1` times summing a
+    /// constant; the result is exact regardless of scheduling.
+    #[test]
+    fn divergent_loops_compute_exact_trip_counts(
+        modulus in 1u32..17,
+        step in 1u32..1000,
+        nthreads in 1usize..300,
+    ) {
+        let mut k = KernelBuilder::new("trips");
+        let tid = k.reg();
+        let n = k.reg();
+        let acc = k.reg();
+        let cond = k.reg();
+        let zero = k.reg();
+        let out = k.reg();
+        let t = k.reg();
+        k.mov_sreg(tid, SReg::ThreadId);
+        // n = tid % modulus + 1 via repeated subtract-free arithmetic:
+        // use multiply/shift-free modulo by masking only when modulus is a
+        // power of two; otherwise compute host-side via parameter trick:
+        // n = (tid * 1) - (tid / modulus) * modulus requires division, so
+        // emulate with a loop-free approximation: store tid and reduce in
+        // the reference identically using wrapping ops.
+        // Simplest portable choice: n = (tid & (modulus.next_power_of_two()-1)) % modulus
+        // is still a modulo; instead iterate: n starts at tid & 15, capped
+        // by `modulus` via min.
+        k.and_imm(n, tid, 15);
+        k.mov_imm(t, modulus);
+        k.emit(tta_gpu_sim::isa::Instr::IAlu { op: IOp::Min, rd: n, rs1: n, rs2: t });
+        k.iadd_imm(n, n, 1);
+        k.mov_imm(acc, 0);
+        k.mov_imm(zero, 0);
+        let mut l = k.begin_loop();
+        k.ucmp(Cmp::Gt, cond, n, zero);
+        k.break_if_z(cond, &mut l);
+        k.iadd_imm(acc, acc, step);
+        k.iadd_imm(n, n, u32::MAX);
+        k.end_loop(l);
+        k.mov_sreg(out, SReg::Param(0));
+        k.shl_imm(t, tid, 2);
+        k.iadd(out, out, t);
+        k.store(acc, out, 0);
+        k.exit();
+        let kernel = k.build();
+
+        let mut gpu = Gpu::new(GpuConfig::small_test(), 1 << 20);
+        let out_buf = gpu.gmem.alloc(4 * nthreads, 64);
+        gpu.launch(&kernel, nthreads, &[out_buf as u32]);
+        for tid in 0..nthreads as u32 {
+            let trips = (tid & 15).min(modulus) + 1;
+            let got = gpu.gmem.read_u32(out_buf + tid as u64 * 4);
+            prop_assert_eq!(got, trips.wrapping_mul(step), "tid {}", tid);
+        }
+    }
+
+    /// Stores then loads round-trip through the functional memory even with
+    /// many threads striding over the same buffer.
+    #[test]
+    fn store_load_roundtrip(nthreads in 1usize..256, stride_log in 2u32..4) {
+        let mut k = KernelBuilder::new("rt");
+        let tid = k.reg();
+        let buf = k.reg();
+        let v = k.reg();
+        let t = k.reg();
+        k.mov_sreg(tid, SReg::ThreadId);
+        k.mov_sreg(buf, SReg::Param(0));
+        k.shl_imm(t, tid, stride_log);
+        k.iadd(buf, buf, t);
+        k.imul_imm(v, tid, 0x9e3779b9);
+        k.store(v, buf, 0);
+        k.load(v, buf, 0);
+        k.iadd_imm(v, v, 1);
+        k.store(v, buf, 0);
+        k.exit();
+        let kernel = k.build();
+        let mut gpu = Gpu::new(GpuConfig::small_test(), 1 << 22);
+        let buf_addr = gpu.gmem.alloc((1usize << stride_log) * nthreads, 64);
+        gpu.launch(&kernel, nthreads, &[buf_addr as u32]);
+        for tid in 0..nthreads as u32 {
+            let addr = buf_addr + (tid as u64) * (1 << stride_log);
+            prop_assert_eq!(
+                gpu.gmem.read_u32(addr),
+                tid.wrapping_mul(0x9e3779b9).wrapping_add(1)
+            );
+        }
+    }
+}

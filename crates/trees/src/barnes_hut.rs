@@ -1,0 +1,560 @@
+//! Quadtrees and octrees with centre-of-mass aggregation for Barnes-Hut
+//! N-Body simulation.
+//!
+//! Each internal node stores the centre of mass and total mass of its
+//! subtree plus the cell width; the Barnes-Hut walk opens a node only when
+//! `cell_width / distance >= theta`. The opening test is exactly the
+//! Point-to-Point distance comparison of the paper's Algorithm 2 with
+//! `threshold = cell_width / theta`, which is what lets TTA run it on the
+//! modified Ray-Triangle datapath.
+
+use crate::image::{MemoryImage, NodeHeader};
+use geometry::Vec3;
+
+/// A point mass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Particle {
+    /// Position (z = 0 for 2D simulations).
+    pub pos: Vec3,
+    /// Mass; must be positive.
+    pub mass: f32,
+}
+
+/// Maximum particles kept in one leaf cell.
+pub const MAX_LEAF_PARTICLES: usize = 4;
+
+/// Serialized particle stride in bytes (xyz + mass).
+pub const PARTICLE_STRIDE: usize = 16;
+
+/// Gravitational constant used by the reference force computation
+/// (arbitrary units — only relative performance matters to the paper).
+pub const G: f32 = 1.0;
+
+/// Softening length avoiding singular forces at tiny separations.
+pub const SOFTENING: f32 = 1e-2;
+
+#[derive(Debug, Clone)]
+struct Node {
+    /// Cell edge length.
+    width: f32,
+    /// Centre of mass of everything below.
+    com: Vec3,
+    /// Total mass below.
+    mass: f32,
+    /// Child node ids (empty = leaf).
+    children: Vec<usize>,
+    /// Leaf particle range in the reordered particle array.
+    first_particle: usize,
+    particle_count: usize,
+}
+
+impl Node {
+    fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+}
+
+/// A Barnes-Hut space-partitioning tree (quadtree in 2D, octree in 3D).
+///
+/// # Examples
+///
+/// ```
+/// use tta_trees::{BarnesHutTree, Particle};
+/// use geometry::Vec3;
+///
+/// let particles: Vec<Particle> = (0..100)
+///     .map(|i| Particle { pos: Vec3::new(i as f32, (i * 7 % 13) as f32, 0.0), mass: 1.0 })
+///     .collect();
+/// let tree = BarnesHutTree::build(&particles, 2);
+/// let f = tree.force_on(Vec3::new(50.0, 5.0, 0.0), 0.5);
+/// assert!(f.is_finite());
+/// ```
+#[derive(Debug, Clone)]
+pub struct BarnesHutTree {
+    nodes: Vec<Node>,
+    particles: Vec<Particle>,
+    root: usize,
+    dims: usize,
+}
+
+impl BarnesHutTree {
+    /// Builds a tree over the particles; `dims` selects a quadtree (2) or
+    /// octree (3). Particles are copied and reordered leaf-contiguously.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `particles` is empty, `dims` is not 2 or 3, or any mass is
+    /// non-positive.
+    pub fn build(particles: &[Particle], dims: usize) -> Self {
+        assert!(!particles.is_empty(), "cannot build a Barnes-Hut tree from zero particles");
+        assert!(dims == 2 || dims == 3, "dims must be 2 or 3");
+        assert!(particles.iter().all(|p| p.mass > 0.0), "particle masses must be positive");
+
+        // Root cell: cube (square) containing all particles.
+        let mut min = Vec3::splat(f32::INFINITY);
+        let mut max = Vec3::splat(f32::NEG_INFINITY);
+        for p in particles {
+            min = min.min(p.pos);
+            max = max.max(p.pos);
+        }
+        if dims == 2 {
+            min.z = 0.0;
+            max.z = 0.0;
+        }
+        let extent = max - min;
+        let width = extent.max_component().max(1e-3) * 1.0001;
+        let center = (min + max) * 0.5;
+
+        let mut tree = BarnesHutTree {
+            nodes: Vec::new(),
+            particles: particles.to_vec(),
+            root: 0,
+            dims,
+        };
+        let mut order: Vec<usize> = (0..particles.len()).collect();
+        let n = particles.len();
+        let src = particles.to_vec();
+        tree.root = tree.build_cell(&src, &mut order, 0, n, center, width, 0);
+        tree.particles = order.into_iter().map(|i| src[i]).collect();
+        tree.assert_invariants();
+        tree
+    }
+
+    fn octant_of(&self, pos: Vec3, center: Vec3) -> usize {
+        let mut o = 0;
+        if pos.x >= center.x {
+            o |= 1;
+        }
+        if pos.y >= center.y {
+            o |= 2;
+        }
+        if self.dims == 3 && pos.z >= center.z {
+            o |= 4;
+        }
+        o
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build_cell(
+        &mut self,
+        src: &[Particle],
+        order: &mut Vec<usize>,
+        first: usize,
+        count: usize,
+        center: Vec3,
+        width: f32,
+        depth: usize,
+    ) -> usize {
+        // Aggregate mass / centre of mass for this cell.
+        let mut mass = 0.0f32;
+        let mut com = Vec3::ZERO;
+        for &i in &order[first..first + count] {
+            mass += src[i].mass;
+            com += src[i].pos * src[i].mass;
+        }
+        com /= mass;
+
+        // Depth cap guards against coincident points.
+        if count <= MAX_LEAF_PARTICLES || depth > 32 {
+            self.nodes.push(Node {
+                width,
+                com,
+                mass,
+                children: Vec::new(),
+                first_particle: first,
+                particle_count: count,
+            });
+            return self.nodes.len() - 1;
+        }
+
+        // Partition the index range by octant (stable bucket pass).
+        let noct = 1usize << self.dims;
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); noct];
+        for &i in &order[first..first + count] {
+            buckets[self.octant_of(src[i].pos, center)].push(i);
+        }
+        let mut cursor = first;
+        let mut ranges = Vec::with_capacity(noct);
+        for b in &buckets {
+            ranges.push((cursor, b.len()));
+            for &i in b {
+                order[cursor] = i;
+                cursor += 1;
+            }
+        }
+
+        let this = self.nodes.len();
+        self.nodes.push(Node {
+            width,
+            com,
+            mass,
+            children: Vec::new(),
+            first_particle: 0,
+            particle_count: 0,
+        });
+        let half = width * 0.5;
+        let quarter = width * 0.25;
+        let mut children = Vec::new();
+        for (oct, &(ofirst, ocount)) in ranges.iter().enumerate() {
+            if ocount == 0 {
+                continue;
+            }
+            let off = Vec3::new(
+                if oct & 1 != 0 { quarter } else { -quarter },
+                if oct & 2 != 0 { quarter } else { -quarter },
+                if self.dims == 3 {
+                    if oct & 4 != 0 { quarter } else { -quarter }
+                } else {
+                    0.0
+                },
+            );
+            children.push(self.build_cell(src, order, ofirst, ocount, center + off, half, depth + 1));
+        }
+        self.nodes[this].children = children;
+        this
+    }
+
+    /// Number of spatial dimensions (2 or 3).
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Root node id.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// Total node count.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The reordered particles (leaf-contiguous).
+    pub fn particles(&self) -> &[Particle] {
+        &self.particles
+    }
+
+    /// Total mass of the system.
+    pub fn total_mass(&self) -> f32 {
+        self.nodes[self.root].mass
+    }
+
+    /// Centre of mass of the system.
+    pub fn center_of_mass(&self) -> Vec3 {
+        self.nodes[self.root].com
+    }
+
+    fn assert_invariants(&self) {
+        for n in &self.nodes {
+            if n.is_leaf() {
+                assert!(n.first_particle + n.particle_count <= self.particles.len());
+            } else {
+                assert!(!n.children.is_empty());
+                let child_mass: f32 = n.children.iter().map(|&c| self.nodes[c].mass).sum();
+                assert!(
+                    (child_mass - n.mass).abs() <= 1e-3 * n.mass.max(1.0),
+                    "mass must aggregate: {child_mass} vs {}",
+                    n.mass
+                );
+            }
+        }
+    }
+
+    /// Barnes-Hut force on a test point with opening angle `theta`
+    /// (smaller = more accurate). Returns the acceleration-like force for a
+    /// unit test mass. Also usable as the oracle for the accelerated
+    /// traversal.
+    pub fn force_on(&self, pos: Vec3, theta: f32) -> Vec3 {
+        let (force, _) = self.force_on_counted(pos, theta);
+        force
+    }
+
+    /// Like [`BarnesHutTree::force_on`] but also returns the number of
+    /// nodes visited (traversal work — used by the workload models).
+    pub fn force_on_counted(&self, pos: Vec3, theta: f32) -> (Vec3, usize) {
+        let mut force = Vec3::ZERO;
+        let mut visited = 0usize;
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            visited += 1;
+            let n = &self.nodes[id];
+            let d2 = n.com.distance_squared(pos) + SOFTENING * SOFTENING;
+            // Opening criterion: width / d < theta  <=>  d > width / theta.
+            // Expressed squared, it is the paper's Point-to-Point test.
+            let threshold = n.width / theta;
+            let open = d2 < threshold * threshold;
+            if n.is_leaf() || !open {
+                if n.is_leaf() {
+                    // Direct sum over leaf particles.
+                    for p in &self.particles[n.first_particle..n.first_particle + n.particle_count]
+                    {
+                        let delta = p.pos - pos;
+                        let r2 = delta.length_squared() + SOFTENING * SOFTENING;
+                        if r2 > SOFTENING * SOFTENING * 1.5 {
+                            let inv_r = 1.0 / r2.sqrt();
+                            force += delta * (G * p.mass * inv_r * inv_r * inv_r);
+                        }
+                    }
+                } else {
+                    // Approximate the whole cell by its centre of mass.
+                    let delta = n.com - pos;
+                    let inv_r = 1.0 / d2.sqrt();
+                    force += delta * (G * n.mass * inv_r * inv_r * inv_r);
+                }
+                continue;
+            }
+            stack.extend_from_slice(&n.children);
+        }
+        (force, visited)
+    }
+
+    /// Exact O(n) direct-sum force (accuracy oracle for
+    /// [`BarnesHutTree::force_on`]).
+    pub fn direct_force_on(&self, pos: Vec3) -> Vec3 {
+        let mut force = Vec3::ZERO;
+        for p in &self.particles {
+            let delta = p.pos - pos;
+            let r2 = delta.length_squared() + SOFTENING * SOFTENING;
+            if r2 > SOFTENING * SOFTENING * 1.5 {
+                let inv_r = 1.0 / r2.sqrt();
+                force += delta * (G * p.mass * inv_r * inv_r * inv_r);
+            }
+        }
+        force
+    }
+
+    /// Serialises into the flat node + particle image.
+    ///
+    /// Node format (16 words): header (kind, count = #children or
+    /// #particles), word 1 = first child node index / first particle index,
+    /// words 2–4 = centre of mass, word 5 = mass, word 6 = cell width.
+    /// Children are BFS-contiguous. The particle buffer (16 B each:
+    /// x, y, z, mass) follows the node region.
+    pub fn serialize(&self) -> SerializedBarnesHut {
+        let mut image = MemoryImage::with_node_capacity(self.nodes.len());
+        let mut index_of = vec![usize::MAX; self.nodes.len()];
+        index_of[self.root] = image.alloc_node();
+        let mut queue = std::collections::VecDeque::from([self.root]);
+        while let Some(host_id) = queue.pop_front() {
+            let node = &self.nodes[host_id];
+            let img_id = index_of[host_id];
+            let (kind, count) = if node.is_leaf() {
+                (NodeHeader::KIND_LEAF, node.particle_count as u8)
+            } else {
+                (NodeHeader::KIND_INNER, node.children.len() as u8)
+            };
+            image.set_node_word(img_id, 0, NodeHeader::new(kind, count).pack());
+            if node.is_leaf() {
+                image.set_node_word(img_id, 1, node.first_particle as u32);
+            } else {
+                let first_child = image.alloc_nodes(node.children.len());
+                image.set_node_word(img_id, 1, first_child as u32);
+                for (i, &c) in node.children.iter().enumerate() {
+                    index_of[c] = first_child + i;
+                    queue.push_back(c);
+                }
+            }
+            image.set_node_word_f32(img_id, 2, node.com.x);
+            image.set_node_word_f32(img_id, 3, node.com.y);
+            image.set_node_word_f32(img_id, 4, node.com.z);
+            image.set_node_word_f32(img_id, 5, node.mass);
+            image.set_node_word_f32(img_id, 6, node.width);
+        }
+        image.align_to(crate::NODE_SIZE);
+        let particle_base = image.len();
+        for p in &self.particles {
+            for c in p.pos.to_array() {
+                image.append_bytes(&c.to_le_bytes());
+            }
+            image.append_bytes(&p.mass.to_le_bytes());
+        }
+        SerializedBarnesHut {
+            image,
+            root_index: 0,
+            particle_base,
+            particle_count: self.particles.len(),
+            dims: self.dims,
+        }
+    }
+}
+
+/// A serialized Barnes-Hut tree image plus layout metadata.
+#[derive(Debug, Clone)]
+pub struct SerializedBarnesHut {
+    /// The flat memory image (nodes then particles).
+    pub image: MemoryImage,
+    /// Node index of the root.
+    pub root_index: usize,
+    /// Byte offset of the particle buffer.
+    pub particle_base: usize,
+    /// Number of particles.
+    pub particle_count: usize,
+    /// Spatial dimensions (2 or 3).
+    pub dims: usize,
+}
+
+impl SerializedBarnesHut {
+    /// Reads particle `i` back from the image.
+    pub fn read_particle(&self, i: usize) -> Particle {
+        let base = self.particle_base + i * PARTICLE_STRIDE;
+        Particle {
+            pos: Vec3::new(
+                self.image.read_f32(base),
+                self.image.read_f32(base + 4),
+                self.image.read_f32(base + 8),
+            ),
+            mass: self.image.read_f32(base + 12),
+        }
+    }
+
+    /// Barnes-Hut force computed by walking the *serialized image* — the
+    /// same walk the TTA performs, used as a cross-check oracle.
+    pub fn force_on_image(&self, pos: Vec3, theta: f32) -> Vec3 {
+        let mut force = Vec3::ZERO;
+        let mut stack = vec![self.root_index];
+        while let Some(id) = stack.pop() {
+            let header = NodeHeader::unpack(self.image.node_word(id, 0));
+            let com = Vec3::new(
+                self.image.node_word_f32(id, 2),
+                self.image.node_word_f32(id, 3),
+                self.image.node_word_f32(id, 4),
+            );
+            let mass = self.image.node_word_f32(id, 5);
+            let width = self.image.node_word_f32(id, 6);
+            let d2 = com.distance_squared(pos) + SOFTENING * SOFTENING;
+            let threshold = width / theta;
+            let open = d2 < threshold * threshold;
+            if header.is_leaf() || !open {
+                if header.is_leaf() {
+                    let first = self.image.node_word(id, 1) as usize;
+                    for i in first..first + header.count as usize {
+                        let p = self.read_particle(i);
+                        let delta = p.pos - pos;
+                        let r2 = delta.length_squared() + SOFTENING * SOFTENING;
+                        if r2 > SOFTENING * SOFTENING * 1.5 {
+                            let inv_r = 1.0 / r2.sqrt();
+                            force += delta * (G * p.mass * inv_r * inv_r * inv_r);
+                        }
+                    }
+                } else {
+                    let delta = com - pos;
+                    let inv_r = 1.0 / d2.sqrt();
+                    force += delta * (G * mass * inv_r * inv_r * inv_r);
+                }
+                continue;
+            }
+            let first_child = self.image.node_word(id, 1) as usize;
+            for c in first_child..first_child + header.count as usize {
+                stack.push(c);
+            }
+        }
+        force
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lattice(n: usize, dims: usize) -> Vec<Particle> {
+        let mut out = Vec::new();
+        for i in 0..n {
+            let x = (i % 17) as f32 * 1.3;
+            let y = ((i * 7) % 23) as f32 * 0.9;
+            let z = if dims == 3 { ((i * 13) % 11) as f32 * 1.1 } else { 0.0 };
+            out.push(Particle { pos: Vec3::new(x, y, z), mass: 1.0 + (i % 5) as f32 });
+        }
+        out
+    }
+
+    #[test]
+    fn com_matches_direct_aggregate() {
+        for dims in [2, 3] {
+            let ps = lattice(500, dims);
+            let tree = BarnesHutTree::build(&ps, dims);
+            let total: f32 = ps.iter().map(|p| p.mass).sum();
+            let com: Vec3 =
+                ps.iter().map(|p| p.pos * p.mass).sum::<Vec3>() / total;
+            assert!((tree.total_mass() - total).abs() < 1e-2);
+            assert!((tree.center_of_mass() - com).length() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn small_theta_approaches_direct_sum() {
+        let ps = lattice(300, 3);
+        let tree = BarnesHutTree::build(&ps, 3);
+        let probe = Vec3::new(40.0, 40.0, 40.0); // outside the cluster
+        let direct = tree.direct_force_on(probe);
+        let bh = tree.force_on(probe, 0.1);
+        let rel = (bh - direct).length() / direct.length();
+        assert!(rel < 0.02, "relative error {rel} too large");
+    }
+
+    #[test]
+    fn larger_theta_visits_fewer_nodes() {
+        let ps = lattice(2000, 2);
+        let tree = BarnesHutTree::build(&ps, 2);
+        let probe = Vec3::new(5.0, 5.0, 0.0);
+        let (_, tight) = tree.force_on_counted(probe, 0.2);
+        let (_, loose) = tree.force_on_counted(probe, 1.0);
+        assert!(loose < tight, "theta=1.0 ({loose}) must visit fewer than theta=0.2 ({tight})");
+    }
+
+    #[test]
+    fn quadtree_has_at_most_four_children() {
+        let ps = lattice(1000, 2);
+        let tree = BarnesHutTree::build(&ps, 2);
+        for n in &tree.nodes {
+            assert!(n.children.len() <= 4);
+        }
+        let ps3 = lattice(1000, 3);
+        let tree3 = BarnesHutTree::build(&ps3, 3);
+        assert!(tree3.nodes.iter().any(|n| n.children.len() > 4), "octree should use >4 children somewhere");
+    }
+
+    #[test]
+    fn serialized_force_matches_host() {
+        let ps = lattice(800, 3);
+        let tree = BarnesHutTree::build(&ps, 3);
+        let ser = tree.serialize();
+        for probe in [
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(10.0, 5.0, 3.0),
+            Vec3::new(-20.0, 8.0, 1.0),
+        ] {
+            let a = tree.force_on(probe, 0.5);
+            let b = ser.force_on_image(probe, 0.5);
+            assert!((a - b).length() <= 1e-4 * a.length().max(1.0), "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn particles_roundtrip_through_image() {
+        let ps = lattice(100, 2);
+        let tree = BarnesHutTree::build(&ps, 2);
+        let ser = tree.serialize();
+        for (i, p) in tree.particles().iter().enumerate() {
+            assert_eq!(ser.read_particle(i), *p);
+        }
+    }
+
+    #[test]
+    fn coincident_particles_terminate() {
+        let ps = vec![Particle { pos: Vec3::ONE, mass: 1.0 }; 20];
+        let tree = BarnesHutTree::build(&ps, 3);
+        assert_eq!(tree.total_mass(), 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero particles")]
+    fn empty_particles_panic() {
+        let _ = BarnesHutTree::build(&[], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dims")]
+    fn bad_dims_panic() {
+        let _ = BarnesHutTree::build(&[Particle { pos: Vec3::ZERO, mass: 1.0 }], 4);
+    }
+}

@@ -1,0 +1,612 @@
+//! Nine-wide B-Tree, B\*Tree and B+Tree index structures.
+//!
+//! The paper evaluates "B-Tree variants" with **nine children per node** so
+//! that one Query-Key comparison issue fills the modified Ray-Box unit
+//! (three min/max pairs × three keys). This module bulk-loads all three
+//! variants from sorted keys and serialises them into the 64-byte-node
+//! [`MemoryImage`] format traversed by both the SIMT kernels and TTA.
+//!
+//! Variant semantics:
+//!
+//! * **B-Tree** — keys stored at *every* level; a search can terminate early
+//!   at an internal node, which is the main source of control-flow
+//!   divergence on the baseline GPU.
+//! * **B\*Tree** — same key placement, but nodes are kept ≥ 2/3 full, giving
+//!   a denser and often shallower tree.
+//! * **B+Tree** — keys stored only at the leaves; internal nodes hold
+//!   routing separators, so every search walks root→leaf and divergence is
+//!   lower (the reason the paper sees smaller B+Tree speedups).
+
+use crate::image::{MemoryImage, NodeHeader};
+use crate::NODE_SIZE;
+
+/// Maximum children per node (the paper's 9-wide configuration).
+pub const MAX_CHILDREN: usize = 9;
+/// Maximum keys per node.
+pub const MAX_KEYS: usize = MAX_CHILDREN - 1;
+/// Key-slot padding value meaning "no key" (acts as +infinity in compares).
+pub const KEY_PAD: u32 = u32::MAX;
+
+/// Word index of the first key slot inside a serialized node.
+pub const KEYS_WORD: usize = 2;
+/// Word index of the first-child pointer inside a serialized node.
+pub const CHILD_WORD: usize = 1;
+
+/// Which B-Tree variant to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BTreeFlavor {
+    /// Classic B-Tree: keys at all levels, ~60% occupancy.
+    BTree,
+    /// B\*Tree: keys at all levels, ≥ 2/3 (here ~85%) occupancy.
+    BStar,
+    /// B+Tree: keys at leaves only, ~67% occupancy.
+    BPlus,
+}
+
+impl BTreeFlavor {
+    /// All three variants, in the order the paper's figures list them.
+    pub const ALL: [BTreeFlavor; 3] = [BTreeFlavor::BTree, BTreeFlavor::BStar, BTreeFlavor::BPlus];
+
+    /// Target node occupancy used by the bulk loader.
+    pub fn fill_factor(self) -> f32 {
+        match self {
+            BTreeFlavor::BTree => 0.60,
+            BTreeFlavor::BStar => 0.85,
+            BTreeFlavor::BPlus => 0.67,
+        }
+    }
+
+    /// Short display name matching the paper's figure labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            BTreeFlavor::BTree => "B-Tree",
+            BTreeFlavor::BStar => "B*Tree",
+            BTreeFlavor::BPlus => "B+Tree",
+        }
+    }
+}
+
+impl std::fmt::Display for BTreeFlavor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    keys: Vec<u32>,
+    /// Child node ids (host-side); empty for leaves.
+    children: Vec<usize>,
+}
+
+impl Node {
+    fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+}
+
+/// Result of a reference search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchOutcome {
+    /// Whether the query key exists in the tree.
+    pub found: bool,
+    /// Number of nodes visited (traversal depth + 1 at most).
+    pub nodes_visited: usize,
+}
+
+/// A bulk-loaded B-Tree variant.
+///
+/// # Examples
+///
+/// ```
+/// use tta_trees::{BTree, BTreeFlavor};
+///
+/// let keys: Vec<u32> = (0..1000).map(|k| k * 2).collect();
+/// let tree = BTree::bulk_load(BTreeFlavor::BTree, &keys);
+/// assert!(tree.search(500).found);
+/// assert!(!tree.search(501).found);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BTree {
+    flavor: BTreeFlavor,
+    nodes: Vec<Node>,
+    root: usize,
+    height: usize,
+    key_count: usize,
+}
+
+impl BTree {
+    /// Bulk-loads a tree from **sorted, deduplicated** keys.
+    ///
+    /// Keys must not contain [`KEY_PAD`] (`u32::MAX`), which is reserved as
+    /// the empty-slot sentinel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` is empty, unsorted, contains duplicates, or contains
+    /// `u32::MAX`.
+    pub fn bulk_load(flavor: BTreeFlavor, keys: &[u32]) -> Self {
+        assert!(!keys.is_empty(), "cannot build a B-tree from zero keys");
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys must be sorted and unique");
+        assert!(*keys.last().expect("non-empty") != KEY_PAD, "u32::MAX is reserved");
+
+        let mut builder = Builder { flavor, nodes: Vec::new() };
+        let root = match flavor {
+            BTreeFlavor::BPlus => builder.build_bplus(keys),
+            _ => builder.build_classic(keys),
+        };
+        let mut tree = BTree {
+            flavor,
+            nodes: builder.nodes,
+            root,
+            height: 0,
+            key_count: keys.len(),
+        };
+        tree.height = tree.depth_of(tree.root);
+        tree.assert_invariants();
+        tree
+    }
+
+    /// The variant this tree was built as.
+    pub fn flavor(&self) -> BTreeFlavor {
+        self.flavor
+    }
+
+    /// Root node id.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// Tree height (a root-only tree has height 1).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Total number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of keys the tree indexes.
+    pub fn key_count(&self) -> usize {
+        self.key_count
+    }
+
+    fn depth_of(&self, node: usize) -> usize {
+        let n = &self.nodes[node];
+        if n.is_leaf() {
+            1
+        } else {
+            1 + self.depth_of(n.children[0])
+        }
+    }
+
+    /// Reference search following Algorithm 1 of the paper.
+    pub fn search(&self, query: u32) -> SearchOutcome {
+        let mut node = self.root;
+        let mut visited = 0;
+        loop {
+            visited += 1;
+            let n = &self.nodes[node];
+            if n.is_leaf() {
+                let found = n.keys.binary_search(&query).is_ok();
+                return SearchOutcome { found, nodes_visited: visited };
+            }
+            let mut next = n.children.len() - 1;
+            let mut found_here = false;
+            for (i, &k) in n.keys.iter().enumerate() {
+                if self.flavor != BTreeFlavor::BPlus && query == k {
+                    found_here = true;
+                    break;
+                }
+                if query < k {
+                    next = i;
+                    break;
+                }
+            }
+            if found_here {
+                return SearchOutcome { found: true, nodes_visited: visited };
+            }
+            node = n.children[next];
+        }
+    }
+
+    /// All keys in sorted order (test oracle).
+    pub fn keys_in_order(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.key_count);
+        self.collect_keys(self.root, &mut out);
+        out
+    }
+
+    fn collect_keys(&self, node: usize, out: &mut Vec<u32>) {
+        let n = &self.nodes[node];
+        if n.is_leaf() {
+            out.extend_from_slice(&n.keys);
+            return;
+        }
+        match self.flavor {
+            BTreeFlavor::BPlus => {
+                for &c in &n.children {
+                    self.collect_keys(c, out);
+                }
+            }
+            _ => {
+                for i in 0..n.children.len() {
+                    self.collect_keys(n.children[i], out);
+                    if i < n.keys.len() {
+                        out.push(n.keys[i]);
+                    }
+                }
+            }
+        }
+    }
+
+    fn assert_invariants(&self) {
+        for (id, n) in self.nodes.iter().enumerate() {
+            assert!(n.keys.len() <= MAX_KEYS, "node {id} has too many keys");
+            assert!(n.keys.windows(2).all(|w| w[0] < w[1]), "node {id} keys unsorted");
+            if !n.is_leaf() {
+                assert_eq!(
+                    n.children.len(),
+                    n.keys.len() + 1,
+                    "node {id}: inner node must have keys+1 children"
+                );
+            }
+        }
+        let collected = self.keys_in_order();
+        assert_eq!(collected.len(), self.key_count, "key count mismatch after build");
+        assert!(collected.windows(2).all(|w| w[0] < w[1]), "global key order broken");
+    }
+
+    /// Serialises the tree into a [`MemoryImage`] whose nodes are laid out
+    /// breadth-first so that **all children of a node are contiguous** —
+    /// the property the TTA hardware exploits by returning a single base
+    /// address plus a one-hot child offset.
+    ///
+    /// Node format (16 little-endian words):
+    ///
+    /// | word | content |
+    /// |------|---------|
+    /// | 0    | [`NodeHeader`]: kind (0 inner / 1 leaf), key count |
+    /// | 1    | first-child node index (0 for leaves) |
+    /// | 2–9  | keys, padded with [`KEY_PAD`] |
+    /// | 10–15| reserved (zero) |
+    pub fn serialize(&self) -> SerializedBTree {
+        let mut image = MemoryImage::with_node_capacity(self.nodes.len());
+        // BFS assignment: map host node id -> image node index.
+        let mut index_of = vec![usize::MAX; self.nodes.len()];
+        let root_index = image.alloc_node();
+        index_of[self.root] = root_index;
+        let mut queue = std::collections::VecDeque::from([self.root]);
+        while let Some(host_id) = queue.pop_front() {
+            let node = &self.nodes[host_id];
+            let img_id = index_of[host_id];
+            let kind = if node.is_leaf() { NodeHeader::KIND_LEAF } else { NodeHeader::KIND_INNER };
+            image.set_node_word(img_id, 0, NodeHeader::new(kind, node.keys.len() as u8).pack());
+            if !node.is_leaf() {
+                let first_child = image.alloc_nodes(node.children.len());
+                image.set_node_word(img_id, CHILD_WORD, first_child as u32);
+                for (i, &c) in node.children.iter().enumerate() {
+                    index_of[c] = first_child + i;
+                    queue.push_back(c);
+                }
+            }
+            for (i, &k) in node.keys.iter().enumerate() {
+                image.set_node_word(img_id, KEYS_WORD + i, k);
+            }
+            for i in node.keys.len()..MAX_KEYS {
+                image.set_node_word(img_id, KEYS_WORD + i, KEY_PAD);
+            }
+        }
+        SerializedBTree { image, root_index, flavor: self.flavor, height: self.height }
+    }
+}
+
+/// A serialized B-tree image plus the metadata a traversal needs.
+#[derive(Debug, Clone)]
+pub struct SerializedBTree {
+    /// The flat memory image.
+    pub image: MemoryImage,
+    /// Node index of the root (always 0 in the BFS layout, kept explicit).
+    pub root_index: usize,
+    /// The variant that was serialized.
+    pub flavor: BTreeFlavor,
+    /// Height of the serialized tree.
+    pub height: usize,
+}
+
+impl SerializedBTree {
+    /// Searches the *serialized image* directly (the same walk the SIMT
+    /// kernel and the TTA perform), as a cross-check against
+    /// [`BTree::search`].
+    pub fn search_image(&self, query: u32) -> SearchOutcome {
+        let mut node = self.root_index;
+        let mut visited = 0;
+        loop {
+            visited += 1;
+            let header = NodeHeader::unpack(self.image.node_word(node, 0));
+            let nkeys = header.count as usize;
+            if header.is_leaf() {
+                let mut found = false;
+                for i in 0..nkeys {
+                    if self.image.node_word(node, KEYS_WORD + i) == query {
+                        found = true;
+                        break;
+                    }
+                }
+                return SearchOutcome { found, nodes_visited: visited };
+            }
+            let first_child = self.image.node_word(node, CHILD_WORD) as usize;
+            let mut next = nkeys; // default: rightmost child
+            let mut found_here = false;
+            for i in 0..nkeys {
+                let k = self.image.node_word(node, KEYS_WORD + i);
+                if self.flavor != BTreeFlavor::BPlus && query == k {
+                    found_here = true;
+                    break;
+                }
+                if query < k {
+                    next = i;
+                    break;
+                }
+            }
+            if found_here {
+                return SearchOutcome { found: true, nodes_visited: visited };
+            }
+            node = first_child + next;
+        }
+    }
+
+    /// Byte address of a node given the image base address in GPU memory.
+    pub fn node_addr(&self, base: usize, node_index: usize) -> usize {
+        base + node_index * NODE_SIZE
+    }
+}
+
+struct Builder {
+    flavor: BTreeFlavor,
+    nodes: Vec<Node>,
+}
+
+impl Builder {
+    fn push(&mut self, node: Node) -> usize {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    fn keys_per_leaf(&self) -> usize {
+        ((MAX_KEYS as f32 * self.flavor.fill_factor()).round() as usize).clamp(1, MAX_KEYS)
+    }
+
+    fn keys_per_inner(&self) -> usize {
+        ((MAX_KEYS as f32 * self.flavor.fill_factor()).round() as usize).clamp(1, MAX_KEYS)
+    }
+
+    /// Classic B-tree bulk load: keys at every level.
+    ///
+    /// Recursively builds a subtree of minimal height for the given run,
+    /// distributing keys as evenly as possible among the children and
+    /// keeping one separator key (a *real* key) in the parent between each
+    /// pair of children.
+    fn build_classic(&mut self, keys: &[u32]) -> usize {
+        let kl = self.keys_per_leaf();
+        if keys.len() <= kl {
+            return self.push(Node { keys: keys.to_vec(), children: Vec::new() });
+        }
+        let ki = self.keys_per_inner();
+        // Find the minimal height whose capacity fits.
+        let mut height = 1usize;
+        while Self::classic_capacity(kl, ki, height) < keys.len() {
+            height += 1;
+        }
+        self.build_classic_level(keys, kl, ki, height)
+    }
+
+    /// Capacity of a classic subtree of the given height (height 0 = leaf).
+    fn classic_capacity(kl: usize, ki: usize, height: usize) -> usize {
+        if height == 0 {
+            return kl;
+        }
+        let below = Self::classic_capacity(kl, ki, height - 1);
+        // Full fan-out at the target fill factor: ki keys + (ki + 1) subtrees.
+        ki + (ki + 1) * below
+    }
+
+    fn build_classic_level(&mut self, keys: &[u32], kl: usize, ki: usize, height: usize) -> usize {
+        if height == 0 || keys.len() <= kl {
+            debug_assert!(keys.len() <= MAX_KEYS);
+            return self.push(Node { keys: keys.to_vec(), children: Vec::new() });
+        }
+        let below = Self::classic_capacity(kl, ki, height - 1);
+        // Choose the smallest number of children that fits, then spread keys.
+        let mut nchildren = keys.len().div_ceil(below + 1).max(2);
+        nchildren = nchildren.min(MAX_CHILDREN);
+        // nchildren children need nchildren - 1 separators.
+        let child_keys_total = keys.len() - (nchildren - 1);
+        let mut node_keys = Vec::with_capacity(nchildren - 1);
+        let mut children = Vec::with_capacity(nchildren);
+        let mut cursor = 0usize;
+        for c in 0..nchildren {
+            // Even distribution of the remaining keys over remaining children.
+            let remaining_children = nchildren - c;
+            let keys_left_for_children = child_keys_total - (cursor - node_keys.len());
+            let this_child = keys_left_for_children.div_ceil(remaining_children);
+            let slice = &keys[cursor..cursor + this_child];
+            children.push(self.build_classic_level(slice, kl, ki, height - 1));
+            cursor += this_child;
+            if c + 1 < nchildren {
+                node_keys.push(keys[cursor]);
+                cursor += 1;
+            }
+        }
+        debug_assert_eq!(cursor, keys.len(), "all keys must be consumed");
+        self.push(Node { keys: node_keys, children })
+    }
+
+    /// B+Tree bulk load: all keys at the leaves, separator copies above.
+    fn build_bplus(&mut self, keys: &[u32]) -> usize {
+        let kl = self.keys_per_leaf();
+        // Build the leaf level.
+        let mut level: Vec<(usize, u32)> = Vec::new(); // (node id, min key)
+        let nleaves = keys.len().div_ceil(kl);
+        let mut cursor = 0usize;
+        for i in 0..nleaves {
+            let take = (keys.len() - cursor).div_ceil(nleaves - i);
+            let slice = &keys[cursor..cursor + take];
+            let id = self.push(Node { keys: slice.to_vec(), children: Vec::new() });
+            level.push((id, slice[0]));
+            cursor += take;
+        }
+        // Build inner levels until a single root remains.
+        let fan = (self.keys_per_inner() + 1).clamp(2, MAX_CHILDREN);
+        while level.len() > 1 {
+            let nparents = level.len().div_ceil(fan);
+            let mut next: Vec<(usize, u32)> = Vec::with_capacity(nparents);
+            let mut cursor = 0usize;
+            for i in 0..nparents {
+                let take = ((level.len() - cursor).div_ceil(nparents - i)).max(2.min(level.len() - cursor));
+                let group = &level[cursor..cursor + take];
+                let children: Vec<usize> = group.iter().map(|&(id, _)| id).collect();
+                // Separators: min key of each child except the first.
+                let keys: Vec<u32> = group[1..].iter().map(|&(_, k)| k).collect();
+                let min_key = group[0].1;
+                let id = self.push(Node { keys, children });
+                next.push((id, min_key));
+                cursor += take;
+            }
+            level = next;
+        }
+        level[0].0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: u32) -> Vec<u32> {
+        (0..n).map(|k| k * 3 + 1).collect()
+    }
+
+    #[test]
+    fn tiny_tree_is_single_leaf() {
+        let tree = BTree::bulk_load(BTreeFlavor::BTree, &[5, 10, 15]);
+        assert_eq!(tree.height(), 1);
+        assert_eq!(tree.node_count(), 1);
+        assert!(tree.search(10).found);
+        assert!(!tree.search(11).found);
+    }
+
+    #[test]
+    fn all_flavors_index_all_keys() {
+        let ks = keys(5000);
+        for flavor in BTreeFlavor::ALL {
+            let tree = BTree::bulk_load(flavor, &ks);
+            assert_eq!(tree.keys_in_order(), ks, "{flavor} lost keys");
+            for &k in ks.iter().step_by(37) {
+                assert!(tree.search(k).found, "{flavor} missing key {k}");
+                assert!(!tree.search(k + 1).found, "{flavor} phantom key {}", k + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn bstar_is_denser_than_btree() {
+        let ks = keys(20_000);
+        let b = BTree::bulk_load(BTreeFlavor::BTree, &ks);
+        let bstar = BTree::bulk_load(BTreeFlavor::BStar, &ks);
+        assert!(
+            bstar.node_count() < b.node_count(),
+            "B* ({}) should use fewer nodes than B ({})",
+            bstar.node_count(),
+            b.node_count()
+        );
+    }
+
+    #[test]
+    fn bplus_search_always_reaches_leaf_depth() {
+        let ks = keys(10_000);
+        let tree = BTree::bulk_load(BTreeFlavor::BPlus, &ks);
+        let h = tree.height();
+        for &k in ks.iter().step_by(91) {
+            assert_eq!(tree.search(k).nodes_visited, h, "B+ search must hit leaf level");
+        }
+    }
+
+    #[test]
+    fn classic_search_can_finish_early() {
+        let ks = keys(10_000);
+        let tree = BTree::bulk_load(BTreeFlavor::BTree, &ks);
+        let h = tree.height();
+        assert!(h >= 3, "tree should have multiple levels");
+        let early = ks.iter().any(|&k| tree.search(k).nodes_visited < h);
+        assert!(early, "classic B-tree must find some keys at inner nodes");
+    }
+
+    #[test]
+    fn serialized_image_matches_reference() {
+        let ks = keys(3000);
+        for flavor in BTreeFlavor::ALL {
+            let tree = BTree::bulk_load(flavor, &ks);
+            let ser = tree.serialize();
+            assert_eq!(ser.root_index, 0);
+            assert_eq!(ser.image.node_count(), tree.node_count());
+            for q in (0..10_000u32).step_by(17) {
+                let a = tree.search(q);
+                let b = ser.search_image(q);
+                assert_eq!(a.found, b.found, "{flavor} found mismatch at {q}");
+                assert_eq!(a.nodes_visited, b.nodes_visited, "{flavor} path mismatch at {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn children_are_contiguous_in_image() {
+        let ks = keys(4000);
+        let tree = BTree::bulk_load(BTreeFlavor::BTree, &ks);
+        let ser = tree.serialize();
+        // Walk the image: every inner node's children are at
+        // first_child .. first_child + nkeys + 1 and within bounds.
+        let total = ser.image.node_count();
+        for node in 0..total {
+            let header = NodeHeader::unpack(ser.image.node_word(node, 0));
+            if !header.is_leaf() {
+                let first = ser.image.node_word(node, CHILD_WORD) as usize;
+                let nchildren = header.count as usize + 1;
+                assert!(first + nchildren <= total, "child range out of bounds");
+                assert!(first > node, "children must come after parents in BFS order");
+            }
+        }
+    }
+
+    #[test]
+    fn key_padding_slots_are_max() {
+        let tree = BTree::bulk_load(BTreeFlavor::BTree, &[1, 2, 3]);
+        let ser = tree.serialize();
+        let header = NodeHeader::unpack(ser.image.node_word(0, 0));
+        for i in header.count as usize..MAX_KEYS {
+            assert_eq!(ser.image.node_word(0, KEYS_WORD + i), KEY_PAD);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_keys_panic() {
+        let _ = BTree::bulk_load(BTreeFlavor::BTree, &[3, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero keys")]
+    fn empty_keys_panic() {
+        let _ = BTree::bulk_load(BTreeFlavor::BTree, &[]);
+    }
+
+    #[test]
+    fn large_tree_heights_are_logarithmic() {
+        let ks = keys(100_000);
+        let tree = BTree::bulk_load(BTreeFlavor::BStar, &ks);
+        // 9-wide tree over 100k keys: height should be about log_7(1e5) ~ 6.
+        assert!(tree.height() <= 8, "height {} too large", tree.height());
+        assert!(tree.height() >= 4, "height {} too small", tree.height());
+    }
+}

@@ -1,0 +1,910 @@
+//! Bounding Volume Hierarchies over triangles or spheres.
+//!
+//! This is the tree the baseline RTA traverses (Algorithm 3 / Fig. 3 of the
+//! paper): binary nodes whose *parent* stores both children's AABBs so one
+//! 64-byte node fetch feeds two Ray-Box tests. Leaves reference a contiguous
+//! run of primitives — triangles for the LumiBench-style workloads, spheres
+//! for WKND_PT procedural geometry and RTNN radius search.
+
+use crate::image::{MemoryImage, NodeHeader};
+use crate::NODE_SIZE;
+use geometry::{intersect, Aabb, Ray, Sphere, Triangle, Vec3};
+
+/// Maximum primitives referenced by one leaf.
+pub const MAX_LEAF_PRIMS: usize = 4;
+
+/// Serialized triangle stride in bytes (9 × f32).
+pub const TRIANGLE_STRIDE: usize = 36;
+/// Serialized sphere stride in bytes (centre + radius).
+pub const SPHERE_STRIDE: usize = 16;
+
+/// A primitive a BVH can be built over.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BvhPrimitive {
+    /// A triangle (hardware Ray-Triangle test).
+    Triangle(Triangle),
+    /// A sphere (intersection-shader / TTA+ Ray-Sphere test).
+    Sphere(Sphere),
+}
+
+impl BvhPrimitive {
+    /// The primitive's bounding box.
+    pub fn aabb(&self) -> Aabb {
+        match self {
+            BvhPrimitive::Triangle(t) => t.aabb(),
+            BvhPrimitive::Sphere(s) => s.aabb(),
+        }
+    }
+
+    /// The primitive's surface area (occlusion proxy for SATO).
+    pub fn area(&self) -> f32 {
+        match self {
+            BvhPrimitive::Triangle(t) => t.area(),
+            BvhPrimitive::Sphere(s) => {
+                4.0 * std::f32::consts::PI * s.radius * s.radius
+            }
+        }
+    }
+
+    /// The centroid used for BVH binning.
+    pub fn centroid(&self) -> Vec3 {
+        match self {
+            BvhPrimitive::Triangle(t) => t.centroid(),
+            BvhPrimitive::Sphere(s) => s.center,
+        }
+    }
+}
+
+/// Which primitive type a serialized BVH's leaf buffer holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrimitiveKind {
+    /// 36-byte triangles.
+    Triangle,
+    /// 16-byte spheres.
+    Sphere,
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    bounds: Aabb,
+    /// Leaf: (first primitive, count). Inner: children ids in `left`/`right`.
+    left: usize,
+    right: usize,
+    first_prim: usize,
+    prim_count: usize,
+    /// Total primitive surface area below this node — the occlusion proxy
+    /// the SATO traversal order uses (a sliver's AABB is huge but its
+    /// *geometry* is thin; primitive area captures that).
+    prim_area: f32,
+}
+
+impl Node {
+    fn is_leaf(&self) -> bool {
+        self.prim_count > 0
+    }
+}
+
+/// A hit returned by the reference traversal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BvhHit {
+    /// Hit distance.
+    pub t: f32,
+    /// Index into the (reordered) primitive array.
+    pub prim: usize,
+    /// Barycentric `u` (triangles) or 0 (spheres).
+    pub u: f32,
+    /// Barycentric `v` (triangles) or 0 (spheres).
+    pub v: f32,
+}
+
+/// Traversal statistics from a reference walk, used to validate the
+/// accelerator models (they must visit the same nodes).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraversalCounts {
+    /// Internal nodes whose children were box-tested.
+    pub box_tests: usize,
+    /// Leaf primitives tested.
+    pub prim_tests: usize,
+    /// Nodes popped from the traversal stack.
+    pub nodes_visited: usize,
+}
+
+/// How [`Bvh::build_with`] splits nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BuildMethod {
+    /// Median split on the widest centroid axis (fast, the default).
+    #[default]
+    MedianSplit,
+    /// Binned surface-area heuristic (16 bins): slower builds, cheaper
+    /// traversals — the quality the ablation tests quantify.
+    BinnedSah,
+}
+
+/// A BVH over a fixed set of primitives.
+///
+/// Primitives are reordered so each leaf owns a contiguous slice.
+///
+/// # Examples
+///
+/// ```
+/// use tta_trees::{Bvh, BvhPrimitive};
+/// use geometry::{Ray, Sphere, Vec3};
+///
+/// let prims: Vec<BvhPrimitive> = (0..64)
+///     .map(|i| BvhPrimitive::Sphere(Sphere::new(Vec3::new(i as f32 * 3.0, 0.0, 0.0), 1.0)))
+///     .collect();
+/// let bvh = Bvh::build(prims);
+/// let ray = Ray::new(Vec3::new(-5.0, 0.0, 0.0), Vec3::new(1.0, 0.0, 0.0));
+/// let (hit, _) = bvh.closest_hit(&ray);
+/// assert!(hit.is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bvh {
+    nodes: Vec<Node>,
+    prims: Vec<BvhPrimitive>,
+    root: usize,
+}
+
+impl Bvh {
+    /// Builds a BVH with the default median-split method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prims` is empty or mixes triangles and spheres.
+    pub fn build(prims: Vec<BvhPrimitive>) -> Self {
+        Self::build_with(prims, BuildMethod::MedianSplit)
+    }
+
+    /// Builds a BVH with an explicit split method, consuming and reordering
+    /// the primitives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prims` is empty or mixes triangles and spheres.
+    pub fn build_with(prims: Vec<BvhPrimitive>, method: BuildMethod) -> Self {
+        assert!(!prims.is_empty(), "cannot build a BVH over zero primitives");
+        let homogeneous = prims
+            .windows(2)
+            .all(|w| std::mem::discriminant(&w[0]) == std::mem::discriminant(&w[1]));
+        assert!(homogeneous, "BVH primitives must all be the same kind");
+
+        let mut order: Vec<usize> = (0..prims.len()).collect();
+        let mut nodes = Vec::with_capacity(2 * prims.len());
+        let len = prims.len();
+        let root = Self::build_range(&prims, &mut order, &mut nodes, 0, len, method);
+        // Reorder primitives so leaves own contiguous runs.
+        let prims = order.into_iter().map(|i| prims[i]).collect();
+        let bvh = Bvh { nodes, prims, root };
+        bvh.assert_invariants();
+        bvh
+    }
+
+    fn build_range(
+        prims: &[BvhPrimitive],
+        order: &mut [usize],
+        nodes: &mut Vec<Node>,
+        first: usize,
+        count: usize,
+        method: BuildMethod,
+    ) -> usize {
+        let slice = &order[first..first + count];
+        let bounds = slice.iter().fold(Aabb::empty(), |mut b, &i| {
+            b.grow_box(&prims[i].aabb());
+            b
+        });
+        if count <= MAX_LEAF_PRIMS {
+            let prim_area = slice.iter().map(|&i| prims[i].area()).sum();
+            nodes.push(Node {
+                bounds,
+                left: 0,
+                right: 0,
+                first_prim: first,
+                prim_count: count,
+                prim_area,
+            });
+            return nodes.len() - 1;
+        }
+        let centroid_bounds =
+            slice.iter().fold(Aabb::empty(), |mut b, &i| {
+                b.grow(prims[i].centroid());
+                b
+            });
+        let axis = centroid_bounds.extent().max_axis();
+        let mid = match method {
+            BuildMethod::MedianSplit => count / 2,
+            BuildMethod::BinnedSah => {
+                Self::sah_split(prims, slice, &centroid_bounds, axis).unwrap_or(count / 2)
+            }
+        };
+        order[first..first + count].select_nth_unstable_by(mid, |&a, &b| {
+            prims[a].centroid()[axis]
+                .partial_cmp(&prims[b].centroid()[axis])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let this = nodes.len();
+        nodes.push(Node {
+            bounds,
+            left: 0,
+            right: 0,
+            first_prim: 0,
+            prim_count: 0,
+            prim_area: 0.0,
+        });
+        let left = Self::build_range(prims, order, nodes, first, mid, method);
+        let right = Self::build_range(prims, order, nodes, first + mid, count - mid, method);
+        nodes[this].left = left;
+        nodes[this].right = right;
+        nodes[this].prim_area = nodes[left].prim_area + nodes[right].prim_area;
+        this
+    }
+
+    /// Picks the split *rank* (how many primitives go left after sorting by
+    /// centroid on `axis`) minimising the binned SAH cost; `None` when the
+    /// centroids are degenerate.
+    fn sah_split(
+        prims: &[BvhPrimitive],
+        slice: &[usize],
+        centroid_bounds: &Aabb,
+        axis: usize,
+    ) -> Option<usize> {
+        const BINS: usize = 16;
+        let lo = centroid_bounds.min[axis];
+        let extent = centroid_bounds.extent()[axis];
+        if extent <= 1e-12 {
+            return None;
+        }
+        let mut bin_bounds = [Aabb::empty(); BINS];
+        let mut bin_counts = [0usize; BINS];
+        let bin_of = |c: f32| (((c - lo) / extent * BINS as f32) as usize).min(BINS - 1);
+        for &i in slice {
+            let b = bin_of(prims[i].centroid()[axis]);
+            bin_counts[b] += 1;
+            bin_bounds[b].grow_box(&prims[i].aabb());
+        }
+        // Sweep: prefix/suffix areas.
+        let mut left_area = [0.0f32; BINS];
+        let mut left_count = [0usize; BINS];
+        let mut acc = Aabb::empty();
+        let mut n = 0;
+        for b in 0..BINS {
+            acc.grow_box(&bin_bounds[b]);
+            n += bin_counts[b];
+            left_area[b] = acc.surface_area();
+            left_count[b] = n;
+        }
+        let mut best: Option<(f32, usize)> = None;
+        let mut acc = Aabb::empty();
+        let mut n = 0;
+        for b in (1..BINS).rev() {
+            acc.grow_box(&bin_bounds[b]);
+            n += bin_counts[b];
+            let lcount = left_count[b - 1];
+            if lcount == 0 || n == 0 {
+                continue;
+            }
+            let cost = left_area[b - 1] * lcount as f32 + acc.surface_area() * n as f32;
+            if best.map_or(true, |(c, _)| cost < c) {
+                best = Some((cost, lcount));
+            }
+        }
+        best.map(|(_, rank)| rank)
+    }
+
+    /// Root node id.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// Total node count.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The (reordered) primitives, leaf-contiguous.
+    pub fn primitives(&self) -> &[BvhPrimitive] {
+        &self.prims
+    }
+
+    /// Scene bounding box.
+    pub fn bounds(&self) -> Aabb {
+        self.nodes[self.root].bounds
+    }
+
+    /// Maximum depth of the tree (root = depth 1).
+    pub fn depth(&self) -> usize {
+        self.depth_of(self.root)
+    }
+
+    fn depth_of(&self, id: usize) -> usize {
+        let n = &self.nodes[id];
+        if n.is_leaf() {
+            1
+        } else {
+            1 + self.depth_of(n.left).max(self.depth_of(n.right))
+        }
+    }
+
+    fn assert_invariants(&self) {
+        for n in &self.nodes {
+            if n.is_leaf() {
+                assert!(n.prim_count <= MAX_LEAF_PRIMS);
+                assert!(n.first_prim + n.prim_count <= self.prims.len());
+                for p in &self.prims[n.first_prim..n.first_prim + n.prim_count] {
+                    let pb = p.aabb();
+                    assert!(
+                        n.bounds.contains(pb.min) && n.bounds.contains(pb.max),
+                        "leaf bounds must contain its primitives"
+                    );
+                }
+            }
+        }
+    }
+
+    fn hit_prim(&self, ray: &Ray, prim: usize) -> Option<BvhHit> {
+        match &self.prims[prim] {
+            BvhPrimitive::Triangle(t) => intersect::ray_triangle(ray, t)
+                .map(|h| BvhHit { t: h.t, prim, u: h.u, v: h.v }),
+            BvhPrimitive::Sphere(s) => {
+                intersect::ray_sphere(ray, s).map(|h| BvhHit { t: h.t, prim, u: 0.0, v: 0.0 })
+            }
+        }
+    }
+
+    /// Closest-hit traversal (the while-while loop of Algorithm 3), with
+    /// `tmax` shrinking as hits are found. Also returns traversal counts.
+    pub fn closest_hit(&self, ray: &Ray) -> (Option<BvhHit>, TraversalCounts) {
+        let mut counts = TraversalCounts::default();
+        let mut best: Option<BvhHit> = None;
+        let mut ray = *ray;
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            counts.nodes_visited += 1;
+            let n = &self.nodes[id];
+            if n.is_leaf() {
+                for p in n.first_prim..n.first_prim + n.prim_count {
+                    counts.prim_tests += 1;
+                    if let Some(h) = self.hit_prim(&ray, p) {
+                        if best.is_none_or(|b| h.t < b.t) {
+                            best = Some(h);
+                            ray.tmax = h.t;
+                        }
+                    }
+                }
+                continue;
+            }
+            counts.box_tests += 1;
+            let lh = intersect::ray_aabb(&ray, &self.nodes[n.left].bounds, ray.tmin, ray.tmax);
+            let rh = intersect::ray_aabb(&ray, &self.nodes[n.right].bounds, ray.tmin, ray.tmax);
+            // Near child popped first (pushed last).
+            match (lh, rh) {
+                (Some(l), Some(r)) => {
+                    if l.t_enter <= r.t_enter {
+                        stack.push(n.right);
+                        stack.push(n.left);
+                    } else {
+                        stack.push(n.left);
+                        stack.push(n.right);
+                    }
+                }
+                (Some(_), None) => stack.push(n.left),
+                (None, Some(_)) => stack.push(n.right),
+                (None, None) => {}
+            }
+        }
+        (best, counts)
+    }
+
+    /// Any-hit traversal: returns on the first accepted hit (shadow rays).
+    ///
+    /// When `sato` is set, children are visited in descending surface-area
+    /// order — the SATO optimisation [Nah & Manocha 2014] the paper enables
+    /// on TTA+ for the SHIP_SH workload.
+    pub fn any_hit(&self, ray: &Ray, sato: bool) -> (bool, TraversalCounts) {
+        let mut counts = TraversalCounts::default();
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            counts.nodes_visited += 1;
+            let n = &self.nodes[id];
+            if n.is_leaf() {
+                for p in n.first_prim..n.first_prim + n.prim_count {
+                    counts.prim_tests += 1;
+                    if self.hit_prim(ray, p).is_some() {
+                        return (true, counts);
+                    }
+                }
+                continue;
+            }
+            counts.box_tests += 1;
+            let lh = intersect::ray_aabb(ray, &self.nodes[n.left].bounds, ray.tmin, ray.tmax);
+            let rh = intersect::ray_aabb(ray, &self.nodes[n.right].bounds, ray.tmin, ray.tmax);
+            let (first, second) = if sato {
+                // Visit the child with more *geometry* area first — the
+                // occluder is more likely there (a sliver's AABB is big
+                // but its triangle is thin, the SHIP pathology).
+                if self.nodes[n.left].prim_area >= self.nodes[n.right].prim_area {
+                    (n.left, n.right)
+                } else {
+                    (n.right, n.left)
+                }
+            } else {
+                (n.left, n.right)
+            };
+            let hit_of = |id: usize| if id == n.left { lh } else { rh };
+            if hit_of(second).is_some() {
+                stack.push(second);
+            }
+            if hit_of(first).is_some() {
+                stack.push(first);
+            }
+        }
+        (false, counts)
+    }
+
+    /// Finds all sphere primitives whose centre lies within `radius` of
+    /// `query` — the RTNN radius-search oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the BVH holds triangles.
+    pub fn points_within(&self, query: Vec3, radius: f32) -> Vec<usize> {
+        let mut out = Vec::new();
+        let r2 = radius * radius;
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            let n = &self.nodes[id];
+            if n.bounds.distance_squared(query) > r2 {
+                continue;
+            }
+            if n.is_leaf() {
+                for p in n.first_prim..n.first_prim + n.prim_count {
+                    match &self.prims[p] {
+                        BvhPrimitive::Sphere(s) => {
+                            if s.center.distance_squared(query) <= r2 {
+                                out.push(p);
+                            }
+                        }
+                        BvhPrimitive::Triangle(_) => {
+                            panic!("points_within requires a sphere BVH")
+                        }
+                    }
+                }
+            } else {
+                stack.push(n.left);
+                stack.push(n.right);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Serialises into the flat node + primitive image.
+    ///
+    /// Inner node format (16 words): header, left-child index, left AABB
+    /// (words 2–7), right AABB (words 8–13), right-child index (word 14).
+    /// Leaf format: header (count = #prims), first-primitive index (word 1).
+    /// The primitive buffer follows the node region.
+    pub fn serialize(&self) -> SerializedBvh {
+        let mut image = MemoryImage::with_node_capacity(self.nodes.len());
+        let mut index_of = vec![usize::MAX; self.nodes.len()];
+        index_of[self.root] = image.alloc_node();
+        let mut queue = std::collections::VecDeque::from([self.root]);
+        while let Some(host_id) = queue.pop_front() {
+            let node = &self.nodes[host_id];
+            let img_id = index_of[host_id];
+            if node.is_leaf() {
+                image.set_node_word(
+                    img_id,
+                    0,
+                    NodeHeader::new(NodeHeader::KIND_LEAF, node.prim_count as u8).pack(),
+                );
+                image.set_node_word(img_id, 1, node.first_prim as u32);
+            } else {
+                image.set_node_word(img_id, 0, NodeHeader::new(NodeHeader::KIND_INNER, 2).pack());
+                let left_idx = image.alloc_node();
+                let right_idx = image.alloc_node();
+                index_of[node.left] = left_idx;
+                index_of[node.right] = right_idx;
+                queue.push_back(node.left);
+                queue.push_back(node.right);
+                image.set_node_word(img_id, 1, left_idx as u32);
+                image.set_node_word(img_id, 14, right_idx as u32);
+                let lb = self.nodes[node.left].bounds;
+                let rb = self.nodes[node.right].bounds;
+                for (w, v) in [
+                    (2, lb.min.x), (3, lb.min.y), (4, lb.min.z),
+                    (5, lb.max.x), (6, lb.max.y), (7, lb.max.z),
+                    (8, rb.min.x), (9, rb.min.y), (10, rb.min.z),
+                    (11, rb.max.x), (12, rb.max.y), (13, rb.max.z),
+                ] {
+                    image.set_node_word_f32(img_id, w, v);
+                }
+                // Word 15: the left child's share of the subtree's
+                // primitive area (the SATO ordering score).
+                let la = self.nodes[node.left].prim_area;
+                let ra = self.nodes[node.right].prim_area;
+                let frac = if la + ra > 0.0 { la / (la + ra) } else { 0.5 };
+                image.set_node_word_f32(img_id, 15, frac);
+            }
+        }
+        // Primitive buffer.
+        image.align_to(NODE_SIZE);
+        let prim_base = image.len();
+        let kind = match self.prims[0] {
+            BvhPrimitive::Triangle(_) => PrimitiveKind::Triangle,
+            BvhPrimitive::Sphere(_) => PrimitiveKind::Sphere,
+        };
+        for p in &self.prims {
+            match p {
+                BvhPrimitive::Triangle(t) => {
+                    for v in [t.v0, t.v1, t.v2] {
+                        for c in v.to_array() {
+                            image.append_bytes(&c.to_le_bytes());
+                        }
+                    }
+                }
+                BvhPrimitive::Sphere(s) => {
+                    for c in s.center.to_array() {
+                        image.append_bytes(&c.to_le_bytes());
+                    }
+                    image.append_bytes(&s.radius.to_le_bytes());
+                }
+            }
+        }
+        SerializedBvh {
+            image,
+            root_index: 0,
+            prim_base,
+            prim_kind: kind,
+            prim_count: self.prims.len(),
+        }
+    }
+}
+
+/// A serialized BVH image plus layout metadata.
+#[derive(Debug, Clone)]
+pub struct SerializedBvh {
+    /// The flat memory image (nodes then primitives).
+    pub image: MemoryImage,
+    /// Node index of the root.
+    pub root_index: usize,
+    /// Byte offset of the primitive buffer within the image.
+    pub prim_base: usize,
+    /// Primitive type stored in the buffer.
+    pub prim_kind: PrimitiveKind,
+    /// Number of primitives.
+    pub prim_count: usize,
+}
+
+impl SerializedBvh {
+    /// Stride of one serialized primitive.
+    pub fn prim_stride(&self) -> usize {
+        match self.prim_kind {
+            PrimitiveKind::Triangle => TRIANGLE_STRIDE,
+            PrimitiveKind::Sphere => SPHERE_STRIDE,
+        }
+    }
+
+    /// Reads primitive `i` back from the image.
+    pub fn read_prim(&self, i: usize) -> BvhPrimitive {
+        let base = self.prim_base + i * self.prim_stride();
+        let f = |off: usize| self.image.read_f32(base + off * 4);
+        match self.prim_kind {
+            PrimitiveKind::Triangle => BvhPrimitive::Triangle(Triangle::new(
+                Vec3::new(f(0), f(1), f(2)),
+                Vec3::new(f(3), f(4), f(5)),
+                Vec3::new(f(6), f(7), f(8)),
+            )),
+            PrimitiveKind::Sphere => {
+                BvhPrimitive::Sphere(Sphere::new(Vec3::new(f(0), f(1), f(2)), f(3)))
+            }
+        }
+    }
+
+    /// Closest-hit traversal over the *serialized image* (cross-check oracle
+    /// for the accelerator models).
+    pub fn closest_hit_image(&self, ray: &Ray) -> Option<BvhHit> {
+        let mut best: Option<BvhHit> = None;
+        let mut ray = *ray;
+        let mut stack = vec![self.root_index];
+        while let Some(id) = stack.pop() {
+            let header = NodeHeader::unpack(self.image.node_word(id, 0));
+            if header.is_leaf() {
+                let first = self.image.node_word(id, 1) as usize;
+                for p in first..first + header.count as usize {
+                    let hit = match self.read_prim(p) {
+                        BvhPrimitive::Triangle(t) => intersect::ray_triangle(&ray, &t)
+                            .map(|h| BvhHit { t: h.t, prim: p, u: h.u, v: h.v }),
+                        BvhPrimitive::Sphere(s) => intersect::ray_sphere(&ray, &s)
+                            .map(|h| BvhHit { t: h.t, prim: p, u: 0.0, v: 0.0 }),
+                    };
+                    if let Some(h) = hit {
+                        if best.is_none_or(|b| h.t < b.t) {
+                            best = Some(h);
+                            ray.tmax = h.t;
+                        }
+                    }
+                }
+                continue;
+            }
+            let w = |i: usize| self.image.node_word_f32(id, i);
+            let lb = Aabb::new(Vec3::new(w(2), w(3), w(4)), Vec3::new(w(5), w(6), w(7)));
+            let rb = Aabb::new(Vec3::new(w(8), w(9), w(10)), Vec3::new(w(11), w(12), w(13)));
+            let left = self.image.node_word(id, 1) as usize;
+            let right = self.image.node_word(id, 14) as usize;
+            let lh = intersect::ray_aabb(&ray, &lb, ray.tmin, ray.tmax);
+            let rh = intersect::ray_aabb(&ray, &rb, ray.tmin, ray.tmax);
+            match (lh, rh) {
+                (Some(l), Some(r)) => {
+                    if l.t_enter <= r.t_enter {
+                        stack.push(right);
+                        stack.push(left);
+                    } else {
+                        stack.push(left);
+                        stack.push(right);
+                    }
+                }
+                (Some(_), None) => stack.push(left),
+                (None, Some(_)) => stack.push(right),
+                (None, None) => {}
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sphere_grid(n: usize) -> Vec<BvhPrimitive> {
+        let mut prims = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                let c = Vec3::new(i as f32 * 4.0, j as f32 * 4.0, 0.0);
+                prims.push(BvhPrimitive::Sphere(Sphere::new(c, 1.0)));
+            }
+        }
+        prims
+    }
+
+    fn tri_fan(n: usize) -> Vec<BvhPrimitive> {
+        (0..n)
+            .map(|i| {
+                let x = i as f32 * 2.0;
+                BvhPrimitive::Triangle(Triangle::new(
+                    Vec3::new(x, -1.0, 5.0),
+                    Vec3::new(x + 1.0, -1.0, 5.0),
+                    Vec3::new(x + 0.5, 1.0, 5.0),
+                ))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn closest_hit_matches_brute_force() {
+        let prims = tri_fan(50);
+        let bvh = Bvh::build(prims.clone());
+        for i in 0..50 {
+            let ray = Ray::new(
+                Vec3::new(i as f32 * 2.0 + 0.5, 0.0, 0.0),
+                Vec3::new(0.0, 0.0, 1.0),
+            );
+            let (hit, _) = bvh.closest_hit(&ray);
+            // Brute force over the *reordered* primitive list.
+            let brute = bvh
+                .primitives()
+                .iter()
+                .enumerate()
+                .filter_map(|(p, prim)| match prim {
+                    BvhPrimitive::Triangle(t) => {
+                        intersect::ray_triangle(&ray, t).map(|h| (p, h.t))
+                    }
+                    _ => None,
+                })
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+            match (hit, brute) {
+                (Some(h), Some((p, t))) => {
+                    assert_eq!(h.prim, p);
+                    assert!((h.t - t).abs() < 1e-5);
+                }
+                (None, None) => {}
+                other => panic!("mismatch: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn any_hit_agrees_with_closest_hit_existence() {
+        let bvh = Bvh::build(sphere_grid(8));
+        for i in 0..16 {
+            let origin = Vec3::new(i as f32 * 2.0 - 3.0, -10.0, 0.0);
+            let ray = Ray::new(origin, Vec3::new(0.0, 1.0, 0.0));
+            let (closest, _) = bvh.closest_hit(&ray);
+            let (any, _) = bvh.any_hit(&ray, false);
+            let (any_sato, _) = bvh.any_hit(&ray, true);
+            assert_eq!(closest.is_some(), any);
+            assert_eq!(any, any_sato, "SATO must not change the answer");
+        }
+    }
+
+    #[test]
+    fn sato_visits_no_more_nodes_on_occluded_rays() {
+        // Long thin primitives (the SHIP pathology): SATO should visit at
+        // most as many nodes in aggregate for occluded rays.
+        let mut prims = Vec::new();
+        for i in 0..256 {
+            let y = i as f32 * 0.1;
+            prims.push(BvhPrimitive::Triangle(Triangle::new(
+                Vec3::new(-50.0, y, 10.0),
+                Vec3::new(50.0, y, 10.0),
+                Vec3::new(0.0, y + 0.05, 10.0),
+            )));
+        }
+        let bvh = Bvh::build(prims);
+        let mut plain = 0usize;
+        let mut sato = 0usize;
+        for i in 0..64 {
+            let ray = Ray::new(
+                Vec3::new(i as f32 - 32.0, 3.0, 0.0),
+                Vec3::new(0.0, 0.1, 1.0).normalized(),
+            );
+            let (hit_a, ca) = bvh.any_hit(&ray, false);
+            let (hit_b, cb) = bvh.any_hit(&ray, true);
+            assert_eq!(hit_a, hit_b);
+            plain += ca.nodes_visited;
+            sato += cb.nodes_visited;
+        }
+        assert!(sato <= plain + 8, "SATO regressed: {sato} vs {plain}");
+    }
+
+    #[test]
+    fn radius_search_matches_brute_force() {
+        let bvh = Bvh::build(sphere_grid(10));
+        let query = Vec3::new(13.0, 17.0, 0.0);
+        let radius = 7.5;
+        let found = bvh.points_within(query, radius);
+        let brute: Vec<usize> = bvh
+            .primitives()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| match p {
+                BvhPrimitive::Sphere(s)
+                    if s.center.distance_squared(query) <= radius * radius =>
+                {
+                    Some(i)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(found, brute);
+        assert!(!found.is_empty());
+    }
+
+    #[test]
+    fn serialized_traversal_matches_host() {
+        let bvh = Bvh::build(tri_fan(40));
+        let ser = bvh.serialize();
+        assert_eq!(ser.prim_count, 40);
+        for i in 0..60 {
+            let ray = Ray::new(
+                Vec3::new(i as f32 * 1.5, 0.2, 0.0),
+                Vec3::new(0.0, 0.0, 1.0),
+            );
+            let (host, _) = bvh.closest_hit(&ray);
+            let img = ser.closest_hit_image(&ray);
+            match (host, img) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.prim, b.prim);
+                    assert!((a.t - b.t).abs() < 1e-5);
+                }
+                (None, None) => {}
+                other => panic!("mismatch {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn primitives_roundtrip_through_image() {
+        let bvh = Bvh::build(sphere_grid(4));
+        let ser = bvh.serialize();
+        for (i, p) in bvh.primitives().iter().enumerate() {
+            assert_eq!(ser.read_prim(i), *p);
+        }
+    }
+
+    #[test]
+    fn single_primitive_bvh() {
+        let bvh = Bvh::build(vec![BvhPrimitive::Sphere(Sphere::new(Vec3::ZERO, 1.0))]);
+        assert_eq!(bvh.node_count(), 1);
+        let ray = Ray::new(Vec3::new(0.0, 0.0, -5.0), Vec3::new(0.0, 0.0, 1.0));
+        let (hit, counts) = bvh.closest_hit(&ray);
+        assert!(hit.is_some());
+        assert_eq!(counts.prim_tests, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "same kind")]
+    fn mixed_primitives_panic() {
+        let _ = Bvh::build(vec![
+            BvhPrimitive::Sphere(Sphere::new(Vec3::ZERO, 1.0)),
+            BvhPrimitive::Triangle(Triangle::new(Vec3::ZERO, Vec3::ONE, Vec3::new(1.0, 0.0, 0.0))),
+        ]);
+    }
+
+    #[test]
+    fn depth_is_logarithmic() {
+        let bvh = Bvh::build(sphere_grid(32)); // 1024 prims
+        assert!(bvh.depth() <= 12, "depth {} too large", bvh.depth());
+    }
+}
+
+#[cfg(test)]
+mod sah_tests {
+    use super::*;
+    use geometry::Vec3;
+
+    fn clustered_spheres(n: usize) -> Vec<BvhPrimitive> {
+        // Non-uniform distribution where SAH should beat the median split.
+        (0..n)
+            .map(|i| {
+                let cluster = (i % 3) as f32 * 100.0;
+                let j = (i / 3) as f32;
+                BvhPrimitive::Sphere(Sphere::new(
+                    Vec3::new(cluster + (j % 10.0), (j / 10.0) % 17.0, (j * 0.37) % 9.0),
+                    0.6,
+                ))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sah_matches_median_functionally() {
+        let prims = clustered_spheres(600);
+        let median = Bvh::build_with(prims.clone(), BuildMethod::MedianSplit);
+        let sah = Bvh::build_with(prims, BuildMethod::BinnedSah);
+        for i in 0..40 {
+            let ray = Ray::new(
+                Vec3::new(-10.0, i as f32 * 0.4, 4.0),
+                Vec3::new(1.0, 0.01, 0.0).normalized(),
+            );
+            let (a, _) = median.closest_hit(&ray);
+            let (b, _) = sah.closest_hit(&ray);
+            match (a, b) {
+                (Some(x), Some(y)) => assert!((x.t - y.t).abs() < 1e-4, "ray {i}"),
+                (None, None) => {}
+                other => panic!("ray {i}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn sah_traverses_no_more_nodes_in_aggregate() {
+        let prims = clustered_spheres(1200);
+        let median = Bvh::build_with(prims.clone(), BuildMethod::MedianSplit);
+        let sah = Bvh::build_with(prims, BuildMethod::BinnedSah);
+        let mut visited_median = 0usize;
+        let mut visited_sah = 0usize;
+        for i in 0..128 {
+            let ray = Ray::new(
+                Vec3::new(-20.0, (i % 16) as f32, (i / 16) as f32),
+                Vec3::new(1.0, 0.005, 0.003).normalized(),
+            );
+            visited_median += median.closest_hit(&ray).1.nodes_visited;
+            visited_sah += sah.closest_hit(&ray).1.nodes_visited;
+        }
+        assert!(
+            visited_sah as f64 <= visited_median as f64 * 1.05,
+            "SAH ({visited_sah}) should not traverse more than median ({visited_median})"
+        );
+    }
+
+    #[test]
+    fn degenerate_coincident_centroids_fall_back() {
+        // All centroids identical: SAH has no split; must still terminate.
+        let prims: Vec<BvhPrimitive> = (0..40)
+            .map(|_| BvhPrimitive::Sphere(Sphere::new(Vec3::splat(1.0), 0.5)))
+            .collect();
+        let bvh = Bvh::build_with(prims, BuildMethod::BinnedSah);
+        assert!(bvh.node_count() > 1);
+    }
+}

@@ -1,0 +1,255 @@
+//! Flat byte-addressable memory images.
+//!
+//! A [`MemoryImage`] is the serialized form of a tree: a contiguous byte
+//! buffer of 64-byte nodes (plus auxiliary buffers such as triangle or
+//! particle arrays) that gets copied verbatim into the simulated GPU's
+//! global memory. Addresses inside an image are *image-relative*; the loader
+//! rebases them when placing the image in GPU memory, which is why nodes
+//! reference children by **node index** rather than raw pointer — exactly
+//! the "offset from the first child's address" encoding the paper uses so a
+//! single address plus a one-hot lane selects the next child.
+
+use crate::{NODE_SIZE, NODE_WORDS};
+
+/// A growable little-endian byte buffer with 32-bit word accessors.
+///
+/// # Examples
+///
+/// ```
+/// use tta_trees::MemoryImage;
+///
+/// let mut img = MemoryImage::new();
+/// let node = img.alloc_node();
+/// img.write_u32(node * 64, 0xdead_beef);
+/// img.write_f32(node * 64 + 4, 1.5);
+/// assert_eq!(img.read_u32(node * 64), 0xdead_beef);
+/// assert_eq!(img.read_f32(node * 64 + 4), 1.5);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MemoryImage {
+    bytes: Vec<u8>,
+}
+
+impl MemoryImage {
+    /// Creates an empty image.
+    pub fn new() -> Self {
+        MemoryImage { bytes: Vec::new() }
+    }
+
+    /// Creates an empty image with reserved capacity for `nodes` nodes.
+    pub fn with_node_capacity(nodes: usize) -> Self {
+        MemoryImage { bytes: Vec::with_capacity(nodes * NODE_SIZE) }
+    }
+
+    /// Total size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// `true` when no bytes have been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// The raw bytes (what gets copied into simulated GPU memory).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Appends one zeroed 64-byte node and returns its **node index**.
+    pub fn alloc_node(&mut self) -> usize {
+        debug_assert!(self.bytes.len().is_multiple_of(NODE_SIZE), "node region must stay aligned");
+        let index = self.bytes.len() / NODE_SIZE;
+        self.bytes.resize(self.bytes.len() + NODE_SIZE, 0);
+        index
+    }
+
+    /// Appends `n` zeroed nodes, returning the index of the first. The nodes
+    /// are contiguous, which is what lets B-tree children be addressed as
+    /// `first_child + one_hot_offset`.
+    pub fn alloc_nodes(&mut self, n: usize) -> usize {
+        debug_assert!(self.bytes.len().is_multiple_of(NODE_SIZE), "node region must stay aligned");
+        let index = self.bytes.len() / NODE_SIZE;
+        self.bytes.resize(self.bytes.len() + n * NODE_SIZE, 0);
+        index
+    }
+
+    /// Appends raw bytes (auxiliary buffers placed after the node region)
+    /// and returns the byte offset where they start.
+    pub fn append_bytes(&mut self, data: &[u8]) -> usize {
+        let offset = self.bytes.len();
+        self.bytes.extend_from_slice(data);
+        offset
+    }
+
+    /// Pads the image so its length is a multiple of `align` bytes.
+    pub fn align_to(&mut self, align: usize) {
+        let rem = self.bytes.len() % align;
+        if rem != 0 {
+            self.bytes.resize(self.bytes.len() + (align - rem), 0);
+        }
+    }
+
+    /// Reads a little-endian `u32` at byte offset `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr + 4` exceeds the image size.
+    #[inline]
+    pub fn read_u32(&self, addr: usize) -> u32 {
+        u32::from_le_bytes(self.bytes[addr..addr + 4].try_into().expect("in bounds"))
+    }
+
+    /// Writes a little-endian `u32` at byte offset `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr + 4` exceeds the image size.
+    #[inline]
+    pub fn write_u32(&mut self, addr: usize, value: u32) {
+        self.bytes[addr..addr + 4].copy_from_slice(&value.to_le_bytes());
+    }
+
+    /// Reads an `f32` at byte offset `addr`.
+    #[inline]
+    pub fn read_f32(&self, addr: usize) -> f32 {
+        f32::from_bits(self.read_u32(addr))
+    }
+
+    /// Writes an `f32` at byte offset `addr`.
+    #[inline]
+    pub fn write_f32(&mut self, addr: usize, value: f32) {
+        self.write_u32(addr, value.to_bits());
+    }
+
+    /// Reads word `word` (0-based) of node `node`.
+    #[inline]
+    pub fn node_word(&self, node: usize, word: usize) -> u32 {
+        debug_assert!(word < NODE_WORDS);
+        self.read_u32(node * NODE_SIZE + word * 4)
+    }
+
+    /// Writes word `word` of node `node`.
+    #[inline]
+    pub fn set_node_word(&mut self, node: usize, word: usize, value: u32) {
+        debug_assert!(word < NODE_WORDS);
+        self.write_u32(node * NODE_SIZE + word * 4, value);
+    }
+
+    /// Reads word `word` of node `node` as `f32`.
+    #[inline]
+    pub fn node_word_f32(&self, node: usize, word: usize) -> f32 {
+        f32::from_bits(self.node_word(node, word))
+    }
+
+    /// Writes word `word` of node `node` as `f32`.
+    #[inline]
+    pub fn set_node_word_f32(&mut self, node: usize, word: usize, value: f32) {
+        self.set_node_word(node, word, value.to_bits());
+    }
+
+    /// Number of whole nodes in the image, assuming only nodes have been
+    /// allocated so far.
+    pub fn node_count(&self) -> usize {
+        self.bytes.len() / NODE_SIZE
+    }
+}
+
+/// Header word (word 0) of every serialized node: an 8-bit kind tag plus an
+/// 8-bit count, mirroring the node-type flag the RTA's node decoder reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeHeader {
+    /// Node kind tag. Meaning is tree-specific; by convention `0` is an
+    /// internal node and `1` a leaf, matching `PROCESS_INNER_NODE` /
+    /// `PROCESS_LEAF_NODE` dispatch.
+    pub kind: u8,
+    /// Entry count (keys, children, primitives or particles).
+    pub count: u8,
+}
+
+impl NodeHeader {
+    /// Internal-node tag.
+    pub const KIND_INNER: u8 = 0;
+    /// Leaf-node tag.
+    pub const KIND_LEAF: u8 = 1;
+
+    /// Creates a header.
+    pub const fn new(kind: u8, count: u8) -> Self {
+        NodeHeader { kind, count }
+    }
+
+    /// Packs into the word-0 encoding.
+    #[inline]
+    pub const fn pack(self) -> u32 {
+        self.kind as u32 | ((self.count as u32) << 8)
+    }
+
+    /// Unpacks from the word-0 encoding; extra bits are ignored.
+    #[inline]
+    pub const fn unpack(word: u32) -> Self {
+        NodeHeader { kind: (word & 0xff) as u8, count: ((word >> 8) & 0xff) as u8 }
+    }
+
+    /// `true` for leaf nodes.
+    #[inline]
+    pub const fn is_leaf(self) -> bool {
+        self.kind == Self::KIND_LEAF
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_nodes_are_contiguous_and_zeroed() {
+        let mut img = MemoryImage::new();
+        let a = img.alloc_node();
+        let b = img.alloc_nodes(3);
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(img.node_count(), 4);
+        assert_eq!(img.len(), 4 * NODE_SIZE);
+        for w in 0..NODE_WORDS {
+            assert_eq!(img.node_word(2, w), 0);
+        }
+    }
+
+    #[test]
+    fn word_roundtrip() {
+        let mut img = MemoryImage::new();
+        img.alloc_node();
+        img.set_node_word(0, 3, 0x1234_5678);
+        img.set_node_word_f32(0, 4, -2.25);
+        assert_eq!(img.node_word(0, 3), 0x1234_5678);
+        assert_eq!(img.node_word_f32(0, 4), -2.25);
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let h = NodeHeader::new(NodeHeader::KIND_LEAF, 7);
+        assert_eq!(NodeHeader::unpack(h.pack()), h);
+        assert!(h.is_leaf());
+        let inner = NodeHeader::new(NodeHeader::KIND_INNER, 9);
+        assert!(!inner.is_leaf());
+        assert_eq!(NodeHeader::unpack(inner.pack()).count, 9);
+    }
+
+    #[test]
+    fn append_and_align() {
+        let mut img = MemoryImage::new();
+        img.alloc_node();
+        let off = img.append_bytes(&[1, 2, 3]);
+        assert_eq!(off, NODE_SIZE);
+        img.align_to(16);
+        assert_eq!(img.len() % 16, 0);
+        assert_eq!(img.as_bytes()[off], 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_read_panics() {
+        let img = MemoryImage::new();
+        let _ = img.read_u32(0);
+    }
+}

@@ -1,0 +1,42 @@
+//! Tree data structures with flat GPU-memory serialization.
+//!
+//! The TTA paper evaluates traversal of four tree families; this crate
+//! builds all of them and serialises each into the flat 64-byte-node memory
+//! image that both the SIMT baseline kernels (`tta-workloads`) and the
+//! RTA/TTA accelerator models (`tta-rta`, `tta`) traverse:
+//!
+//! * [`btree`] — B-Tree, B\*Tree and B+Tree index structures with nine-wide
+//!   nodes (the width that exactly fills the TTA Query-Key comparison unit).
+//! * [`bvh`] — Bounding Volume Hierarchies over triangles or spheres, built
+//!   with a binned surface-area heuristic.
+//! * [`barnes_hut`] — quadtrees (2D) and octrees (3D) with centre-of-mass
+//!   aggregation for Barnes-Hut N-Body simulation.
+//! * [`rtree`] — a 9-wide STR-packed R-Tree for spatial range queries (the
+//!   extension workload; the paper motivates R-Trees but evaluates only
+//!   the B-Tree family).
+//! * [`image`] — the [`image::MemoryImage`] byte-level container plus node
+//!   encoding/decoding helpers shared by all of the above.
+//!
+//! Every structure also offers a *reference* (host-side) traversal used as a
+//! correctness oracle by the simulator tests.
+
+pub mod barnes_hut;
+pub mod btree;
+pub mod bvh;
+pub mod image;
+pub mod rtree;
+pub mod two_level;
+
+pub use barnes_hut::{BarnesHutTree, Particle};
+pub use btree::{BTree, BTreeFlavor};
+pub use bvh::{Bvh, BvhPrimitive};
+pub use image::MemoryImage;
+pub use rtree::{RTree, RTreeEntry};
+pub use two_level::TwoLevelScene;
+
+/// Size in bytes of every serialized tree node (16 × 32-bit words), matching
+/// the 64 B/Node warp-buffer entries of the paper's Fig. 7.
+pub const NODE_SIZE: usize = 64;
+
+/// Number of 32-bit words per node.
+pub const NODE_WORDS: usize = NODE_SIZE / 4;

@@ -1,0 +1,410 @@
+//! R-Trees for spatial range queries — the extension workload.
+//!
+//! The paper's introduction motivates R-Trees as a prime tree-traversal
+//! candidate ("B-Trees, B+Trees, and R-Trees are used to index data for
+//! fast retrieval") but its evaluation stops at the B-Tree family. This
+//! module adds the missing structure: a bulk-loaded
+//! Sort-Tile-Recursive (STR) R-Tree with **nine children per node** — the
+//! fan-out that fills the TTA's modified Ray-Box unit, whose min/max
+//! network computes exactly the interval-overlap tests an R-Tree range
+//! query needs.
+//!
+//! Serialized node layout (16 words):
+//!
+//! | word | content |
+//! |------|---------|
+//! | 0    | [`NodeHeader`]: kind, child/entry count |
+//! | 1    | first child node index / first entry index |
+//! | 2–7  | node MBR (min xyz, max xyz) |
+//! | 8–15 | reserved |
+//!
+//! Leaf entries live in a separate buffer: 28 bytes each (MBR + data id).
+
+use crate::image::{MemoryImage, NodeHeader};
+use crate::NODE_SIZE;
+use geometry::{Aabb, Vec3};
+
+/// Maximum children per R-Tree node (the 9-wide TTA configuration).
+pub const RTREE_FANOUT: usize = 9;
+
+/// Serialized leaf-entry stride: 6 × f32 MBR + u32 data id.
+pub const ENTRY_STRIDE: usize = 28;
+
+/// One indexed rectangle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RTreeEntry {
+    /// The entry's bounding rectangle.
+    pub rect: Aabb,
+    /// Application data id.
+    pub id: u32,
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    mbr: Aabb,
+    children: Vec<usize>,
+    first_entry: usize,
+    entry_count: usize,
+}
+
+impl Node {
+    fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+}
+
+/// A bulk-loaded R-Tree.
+///
+/// # Examples
+///
+/// ```
+/// use tta_trees::rtree::{RTree, RTreeEntry};
+/// use geometry::{Aabb, Vec3};
+///
+/// let entries: Vec<RTreeEntry> = (0..200)
+///     .map(|i| {
+///         let p = Vec3::new((i % 20) as f32, (i / 20) as f32, 0.0);
+///         RTreeEntry { rect: Aabb::new(p, p + Vec3::splat(0.5)), id: i }
+///     })
+///     .collect();
+/// let tree = RTree::bulk_load(&entries);
+/// let hits = tree.range_query(&Aabb::new(Vec3::ZERO, Vec3::splat(3.0)));
+/// assert!(!hits.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct RTree {
+    nodes: Vec<Node>,
+    entries: Vec<RTreeEntry>,
+    root: usize,
+}
+
+impl RTree {
+    /// Bulk-loads with Sort-Tile-Recursive packing (entries are copied and
+    /// reordered leaf-contiguously).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is empty.
+    pub fn bulk_load(entries: &[RTreeEntry]) -> Self {
+        assert!(!entries.is_empty(), "cannot build an R-Tree from zero entries");
+        let mut ordered = entries.to_vec();
+        // STR: sort by x, slice, sort slices by y.
+        ordered.sort_by(|a, b| {
+            a.rect
+                .center()
+                .x
+                .partial_cmp(&b.rect.center().x)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let nleaves = entries.len().div_ceil(RTREE_FANOUT);
+        let slice_len = (nleaves as f64).sqrt().ceil() as usize * RTREE_FANOUT;
+        for chunk in ordered.chunks_mut(slice_len.max(RTREE_FANOUT)) {
+            chunk.sort_by(|a, b| {
+                a.rect
+                    .center()
+                    .y
+                    .partial_cmp(&b.rect.center().y)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+        }
+
+        let mut nodes: Vec<Node> = Vec::new();
+        // Leaf level.
+        let mut level: Vec<usize> = Vec::new();
+        let mut cursor = 0usize;
+        for i in 0..nleaves {
+            let take = (ordered.len() - cursor).div_ceil(nleaves - i).min(RTREE_FANOUT);
+            let mbr = ordered[cursor..cursor + take]
+                .iter()
+                .fold(Aabb::empty(), |mut b, e| {
+                    b.grow_box(&e.rect);
+                    b
+                });
+            nodes.push(Node {
+                mbr,
+                children: Vec::new(),
+                first_entry: cursor,
+                entry_count: take,
+            });
+            level.push(nodes.len() - 1);
+            cursor += take;
+        }
+        // Inner levels.
+        while level.len() > 1 {
+            let nparents = level.len().div_ceil(RTREE_FANOUT);
+            let mut next = Vec::with_capacity(nparents);
+            let mut cursor = 0usize;
+            for i in 0..nparents {
+                let take = (level.len() - cursor).div_ceil(nparents - i).min(RTREE_FANOUT);
+                let children: Vec<usize> = level[cursor..cursor + take].to_vec();
+                let mbr = children.iter().fold(Aabb::empty(), |mut b, &c| {
+                    b.grow_box(&nodes[c].mbr);
+                    b
+                });
+                nodes.push(Node { mbr, children, first_entry: 0, entry_count: 0 });
+                next.push(nodes.len() - 1);
+                cursor += take;
+            }
+            level = next;
+        }
+        let root = level[0];
+        let tree = RTree { nodes, entries: ordered, root };
+        tree.assert_invariants();
+        tree
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The (reordered) entries.
+    pub fn entries(&self) -> &[RTreeEntry] {
+        &self.entries
+    }
+
+    /// Tree height (root-only = 1).
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut n = self.root;
+        while !self.nodes[n].is_leaf() {
+            n = self.nodes[n].children[0];
+            h += 1;
+        }
+        h
+    }
+
+    fn assert_invariants(&self) {
+        for n in &self.nodes {
+            assert!(n.children.len() <= RTREE_FANOUT);
+            assert!(n.entry_count <= RTREE_FANOUT);
+            if n.is_leaf() {
+                for e in &self.entries[n.first_entry..n.first_entry + n.entry_count] {
+                    assert!(n.mbr.contains(e.rect.min) && n.mbr.contains(e.rect.max));
+                }
+            } else {
+                for &c in &n.children {
+                    assert!(
+                        n.mbr.contains(self.nodes[c].mbr.min)
+                            && n.mbr.contains(self.nodes[c].mbr.max),
+                        "child MBR must be contained"
+                    );
+                }
+            }
+        }
+    }
+
+    /// All entry ids whose rectangle overlaps `query`, sorted (the range
+    /// query oracle).
+    pub fn range_query(&self, query: &Aabb) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            let n = &self.nodes[id];
+            if !n.mbr.overlaps(query) {
+                continue;
+            }
+            if n.is_leaf() {
+                for e in &self.entries[n.first_entry..n.first_entry + n.entry_count] {
+                    if e.rect.overlaps(query) {
+                        out.push(e.id);
+                    }
+                }
+            } else {
+                stack.extend_from_slice(&n.children);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Like [`RTree::range_query`] but also returns nodes visited.
+    pub fn range_query_counted(&self, query: &Aabb) -> (Vec<u32>, usize) {
+        let mut out = Vec::new();
+        let mut visited = 0;
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            visited += 1;
+            let n = &self.nodes[id];
+            if !n.mbr.overlaps(query) {
+                continue;
+            }
+            if n.is_leaf() {
+                for e in &self.entries[n.first_entry..n.first_entry + n.entry_count] {
+                    if e.rect.overlaps(query) {
+                        out.push(e.id);
+                    }
+                }
+            } else {
+                stack.extend_from_slice(&n.children);
+            }
+        }
+        out.sort_unstable();
+        (out, visited)
+    }
+
+    /// Serialises nodes (BFS, children contiguous) plus the entry buffer.
+    pub fn serialize(&self) -> SerializedRTree {
+        let mut image = MemoryImage::with_node_capacity(self.nodes.len());
+        let mut index_of = vec![usize::MAX; self.nodes.len()];
+        index_of[self.root] = image.alloc_node();
+        let mut queue = std::collections::VecDeque::from([self.root]);
+        while let Some(host_id) = queue.pop_front() {
+            let node = &self.nodes[host_id];
+            let img_id = index_of[host_id];
+            let (kind, count) = if node.is_leaf() {
+                (NodeHeader::KIND_LEAF, node.entry_count as u8)
+            } else {
+                (NodeHeader::KIND_INNER, node.children.len() as u8)
+            };
+            image.set_node_word(img_id, 0, NodeHeader::new(kind, count).pack());
+            if node.is_leaf() {
+                image.set_node_word(img_id, 1, node.first_entry as u32);
+            } else {
+                let first = image.alloc_nodes(node.children.len());
+                image.set_node_word(img_id, 1, first as u32);
+                for (i, &c) in node.children.iter().enumerate() {
+                    index_of[c] = first + i;
+                    queue.push_back(c);
+                }
+            }
+            for (w, v) in [
+                (2, node.mbr.min.x),
+                (3, node.mbr.min.y),
+                (4, node.mbr.min.z),
+                (5, node.mbr.max.x),
+                (6, node.mbr.max.y),
+                (7, node.mbr.max.z),
+            ] {
+                image.set_node_word_f32(img_id, w, v);
+            }
+        }
+        image.align_to(NODE_SIZE);
+        let entry_base = image.len();
+        for e in &self.entries {
+            for v in [
+                e.rect.min.x,
+                e.rect.min.y,
+                e.rect.min.z,
+                e.rect.max.x,
+                e.rect.max.y,
+                e.rect.max.z,
+            ] {
+                image.append_bytes(&v.to_le_bytes());
+            }
+            image.append_bytes(&e.id.to_le_bytes());
+        }
+        SerializedRTree {
+            image,
+            root_index: 0,
+            entry_base,
+            entry_count: self.entries.len(),
+        }
+    }
+}
+
+/// A serialized R-Tree image.
+#[derive(Debug, Clone)]
+pub struct SerializedRTree {
+    /// Flat memory image (nodes then entries).
+    pub image: MemoryImage,
+    /// Root node index.
+    pub root_index: usize,
+    /// Byte offset of the entry buffer.
+    pub entry_base: usize,
+    /// Number of entries.
+    pub entry_count: usize,
+}
+
+impl SerializedRTree {
+    /// Reads entry `i` back from the image.
+    pub fn read_entry(&self, i: usize) -> RTreeEntry {
+        let base = self.entry_base + i * ENTRY_STRIDE;
+        let f = |w: usize| self.image.read_f32(base + w * 4);
+        RTreeEntry {
+            rect: Aabb::new(Vec3::new(f(0), f(1), f(2)), Vec3::new(f(3), f(4), f(5))),
+            id: self.image.read_u32(base + 24),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_entries(n: u32) -> Vec<RTreeEntry> {
+        (0..n)
+            .map(|i| {
+                let p = Vec3::new((i % 50) as f32 * 2.0, (i / 50) as f32 * 2.0, 0.0);
+                RTreeEntry { rect: Aabb::new(p, p + Vec3::new(1.2, 1.2, 0.5)), id: i }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn range_query_matches_brute_force() {
+        let entries = grid_entries(2000);
+        let tree = RTree::bulk_load(&entries);
+        for (qx, qy, s) in [(5.0, 5.0, 7.0), (30.0, 12.0, 3.0), (0.0, 0.0, 200.0), (999.0, 999.0, 1.0)] {
+            let q = Aabb::new(Vec3::new(qx, qy, -1.0), Vec3::new(qx + s, qy + s, 1.0));
+            let got = tree.range_query(&q);
+            let mut brute: Vec<u32> = entries
+                .iter()
+                .filter(|e| e.rect.overlaps(&q))
+                .map(|e| e.id)
+                .collect();
+            brute.sort_unstable();
+            assert_eq!(got, brute, "query at ({qx},{qy}) size {s}");
+        }
+    }
+
+    #[test]
+    fn fanout_bounds_hold_and_height_is_logarithmic() {
+        let tree = RTree::bulk_load(&grid_entries(5000));
+        // 9-wide over 5000 entries: ceil(log9(5000/9)) + 1 ≈ 4.
+        assert!(tree.height() <= 5, "height {}", tree.height());
+        assert!(tree.node_count() >= 5000 / RTREE_FANOUT);
+    }
+
+    #[test]
+    fn entries_roundtrip_through_image() {
+        let tree = RTree::bulk_load(&grid_entries(300));
+        let ser = tree.serialize();
+        assert_eq!(ser.entry_count, 300);
+        for (i, e) in tree.entries().iter().enumerate() {
+            assert_eq!(ser.read_entry(i), *e);
+        }
+    }
+
+    #[test]
+    fn image_nodes_contain_children() {
+        let tree = RTree::bulk_load(&grid_entries(1500));
+        let ser = tree.serialize();
+        // Only the node region precedes the entry buffer.
+        let total = ser.entry_base / NODE_SIZE;
+        assert_eq!(total, tree.node_count());
+        for node in 0..total {
+            let header = NodeHeader::unpack(ser.image.node_word(node, 0));
+            if !header.is_leaf() {
+                let first = ser.image.node_word(node, 1) as usize;
+                assert!(first + header.count as usize <= total);
+                assert!(first > node, "BFS order: children after parents");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero entries")]
+    fn empty_panics() {
+        let _ = RTree::bulk_load(&[]);
+    }
+
+    #[test]
+    fn single_entry_tree() {
+        let e = RTreeEntry { rect: Aabb::new(Vec3::ZERO, Vec3::ONE), id: 7 };
+        let tree = RTree::bulk_load(&[e]);
+        assert_eq!(tree.height(), 1);
+        assert_eq!(tree.range_query(&Aabb::new(Vec3::splat(0.5), Vec3::splat(2.0))), vec![7]);
+        assert!(tree.range_query(&Aabb::new(Vec3::splat(5.0), Vec3::splat(6.0))).is_empty());
+    }
+}

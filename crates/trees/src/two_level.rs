@@ -1,0 +1,403 @@
+//! Two-level (TLAS/BLAS) instanced scenes.
+//!
+//! The paper's ray-tracing workloads use two-level BVHs, "which also require
+//! an R-XFORM μop between the levels" (Table III): a top-level acceleration
+//! structure (TLAS) over *instances*, each referencing a bottom-level BVH
+//! (BLAS) in object space. Visiting an instance transforms the ray into
+//! object space on the transform unit; leaving restores it.
+//!
+//! Instances here are translations (the transform state must fit the three
+//! spare warp-buffer ray registers); that is enough to exercise the
+//! R-XFORM path end-to-end.
+//!
+//! Serialized image layout:
+//!
+//! ```text
+//! [TLAS nodes][restore node][instance table][BLAS0 nodes][BLAS0 prims]...
+//! ```
+//!
+//! All node references are **scene-relative node indices** (BLAS child
+//! pointers are rebased at serialization time) so one `tree_base` suffices;
+//! BLAS leaf nodes are patched to carry the image-relative *byte offset* of
+//! their primitive run.
+
+use crate::bvh::{Bvh, BvhPrimitive, PrimitiveKind, TRIANGLE_STRIDE};
+use crate::image::{MemoryImage, NodeHeader};
+use crate::NODE_SIZE;
+use geometry::{Aabb, Ray, Vec3};
+
+/// Node kind tag for a TLAS leaf referencing an instance.
+pub const KIND_INSTANCE: u8 = 2;
+/// Node kind tag for the transform-restore pseudo-node.
+pub const KIND_RESTORE: u8 = 3;
+
+/// Byte stride of one instance-table entry (translation + BLAS root index).
+pub const INSTANCE_STRIDE: usize = 16;
+
+/// One placed instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Instance {
+    /// World-space translation of the BLAS.
+    pub translation: Vec3,
+    /// Which BLAS this instance references.
+    pub blas: usize,
+}
+
+/// A two-level scene: BLASes + instances + a TLAS built over them.
+///
+/// # Examples
+///
+/// ```
+/// use tta_trees::two_level::{Instance, TwoLevelScene};
+/// use tta_trees::BvhPrimitive;
+/// use geometry::{Ray, Triangle, Vec3};
+///
+/// let tri = BvhPrimitive::Triangle(Triangle::new(
+///     Vec3::new(-1.0, -1.0, 5.0),
+///     Vec3::new(1.0, -1.0, 5.0),
+///     Vec3::new(0.0, 1.0, 5.0),
+/// ));
+/// let scene = TwoLevelScene::build(
+///     vec![vec![tri]],
+///     vec![Instance { translation: Vec3::new(10.0, 0.0, 0.0), blas: 0 }],
+/// );
+/// let ray = Ray::new(Vec3::new(10.0, 0.0, 0.0), Vec3::new(0.0, 0.0, 1.0));
+/// assert!(scene.closest_hit(&ray).is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct TwoLevelScene {
+    blases: Vec<Bvh>,
+    instances: Vec<Instance>,
+    /// TLAS as a flat binary tree: (bounds, left, right, instance) where
+    /// leaves have `instance != usize::MAX`.
+    tlas: Vec<TlasNode>,
+    tlas_root: usize,
+}
+
+#[derive(Debug, Clone)]
+struct TlasNode {
+    bounds: Aabb,
+    left: usize,
+    right: usize,
+    instance: usize,
+}
+
+/// A world-space hit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SceneHit {
+    /// Hit distance (identical in world and object space for translations).
+    pub t: f32,
+    /// Instance index.
+    pub instance: usize,
+    /// Primitive index within the instance's BLAS.
+    pub prim: usize,
+}
+
+impl TwoLevelScene {
+    /// Builds the BLASes and the TLAS.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no instances, a BLAS list is empty, an instance
+    /// references a missing BLAS, or a BLAS holds non-triangle primitives.
+    pub fn build(blas_prims: Vec<Vec<BvhPrimitive>>, instances: Vec<Instance>) -> Self {
+        assert!(!instances.is_empty(), "scene needs at least one instance");
+        let blases: Vec<Bvh> = blas_prims.into_iter().map(Bvh::build).collect();
+        for b in &blases {
+            assert!(
+                matches!(b.primitives()[0], BvhPrimitive::Triangle(_)),
+                "two-level scenes support triangle BLASes"
+            );
+        }
+        for inst in &instances {
+            assert!(inst.blas < blases.len(), "instance references missing BLAS");
+        }
+        // Build the TLAS: median split over instance world bounds.
+        let world: Vec<Aabb> = instances
+            .iter()
+            .map(|i| {
+                let b = blases[i.blas].bounds();
+                Aabb::new(b.min + i.translation, b.max + i.translation)
+            })
+            .collect();
+        let mut order: Vec<usize> = (0..instances.len()).collect();
+        let mut tlas = Vec::new();
+        let len = order.len();
+        let tlas_root = Self::build_tlas(&world, &mut order, &mut tlas, 0, len);
+        TwoLevelScene { blases, instances, tlas, tlas_root }
+    }
+
+    fn build_tlas(
+        world: &[Aabb],
+        order: &mut [usize],
+        nodes: &mut Vec<TlasNode>,
+        first: usize,
+        count: usize,
+    ) -> usize {
+        let bounds = order[first..first + count]
+            .iter()
+            .fold(Aabb::empty(), |mut b, &i| {
+                b.grow_box(&world[i]);
+                b
+            });
+        if count == 1 {
+            nodes.push(TlasNode { bounds, left: 0, right: 0, instance: order[first] });
+            return nodes.len() - 1;
+        }
+        let axis = bounds.extent().max_axis();
+        let mid = count / 2;
+        order[first..first + count].select_nth_unstable_by(mid, |&a, &b| {
+            world[a].center()[axis]
+                .partial_cmp(&world[b].center()[axis])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let this = nodes.len();
+        nodes.push(TlasNode { bounds, left: 0, right: 0, instance: usize::MAX });
+        let left = Self::build_tlas(world, order, nodes, first, mid);
+        let right = Self::build_tlas(world, order, nodes, first + mid, count - mid);
+        nodes[this].left = left;
+        nodes[this].right = right;
+        this
+    }
+
+    /// The instances.
+    pub fn instances(&self) -> &[Instance] {
+        &self.instances
+    }
+
+    /// The BLASes.
+    pub fn blases(&self) -> &[Bvh] {
+        &self.blases
+    }
+
+    /// Host-side closest-hit oracle over the whole scene.
+    pub fn closest_hit(&self, ray: &Ray) -> Option<SceneHit> {
+        let mut best: Option<SceneHit> = None;
+        let mut tmax = ray.tmax;
+        let mut stack = vec![self.tlas_root];
+        while let Some(id) = stack.pop() {
+            let n = &self.tlas[id];
+            let clipped = Ray::with_interval(ray.origin, ray.dir, ray.tmin, tmax);
+            if geometry::intersect::ray_aabb(&clipped, &n.bounds, ray.tmin, tmax).is_none() {
+                continue;
+            }
+            if n.instance == usize::MAX {
+                stack.push(n.left);
+                stack.push(n.right);
+                continue;
+            }
+            let inst = self.instances[n.instance];
+            // Translate the ray into object space; t is preserved.
+            let local = Ray::with_interval(
+                ray.origin - inst.translation,
+                ray.dir,
+                ray.tmin,
+                tmax,
+            );
+            if let (Some(h), _) = self.blases[inst.blas].closest_hit(&local) {
+                if h.t < tmax {
+                    tmax = h.t;
+                    best = Some(SceneHit { t: h.t, instance: n.instance, prim: h.prim });
+                }
+            }
+        }
+        best
+    }
+
+    /// Serialises the scene (see the module docs for the layout).
+    pub fn serialize(&self) -> SerializedTwoLevel {
+        let mut image = MemoryImage::new();
+        // 1. TLAS nodes (BFS; instance leaves carry the instance index).
+        let mut index_of = vec![usize::MAX; self.tlas.len()];
+        index_of[self.tlas_root] = image.alloc_node();
+        let mut queue = std::collections::VecDeque::from([self.tlas_root]);
+        let mut emitted = Vec::new();
+        while let Some(host_id) = queue.pop_front() {
+            emitted.push(host_id);
+            let node = &self.tlas[host_id];
+            let img_id = index_of[host_id];
+            if node.instance != usize::MAX {
+                image.set_node_word(img_id, 0, NodeHeader::new(KIND_INSTANCE, 1).pack());
+                image.set_node_word(img_id, 1, node.instance as u32);
+            } else {
+                image.set_node_word(img_id, 0, NodeHeader::new(NodeHeader::KIND_INNER, 2).pack());
+                let l = image.alloc_node();
+                let r = image.alloc_node();
+                index_of[node.left] = l;
+                index_of[node.right] = r;
+                queue.push_back(node.left);
+                queue.push_back(node.right);
+                image.set_node_word(img_id, 1, l as u32);
+                image.set_node_word(img_id, 14, r as u32);
+                let lb = &self.tlas[node.left].bounds;
+                let rb = &self.tlas[node.right].bounds;
+                for (w, v) in [
+                    (2, lb.min.x), (3, lb.min.y), (4, lb.min.z),
+                    (5, lb.max.x), (6, lb.max.y), (7, lb.max.z),
+                    (8, rb.min.x), (9, rb.min.y), (10, rb.min.z),
+                    (11, rb.max.x), (12, rb.max.y), (13, rb.max.z),
+                ] {
+                    image.set_node_word_f32(img_id, w, v);
+                }
+            }
+        }
+        // 2. The restore pseudo-node.
+        let restore_index = image.alloc_node();
+        image.set_node_word(restore_index, 0, NodeHeader::new(KIND_RESTORE, 0).pack());
+
+        // 3. Instance table (filled after BLAS roots are known).
+        image.align_to(NODE_SIZE);
+        let instance_base = image.len();
+        for _ in &self.instances {
+            image.append_bytes(&[0u8; INSTANCE_STRIDE]);
+        }
+        image.align_to(NODE_SIZE);
+
+        // 4. BLASes, rebased.
+        let mut blas_roots = Vec::with_capacity(self.blases.len());
+        for blas in &self.blases {
+            let ser = blas.serialize();
+            assert_eq!(ser.prim_kind, PrimitiveKind::Triangle);
+            image.align_to(NODE_SIZE);
+            let nodes = ser.prim_base / NODE_SIZE;
+            // Copy the node region, rebasing child indices and patching leaf
+            // word 1 to the image-relative prim byte offset.
+            let node_base = image.alloc_nodes(nodes);
+            let prim_base_bytes = image.len();
+            image.append_bytes(&ser.image.as_bytes()[ser.prim_base..]);
+            for n in 0..nodes {
+                let header = NodeHeader::unpack(ser.image.node_word(n, 0));
+                image.set_node_word(node_base + n, 0, header.pack());
+                if header.is_leaf() {
+                    let first_prim = ser.image.node_word(n, 1) as usize;
+                    let byte_off = prim_base_bytes + first_prim * TRIANGLE_STRIDE;
+                    image.set_node_word(node_base + n, 1, byte_off as u32);
+                } else {
+                    let l = ser.image.node_word(n, 1) as usize + node_base;
+                    let r = ser.image.node_word(n, 14) as usize + node_base;
+                    image.set_node_word(node_base + n, 1, l as u32);
+                    image.set_node_word(node_base + n, 14, r as u32);
+                    for w in 2..14 {
+                        image.set_node_word(node_base + n, w, ser.image.node_word(n, w));
+                    }
+                }
+            }
+            blas_roots.push(node_base);
+        }
+
+        // 5. Fill the instance table.
+        for (i, inst) in self.instances.iter().enumerate() {
+            let base = instance_base + i * INSTANCE_STRIDE;
+            image.write_f32(base, inst.translation.x);
+            image.write_f32(base + 4, inst.translation.y);
+            image.write_f32(base + 8, inst.translation.z);
+            image.write_u32(base + 12, blas_roots[inst.blas] as u32);
+        }
+
+        SerializedTwoLevel {
+            image,
+            root_index: 0,
+            restore_index,
+            instance_base,
+            instance_count: self.instances.len(),
+        }
+    }
+}
+
+/// A serialized two-level scene.
+#[derive(Debug, Clone)]
+pub struct SerializedTwoLevel {
+    /// The flat image.
+    pub image: MemoryImage,
+    /// TLAS root node index.
+    pub root_index: usize,
+    /// Node index of the transform-restore pseudo-node.
+    pub restore_index: usize,
+    /// Byte offset of the instance table.
+    pub instance_base: usize,
+    /// Number of instances.
+    pub instance_count: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geometry::Triangle;
+
+    fn quad_blas(z: f32) -> Vec<BvhPrimitive> {
+        let mut tris = Vec::new();
+        for i in 0..8 {
+            let x = i as f32 * 2.0 - 8.0;
+            tris.push(BvhPrimitive::Triangle(Triangle::new(
+                Vec3::new(x, -1.0, z),
+                Vec3::new(x + 1.8, -1.0, z),
+                Vec3::new(x, 1.0, z),
+            )));
+        }
+        tris
+    }
+
+    fn grid_scene() -> TwoLevelScene {
+        let instances: Vec<Instance> = (0..9)
+            .map(|i| Instance {
+                translation: Vec3::new((i % 3) as f32 * 30.0, (i / 3) as f32 * 20.0, 0.0),
+                blas: i % 2,
+            })
+            .collect();
+        TwoLevelScene::build(vec![quad_blas(5.0), quad_blas(9.0)], instances)
+    }
+
+    #[test]
+    fn oracle_matches_brute_force_over_instances() {
+        let scene = grid_scene();
+        for i in 0..40 {
+            let origin = Vec3::new(i as f32 * 2.0 - 8.0, 0.0, -10.0);
+            let ray = Ray::new(origin, Vec3::new(0.05, 0.0, 1.0).normalized());
+            let got = scene.closest_hit(&ray);
+            // Brute force: test every instance.
+            let mut best: Option<SceneHit> = None;
+            for (ii, inst) in scene.instances().iter().enumerate() {
+                let local = Ray::new(ray.origin - inst.translation, ray.dir);
+                if let (Some(h), _) = scene.blases()[inst.blas].closest_hit(&local) {
+                    if best.map_or(true, |b| h.t < b.t) {
+                        best = Some(SceneHit { t: h.t, instance: ii, prim: h.prim });
+                    }
+                }
+            }
+            match (got, best) {
+                (Some(a), Some(b)) => {
+                    assert!((a.t - b.t).abs() < 1e-4, "ray {i}");
+                    assert_eq!(a.instance, b.instance, "ray {i}");
+                }
+                (None, None) => {}
+                other => panic!("ray {i}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn serialization_layout_is_consistent() {
+        let scene = grid_scene();
+        let ser = scene.serialize();
+        // Instance table roundtrip.
+        for (i, inst) in scene.instances().iter().enumerate() {
+            let base = ser.instance_base + i * INSTANCE_STRIDE;
+            assert_eq!(ser.image.read_f32(base), inst.translation.x);
+            let root = ser.image.read_u32(base + 12) as usize;
+            let header = NodeHeader::unpack(ser.image.node_word(root, 0));
+            assert!(header.kind == NodeHeader::KIND_INNER || header.is_leaf());
+        }
+        // Restore node is tagged.
+        let h = NodeHeader::unpack(ser.image.node_word(ser.restore_index, 0));
+        assert_eq!(h.kind, KIND_RESTORE);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing BLAS")]
+    fn bad_instance_reference_panics() {
+        let _ = TwoLevelScene::build(
+            vec![quad_blas(1.0)],
+            vec![Instance { translation: Vec3::ZERO, blas: 3 }],
+        );
+    }
+}

@@ -1,0 +1,272 @@
+//! The B-Tree / B\*Tree / B+Tree index-search experiment (the paper's
+//! flagship workload: up to 5.4× speedup, Fig. 12 top).
+
+use gpu_sim::isa::SReg;
+use gpu_sim::kernel::{Kernel, KernelBuilder};
+use gpu_sim::GpuConfig;
+use rta::units::TestKind;
+use trees::{BTree, BTreeFlavor};
+use tta::btree_sem::{
+    read_query_result, write_query_record, BTreeSemantics, QUERY_RECORD_SIZE,
+};
+use tta::programs::UopProgram;
+
+use crate::gen;
+use crate::kernels::{btree_search_kernel, params};
+use crate::runner::{attach_platform, build_gpu, harvest_accel, Platform, RunResult};
+
+/// One B-Tree experiment configuration.
+#[derive(Debug, Clone)]
+pub struct BTreeExperiment {
+    /// Tree variant.
+    pub flavor: BTreeFlavor,
+    /// Number of keys in the tree (the Fig. 12 x-axis).
+    pub keys: usize,
+    /// Number of queries (one GPU thread / TTA ray each).
+    pub queries: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Hardware platform.
+    pub platform: Platform,
+    /// GPU configuration.
+    pub gpu: GpuConfig,
+    /// Sort the queries before launch — the software coherence optimisation
+    /// (à la Harmonia) that makes neighbouring threads walk similar paths.
+    /// An ablation knob: it narrows the baseline's divergence penalty.
+    pub sort_queries: bool,
+    /// When `true`, cross-check a sample of results against the host
+    /// oracle (cheap; panics on divergence).
+    pub verify: bool,
+}
+
+impl BTreeExperiment {
+    /// A default configuration for the given variant/platform.
+    pub fn new(flavor: BTreeFlavor, keys: usize, queries: usize, platform: Platform) -> Self {
+        BTreeExperiment {
+            flavor,
+            keys,
+            queries,
+            seed: 0x5eed,
+            platform,
+            gpu: GpuConfig::vulkan_sim_default(),
+            sort_queries: false,
+            verify: true,
+        }
+    }
+
+    /// The TTA+ μop programs this workload registers (Table III rows 1–2).
+    pub fn uop_programs() -> Vec<UopProgram> {
+        vec![UopProgram::query_key_inner(), UopProgram::query_key_leaf()]
+    }
+
+    /// The Listing-1 pipeline configuration this workload submits to the
+    /// accelerator, validated against the target generation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`tta::pipeline::ConfigError`] when the generation cannot
+    /// execute the configured tests (e.g. Query-Key on a baseline RTA).
+    pub fn pipeline(
+        gen: tta::pipeline::AcceleratorGen,
+    ) -> Result<tta::pipeline::TraversalPipeline, tta::pipeline::ConfigError> {
+        use tta::pipeline::{PipelineBuilder, TerminateCond, TestConfig};
+        let (inner, leaf) = if matches!(gen, tta::pipeline::AcceleratorGen::TtaPlus) {
+            (
+                TestConfig::Uops(UopProgram::query_key_inner()),
+                TestConfig::Uops(UopProgram::query_key_leaf()),
+            )
+        } else {
+            (TestConfig::QueryKey, TestConfig::QueryKey)
+        };
+        PipelineBuilder::new("btree-search")
+            .decode_r(&[4, 4, 4, 4]) // key | found | visited | pad
+            .decode_i(&[4, 4, 32, 24]) // header | first child | keys | pad
+            .decode_l(&[4, 4, 32, 24])
+            .config_i(inner)
+            .config_l(leaf)
+            .config_terminate(TerminateCond::StackEmpty)
+            .build(gen)
+    }
+
+    /// Runs the experiment.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `verify` is set and the simulated results disagree with
+    /// the host-side search oracle.
+    pub fn run(&self) -> RunResult {
+        let keys = gen::btree_keys(self.keys, self.seed);
+        let mut queries = gen::btree_queries(&keys, self.queries, self.seed);
+        if self.sort_queries {
+            queries.sort_unstable();
+        }
+        let tree = BTree::bulk_load(self.flavor, &keys);
+        let ser = tree.serialize();
+
+        let mem_bytes =
+            (ser.image.len() + self.queries * QUERY_RECORD_SIZE + (1 << 20)).next_power_of_two();
+        let mut gpu = build_gpu(&self.gpu, mem_bytes);
+        let tree_base = gpu.gmem.alloc(ser.image.len(), 64);
+        gpu.gmem.write_bytes(tree_base, ser.image.as_bytes());
+        let qbase = gpu.gmem.alloc(self.queries * QUERY_RECORD_SIZE, 64);
+        for (i, &q) in queries.iter().enumerate() {
+            write_query_record(&mut gpu.gmem, qbase + (i * QUERY_RECORD_SIZE) as u64, q);
+        }
+
+        let bplus = self.flavor == BTreeFlavor::BPlus;
+        let (inner_test, leaf_test) = match &self.platform {
+            Platform::TtaPlus(..) | Platform::TtaPlusWith(..) => {
+                (TestKind::Program(0), TestKind::Program(1))
+            }
+            _ => (TestKind::QueryKey, TestKind::QueryKey),
+        };
+        attach_platform(&mut gpu, &self.platform, move || {
+            vec![Box::new(BTreeSemantics { tree_base, bplus, inner_test, leaf_test })]
+        });
+
+        let kernel = self.kernel();
+        let stats = gpu.launch(
+            &kernel,
+            self.queries,
+            &[qbase as u32, tree_base as u32],
+        );
+
+        if self.verify {
+            for (i, &q) in queries.iter().enumerate().step_by(17) {
+                let (found, visited) =
+                    read_query_result(&gpu.gmem, qbase + (i * QUERY_RECORD_SIZE) as u64);
+                let oracle = tree.search(q);
+                assert_eq!(found, oracle.found, "{:?} query {q} found mismatch", self.flavor);
+                assert_eq!(
+                    visited as usize, oracle.nodes_visited,
+                    "{:?} query {q} path mismatch",
+                    self.flavor
+                );
+            }
+        }
+
+        RunResult {
+            label: format!(
+                "{} {}k keys {}",
+                self.flavor,
+                self.keys / 1000,
+                self.platform.label()
+            ),
+            stats,
+            accel: harvest_accel(&gpu),
+        }
+    }
+
+    fn kernel(&self) -> Kernel {
+        if self.platform.has_accelerator() {
+            traverse_only_kernel(QUERY_RECORD_SIZE as u32)
+        } else {
+            btree_search_kernel(self.flavor == BTreeFlavor::BPlus)
+        }
+    }
+}
+
+/// The accelerated kernel: compute the record address and offload — the
+/// whole traversal becomes one `traverseTreeTTA` instruction.
+pub fn traverse_only_kernel(record_size: u32) -> Kernel {
+    let mut k = KernelBuilder::new("traverse_only");
+    let tid = k.reg();
+    let q = k.reg();
+    let root = k.reg();
+    let off = k.reg();
+    k.mov_sreg(tid, SReg::ThreadId);
+    k.mov_sreg(q, SReg::Param(params::QUERIES));
+    k.mov_sreg(root, SReg::Param(params::TREE));
+    k.imul_imm(off, tid, record_size);
+    k.iadd(q, q, off);
+    k.traverse(q, root, 0);
+    k.exit();
+    k.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tta::backend::TtaConfig;
+    use tta::ttaplus::TtaPlusConfig;
+
+    fn small_gpu() -> GpuConfig {
+        GpuConfig::small_test()
+    }
+
+    #[test]
+    fn baseline_kernel_matches_oracle_all_flavors() {
+        for flavor in BTreeFlavor::ALL {
+            let mut e = BTreeExperiment::new(flavor, 2000, 256, Platform::BaselineGpu);
+            e.gpu = small_gpu();
+            let r = e.run(); // verify=true cross-checks against the oracle
+            assert!(r.stats.cycles > 0);
+            assert!(r.accel.is_none());
+        }
+    }
+
+    #[test]
+    fn tta_beats_baseline() {
+        let mut base = BTreeExperiment::new(BTreeFlavor::BTree, 4000, 512, Platform::BaselineGpu);
+        base.gpu = small_gpu();
+        let mut tta = BTreeExperiment::new(
+            BTreeFlavor::BTree,
+            4000,
+            512,
+            Platform::Tta(TtaConfig::default_paper()),
+        );
+        tta.gpu = small_gpu();
+        let rb = base.run();
+        let rt = tta.run();
+        let speedup = rt.speedup_over(&rb);
+        assert!(speedup > 1.2, "TTA speedup only {speedup:.2}x");
+        // Offload eliminates most dynamic instructions (the 91% claim).
+        assert!(rt.stats.mix.total() * 4 < rb.stats.mix.total());
+    }
+
+    #[test]
+    fn ttaplus_close_to_tta() {
+        let mk = |p: Platform| {
+            let mut e = BTreeExperiment::new(BTreeFlavor::BStar, 4000, 512, p);
+            e.gpu = small_gpu();
+            e.run()
+        };
+        let tta = mk(Platform::Tta(TtaConfig::default_paper()));
+        let plus = mk(Platform::TtaPlus(
+            TtaPlusConfig::default_paper(),
+            BTreeExperiment::uop_programs(),
+        ));
+        let ratio = plus.cycles() as f64 / tta.cycles() as f64;
+        assert!(
+            (0.8..1.8).contains(&ratio),
+            "TTA+ should be slightly slower than TTA, got ratio {ratio:.2}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod pipeline_tests {
+    use super::*;
+    use tta::pipeline::AcceleratorGen;
+
+    #[test]
+    fn pipeline_validates_per_generation() {
+        // TTA and TTA+ accept the configuration; the baseline RTA cannot
+        // run Query-Key tests.
+        assert!(BTreeExperiment::pipeline(AcceleratorGen::Tta).is_ok());
+        assert!(BTreeExperiment::pipeline(AcceleratorGen::TtaPlus).is_ok());
+        assert!(BTreeExperiment::pipeline(AcceleratorGen::BaselineRta).is_err());
+    }
+
+    #[test]
+    fn pipeline_kinds_match_what_run_configures() {
+        use rta::units::TestKind;
+        let p = BTreeExperiment::pipeline(AcceleratorGen::Tta).unwrap();
+        assert_eq!(p.inner_test_kind(0), TestKind::QueryKey);
+        assert_eq!(p.leaf_test_kind(0), TestKind::QueryKey);
+        let p = BTreeExperiment::pipeline(AcceleratorGen::TtaPlus).unwrap();
+        assert_eq!(p.inner_test_kind(0), TestKind::Program(0));
+        assert_eq!(p.leaf_test_kind(1), TestKind::Program(1));
+        assert_eq!(p.ray_layout().total_bytes(), QUERY_RECORD_SIZE);
+    }
+}

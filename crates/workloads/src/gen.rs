@@ -1,0 +1,374 @@
+//! Workload data generators: keys, queries, particle distributions,
+//! LiDAR-like point clouds, and procedural scenes.
+//!
+//! Everything is seeded and deterministic. Where the paper uses data we do
+//! not have (the KITTI LiDAR scans for RTNN, the LumiBench art assets), the
+//! generators here produce synthetic data with the *distribution features
+//! that drive performance*: ground-plane-plus-structure density for LiDAR,
+//! clustered bodies for N-Body, long thin primitives for the SHIP
+//! pathology, and the procedurally random sphere scene of "Ray Tracing in
+//! One Weekend" (WKND), which is faithfully reproducible because the
+//! original is itself procedural.
+
+use geometry::{Ray, Sphere, Triangle, Vec3};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use trees::barnes_hut::Particle;
+use trees::bvh::BvhPrimitive;
+
+/// Sorted, deduplicated `u32` keys for the B-Tree workloads: `n` keys drawn
+/// sparsely from the 32-bit space so that random queries mix hits and
+/// misses.
+pub fn btree_keys(n: usize, seed: u64) -> Vec<u32> {
+    assert!(n > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut keys = std::collections::BTreeSet::new();
+    // Spread keys over a domain ~8x larger than n.
+    let domain = (n as u64 * 8).max(64) as u32;
+    while keys.len() < n {
+        keys.insert(rng.random_range(1..domain));
+    }
+    keys.into_iter().collect()
+}
+
+/// Query keys: roughly half drawn from the key set (hits), half uniform
+/// (mostly misses) — the paper queries random keys against the index.
+pub fn btree_queries(keys: &[u32], n: usize, seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_cafe);
+    let domain = (keys.len() as u64 * 8).max(64) as u32;
+    (0..n)
+        .map(|_| {
+            if rng.random_bool(0.5) {
+                keys[rng.random_range(0..keys.len())]
+            } else {
+                rng.random_range(1..domain)
+            }
+        })
+        .collect()
+}
+
+/// Clustered particle distribution (a crude Plummer-like model: a few
+/// gaussian blobs), 2D (`dims == 2`) or 3D.
+pub fn nbody_particles(n: usize, dims: usize, seed: u64) -> Vec<Particle> {
+    assert!(dims == 2 || dims == 3);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x00b0_d1e5);
+    let nclusters = 4.max(n / 2000);
+    let centers: Vec<Vec3> = (0..nclusters)
+        .map(|_| {
+            Vec3::new(
+                rng.random_range(-100.0..100.0),
+                rng.random_range(-100.0..100.0),
+                if dims == 3 { rng.random_range(-100.0..100.0) } else { 0.0 },
+            )
+        })
+        .collect();
+    let gauss = |rng: &mut StdRng, scale: f32| {
+        // Sum of uniforms ~ gaussian enough for a density profile.
+        let s: f32 = (0..4).map(|_| rng.random_range(-1.0f32..1.0)).sum();
+        s * 0.5 * scale
+    };
+    (0..n)
+        .map(|i| {
+            let c = centers[i % nclusters];
+            Particle {
+                pos: Vec3::new(
+                    c.x + gauss(&mut rng, 12.0),
+                    c.y + gauss(&mut rng, 12.0),
+                    if dims == 3 { c.z + gauss(&mut rng, 12.0) } else { 0.0 },
+                ),
+                mass: rng.random_range(0.5..2.0),
+            }
+        })
+        .collect()
+}
+
+/// Synthetic LiDAR-like point cloud (the KITTI substitute): dense ground
+/// plane with radial density falloff from the sensor, plus vertical
+/// structures (poles/walls) — the density profile radius search cost
+/// depends on.
+pub fn lidar_points(n: usize, seed: u64) -> Vec<Vec3> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0011_da12);
+    let mut pts = Vec::with_capacity(n);
+    let n_ground = n * 7 / 10;
+    for _ in 0..n_ground {
+        // Radial falloff: r ~ sqrt-uniform biased to near field.
+        let r = rng.random_range(0.0f32..1.0).powf(0.6) * 60.0 + 2.0;
+        let a = rng.random_range(0.0..std::f32::consts::TAU);
+        pts.push(Vec3::new(
+            r * a.cos(),
+            r * a.sin(),
+            rng.random_range(-0.1..0.1),
+        ));
+    }
+    let n_struct = n - n_ground;
+    let npoles = 24;
+    let poles: Vec<(f32, f32)> = (0..npoles)
+        .map(|_| {
+            let r = rng.random_range(5.0f32..50.0);
+            let a = rng.random_range(0.0..std::f32::consts::TAU);
+            (r * a.cos(), r * a.sin())
+        })
+        .collect();
+    for i in 0..n_struct {
+        let (px, py) = poles[i % npoles];
+        pts.push(Vec3::new(
+            px + rng.random_range(-0.4..0.4),
+            py + rng.random_range(-0.4..0.4),
+            rng.random_range(0.0..4.0),
+        ));
+    }
+    pts
+}
+
+/// A tessellated blob mesh ("bunny-scale" triangle soup): a deformed sphere
+/// with `rings × segments × 2` triangles.
+pub fn blob_mesh(rings: usize, segments: usize, seed: u64) -> Vec<BvhPrimitive> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xb10b);
+    let bumps: Vec<(Vec3, f32)> = (0..6)
+        .map(|_| {
+            let d = Vec3::new(
+                rng.random_range(-1.0..1.0),
+                rng.random_range(-1.0..1.0),
+                rng.random_range(-1.0..1.0),
+            )
+            .normalized();
+            (d, rng.random_range(0.1..0.4))
+        })
+        .collect();
+    let radius_at = |dir: Vec3| {
+        let mut r = 10.0f32;
+        for &(b, amp) in &bumps {
+            r += amp * 10.0 * dir.dot(b).max(0.0).powi(3);
+        }
+        r
+    };
+    let vertex = |ri: usize, si: usize| {
+        let phi = std::f32::consts::PI * ri as f32 / rings as f32;
+        let theta = std::f32::consts::TAU * si as f32 / segments as f32;
+        let dir = Vec3::new(phi.sin() * theta.cos(), phi.cos(), phi.sin() * theta.sin());
+        dir * radius_at(dir)
+    };
+    let mut tris = Vec::new();
+    for ri in 0..rings {
+        for si in 0..segments {
+            let v00 = vertex(ri, si);
+            let v01 = vertex(ri, (si + 1) % segments);
+            let v10 = vertex(ri + 1, si);
+            let v11 = vertex(ri + 1, (si + 1) % segments);
+            if ri > 0 {
+                tris.push(BvhPrimitive::Triangle(Triangle::new(v00, v10, v01)));
+            }
+            if ri + 1 < rings {
+                tris.push(BvhPrimitive::Triangle(Triangle::new(v01, v10, v11)));
+            }
+        }
+    }
+    tris
+}
+
+/// Long, thin triangles — the SHIP rigging pathology (§V-B): hundreds of
+/// near-degenerate primitives whose AABBs overlap badly, the case SATO
+/// recovers on TTA+.
+pub fn rigging_mesh(n: usize, seed: u64) -> Vec<BvhPrimitive> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5419);
+    let mut tris = Vec::new();
+    for _ in 0..n {
+        let a = Vec3::new(
+            rng.random_range(-40.0..40.0),
+            rng.random_range(-5.0..0.0),
+            rng.random_range(-40.0..40.0),
+        );
+        let b = Vec3::new(
+            rng.random_range(-40.0..40.0),
+            rng.random_range(20.0..45.0),
+            rng.random_range(-40.0..40.0),
+        );
+        // A rope: a triangle sliver along a-b with tiny width.
+        let along = (b - a).normalized();
+        let side = along.cross(Vec3::new(0.0, 1.0, 0.0));
+        let side = if side.length_squared() < 1e-6 {
+            Vec3::new(1.0, 0.0, 0.0)
+        } else {
+            side.normalized()
+        };
+        tris.push(BvhPrimitive::Triangle(Triangle::new(a, b, a + side * 0.08)));
+    }
+    // A hull below the rigging so primary rays have something to hit.
+    for i in 0..64 {
+        let x = -40.0 + (i % 8) as f32 * 10.0;
+        let z = -40.0 + (i / 8) as f32 * 10.0;
+        tris.push(BvhPrimitive::Triangle(Triangle::new(
+            Vec3::new(x, -6.0, z),
+            Vec3::new(x + 10.0, -6.0, z),
+            Vec3::new(x, -6.0, z + 10.0),
+        )));
+    }
+    // Sails: large occluders interleaved with the slivers — the geometry
+    // mix whose traversal order SATO exploits (big shapes first).
+    for i in 0..24 {
+        let x = rng.random_range(-35.0f32..35.0);
+        let z = rng.random_range(-35.0f32..35.0);
+        let y0 = rng.random_range(5.0f32..15.0);
+        let w = rng.random_range(8.0f32..16.0);
+        let h = rng.random_range(10.0f32..20.0);
+        let _ = i;
+        tris.push(BvhPrimitive::Triangle(Triangle::new(
+            Vec3::new(x - w, y0, z),
+            Vec3::new(x + w, y0, z),
+            Vec3::new(x, y0 + h, z),
+        )));
+    }
+    tris
+}
+
+/// The "Ray Tracing in One Weekend" procedural sphere scene: a ground
+/// sphere plus a grid of small random spheres — the WKND_PT workload.
+pub fn wknd_spheres(grid: i32, seed: u64) -> Vec<BvhPrimitive> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x3e3d);
+    let mut prims = vec![BvhPrimitive::Sphere(Sphere::new(
+        Vec3::new(0.0, -1000.0, 0.0),
+        1000.0,
+    ))];
+    for a in -grid..grid {
+        for b in -grid..grid {
+            let center = Vec3::new(
+                a as f32 + 0.9 * rng.random_range(0.0f32..1.0),
+                0.2,
+                b as f32 + 0.9 * rng.random_range(0.0f32..1.0),
+            );
+            prims.push(BvhPrimitive::Sphere(Sphere::new(center, 0.2)));
+        }
+    }
+    // The three hero spheres.
+    prims.push(BvhPrimitive::Sphere(Sphere::new(Vec3::new(0.0, 1.0, 0.0), 1.0)));
+    prims.push(BvhPrimitive::Sphere(Sphere::new(Vec3::new(-4.0, 1.0, 0.0), 1.0)));
+    prims.push(BvhPrimitive::Sphere(Sphere::new(Vec3::new(4.0, 1.0, 0.0), 1.0)));
+    prims
+}
+
+/// Pinhole-camera primary rays over a `width × height` image looking at
+/// `target` from `eye`.
+pub fn camera_rays(width: usize, height: usize, eye: Vec3, target: Vec3) -> Vec<Ray> {
+    let forward = (target - eye).normalized();
+    let right = forward.cross(Vec3::new(0.0, 1.0, 0.0)).normalized();
+    let up = right.cross(forward);
+    let fov = 0.9f32;
+    let mut rays = Vec::with_capacity(width * height);
+    for y in 0..height {
+        for x in 0..width {
+            let u = (x as f32 + 0.5) / width as f32 * 2.0 - 1.0;
+            let v = (y as f32 + 0.5) / height as f32 * 2.0 - 1.0;
+            let dir = (forward + right * (u * fov) + up * (-v * fov)).normalized();
+            rays.push(Ray::new(eye, dir));
+        }
+    }
+    rays
+}
+
+/// Random hemisphere rays around `(origin, normal)` pairs — ambient
+/// occlusion / diffuse bounce rays.
+pub fn hemisphere_rays(surfels: &[(Vec3, Vec3)], seed: u64) -> Vec<Ray> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xa0a0);
+    surfels
+        .iter()
+        .map(|&(p, n)| {
+            let mut d = Vec3::new(
+                rng.random_range(-1.0f32..1.0),
+                rng.random_range(-1.0f32..1.0),
+                rng.random_range(-1.0f32..1.0),
+            );
+            while d.length_squared() < 1e-3 {
+                d = Vec3::new(
+                    rng.random_range(-1.0f32..1.0),
+                    rng.random_range(-1.0f32..1.0),
+                    rng.random_range(-1.0f32..1.0),
+                );
+            }
+            let mut d = d.normalized();
+            if d.dot(n) < 0.0 {
+                d = -d;
+            }
+            Ray::with_interval(p + n * 1e-3, d, 1e-4, 25.0)
+        })
+        .collect()
+}
+
+/// Shadow rays from surface points toward a point light.
+pub fn shadow_rays(points: &[Vec3], light: Vec3) -> Vec<Ray> {
+    points
+        .iter()
+        .map(|&p| {
+            let to_light = light - p;
+            let dist = to_light.length();
+            Ray::with_interval(p, to_light / dist, 1e-3, dist - 1e-3)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn btree_keys_sorted_unique() {
+        let keys = btree_keys(5000, 42);
+        assert_eq!(keys.len(), 5000);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        // Deterministic.
+        assert_eq!(keys, btree_keys(5000, 42));
+        assert_ne!(keys, btree_keys(5000, 43));
+    }
+
+    #[test]
+    fn queries_mix_hits_and_misses() {
+        let keys = btree_keys(2000, 1);
+        let qs = btree_queries(&keys, 1000, 2);
+        let hits = qs.iter().filter(|q| keys.binary_search(q).is_ok()).count();
+        assert!(hits > 300 && hits < 900, "hit fraction off: {hits}/1000");
+    }
+
+    #[test]
+    fn particles_respect_dims() {
+        let p2 = nbody_particles(500, 2, 7);
+        assert!(p2.iter().all(|p| p.pos.z == 0.0));
+        let p3 = nbody_particles(500, 3, 7);
+        assert!(p3.iter().any(|p| p.pos.z != 0.0));
+        assert!(p3.iter().all(|p| p.mass > 0.0));
+    }
+
+    #[test]
+    fn lidar_cloud_is_ground_heavy() {
+        let pts = lidar_points(4000, 3);
+        assert_eq!(pts.len(), 4000);
+        let ground = pts.iter().filter(|p| p.z.abs() < 0.2).count();
+        assert!(ground > 2000, "ground fraction too low: {ground}");
+    }
+
+    #[test]
+    fn meshes_are_nonempty_and_finite() {
+        for prims in [blob_mesh(16, 24, 5), rigging_mesh(300, 5)] {
+            assert!(prims.len() > 100);
+            for p in &prims {
+                let b = p.aabb();
+                assert!(b.min.is_finite() && b.max.is_finite());
+            }
+        }
+        let s = wknd_spheres(6, 9);
+        assert!(s.len() > 100);
+    }
+
+    #[test]
+    fn camera_rays_cover_image() {
+        let rays = camera_rays(8, 8, Vec3::new(0.0, 2.0, -20.0), Vec3::ZERO);
+        assert_eq!(rays.len(), 64);
+        assert!(rays.iter().all(|r| (r.dir.length() - 1.0).abs() < 1e-5));
+        // Corner rays diverge.
+        assert!((rays[0].dir - rays[63].dir).length() > 0.1);
+    }
+
+    #[test]
+    fn shadow_rays_bounded_by_light_distance() {
+        let rays = shadow_rays(&[Vec3::ZERO], Vec3::new(0.0, 10.0, 0.0));
+        assert!((rays[0].tmax - 10.0).abs() < 0.01);
+    }
+}

@@ -1,0 +1,29 @@
+//! Benchmark applications and data generators for the TTA reproduction.
+//!
+//! Each module pairs a *baseline* implementation (a SIMT kernel in the
+//! simulator's mini-ISA, or the unmodified RTA for the ray-tracing apps)
+//! with the TTA / TTA+ accelerated configuration, exactly as the paper's
+//! evaluation does:
+//!
+//! | module | paper workload | baseline | accelerated |
+//! |--------|----------------|----------|-------------|
+//! | [`btree`] | B-Tree / B\*Tree / B+Tree search | SIMT kernel | Query-Key on TTA / μops on TTA+ |
+//! | [`nbody`] | Barnes-Hut N-Body 2D & 3D | SIMT kernel | Point-to-Point + force program |
+//! | [`rtnn`] | RTNN radius search (KITTI-like) | RTA + intersection shader | \*RTNN offloaded leaf test |
+//! | [`lumibench`] | LumiBench-like RT suite incl. WKND_PT, SHIP_SH | RTA fixed-function | TTA+ programs (+SATO, +Ray-Sphere) |
+//! | [`rtree`] | R-Tree range query (extension; §I motivates it) | SIMT kernel | MBR tests on the Ray-Box unit |
+//!
+//! [`gen`] provides the seeded data/scene generators, [`kernels`] the
+//! baseline mini-ISA kernels, and [`runner`] the shared plumbing.
+
+pub mod btree;
+pub mod gen;
+pub mod instanced;
+pub mod kernels;
+pub mod lumibench;
+pub mod nbody;
+pub mod rtnn;
+pub mod rtree;
+pub mod runner;
+
+pub use runner::{AccelReport, Platform, RunResult};

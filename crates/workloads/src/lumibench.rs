@@ -1,0 +1,489 @@
+//! LumiBench-like ray-tracing workloads (Fig. 16 / Fig. 17).
+//!
+//! LumiBench's art assets are not redistributable, so each workload here is
+//! a procedural scene with the *behavioural* feature the paper's subset
+//! exercises; WKND_PT is reproduced faithfully since the "Ray Tracing in
+//! One Weekend" scene is itself procedural:
+//!
+//! | workload | behaviour | scene |
+//! |----------|-----------|-------|
+//! | `BlobPt` | path tracing (incoherent bounces) | tessellated blob mesh |
+//! | `BlobAo` | ambient occlusion (short any-hit rays) | blob mesh |
+//! | `ShipSh` | shadows over long thin primitives | rigging slivers + hull |
+//! | `BlobRf` | mirror reflections | blob mesh |
+//! | `WkndPt` | procedural-sphere path tracing | the WKND sphere field |
+//! | `LeafAm` | alpha masking (shader'd any-hit) | dense foliage slab |
+
+use geometry::{Ray, Vec3};
+use gpu_sim::isa::SReg;
+use gpu_sim::kernel::{Kernel, KernelBuilder};
+use gpu_sim::GpuConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rta::bvh_semantics::{
+    read_ray_result, write_ray_record, BvhSemantics, LeafGeometry, RayQueryMode, RAY_RECORD_SIZE,
+};
+use rta::units::TestKind;
+use trees::bvh::PrimitiveKind;
+use trees::{Bvh, BvhPrimitive};
+use tta::programs::UopProgram;
+
+use crate::gen;
+use crate::kernels::{bvh_trace_kernel, params, THREAD_STACK_BYTES};
+use crate::runner::{attach_platform, build_gpu, harvest_accel, sum_stats, Platform, RunResult};
+
+/// The evaluated ray-tracing workloads (the LumiBench representative
+/// subset's behaviours).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RtWorkload {
+    /// Path tracing over a triangle mesh.
+    BlobPt,
+    /// Ambient occlusion.
+    BlobAo,
+    /// Shadow rays over long thin primitives (the SHIP pathology).
+    ShipSh,
+    /// Mirror reflections.
+    BlobRf,
+    /// Procedural-sphere path tracing ("Ray Tracing in One Weekend").
+    WkndPt,
+    /// Alpha-masked any-hit (foliage).
+    LeafAm,
+}
+
+impl RtWorkload {
+    /// All workloads in display order.
+    pub const ALL: [RtWorkload; 6] = [
+        RtWorkload::BlobPt,
+        RtWorkload::BlobAo,
+        RtWorkload::ShipSh,
+        RtWorkload::BlobRf,
+        RtWorkload::WkndPt,
+        RtWorkload::LeafAm,
+    ];
+
+    /// Figure label.
+    pub fn name(self) -> &'static str {
+        match self {
+            RtWorkload::BlobPt => "BLOB_PT",
+            RtWorkload::BlobAo => "BLOB_AO",
+            RtWorkload::ShipSh => "SHIP_SH",
+            RtWorkload::BlobRf => "BLOB_RF",
+            RtWorkload::WkndPt => "WKND_PT",
+            RtWorkload::LeafAm => "LEAF_AM",
+        }
+    }
+
+    /// `true` for the procedural-sphere scene.
+    pub fn uses_spheres(self) -> bool {
+        matches!(self, RtWorkload::WkndPt)
+    }
+}
+
+impl std::fmt::Display for RtWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One ray-tracing experiment.
+#[derive(Debug, Clone)]
+pub struct RtExperiment {
+    /// Which workload.
+    pub workload: RtWorkload,
+    /// Image width (primary rays = width × height).
+    pub width: usize,
+    /// Image height.
+    pub height: usize,
+    /// Hardware platform ([`Platform::BaselineRta`] or TTA/TTA+).
+    pub platform: Platform,
+    /// Apply the SATO traversal-order optimisation to any-hit passes
+    /// (\*SHIP_SH; requires a programmable platform).
+    pub sato: bool,
+    /// Offload the Ray-Sphere test to a TTA+ μop program instead of the
+    /// intersection shader (\*WKND_PT; requires TTA+).
+    pub offload_sphere: bool,
+    /// RNG seed.
+    pub seed: u64,
+    /// Scene size multiplier (1.0 = DRAM-bound paper-like scenes).
+    pub detail: f64,
+    /// GPU configuration.
+    pub gpu: GpuConfig,
+    /// Fig. 17 "Perf. RT" limit: accelerator node fetches complete in one
+    /// cycle (what an ideal prefetcher approaches).
+    pub perfect_node_fetch: bool,
+    /// Cross-check primary-hit results against the host BVH oracle.
+    pub verify: bool,
+}
+
+impl RtExperiment {
+    /// A default experiment at a small image resolution.
+    pub fn new(workload: RtWorkload, platform: Platform) -> Self {
+        RtExperiment {
+            workload,
+            width: 64,
+            height: 48,
+            platform,
+            sato: false,
+            offload_sphere: false,
+            seed: 0x10e1,
+            detail: 1.0,
+            gpu: GpuConfig::vulkan_sim_default(),
+            perfect_node_fetch: false,
+            verify: true,
+        }
+    }
+
+    /// μop programs a TTA+ platform should register for this experiment:
+    /// index 0 = Ray-Sphere (used when `offload_sphere`).
+    pub fn uop_programs() -> Vec<UopProgram> {
+        vec![UopProgram::ray_sphere_leaf()]
+    }
+
+    fn scene(&self) -> Vec<BvhPrimitive> {
+        // Scene sizes follow `detail`: at the default (1.0) the triangle
+        // scenes exceed the 3 MB L2 so traversal is DRAM-bound, as in the
+        // paper's evaluation; unit tests shrink `detail` for speed. WKND is
+        // inherently small (it is *the* procedural sphere scene).
+        let d = self.detail;
+        let di = |v: usize| ((v as f64 * d) as usize).max(8);
+        match self.workload {
+            RtWorkload::BlobPt | RtWorkload::BlobAo | RtWorkload::BlobRf => {
+                gen::blob_mesh(di(128), di(256), self.seed)
+            }
+            RtWorkload::ShipSh => gen::rigging_mesh(di(3000), self.seed),
+            RtWorkload::WkndPt => gen::wknd_spheres(11, self.seed),
+            RtWorkload::LeafAm => foliage_mesh(di(16000), self.seed),
+        }
+    }
+
+    fn camera(&self, bvh: &Bvh) -> (Vec3, Vec3) {
+        let b = bvh.bounds();
+        let c = b.center();
+        let ext = b.extent().max_component();
+        (c + Vec3::new(0.3 * ext, 0.35 * ext, -1.2 * ext), c)
+    }
+
+    /// Runs the experiment (primary pass + one secondary pass whose ray
+    /// type depends on the workload).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `verify` is set and the primary pass disagrees with the
+    /// host BVH oracle, or when `sato`/`offload_sphere` are combined with a
+    /// platform that cannot express them.
+    pub fn run(&self) -> RunResult {
+        let is_plus = matches!(
+            self.platform,
+            Platform::TtaPlus(..) | Platform::TtaPlusWith(..)
+        );
+        let is_simt = !self.platform.has_accelerator();
+        assert!(
+            !self.sato || is_plus,
+            "SATO needs TTA+'s programmable traversal (the paper's *SHIP_SH)"
+        );
+        assert!(
+            !self.offload_sphere || is_plus,
+            "Ray-Sphere offload needs TTA+'s SQRT unit (the paper's *WKND_PT)"
+        );
+        assert!(
+            !is_simt || !self.workload.uses_spheres(),
+            "the baseline SIMT trace kernel supports triangle scenes only"
+        );
+
+        let bvh = Bvh::build(self.scene());
+        let ser = bvh.serialize();
+        let n = self.width * self.height;
+
+        let mem = (ser.image.len()
+            + 2 * n * (RAY_RECORD_SIZE + THREAD_STACK_BYTES as usize)
+            + (1 << 21))
+            .next_power_of_two();
+        let mut gpu = build_gpu(&self.gpu, mem);
+        gpu.perfect_node_fetch = self.perfect_node_fetch;
+        let tree_base = gpu.gmem.alloc(ser.image.len(), 64);
+        gpu.gmem.write_bytes(tree_base, ser.image.as_bytes());
+        let prim_base = tree_base + ser.prim_base as u64;
+        let qbase = gpu.gmem.alloc(n * RAY_RECORD_SIZE, 64);
+        let stacks = gpu.gmem.alloc(n * THREAD_STACK_BYTES as usize, 64);
+
+        let leaf = match ser.prim_kind {
+            PrimitiveKind::Triangle => LeafGeometry::TRIANGLE,
+            PrimitiveKind::Sphere => LeafGeometry::Sphere {
+                test: if self.offload_sphere {
+                    TestKind::Program(0)
+                } else {
+                    TestKind::IntersectionShader
+                },
+            },
+        };
+        // Alpha masking keeps its shader even on an accelerated box path:
+        // the alpha texture lookup cannot be expressed as μops, so the
+        // any-hit pass tests triangles in the intersection shader.
+        let am = self.workload == RtWorkload::LeafAm;
+        let anyhit_leaf = if am {
+            LeafGeometry::Triangle { test: TestKind::IntersectionShader }
+        } else {
+            leaf
+        };
+
+        let sato = self.sato;
+        // Pipeline 0: closest hit. Pipeline 1: any hit (secondary passes).
+        attach_platform(&mut gpu, &self.platform, move || {
+            let closest = BvhSemantics {
+                tree_base,
+                prim_base,
+                leaf,
+                mode: RayQueryMode::ClosestHit,
+                sato: false,
+            };
+            let any = BvhSemantics {
+                tree_base,
+                prim_base,
+                leaf: anyhit_leaf,
+                mode: RayQueryMode::AnyHit,
+                sato,
+            };
+            vec![Box::new(closest), Box::new(any)]
+        });
+
+        // Primary pass.
+        let (eye, target) = self.camera(&bvh);
+        let primary = gen::camera_rays(self.width, self.height, eye, target);
+        for (i, r) in primary.iter().enumerate() {
+            write_ray_record(&mut gpu.gmem, qbase + (i * RAY_RECORD_SIZE) as u64, r);
+        }
+        let launch_params =
+            [qbase as u32, tree_base as u32, stacks as u32, prim_base as u32];
+        let k_closest = if is_simt { bvh_trace_kernel() } else { rt_kernel_for(0) };
+        let mut parts = vec![gpu.launch(&k_closest, n, &launch_params)];
+
+        if self.verify {
+            for (i, r) in primary.iter().enumerate().step_by(97) {
+                let (t, prim, ..) =
+                    read_ray_result(&gpu.gmem, qbase + (i * RAY_RECORD_SIZE) as u64);
+                let (oracle, _) = bvh.closest_hit(r);
+                match oracle {
+                    Some(h) => {
+                        assert_eq!(prim, h.prim as u32, "{} ray {i}", self.workload);
+                        assert!((t - h.t).abs() < 1e-3 * h.t.max(1.0));
+                    }
+                    None => assert_eq!(prim, u32::MAX, "{} ray {i}", self.workload),
+                }
+            }
+        }
+
+        // Collect surfels from the primary hits for the secondary pass.
+        let mut surfels = Vec::new();
+        for (i, r) in primary.iter().enumerate() {
+            let (t, prim, ..) = read_ray_result(&gpu.gmem, qbase + (i * RAY_RECORD_SIZE) as u64);
+            if t.is_finite() {
+                let p = r.at(t);
+                let nrm = prim_normal(&bvh, prim as usize, p, r.dir);
+                surfels.push((p + nrm * 1e-3, nrm, r.dir));
+            }
+        }
+
+        // Secondary pass(es): workload-dependent ray type. (On the SIMT
+        // baseline, any-hit passes run the same closest-hit kernel — a
+        // slightly pessimistic but standard formulation for a kernel
+        // without early-exit support.) The shadows workload shoots one
+        // pass per light: shadow rays dominate it, as in the paper.
+        if !surfels.is_empty() {
+            let rounds: u32 = if self.workload == RtWorkload::ShipSh { 4 } else { 1 };
+            for round in 0..rounds {
+                let (rays, pipeline) = self.secondary_rays(&surfels, round);
+                for (i, r) in rays.iter().enumerate() {
+                    write_ray_record(&mut gpu.gmem, qbase + (i * RAY_RECORD_SIZE) as u64, r);
+                }
+                let kernel = if is_simt { bvh_trace_kernel() } else { rt_kernel_for(pipeline) };
+                parts.push(gpu.launch(&kernel, rays.len(), &launch_params));
+            }
+        }
+
+        let star = self.sato || self.offload_sphere;
+        RunResult {
+            label: format!(
+                "{}{} {}",
+                if star { "*" } else { "" },
+                self.workload,
+                self.platform.label()
+            ),
+            stats: sum_stats(&parts),
+            accel: harvest_accel(&gpu),
+        }
+    }
+
+    fn secondary_rays(&self, surfels: &[(Vec3, Vec3, Vec3)], round: u32) -> (Vec<Ray>, u16) {
+        match self.workload {
+            RtWorkload::BlobPt | RtWorkload::WkndPt => {
+                // Diffuse bounce: incoherent hemisphere rays, closest-hit.
+                let pts: Vec<(Vec3, Vec3)> =
+                    surfels.iter().map(|&(p, n, _)| (p, n)).collect();
+                (gen::hemisphere_rays(&pts, self.seed), 0)
+            }
+            RtWorkload::BlobAo => {
+                let pts: Vec<(Vec3, Vec3)> =
+                    surfels.iter().map(|&(p, n, _)| (p, n)).collect();
+                let mut rays = gen::hemisphere_rays(&pts, self.seed);
+                for r in &mut rays {
+                    r.tmax = 6.0; // short AO rays
+                }
+                (rays, 1)
+            }
+            RtWorkload::ShipSh | RtWorkload::LeafAm => {
+                // Lights circle the scene; one shadow pass per light.
+                let angle = round as f32 * 1.7 + 0.4;
+                let light =
+                    Vec3::new(90.0 * angle.cos(), 80.0, 90.0 * angle.sin());
+                let pts: Vec<Vec3> = surfels.iter().map(|&(p, ..)| p).collect();
+                (gen::shadow_rays(&pts, light), 1)
+            }
+            RtWorkload::BlobRf => {
+                let rays = surfels
+                    .iter()
+                    .map(|&(p, n, d)| {
+                        let refl = d - n * (2.0 * d.dot(n));
+                        Ray::new(p, refl.normalized())
+                    })
+                    .collect();
+                (rays, 0)
+            }
+        }
+    }
+}
+
+/// Traversal kernel bound to a specific pipeline (0 = closest, 1 = any).
+/// Public so other accelerated ray workloads (e.g. the instanced scenes)
+/// can reuse it.
+pub fn rt_kernel_for(pipeline: u16) -> Kernel {
+    let mut k = KernelBuilder::new(format!("rt_pipeline{pipeline}"));
+    let tid = k.reg();
+    let q = k.reg();
+    let root = k.reg();
+    let off = k.reg();
+    k.mov_sreg(tid, SReg::ThreadId);
+    k.mov_sreg(q, SReg::Param(params::QUERIES));
+    k.mov_sreg(root, SReg::Param(params::TREE));
+    k.imul_imm(off, tid, RAY_RECORD_SIZE as u32);
+    k.iadd(q, q, off);
+    k.traverse(q, root, pipeline);
+    k.exit();
+    k.build()
+}
+
+/// Surface normal of a hit primitive, flipped to face the incoming ray.
+fn prim_normal(bvh: &Bvh, prim: usize, point: Vec3, incoming: Vec3) -> Vec3 {
+    let n = match bvh.primitives()[prim] {
+        BvhPrimitive::Triangle(t) => t.normal().normalized(),
+        BvhPrimitive::Sphere(s) => s.normal_at(point),
+    };
+    if n.dot(incoming) > 0.0 {
+        -n
+    } else {
+        n
+    }
+}
+
+/// Dense foliage slab: many small overlapping triangles (the alpha-mask
+/// workload's geometric signature).
+fn foliage_mesh(n: usize, seed: u64) -> Vec<BvhPrimitive> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xf01a);
+    let mut tris = Vec::with_capacity(n);
+    for _ in 0..n {
+        let c = Vec3::new(
+            rng.random_range(-30.0..30.0),
+            rng.random_range(0.0..20.0),
+            rng.random_range(-30.0..30.0),
+        );
+        let mut jitter = || {
+            Vec3::new(
+                rng.random_range(-1.5..1.5),
+                rng.random_range(-1.5..1.5),
+                rng.random_range(-1.5..1.5),
+            )
+        };
+        let a = c + jitter();
+        let b = c + jitter();
+        tris.push(BvhPrimitive::Triangle(geometry::Triangle::new(c, a, b)));
+    }
+    tris
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rta::RtaConfig;
+    use tta::ttaplus::TtaPlusConfig;
+
+    fn small(mut e: RtExperiment) -> RtExperiment {
+        e.gpu = GpuConfig::small_test();
+        e.width = 32;
+        e.height = 24;
+        e.detail = 0.05;
+        e
+    }
+
+    #[test]
+    fn all_workloads_run_on_baseline_rta() {
+        for w in RtWorkload::ALL {
+            let e = small(RtExperiment::new(w, Platform::BaselineRta(RtaConfig::baseline())));
+            let r = e.run(); // verify checks primary hits against the oracle
+            assert!(r.stats.cycles > 0, "{w} produced no cycles");
+        }
+    }
+
+    #[test]
+    fn ttaplus_slowdown_is_moderate_on_triangles() {
+        let base = small(RtExperiment::new(
+            RtWorkload::BlobPt,
+            Platform::BaselineRta(RtaConfig::baseline()),
+        ))
+        .run();
+        let plus = small(RtExperiment::new(
+            RtWorkload::BlobPt,
+            Platform::TtaPlus(TtaPlusConfig::default_paper(), RtExperiment::uop_programs()),
+        ))
+        .run();
+        let slowdown = plus.cycles() as f64 / base.cycles() as f64;
+        // At unit-test scale the scene is cache-resident and the camera
+        // rays are coherent — the worst case for TTA+'s serialized μops —
+        // so the band here is wide; the fig16 harness checks the paper's
+        // ~8% number at realistic scale.
+        assert!(
+            (0.9..4.5).contains(&slowdown),
+            "TTA+ RT slowdown {slowdown:.2} out of the plausible band"
+        );
+    }
+
+    #[test]
+    fn wknd_offload_beats_shader_on_ttaplus() {
+        let shader = small(RtExperiment::new(
+            RtWorkload::WkndPt,
+            Platform::TtaPlus(TtaPlusConfig::default_paper(), RtExperiment::uop_programs()),
+        ))
+        .run();
+        let mut star = small(RtExperiment::new(
+            RtWorkload::WkndPt,
+            Platform::TtaPlus(TtaPlusConfig::default_paper(), RtExperiment::uop_programs()),
+        ));
+        star.offload_sphere = true;
+        let star = star.run();
+        assert!(
+            star.cycles() < shader.cycles(),
+            "*WKND_PT ({}) must beat shader WKND_PT ({})",
+            star.cycles(),
+            shader.cycles()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "SATO")]
+    fn sato_requires_ttaplus() {
+        let mut e = small(RtExperiment::new(
+            RtWorkload::ShipSh,
+            Platform::BaselineRta(RtaConfig::baseline()),
+        ));
+        e.sato = true;
+        let _ = e.run();
+    }
+}

@@ -1,0 +1,340 @@
+//! The Barnes-Hut N-Body experiment (2D and 3D, Fig. 12 top), including
+//! the merged-kernel optimisation of §V-A.
+
+use gpu_sim::GpuConfig;
+use rta::units::TestKind;
+use trees::BarnesHutTree;
+use tta::nbody_sem::{
+    read_nbody_result, write_nbody_record, BarnesHutSemantics, QUERY_RECORD_SIZE,
+};
+use tta::programs::UopProgram;
+
+use crate::btree::traverse_only_kernel;
+use crate::gen;
+use crate::kernels::{nbody_force_kernel, nbody_integrate_kernel, params, THREAD_STACK_BYTES};
+use crate::runner::{attach_platform, build_gpu, harvest_accel, sum_stats, Platform, RunResult};
+use gpu_sim::isa::SReg;
+use gpu_sim::kernel::{Kernel, KernelBuilder};
+
+/// One N-Body experiment configuration.
+#[derive(Debug, Clone)]
+pub struct NBodyExperiment {
+    /// Spatial dimensions: 2 (quadtree) or 3 (octree).
+    pub dims: usize,
+    /// Number of bodies.
+    pub bodies: usize,
+    /// Barnes-Hut opening angle θ.
+    pub theta: f32,
+    /// RNG seed.
+    pub seed: u64,
+    /// Hardware platform.
+    pub platform: Platform,
+    /// GPU configuration.
+    pub gpu: GpuConfig,
+    /// Run the post-traversal integration, and if so, merged or split.
+    pub post: PostProcess,
+    /// Cross-check sampled forces against the host oracle.
+    pub verify: bool,
+}
+
+/// How the post-traversal integration kernel runs (§V-A's merged-kernel
+/// study: merging lets the TTA and the cores work in parallel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PostProcess {
+    /// Traversal only (the Fig. 12 force-kernel comparison).
+    None,
+    /// Separate integration launch after the traversal kernel.
+    Split,
+    /// One kernel: traverse, then integrate in the same thread — other
+    /// warps integrate while the accelerator traverses.
+    Merged,
+}
+
+impl NBodyExperiment {
+    /// A default configuration.
+    pub fn new(dims: usize, bodies: usize, platform: Platform) -> Self {
+        NBodyExperiment {
+            dims,
+            bodies,
+            theta: 0.5,
+            seed: 0xb0d1,
+            platform,
+            gpu: GpuConfig::vulkan_sim_default(),
+            post: PostProcess::None,
+            verify: true,
+        }
+    }
+
+    /// TTA+ μop programs: the Point-to-Point opening test and the force
+    /// computation (Table III rows 3–4).
+    pub fn uop_programs() -> Vec<UopProgram> {
+        vec![UopProgram::point_to_point_inner(), UopProgram::nbody_force_leaf()]
+    }
+
+    /// The Listing-1 pipeline configuration for the Barnes-Hut walk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`tta::pipeline::ConfigError`]; notably the force program
+    /// needs SQRT, so only TTA+ can run the fully-offloaded leaf.
+    pub fn pipeline(
+        gen: tta::pipeline::AcceleratorGen,
+    ) -> Result<tta::pipeline::TraversalPipeline, tta::pipeline::ConfigError> {
+        use tta::pipeline::{PipelineBuilder, TerminateCond, TestConfig};
+        let plus = matches!(
+            gen,
+            tta::pipeline::AcceleratorGen::TtaPlus | tta::pipeline::AcceleratorGen::TtaPlusNoSqrt
+        );
+        let (inner, leaf) = if plus {
+            (
+                TestConfig::Uops(UopProgram::point_to_point_inner()),
+                TestConfig::Uops(UopProgram::nbody_force_leaf()),
+            )
+        } else {
+            // On TTA the SQRT-dependent force runs on the cores.
+            (TestConfig::PointToPoint, TestConfig::Shader)
+        };
+        PipelineBuilder::new("barnes-hut-force")
+            .decode_r(&[12, 4, 12, 4]) // pos | theta | out force | visited
+            .decode_i(&[4, 4, 12, 4, 4]) // header | first child | com | mass | width
+            .decode_l(&[4, 4, 12, 4, 4])
+            .config_i(inner)
+            .config_l(leaf)
+            .config_terminate(TerminateCond::StackEmpty)
+            .build(gen)
+    }
+
+    /// Runs the experiment.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `verify` is set and sampled forces diverge from the
+    /// host Barnes-Hut oracle.
+    pub fn run(&self) -> RunResult {
+        let particles = gen::nbody_particles(self.bodies, self.dims, self.seed);
+        let tree = BarnesHutTree::build(&particles, self.dims);
+        let ser = tree.serialize();
+
+        let mem = (ser.image.len()
+            + self.bodies * (QUERY_RECORD_SIZE + THREAD_STACK_BYTES as usize + 12)
+            + (1 << 20))
+            .next_power_of_two();
+        let mut gpu = build_gpu(&self.gpu, mem);
+        let tree_base = gpu.gmem.alloc(ser.image.len(), 64);
+        gpu.gmem.write_bytes(tree_base, ser.image.as_bytes());
+        let particle_base = tree_base + ser.particle_base as u64;
+        let qbase = gpu.gmem.alloc(self.bodies * QUERY_RECORD_SIZE, 64);
+        for (i, p) in particles.iter().enumerate() {
+            write_nbody_record(
+                &mut gpu.gmem,
+                qbase + (i * QUERY_RECORD_SIZE) as u64,
+                p.pos,
+                self.theta,
+            );
+        }
+        let stacks = gpu.gmem.alloc(self.bodies * THREAD_STACK_BYTES as usize, 64);
+        let vels = gpu.gmem.alloc(self.bodies * 12, 64);
+
+        let (open_test, force_test) = match &self.platform {
+            Platform::TtaPlus(..) | Platform::TtaPlusWith(..) => {
+                (TestKind::Program(0), TestKind::Program(1))
+            }
+            // On TTA the force computation needs SQRT, which only the
+            // cores have: it runs as deferred core work (§IV-A).
+            _ => (TestKind::PointToPoint, TestKind::IntersectionShader),
+        };
+        // The TTA force path is not a full intersection-shader round-trip:
+        // accumulations are deferred and batched on the cores as coherent
+        // element-wise work (the paper's "computations [that] can already
+        // be easily parallelized"), so it is billed much cheaper than the
+        // procedural-geometry shader callbacks of RTNN/WKND.
+        let platform = match &self.platform {
+            Platform::Tta(cfg) => {
+                let mut cfg = cfg.clone();
+                cfg.rta.shader_callback_latency = 120;
+                cfg.rta.shader_interval = 2;
+                cfg.rta.shader_instructions = 12;
+                Platform::Tta(cfg)
+            }
+            other => other.clone(),
+        };
+        attach_platform(&mut gpu, &platform, move || {
+            vec![Box::new(BarnesHutSemantics { tree_base, particle_base, open_test, force_test })]
+        });
+
+        let launch_params =
+            [qbase as u32, tree_base as u32, stacks as u32, vels as u32];
+        let mut parts = Vec::new();
+        if self.platform.has_accelerator() {
+            match self.post {
+                PostProcess::Merged => {
+                    let kernel = merged_traverse_integrate_kernel();
+                    parts.push(gpu.launch(&kernel, self.bodies, &launch_params));
+                }
+                PostProcess::Split => {
+                    let kernel = traverse_only_kernel(QUERY_RECORD_SIZE as u32);
+                    parts.push(gpu.launch(&kernel, self.bodies, &launch_params));
+                    parts.push(gpu.launch(&nbody_integrate_kernel(), self.bodies, &launch_params));
+                }
+                PostProcess::None => {
+                    let kernel = traverse_only_kernel(QUERY_RECORD_SIZE as u32);
+                    parts.push(gpu.launch(&kernel, self.bodies, &launch_params));
+                }
+            }
+        } else {
+            // Baseline GPU: params[3] doubles as the particle buffer for
+            // the force kernel, so pass particles there, then velocities.
+            let force_params =
+                [qbase as u32, tree_base as u32, stacks as u32, particle_base as u32];
+            parts.push(gpu.launch(&nbody_force_kernel(), self.bodies, &force_params));
+            match self.post {
+                PostProcess::None => {}
+                _ => {
+                    parts.push(gpu.launch(&nbody_integrate_kernel(), self.bodies, &launch_params));
+                }
+            }
+        }
+
+        if self.verify {
+            for (i, p) in particles.iter().enumerate().step_by(61) {
+                let (force, _) =
+                    read_nbody_result(&gpu.gmem, qbase + (i * QUERY_RECORD_SIZE) as u64);
+                let oracle = tree.force_on(p.pos, self.theta);
+                let err = (force - oracle).length();
+                assert!(
+                    err <= 2e-2 * oracle.length().max(1.0),
+                    "body {i}: force {force} vs oracle {oracle}"
+                );
+            }
+        }
+
+        RunResult {
+            label: format!(
+                "N-Body {}D {} {}{}",
+                self.dims,
+                self.bodies,
+                self.platform.label(),
+                match self.post {
+                    PostProcess::Merged => " merged",
+                    PostProcess::Split => " split",
+                    PostProcess::None => "",
+                }
+            ),
+            stats: sum_stats(&parts),
+            accel: harvest_accel(&gpu),
+        }
+    }
+}
+
+/// The merged kernel: offload the traversal, then integrate in-thread —
+/// other warps integrate while the accelerator traverses (§V-A).
+fn merged_traverse_integrate_kernel() -> Kernel {
+    let mut k = KernelBuilder::new("nbody_merged");
+    let tid = k.reg();
+    let q = k.reg();
+    let root = k.reg();
+    let off = k.reg();
+    let vaddr = k.reg();
+    k.mov_sreg(tid, SReg::ThreadId);
+    k.mov_sreg(q, SReg::Param(params::QUERIES));
+    k.mov_sreg(root, SReg::Param(params::TREE));
+    k.imul_imm(off, tid, QUERY_RECORD_SIZE as u32);
+    k.iadd(q, q, off);
+    k.traverse(q, root, 0);
+    k.mov_sreg(vaddr, SReg::Param(params::AUX));
+    k.imul_imm(off, tid, 12);
+    k.iadd(vaddr, vaddr, off);
+    crate::kernels::emit_integrate(&mut k, q, vaddr);
+    k.exit();
+    k.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tta::backend::TtaConfig;
+    use tta::ttaplus::TtaPlusConfig;
+
+    fn small(mut e: NBodyExperiment) -> NBodyExperiment {
+        e.gpu = GpuConfig::small_test();
+        e
+    }
+
+    #[test]
+    fn baseline_kernel_matches_oracle() {
+        let e = small(NBodyExperiment::new(3, 800, Platform::BaselineGpu));
+        let r = e.run(); // verify panics on mismatch
+        assert!(r.stats.cycles > 0);
+        assert!(r.stats.flops > 0);
+    }
+
+    #[test]
+    fn tta_and_ttaplus_match_oracle_and_speed_up() {
+        let base = small(NBodyExperiment::new(3, 800, Platform::BaselineGpu)).run();
+        let tta = small(NBodyExperiment::new(
+            3,
+            800,
+            Platform::Tta(TtaConfig::default_paper()),
+        ))
+        .run();
+        let plus = small(NBodyExperiment::new(
+            3,
+            800,
+            Platform::TtaPlus(TtaPlusConfig::default_paper(), NBodyExperiment::uop_programs()),
+        ))
+        .run();
+        let s_tta = tta.speedup_over(&base);
+        let s_plus = plus.speedup_over(&base);
+        assert!(s_tta > 0.8, "TTA N-Body speedup {s_tta:.2}");
+        assert!(s_plus > 0.8, "TTA+ N-Body speedup {s_plus:.2}");
+    }
+
+    #[test]
+    fn merged_beats_split() {
+        let mk = |post| {
+            let mut e = small(NBodyExperiment::new(
+                2,
+                1200,
+                Platform::TtaPlus(TtaPlusConfig::default_paper(), NBodyExperiment::uop_programs()),
+            ));
+            // Integrating warps must not starve traversal submission: give
+            // the SM headroom (the paper's config has 32 warps/SM).
+            e.gpu.max_warps_per_sm = 16;
+            e.post = post;
+            e.run()
+        };
+        let split = mk(PostProcess::Split);
+        let merged = mk(PostProcess::Merged);
+        assert!(
+            merged.cycles() < split.cycles(),
+            "merged ({}) must beat split ({})",
+            merged.cycles(),
+            split.cycles()
+        );
+    }
+
+    #[test]
+    fn quadtree_2d_also_works() {
+        let e = small(NBodyExperiment::new(
+            2,
+            600,
+            Platform::Tta(TtaConfig::default_paper()),
+        ));
+        let r = e.run();
+        assert!(r.accel.is_some());
+    }
+}
+
+#[cfg(test)]
+mod pipeline_tests {
+    use super::*;
+    use tta::pipeline::AcceleratorGen;
+
+    #[test]
+    fn force_program_needs_full_ttaplus() {
+        assert!(NBodyExperiment::pipeline(AcceleratorGen::Tta).is_ok());
+        assert!(NBodyExperiment::pipeline(AcceleratorGen::TtaPlus).is_ok());
+        // Without the SQRT unit the force program is rejected.
+        assert!(NBodyExperiment::pipeline(AcceleratorGen::TtaPlusNoSqrt).is_err());
+    }
+}

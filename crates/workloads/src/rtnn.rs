@@ -1,0 +1,260 @@
+//! The RTNN radius-search experiment (Fig. 12 bottom): neighbour search on
+//! LiDAR-like point clouds mapped onto the ray-tracing accelerator.
+//!
+//! * **RTNN** (baseline) — the unmodified RTA traverses the inflated-AABB
+//!   BVH; the exact distance check runs in an *intersection shader* on the
+//!   general-purpose cores.
+//! * **\*RTNN** — the shader is replaced by the TTA Point-to-Point unit, or
+//!   by the 5-μop Table III program on TTA+ ("simply by replacing costly
+//!   intersection shaders with TTA, RTNN improves by up to 1.4×").
+
+use geometry::{Sphere, Vec3};
+use gpu_sim::GpuConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rta::units::TestKind;
+use trees::{Bvh, BvhPrimitive};
+use tta::programs::UopProgram;
+use tta::radius_sem::{
+    read_radius_result, write_radius_record, RadiusSearchSemantics, QUERY_RECORD_SIZE,
+};
+
+use crate::btree::traverse_only_kernel;
+use crate::gen;
+use crate::runner::{attach_platform, build_gpu, harvest_accel, Platform, RunResult};
+
+/// Whether the leaf distance test stays in the intersection shader
+/// (baseline RTNN) or is offloaded (\*RTNN).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeafPath {
+    /// Intersection shader on the cores (baseline RTNN).
+    Shader,
+    /// Offloaded to the accelerator (\*RTNN).
+    Offloaded,
+}
+
+/// One RTNN experiment configuration.
+#[derive(Debug, Clone)]
+pub struct RtnnExperiment {
+    /// Point-cloud size (the paper sweeps 32k–128k KITTI points).
+    pub points: usize,
+    /// Number of queries.
+    pub queries: usize,
+    /// Search radius.
+    pub radius: f32,
+    /// RNG seed.
+    pub seed: u64,
+    /// Hardware platform.
+    pub platform: Platform,
+    /// Leaf test path.
+    pub leaf: LeafPath,
+    /// GPU configuration.
+    pub gpu: GpuConfig,
+    /// Cross-check sampled neighbour counts against the BVH oracle.
+    pub verify: bool,
+}
+
+impl RtnnExperiment {
+    /// A default configuration.
+    pub fn new(points: usize, queries: usize, platform: Platform, leaf: LeafPath) -> Self {
+        RtnnExperiment {
+            points,
+            queries,
+            radius: 1.5,
+            seed: 0x17da,
+            platform,
+            leaf,
+            gpu: GpuConfig::vulkan_sim_default(),
+            verify: true,
+        }
+    }
+
+    /// TTA+ μop programs: Ray-Box inner + Point-to-Point leaf (Table III).
+    pub fn uop_programs() -> Vec<UopProgram> {
+        vec![UopProgram::ray_box(), UopProgram::rtnn_leaf()]
+    }
+
+    /// The Listing-1 pipeline configuration for radius search.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`tta::pipeline::ConfigError`] for unsupported tests.
+    pub fn pipeline(
+        gen: tta::pipeline::AcceleratorGen,
+        leaf: LeafPath,
+    ) -> Result<tta::pipeline::TraversalPipeline, tta::pipeline::ConfigError> {
+        use tta::pipeline::{PipelineBuilder, TerminateCond, TestConfig};
+        let leaf_cfg = match (leaf, gen) {
+            (LeafPath::Shader, _) => TestConfig::Shader,
+            (LeafPath::Offloaded, tta::pipeline::AcceleratorGen::TtaPlus) => {
+                TestConfig::Uops(UopProgram::rtnn_leaf())
+            }
+            (LeafPath::Offloaded, _) => TestConfig::PointToPoint,
+        };
+        PipelineBuilder::new("rtnn-radius-search")
+            .decode_r(&[12, 4, 4, 4, 8]) // point | radius | count | visited | pad
+            .decode_i(&[4, 4, 24, 24, 4, 4]) // header | left | boxes | right | pad
+            .decode_l(&[4, 4, 24, 24, 4, 4])
+            .config_i(TestConfig::RayBox)
+            .config_l(leaf_cfg)
+            .config_terminate(TerminateCond::StackEmpty)
+            .build(gen)
+    }
+
+    /// Runs the experiment.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `verify` is set and sampled counts diverge from the
+    /// brute-force-checked BVH oracle.
+    pub fn run(&self) -> RunResult {
+        let pts = gen::lidar_points(self.points, self.seed);
+        let prims: Vec<BvhPrimitive> = pts
+            .iter()
+            .map(|&c| BvhPrimitive::Sphere(Sphere::new(c, self.radius)))
+            .collect();
+        let bvh = Bvh::build(prims);
+        let ser = bvh.serialize();
+
+        let mem = (ser.image.len() + self.queries * QUERY_RECORD_SIZE + (1 << 20))
+            .next_power_of_two();
+        let mut gpu = build_gpu(&self.gpu, mem);
+        let tree_base = gpu.gmem.alloc(ser.image.len(), 64);
+        gpu.gmem.write_bytes(tree_base, ser.image.as_bytes());
+        let prim_base = tree_base + ser.prim_base as u64;
+
+        // Queries: points near the cloud (sensor-frame samples).
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x9e3);
+        let queries: Vec<Vec3> = (0..self.queries)
+            .map(|_| {
+                let r = rng.random_range(0.0f32..1.0).powf(0.6) * 55.0 + 2.0;
+                let a = rng.random_range(0.0..std::f32::consts::TAU);
+                Vec3::new(r * a.cos(), r * a.sin(), rng.random_range(-0.2..1.5))
+            })
+            .collect();
+        let qbase = gpu.gmem.alloc(self.queries * QUERY_RECORD_SIZE, 64);
+        for (i, &q) in queries.iter().enumerate() {
+            write_radius_record(&mut gpu.gmem, qbase + (i * QUERY_RECORD_SIZE) as u64, q, self.radius);
+        }
+
+        let is_plus = matches!(
+            self.platform,
+            Platform::TtaPlus(..) | Platform::TtaPlusWith(..)
+        );
+        let inner_test = if is_plus { TestKind::Program(0) } else { TestKind::RayBox };
+        let leaf_test = match (self.leaf, is_plus) {
+            (LeafPath::Shader, _) => TestKind::IntersectionShader,
+            (LeafPath::Offloaded, false) => TestKind::PointToPoint,
+            (LeafPath::Offloaded, true) => TestKind::Program(1),
+        };
+        attach_platform(&mut gpu, &self.platform, move || {
+            vec![Box::new(RadiusSearchSemantics { tree_base, prim_base, inner_test, leaf_test })]
+        });
+
+        let kernel = traverse_only_kernel(QUERY_RECORD_SIZE as u32);
+        let stats = gpu.launch(&kernel, self.queries, &[qbase as u32, tree_base as u32]);
+
+        if self.verify {
+            for (i, &q) in queries.iter().enumerate().step_by(29) {
+                let (count, _) =
+                    read_radius_result(&gpu.gmem, qbase + (i * QUERY_RECORD_SIZE) as u64);
+                let oracle = bvh.points_within(q, self.radius).len() as u32;
+                assert_eq!(count, oracle, "query {i} at {q}");
+            }
+        }
+
+        RunResult {
+            label: format!(
+                "{}RTNN {}k pts {}",
+                if self.leaf == LeafPath::Offloaded { "*" } else { "" },
+                self.points / 1000,
+                self.platform.label()
+            ),
+            stats,
+            accel: harvest_accel(&gpu),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rta::RtaConfig;
+    use tta::backend::TtaConfig;
+    use tta::ttaplus::TtaPlusConfig;
+
+    fn small(mut e: RtnnExperiment) -> RtnnExperiment {
+        e.gpu = GpuConfig::small_test();
+        e
+    }
+
+    #[test]
+    fn baseline_rtnn_counts_match_oracle() {
+        let e = small(RtnnExperiment::new(
+            3000,
+            128,
+            Platform::BaselineRta(RtaConfig::baseline()),
+            LeafPath::Shader,
+        ));
+        let r = e.run();
+        assert!(r.stats.cycles > 0);
+        let accel = r.accel.expect("RTNN runs on the RTA");
+        assert!(accel.shader_lane_instructions > 0, "baseline must use shaders");
+    }
+
+    #[test]
+    fn offloaded_rtnn_beats_shader_rtnn() {
+        let base = small(RtnnExperiment::new(
+            3000,
+            256,
+            Platform::BaselineRta(RtaConfig::baseline()),
+            LeafPath::Shader,
+        ))
+        .run();
+        let star = small(RtnnExperiment::new(
+            3000,
+            256,
+            Platform::Tta(TtaConfig::default_paper()),
+            LeafPath::Offloaded,
+        ))
+        .run();
+        let speedup = star.speedup_over(&base);
+        assert!(speedup > 1.0, "*RTNN speedup {speedup:.2} should exceed 1");
+        assert_eq!(star.accel.as_ref().unwrap().shader_lane_instructions, 0);
+    }
+
+    #[test]
+    fn ttaplus_variants_run() {
+        for leaf in [LeafPath::Shader, LeafPath::Offloaded] {
+            let e = small(RtnnExperiment::new(
+                2000,
+                128,
+                Platform::TtaPlus(TtaPlusConfig::default_paper(), RtnnExperiment::uop_programs()),
+                leaf,
+            ));
+            let r = e.run();
+            assert!(r.stats.cycles > 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod pipeline_tests {
+    use super::*;
+    use tta::pipeline::AcceleratorGen;
+
+    #[test]
+    fn shader_leaf_works_everywhere_offload_needs_tta() {
+        for gen in [
+            AcceleratorGen::BaselineRta,
+            AcceleratorGen::Tta,
+            AcceleratorGen::TtaPlus,
+        ] {
+            assert!(RtnnExperiment::pipeline(gen, LeafPath::Shader).is_ok());
+        }
+        assert!(RtnnExperiment::pipeline(AcceleratorGen::BaselineRta, LeafPath::Offloaded).is_err());
+        assert!(RtnnExperiment::pipeline(AcceleratorGen::Tta, LeafPath::Offloaded).is_ok());
+        // The 5-μop RTNN leaf has no SQRT: fine even without the SQRT unit.
+        assert!(RtnnExperiment::pipeline(AcceleratorGen::TtaPlusNoSqrt, LeafPath::Offloaded).is_ok());
+    }
+}

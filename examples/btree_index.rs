@@ -1,0 +1,53 @@
+//! Database-index scenario: compare all three B-Tree variants across tree
+//! sizes on the baseline GPU, TTA and TTA+ — a miniature of the paper's
+//! Fig. 12 (top) showing how the speedup depends on the variant and on the
+//! queries-to-keys ratio.
+//!
+//! ```sh
+//! cargo run --release --example btree_index
+//! ```
+
+use trees::BTreeFlavor;
+use workloads::btree::BTreeExperiment;
+use workloads::Platform;
+
+fn main() {
+    let queries = 16_384;
+    println!("{queries} random queries against each index; speedups vs baseline GPU\n");
+    println!(
+        "{:<8} {:>9} {:>12} {:>8} {:>8}",
+        "variant", "keys", "base cycles", "TTA", "TTA+"
+    );
+    for flavor in BTreeFlavor::ALL {
+        for keys in [4_000usize, 32_000, 256_000] {
+            let base =
+                BTreeExperiment::new(flavor, keys, queries, Platform::BaselineGpu).run();
+            let tta = BTreeExperiment::new(
+                flavor,
+                keys,
+                queries,
+                Platform::Tta(tta::backend::TtaConfig::default_paper()),
+            )
+            .run();
+            let plus = BTreeExperiment::new(
+                flavor,
+                keys,
+                queries,
+                Platform::TtaPlus(
+                    tta::ttaplus::TtaPlusConfig::default_paper(),
+                    BTreeExperiment::uop_programs(),
+                ),
+            )
+            .run();
+            println!(
+                "{:<8} {:>9} {:>12} {:>7.2}x {:>7.2}x",
+                flavor.to_string(),
+                keys,
+                base.cycles(),
+                tta.speedup_over(&base),
+                plus.speedup_over(&base)
+            );
+        }
+    }
+    println!("\nEvery accelerated run is verified against the host-side search oracle.");
+}

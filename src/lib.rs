@@ -1,0 +1,51 @@
+//! Workspace root of the TTA reproduction: one `use` surface over the full
+//! stack for the repository-level examples and integration tests.
+//!
+//! The dependency stack, bottom to top:
+//!
+//! ```text
+//! geometry      vectors, boxes, rays, intersection math
+//!    ↑
+//! trees         B-Tree family, BVH, Barnes-Hut, R-Tree, TLAS/BLAS + images
+//!    ↑
+//! gpu_sim       SIMT cores, memory hierarchy, statistics (Vulkan-Sim role)
+//!    ↑
+//! rta           baseline RTA: traversal engine + fixed-function units
+//!    ↑
+//! tta           the paper's contribution: TTA & TTA+ + programming model
+//!    ↑
+//! workloads     benchmark applications with baseline SIMT kernels
+//!    ↑
+//! energy        area/power/energy models (Table IV anchored)
+//! ```
+//!
+//! # Examples
+//!
+//! End-to-end in a dozen lines — index keys, offload queries to a TTA, and
+//! beat the SIMT baseline:
+//!
+//! ```
+//! use tta_repro::workloads::btree::BTreeExperiment;
+//! use tta_repro::workloads::Platform;
+//! use tta_repro::trees::BTreeFlavor;
+//!
+//! let mut base = BTreeExperiment::new(BTreeFlavor::BTree, 2_000, 256, Platform::BaselineGpu);
+//! base.gpu = tta_repro::gpu_sim::GpuConfig::small_test();
+//! let mut accel = BTreeExperiment::new(
+//!     BTreeFlavor::BTree,
+//!     2_000,
+//!     256,
+//!     Platform::Tta(tta_repro::tta::backend::TtaConfig::default_paper()),
+//! );
+//! accel.gpu = tta_repro::gpu_sim::GpuConfig::small_test();
+//! let (b, a) = (base.run(), accel.run());
+//! assert!(a.cycles() < b.cycles(), "the accelerator must win");
+//! ```
+
+pub use energy;
+pub use geometry;
+pub use gpu_sim;
+pub use rta;
+pub use trees;
+pub use tta;
+pub use workloads;

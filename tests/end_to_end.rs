@@ -1,0 +1,209 @@
+//! Workspace-level integration tests: full pipelines spanning every crate —
+//! data generation → tree build → serialization → simulated GPU → TTA/TTA+
+//! traversal → oracle verification → statistics → energy model.
+
+use energy::energy_of;
+use trees::BTreeFlavor;
+use workloads::btree::BTreeExperiment;
+use workloads::lumibench::{RtExperiment, RtWorkload};
+use workloads::nbody::NBodyExperiment;
+use workloads::rtnn::{LeafPath, RtnnExperiment};
+use workloads::Platform;
+
+fn small_gpu() -> gpu_sim::GpuConfig {
+    gpu_sim::GpuConfig::small_test()
+}
+
+fn tta() -> Platform {
+    Platform::Tta(tta::backend::TtaConfig::default_paper())
+}
+
+fn ttaplus(programs: Vec<tta::programs::UopProgram>) -> Platform {
+    Platform::TtaPlus(tta::ttaplus::TtaPlusConfig::default_paper(), programs)
+}
+
+/// Adapter mirrored from the bench harness: RunResult -> ActivityCounts.
+fn activity(run: &workloads::RunResult) -> energy::ActivityCounts {
+    let mut unit_ops = Vec::new();
+    let mut wb = 0;
+    if let Some(a) = &run.accel {
+        wb = a.engine.warp_buffer_accesses;
+        for (name, s) in &a.units {
+            unit_ops.push((name.clone(), s.invocations));
+        }
+    }
+    energy::ActivityCounts {
+        cycles: run.stats.cycles,
+        core_lane_instructions: run.core_instructions(),
+        dram_bytes: run.stats.dram.bytes_read + run.stats.dram.bytes_written,
+        warp_buffer_accesses: wb,
+        unit_ops,
+    }
+}
+
+#[test]
+fn btree_speedup_instruction_cut_and_energy_savings() {
+    let mut base = BTreeExperiment::new(BTreeFlavor::BTree, 16_000, 2_048, Platform::BaselineGpu);
+    base.gpu = small_gpu();
+    let base = base.run();
+    let mut accel = BTreeExperiment::new(BTreeFlavor::BTree, 16_000, 2_048, tta());
+    accel.gpu = small_gpu();
+    let accel = accel.run();
+
+    // Speedup in a plausible band.
+    let speedup = accel.speedup_over(&base);
+    assert!(speedup > 1.2, "TTA speedup {speedup:.2}x too small");
+
+    // The 91%-dynamic-instruction claim: the offloaded run executes far
+    // fewer core instructions.
+    let cut = 1.0 - accel.core_instructions() as f64 / base.core_instructions() as f64;
+    assert!(cut > 0.85, "instruction cut only {:.0}%", cut * 100.0);
+
+    // Fig. 19: energy goes down, with intersection energy a small share.
+    let e_base = energy_of(&activity(&base));
+    let e_accel = energy_of(&activity(&accel));
+    let red = e_accel.reduction_vs(&e_base);
+    assert!(red > 0.05, "energy reduction {:.0}% too small", red * 100.0);
+    assert!(e_accel.intersection_uj < e_accel.compute_core_uj);
+}
+
+#[test]
+fn fig1_signature_baseline_diverges_accelerated_does_not() {
+    let mut base = BTreeExperiment::new(BTreeFlavor::BTree, 16_000, 2_048, Platform::BaselineGpu);
+    base.gpu = small_gpu();
+    let base = base.run();
+    let mut accel = BTreeExperiment::new(BTreeFlavor::BTree, 16_000, 2_048, tta());
+    accel.gpu = small_gpu();
+    let accel = accel.run();
+    assert!(
+        base.stats.simt_efficiency() < 0.9,
+        "baseline B-Tree should diverge (got {:.2})",
+        base.stats.simt_efficiency()
+    );
+    assert!(
+        accel.stats.simt_efficiency() > base.stats.simt_efficiency(),
+        "offloaded kernel should be more coherent"
+    );
+    // The dedicated memory scheduler raises DRAM utilization (Fig. 13).
+    assert!(
+        accel.stats.dram_utilization() > base.stats.dram_utilization(),
+        "TTA should raise DRAM utilization ({:.3} vs {:.3})",
+        accel.stats.dram_utilization(),
+        base.stats.dram_utilization()
+    );
+}
+
+#[test]
+fn warp_buffer_sensitivity_matches_fig14_shape() {
+    // More warp-buffer entries help up to a point (Fig. 14 saturates ~8).
+    let run = |warps: usize| {
+        let mut cfg = tta::backend::TtaConfig::default_paper();
+        cfg.rta.warp_buffer_warps = warps;
+        let mut e =
+            BTreeExperiment::new(BTreeFlavor::BStar, 16_000, 2_048, Platform::Tta(cfg));
+        e.gpu = small_gpu();
+        e.run().cycles()
+    };
+    let w1 = run(1);
+    let w4 = run(4);
+    let w8 = run(8);
+    let w32 = run(32);
+    assert!(w4 < w1, "4 warps ({w4}) must beat 1 ({w1})");
+    assert!(w8 <= w4, "8 warps ({w8}) must not lose to 4 ({w4})");
+    // Saturation: 32 warps gains little over 8.
+    let tail_gain = w8 as f64 / w32 as f64;
+    assert!(tail_gain < 1.5, "8->32 warps gained {tail_gain:.2}x; should be near-saturated");
+}
+
+#[test]
+fn intersection_latency_insensitivity_matches_fig14() {
+    let run = |latency: u64| {
+        let mut cfg = tta::backend::TtaConfig::default_paper();
+        cfg.query_key_latency = latency;
+        let mut e =
+            BTreeExperiment::new(BTreeFlavor::BTree, 16_000, 2_048, Platform::Tta(cfg));
+        e.gpu = small_gpu();
+        e.run().cycles()
+    };
+    let fast = run(3);
+    let default = run(13);
+    let slow = run(130);
+    // 3cy vs 13cy: nearly indistinguishable (memory dominates).
+    let d = (default as f64 / fast as f64 - 1.0).abs();
+    assert!(d < 0.10, "3cy vs 13cy differ by {:.0}%", d * 100.0);
+    // Even 10x latency must not destroy the benefit.
+    assert!((slow as f64) < (default as f64) * 2.0, "130cy blew up: {slow} vs {default}");
+}
+
+#[test]
+fn nbody_all_platforms_agree_with_oracle() {
+    // `verify` inside run() panics on any force mismatch.
+    for platform in [
+        Platform::BaselineGpu,
+        tta(),
+        ttaplus(NBodyExperiment::uop_programs()),
+    ] {
+        let mut e = NBodyExperiment::new(2, 1_500, platform);
+        e.gpu = small_gpu();
+        let r = e.run();
+        assert!(r.stats.cycles > 0);
+    }
+}
+
+#[test]
+fn rtnn_star_offload_removes_shader_work_and_wins() {
+    let mut base = RtnnExperiment::new(
+        6_000,
+        512,
+        Platform::BaselineRta(rta::RtaConfig::baseline()),
+        LeafPath::Shader,
+    );
+    base.gpu = small_gpu();
+    let base = base.run();
+    let mut star = RtnnExperiment::new(6_000, 512, tta(), LeafPath::Offloaded);
+    star.gpu = small_gpu();
+    let star = star.run();
+    assert!(base.accel.as_ref().unwrap().shader_lane_instructions > 0);
+    assert_eq!(star.accel.as_ref().unwrap().shader_lane_instructions, 0);
+    assert!(star.speedup_over(&base) > 1.0);
+}
+
+#[test]
+fn ray_tracing_hits_match_oracle_on_every_platform() {
+    for w in [RtWorkload::BlobPt, RtWorkload::ShipSh] {
+        for platform in [
+            Platform::BaselineGpu,
+            Platform::BaselineRta(rta::RtaConfig::baseline()),
+            ttaplus(RtExperiment::uop_programs()),
+        ] {
+            let mut e = RtExperiment::new(w, platform);
+            e.gpu = small_gpu();
+            e.width = 32;
+            e.height = 24;
+            let r = e.run(); // verify=true checks primary hits
+            assert!(r.stats.cycles > 0, "{w} produced no cycles");
+        }
+    }
+}
+
+#[test]
+fn perfect_limits_compound_like_fig17() {
+    let run = |perfect_rt: bool, perfect_mem: bool| {
+        let mut e = RtExperiment::new(
+            RtWorkload::WkndPt,
+            ttaplus(RtExperiment::uop_programs()),
+        );
+        e.gpu = small_gpu();
+        e.width = 32;
+        e.height = 24;
+        e.perfect_node_fetch = perfect_rt;
+        e.gpu.perfect_memory = perfect_mem;
+        e.offload_sphere = true;
+        e.run().cycles()
+    };
+    let real = run(false, false);
+    let perf_rt = run(true, false);
+    let perf_mem = run(false, true);
+    assert!(perf_rt < real, "Perf.RT ({perf_rt}) must beat real ({real})");
+    assert!(perf_mem <= perf_rt, "Perf.Mem ({perf_mem}) must be fastest");
+}

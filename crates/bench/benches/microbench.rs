@@ -1,149 +1,183 @@
-//! Criterion micro-benchmarks for the core data structures and models:
-//! host-side build/search/traversal costs and the accelerator backends'
-//! scheduling throughput.
+//! Micro-benchmarks for the core data structures and models: host-side
+//! build/search/traversal costs and the accelerator backends' scheduling
+//! throughput.
+//!
+//! Std-only timing harness (`harness = false`): the build environment has
+//! no registry access, so this cannot use `criterion`. Each benchmark is
+//! warmed up, then timed over enough iterations to exceed a minimum
+//! measurement window; median-of-runs is reported.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 use geometry::{Ray, Vec3};
 use rta::units::{FixedFunctionBackend, IntersectionBackend, TestKind};
 use rta::RtaConfig;
-use trees::{BarnesHutTree, BTree, BTreeFlavor, Bvh};
+use trees::{BTree, BTreeFlavor, BarnesHutTree, Bvh};
 use tta::backend::{TtaBackend, TtaConfig};
 use tta::programs::UopProgram;
 use tta::ttaplus::{TtaPlusBackend, TtaPlusConfig};
 use workloads::gen;
 
-fn bench_btree(c: &mut Criterion) {
+/// Times `f` repeatedly: ~3 warmup calls, then batches until 50 ms of
+/// samples accumulate; prints the median per-iteration time.
+fn bench<T>(group: &str, name: &str, mut f: impl FnMut() -> T) {
+    for _ in 0..3 {
+        black_box(f());
+    }
+    let mut samples: Vec<Duration> = Vec::new();
+    let window = Duration::from_millis(50);
+    let mut elapsed = Duration::ZERO;
+    while elapsed < window || samples.len() < 10 {
+        let t0 = Instant::now();
+        black_box(f());
+        let dt = t0.elapsed();
+        samples.push(dt);
+        elapsed += dt;
+        if samples.len() >= 10_000 {
+            break;
+        }
+    }
+    samples.sort();
+    let median = samples[samples.len() / 2];
+    println!(
+        "{group}/{name:<28} {:>12.3} µs/iter  ({} iters)",
+        median.as_secs_f64() * 1e6,
+        samples.len()
+    );
+}
+
+fn bench_btree() {
     let keys = gen::btree_keys(100_000, 1);
-    let mut g = c.benchmark_group("btree");
-    g.bench_function("bulk_load_100k", |b| {
-        b.iter(|| BTree::bulk_load(BTreeFlavor::BTree, black_box(&keys)))
+    bench("btree", "bulk_load_100k", || {
+        BTree::bulk_load(BTreeFlavor::BTree, black_box(&keys))
     });
     let tree = BTree::bulk_load(BTreeFlavor::BTree, &keys);
     let queries = gen::btree_queries(&keys, 10_000, 2);
-    g.bench_function("search_10k", |b| {
-        b.iter(|| {
-            let mut found = 0u32;
-            for &q in &queries {
-                found += tree.search(black_box(q)).found as u32;
-            }
-            found
-        })
+    bench("btree", "search_10k", || {
+        let mut found = 0u32;
+        for &q in &queries {
+            found += tree.search(black_box(q)).found as u32;
+        }
+        found
     });
-    g.bench_function("serialize_100k", |b| b.iter(|| tree.serialize()));
-    g.finish();
+    bench("btree", "serialize_100k", || tree.serialize());
 }
 
-fn bench_bvh(c: &mut Criterion) {
+fn bench_bvh() {
     let prims = gen::blob_mesh(48, 64, 3);
-    let mut g = c.benchmark_group("bvh");
-    g.bench_function("build_6k_tris", |b| {
-        b.iter_batched(|| prims.clone(), Bvh::build, BatchSize::SmallInput)
-    });
+    bench("bvh", "build_6k_tris", || Bvh::build(prims.clone()));
     let bvh = Bvh::build(prims.clone());
     let rays = gen::camera_rays(64, 64, Vec3::new(0.0, 5.0, -40.0), Vec3::ZERO);
-    g.bench_function("closest_hit_4k_rays", |b| {
-        b.iter(|| {
-            let mut hits = 0u32;
-            for r in &rays {
-                hits += bvh.closest_hit(black_box(r)).0.is_some() as u32;
-            }
-            hits
-        })
+    bench("bvh", "closest_hit_4k_rays", || {
+        let mut hits = 0u32;
+        for r in &rays {
+            hits += bvh.closest_hit(black_box(r)).0.is_some() as u32;
+        }
+        hits
     });
-    let ray = Ray::new(Vec3::new(0.0, 5.0, -40.0), Vec3::new(0.0, -0.05, 1.0).normalized());
-    g.bench_function("any_hit_sato", |b| b.iter(|| bvh.any_hit(black_box(&ray), true)));
-    g.finish();
+    let ray = Ray::new(
+        Vec3::new(0.0, 5.0, -40.0),
+        Vec3::new(0.0, -0.05, 1.0).normalized(),
+    );
+    bench("bvh", "any_hit_sato", || bvh.any_hit(black_box(&ray), true));
 }
 
-fn bench_barnes_hut(c: &mut Criterion) {
+fn bench_barnes_hut() {
     let particles = gen::nbody_particles(20_000, 3, 5);
-    let mut g = c.benchmark_group("barnes_hut");
-    g.bench_function("build_20k", |b| b.iter(|| BarnesHutTree::build(black_box(&particles), 3)));
+    bench("barnes_hut", "build_20k", || {
+        BarnesHutTree::build(black_box(&particles), 3)
+    });
     let tree = BarnesHutTree::build(&particles, 3);
-    g.bench_function("force_walk", |b| {
-        b.iter(|| tree.force_on(black_box(Vec3::new(10.0, -5.0, 20.0)), 0.5))
+    bench("barnes_hut", "force_walk", || {
+        tree.force_on(black_box(Vec3::new(10.0, -5.0, 20.0)), 0.5)
     });
-    g.finish();
 }
 
-fn bench_backends(c: &mut Criterion) {
-    let mut g = c.benchmark_group("backends");
-    g.bench_function("fixed_function_schedule", |b| {
-        let mut backend = FixedFunctionBackend::new(&RtaConfig::baseline());
-        let mut now = 0u64;
-        b.iter(|| {
-            now += 1;
-            backend.schedule(black_box(TestKind::RayBox), now).expect("supported")
-        })
+fn bench_backends() {
+    let mut backend = FixedFunctionBackend::new(&RtaConfig::baseline());
+    let mut now = 0u64;
+    bench("backends", "fixed_function_schedule", || {
+        now += 1;
+        backend
+            .schedule(black_box(TestKind::RayBox), now)
+            .expect("supported")
     });
-    g.bench_function("tta_query_key_schedule", |b| {
-        let mut backend = TtaBackend::new(TtaConfig::default_paper());
-        let mut now = 0u64;
-        b.iter(|| {
-            now += 1;
-            backend.schedule(black_box(TestKind::QueryKey), now).expect("supported")
-        })
+    let mut backend = TtaBackend::new(TtaConfig::default_paper());
+    let mut now = 0u64;
+    bench("backends", "tta_query_key_schedule", || {
+        now += 1;
+        backend
+            .schedule(black_box(TestKind::QueryKey), now)
+            .expect("supported")
     });
-    g.bench_function("ttaplus_ray_box_program", |b| {
-        let mut backend = TtaPlusBackend::new(TtaPlusConfig::default_paper(), vec![]);
-        let mut now = 0u64;
-        b.iter(|| {
-            now += 10;
-            backend.schedule(black_box(TestKind::RayBox), now).expect("supported")
-        })
+    let mut backend = TtaPlusBackend::new(TtaPlusConfig::default_paper(), vec![]);
+    let mut now = 0u64;
+    bench("backends", "ttaplus_ray_box_program", || {
+        now += 10;
+        backend
+            .schedule(black_box(TestKind::RayBox), now)
+            .expect("supported")
     });
-    g.bench_function("uop_program_build", |b| b.iter(UopProgram::ray_sphere_leaf));
-    g.finish();
+    bench("backends", "uop_program_build", UopProgram::ray_sphere_leaf);
 }
 
-fn bench_simulator(c: &mut Criterion) {
+fn bench_simulator() {
     use gpu_sim::isa::SReg;
     use gpu_sim::kernel::KernelBuilder;
     use gpu_sim::{Gpu, GpuConfig};
-    let mut g = c.benchmark_group("simulator");
-    g.sample_size(10);
-    g.bench_function("saxpy_4k_threads", |b| {
-        // out[i] = a * x[i] + y[i]
-        let mut k = KernelBuilder::new("saxpy");
-        let tid = k.reg();
-        let x = k.reg();
-        let y = k.reg();
-        let a = k.reg();
-        let vx = k.reg();
-        let vy = k.reg();
-        let off = k.reg();
-        k.mov_sreg(tid, SReg::ThreadId);
-        k.mov_sreg(x, SReg::Param(0));
-        k.mov_sreg(y, SReg::Param(1));
-        k.shl_imm(off, tid, 2);
-        k.iadd(x, x, off);
-        k.iadd(y, y, off);
-        k.load(vx, x, 0);
-        k.load(vy, y, 0);
-        k.mov_imm_f32(a, 2.0);
-        k.fmul(vx, vx, a);
-        k.fadd(vx, vx, vy);
-        k.store(vx, y, 0);
-        k.exit();
-        let kernel = k.build();
-        b.iter(|| {
-            let mut gpu = Gpu::new(GpuConfig::small_test(), 1 << 20);
-            let xb = gpu.gmem.alloc(4 * 4096, 64);
-            let yb = gpu.gmem.alloc(4 * 4096, 64);
-            gpu.launch(&kernel, 4096, &[xb as u32, yb as u32]).cycles
-        })
+    // out[i] = a * x[i] + y[i]
+    let mut k = KernelBuilder::new("saxpy");
+    let tid = k.reg();
+    let x = k.reg();
+    let y = k.reg();
+    let a = k.reg();
+    let vx = k.reg();
+    let vy = k.reg();
+    let off = k.reg();
+    k.mov_sreg(tid, SReg::ThreadId);
+    k.mov_sreg(x, SReg::Param(0));
+    k.mov_sreg(y, SReg::Param(1));
+    k.shl_imm(off, tid, 2);
+    k.iadd(x, x, off);
+    k.iadd(y, y, off);
+    k.load(vx, x, 0);
+    k.load(vy, y, 0);
+    k.mov_imm_f32(a, 2.0);
+    k.fmul(vx, vx, a);
+    k.fadd(vx, vx, vy);
+    k.store(vx, y, 0);
+    k.exit();
+    let kernel = k.build();
+    bench("simulator", "saxpy_4k_threads", || {
+        let mut gpu = Gpu::new(GpuConfig::small_test(), 1 << 20);
+        let xb = gpu.gmem.alloc(4 * 4096, 64);
+        let yb = gpu.gmem.alloc(4 * 4096, 64);
+        gpu.launch(&kernel, 4096, &[xb as u32, yb as u32]).cycles
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_btree,
-    bench_bvh,
-    bench_barnes_hut,
-    bench_backends,
-    bench_simulator
-);
-criterion_main!(benches);
+fn main() {
+    // `cargo bench -- <filter>` style: run only groups whose name contains
+    // any given argument.
+    let filters: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
+    let want = |g: &str| filters.is_empty() || filters.iter().any(|f| g.contains(f.as_str()));
+    if want("btree") {
+        bench_btree();
+    }
+    if want("bvh") {
+        bench_bvh();
+    }
+    if want("barnes_hut") {
+        bench_barnes_hut();
+    }
+    if want("backends") {
+        bench_backends();
+    }
+    if want("simulator") {
+        bench_simulator();
+    }
+}

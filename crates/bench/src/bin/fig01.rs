@@ -7,8 +7,8 @@
 //! remaining core instructions are coherent (efficiency near 100%) and
 //! DRAM utilization roughly doubles.
 
-use tta_bench::{pct, platform_tta, platform_ttaplus, Args, Report};
 use trees::BTreeFlavor;
+use tta_bench::{pct, platform_tta, platform_ttaplus, prepare, Args, InputCache, Report};
 use workloads::btree::BTreeExperiment;
 use workloads::lumibench::{RtExperiment, RtWorkload};
 use workloads::nbody::NBodyExperiment;
@@ -17,47 +17,60 @@ use workloads::Platform;
 
 fn main() {
     let args = Args::parse();
+    let cache = InputCache::new();
+    let mut sweep = args.sweep("fig01");
+
+    let queries = args.sized(16_384);
+    let keys = args.sized(64_000);
+
+    // Queue every (app, baseline, TTA) pair, remembering its indices.
+    let mut pairs: Vec<(String, usize, usize)> = Vec::new();
+    let mut queue_btree = |flavor, platform: Platform| {
+        let e = prepare(
+            &cache,
+            BTreeExperiment::new(flavor, keys, queries, platform),
+        );
+        sweep.add(move || e.run())
+    };
+    for flavor in BTreeFlavor::ALL {
+        let base = queue_btree(flavor, Platform::BaselineGpu);
+        let tta = queue_btree(flavor, platform_tta());
+        pairs.push((flavor.to_string(), base, tta));
+    }
+
+    let bodies = args.sized(4_000);
+    let mut queue_nbody = |platform: Platform| {
+        let e = prepare(&cache, NBodyExperiment::new(3, bodies, platform));
+        sweep.add(move || e.run())
+    };
+    let base = queue_nbody(Platform::BaselineGpu);
+    let tta = queue_nbody(platform_tta());
+    pairs.push(("N-Body 3D".to_owned(), base, tta));
+
+    // Ray tracing: SIMT kernel vs accelerator offload (TTA+ programs so
+    // the sphere-free triangle path is fully offloaded).
+    let mut queue_rt = |platform: Platform| {
+        let mut e = RtExperiment::new(RtWorkload::BlobPt, platform);
+        e.width = args.sized(64);
+        e.height = args.sized(48);
+        let e = prepare(&cache, e);
+        sweep.add(move || e.run())
+    };
+    let base = queue_rt(Platform::BaselineGpu);
+    let tta = queue_rt(platform_ttaplus(RtExperiment::uop_programs()));
+    pairs.push(("RT (BLOB_PT)".to_owned(), base, tta));
+
+    let results = sweep.run().results;
+
     let mut rep = Report::new(
         "fig01",
         "Fig. 1: SIMT efficiency & DRAM bandwidth utilization, baseline vs TTA",
         "baseline: low SIMT eff (except N-Body) and low DRAM util; TTA: ~2x DRAM util",
     );
-    rep.columns(&[
-        "app",
-        "BASE simt",
-        "BASE dram",
-        "TTA simt",
-        "TTA dram",
-    ]);
-
-    let queries = args.sized(16_384);
-    let keys = args.sized(64_000);
-    for flavor in BTreeFlavor::ALL {
-        let base = BTreeExperiment::new(flavor, keys, queries, Platform::BaselineGpu).run();
-        let tta = BTreeExperiment::new(flavor, keys, queries, platform_tta()).run();
-        row(&mut rep, &flavor.to_string(), &base, &tta);
+    rep.columns(&["app", "BASE simt", "BASE dram", "TTA simt", "TTA dram"]);
+    for (name, base, tta) in &pairs {
+        row(&mut rep, name, &results[*base], &results[*tta]);
     }
-
-    let bodies = args.sized(4_000);
-    let base = NBodyExperiment::new(3, bodies, Platform::BaselineGpu).run();
-    let tta = NBodyExperiment::new(3, bodies, platform_tta()).run();
-    row(&mut rep, "N-Body 3D", &base, &tta);
-
-    // Ray tracing: SIMT kernel vs accelerator offload (TTA+ programs so
-    // the sphere-free triangle path is fully offloaded).
-    let mut rt_base = RtExperiment::new(RtWorkload::BlobPt, Platform::BaselineGpu);
-    rt_base.width = args.sized(64);
-    rt_base.height = args.sized(48);
-    let rt_base = rt_base.run();
-    let mut rt_tta = RtExperiment::new(
-        RtWorkload::BlobPt,
-        platform_ttaplus(RtExperiment::uop_programs()),
-    );
-    rt_tta.width = args.sized(64);
-    rt_tta.height = args.sized(48);
-    let rt_tta = rt_tta.run();
-    row(&mut rep, "RT (BLOB_PT)", &rt_base, &rt_tta);
-
     rep.finish();
 }
 

@@ -5,8 +5,8 @@
 //! compute bound (the under-utilized bandwidth the RTA's memory scheduler
 //! later recovers).
 
-use tta_bench::{Args, Report};
 use trees::BTreeFlavor;
+use tta_bench::{prepare, Args, InputCache, Report};
 use workloads::btree::BTreeExperiment;
 use workloads::lumibench::{RtExperiment, RtWorkload};
 use workloads::nbody::NBodyExperiment;
@@ -14,6 +14,31 @@ use workloads::Platform;
 
 fn main() {
     let args = Args::parse();
+    let cache = InputCache::new();
+    let mut sweep = args.sweep("fig06");
+
+    let queries = args.sized(16_384);
+    let mut labels: Vec<(String, usize)> = Vec::new();
+    for flavor in BTreeFlavor::ALL {
+        let e = prepare(
+            &cache,
+            BTreeExperiment::new(flavor, args.sized(64_000), queries, Platform::BaselineGpu),
+        );
+        labels.push((flavor.to_string(), sweep.add(move || e.run())));
+    }
+    let e = prepare(
+        &cache,
+        NBodyExperiment::new(3, args.sized(4_000), Platform::BaselineGpu),
+    );
+    labels.push(("N-Body 3D".to_owned(), sweep.add(move || e.run())));
+    let mut rt = RtExperiment::new(RtWorkload::BlobPt, Platform::BaselineGpu);
+    rt.width = args.sized(96);
+    rt.height = args.sized(64);
+    let rt = prepare(&cache, rt);
+    labels.push(("RT (BLOB_PT)".to_owned(), sweep.add(move || rt.run())));
+
+    let results = sweep.run().results;
+
     let mut rep = Report::new(
         "fig06",
         "Fig. 6: roofline of tree traversal apps on the baseline GPU",
@@ -28,10 +53,10 @@ fn main() {
     ]);
 
     let peak_bw = gpu_sim::GpuConfig::vulkan_sim_default().peak_dram_bandwidth();
-    let queries = args.sized(16_384);
     // Arithmetic intensity over *all* ALU lane-operations (integer index
     // arithmetic counts — the B-Tree kernels execute no FP at all).
-    let mut add = |name: &str, stats: &gpu_sim::SimStats| {
+    for (name, idx) in &labels {
+        let stats = &results[*idx].stats;
         let bytes = (stats.dram.bytes_read + stats.dram.bytes_written).max(1) as f64;
         let ops = stats.mix.alu as f64;
         let ai = ops / bytes;
@@ -39,26 +64,13 @@ fn main() {
         let roof = ai * peak_bw;
         let frac = if roof > 0.0 { perf / roof } else { 0.0 };
         rep.row(vec![
-            name.to_owned(),
+            name.clone(),
             format!("{ai:.3}"),
             format!("{perf:.3}"),
             format!("{roof:.3}"),
             format!("{:.1}%", frac * 100.0),
         ]);
-    };
-
-    for flavor in BTreeFlavor::ALL {
-        let r =
-            BTreeExperiment::new(flavor, args.sized(64_000), queries, Platform::BaselineGpu).run();
-        add(&flavor.to_string(), &r.stats);
     }
-    let r = NBodyExperiment::new(3, args.sized(4_000), Platform::BaselineGpu).run();
-    add("N-Body 3D", &r.stats);
-    let mut rt = RtExperiment::new(RtWorkload::BlobPt, Platform::BaselineGpu);
-    rt.width = args.sized(96);
-    rt.height = args.sized(64);
-    let r = rt.run();
-    add("RT (BLOB_PT)", &r.stats);
 
     rep.finish();
 }

@@ -5,8 +5,8 @@
 //! roughly doubles DRAM utilization over the SIMT baseline for the
 //! tree-index workloads.
 
-use tta_bench::{pct, platform_tta, platform_ttaplus, Args, Report};
 use trees::BTreeFlavor;
+use tta_bench::{pct, platform_tta, platform_ttaplus, prepare, Args, InputCache, Report};
 use workloads::btree::BTreeExperiment;
 use workloads::nbody::NBodyExperiment;
 use workloads::rtnn::{LeafPath, RtnnExperiment};
@@ -14,69 +14,68 @@ use workloads::Platform;
 
 fn main() {
     let args = Args::parse();
+    let cache = InputCache::new();
+    let mut sweep = args.sweep("fig13");
+
+    let queries = args.sized(16_384);
+    let keys = args.sized(64_000);
+
+    // (app, base idx, tta idx, tta+ idx)
+    let mut triples: Vec<(String, usize, usize, usize)> = Vec::new();
+    for flavor in BTreeFlavor::ALL {
+        let mut add = |platform: Platform| {
+            let e = prepare(
+                &cache,
+                BTreeExperiment::new(flavor, keys, queries, platform),
+            );
+            sweep.add(move || e.run())
+        };
+        let base = add(Platform::BaselineGpu);
+        let tta = add(platform_tta());
+        let plus = add(platform_ttaplus(BTreeExperiment::uop_programs()));
+        triples.push((flavor.to_string(), base, tta, plus));
+    }
+
+    let bodies = args.sized(4_000);
+    let mut add = |platform: Platform| {
+        let e = prepare(&cache, NBodyExperiment::new(3, bodies, platform));
+        sweep.add(move || e.run())
+    };
+    let base = add(Platform::BaselineGpu);
+    let tta = add(platform_tta());
+    let plus = add(platform_ttaplus(NBodyExperiment::uop_programs()));
+    triples.push(("N-Body 3D".to_owned(), base, tta, plus));
+
+    // RTNN has no SIMT baseline in the paper; report RTA as its base.
+    let points = args.sized(64_000);
+    let rtnn_q = args.sized(2_048);
+    let mut add = |platform: Platform, leaf: LeafPath| {
+        let e = prepare(&cache, RtnnExperiment::new(points, rtnn_q, platform, leaf));
+        sweep.add(move || e.run())
+    };
+    let base = add(tta_bench::platform_rta(), LeafPath::Shader);
+    let tta = add(platform_tta(), LeafPath::Offloaded);
+    let plus = add(
+        platform_ttaplus(RtnnExperiment::uop_programs()),
+        LeafPath::Offloaded,
+    );
+    triples.push(("RTNN (vs RTA)".to_owned(), base, tta, plus));
+
+    let results = sweep.run().results;
+
     let mut rep = Report::new(
         "fig13",
         "Fig. 13: DRAM bandwidth utilization by platform",
         "TTA/TTA+ roughly double the baseline GPU's utilization",
     );
     rep.columns(&["app", "BASE", "TTA", "TTA+"]);
-
-    let queries = args.sized(16_384);
-    let keys = args.sized(64_000);
-    for flavor in BTreeFlavor::ALL {
-        let base = BTreeExperiment::new(flavor, keys, queries, Platform::BaselineGpu).run();
-        let tta = BTreeExperiment::new(flavor, keys, queries, platform_tta()).run();
-        let plus = BTreeExperiment::new(
-            flavor,
-            keys,
-            queries,
-            platform_ttaplus(BTreeExperiment::uop_programs()),
-        )
-        .run();
+    for (name, base, tta, plus) in &triples {
         rep.row(vec![
-            flavor.to_string(),
-            pct(base.stats.dram_utilization()),
-            pct(tta.stats.dram_utilization()),
-            pct(plus.stats.dram_utilization()),
+            name.clone(),
+            pct(results[*base].stats.dram_utilization()),
+            pct(results[*tta].stats.dram_utilization()),
+            pct(results[*plus].stats.dram_utilization()),
         ]);
     }
-
-    let bodies = args.sized(4_000);
-    let base = NBodyExperiment::new(3, bodies, Platform::BaselineGpu).run();
-    let tta = NBodyExperiment::new(3, bodies, platform_tta()).run();
-    let plus =
-        NBodyExperiment::new(3, bodies, platform_ttaplus(NBodyExperiment::uop_programs())).run();
-    rep.row(vec![
-        "N-Body 3D".to_owned(),
-        pct(base.stats.dram_utilization()),
-        pct(tta.stats.dram_utilization()),
-        pct(plus.stats.dram_utilization()),
-    ]);
-
-    // RTNN has no SIMT baseline in the paper; report RTA as its base.
-    let points = args.sized(64_000);
-    let rtnn_base = RtnnExperiment::new(
-        points,
-        args.sized(2_048),
-        tta_bench::platform_rta(),
-        LeafPath::Shader,
-    )
-    .run();
-    let rtnn_tta =
-        RtnnExperiment::new(points, args.sized(2_048), platform_tta(), LeafPath::Offloaded).run();
-    let rtnn_plus = RtnnExperiment::new(
-        points,
-        args.sized(2_048),
-        platform_ttaplus(RtnnExperiment::uop_programs()),
-        LeafPath::Offloaded,
-    )
-    .run();
-    rep.row(vec![
-        "RTNN (vs RTA)".to_owned(),
-        pct(rtnn_base.stats.dram_utilization()),
-        pct(rtnn_tta.stats.dram_utilization()),
-        pct(rtnn_plus.stats.dram_utilization()),
-    ]);
-
     rep.finish();
 }

@@ -7,26 +7,50 @@
 //! the full 13-cycle unit are indistinguishable, and even 10× (130 cycles)
 //! retains a ≥2× speedup over the baseline GPU.
 
-use tta_bench::{fx, Args, Report};
 use trees::BTreeFlavor;
 use tta::backend::TtaConfig;
+use tta_bench::{fx, prepare, Args, InputCache, Report};
 use workloads::btree::BTreeExperiment;
-use workloads::{Platform, RunResult};
+use workloads::Platform;
+
+const WARPS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+const LATENCIES: [u64; 3] = [3, 13, 130];
 
 fn main() {
     let args = Args::parse();
     let keys = args.sized(32_000);
     let queries = args.sized(16_384);
 
-    let baseline = |flavor| {
-        BTreeExperiment::new(flavor, keys, queries, Platform::BaselineGpu).run()
+    let cache = InputCache::new();
+    let mut sweep = args.sweep("fig14");
+
+    // Every flavor shares one cached tree across its eleven config points.
+    let mut queue = |flavor, platform: Platform| {
+        let e = prepare(
+            &cache,
+            BTreeExperiment::new(flavor, keys, queries, platform),
+        );
+        sweep.add(move || e.run())
     };
-    let tta_with = |flavor, warps: usize, latency: u64| -> RunResult {
+    let tta_platform = |warps: usize, latency: u64| {
         let mut cfg = TtaConfig::default_paper();
         cfg.rta.warp_buffer_warps = warps;
         cfg.query_key_latency = latency;
-        BTreeExperiment::new(flavor, keys, queries, Platform::Tta(cfg)).run()
+        Platform::Tta(cfg)
     };
+
+    // (flavor, base idx, warp-sweep indices, latency-sweep indices)
+    let mut rows: Vec<(BTreeFlavor, usize, Vec<usize>, Vec<usize>)> = Vec::new();
+    for flavor in BTreeFlavor::ALL {
+        let base = queue(flavor, Platform::BaselineGpu);
+        let warp_idx = WARPS.map(|w| queue(flavor, tta_platform(w, 13))).to_vec();
+        let lat_idx = LATENCIES
+            .map(|l| queue(flavor, tta_platform(4, l)))
+            .to_vec();
+        rows.push((flavor, base, warp_idx, lat_idx));
+    }
+
+    let results = sweep.run().results;
 
     let mut rep = Report::new(
         "fig14_warps",
@@ -34,12 +58,11 @@ fn main() {
         "improves up to ~8 warps, then saturates",
     );
     rep.columns(&["variant", "1", "2", "4", "8", "16", "32"]);
-    for flavor in BTreeFlavor::ALL {
-        let base = baseline(flavor);
+    for (flavor, base, warp_idx, _) in &rows {
+        let base = &results[*base];
         let mut row = vec![flavor.to_string()];
-        for warps in [1usize, 2, 4, 8, 16, 32] {
-            let r = tta_with(flavor, warps, 13);
-            row.push(fx(r.speedup_over(&base)));
+        for idx in warp_idx {
+            row.push(fx(results[*idx].speedup_over(base)));
         }
         rep.row(row);
     }
@@ -51,12 +74,11 @@ fn main() {
         "3cy (isolated minmax) ~ 13cy (full unit); even 130cy (10x) keeps >2x",
     );
     rep.columns(&["variant", "3cy", "13cy", "130cy"]);
-    for flavor in BTreeFlavor::ALL {
-        let base = baseline(flavor);
+    for (flavor, base, _, lat_idx) in &rows {
+        let base = &results[*base];
         let mut row = vec![flavor.to_string()];
-        for lat in [3u64, 13, 130] {
-            let r = tta_with(flavor, 4, lat);
-            row.push(fx(r.speedup_over(&base)));
+        for idx in lat_idx {
+            row.push(fx(results[*idx].speedup_over(base)));
         }
         rep.row(row);
     }

@@ -6,8 +6,8 @@
 //! depth; RTNN repurposes the previously-idle Ray-Triangle units for
 //! distance calculations. (\*WKND_PT is unsupported on TTA.)
 
-use tta_bench::{platform_tta, Args, Report};
 use trees::BTreeFlavor;
+use tta_bench::{platform_tta, prepare, Args, InputCache, Report};
 use workloads::btree::BTreeExperiment;
 use workloads::nbody::NBodyExperiment;
 use workloads::rtnn::{LeafPath, RtnnExperiment};
@@ -15,6 +15,38 @@ use workloads::RunResult;
 
 fn main() {
     let args = Args::parse();
+    let cache = InputCache::new();
+    let mut sweep = args.sweep("fig15");
+
+    let queries = args.sized(16_384);
+    let e = prepare(
+        &cache,
+        BTreeExperiment::new(
+            BTreeFlavor::BTree,
+            args.sized(64_000),
+            queries,
+            platform_tta(),
+        ),
+    );
+    let btree = sweep.add(move || e.run());
+    let e = prepare(
+        &cache,
+        NBodyExperiment::new(3, args.sized(4_000), platform_tta()),
+    );
+    let nbody = sweep.add(move || e.run());
+    let e = prepare(
+        &cache,
+        RtnnExperiment::new(
+            args.sized(64_000),
+            args.sized(2_048),
+            platform_tta(),
+            LeafPath::Offloaded,
+        ),
+    );
+    let rtnn = sweep.add(move || e.run());
+
+    let results = sweep.run().results;
+
     let mut rep = Report::new(
         "fig15",
         "Fig. 15: TTA intersection-unit utilization (avg occupancy / peak in flight)",
@@ -37,16 +69,9 @@ fn main() {
             ]);
         }
     };
-
-    let queries = args.sized(16_384);
-    let r = BTreeExperiment::new(BTreeFlavor::BTree, args.sized(64_000), queries, platform_tta())
-        .run();
-    add("B-Tree", &r);
-    let r = NBodyExperiment::new(3, args.sized(4_000), platform_tta()).run();
-    add("N-Body 3D", &r);
-    let r = RtnnExperiment::new(args.sized(64_000), args.sized(2_048), platform_tta(), LeafPath::Offloaded)
-        .run();
-    add("*RTNN", &r);
+    add("B-Tree", &results[btree]);
+    add("N-Body 3D", &results[nbody]);
+    add("*RTNN", &results[rtnn]);
 
     rep.finish();
     println!("note: *WKND_PT is absent — its Ray-Sphere test needs SQRT, unsupported on TTA.");

@@ -8,11 +8,48 @@
 //! turns its slowdown into a ~1.2× speedup by replacing the intersection
 //! shader.
 
-use tta_bench::{fx, platform_rta, platform_ttaplus, Args, Report};
+use tta_bench::{fx, platform_rta, platform_ttaplus, prepare, Args, InputCache, Report};
 use workloads::lumibench::{RtExperiment, RtWorkload};
+use workloads::Platform;
 
 fn main() {
     let args = Args::parse();
+    let cache = InputCache::new();
+    let mut sweep = args.sweep("fig16");
+
+    // (workload, base idx, TTA+ idx, starred idx). Every point of one scene
+    // shares a single cached BVH build.
+    let mut queue = |w: RtWorkload, platform: Platform, f: fn(&mut RtExperiment)| {
+        let mut e = RtExperiment::new(w, platform);
+        e.width = args.sized(64);
+        e.height = args.sized(48);
+        f(&mut e);
+        let e = prepare(&cache, e);
+        sweep.add(move || e.run())
+    };
+    let mut points: Vec<(RtWorkload, usize, usize, Option<usize>)> = Vec::new();
+    for w in RtWorkload::ALL {
+        let base = queue(w, platform_rta(), |_| {});
+        let plus = queue(w, platform_ttaplus(RtExperiment::uop_programs()), |_| {});
+        // Starred variants: SATO for SHIP_SH, Ray-Sphere offload for WKND_PT.
+        let starred = match w {
+            RtWorkload::ShipSh => Some(queue(
+                w,
+                platform_ttaplus(RtExperiment::uop_programs()),
+                |e| e.sato = true,
+            )),
+            RtWorkload::WkndPt => Some(queue(
+                w,
+                platform_ttaplus(RtExperiment::uop_programs()),
+                |e| e.offload_sphere = true,
+            )),
+            _ => None,
+        };
+        points.push((w, base, plus, starred));
+    }
+
+    let results = sweep.run().results;
+
     let mut rep = Report::new(
         "fig16",
         "Fig. 16: LumiBench-like suite on TTA+ relative to baseline RTA",
@@ -20,42 +57,16 @@ fn main() {
     );
     rep.columns(&["workload", "RTA cycles", "TTA+ rel", "starred rel"]);
 
-    let size = |e: &mut RtExperiment| {
-        e.width = args.sized(64);
-        e.height = args.sized(48);
-    };
     let mut rels = Vec::new();
-    for w in RtWorkload::ALL {
-        let mut base = RtExperiment::new(w, platform_rta());
-        size(&mut base);
-        let base = base.run();
-        let mut plus = RtExperiment::new(w, platform_ttaplus(RtExperiment::uop_programs()));
-        size(&mut plus);
-        let plus = plus.run();
-        let rel = plus.speedup_over(&base);
+    for (w, base, plus, starred) in &points {
+        let base = &results[*base];
+        let rel = results[*plus].speedup_over(base);
         rels.push(rel);
-
-        // Starred variants: SATO for SHIP_SH, Ray-Sphere offload for WKND_PT.
-        let starred = match w {
-            RtWorkload::ShipSh => {
-                let mut e = RtExperiment::new(w, platform_ttaplus(RtExperiment::uop_programs()));
-                size(&mut e);
-                e.sato = true;
-                Some(e.run())
-            }
-            RtWorkload::WkndPt => {
-                let mut e = RtExperiment::new(w, platform_ttaplus(RtExperiment::uop_programs()));
-                size(&mut e);
-                e.offload_sphere = true;
-                Some(e.run())
-            }
-            _ => None,
-        };
         rep.row(vec![
             w.to_string(),
             base.cycles().to_string(),
             fx(rel),
-            starred.map_or("-".to_owned(), |s| fx(s.speedup_over(&base))),
+            starred.map_or("-".to_owned(), |s| fx(results[s].speedup_over(base))),
         ]);
     }
     rep.finish();

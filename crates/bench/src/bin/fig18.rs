@@ -6,59 +6,61 @@
 //! roughly 10× its fixed-function 13 cycles, with the interconnect a large
 //! share of the increase.
 
-use tta_bench::{platform_ttaplus, Args, Report};
 use trees::BTreeFlavor;
+use tta_bench::{platform_ttaplus, prepare, Args, InputCache, Report};
 use workloads::btree::BTreeExperiment;
 use workloads::lumibench::{RtExperiment, RtWorkload};
 use workloads::nbody::NBodyExperiment;
 use workloads::rtnn::{LeafPath, RtnnExperiment};
-use workloads::RunResult;
 
 fn main() {
     let args = Args::parse();
+    let cache = InputCache::new();
+    let mut sweep = args.sweep("fig18");
 
     let queries = args.sized(16_384);
-    let runs: Vec<(&str, RunResult)> = vec![
-        (
-            "B-Tree",
-            BTreeExperiment::new(
-                BTreeFlavor::BTree,
-                args.sized(64_000),
-                queries,
-                platform_ttaplus(BTreeExperiment::uop_programs()),
-            )
-            .run(),
+    let names = ["B-Tree", "N-Body 3D", "*RTNN", "*WKND_PT"];
+    let e = prepare(
+        &cache,
+        BTreeExperiment::new(
+            BTreeFlavor::BTree,
+            args.sized(64_000),
+            queries,
+            platform_ttaplus(BTreeExperiment::uop_programs()),
         ),
-        (
-            "N-Body 3D",
-            NBodyExperiment::new(
-                3,
-                args.sized(4_000),
-                platform_ttaplus(NBodyExperiment::uop_programs()),
-            )
-            .run(),
+    );
+    sweep.add(move || e.run());
+    let e = prepare(
+        &cache,
+        NBodyExperiment::new(
+            3,
+            args.sized(4_000),
+            platform_ttaplus(NBodyExperiment::uop_programs()),
         ),
-        (
-            "*RTNN",
-            RtnnExperiment::new(
-                args.sized(64_000),
-                args.sized(2_048),
-                platform_ttaplus(RtnnExperiment::uop_programs()),
-                LeafPath::Offloaded,
-            )
-            .run(),
+    );
+    sweep.add(move || e.run());
+    let e = prepare(
+        &cache,
+        RtnnExperiment::new(
+            args.sized(64_000),
+            args.sized(2_048),
+            platform_ttaplus(RtnnExperiment::uop_programs()),
+            LeafPath::Offloaded,
         ),
-        ("*WKND_PT", {
-            let mut e = RtExperiment::new(
-                RtWorkload::WkndPt,
-                platform_ttaplus(RtExperiment::uop_programs()),
-            );
-            e.width = args.sized(64);
-            e.height = args.sized(48);
-            e.offload_sphere = true;
-            e.run()
-        }),
-    ];
+    );
+    sweep.add(move || e.run());
+    let mut e = RtExperiment::new(
+        RtWorkload::WkndPt,
+        platform_ttaplus(RtExperiment::uop_programs()),
+    );
+    e.width = args.sized(64);
+    e.height = args.sized(48);
+    e.offload_sphere = true;
+    let e = prepare(&cache, e);
+    sweep.add(move || e.run());
+
+    let results = sweep.run().results;
+    let runs: Vec<_> = names.iter().zip(&results).collect();
 
     let mut rep = Report::new(
         "fig18_util",
@@ -73,7 +75,7 @@ fn main() {
                 continue;
             }
             rep.row(vec![
-                (*name).to_owned(),
+                (*name).to_string(),
                 unit.clone(),
                 s.invocations.to_string(),
                 format!("{:.3}", s.avg_occupancy(r.stats.cycles)),
@@ -97,7 +99,7 @@ fn main() {
             }
             let icnt_share = s.icnt_cycles as f64 / s.total_latency.max(1) as f64;
             rep.row(vec![
-                (*name).to_owned(),
+                (*name).to_string(),
                 prog.clone(),
                 s.invocations.to_string(),
                 format!("{:.1}", s.avg_latency()),

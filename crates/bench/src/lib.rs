@@ -6,13 +6,20 @@
 //! * [`Args`] — a tiny CLI: `--scale <f>` multiplies workload sizes
 //!   (default 1.0 = the laptop-scale defaults documented in DESIGN.md;
 //!   larger values approach the paper's sizes), `--quick` shrinks runs for
-//!   smoke testing.
+//!   smoke testing, `--threads <n>` sets the sweep worker count (default:
+//!   available parallelism, capped at 8; results are byte-identical at any
+//!   value).
+//! * [`sweep`] — starts a [`harness::Sweep`] sized from the parsed args;
+//!   every binary runs its independent experiment points through it and
+//!   gets `results/<name>.journal.json` (+ `.timing.json`) for free.
 //! * [`Report`] — aligned console tables plus a CSV copy under `results/`.
 //! * [`activity_of`] — adapts a [`workloads::RunResult`] into the energy
 //!   model's [`energy::ActivityCounts`].
 
 use energy::ActivityCounts;
 use workloads::RunResult;
+
+pub use harness::{prepare, InputCache, Sweep};
 
 /// Command-line arguments shared by all harness binaries.
 #[derive(Debug, Clone)]
@@ -21,6 +28,8 @@ pub struct Args {
     pub scale: f64,
     /// Smoke-test mode: tiny sizes, for CI.
     pub quick: bool,
+    /// Sweep worker threads.
+    pub threads: usize,
 }
 
 impl Args {
@@ -30,7 +39,11 @@ impl Args {
     ///
     /// Panics with a usage message on malformed arguments.
     pub fn parse() -> Self {
-        let mut args = Args { scale: 1.0, quick: false };
+        let mut args = Args {
+            scale: 1.0,
+            quick: false,
+            threads: harness::pool::default_threads(),
+        };
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -39,8 +52,13 @@ impl Args {
                     args.scale = v.parse().expect("--scale needs a number");
                 }
                 "--quick" => args.quick = true,
+                "--threads" => {
+                    let v = it.next().expect("--threads needs a value");
+                    args.threads = v.parse().expect("--threads needs a positive integer");
+                    assert!(args.threads >= 1, "--threads needs a positive integer");
+                }
                 "--help" | "-h" => {
-                    eprintln!("usage: [--scale <f>] [--quick]");
+                    eprintln!("usage: [--scale <f>] [--quick] [--threads <n>]");
                     std::process::exit(0);
                 }
                 other => panic!("unknown argument `{other}` (try --help)"),
@@ -51,8 +69,18 @@ impl Args {
 
     /// Scales a default size, with a floor so nothing degenerates.
     pub fn sized(&self, default: usize) -> usize {
-        let f = if self.quick { self.scale * 0.25 } else { self.scale };
+        let f = if self.quick {
+            self.scale * 0.25
+        } else {
+            self.scale
+        };
         ((default as f64 * f) as usize).max(64)
+    }
+
+    /// Starts the sweep every binary funnels its runs through: `name`
+    /// names the journal files under `results/`.
+    pub fn sweep(&self, name: &str) -> Sweep {
+        Sweep::new(name, self.threads)
     }
 }
 
@@ -71,7 +99,11 @@ impl Report {
         println!("{title}");
         println!("paper: {paper_expectation}");
         println!("==================================================================");
-        Report { name: name.to_owned(), columns: Vec::new(), rows: Vec::new() }
+        Report {
+            name: name.to_owned(),
+            columns: Vec::new(),
+            rows: Vec::new(),
+        }
     }
 
     /// Sets the column headers.
@@ -102,7 +134,10 @@ impl Report {
             println!("{}", line.join("  "));
         };
         print_row(&self.columns);
-        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        println!(
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
         for row in &self.rows {
             print_row(row);
         }
@@ -175,10 +210,18 @@ mod tests {
 
     #[test]
     fn sized_applies_scale_and_floor() {
-        let a = Args { scale: 0.5, quick: false };
+        let a = Args {
+            scale: 0.5,
+            quick: false,
+            threads: 1,
+        };
         assert_eq!(a.sized(1000), 500);
         assert_eq!(a.sized(10), 64, "floor applies");
-        let q = Args { scale: 1.0, quick: true };
+        let q = Args {
+            scale: 1.0,
+            quick: true,
+            threads: 1,
+        };
         assert_eq!(q.sized(1000), 250);
     }
 

@@ -41,7 +41,10 @@ impl TtaConfig {
 
     /// Fig. 14 variant: isolated min/max network (3-cycle Query-Key).
     pub fn isolated_minmax() -> Self {
-        TtaConfig { query_key_latency: 3, ..Self::default_paper() }
+        TtaConfig {
+            query_key_latency: 3,
+            ..Self::default_paper()
+        }
     }
 }
 
@@ -196,7 +199,13 @@ mod tests {
 
     #[test]
     fn query_key_contends_with_ray_box() {
-        let cfg = TtaConfig { rta: RtaConfig { unit_sets: 1, ..RtaConfig::baseline() }, ..TtaConfig::default_paper() };
+        let cfg = TtaConfig {
+            rta: RtaConfig {
+                unit_sets: 1,
+                ..RtaConfig::baseline()
+            },
+            ..TtaConfig::default_paper()
+        };
         let mut b = TtaBackend::new(cfg);
         assert_eq!(b.schedule(TestKind::RayBox, 0), Ok(13));
         // Query-Key on the same (single) box unit issues one cycle later.

@@ -94,10 +94,18 @@ impl TraversalSemantics for BTreeSemantics {
         }
         if found {
             ray.regs[R_FOUND] = 1;
-            return StepAction::Test { tests: vec![self.inner_test], children: Vec::new(), terminate: true };
+            return StepAction::Test {
+                tests: vec![self.inner_test],
+                children: Vec::new(),
+                terminate: true,
+            };
         }
         let child = self.node_addr(first_child + next as u32);
-        StepAction::Test { tests: vec![self.inner_test], children: vec![child], terminate: false }
+        StepAction::Test {
+            tests: vec![self.inner_test],
+            children: vec![child],
+            terminate: false,
+        }
     }
 
     fn prefetch_hints(&self, gmem: &GlobalMemory, node_addr: u64) -> Vec<u64> {
@@ -106,7 +114,9 @@ impl TraversalSemantics for BTreeSemantics {
             return Vec::new();
         }
         let first = gmem.read_u32(node_addr + (CHILD_WORD * 4) as u64);
-        (0..=header.count as u32).map(|i| self.node_addr(first + i)).collect()
+        (0..=header.count as u32)
+            .map(|i| self.node_addr(first + i))
+            .collect()
     }
 
     fn finish(&self, gmem: &mut GlobalMemory, ray: &RayState) -> u32 {

@@ -56,7 +56,11 @@ impl BarnesHutSemantics {
     }
 
     fn accumulate(ray: &mut RayState, target: Vec3, mass: f32) {
-        let pos = Vec3::new(ray.reg_f32(R_POS), ray.reg_f32(R_POS + 1), ray.reg_f32(R_POS + 2));
+        let pos = Vec3::new(
+            ray.reg_f32(R_POS),
+            ray.reg_f32(R_POS + 1),
+            ray.reg_f32(R_POS + 2),
+        );
         let delta = target - pos;
         let r2 = delta.length_squared() + SOFTENING * SOFTENING;
         if r2 <= SOFTENING * SOFTENING * 1.5 {
@@ -123,7 +127,11 @@ impl TraversalSemantics for BarnesHutSemantics {
 
         // Inner node: the opening test (Algorithm 2).
         ray.regs[R_VISITED] += 1;
-        let pos = Vec3::new(ray.reg_f32(R_POS), ray.reg_f32(R_POS + 1), ray.reg_f32(R_POS + 2));
+        let pos = Vec3::new(
+            ray.reg_f32(R_POS),
+            ray.reg_f32(R_POS + 1),
+            ray.reg_f32(R_POS + 2),
+        );
         let theta = ray.reg_f32(R_THETA);
         let d2 = com.distance_squared(pos) + SOFTENING * SOFTENING;
         let threshold = width / theta;
@@ -131,9 +139,14 @@ impl TraversalSemantics for BarnesHutSemantics {
         if open {
             let first_child = gmem.read_u32(node + 4);
             let count = header.count as u32;
-            let children: Vec<u64> =
-                (0..count).map(|i| self.node_addr(first_child + i)).collect();
-            StepAction::Test { tests: vec![self.open_test], children, terminate: false }
+            let children: Vec<u64> = (0..count)
+                .map(|i| self.node_addr(first_child + i))
+                .collect();
+            StepAction::Test {
+                tests: vec![self.open_test],
+                children,
+                terminate: false,
+            }
         } else {
             // Far cell: one centre-of-mass force accumulation.
             Self::accumulate(ray, com, mass);

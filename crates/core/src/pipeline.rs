@@ -87,7 +87,9 @@ impl RecordLayout {
         if total > MAX_RECORD_BYTES {
             return Err(ConfigError::LayoutTooLarge(total));
         }
-        Ok(RecordLayout { fields: field_sizes.to_vec() })
+        Ok(RecordLayout {
+            fields: field_sizes.to_vec(),
+        })
     }
 
     /// Field sizes in bytes.
@@ -273,7 +275,10 @@ pub struct PipelineBuilder {
 impl PipelineBuilder {
     /// Starts a pipeline configuration.
     pub fn new(name: impl Into<String>) -> Self {
-        PipelineBuilder { name: name.into(), ..Default::default() }
+        PipelineBuilder {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// `DecodeR`: declares the ray record layout.
@@ -324,7 +329,9 @@ impl PipelineBuilder {
         let leaf_layout = self.leaf_layout.ok_or(ConfigError::Missing("DecodeL"))??;
         let inner = self.inner.ok_or(ConfigError::Missing("ConfigI"))?;
         let leaf = self.leaf.ok_or(ConfigError::Missing("ConfigL"))?;
-        let terminate = self.terminate.ok_or(ConfigError::Missing("ConfigTerminate"))?;
+        let terminate = self
+            .terminate
+            .ok_or(ConfigError::Missing("ConfigTerminate"))?;
 
         Self::check_test(gen, "inner", &inner)?;
         Self::check_test(gen, "leaf", &leaf)?;
@@ -351,19 +358,21 @@ impl PipelineBuilder {
         test: &TestConfig,
     ) -> Result<(), ConfigError> {
         let reject = |reason: &str| {
-            Err(ConfigError::UnsupportedTest { slot, reason: reason.to_owned() })
+            Err(ConfigError::UnsupportedTest {
+                slot,
+                reason: reason.to_owned(),
+            })
         };
         match (gen, test) {
             (AcceleratorGen::BaselineRta, TestConfig::QueryKey | TestConfig::PointToPoint) => {
                 reject("the baseline RTA has no modified units; TTA is required")
             }
-            (
-                AcceleratorGen::BaselineRta | AcceleratorGen::Tta,
-                TestConfig::Uops(_),
-            ) => reject("μop programs require the modular TTA+ design"),
-            (AcceleratorGen::TtaPlusNoSqrt, TestConfig::Uops(p)) if p.needs_sqrt() => reject(
-                "program needs the SQRT unit; use the full TTA+ configuration (+36.4% area)",
-            ),
+            (AcceleratorGen::BaselineRta | AcceleratorGen::Tta, TestConfig::Uops(_)) => {
+                reject("μop programs require the modular TTA+ design")
+            }
+            (AcceleratorGen::TtaPlusNoSqrt, TestConfig::Uops(p)) if p.needs_sqrt() => {
+                reject("program needs the SQRT unit; use the full TTA+ configuration (+36.4% area)")
+            }
             _ => Ok(()),
         }
     }
@@ -400,7 +409,10 @@ mod tests {
             .config_l(TestConfig::QueryKey)
             .build(AcceleratorGen::BaselineRta)
             .unwrap_err();
-        assert!(matches!(err, ConfigError::UnsupportedTest { slot: "inner", .. }));
+        assert!(matches!(
+            err,
+            ConfigError::UnsupportedTest { slot: "inner", .. }
+        ));
     }
 
     #[test]
@@ -420,7 +432,10 @@ mod tests {
             .config_l(TestConfig::Uops(UopProgram::ray_sphere_leaf()))
             .build(AcceleratorGen::TtaPlusNoSqrt)
             .unwrap_err();
-        assert!(matches!(err, ConfigError::UnsupportedTest { slot: "leaf", .. }));
+        assert!(matches!(
+            err,
+            ConfigError::UnsupportedTest { slot: "leaf", .. }
+        ));
         // With SQRT it builds.
         assert!(base()
             .config_i(TestConfig::RayBox)
@@ -434,7 +449,10 @@ mod tests {
         assert_eq!(RecordLayout::new(&[]), Err(ConfigError::EmptyLayout));
         assert_eq!(RecordLayout::new(&[3]), Err(ConfigError::BadFieldSize(3)));
         assert_eq!(RecordLayout::new(&[0]), Err(ConfigError::BadFieldSize(0)));
-        assert_eq!(RecordLayout::new(&[32, 36]), Err(ConfigError::LayoutTooLarge(68)));
+        assert_eq!(
+            RecordLayout::new(&[32, 36]),
+            Err(ConfigError::LayoutTooLarge(68))
+        );
         let l = RecordLayout::new(&[12, 12, 4, 4]).unwrap();
         assert_eq!(l.offset_of(3), 28);
         assert_eq!(l.total_bytes(), 32);
@@ -442,7 +460,9 @@ mod tests {
 
     #[test]
     fn missing_pieces_reported() {
-        let err = PipelineBuilder::new("x").build(AcceleratorGen::Tta).unwrap_err();
+        let err = PipelineBuilder::new("x")
+            .build(AcceleratorGen::Tta)
+            .unwrap_err();
         assert_eq!(err, ConfigError::Missing("DecodeR"));
     }
 
@@ -451,7 +471,10 @@ mod tests {
         let err = base()
             .config_i(TestConfig::RayBox)
             .config_l(TestConfig::RayTriangle)
-            .config_terminate(TerminateCond::RayFieldNonZero { offset: 60, at_pc: 3 })
+            .config_terminate(TerminateCond::RayFieldNonZero {
+                offset: 60,
+                at_pc: 3,
+            })
             .build(AcceleratorGen::BaselineRta)
             .unwrap_err();
         assert_eq!(err, ConfigError::TerminateOutOfRange(60));

@@ -247,7 +247,10 @@ impl std::fmt::Display for ProgramError {
         match self {
             ProgramError::Empty => write!(f, "μop program must not be empty"),
             ProgramError::TooLong(n) => {
-                write!(f, "μop program of {n} μops exceeds the 64-entry OP Dest Table")
+                write!(
+                    f,
+                    "μop program of {n} μops exceeds the 64-entry OP Dest Table"
+                )
             }
         }
     }
@@ -291,7 +294,10 @@ mod tests {
         let leaf = UopProgram::nbody_force_leaf();
         assert_eq!(leaf.len(), 5);
         assert_eq!(counts(&leaf), [0, 3, 0, 0, 0, 0, 0, 0, 0, 1, 1]);
-        assert!(leaf.needs_sqrt(), "force computation needs SQRT (TTA+ only)");
+        assert!(
+            leaf.needs_sqrt(),
+            "force computation needs SQRT (TTA+ only)"
+        );
     }
 
     #[test]

@@ -75,7 +75,11 @@ impl TraversalSemantics for RadiusSearchSemantics {
     fn step(&self, gmem: &GlobalMemory, ray: &mut RayState) -> StepAction {
         let node = ray.current_node;
         let header = NodeHeader::unpack(gmem.read_u32(node));
-        let pos = Vec3::new(ray.reg_f32(R_POS), ray.reg_f32(R_POS + 1), ray.reg_f32(R_POS + 2));
+        let pos = Vec3::new(
+            ray.reg_f32(R_POS),
+            ray.reg_f32(R_POS + 1),
+            ray.reg_f32(R_POS + 2),
+        );
         let radius = ray.reg_f32(R_RADIUS);
 
         if header.is_leaf() {
@@ -124,7 +128,11 @@ impl TraversalSemantics for RadiusSearchSemantics {
         if lb.contains(pos) {
             children.push(left);
         }
-        StepAction::Test { tests: vec![self.inner_test], children, terminate: false }
+        StepAction::Test {
+            tests: vec![self.inner_test],
+            children,
+            terminate: false,
+        }
     }
 
     fn finish(&self, gmem: &mut GlobalMemory, ray: &RayState) -> u32 {

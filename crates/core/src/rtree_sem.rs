@@ -51,8 +51,16 @@ impl RTreeSemantics {
 
     fn query_box(ray: &RayState) -> Aabb {
         Aabb::new(
-            Vec3::new(ray.reg_f32(R_MIN), ray.reg_f32(R_MIN + 1), ray.reg_f32(R_MIN + 2)),
-            Vec3::new(ray.reg_f32(R_MAX), ray.reg_f32(R_MAX + 1), ray.reg_f32(R_MAX + 2)),
+            Vec3::new(
+                ray.reg_f32(R_MIN),
+                ray.reg_f32(R_MIN + 1),
+                ray.reg_f32(R_MIN + 2),
+            ),
+            Vec3::new(
+                ray.reg_f32(R_MAX),
+                ray.reg_f32(R_MAX + 1),
+                ray.reg_f32(R_MAX + 2),
+            ),
         )
     }
 
@@ -113,11 +121,17 @@ impl TraversalSemantics for RTreeSemantics {
         ray.regs[R_VISITED] += 1;
         let children = if mbr.overlaps(&query) {
             let first = gmem.read_u32(node + 4);
-            (0..header.count as u32).map(|i| self.node_addr(first + i)).collect()
+            (0..header.count as u32)
+                .map(|i| self.node_addr(first + i))
+                .collect()
         } else {
             Vec::new()
         };
-        StepAction::Test { tests: vec![self.inner_test], children, terminate: false }
+        StepAction::Test {
+            tests: vec![self.inner_test],
+            children,
+            terminate: false,
+        }
     }
 
     fn prefetch_hints(&self, gmem: &GlobalMemory, node_addr: u64) -> Vec<u64> {
@@ -126,7 +140,9 @@ impl TraversalSemantics for RTreeSemantics {
             return Vec::new();
         }
         let first = gmem.read_u32(node_addr + 4);
-        (0..header.count as u32).map(|i| self.node_addr(first + i)).collect()
+        (0..header.count as u32)
+            .map(|i| self.node_addr(first + i))
+            .collect()
     }
 
     fn finish(&self, gmem: &mut GlobalMemory, ray: &RayState) -> u32 {

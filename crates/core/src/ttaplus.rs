@@ -61,7 +61,10 @@ impl TtaPlusConfig {
     /// the area-optimal design point, throughput-bound on MINMAX-heavy
     /// workloads (an ablation the paper leaves to future work).
     pub fn single_units() -> Self {
-        TtaPlusConfig { units_per_type: 1, ..Self::default_paper() }
+        TtaPlusConfig {
+            units_per_type: 1,
+            ..Self::default_paper()
+        }
     }
 }
 
@@ -134,7 +137,9 @@ impl TtaPlusBackend {
             }
             units.insert(
                 u,
-                (0..cfg.units_per_type).map(|_| PipelinedUnit::new(u.latency())).collect(),
+                (0..cfg.units_per_type)
+                    .map(|_| PipelinedUnit::new(u.latency()))
+                    .collect(),
             );
         }
         let crossbar = (0..cfg.crossbar_parallel_transfers)
@@ -262,7 +267,9 @@ impl IntersectionBackend for TtaPlusBackend {
     fn unit_stats(&self) -> Vec<(String, UnitStats)> {
         let mut out: Vec<(String, UnitStats)> = Vec::new();
         for u in OpUnit::ALL {
-            let Some(pool) = self.units.get(&u) else { continue };
+            let Some(pool) = self.units.get(&u) else {
+                continue;
+            };
             let mut s = UnitStats::default();
             for unit in pool {
                 s.invocations += unit.stats.invocations;
@@ -295,7 +302,10 @@ mod tests {
         let done = b.schedule(TestKind::RayBox, 0).unwrap();
         // Baseline Ray-Box is 13 cycles; TTA+ should land near 10x that
         // (Fig. 18 bottom reports ~10x for ray-tracing applications).
-        assert!((100..200).contains(&done), "TTA+ Ray-Box latency {done} not ~10x of 13");
+        assert!(
+            (100..200).contains(&done),
+            "TTA+ Ray-Box latency {done} not ~10x of 13"
+        );
     }
 
     #[test]
@@ -303,7 +313,10 @@ mod tests {
         let mut b = TtaPlusBackend::new(TtaPlusConfig::default_paper(), vec![]);
         let qk = b.schedule(TestKind::QueryKey, 0).unwrap();
         let rb = b.schedule(TestKind::RayBox, 1000).unwrap() - 1000;
-        assert!(qk < rb, "12-μop Query-Key ({qk}) must beat 19-μop Ray-Box ({rb})");
+        assert!(
+            qk < rb,
+            "12-μop Query-Key ({qk}) must beat 19-μop Ray-Box ({rb})"
+        );
     }
 
     #[test]
@@ -321,7 +334,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "SQRT")]
     fn sqrt_program_without_sqrt_unit_panics() {
-        let cfg = TtaPlusConfig { with_sqrt: false, ..TtaPlusConfig::default_paper() };
+        let cfg = TtaPlusConfig {
+            with_sqrt: false,
+            ..TtaPlusConfig::default_paper()
+        };
         let _ = TtaPlusBackend::new(cfg, vec![UopProgram::ray_sphere_leaf()]);
     }
 
@@ -330,7 +346,10 @@ mod tests {
         let mut b = TtaPlusBackend::new(TtaPlusConfig::single_units(), vec![]);
         let first = b.schedule(TestKind::RayBox, 0).unwrap();
         let second = b.schedule(TestKind::RayBox, 0).unwrap();
-        assert!(second > first, "single units must serialise ({first} vs {second})");
+        assert!(
+            second > first,
+            "single units must serialise ({first} vs {second})"
+        );
     }
 
     #[test]

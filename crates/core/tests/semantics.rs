@@ -7,7 +7,7 @@ use gpu_sim::kernel::{Kernel, KernelBuilder};
 use gpu_sim::{Gpu, GpuConfig};
 use rta::units::TestKind;
 use rta::TraversalEngine;
-use trees::{BarnesHutTree, BTree, BTreeFlavor, Bvh, BvhPrimitive, Particle};
+use trees::{BTree, BTreeFlavor, BarnesHutTree, Bvh, BvhPrimitive, Particle};
 use tta::backend::{TtaBackend, TtaConfig};
 use tta::btree_sem::{read_query_result, write_query_record, BTreeSemantics, QUERY_RECORD_SIZE};
 use tta::nbody_sem::{read_nbody_result, write_nbody_record, BarnesHutSemantics};
@@ -55,7 +55,12 @@ fn btree_run(flavor: BTreeFlavor, accel: Accel) {
 
     let bplus = flavor == BTreeFlavor::BPlus;
     gpu.attach_accelerators(move |_| {
-        let sem = |inner, leaf| BTreeSemantics { tree_base, bplus, inner_test: inner, leaf_test: leaf };
+        let sem = |inner, leaf| BTreeSemantics {
+            tree_base,
+            bplus,
+            inner_test: inner,
+            leaf_test: leaf,
+        };
         match accel {
             Accel::Tta => {
                 let cfg = TtaConfig::default_paper();
@@ -87,7 +92,10 @@ fn btree_run(flavor: BTreeFlavor, accel: Accel) {
         let (found, visited) = read_query_result(&gpu.gmem, qbase + (i * QUERY_RECORD_SIZE) as u64);
         let oracle = tree.search(q);
         assert_eq!(found, oracle.found, "{flavor} query {q}");
-        assert_eq!(visited as usize, oracle.nodes_visited, "{flavor} path length for {q}");
+        assert_eq!(
+            visited as usize, oracle.nodes_visited,
+            "{flavor} path length for {q}"
+        );
     }
 }
 
@@ -221,5 +229,8 @@ fn radius_search_counts_match_oracle() {
             nonzero += 1;
         }
     }
-    assert!(nonzero > n / 2, "radius misconfigured: too few non-empty results");
+    assert!(
+        nonzero > n / 2,
+        "radius misconfigured: too few non-empty results"
+    );
 }

@@ -103,7 +103,11 @@ mod tests {
             ttaplus_no_sqrt_ratio()
         );
         // TTA+ with SQRT: +36.4%.
-        assert!((ttaplus_ratio() - 0.364).abs() < 0.002, "got {:.4}", ttaplus_ratio());
+        assert!(
+            (ttaplus_ratio() - 0.364).abs() < 0.002,
+            "got {:.4}",
+            ttaplus_ratio()
+        );
         // Paper's subtotal figures themselves. (The published rows sum to
         // 536,946.2 — 2.9 μm² off the paper's printed subtotal, a rounding
         // artefact in Table IV itself.)
@@ -114,7 +118,11 @@ mod tests {
     #[test]
     fn tta_overheads() {
         // +1.8% on the Ray-Box unit (§V-C1).
-        assert!((tta_ray_box_overhead() - 0.018).abs() < 0.001, "got {}", tta_ray_box_overhead());
+        assert!(
+            (tta_ray_box_overhead() - 0.018).abs() < 0.001,
+            "got {}",
+            tta_ray_box_overhead()
+        );
         // <1% of the total operation-unit area (the abstract's claim).
         assert!(tta_total_overhead() < 0.01);
         assert!(tta_total_overhead() > 0.0);

@@ -22,7 +22,12 @@ pub fn render(label: &str, e: &EnergyBreakdown, baseline: Option<&EnergyBreakdow
     let total = e.total_uj().max(1e-12);
     let pct = |v: f64| v / total * 100.0;
     let rel = baseline
-        .map(|b| format!(" ({:+.1}% vs baseline)", (e.total_uj() / b.total_uj() - 1.0) * 100.0))
+        .map(|b| {
+            format!(
+                " ({:+.1}% vs baseline)",
+                (e.total_uj() / b.total_uj() - 1.0) * 100.0
+            )
+        })
         .unwrap_or_default();
     format!(
         "{label}: {:.1} uJ{rel}\n  compute core {:.1} uJ ({:.1}%) | warp buffer {:.1} uJ ({:.1}%) | intersection {:.1} uJ ({:.1}%)",
@@ -41,7 +46,11 @@ mod tests {
     use super::*;
 
     fn sample() -> EnergyBreakdown {
-        EnergyBreakdown { compute_core_uj: 60.0, warp_buffer_uj: 30.0, intersection_uj: 10.0 }
+        EnergyBreakdown {
+            compute_core_uj: 60.0,
+            warp_buffer_uj: 30.0,
+            intersection_uj: 10.0,
+        }
     }
 
     #[test]

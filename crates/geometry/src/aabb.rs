@@ -40,7 +40,10 @@ impl Aabb {
     /// [`Aabb::union`].
     #[inline]
     pub fn empty() -> Self {
-        Aabb { min: Vec3::splat(f32::INFINITY), max: Vec3::splat(f32::NEG_INFINITY) }
+        Aabb {
+            min: Vec3::splat(f32::INFINITY),
+            max: Vec3::splat(f32::NEG_INFINITY),
+        }
     }
 
     /// `true` when the box contains no points (any `min` component exceeds
@@ -67,7 +70,10 @@ impl Aabb {
     /// The smallest box containing both inputs.
     #[inline]
     pub fn union(&self, other: &Aabb) -> Aabb {
-        Aabb { min: self.min.min(other.min), max: self.max.max(other.max) }
+        Aabb {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
     }
 
     /// Box centre. Meaningless for empty boxes.
@@ -127,7 +133,10 @@ impl Aabb {
     /// Grows the box by `margin` on every side.
     #[inline]
     pub fn inflated(&self, margin: f32) -> Aabb {
-        Aabb { min: self.min - Vec3::splat(margin), max: self.max + Vec3::splat(margin) }
+        Aabb {
+            min: self.min - Vec3::splat(margin),
+            max: self.max + Vec3::splat(margin),
+        }
     }
 
     /// Builds the bounding box of a set of points; empty input produces
@@ -161,7 +170,11 @@ mod tests {
 
     #[test]
     fn grow_contains_all_points() {
-        let pts = [Vec3::new(1.0, 2.0, 3.0), Vec3::new(-5.0, 0.0, 1.0), Vec3::new(0.0, 7.0, -2.0)];
+        let pts = [
+            Vec3::new(1.0, 2.0, 3.0),
+            Vec3::new(-5.0, 0.0, 1.0),
+            Vec3::new(0.0, 7.0, -2.0),
+        ];
         let b = Aabb::from_points(pts);
         for p in pts {
             assert!(b.contains(p));

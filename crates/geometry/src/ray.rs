@@ -35,13 +35,23 @@ impl Ray {
     /// epsilon used by secondary rays.
     #[inline]
     pub fn new(origin: Vec3, dir: Vec3) -> Self {
-        Ray { origin, dir, tmin: 1e-4, tmax: f32::INFINITY }
+        Ray {
+            origin,
+            dir,
+            tmin: 1e-4,
+            tmax: f32::INFINITY,
+        }
     }
 
     /// Creates a ray with an explicit `[tmin, tmax]` interval.
     #[inline]
     pub fn with_interval(origin: Vec3, dir: Vec3, tmin: f32, tmax: f32) -> Self {
-        Ray { origin, dir, tmin, tmax }
+        Ray {
+            origin,
+            dir,
+            tmin,
+            tmax,
+        }
     }
 
     /// The point at parameter `t`.

@@ -41,7 +41,10 @@ impl Sphere {
     /// The sphere's bounding box.
     #[inline]
     pub fn aabb(&self) -> Aabb {
-        Aabb::new(self.center - Vec3::splat(self.radius), self.center + Vec3::splat(self.radius))
+        Aabb::new(
+            self.center - Vec3::splat(self.radius),
+            self.center + Vec3::splat(self.radius),
+        )
     }
 
     /// `true` when `point` lies inside or on the sphere. This is the

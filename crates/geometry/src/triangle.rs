@@ -72,7 +72,11 @@ mod tests {
     use super::*;
 
     fn unit_tri() -> Triangle {
-        Triangle::new(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 1.0, 0.0))
+        Triangle::new(
+            Vec3::ZERO,
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+        )
     }
 
     #[test]

@@ -1,87 +1,116 @@
-//! Property-based tests for the geometry crate: intersection tests must
+//! Property-style tests for the geometry crate: intersection tests must
 //! agree with brute-force / analytic oracles on random inputs.
+//!
+//! Written against the workspace's seeded `rand` shim rather than
+//! `proptest` (no registry access in the build environment): each property
+//! runs a fixed number of deterministic random cases, so failures
+//! reproduce exactly.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use tta_geometry::{intersect, Aabb, Ray, Sphere, Triangle, Vec3};
 
-fn finite_f32(range: std::ops::Range<f32>) -> impl Strategy<Value = f32> {
-    prop::num::f32::NORMAL.prop_map(move |v| {
-        let span = range.end - range.start;
-        range.start + (v.abs() % span)
-    })
+const CASES: usize = 512;
+
+fn rand_vec3(rng: &mut StdRng, range: std::ops::Range<f32>) -> Vec3 {
+    Vec3::new(
+        rng.random_range(range.clone()),
+        rng.random_range(range.clone()),
+        rng.random_range(range),
+    )
 }
 
-fn arb_vec3(range: std::ops::Range<f32>) -> impl Strategy<Value = Vec3> {
-    (finite_f32(range.clone()), finite_f32(range.clone()), finite_f32(range))
-        .prop_map(|(x, y, z)| Vec3::new(x, y, z))
+/// A random non-degenerate unit direction.
+fn rand_dir(rng: &mut StdRng) -> Vec3 {
+    loop {
+        let v = rand_vec3(rng, -1.0..1.0);
+        if v.length_squared() > 1e-4 {
+            return v.normalized();
+        }
+    }
 }
 
-fn arb_dir() -> impl Strategy<Value = Vec3> {
-    arb_vec3(-1.0..1.0)
-        .prop_filter("non-degenerate direction", |v| v.length_squared() > 1e-4)
-        .prop_map(|v| v.normalized())
-}
-
-proptest! {
-    #[test]
-    fn cross_product_perpendicular(a in arb_vec3(-10.0..10.0), b in arb_vec3(-10.0..10.0)) {
+#[test]
+fn cross_product_perpendicular() {
+    let mut rng = StdRng::seed_from_u64(0xc505);
+    for _ in 0..CASES {
+        let a = rand_vec3(&mut rng, -10.0..10.0);
+        let b = rand_vec3(&mut rng, -10.0..10.0);
         let c = a.cross(b);
         let scale = a.length() * b.length();
-        prop_assume!(scale > 1e-3);
-        prop_assert!(c.dot(a).abs() / scale < 1e-3);
-        prop_assert!(c.dot(b).abs() / scale < 1e-3);
+        if scale <= 1e-3 {
+            continue;
+        }
+        assert!(c.dot(a).abs() / scale < 1e-3, "a={a} b={b}");
+        assert!(c.dot(b).abs() / scale < 1e-3, "a={a} b={b}");
     }
+}
 
-    #[test]
-    fn aabb_union_contains_both(
-        p0 in arb_vec3(-100.0..100.0), p1 in arb_vec3(-100.0..100.0),
-        q0 in arb_vec3(-100.0..100.0), q1 in arb_vec3(-100.0..100.0),
-    ) {
+#[test]
+fn aabb_union_contains_both() {
+    let mut rng = StdRng::seed_from_u64(0xaabb);
+    for _ in 0..CASES {
+        let p0 = rand_vec3(&mut rng, -100.0..100.0);
+        let p1 = rand_vec3(&mut rng, -100.0..100.0);
+        let q0 = rand_vec3(&mut rng, -100.0..100.0);
+        let q1 = rand_vec3(&mut rng, -100.0..100.0);
         let a = Aabb::from_points([p0, p1]);
         let b = Aabb::from_points([q0, q1]);
         let u = a.union(&b);
         for p in [p0, p1, q0, q1] {
-            prop_assert!(u.contains(p));
+            assert!(u.contains(p), "union must contain {p}");
         }
-        prop_assert!(u.surface_area() + 1e-3 >= a.surface_area().max(b.surface_area()));
+        assert!(u.surface_area() + 1e-3 >= a.surface_area().max(b.surface_area()));
     }
+}
 
-    #[test]
-    fn ray_hits_box_containing_target(
-        origin in arb_vec3(-50.0..50.0),
-        target in arb_vec3(-50.0..50.0),
-        margin in 0.1f32..5.0,
-    ) {
-        prop_assume!((target - origin).length_squared() > 1e-2);
+#[test]
+fn ray_hits_box_containing_target() {
+    let mut rng = StdRng::seed_from_u64(0x0b0c);
+    for _ in 0..CASES {
+        let origin = rand_vec3(&mut rng, -50.0..50.0);
+        let target = rand_vec3(&mut rng, -50.0..50.0);
+        let margin: f32 = rng.random_range(0.1..5.0);
+        if (target - origin).length_squared() <= 1e-2 {
+            continue;
+        }
         // A box inflated around the target must be hit by the ray toward it.
         let bbox = Aabb::from_points([target]).inflated(margin);
         let ray = Ray::new(origin, (target - origin).normalized());
-        prop_assert!(intersect::ray_aabb(&ray, &bbox, 0.0, f32::INFINITY).is_some());
+        assert!(
+            intersect::ray_aabb(&ray, &bbox, 0.0, f32::INFINITY).is_some(),
+            "ray from {origin} to {target} (margin {margin}) missed"
+        );
     }
+}
 
-    #[test]
-    fn box_hit_interval_is_ordered(
-        origin in arb_vec3(-50.0..50.0),
-        dir in arb_dir(),
-        c0 in arb_vec3(-20.0..20.0),
-        c1 in arb_vec3(-20.0..20.0),
-    ) {
+#[test]
+fn box_hit_interval_is_ordered() {
+    let mut rng = StdRng::seed_from_u64(0x1e7a);
+    for _ in 0..CASES {
+        let origin = rand_vec3(&mut rng, -50.0..50.0);
+        let dir = rand_dir(&mut rng);
+        let c0 = rand_vec3(&mut rng, -20.0..20.0);
+        let c1 = rand_vec3(&mut rng, -20.0..20.0);
         let bbox = Aabb::from_points([c0, c1]);
         if let Some(hit) = intersect::ray_aabb(&Ray::new(origin, dir), &bbox, 0.0, f32::INFINITY) {
-            prop_assert!(hit.t_enter <= hit.t_exit);
-            prop_assert!(hit.t_enter >= 0.0);
+            assert!(hit.t_enter <= hit.t_exit);
+            assert!(hit.t_enter >= 0.0);
         }
     }
+}
 
-    #[test]
-    fn triangle_hit_point_lies_on_ray_and_in_triangle(
-        v0 in arb_vec3(-10.0..10.0),
-        v1 in arb_vec3(-10.0..10.0),
-        v2 in arb_vec3(-10.0..10.0),
-        u in 0.05f32..0.9,
-        vv in 0.05f32..0.9,
-        origin in arb_vec3(-30.0..30.0),
-    ) {
+#[test]
+fn triangle_hit_point_lies_on_ray_and_in_triangle() {
+    let mut rng = StdRng::seed_from_u64(0x7419);
+    let mut checked = 0usize;
+    while checked < CASES {
+        let v0 = rand_vec3(&mut rng, -10.0..10.0);
+        let v1 = rand_vec3(&mut rng, -10.0..10.0);
+        let v2 = rand_vec3(&mut rng, -10.0..10.0);
+        let u: f32 = rng.random_range(0.05..0.9);
+        let vv: f32 = rng.random_range(0.05..0.9);
+        let origin = rand_vec3(&mut rng, -30.0..30.0);
         let tri = Triangle::new(v0, v1, v2);
         // Exclude slivers: require decent area relative to the longest edge,
         // since Möller-Trumbore is ill-conditioned on high-aspect triangles.
@@ -89,50 +118,65 @@ proptest! {
             .length()
             .max((v2 - v0).length())
             .max((v2 - v1).length());
-        prop_assume!(tri.area() > 0.1 && tri.area() > 0.05 * max_edge * max_edge);
-        let (u, vv) = if u + vv > 0.95 { (u * 0.5, vv * 0.5) } else { (u, vv) };
+        if !(tri.area() > 0.1 && tri.area() > 0.05 * max_edge * max_edge) {
+            continue;
+        }
+        let (u, vv) = if u + vv > 0.95 {
+            (u * 0.5, vv * 0.5)
+        } else {
+            (u, vv)
+        };
         let target = tri.at_barycentric(u, vv);
-        prop_assume!((target - origin).length() > 1e-1);
+        if (target - origin).length() <= 1e-1 {
+            continue;
+        }
         let ray = Ray::new(origin, (target - origin).normalized());
         // The ray is aimed at an interior point, so it must hit unless it is
-        // nearly parallel to the plane (excluded by the area/assume filters).
+        // nearly parallel to the plane (excluded by the area filters above).
         let n = tri.normal().normalized();
-        prop_assume!(n.dot(ray.dir).abs() > 1e-2);
+        if n.dot(ray.dir).abs() <= 1e-2 {
+            continue;
+        }
+        checked += 1;
         let hit = intersect::ray_triangle(&ray, &tri);
-        prop_assert!(hit.is_some());
+        assert!(hit.is_some(), "aimed ray missed triangle {v0} {v1} {v2}");
         let hit = hit.unwrap();
         let dist = (target - origin).length();
-        prop_assert!((ray.at(hit.t) - target).length() < 1e-3 * dist.max(10.0));
-        prop_assert!(hit.u >= -1e-4 && hit.v >= -1e-4 && hit.u + hit.v <= 1.0 + 1e-4);
+        assert!((ray.at(hit.t) - target).length() < 1e-3 * dist.max(10.0));
+        assert!(hit.u >= -1e-4 && hit.v >= -1e-4 && hit.u + hit.v <= 1.0 + 1e-4);
     }
+}
 
-    #[test]
-    fn sphere_hit_point_is_on_surface(
-        center in arb_vec3(-20.0..20.0),
-        radius in 0.1f32..5.0,
-        origin in arb_vec3(-50.0..50.0),
-        dir in arb_dir(),
-    ) {
+#[test]
+fn sphere_hit_point_is_on_surface() {
+    let mut rng = StdRng::seed_from_u64(0x54ee);
+    for _ in 0..CASES {
+        let center = rand_vec3(&mut rng, -20.0..20.0);
+        let radius: f32 = rng.random_range(0.1..5.0);
+        let origin = rand_vec3(&mut rng, -50.0..50.0);
+        let dir = rand_dir(&mut rng);
         let s = Sphere::new(center, radius);
         if let Some(hit) = intersect::ray_sphere(&Ray::new(origin, dir), &s) {
             let p = Ray::new(origin, dir).at(hit.t);
-            prop_assert!(((p - center).length() - radius).abs() < 1e-2);
-            prop_assert!((hit.normal.length() - 1.0).abs() < 1e-3);
+            assert!(((p - center).length() - radius).abs() < 1e-2);
+            assert!((hit.normal.length() - 1.0).abs() < 1e-3);
         }
     }
+}
 
-    #[test]
-    fn point_distance_matches_exact(
-        a in arb_vec3(-100.0..100.0),
-        b in arb_vec3(-100.0..100.0),
-        threshold in 0.1f32..200.0,
-    ) {
+#[test]
+fn point_distance_matches_exact() {
+    let mut rng = StdRng::seed_from_u64(0xd157);
+    for _ in 0..CASES {
+        let a = rand_vec3(&mut rng, -100.0..100.0);
+        let b = rand_vec3(&mut rng, -100.0..100.0);
+        let threshold: f32 = rng.random_range(0.1..200.0);
         let exact = (b - a).length() < threshold;
         // Squared comparison must agree except within float rounding of the
         // boundary.
         let boundary = ((b - a).length() - threshold).abs() < 1e-3 * threshold.max(1.0);
         if !boundary {
-            prop_assert_eq!(intersect::point_distance_within(a, b, threshold), exact);
+            assert_eq!(intersect::point_distance_within(a, b, threshold), exact);
         }
     }
 }

@@ -49,11 +49,7 @@ pub struct AccelCtx<'a> {
 pub trait Accelerator: std::fmt::Debug {
     /// Offers a traversal request. Returns the request back when the warp
     /// buffer is full (the SM will retry next cycle).
-    fn try_submit(
-        &mut self,
-        req: TraversalRequest,
-        now: u64,
-    ) -> Result<(), TraversalRequest>;
+    fn try_submit(&mut self, req: TraversalRequest, now: u64) -> Result<(), TraversalRequest>;
 
     /// Advances internal state up to and including cycle `now`. The Gpu may
     /// skip cycles; implementations must process everything due `<= now`.
@@ -92,7 +88,10 @@ pub struct NullAccelerator {
 impl NullAccelerator {
     /// Creates a null accelerator with the given fixed latency.
     pub fn new(latency: u64) -> Self {
-        NullAccelerator { latency, ..Default::default() }
+        NullAccelerator {
+            latency,
+            ..Default::default()
+        }
     }
 }
 
@@ -144,12 +143,21 @@ mod tests {
         let req = TraversalRequest {
             token: 7,
             pipeline: 0,
-            lanes: vec![LaneTraversal { lane: 0, query_addr: 0, root_addr: 0 }],
+            lanes: vec![LaneTraversal {
+                lane: 0,
+                query_addr: 0,
+                root_addr: 0,
+            }],
         };
         acc.try_submit(req, 100).unwrap();
         assert!(acc.busy());
         assert_eq!(acc.next_event(100), Some(110));
-        let mut ctx = AccelCtx { mem: &mut mem, gmem: &mut gmem, sm_id: 0, perfect_node_fetch: false };
+        let mut ctx = AccelCtx {
+            mem: &mut mem,
+            gmem: &mut gmem,
+            sm_id: 0,
+            perfect_node_fetch: false,
+        };
         acc.tick(105, &mut ctx);
         assert!(acc.drain_completed().is_empty());
         acc.tick(110, &mut ctx);

@@ -118,7 +118,10 @@ impl GpuConfig {
         assert!(self.warp_width > 0 && self.warp_width <= 32);
         assert!(self.mem.line_size.is_power_of_two());
         assert!(self.mem.l1_bytes.is_multiple_of(self.mem.line_size));
-        assert!(self.mem.l2_bytes.is_multiple_of(self.mem.line_size * self.mem.l2_ways));
+        assert!(self
+            .mem
+            .l2_bytes
+            .is_multiple_of(self.mem.line_size * self.mem.l2_ways));
         assert!(self.mem.dram_channels > 0);
         assert!(self.mem.dram_bytes_per_cycle_per_channel > 0.0);
     }

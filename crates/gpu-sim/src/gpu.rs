@@ -58,7 +58,9 @@ impl Gpu {
     pub fn new(cfg: GpuConfig, mem_capacity: usize) -> Self {
         cfg.validate();
         let mem = MemorySystem::new(&cfg.mem, cfg.num_sms, cfg.perfect_memory);
-        let sms = (0..cfg.num_sms).map(|i| Sm::new(i, cfg.max_warps_per_sm)).collect();
+        let sms = (0..cfg.num_sms)
+            .map(|i| Sm::new(i, cfg.max_warps_per_sm))
+            .collect();
         let accels = (0..cfg.num_sms).map(|_| None).collect();
         Gpu {
             cfg,
@@ -102,7 +104,11 @@ impl Gpu {
         let l2_before = self.mem.l2_stats;
         let dram_before = self.mem.dram_stats.clone();
 
-        let mut stats = SimStats { dram_channels: self.cfg.mem.dram_channels, ..Default::default() };
+        let mut stats = SimStats {
+            warp_size: self.cfg.warp_width as u32,
+            dram_channels: self.cfg.mem.dram_channels,
+            ..Default::default()
+        };
 
         // Pending warp descriptors: (base_tid, lanes).
         let warp_width = self.cfg.warp_width;
@@ -271,7 +277,10 @@ mod tests {
         }
         assert!(stats.cycles > 0);
         assert_eq!(stats.mix.memory, 2 * n as u64);
-        assert!(stats.simt_efficiency() > 0.9, "straight-line code should not diverge");
+        assert!(
+            stats.simt_efficiency() > 0.9,
+            "straight-line code should not diverge"
+        );
         assert!(stats.l1.hits + stats.l1.misses > 0);
     }
 
@@ -317,7 +326,10 @@ mod tests {
             assert_eq!(gpu.gmem.read_u32(out + 4 * i as u64), expect, "thread {i}");
         }
         let eff = stats.simt_efficiency();
-        assert!(eff < 0.95, "variable trip counts must diverge (eff = {eff})");
+        assert!(
+            eff < 0.95,
+            "variable trip counts must diverge (eff = {eff})"
+        );
         assert!(eff > 0.2, "efficiency implausibly low (eff = {eff})");
     }
 
@@ -362,7 +374,8 @@ mod tests {
             let mut gpu = Gpu::new(cfg, 1 << 22);
             let inp = gpu.gmem.alloc(4 * n, 64);
             let out = gpu.gmem.alloc(4 * n, 64);
-            gpu.launch(&incr_kernel(), n, &[inp as u32, out as u32]).cycles
+            gpu.launch(&incr_kernel(), n, &[inp as u32, out as u32])
+                .cycles
         };
         let real = run(false);
         let perfect = run(true);

@@ -297,7 +297,10 @@ impl Instr {
     /// `true` for floating-point arithmetic (counted as FLOPs for the
     /// roofline of Fig. 6).
     pub fn is_flop(&self) -> bool {
-        matches!(self, Instr::FAlu { .. } | Instr::FSqrt { .. } | Instr::FCmp { .. })
+        matches!(
+            self,
+            Instr::FAlu { .. } | Instr::FSqrt { .. } | Instr::FCmp { .. }
+        )
     }
 
     /// Destination register written by this instruction, if any.
@@ -323,7 +326,9 @@ impl Instr {
     /// path for the issue logic): returns the buffer and the count.
     pub fn sources_packed(&self) -> ([Reg; 2], usize) {
         match *self {
-            Instr::Mov { rs, .. } | Instr::FSqrt { rs, .. } | Instr::ItoF { rs, .. }
+            Instr::Mov { rs, .. }
+            | Instr::FSqrt { rs, .. }
+            | Instr::ItoF { rs, .. }
             | Instr::FtoI { rs, .. } => ([rs, rs], 1),
             Instr::IAlu { rs1, rs2, .. }
             | Instr::FAlu { rs1, rs2, .. }
@@ -331,9 +336,13 @@ impl Instr {
             | Instr::FCmp { rs1, rs2, .. } => ([rs1, rs2], 2),
             Instr::IAluImm { rs1, .. } => ([rs1, rs1], 1),
             Instr::Load { rs_addr, .. } => ([rs_addr, rs_addr], 1),
-            Instr::Store { rs_val, rs_addr, .. } => ([rs_val, rs_addr], 2),
+            Instr::Store {
+                rs_val, rs_addr, ..
+            } => ([rs_val, rs_addr], 2),
             Instr::BranchNz { rs, .. } | Instr::BranchZ { rs, .. } => ([rs, rs], 1),
-            Instr::Traverse { rs_query, rs_root, .. } => ([rs_query, rs_root], 2),
+            Instr::Traverse {
+                rs_query, rs_root, ..
+            } => ([rs_query, rs_root], 2),
             Instr::MovImm { .. } | Instr::MovSreg { .. } | Instr::Jump { .. } | Instr::Exit => {
                 ([Reg(0), Reg(0)], 0)
             }
@@ -343,7 +352,9 @@ impl Instr {
     /// Source registers read by this instruction.
     pub fn sources(&self) -> Vec<Reg> {
         match *self {
-            Instr::Mov { rs, .. } | Instr::FSqrt { rs, .. } | Instr::ItoF { rs, .. }
+            Instr::Mov { rs, .. }
+            | Instr::FSqrt { rs, .. }
+            | Instr::ItoF { rs, .. }
             | Instr::FtoI { rs, .. } => vec![rs],
             Instr::IAlu { rs1, rs2, .. }
             | Instr::FAlu { rs1, rs2, .. }
@@ -351,9 +362,13 @@ impl Instr {
             | Instr::FCmp { rs1, rs2, .. } => vec![rs1, rs2],
             Instr::IAluImm { rs1, .. } => vec![rs1],
             Instr::Load { rs_addr, .. } => vec![rs_addr],
-            Instr::Store { rs_val, rs_addr, .. } => vec![rs_val, rs_addr],
+            Instr::Store {
+                rs_val, rs_addr, ..
+            } => vec![rs_val, rs_addr],
             Instr::BranchNz { rs, .. } | Instr::BranchZ { rs, .. } => vec![rs],
-            Instr::Traverse { rs_query, rs_root, .. } => vec![rs_query, rs_root],
+            Instr::Traverse {
+                rs_query, rs_root, ..
+            } => vec![rs_query, rs_root],
             Instr::MovImm { .. } | Instr::MovSreg { .. } | Instr::Jump { .. } | Instr::Exit => {
                 Vec::new()
             }
@@ -367,13 +382,29 @@ mod tests {
 
     #[test]
     fn classes() {
-        assert_eq!(Instr::Load { rd: Reg(0), rs_addr: Reg(1), offset: 0 }.class(), InstrClass::Memory);
+        assert_eq!(
+            Instr::Load {
+                rd: Reg(0),
+                rs_addr: Reg(1),
+                offset: 0
+            }
+            .class(),
+            InstrClass::Memory
+        );
         assert_eq!(Instr::Jump { target: 3 }.class(), InstrClass::Control);
         assert_eq!(
-            Instr::Traverse { rs_query: Reg(0), rs_root: Reg(1), pipeline: 0 }.class(),
+            Instr::Traverse {
+                rs_query: Reg(0),
+                rs_root: Reg(1),
+                pipeline: 0
+            }
+            .class(),
             InstrClass::Traverse
         );
-        assert_eq!(Instr::MovImm { rd: Reg(0), imm: 0 }.class(), InstrClass::Alu);
+        assert_eq!(
+            Instr::MovImm { rd: Reg(0), imm: 0 }.class(),
+            InstrClass::Alu
+        );
     }
 
     #[test]
@@ -387,17 +418,38 @@ mod tests {
 
     #[test]
     fn dest_and_sources() {
-        let i = Instr::IAlu { op: IOp::Add, rd: Reg(3), rs1: Reg(1), rs2: Reg(2) };
+        let i = Instr::IAlu {
+            op: IOp::Add,
+            rd: Reg(3),
+            rs1: Reg(1),
+            rs2: Reg(2),
+        };
         assert_eq!(i.dest(), Some(Reg(3)));
         assert_eq!(i.sources(), vec![Reg(1), Reg(2)]);
-        let s = Instr::Store { rs_val: Reg(4), rs_addr: Reg(5), offset: 8 };
+        let s = Instr::Store {
+            rs_val: Reg(4),
+            rs_addr: Reg(5),
+            offset: 8,
+        };
         assert_eq!(s.dest(), None);
         assert_eq!(s.sources(), vec![Reg(4), Reg(5)]);
     }
 
     #[test]
     fn flop_flags() {
-        assert!(Instr::FAlu { op: FOp::Mul, rd: Reg(0), rs1: Reg(1), rs2: Reg(2) }.is_flop());
-        assert!(!Instr::IAlu { op: IOp::Mul, rd: Reg(0), rs1: Reg(1), rs2: Reg(2) }.is_flop());
+        assert!(Instr::FAlu {
+            op: FOp::Mul,
+            rd: Reg(0),
+            rs1: Reg(1),
+            rs2: Reg(2)
+        }
+        .is_flop());
+        assert!(!Instr::IAlu {
+            op: IOp::Mul,
+            rd: Reg(0),
+            rs1: Reg(1),
+            rs2: Reg(2)
+        }
+        .is_flop());
     }
 }

@@ -74,7 +74,11 @@ pub struct KernelBuilder {
 impl KernelBuilder {
     /// Starts a new kernel.
     pub fn new(name: impl Into<String>) -> Self {
-        KernelBuilder { name: name.into(), instrs: Vec::new(), next_reg: 0 }
+        KernelBuilder {
+            name: name.into(),
+            instrs: Vec::new(),
+            next_reg: 0,
+        }
     }
 
     /// Allocates a fresh register.
@@ -108,7 +112,10 @@ impl KernelBuilder {
 
     /// `rd = imm` (float).
     pub fn mov_imm_f32(&mut self, rd: Reg, imm: f32) {
-        self.emit(Instr::MovImm { rd, imm: imm.to_bits() });
+        self.emit(Instr::MovImm {
+            rd,
+            imm: imm.to_bits(),
+        });
     }
 
     /// `rd = sreg`.
@@ -125,84 +132,164 @@ impl KernelBuilder {
 
     /// `rd = rs1 + rs2` (wrapping).
     pub fn iadd(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.emit(Instr::IAlu { op: IOp::Add, rd, rs1, rs2 });
+        self.emit(Instr::IAlu {
+            op: IOp::Add,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = rs1 + imm`.
     pub fn iadd_imm(&mut self, rd: Reg, rs1: Reg, imm: u32) {
-        self.emit(Instr::IAluImm { op: IOp::Add, rd, rs1, imm });
+        self.emit(Instr::IAluImm {
+            op: IOp::Add,
+            rd,
+            rs1,
+            imm,
+        });
     }
 
     /// `rd = rs1 - rs2`.
     pub fn isub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.emit(Instr::IAlu { op: IOp::Sub, rd, rs1, rs2 });
+        self.emit(Instr::IAlu {
+            op: IOp::Sub,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = rs1 * rs2`.
     pub fn imul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.emit(Instr::IAlu { op: IOp::Mul, rd, rs1, rs2 });
+        self.emit(Instr::IAlu {
+            op: IOp::Mul,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = rs1 * imm`.
     pub fn imul_imm(&mut self, rd: Reg, rs1: Reg, imm: u32) {
-        self.emit(Instr::IAluImm { op: IOp::Mul, rd, rs1, imm });
+        self.emit(Instr::IAluImm {
+            op: IOp::Mul,
+            rd,
+            rs1,
+            imm,
+        });
     }
 
     /// `rd = rs1 & imm`.
     pub fn and_imm(&mut self, rd: Reg, rs1: Reg, imm: u32) {
-        self.emit(Instr::IAluImm { op: IOp::And, rd, rs1, imm });
+        self.emit(Instr::IAluImm {
+            op: IOp::And,
+            rd,
+            rs1,
+            imm,
+        });
     }
 
     /// `rd = rs1 & rs2`.
     pub fn and(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.emit(Instr::IAlu { op: IOp::And, rd, rs1, rs2 });
+        self.emit(Instr::IAlu {
+            op: IOp::And,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = rs1 | rs2`.
     pub fn or(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.emit(Instr::IAlu { op: IOp::Or, rd, rs1, rs2 });
+        self.emit(Instr::IAlu {
+            op: IOp::Or,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = rs1 << imm`.
     pub fn shl_imm(&mut self, rd: Reg, rs1: Reg, imm: u32) {
-        self.emit(Instr::IAluImm { op: IOp::Shl, rd, rs1, imm });
+        self.emit(Instr::IAluImm {
+            op: IOp::Shl,
+            rd,
+            rs1,
+            imm,
+        });
     }
 
     /// `rd = rs1 >> imm` (logical).
     pub fn shr_imm(&mut self, rd: Reg, rs1: Reg, imm: u32) {
-        self.emit(Instr::IAluImm { op: IOp::Shr, rd, rs1, imm });
+        self.emit(Instr::IAluImm {
+            op: IOp::Shr,
+            rd,
+            rs1,
+            imm,
+        });
     }
 
     // ---- float ALU ---------------------------------------------------------
 
     /// `rd = rs1 + rs2` (f32).
     pub fn fadd(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.emit(Instr::FAlu { op: FOp::Add, rd, rs1, rs2 });
+        self.emit(Instr::FAlu {
+            op: FOp::Add,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = rs1 - rs2` (f32).
     pub fn fsub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.emit(Instr::FAlu { op: FOp::Sub, rd, rs1, rs2 });
+        self.emit(Instr::FAlu {
+            op: FOp::Sub,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = rs1 * rs2` (f32).
     pub fn fmul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.emit(Instr::FAlu { op: FOp::Mul, rd, rs1, rs2 });
+        self.emit(Instr::FAlu {
+            op: FOp::Mul,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = rs1 / rs2` (f32, SFU latency).
     pub fn fdiv(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.emit(Instr::FAlu { op: FOp::Div, rd, rs1, rs2 });
+        self.emit(Instr::FAlu {
+            op: FOp::Div,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = min(rs1, rs2)` (f32).
     pub fn fmin(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.emit(Instr::FAlu { op: FOp::Min, rd, rs1, rs2 });
+        self.emit(Instr::FAlu {
+            op: FOp::Min,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = max(rs1, rs2)` (f32).
     pub fn fmax(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.emit(Instr::FAlu { op: FOp::Max, rd, rs1, rs2 });
+        self.emit(Instr::FAlu {
+            op: FOp::Max,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = sqrt(rs)` (f32, SFU latency).
@@ -224,12 +311,24 @@ impl KernelBuilder {
 
     /// `rd = (rs1 cmp rs2)` on signed integers.
     pub fn icmp(&mut self, cmp: Cmp, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.emit(Instr::ICmp { cmp, rd, rs1, rs2, unsigned: false });
+        self.emit(Instr::ICmp {
+            cmp,
+            rd,
+            rs1,
+            rs2,
+            unsigned: false,
+        });
     }
 
     /// `rd = (rs1 cmp rs2)` on unsigned integers.
     pub fn ucmp(&mut self, cmp: Cmp, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.emit(Instr::ICmp { cmp, rd, rs1, rs2, unsigned: true });
+        self.emit(Instr::ICmp {
+            cmp,
+            rd,
+            rs1,
+            rs2,
+            unsigned: true,
+        });
     }
 
     /// `rd = (rs1 cmp rs2)` on floats.
@@ -241,19 +340,31 @@ impl KernelBuilder {
 
     /// `rd = mem[rs_addr + offset]`.
     pub fn load(&mut self, rd: Reg, rs_addr: Reg, offset: i32) {
-        self.emit(Instr::Load { rd, rs_addr, offset });
+        self.emit(Instr::Load {
+            rd,
+            rs_addr,
+            offset,
+        });
     }
 
     /// `mem[rs_addr + offset] = rs_val`.
     pub fn store(&mut self, rs_val: Reg, rs_addr: Reg, offset: i32) {
-        self.emit(Instr::Store { rs_val, rs_addr, offset });
+        self.emit(Instr::Store {
+            rs_val,
+            rs_addr,
+            offset,
+        });
     }
 
     // ---- accelerator offload ----------------------------------------------
 
     /// Offloads a traversal (the `traverseTreeTTA` call).
     pub fn traverse(&mut self, rs_query: Reg, rs_root: Reg, pipeline: u16) {
-        self.emit(Instr::Traverse { rs_query, rs_root, pipeline });
+        self.emit(Instr::Traverse {
+            rs_query,
+            rs_root,
+            pipeline,
+        });
     }
 
     /// Warp exit.
@@ -267,15 +378,29 @@ impl KernelBuilder {
     pub fn begin_if_nz(&mut self, cond: Reg) -> IfToken {
         // Lanes failing the condition branch forward past the block.
         let branch_pc = self.instrs.len();
-        self.emit(Instr::BranchZ { rs: cond, target: PATCH, reconv: PATCH });
-        IfToken { branch_pc, else_jump_pc: None }
+        self.emit(Instr::BranchZ {
+            rs: cond,
+            target: PATCH,
+            reconv: PATCH,
+        });
+        IfToken {
+            branch_pc,
+            else_jump_pc: None,
+        }
     }
 
     /// Opens an `if (cond == 0) { ... }` block.
     pub fn begin_if_z(&mut self, cond: Reg) -> IfToken {
         let branch_pc = self.instrs.len();
-        self.emit(Instr::BranchNz { rs: cond, target: PATCH, reconv: PATCH });
-        IfToken { branch_pc, else_jump_pc: None }
+        self.emit(Instr::BranchNz {
+            rs: cond,
+            target: PATCH,
+            reconv: PATCH,
+        });
+        IfToken {
+            branch_pc,
+            else_jump_pc: None,
+        }
     }
 
     /// Switches an open `if` block to its `else` part.
@@ -311,25 +436,38 @@ impl KernelBuilder {
 
     /// Opens a loop; the body starts immediately.
     pub fn begin_loop(&mut self) -> LoopToken {
-        LoopToken { start_pc: self.instrs.len(), break_pcs: Vec::new() }
+        LoopToken {
+            start_pc: self.instrs.len(),
+            break_pcs: Vec::new(),
+        }
     }
 
     /// Breaks out of the loop for lanes where `cond == 0`.
     pub fn break_if_z(&mut self, cond: Reg, token: &mut LoopToken) {
         token.break_pcs.push(self.instrs.len());
-        self.emit(Instr::BranchZ { rs: cond, target: PATCH, reconv: PATCH });
+        self.emit(Instr::BranchZ {
+            rs: cond,
+            target: PATCH,
+            reconv: PATCH,
+        });
     }
 
     /// Breaks out of the loop for lanes where `cond != 0`.
     pub fn break_if_nz(&mut self, cond: Reg, token: &mut LoopToken) {
         token.break_pcs.push(self.instrs.len());
-        self.emit(Instr::BranchNz { rs: cond, target: PATCH, reconv: PATCH });
+        self.emit(Instr::BranchNz {
+            rs: cond,
+            target: PATCH,
+            reconv: PATCH,
+        });
     }
 
     /// Closes the loop: emits the back-jump and patches every break to the
     /// instruction after it (the loop's reconvergence point).
     pub fn end_loop(&mut self, token: LoopToken) {
-        self.emit(Instr::Jump { target: token.start_pc as u32 });
+        self.emit(Instr::Jump {
+            target: token.start_pc as u32,
+        });
         let end = self.pc();
         for pc in token.break_pcs {
             self.patch_branch_target(pc, end);
@@ -363,11 +501,20 @@ impl KernelBuilder {
         for (pc, instr) in self.instrs.iter().enumerate() {
             match *instr {
                 Instr::BranchNz { target, reconv, .. } | Instr::BranchZ { target, reconv, .. } => {
-                    assert!(target != PATCH && target <= len, "unpatched branch at pc {pc}");
-                    assert!(reconv != PATCH && reconv <= len, "unpatched reconv at pc {pc}");
+                    assert!(
+                        target != PATCH && target <= len,
+                        "unpatched branch at pc {pc}"
+                    );
+                    assert!(
+                        reconv != PATCH && reconv <= len,
+                        "unpatched reconv at pc {pc}"
+                    );
                 }
                 Instr::Jump { target } => {
-                    assert!(target != PATCH && target <= len, "unpatched jump at pc {pc}");
+                    assert!(
+                        target != PATCH && target <= len,
+                        "unpatched jump at pc {pc}"
+                    );
                 }
                 _ => {}
             }
@@ -376,7 +523,11 @@ impl KernelBuilder {
             matches!(self.instrs.last(), Some(Instr::Exit)),
             "kernel must end with Exit"
         );
-        Kernel { name: self.name, instrs: self.instrs, num_regs: self.next_reg as usize }
+        Kernel {
+            name: self.name,
+            instrs: self.instrs,
+            num_regs: self.next_reg as usize,
+        }
     }
 }
 
@@ -474,33 +625,63 @@ fn format_instr(i: &Instr) -> String {
         Instr::MovSreg { rd, sreg } => format!("mov   {rd}, {sreg:?}"),
         Instr::Mov { rd, rs } => format!("mov   {rd}, {rs}"),
         Instr::IAlu { op, rd, rs1, rs2 } => {
-            format!("{:<5} {rd}, {rs1}, {rs2}", format!("i{op:?}").to_lowercase())
+            format!(
+                "{:<5} {rd}, {rs1}, {rs2}",
+                format!("i{op:?}").to_lowercase()
+            )
         }
         Instr::IAluImm { op, rd, rs1, imm } => {
-            format!("{:<5} {rd}, {rs1}, #{imm:#x}", format!("i{op:?}").to_lowercase())
+            format!(
+                "{:<5} {rd}, {rs1}, #{imm:#x}",
+                format!("i{op:?}").to_lowercase()
+            )
         }
         Instr::FAlu { op, rd, rs1, rs2 } => {
-            format!("{:<5} {rd}, {rs1}, {rs2}", format!("f{op:?}").to_lowercase())
+            format!(
+                "{:<5} {rd}, {rs1}, {rs2}",
+                format!("f{op:?}").to_lowercase()
+            )
         }
         Instr::FSqrt { rd, rs } => format!("fsqrt {rd}, {rs}"),
-        Instr::ICmp { cmp, rd, rs1, rs2, unsigned } => format!(
+        Instr::ICmp {
+            cmp,
+            rd,
+            rs1,
+            rs2,
+            unsigned,
+        } => format!(
             "{}cmp.{:<2} {rd}, {rs1}, {rs2}",
             if unsigned { "u" } else { "i" },
             format!("{cmp:?}").to_lowercase()
         ),
         Instr::FCmp { cmp, rd, rs1, rs2 } => {
-            format!("fcmp.{:<2} {rd}, {rs1}, {rs2}", format!("{cmp:?}").to_lowercase())
+            format!(
+                "fcmp.{:<2} {rd}, {rs1}, {rs2}",
+                format!("{cmp:?}").to_lowercase()
+            )
         }
         Instr::ItoF { rd, rs } => format!("itof  {rd}, {rs}"),
         Instr::FtoI { rd, rs } => format!("ftoi  {rd}, {rs}"),
-        Instr::Load { rd, rs_addr, offset } => format!("ld    {rd}, [{rs_addr}{offset:+}]"),
-        Instr::Store { rs_val, rs_addr, offset } => format!("st    [{rs_addr}{offset:+}], {rs_val}"),
+        Instr::Load {
+            rd,
+            rs_addr,
+            offset,
+        } => format!("ld    {rd}, [{rs_addr}{offset:+}]"),
+        Instr::Store {
+            rs_val,
+            rs_addr,
+            offset,
+        } => format!("st    [{rs_addr}{offset:+}], {rs_val}"),
         Instr::BranchNz { rs, target, reconv } => {
             format!("bnz   {rs}, ->{target} (join {reconv})")
         }
         Instr::BranchZ { rs, target, reconv } => format!("bz    {rs}, ->{target} (join {reconv})"),
         Instr::Jump { target } => format!("jmp   ->{target}"),
-        Instr::Traverse { rs_query, rs_root, pipeline } => {
+        Instr::Traverse {
+            rs_query,
+            rs_root,
+            pipeline,
+        } => {
             format!("traverse {rs_query}, {rs_root}, pipe{pipeline}")
         }
         Instr::Exit => "exit".to_owned(),
@@ -528,7 +709,7 @@ mod disasm_tests {
         let text = kernel.disassemble();
         assert!(text.contains("kernel `demo`"));
         assert_eq!(text.lines().count(), kernel.instrs.len() + 1);
-        assert!(text.contains("traverse") == false);
+        assert!(!text.contains("traverse"));
         assert!(text.contains("bz    r1"));
         assert!(text.contains("ld    r0, [r1+8]"));
         assert!(text.contains("st    [r1-4], r0"));

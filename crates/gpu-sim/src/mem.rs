@@ -31,7 +31,10 @@ pub struct GlobalMemory {
 impl GlobalMemory {
     /// Creates a memory of `capacity` bytes, zero-filled.
     pub fn new(capacity: usize) -> Self {
-        GlobalMemory { bytes: vec![0; capacity], next_free: 64 }
+        GlobalMemory {
+            bytes: vec![0; capacity],
+            next_free: 64,
+        }
     }
 
     /// Capacity in bytes.
@@ -49,7 +52,10 @@ impl GlobalMemory {
     pub fn alloc(&mut self, size: usize, align: usize) -> u64 {
         assert!(align.is_power_of_two(), "alignment must be a power of two");
         let base = (self.next_free + align - 1) & !(align - 1);
-        assert!(base + size <= self.bytes.len(), "simulated GPU memory exhausted");
+        assert!(
+            base + size <= self.bytes.len(),
+            "simulated GPU memory exhausted"
+        );
         self.next_free = base + size;
         base as u64
     }
@@ -198,7 +204,11 @@ impl SetAssocCache {
     fn new(capacity_bytes: usize, line_size: usize, ways: usize) -> Self {
         let num_sets = capacity_bytes / line_size / ways;
         assert!(num_sets > 0);
-        SetAssocCache { sets: vec![Vec::with_capacity(ways); num_sets], ways, stamp: 0 }
+        SetAssocCache {
+            sets: vec![Vec::with_capacity(ways); num_sets],
+            ways,
+            stamp: 0,
+        }
     }
 
     fn access(&mut self, line: u64) -> bool {
@@ -235,7 +245,10 @@ struct MshrFile {
 
 impl MshrFile {
     fn new(capacity: usize) -> Self {
-        MshrFile { capacity, inflight: BinaryHeap::new() }
+        MshrFile {
+            capacity,
+            inflight: BinaryHeap::new(),
+        }
     }
 
     /// Earliest cycle at which a new miss can allocate an entry, given it
@@ -290,7 +303,9 @@ impl MemorySystem {
         MemorySystem {
             cfg: cfg.clone(),
             perfect,
-            l1: (0..num_sms).map(|_| FullyAssocCache::new(l1_lines)).collect(),
+            l1: (0..num_sms)
+                .map(|_| FullyAssocCache::new(l1_lines))
+                .collect(),
             l1_mshr: (0..num_sms).map(|_| MshrFile::new(cfg.l1_mshrs)).collect(),
             l1_port_busy: vec![0; num_sms],
             l1_pending: (0..num_sms).map(|_| HashMap::new()).collect(),
@@ -408,7 +423,12 @@ impl MemorySystem {
         self.l2_stats.misses += 1;
         let t = self.l2_mshr.allocate(now);
         let addr = line * self.cfg.line_size as u64;
-        let fill = self.dram_transfer(addr, self.cfg.line_size as u32, t + self.cfg.l2_latency, true);
+        let fill = self.dram_transfer(
+            addr,
+            self.cfg.line_size as u32,
+            t + self.cfg.l2_latency,
+            true,
+        );
         self.l2_mshr.record(fill);
         self.l2_pending.insert(line, fill);
         fill
@@ -451,7 +471,11 @@ mod tests {
         // Read again after the fill completes: L1 hit.
         let t2 = m.read(0, 0x1000, 32, t1 + 1);
         assert_eq!(m.l1_stats.hits, 1);
-        assert!(t2 - (t1 + 1) <= 1 + 20, "hit should take ~L1 latency (got {})", t2 - t1 - 1);
+        assert!(
+            t2 - (t1 + 1) <= 1 + 20,
+            "hit should take ~L1 latency (got {})",
+            t2 - t1 - 1
+        );
     }
 
     #[test]
@@ -488,8 +512,8 @@ mod tests {
             last = last.max(m.read(0, i * 128 + (i % 2) * (1 << 20), 128, 0));
         }
         assert!(m.dram_stats.busy_channel_cycles > 0.0);
-        let serial_min = 512.0 * 128.0
-            / (m.cfg.dram_channels as f64 * m.cfg.dram_bytes_per_cycle_per_channel);
+        let serial_min =
+            512.0 * 128.0 / (m.cfg.dram_channels as f64 * m.cfg.dram_bytes_per_cycle_per_channel);
         assert!(
             (last as f64) > serial_min,
             "completion {last} must exceed pure-bandwidth bound {serial_min}"
@@ -500,12 +524,18 @@ mod tests {
     fn mshr_limit_delays_excess_misses() {
         let cfg = GpuConfig::vulkan_sim_default();
         let mut few = MemorySystem::new(
-            &MemConfig { l1_mshrs: 2, ..cfg.mem.clone() },
+            &MemConfig {
+                l1_mshrs: 2,
+                ..cfg.mem.clone()
+            },
             1,
             false,
         );
         let mut many = MemorySystem::new(
-            &MemConfig { l1_mshrs: 64, ..cfg.mem.clone() },
+            &MemConfig {
+                l1_mshrs: 64,
+                ..cfg.mem.clone()
+            },
             1,
             false,
         );

@@ -64,12 +64,20 @@ impl Warp {
     /// Panics if `lanes` is 0 or exceeds 32.
     pub fn new(id: usize, base_tid: u32, lanes: usize, num_regs: usize, age: u64) -> Self {
         assert!((1..=32).contains(&lanes), "warp must have 1..=32 lanes");
-        let init_mask = if lanes == 32 { u32::MAX } else { (1u32 << lanes) - 1 };
+        let init_mask = if lanes == 32 {
+            u32::MAX
+        } else {
+            (1u32 << lanes) - 1
+        };
         Warp {
             id,
             base_tid,
             init_mask,
-            stack: vec![StackEntry { pc: 0, rpc: u32::MAX, mask: init_mask }],
+            stack: vec![StackEntry {
+                pc: 0,
+                rpc: u32::MAX,
+                mask: init_mask,
+            }],
             regs: vec![0; num_regs.max(1) * 32],
             reg_ready: [0; MAX_REGS],
             state: WarpState::Ready,
@@ -128,15 +136,26 @@ impl Warp {
             // Divergence: current entry becomes the reconvergence point.
             let last = self.stack.last_mut().expect("running warp has a stack");
             last.pc = reconv;
-            self.stack.push(StackEntry { pc: fallthrough_pc, rpc: reconv, mask: not_taken });
-            self.stack.push(StackEntry { pc: target, rpc: reconv, mask: taken });
+            self.stack.push(StackEntry {
+                pc: fallthrough_pc,
+                rpc: reconv,
+                mask: not_taken,
+            });
+            self.stack.push(StackEntry {
+                pc: target,
+                rpc: reconv,
+                mask: taken,
+            });
             debug_assert!(self.stack.len() <= 64, "SIMT stack runaway");
         }
     }
 
     /// Earliest cycle at which all `regs` are available.
     pub fn regs_ready_at(&self, regs: impl IntoIterator<Item = u8>) -> u64 {
-        regs.into_iter().map(|r| self.reg_ready[r as usize]).max().unwrap_or(0)
+        regs.into_iter()
+            .map(|r| self.reg_ready[r as usize])
+            .max()
+            .unwrap_or(0)
     }
 
     /// Marks the warp finished.

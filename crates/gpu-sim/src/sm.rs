@@ -142,7 +142,12 @@ impl Sm {
             }
 
             // Traverse is special: it can be rejected by a full warp buffer.
-            if let Instr::Traverse { rs_query, rs_root, pipeline } = instr {
+            if let Instr::Traverse {
+                rs_query,
+                rs_root,
+                pipeline,
+            } = instr
+            {
                 let Some(acc) = accel.as_mut() else {
                     panic!("kernel uses Traverse but no accelerator is attached");
                 };
@@ -154,7 +159,11 @@ impl Sm {
                         root_addr: warp.reg(rs_root.0, l) as u64,
                     })
                     .collect();
-                let req = TraversalRequest { token: slot as u64, pipeline, lanes };
+                let req = TraversalRequest {
+                    token: slot as u64,
+                    pipeline,
+                    lanes,
+                };
                 match acc.try_submit(req, now) {
                     Ok(()) => {
                         warp.state = WarpState::WaitAccel;
@@ -165,7 +174,10 @@ impl Sm {
                         stats.mix.add(InstrClass::Traverse, lanes);
                         stats.traversals_offloaded += 1;
                         self.last_issued = Some(slot);
-                        return IssueResult { issued: true, next_wake };
+                        return IssueResult {
+                            issued: true,
+                            next_wake,
+                        };
                     }
                     Err(_) => {
                         // Warp buffer full: retry once the accelerator moves.
@@ -191,9 +203,15 @@ impl Sm {
             } else {
                 self.last_issued = Some(slot);
             }
-            return IssueResult { issued: true, next_wake };
+            return IssueResult {
+                issued: true,
+                next_wake,
+            };
         }
-        IssueResult { issued: false, next_wake }
+        IssueResult {
+            issued: false,
+            next_wake,
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -285,8 +303,11 @@ impl Sm {
                         warp.set_reg(rd.0, l, v.to_bits());
                     }
                 }
-                warp.reg_ready[rd.0 as usize] =
-                    if matches!(op, FOp::Div) { sfu_done } else { alu_done };
+                warp.reg_ready[rd.0 as usize] = if matches!(op, FOp::Div) {
+                    sfu_done
+                } else {
+                    alu_done
+                };
                 warp.advance_pc();
             }
             Instr::FSqrt { rd, rs } => {
@@ -299,7 +320,13 @@ impl Sm {
                 warp.reg_ready[rd.0 as usize] = sfu_done;
                 warp.advance_pc();
             }
-            Instr::ICmp { cmp, rd, rs1, rs2, unsigned } => {
+            Instr::ICmp {
+                cmp,
+                rd,
+                rs1,
+                rs2,
+                unsigned,
+            } => {
                 for l in 0..32 {
                     if active(l) {
                         let a = warp.reg(rs1.0, l);
@@ -346,14 +373,17 @@ impl Sm {
                 warp.reg_ready[rd.0 as usize] = alu_done;
                 warp.advance_pc();
             }
-            Instr::Load { rd, rs_addr, offset } => {
+            Instr::Load {
+                rd,
+                rs_addr,
+                offset,
+            } => {
                 // Functional read + coalesced timing.
                 let line_size = mem.line_size() as u64;
                 let mut lines: Vec<(u64, u32)> = Vec::new(); // (line, lanes)
                 for l in 0..32 {
                     if active(l) {
-                        let addr =
-                            (warp.reg(rs_addr.0, l) as i64 + offset as i64) as u64;
+                        let addr = (warp.reg(rs_addr.0, l) as i64 + offset as i64) as u64;
                         let v = gmem.read_u32(addr);
                         warp.set_reg(rd.0, l, v);
                         let line = addr / line_size;
@@ -371,13 +401,16 @@ impl Sm {
                 warp.reg_ready[rd.0 as usize] = done;
                 warp.advance_pc();
             }
-            Instr::Store { rs_val, rs_addr, offset } => {
+            Instr::Store {
+                rs_val,
+                rs_addr,
+                offset,
+            } => {
                 let line_size = mem.line_size() as u64;
                 let mut lines: Vec<(u64, u32)> = Vec::new();
                 for l in 0..32 {
                     if active(l) {
-                        let addr =
-                            (warp.reg(rs_addr.0, l) as i64 + offset as i64) as u64;
+                        let addr = (warp.reg(rs_addr.0, l) as i64 + offset as i64) as u64;
                         gmem.write_u32(addr, warp.reg(rs_val.0, l));
                         let line = addr / line_size;
                         match lines.iter_mut().find(|(ln, _)| *ln == line) {

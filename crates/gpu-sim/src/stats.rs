@@ -35,8 +35,11 @@ impl InstrMix {
 }
 
 /// Full statistics of one simulation run.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimStats {
+    /// Lanes per warp of the configuration that produced these stats
+    /// (denominator of [`SimStats::simt_efficiency`]). Defaults to 32.
+    pub warp_size: u32,
     /// Total elapsed cycles.
     pub cycles: u64,
     /// Warp-instructions issued by the SIMT cores.
@@ -61,19 +64,40 @@ pub struct SimStats {
     pub sm_active_cycles: u64,
 }
 
+impl Default for SimStats {
+    fn default() -> Self {
+        SimStats {
+            warp_size: 32,
+            cycles: 0,
+            warp_instrs: 0,
+            lane_instrs: 0,
+            mix: InstrMix::default(),
+            flops: 0,
+            l1: CacheStats::default(),
+            l2: CacheStats::default(),
+            dram: DramStats::default(),
+            dram_channels: 0,
+            traversals_offloaded: 0,
+            sm_active_cycles: 0,
+        }
+    }
+}
+
 impl SimStats {
     /// SIMT efficiency in [0, 1]: average active-lane fraction per issued
-    /// warp instruction (Fig. 1 metric).
+    /// warp instruction (Fig. 1 metric), relative to the configured warp
+    /// width — a 16-lane GPU at full occupancy reports 1.0, not 0.5.
     pub fn simt_efficiency(&self) -> f64 {
         if self.warp_instrs == 0 {
             return 1.0;
         }
-        self.lane_instrs as f64 / (self.warp_instrs as f64 * 32.0)
+        self.lane_instrs as f64 / (self.warp_instrs as f64 * f64::from(self.warp_size.max(1)))
     }
 
     /// DRAM bandwidth utilization in [0, 1] (Fig. 1 / Fig. 13 metric).
     pub fn dram_utilization(&self) -> f64 {
-        self.dram.utilization(self.cycles, self.dram_channels.max(1))
+        self.dram
+            .utilization(self.cycles, self.dram_channels.max(1))
     }
 
     /// Arithmetic intensity in FLOP/byte over DRAM traffic (Fig. 6 x-axis).
@@ -94,8 +118,56 @@ impl SimStats {
     }
 
     /// Speedup of `self` relative to a `baseline` run of the same work.
+    ///
+    /// A baseline that executed zero cycles has no meaningful speedup:
+    /// the result is [`f64::NAN`] rather than a silent 0.0, so downstream
+    /// ratios/geomeans surface the degenerate input instead of absorbing it.
     pub fn speedup_over(&self, baseline: &SimStats) -> f64 {
+        if baseline.cycles == 0 {
+            return f64::NAN;
+        }
         baseline.cycles as f64 / self.cycles.max(1) as f64
+    }
+
+    /// Serializes the raw counters as a JSON object with a stable field
+    /// order and integer-only values, so equal stats always produce
+    /// byte-identical text (the run-journal determinism contract).
+    /// Derived metrics ([`Self::simt_efficiency`] etc.) are intentionally
+    /// not included here; journal writers add them alongside.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"warp_size\":{},\"cycles\":{},\"warp_instrs\":{},\"lane_instrs\":{},\
+             \"mix\":{{\"alu\":{},\"control\":{},\"memory\":{},\"traverse\":{}}},\
+             \"flops\":{},\
+             \"l1\":{{\"hits\":{},\"misses\":{},\"mshr_merges\":{}}},\
+             \"l2\":{{\"hits\":{},\"misses\":{},\"mshr_merges\":{}}},\
+             \"dram\":{{\"bytes_read\":{},\"bytes_written\":{},\"bytes_requested\":{},\
+             \"busy_channel_cycles\":{},\"transactions\":{}}},\
+             \"dram_channels\":{},\"traversals_offloaded\":{},\"sm_active_cycles\":{}}}",
+            self.warp_size,
+            self.cycles,
+            self.warp_instrs,
+            self.lane_instrs,
+            self.mix.alu,
+            self.mix.control,
+            self.mix.memory,
+            self.mix.traverse,
+            self.flops,
+            self.l1.hits,
+            self.l1.misses,
+            self.l1.mshr_merges,
+            self.l2.hits,
+            self.l2.misses,
+            self.l2.mshr_merges,
+            self.dram.bytes_read,
+            self.dram.bytes_written,
+            self.dram.bytes_requested,
+            self.dram.busy_channel_cycles,
+            self.dram.transactions,
+            self.dram_channels,
+            self.traversals_offloaded,
+            self.sm_active_cycles,
+        )
     }
 }
 
@@ -116,17 +188,100 @@ mod tests {
 
     #[test]
     fn efficiency_bounds() {
-        let mut s = SimStats { warp_instrs: 10, lane_instrs: 160, ..Default::default() };
+        let mut s = SimStats {
+            warp_instrs: 10,
+            lane_instrs: 160,
+            ..Default::default()
+        };
         assert!((s.simt_efficiency() - 0.5).abs() < 1e-9);
         s.warp_instrs = 0;
         assert_eq!(s.simt_efficiency(), 1.0);
     }
 
     #[test]
+    fn efficiency_uses_configured_warp_size() {
+        // A 16-lane machine with all lanes active must report 1.0, not >1
+        // or 0.5 — the 32.0 denominator is no longer hardcoded.
+        let s = SimStats {
+            warp_size: 16,
+            warp_instrs: 10,
+            lane_instrs: 160,
+            ..Default::default()
+        };
+        assert!((s.simt_efficiency() - 1.0).abs() < 1e-9);
+        assert!(
+            s.simt_efficiency() <= 1.0,
+            "efficiency must never exceed 1.0"
+        );
+        let wide = SimStats {
+            warp_size: 64,
+            warp_instrs: 10,
+            lane_instrs: 320,
+            ..Default::default()
+        };
+        assert!((wide.simt_efficiency() - 0.5).abs() < 1e-9);
+        // warp_size 0 is clamped rather than dividing by zero.
+        let degenerate = SimStats {
+            warp_size: 0,
+            warp_instrs: 10,
+            lane_instrs: 10,
+            ..Default::default()
+        };
+        assert!(degenerate.simt_efficiency().is_finite());
+    }
+
+    #[test]
     fn speedup_ratio() {
-        let fast = SimStats { cycles: 100, ..Default::default() };
-        let slow = SimStats { cycles: 500, ..Default::default() };
+        let fast = SimStats {
+            cycles: 100,
+            ..Default::default()
+        };
+        let slow = SimStats {
+            cycles: 500,
+            ..Default::default()
+        };
         assert!((fast.speedup_over(&slow) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_over_zero_cycle_baseline_is_nan() {
+        let run = SimStats {
+            cycles: 100,
+            ..Default::default()
+        };
+        let empty = SimStats::default();
+        assert!(
+            run.speedup_over(&empty).is_nan(),
+            "zero-cycle baseline must not report 0.0"
+        );
+        // Self-comparison of an empty run is equally meaningless.
+        assert!(empty.speedup_over(&empty).is_nan());
+        // A zero-cycle *numerator* is still defined (clamped denominator).
+        assert!((empty.speedup_over(&run) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn to_json_is_stable_and_complete() {
+        let mut s = SimStats {
+            cycles: 42,
+            warp_instrs: 7,
+            lane_instrs: 200,
+            ..Default::default()
+        };
+        s.mix.alu = 150;
+        s.dram.bytes_read = 4096;
+        let a = s.to_json();
+        let b = s.clone().to_json();
+        assert_eq!(a, b, "equal stats must serialize byte-identically");
+        for key in [
+            "\"cycles\":42",
+            "\"alu\":150",
+            "\"bytes_read\":4096",
+            "\"warp_size\":32",
+        ] {
+            assert!(a.contains(key), "missing {key} in {a}");
+        }
+        assert!(a.starts_with('{') && a.ends_with('}'));
     }
 
     #[test]
@@ -134,7 +289,11 @@ mod tests {
         let s = SimStats {
             cycles: 1000,
             flops: 5000,
-            dram: DramStats { bytes_read: 1000, bytes_written: 0, ..Default::default() },
+            dram: DramStats {
+                bytes_read: 1000,
+                bytes_written: 0,
+                ..Default::default()
+            },
             dram_channels: 6,
             ..Default::default()
         };

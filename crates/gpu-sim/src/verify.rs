@@ -36,11 +36,17 @@ impl std::fmt::Display for KernelIssue {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             KernelIssue::ReadBeforeWrite { pc, reg } => {
-                write!(f, "pc {pc}: register r{reg} may be read before it is written")
+                write!(
+                    f,
+                    "pc {pc}: register r{reg} may be read before it is written"
+                )
             }
             KernelIssue::Unreachable { pc } => write!(f, "pc {pc}: unreachable instruction"),
             KernelIssue::ExcessiveNesting { depth } => {
-                write!(f, "branch nesting depth {depth} exceeds the SIMT stack budget")
+                write!(
+                    f,
+                    "branch nesting depth {depth} exceeds the SIMT stack budget"
+                )
             }
         }
     }
@@ -179,7 +185,9 @@ mod tests {
         k.exit();
         let issues = check(&k.build());
         assert!(
-            issues.iter().any(|i| matches!(i, KernelIssue::ReadBeforeWrite { reg: 1, .. })),
+            issues
+                .iter()
+                .any(|i| matches!(i, KernelIssue::ReadBeforeWrite { reg: 1, .. })),
             "{issues:?}"
         );
     }

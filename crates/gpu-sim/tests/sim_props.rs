@@ -1,8 +1,13 @@
-//! Property tests for the SIMT simulator: random programs must compute the
-//! same results as a straightforward sequential interpreter, regardless of
-//! warp shape, divergence, or timing.
+//! Property-style tests for the SIMT simulator: random programs must
+//! compute the same results as a straightforward sequential interpreter,
+//! regardless of warp shape, divergence, or timing.
+//!
+//! Written against the workspace's seeded `rand` shim rather than
+//! `proptest` (no registry access in the build environment): each property
+//! runs a fixed number of deterministic random cases.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use tta_gpu_sim::isa::{Cmp, IOp, SReg};
 use tta_gpu_sim::kernel::{Kernel, KernelBuilder};
@@ -19,15 +24,15 @@ enum Op {
     CmpLt(u8, u8, u8),
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    let r = 0u8..4;
-    prop_oneof![
-        (r.clone(), r.clone(), any::<u32>()).prop_map(|(a, b, i)| Op::AddImm(a, b, i)),
-        (r.clone(), r.clone(), r.clone()).prop_map(|(a, b, c)| Op::Mul(a, b, c)),
-        (r.clone(), r.clone(), r.clone()).prop_map(|(a, b, c)| Op::Xor(a, b, c)),
-        (r.clone(), r.clone(), 0u32..32).prop_map(|(a, b, i)| Op::Shl(a, b, i)),
-        (r.clone(), r.clone(), r).prop_map(|(a, b, c)| Op::CmpLt(a, b, c)),
-    ]
+fn rand_op(rng: &mut StdRng) -> Op {
+    let r = |rng: &mut StdRng| rng.random_range(0u8..4);
+    match rng.random_range(0u8..5) {
+        0 => Op::AddImm(r(rng), r(rng), rng.random_range(0..u32::MAX)),
+        1 => Op::Mul(r(rng), r(rng), r(rng)),
+        2 => Op::Xor(r(rng), r(rng), r(rng)),
+        3 => Op::Shl(r(rng), r(rng), rng.random_range(0u32..32)),
+        _ => Op::CmpLt(r(rng), r(rng), r(rng)),
+    }
 }
 
 /// Reference semantics of one op on a 4-register machine.
@@ -68,9 +73,12 @@ fn build_kernel(ops: &[Op]) -> Kernel {
                 rs2: regs[b as usize],
             }),
             Op::Shl(d, s, i) => k.shl_imm(regs[d as usize], regs[s as usize], i),
-            Op::CmpLt(d, a, b) => {
-                k.icmp(Cmp::Lt, regs[d as usize], regs[a as usize], regs[b as usize])
-            }
+            Op::CmpLt(d, a, b) => k.icmp(
+                Cmp::Lt,
+                regs[d as usize],
+                regs[a as usize],
+                regs[b as usize],
+            ),
         }
     }
     k.mov_sreg(out, SReg::Param(0));
@@ -92,24 +100,24 @@ fn reference(tid: u32, ops: &[Op]) -> u32 {
     regs[0]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+#[test]
+fn random_straightline_kernels_match_reference() {
+    let mut rng = StdRng::seed_from_u64(0x51a7);
+    for _case in 0..24 {
+        let nops = rng.random_range(1usize..40);
+        let ops: Vec<Op> = (0..nops).map(|_| rand_op(&mut rng)).collect();
+        let nthreads = rng.random_range(1usize..200);
 
-    #[test]
-    fn random_straightline_kernels_match_reference(
-        ops in prop::collection::vec(arb_op(), 1..40),
-        nthreads in 1usize..200,
-    ) {
         let kernel = build_kernel(&ops);
         let mut gpu = Gpu::new(GpuConfig::small_test(), 1 << 20);
         let out = gpu.gmem.alloc(4 * nthreads, 64);
         let stats = gpu.launch(&kernel, nthreads, &[out as u32]);
-        prop_assert!(stats.cycles > 0);
+        assert!(stats.cycles > 0);
         // Straight-line code never diverges: efficiency is exactly the
         // live-lane fraction (tail warps are partial by construction).
         let warps = nthreads.div_ceil(32);
         let expected = nthreads as f64 / (warps * 32) as f64;
-        prop_assert!(
+        assert!(
             (stats.simt_efficiency() - expected).abs() < 1e-9,
             "eff {} vs expected {}",
             stats.simt_efficiency(),
@@ -117,18 +125,21 @@ proptest! {
         );
         for tid in 0..nthreads as u32 {
             let got = gpu.gmem.read_u32(out + tid as u64 * 4);
-            prop_assert_eq!(got, reference(tid, &ops), "tid {}", tid);
+            assert_eq!(got, reference(tid, &ops), "tid {tid} ops {ops:?}");
         }
     }
+}
 
-    /// Divergent loop: each thread iterates `tid % k + 1` times summing a
-    /// constant; the result is exact regardless of scheduling.
-    #[test]
-    fn divergent_loops_compute_exact_trip_counts(
-        modulus in 1u32..17,
-        step in 1u32..1000,
-        nthreads in 1usize..300,
-    ) {
+/// Divergent loop: each thread iterates `min(tid & 15, modulus) + 1` times
+/// summing a constant; the result is exact regardless of scheduling.
+#[test]
+fn divergent_loops_compute_exact_trip_counts() {
+    let mut rng = StdRng::seed_from_u64(0xd1fe);
+    for _case in 0..24 {
+        let modulus = rng.random_range(1u32..17);
+        let step = rng.random_range(1u32..1000);
+        let nthreads = rng.random_range(1usize..300);
+
         let mut k = KernelBuilder::new("trips");
         let tid = k.reg();
         let n = k.reg();
@@ -138,18 +149,16 @@ proptest! {
         let out = k.reg();
         let t = k.reg();
         k.mov_sreg(tid, SReg::ThreadId);
-        // n = tid % modulus + 1 via repeated subtract-free arithmetic:
-        // use multiply/shift-free modulo by masking only when modulus is a
-        // power of two; otherwise compute host-side via parameter trick:
-        // n = (tid * 1) - (tid / modulus) * modulus requires division, so
-        // emulate with a loop-free approximation: store tid and reduce in
-        // the reference identically using wrapping ops.
-        // Simplest portable choice: n = (tid & (modulus.next_power_of_two()-1)) % modulus
-        // is still a modulo; instead iterate: n starts at tid & 15, capped
-        // by `modulus` via min.
+        // Trip count without division in the mini-ISA:
+        // n = min(tid & 15, modulus) + 1, mirrored exactly in the oracle.
         k.and_imm(n, tid, 15);
         k.mov_imm(t, modulus);
-        k.emit(tta_gpu_sim::isa::Instr::IAlu { op: IOp::Min, rd: n, rs1: n, rs2: t });
+        k.emit(tta_gpu_sim::isa::Instr::IAlu {
+            op: IOp::Min,
+            rd: n,
+            rs1: n,
+            rs2: t,
+        });
         k.iadd_imm(n, n, 1);
         k.mov_imm(acc, 0);
         k.mov_imm(zero, 0);
@@ -172,14 +181,20 @@ proptest! {
         for tid in 0..nthreads as u32 {
             let trips = (tid & 15).min(modulus) + 1;
             let got = gpu.gmem.read_u32(out_buf + tid as u64 * 4);
-            prop_assert_eq!(got, trips.wrapping_mul(step), "tid {}", tid);
+            assert_eq!(got, trips.wrapping_mul(step), "tid {tid} modulus {modulus}");
         }
     }
+}
 
-    /// Stores then loads round-trip through the functional memory even with
-    /// many threads striding over the same buffer.
-    #[test]
-    fn store_load_roundtrip(nthreads in 1usize..256, stride_log in 2u32..4) {
+/// Stores then loads round-trip through the functional memory even with
+/// many threads striding over the same buffer.
+#[test]
+fn store_load_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0x10ad);
+    for _case in 0..24 {
+        let nthreads = rng.random_range(1usize..256);
+        let stride_log = rng.random_range(2u32..4);
+
         let mut k = KernelBuilder::new("rt");
         let tid = k.reg();
         let buf = k.reg();
@@ -201,7 +216,7 @@ proptest! {
         gpu.launch(&kernel, nthreads, &[buf_addr as u32]);
         for tid in 0..nthreads as u32 {
             let addr = buf_addr + (tid as u64) * (1 << stride_log);
-            prop_assert_eq!(
+            assert_eq!(
                 gpu.gmem.read_u32(addr),
                 tid.wrapping_mul(0x9e3779b9).wrapping_add(1)
             );

@@ -1,0 +1,137 @@
+//! A concurrent cache for expensive immutable experiment inputs.
+//!
+//! Sweeps run the same workload on several platforms/configurations; the
+//! generated data and built trees are identical across those points. The
+//! [`InputCache`] maps an input-descriptor key (see
+//! [`workloads::CacheableExperiment::inputs_key`]) to an
+//! [`Arc`]-shared, type-erased value, building it exactly once even under
+//! concurrent lookups from pool workers.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+type Slot = Arc<OnceLock<Arc<dyn Any + Send + Sync>>>;
+
+/// A keyed build-once cache of `Arc<T>` values.
+///
+/// Lookups for *distinct* keys build concurrently (the map lock is only
+/// held to find the slot, not during the build); lookups for the *same*
+/// key block until the first builder finishes and then share its `Arc`.
+#[derive(Default)]
+pub struct InputCache {
+    slots: Mutex<HashMap<String, Slot>>,
+}
+
+impl InputCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the cached value for `key`, invoking `build` (once,
+    /// globally) if absent. Repeated calls with the same key return clones
+    /// of the same `Arc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `key` was previously populated with a different type
+    /// `T` — keys must be namespaced per input type (the
+    /// `CacheableExperiment` implementations prefix theirs).
+    pub fn get_or_build<T, F>(&self, key: &str, build: F) -> Arc<T>
+    where
+        T: Any + Send + Sync,
+        F: FnOnce() -> T,
+    {
+        let slot: Slot = {
+            let mut map = self.slots.lock().unwrap();
+            Arc::clone(map.entry(key.to_owned()).or_default())
+        };
+        let erased = Arc::clone(slot.get_or_init(|| Arc::new(build())));
+        erased
+            .downcast::<T>()
+            .unwrap_or_else(|_| panic!("cache key {key:?} reused with a different input type"))
+    }
+
+    /// Number of distinct keys (including any still being built).
+    pub fn len(&self) -> usize {
+        self.slots.lock().unwrap().len()
+    }
+
+    /// `true` when no key has been requested yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for InputCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InputCache")
+            .field("keys", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn same_key_returns_same_arc_and_builds_once() {
+        let cache = InputCache::new();
+        let builds = AtomicUsize::new(0);
+        let a = cache.get_or_build("k", || {
+            builds.fetch_add(1, Ordering::Relaxed);
+            vec![1u32, 2, 3]
+        });
+        let b = cache.get_or_build("k", || {
+            builds.fetch_add(1, Ordering::Relaxed);
+            vec![9u32]
+        });
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(
+            builds.load(Ordering::Relaxed),
+            1,
+            "second lookup must not rebuild"
+        );
+        assert_eq!(*b, vec![1, 2, 3]);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_get_distinct_values() {
+        let cache = InputCache::new();
+        let a = cache.get_or_build("a", || 1u64);
+        let b = cache.get_or_build("b", || 2u64);
+        assert_eq!((*a, *b), (1, 2));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_lookups_build_once() {
+        let cache = InputCache::new();
+        let builds = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    let v = cache.get_or_build("shared", || {
+                        builds.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                        42u32
+                    });
+                    assert_eq!(*v, 42);
+                });
+            }
+        });
+        assert_eq!(builds.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different input type")]
+    fn type_confusion_panics() {
+        let cache = InputCache::new();
+        let _ = cache.get_or_build("k", || 1u32);
+        let _ = cache.get_or_build::<u64, _>("k", || 1u64);
+    }
+}

@@ -1,0 +1,237 @@
+//! Deterministic JSON run journals.
+//!
+//! One journal per sweep, one entry per run, replacing the ad-hoc printlns
+//! the fig binaries used to rely on. The serialization is hand-rolled (no
+//! registry access → no `serde`) and **deterministic**: stable field
+//! order, integer counters verbatim, floats via Rust's shortest-roundtrip
+//! `Display` (`NaN`/infinities become `null` — JSON has no spelling for
+//! them). Equal result lists therefore serialize to byte-identical text,
+//! which is what the 1-thread-vs-N-thread determinism test asserts.
+//!
+//! Wall-clock timings are deliberately **not** part of the journal — they
+//! differ run to run and would break byte-identity. [`crate::sweep`]
+//! writes them to a separate `.timing.json` sidecar.
+
+use workloads::{AccelReport, RunResult};
+
+/// Journal schema version (bump on breaking shape changes).
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Serializes a finished sweep as the journal JSON document.
+pub fn journal_json(sweep: &str, results: &[RunResult]) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": {SCHEMA_VERSION},\n"));
+    out.push_str(&format!("  \"sweep\": {},\n", escape(sweep)));
+    out.push_str(&format!("  \"run_count\": {},\n", results.len()));
+    out.push_str("  \"runs\": [");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        out.push_str(&run_json(r));
+    }
+    if !results.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn run_json(r: &RunResult) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str("    {\n");
+    out.push_str(&format!("      \"label\": {},\n", escape(&r.label)));
+    out.push_str(&format!("      \"cycles\": {},\n", r.stats.cycles));
+    out.push_str(&format!(
+        "      \"simt_efficiency\": {},\n",
+        num(r.stats.simt_efficiency())
+    ));
+    out.push_str(&format!(
+        "      \"dram_utilization\": {},\n",
+        num(r.stats.dram_utilization())
+    ));
+    out.push_str(&format!(
+        "      \"arithmetic_intensity\": {},\n",
+        num(r.stats.arithmetic_intensity())
+    ));
+    out.push_str(&format!(
+        "      \"core_instructions\": {},\n",
+        r.core_instructions()
+    ));
+    out.push_str(&format!("      \"stats\": {},\n", r.stats.to_json()));
+    match &r.accel {
+        Some(a) => out.push_str(&format!("      \"accel\": {}\n", accel_json(a))),
+        None => out.push_str("      \"accel\": null\n"),
+    }
+    out.push_str("    }");
+    out
+}
+
+fn accel_json(a: &AccelReport) -> String {
+    let e = &a.engine;
+    let units: Vec<String> = a
+        .units
+        .iter()
+        .map(|(name, s)| {
+            format!(
+                "{{\"name\":{},\"invocations\":{},\"busy_cycles\":{},\
+                 \"peak_in_flight\":{},\"total_latency\":{}}}",
+                escape(name),
+                s.invocations,
+                s.busy_cycles,
+                s.peak_in_flight,
+                s.total_latency
+            )
+        })
+        .collect();
+    let programs: Vec<String> = a
+        .programs
+        .iter()
+        .map(|(name, s)| {
+            format!(
+                "{{\"name\":{},\"invocations\":{},\"total_latency\":{},\"icnt_cycles\":{}}}",
+                escape(name),
+                s.invocations,
+                s.total_latency,
+                s.icnt_cycles
+            )
+        })
+        .collect();
+    format!(
+        "{{\"engine\":{{\"warps_accepted\":{},\"rays_completed\":{},\"node_fetches\":{},\
+         \"fetch_merges\":{},\"nodes_processed\":{},\"warp_buffer_accesses\":{},\
+         \"prefetches\":{},\"busy_cycles\":{}}},\
+         \"units\":[{}],\"programs\":[{}],\
+         \"shader_lane_instructions\":{},\"traversals\":{}}}",
+        e.warps_accepted,
+        e.rays_completed,
+        e.node_fetches,
+        e.fetch_merges,
+        e.nodes_processed,
+        e.warp_buffer_accesses,
+        e.prefetches,
+        e.busy_cycles,
+        units.join(","),
+        programs.join(","),
+        a.shader_lane_instructions,
+        a.traversals
+    )
+}
+
+/// Timing sidecar: wall-clock per run and for the whole sweep. Lives next
+/// to the journal but in a separate file precisely because it is *not*
+/// deterministic.
+pub fn timing_json(
+    sweep: &str,
+    threads: usize,
+    wall_seconds: f64,
+    runs: &[(String, f64)],
+) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\n");
+    out.push_str(&format!("  \"sweep\": {},\n", escape(sweep)));
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str(&format!("  \"wall_seconds\": {},\n", num(wall_seconds)));
+    out.push_str("  \"runs\": [");
+    for (i, (label, secs)) in runs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"label\": {}, \"wall_seconds\": {}}}",
+            escape(label),
+            num(*secs)
+        ));
+    }
+    if !runs.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// JSON number: finite floats via shortest-roundtrip `Display`,
+/// non-finite as `null`.
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// JSON string literal with the mandatory escapes.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::SimStats;
+
+    fn result(label: &str, cycles: u64) -> RunResult {
+        let mut stats = SimStats {
+            cycles,
+            warp_instrs: 10,
+            lane_instrs: 300,
+            ..Default::default()
+        };
+        stats.mix.alu = 200;
+        stats.mix.memory = 100;
+        RunResult {
+            label: label.to_owned(),
+            stats,
+            accel: None,
+        }
+    }
+
+    #[test]
+    fn equal_results_serialize_identically() {
+        let runs = vec![result("a", 100), result("b", 250)];
+        let x = journal_json("test", &runs);
+        let y = journal_json("test", &runs.clone());
+        assert_eq!(x, y);
+        assert!(x.contains("\"sweep\": \"test\""));
+        assert!(x.contains("\"cycles\": 100"));
+        assert!(x.contains("\"run_count\": 2"));
+        assert!(x.contains("\"accel\": null"));
+    }
+
+    #[test]
+    fn non_finite_metrics_become_null() {
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(f64::INFINITY), "null");
+        assert_eq!(num(0.25), "0.25");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(escape("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(escape("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn empty_sweep_is_valid() {
+        let j = journal_json("empty", &[]);
+        assert!(j.contains("\"runs\": [  ]\n") || j.contains("\"runs\": []"));
+        let t = timing_json("empty", 4, 0.0, &[]);
+        assert!(t.contains("\"threads\": 4"));
+    }
+}

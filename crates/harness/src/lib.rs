@@ -1,0 +1,94 @@
+//! Parallel sweep runner for the figure/table experiments.
+//!
+//! Every paper figure is a *sweep*: a list of independent experiment runs
+//! (platform × configuration × workload points) whose results are compared
+//! against each other. The simulator is single-threaded per run but runs
+//! are embarrassingly parallel, so this crate provides the shared layer
+//! the `tta-bench` binaries build on:
+//!
+//! * [`pool`] — a std-only scoped-thread work pool (the build environment
+//!   has no registry access, so no `rayon`) that executes boxed jobs and
+//!   returns results **in submission order** regardless of thread count;
+//! * [`cache`] — an [`InputCache`] keyed by experiment input descriptors,
+//!   so a sweep builds each B-Tree/BVH/point set once and shares it across
+//!   platform points behind an [`std::sync::Arc`];
+//! * [`journal`] — deterministic JSON serialization of
+//!   [`workloads::RunResult`] lists (cycles, SIMT efficiency, DRAM
+//!   utilization, instruction mix, per-unit stats);
+//! * [`sweep`] — the [`Sweep`] orchestrator tying the three together and
+//!   writing `results/<name>.journal.json` plus a wall-clock sidecar.
+//!
+//! # Determinism
+//!
+//! A sweep run with 1 thread and with N threads produces **byte-identical**
+//! journals: all simulation state is seeded and per-run, jobs are pure
+//! functions of their experiment configuration, and the pool restores
+//! submission order. Wall-clock measurements are inherently nondeterministic
+//! and therefore live in a separate `.timing.json` sidecar, never in the
+//! journal itself.
+//!
+//! # Examples
+//!
+//! ```
+//! use tta_harness::{prepare, InputCache, Sweep};
+//! use workloads::btree::BTreeExperiment;
+//! use workloads::Platform;
+//! use trees::BTreeFlavor;
+//!
+//! let cache = InputCache::new();
+//! let mut sweep = Sweep::new("example", 2);
+//! for platform in [Platform::BaselineGpu] {
+//!     let mut e = BTreeExperiment::new(BTreeFlavor::BTree, 2000, 128, platform);
+//!     e.gpu = gpu_sim::GpuConfig::small_test();
+//!     let e = prepare(&cache, e);
+//!     sweep.add(move || e.run());
+//! }
+//! let outcome = sweep.run_to(std::env::temp_dir().join("tta-doc-example"));
+//! assert_eq!(outcome.results.len(), 1);
+//! ```
+
+pub mod cache;
+pub mod journal;
+pub mod pool;
+pub mod sweep;
+
+pub use cache::InputCache;
+pub use sweep::{Sweep, SweepOutcome};
+
+use workloads::CacheableExperiment;
+
+/// Attaches shared cached inputs to an experiment: looks the experiment's
+/// input key up in `cache`, building (once) on miss, and returns the
+/// experiment with the [`std::sync::Arc`]-shared inputs attached. Two
+/// experiments with equal input keys end up sharing the same allocation.
+pub fn prepare<E: CacheableExperiment>(cache: &InputCache, mut e: E) -> E {
+    let inputs = cache.get_or_build(&e.inputs_key(), || e.build_inputs());
+    e.set_inputs(inputs);
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use trees::BTreeFlavor;
+    use workloads::btree::BTreeExperiment;
+    use workloads::Platform;
+
+    #[test]
+    fn prepare_shares_inputs_across_platform_points() {
+        let cache = InputCache::new();
+        let base = BTreeExperiment::new(BTreeFlavor::BTree, 1000, 64, Platform::BaselineGpu);
+        let a = prepare(&cache, base.clone());
+        let b = prepare(&cache, base);
+        let (ia, ib) = (a.inputs.unwrap(), b.inputs.unwrap());
+        assert!(
+            Arc::ptr_eq(&ia, &ib),
+            "repeated tree builds must return the same Arc"
+        );
+        // A different configuration gets different inputs.
+        let other = BTreeExperiment::new(BTreeFlavor::BPlus, 1000, 64, Platform::BaselineGpu);
+        let c = prepare(&cache, other);
+        assert!(!Arc::ptr_eq(&ia, &c.inputs.unwrap()));
+    }
+}

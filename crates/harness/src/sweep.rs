@@ -1,0 +1,189 @@
+//! The sweep orchestrator: collect jobs, run them on the pool, write the
+//! journal and its timing sidecar.
+
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use workloads::RunResult;
+
+use crate::journal::{journal_json, timing_json};
+use crate::pool;
+
+/// A sweep: an ordered list of independent experiment jobs plus the
+/// journaling that happens when they finish.
+pub struct Sweep {
+    name: String,
+    threads: usize,
+    #[allow(clippy::type_complexity)]
+    jobs: Vec<Box<dyn FnOnce() -> RunResult + Send>>,
+}
+
+/// What a finished sweep produced.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// Run results, in submission order.
+    pub results: Vec<RunResult>,
+    /// Per-run wall-clock, in submission order.
+    pub run_walls: Vec<Duration>,
+    /// End-to-end wall-clock of the pool execution.
+    pub wall: Duration,
+    /// Path of the written journal (`None` when the write failed).
+    pub journal_path: Option<PathBuf>,
+    /// Path of the written timing sidecar (`None` when the write failed).
+    pub timing_path: Option<PathBuf>,
+}
+
+impl Sweep {
+    /// Starts an empty sweep. `name` names the journal files; `threads`
+    /// is the worker count (1 = sequential; see
+    /// [`pool::default_threads`] for a machine-sized default).
+    pub fn new(name: &str, threads: usize) -> Self {
+        Sweep {
+            name: name.to_owned(),
+            threads,
+            jobs: Vec::new(),
+        }
+    }
+
+    /// Queues one independent job; returns its index, which is also its
+    /// position in [`SweepOutcome::results`].
+    pub fn add(&mut self, job: impl FnOnce() -> RunResult + Send + 'static) -> usize {
+        self.jobs.push(Box::new(job));
+        self.jobs.len() - 1
+    }
+
+    /// Number of queued jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// `true` when no job is queued.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Runs all jobs and writes `results/<name>.journal.json` (plus the
+    /// timing sidecar) under the current directory.
+    pub fn run(self) -> SweepOutcome {
+        self.run_to("results")
+    }
+
+    /// Runs all jobs and writes the journal files under `dir`.
+    pub fn run_to(self, dir: impl AsRef<Path>) -> SweepOutcome {
+        let Sweep {
+            name,
+            threads,
+            jobs,
+        } = self;
+        let count = jobs.len();
+        eprintln!("[{name}] running {count} runs on {threads} thread(s)...");
+
+        let timed: Vec<_> = jobs
+            .into_iter()
+            .map(|job| {
+                move || {
+                    let t0 = Instant::now();
+                    let result = job();
+                    (result, t0.elapsed())
+                }
+            })
+            .collect();
+        let t0 = Instant::now();
+        let outputs = pool::run_ordered(timed, threads);
+        let wall = t0.elapsed();
+
+        let (results, run_walls): (Vec<RunResult>, Vec<Duration>) = outputs.into_iter().unzip();
+
+        let dir = dir.as_ref();
+        let journal = journal_json(&name, &results);
+        let labeled: Vec<(String, f64)> = results
+            .iter()
+            .zip(&run_walls)
+            .map(|(r, w)| (r.label.clone(), w.as_secs_f64()))
+            .collect();
+        let timing = timing_json(&name, threads, wall.as_secs_f64(), &labeled);
+
+        let journal_path = write_file(dir, &format!("{name}.journal.json"), &journal);
+        let timing_path = write_file(dir, &format!("{name}.timing.json"), &timing);
+        if let Some(p) = &journal_path {
+            eprintln!(
+                "[{name}] {count} runs in {:.2}s (journal: {})",
+                wall.as_secs_f64(),
+                p.display()
+            );
+        }
+
+        SweepOutcome {
+            results,
+            run_walls,
+            wall,
+            journal_path,
+            timing_path,
+        }
+    }
+}
+
+impl std::fmt::Debug for Sweep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sweep")
+            .field("name", &self.name)
+            .field("threads", &self.threads)
+            .field("jobs", &self.jobs.len())
+            .finish()
+    }
+}
+
+fn write_file(dir: &Path, file: &str, contents: &str) -> Option<PathBuf> {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: could not create {}: {e}", dir.display());
+        return None;
+    }
+    let path = dir.join(file);
+    match std::fs::write(&path, contents) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!("warning: could not write {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::SimStats;
+
+    fn fake(label: &str, cycles: u64) -> RunResult {
+        RunResult {
+            label: label.to_owned(),
+            stats: SimStats {
+                cycles,
+                ..Default::default()
+            },
+            accel: None,
+        }
+    }
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let dir = std::env::temp_dir().join("tta-sweep-test-order");
+        let mut sweep = Sweep::new("order", 4);
+        for i in 0..12u64 {
+            sweep.add(move || {
+                std::thread::sleep(std::time::Duration::from_micros(300 * (12 - i)));
+                fake(&format!("run{i}"), i)
+            });
+        }
+        assert_eq!(sweep.len(), 12);
+        let outcome = sweep.run_to(&dir);
+        let labels: Vec<&str> = outcome.results.iter().map(|r| r.label.as_str()).collect();
+        let expect: Vec<String> = (0..12).map(|i| format!("run{i}")).collect();
+        assert_eq!(
+            labels,
+            expect.iter().map(String::as_str).collect::<Vec<_>>()
+        );
+        assert_eq!(outcome.run_walls.len(), 12);
+        assert!(outcome.journal_path.is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,51 @@
+//! The harness determinism contract: the same experiment list produces a
+//! byte-identical journal whether the sweep runs on 1 worker thread or
+//! many. Everything in the simulator is seeded and per-run; the pool
+//! restores submission order; wall-clock lives in the timing sidecar, not
+//! the journal.
+
+use std::path::Path;
+
+use gpu_sim::GpuConfig;
+use trees::BTreeFlavor;
+use tta::backend::TtaConfig;
+use tta_harness::{prepare, InputCache, Sweep};
+use workloads::btree::BTreeExperiment;
+use workloads::nbody::NBodyExperiment;
+use workloads::Platform;
+
+/// A small but real multi-workload sweep (actual simulator runs).
+fn run_sweep(threads: usize, dir: &Path) -> Vec<u8> {
+    let cache = InputCache::new();
+    let mut sweep = Sweep::new("determinism", threads);
+    for platform in [
+        Platform::BaselineGpu,
+        Platform::Tta(TtaConfig::default_paper()),
+    ] {
+        let mut e = BTreeExperiment::new(BTreeFlavor::BTree, 2000, 256, platform.clone());
+        e.gpu = GpuConfig::small_test();
+        let e = prepare(&cache, e);
+        sweep.add(move || e.run());
+
+        let mut e = NBodyExperiment::new(3, 600, platform);
+        e.gpu = GpuConfig::small_test();
+        let e = prepare(&cache, e);
+        sweep.add(move || e.run());
+    }
+    let outcome = sweep.run_to(dir);
+    assert_eq!(outcome.results.len(), 4);
+    std::fs::read(outcome.journal_path.expect("journal written")).expect("journal readable")
+}
+
+#[test]
+fn journal_is_byte_identical_across_thread_counts() {
+    let base = std::env::temp_dir().join(format!("tta-determinism-{}", std::process::id()));
+    let serial = run_sweep(1, &base.join("t1"));
+    let parallel = run_sweep(4, &base.join("t4"));
+    assert!(!serial.is_empty());
+    assert_eq!(
+        serial, parallel,
+        "1-thread and 4-thread sweeps must write byte-identical journals"
+    );
+    let _ = std::fs::remove_dir_all(&base);
+}

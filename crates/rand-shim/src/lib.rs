@@ -1,0 +1,211 @@
+//! A dependency-free, deterministic subset of the `rand` crate API.
+//!
+//! The reproduction must build in environments with no registry access, so
+//! instead of the real `rand` crate the workspace links this shim (the
+//! `[lib] name = "rand"` rename makes `use rand::...` resolve here). Only
+//! the surface the workloads use is provided:
+//!
+//! * [`rngs::StdRng`] — a xoshiro256++ generator,
+//! * [`SeedableRng::seed_from_u64`] — SplitMix64 state expansion,
+//! * [`Rng::random_range`] over integer and float ranges,
+//! * [`Rng::random_bool`].
+//!
+//! Streams are fixed forever by this implementation: every generated
+//! workload is reproducible across platforms and releases, which the
+//! harness determinism tests rely on. The numeric streams differ from the
+//! real `rand` crate's — data *distributions* are what the experiments
+//! depend on, not exact values.
+
+use std::ops::Range;
+
+/// Seeding interface (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed, expanding it with SplitMix64
+    /// exactly like `rand_xoshiro` does.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling interface (subset of `rand::Rng`).
+pub trait Rng {
+    /// The core generator step.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from a half-open range.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty range.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli trial with probability `p` of `true`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+/// A range that can produce a uniform sample (subset of
+/// `rand::distr::uniform::SampleRange`). There is exactly one impl — the
+/// blanket one over [`SampleUniform`] element types — which is what lets
+/// type inference pin unsuffixed float literals from the use site (e.g.
+/// `px + rng.random_range(-0.4..0.4)` with `px: f32`), just like the real
+/// crate.
+pub trait SampleRange<T> {
+    /// Draws one sample from `rng`.
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Element types `random_range` can sample uniformly.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Uniform sample from `[lo, hi)`.
+    fn sample_in<R: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "empty range");
+        T::sample_in(self.start, self.end, rng)
+    }
+}
+
+/// Maps a `u64` to `[0, 1)` with 53 bits of precision.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Maps a `u64` to `[0, 1)` with 24 bits of precision.
+fn unit_f32(bits: u64) -> f32 {
+    (bits >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+}
+
+macro_rules! int_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                let span = (hi as i128 - lo as i128) as u128;
+                // Modulo bias is ~2^-64 for every span used here; exact
+                // uniformity is irrelevant, determinism is what matters.
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f32 {
+    fn sample_in<R: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+        lo + unit_f32(rng.next_u64()) * (hi - lo)
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_in<R: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+        lo + unit_f64(rng.next_u64()) * (hi - lo)
+    }
+}
+
+/// Named generators (subset of `rand::rngs`).
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// A xoshiro256++ generator — small, fast, and with a fixed stream
+    /// (unlike the real `StdRng`, whose algorithm is unspecified).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, per Blackman & Vigna's reference code.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let va: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let i: u32 = rng.random_range(5..50);
+            assert!((5..50).contains(&i));
+            let u: usize = rng.random_range(0..3);
+            assert!(u < 3);
+            let f: f32 = rng.random_range(-2.0f32..3.0);
+            assert!((-2.0..3.0).contains(&f));
+            let d: f64 = rng.random_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&d));
+        }
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let heads = (0..20_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((4_000..6_000).contains(&heads), "got {heads}/20000");
+    }
+
+    #[test]
+    fn negative_and_signed_ranges() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1_000 {
+            let v: i32 = rng.random_range(-10..-2);
+            assert!((-10..-2).contains(&v));
+        }
+    }
+}

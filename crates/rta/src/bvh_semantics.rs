@@ -67,7 +67,9 @@ pub enum LeafGeometry {
 
 impl LeafGeometry {
     /// Plain hardware-tested triangles.
-    pub const TRIANGLE: LeafGeometry = LeafGeometry::Triangle { test: TestKind::RayTriangle };
+    pub const TRIANGLE: LeafGeometry = LeafGeometry::Triangle {
+        test: TestKind::RayTriangle,
+    };
 }
 
 /// Ray-tracing BVH traversal semantics.
@@ -108,8 +110,16 @@ impl BvhSemantics {
 
     fn ray_of(ray: &RayState) -> Ray {
         Ray::with_interval(
-            Vec3::new(ray.reg_f32(R_ORIGIN), ray.reg_f32(R_ORIGIN + 1), ray.reg_f32(R_ORIGIN + 2)),
-            Vec3::new(ray.reg_f32(R_DIR), ray.reg_f32(R_DIR + 1), ray.reg_f32(R_DIR + 2)),
+            Vec3::new(
+                ray.reg_f32(R_ORIGIN),
+                ray.reg_f32(R_ORIGIN + 1),
+                ray.reg_f32(R_ORIGIN + 2),
+            ),
+            Vec3::new(
+                ray.reg_f32(R_DIR),
+                ray.reg_f32(R_DIR + 1),
+                ray.reg_f32(R_DIR + 2),
+            ),
             ray.reg_f32(R_TMIN),
             ray.reg_f32(R_TMAX),
         )
@@ -165,7 +175,11 @@ impl TraversalSemantics for BvhSemantics {
             }
             // One Ray-Box issue tests the node's two child boxes (the unit
             // is node-wide; Table III bills one 19-μop inner test per node).
-            StepAction::Test { tests: vec![TestKind::RayBox], children, terminate: false }
+            StepAction::Test {
+                tests: vec![TestKind::RayBox],
+                children,
+                terminate: false,
+            }
         } else {
             let count = header.count as u64;
             let first = gmem.read_u32(node + 4) as u64;
@@ -233,8 +247,11 @@ impl TraversalSemantics for BvhSemantics {
 
     fn finish(&self, gmem: &mut GlobalMemory, ray: &RayState) -> u32 {
         let out = ray.query_addr + RAY_RECORD_OUT as u64;
-        let best_t =
-            if ray.regs[R_HIT_FLAG] != 0 { ray.reg_f32(R_BEST_T) } else { f32::INFINITY };
+        let best_t = if ray.regs[R_HIT_FLAG] != 0 {
+            ray.reg_f32(R_BEST_T)
+        } else {
+            f32::INFINITY
+        };
         gmem.write_f32(out, best_t);
         gmem.write_u32(out + 4, ray.regs[R_BEST_PRIM]);
         gmem.write_f32(out + 8, ray.reg_f32(R_BEST_U));

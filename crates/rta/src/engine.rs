@@ -202,7 +202,10 @@ impl TraversalEngine {
         semantics: Vec<Box<dyn TraversalSemantics>>,
     ) -> Self {
         cfg.validate();
-        assert!(!semantics.is_empty(), "engine needs at least one traversal pipeline");
+        assert!(
+            !semantics.is_empty(),
+            "engine needs at least one traversal pipeline"
+        );
         let capacity = cfg.warp_buffer_warps * 32;
         TraversalEngine {
             cfg,
@@ -248,7 +251,8 @@ impl TraversalEngine {
     fn push_fetch_done(&mut self, completion: u64, ray: usize) {
         let slot = completion.max(self.next_arbiter_slot);
         self.next_arbiter_slot = slot + 1;
-        self.events.push(Reverse((slot, ray, EventKind::FetchDone as u8)));
+        self.events
+            .push(Reverse((slot, ray, EventKind::FetchDone as u8)));
     }
 
     fn resident_warps(&self) -> usize {
@@ -281,8 +285,7 @@ impl TraversalEngine {
                 let op = self.rays[slot].as_mut().expect("live ray");
                 let pipeline = op.pipeline as usize;
                 let token = op.token;
-                let written =
-                    self.semantics[pipeline].finish(ctx.gmem, &op.state);
+                let written = self.semantics[pipeline].finish(ctx.gmem, &op.state);
                 if written > 0 {
                     let addr = op.state.query_addr;
                     let _ = ctx.mem.write(ctx.sm_id, addr, written, now);
@@ -351,7 +354,11 @@ impl TraversalEngine {
                     });
                 }
             }
-            StepAction::Test { tests, children, terminate } => {
+            StepAction::Test {
+                tests,
+                children,
+                terminate,
+            } => {
                 self.stats.nodes_processed += 1;
                 let mut done = now;
                 for kind in tests {
@@ -367,7 +374,10 @@ impl TraversalEngine {
                 op.pending_terminate = terminate;
                 self.push_event(done, slot, EventKind::TestDone);
             }
-            StepAction::Advance { children, terminate } => {
+            StepAction::Advance {
+                children,
+                terminate,
+            } => {
                 self.stats.nodes_processed += 1;
                 let op = self.rays[slot].as_mut().expect("live ray");
                 op.state.nodes_visited += 1;
@@ -426,7 +436,9 @@ impl TraversalEngine {
         }
         // Speculative prefetches use leftover scheduler slots.
         while self.fetch_queue.is_empty() {
-            let Some(&(addr, req_time)) = self.prefetch_queue.front() else { break };
+            let Some(&(addr, req_time)) = self.prefetch_queue.front() else {
+                break;
+            };
             let earliest = req_time.max(self.next_issue_slot);
             if earliest > now {
                 break;
@@ -441,7 +453,8 @@ impl TraversalEngine {
             let done = if ctx.perfect_node_fetch {
                 earliest + 1
             } else {
-                ctx.mem.read(ctx.sm_id, addr, self.cfg.node_fetch_bytes, earliest)
+                ctx.mem
+                    .read(ctx.sm_id, addr, self.cfg.node_fetch_bytes, earliest)
             };
             self.inflight.insert(addr, done);
             self.stats.prefetches += 1;
@@ -576,7 +589,11 @@ mod tests {
         fn step(&self, gmem: &GlobalMemory, ray: &mut RayState) -> StepAction {
             let next = gmem.read_u32(ray.current_node + 4) as u64;
             let children = if next != 0 { vec![next] } else { Vec::new() };
-            StepAction::Test { tests: vec![TestKind::RayBox], children, terminate: false }
+            StepAction::Test {
+                tests: vec![TestKind::RayBox],
+                children,
+                terminate: false,
+            }
         }
 
         fn finish(&self, gmem: &mut GlobalMemory, ray: &RayState) -> u32 {
@@ -604,7 +621,12 @@ mod tests {
     fn drive(engine: &mut TraversalEngine, mem: &mut MemorySystem, gmem: &mut GlobalMemory) -> u64 {
         let mut now = 0;
         while engine.busy() {
-            let mut ctx = AccelCtx { mem, gmem, sm_id: 0, perfect_node_fetch: false };
+            let mut ctx = AccelCtx {
+                mem,
+                gmem,
+                sm_id: 0,
+                perfect_node_fetch: false,
+            };
             engine.tick(now, &mut ctx);
             let _ = engine.drain_completed();
             now = engine.next_event(now).unwrap_or(now + 1).max(now + 1);
@@ -617,7 +639,11 @@ mod tests {
         TraversalRequest {
             token,
             pipeline: 0,
-            lanes: vec![LaneTraversal { lane: 0, query_addr: query, root_addr: 0x1000 }],
+            lanes: vec![LaneTraversal {
+                lane: 0,
+                query_addr: query,
+                root_addr: 0x1000,
+            }],
         }
     }
 
@@ -657,7 +683,14 @@ mod tests {
             })
             .collect();
         engine
-            .try_submit(TraversalRequest { token: 1, pipeline: 0, lanes }, 0)
+            .try_submit(
+                TraversalRequest {
+                    token: 1,
+                    pipeline: 0,
+                    lanes,
+                },
+                0,
+            )
             .unwrap();
         drive(&mut engine, &mut mem, &mut gmem);
         assert_eq!(engine.stats.rays_completed, 32);
@@ -680,11 +713,21 @@ mod tests {
             })
             .collect();
         engine
-            .try_submit(TraversalRequest { token: 1, pipeline: 0, lanes }, 0)
+            .try_submit(
+                TraversalRequest {
+                    token: 1,
+                    pipeline: 0,
+                    lanes,
+                },
+                0,
+            )
             .unwrap();
         let end = drive(&mut engine, &mut mem, &mut gmem);
         // 32 rays x 5 nodes = 160 decodes at 1/cycle minimum.
-        assert!(end >= 160, "response FIFO must serialise decodes (end {end})");
+        assert!(
+            end >= 160,
+            "response FIFO must serialise decodes (end {end})"
+        );
     }
 
     #[test]
@@ -714,8 +757,12 @@ mod tests {
             engine.try_submit(one_lane(1, 0x100), 0).unwrap();
             let mut now = 0;
             while engine.busy() {
-                let mut ctx =
-                    AccelCtx { mem: &mut mem, gmem: &mut gmem, sm_id: 0, perfect_node_fetch: perfect };
+                let mut ctx = AccelCtx {
+                    mem: &mut mem,
+                    gmem: &mut gmem,
+                    sm_id: 0,
+                    perfect_node_fetch: perfect,
+                };
                 engine.tick(now, &mut ctx);
                 let _ = engine.drain_completed();
                 now = engine.next_event(now).unwrap_or(now + 1).max(now + 1);

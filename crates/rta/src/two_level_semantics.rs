@@ -61,9 +61,16 @@ impl TwoLevelSemantics {
             ray.reg_f32(R_XLATE + 2),
         );
         Ray::with_interval(
-            Vec3::new(ray.reg_f32(R_ORIGIN), ray.reg_f32(R_ORIGIN + 1), ray.reg_f32(R_ORIGIN + 2))
-                - xl,
-            Vec3::new(ray.reg_f32(R_DIR), ray.reg_f32(R_DIR + 1), ray.reg_f32(R_DIR + 2)),
+            Vec3::new(
+                ray.reg_f32(R_ORIGIN),
+                ray.reg_f32(R_ORIGIN + 1),
+                ray.reg_f32(R_ORIGIN + 2),
+            ) - xl,
+            Vec3::new(
+                ray.reg_f32(R_DIR),
+                ray.reg_f32(R_DIR + 1),
+                ray.reg_f32(R_DIR + 2),
+            ),
             ray.reg_f32(R_TMIN),
             ray.reg_f32(R_TMAX),
         )
@@ -118,7 +125,11 @@ impl TraversalSemantics for TwoLevelSemantics {
                     (None, Some(_)) => children.push(right),
                     (None, None) => {}
                 }
-                StepAction::Test { tests: vec![TestKind::RayBox], children, terminate: false }
+                StepAction::Test {
+                    tests: vec![TestKind::RayBox],
+                    children,
+                    terminate: false,
+                }
             }
             NodeHeader::KIND_LEAF => {
                 let count = header.count as u64;
@@ -142,8 +153,7 @@ impl TraversalSemantics for TwoLevelSemantics {
                     if let Some(h) = intersect::ray_triangle(&r, &tri) {
                         if h.t < ray.reg_f32(R_BEST_T) {
                             ray.set_reg_f32(R_BEST_T, h.t);
-                            ray.regs[R_BEST_PRIM] =
-                                (prim_off + p * TRIANGLE_STRIDE as u64) as u32;
+                            ray.regs[R_BEST_PRIM] = (prim_off + p * TRIANGLE_STRIDE as u64) as u32;
                             ray.set_reg_f32(R_BEST_U, h.u);
                             ray.set_reg_f32(R_BEST_V, h.v);
                             ray.set_reg_f32(R_TMAX, h.t);
@@ -190,8 +200,11 @@ impl TraversalSemantics for TwoLevelSemantics {
 
     fn finish(&self, gmem: &mut GlobalMemory, ray: &RayState) -> u32 {
         let out = ray.query_addr + 32;
-        let best_t =
-            if ray.regs[R_HIT_FLAG] != 0 { ray.reg_f32(R_BEST_T) } else { f32::INFINITY };
+        let best_t = if ray.regs[R_HIT_FLAG] != 0 {
+            ray.reg_f32(R_BEST_T)
+        } else {
+            f32::INFINITY
+        };
         gmem.write_f32(out, best_t);
         gmem.write_u32(out + 4, ray.regs[R_BEST_PRIM]);
         gmem.write_f32(out + 8, ray.reg_f32(R_BEST_U));

@@ -156,7 +156,11 @@ pub struct UnsupportedTest(pub TestKind);
 
 impl std::fmt::Display for UnsupportedTest {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "intersection test {:?} is not supported by this backend", self.0)
+        write!(
+            f,
+            "intersection test {:?} is not supported by this backend",
+            self.0
+        )
     }
 }
 
@@ -178,7 +182,9 @@ impl FixedFunctionBackend {
     /// Builds the backend from an [`RtaConfig`].
     pub fn new(cfg: &RtaConfig) -> Self {
         FixedFunctionBackend {
-            box_units: (0..cfg.unit_sets).map(|_| PipelinedUnit::new(cfg.ray_box_latency)).collect(),
+            box_units: (0..cfg.unit_sets)
+                .map(|_| PipelinedUnit::new(cfg.ray_box_latency))
+                .collect(),
             tri_units: (0..cfg.unit_sets)
                 .map(|_| PipelinedUnit::new(cfg.ray_triangle_latency))
                 .collect(),
@@ -274,7 +280,9 @@ mod tests {
         let cfg = RtaConfig::baseline();
         let mut b = FixedFunctionBackend::new(&cfg);
         // 4 sets: 4 box tests at the same cycle all start immediately.
-        let times: Vec<u64> = (0..4).map(|_| b.schedule(TestKind::RayBox, 0).unwrap()).collect();
+        let times: Vec<u64> = (0..4)
+            .map(|_| b.schedule(TestKind::RayBox, 0).unwrap())
+            .collect();
         assert!(times.iter().all(|&t| t == 13), "{times:?}");
         // A 5th queues behind one of them (pipelined: +1 cycle only).
         assert_eq!(b.schedule(TestKind::RayBox, 0).unwrap(), 14);

@@ -6,12 +6,12 @@ use geometry::{Ray, Sphere, Triangle, Vec3};
 use gpu_sim::isa::SReg;
 use gpu_sim::kernel::{Kernel, KernelBuilder};
 use gpu_sim::{Gpu, GpuConfig};
+use trees::{Bvh, BvhPrimitive};
 use tta_rta::bvh_semantics::{
     read_ray_result, write_ray_record, BvhSemantics, LeafGeometry, RayQueryMode, RAY_RECORD_SIZE,
 };
 use tta_rta::units::FixedFunctionBackend;
 use tta_rta::{RtaConfig, TraversalEngine};
-use trees::{Bvh, BvhPrimitive};
 
 /// Kernel: each thread computes its record address and offloads a traversal.
 fn traverse_kernel() -> Kernel {
@@ -76,10 +76,26 @@ fn setup(prims: Vec<BvhPrimitive>, rays: &[Ray], leaf: LeafGeometry, mode: RayQu
     gpu.attach_accelerators(move |_| {
         let cfg = RtaConfig::baseline();
         let backend = Box::new(FixedFunctionBackend::new(&cfg));
-        let semantics = BvhSemantics { tree_base, prim_base, leaf, mode, sato: false };
-        Box::new(TraversalEngine::new(cfg, backend, vec![Box::new(semantics)]))
+        let semantics = BvhSemantics {
+            tree_base,
+            prim_base,
+            leaf,
+            mode,
+            sato: false,
+        };
+        Box::new(TraversalEngine::new(
+            cfg,
+            backend,
+            vec![Box::new(semantics)],
+        ))
     });
-    Setup { gpu, query_base, root_addr, bvh, n_rays: rays.len() }
+    Setup {
+        gpu,
+        query_base,
+        root_addr,
+        bvh,
+        n_rays: rays.len(),
+    }
 }
 
 fn grid_rays(n: usize) -> Vec<Ray> {
@@ -87,7 +103,10 @@ fn grid_rays(n: usize) -> Vec<Ray> {
         .map(|i| {
             let x = (i % 16) as f32 * 1.5 + 0.3;
             let y = (i / 16) as f32 * 1.5 + 0.4;
-            Ray::new(Vec3::new(x, y, 0.0), Vec3::new(0.02, -0.01, 1.0).normalized())
+            Ray::new(
+                Vec3::new(x, y, 0.0),
+                Vec3::new(0.02, -0.01, 1.0).normalized(),
+            )
         })
         .collect()
 }
@@ -95,9 +114,18 @@ fn grid_rays(n: usize) -> Vec<Ray> {
 #[test]
 fn closest_hit_matches_host_oracle() {
     let rays = grid_rays(128);
-    let mut s = setup(tri_scene(), &rays, LeafGeometry::TRIANGLE, RayQueryMode::ClosestHit);
+    let mut s = setup(
+        tri_scene(),
+        &rays,
+        LeafGeometry::TRIANGLE,
+        RayQueryMode::ClosestHit,
+    );
     let kernel = traverse_kernel();
-    let stats = s.gpu.launch(&kernel, s.n_rays, &[s.query_base as u32, s.root_addr as u32]);
+    let stats = s.gpu.launch(
+        &kernel,
+        s.n_rays,
+        &[s.query_base as u32, s.root_addr as u32],
+    );
     assert!(stats.cycles > 0);
     assert_eq!(stats.traversals_offloaded, (s.n_rays / 32) as u64);
 
@@ -111,7 +139,10 @@ fn closest_hit_matches_host_oracle() {
                 hits += 1;
                 assert_eq!(prim, h.prim as u32, "ray {i} hit the wrong primitive");
                 assert!((t - h.t).abs() < 1e-4, "ray {i}: t {t} vs oracle {}", h.t);
-                assert!((u - h.u).abs() < 1e-4 && (v - h.v).abs() < 1e-4, "ray {i} uv");
+                assert!(
+                    (u - h.u).abs() < 1e-4 && (v - h.v).abs() < 1e-4,
+                    "ray {i} uv"
+                );
             }
             None => {
                 assert_eq!(prim, u32::MAX, "ray {i} must miss");
@@ -125,11 +156,27 @@ fn closest_hit_matches_host_oracle() {
 #[test]
 fn any_hit_terminates_early() {
     let rays = grid_rays(64);
-    let mut closest = setup(tri_scene(), &rays, LeafGeometry::TRIANGLE, RayQueryMode::ClosestHit);
-    let mut any = setup(tri_scene(), &rays, LeafGeometry::TRIANGLE, RayQueryMode::AnyHit);
+    let mut closest = setup(
+        tri_scene(),
+        &rays,
+        LeafGeometry::TRIANGLE,
+        RayQueryMode::ClosestHit,
+    );
+    let mut any = setup(
+        tri_scene(),
+        &rays,
+        LeafGeometry::TRIANGLE,
+        RayQueryMode::AnyHit,
+    );
     let kernel = traverse_kernel();
-    let _ = closest.gpu.launch(&kernel, 64, &[closest.query_base as u32, closest.root_addr as u32]);
-    let _ = any.gpu.launch(&kernel, 64, &[any.query_base as u32, any.root_addr as u32]);
+    let _ = closest.gpu.launch(
+        &kernel,
+        64,
+        &[closest.query_base as u32, closest.root_addr as u32],
+    );
+    let _ = any
+        .gpu
+        .launch(&kernel, 64, &[any.query_base as u32, any.root_addr as u32]);
     // Any-hit agreement on hit/miss.
     for i in 0..64usize {
         let (tc, ..) = read_ray_result(&closest.gpu.gmem, closest.query_base + (i * 48) as u64);
@@ -162,10 +209,14 @@ fn sphere_scene_uses_intersection_shader() {
             Ray::new(Vec3::new(x, y, 0.0), Vec3::new(0.0, 0.0, 1.0))
         })
         .collect();
-    let leaf = LeafGeometry::Sphere { test: tta_rta::TestKind::IntersectionShader };
+    let leaf = LeafGeometry::Sphere {
+        test: tta_rta::TestKind::IntersectionShader,
+    };
     let mut s = setup(prims, &rays, leaf, RayQueryMode::ClosestHit);
     let kernel = traverse_kernel();
-    let _ = s.gpu.launch(&kernel, 64, &[s.query_base as u32, s.root_addr as u32]);
+    let _ = s
+        .gpu
+        .launch(&kernel, 64, &[s.query_base as u32, s.root_addr as u32]);
     let mut hits = 0;
     for (i, r) in rays.iter().enumerate() {
         let (t, ..) = read_ray_result(&s.gpu.gmem, s.query_base + (i * 48) as u64);
@@ -189,9 +240,16 @@ fn sphere_scene_uses_intersection_shader() {
 fn warp_buffer_backpressure_slows_nothing_functionally() {
     // Enough warps to overflow the 4-entry warp buffer repeatedly.
     let rays = grid_rays(512);
-    let mut s = setup(tri_scene(), &rays, LeafGeometry::TRIANGLE, RayQueryMode::ClosestHit);
+    let mut s = setup(
+        tri_scene(),
+        &rays,
+        LeafGeometry::TRIANGLE,
+        RayQueryMode::ClosestHit,
+    );
     let kernel = traverse_kernel();
-    let stats = s.gpu.launch(&kernel, 512, &[s.query_base as u32, s.root_addr as u32]);
+    let stats = s
+        .gpu
+        .launch(&kernel, 512, &[s.query_base as u32, s.root_addr as u32]);
     assert_eq!(stats.traversals_offloaded, 16);
     for (i, r) in rays.iter().enumerate() {
         let (t, ..) = read_ray_result(&s.gpu.gmem, s.query_base + (i * 48) as u64);
@@ -217,7 +275,10 @@ fn child_prefetching_helps_and_stays_correct() {
         }
         let prim_base = image_base + ser.prim_base as u64;
         gpu.attach_accelerators(move |_| {
-            let cfg = RtaConfig { prefetch_children: prefetch, ..RtaConfig::baseline() };
+            let cfg = RtaConfig {
+                prefetch_children: prefetch,
+                ..RtaConfig::baseline()
+            };
             let backend = Box::new(FixedFunctionBackend::new(&cfg));
             let semantics = BvhSemantics {
                 tree_base: image_base,
@@ -226,14 +287,22 @@ fn child_prefetching_helps_and_stays_correct() {
                 mode: RayQueryMode::ClosestHit,
                 sato: false,
             };
-            Box::new(TraversalEngine::new(cfg, backend, vec![Box::new(semantics)]))
+            Box::new(TraversalEngine::new(
+                cfg,
+                backend,
+                vec![Box::new(semantics)],
+            ))
         });
         let stats = gpu.launch(&kernel, rays.len(), &[query_base as u32, image_base as u32]);
         // Results must be identical to the oracle either way.
         for (i, r) in rays.iter().enumerate().step_by(11) {
             let (t, ..) = read_ray_result(&gpu.gmem, query_base + (i * RAY_RECORD_SIZE) as u64);
             let (oracle, _) = bvh.closest_hit(r);
-            assert_eq!(t.is_finite(), oracle.is_some(), "prefetch={prefetch} ray {i}");
+            assert_eq!(
+                t.is_finite(),
+                oracle.is_some(),
+                "prefetch={prefetch} ray {i}"
+            );
         }
         let prefetches: u64 = (0..gpu.cfg.num_sms)
             .filter_map(|i| gpu.accelerator(i))

@@ -45,7 +45,11 @@ fn blas(z: f32, n: usize) -> Vec<BvhPrimitive> {
 fn two_level_traversal_matches_oracle_and_uses_rxform() {
     let instances: Vec<Instance> = (0..12)
         .map(|i| Instance {
-            translation: Vec3::new((i % 4) as f32 * 25.0, (i / 4) as f32 * 15.0, (i % 3) as f32 * 4.0),
+            translation: Vec3::new(
+                (i % 4) as f32 * 25.0,
+                (i / 4) as f32 * 15.0,
+                (i % 3) as f32 * 4.0,
+            ),
             blas: i % 2,
         })
         .collect();
@@ -56,7 +60,10 @@ fn two_level_traversal_matches_oracle_and_uses_rxform() {
         .map(|i| {
             let x = (i % 12) as f32 * 7.0 - 4.0;
             let y = (i / 12) as f32 * 5.0 - 2.0;
-            Ray::new(Vec3::new(x, y, -20.0), Vec3::new(0.01, 0.005, 1.0).normalized())
+            Ray::new(
+                Vec3::new(x, y, -20.0),
+                Vec3::new(0.01, 0.005, 1.0).normalized(),
+            )
         })
         .collect();
 
@@ -94,7 +101,11 @@ fn two_level_traversal_matches_oracle_and_uses_rxform() {
         match oracle {
             Some(h) => {
                 hits += 1;
-                assert!((t - h.t).abs() < 1e-3 * h.t.max(1.0), "ray {i}: {t} vs {}", h.t);
+                assert!(
+                    (t - h.t).abs() < 1e-3 * h.t.max(1.0),
+                    "ray {i}: {t} vs {}",
+                    h.t
+                );
             }
             None => assert!(t.is_infinite(), "ray {i} should miss, got t={t}"),
         }
@@ -104,8 +115,13 @@ fn two_level_traversal_matches_oracle_and_uses_rxform() {
     // The transform unit must have run (instance entry + restore per visit).
     let mut xform_ops = 0;
     for sm in 0..gpu.cfg.num_sms {
-        let Some(acc) = gpu.accelerator(sm) else { continue };
-        let engine = acc.as_any().downcast_ref::<TraversalEngine>().expect("engine");
+        let Some(acc) = gpu.accelerator(sm) else {
+            continue;
+        };
+        let engine = acc
+            .as_any()
+            .downcast_ref::<TraversalEngine>()
+            .expect("engine");
         for (name, s) in engine.unit_stats() {
             if name == "Transform" {
                 xform_ops += s.invocations;
@@ -113,5 +129,9 @@ fn two_level_traversal_matches_oracle_and_uses_rxform() {
         }
     }
     assert!(xform_ops > 0, "R-XFORM never exercised");
-    assert_eq!(xform_ops % 2, 0, "every instance entry pairs with a restore");
+    assert_eq!(
+        xform_ops % 2,
+        0,
+        "every instance entry pairs with a restore"
+    );
 }

@@ -86,9 +86,15 @@ impl BarnesHutTree {
     /// Panics if `particles` is empty, `dims` is not 2 or 3, or any mass is
     /// non-positive.
     pub fn build(particles: &[Particle], dims: usize) -> Self {
-        assert!(!particles.is_empty(), "cannot build a Barnes-Hut tree from zero particles");
+        assert!(
+            !particles.is_empty(),
+            "cannot build a Barnes-Hut tree from zero particles"
+        );
         assert!(dims == 2 || dims == 3, "dims must be 2 or 3");
-        assert!(particles.iter().all(|p| p.mass > 0.0), "particle masses must be positive");
+        assert!(
+            particles.iter().all(|p| p.mass > 0.0),
+            "particle masses must be positive"
+        );
 
         // Root cell: cube (square) containing all particles.
         let mut min = Vec3::splat(f32::INFINITY);
@@ -203,12 +209,24 @@ impl BarnesHutTree {
                 if oct & 1 != 0 { quarter } else { -quarter },
                 if oct & 2 != 0 { quarter } else { -quarter },
                 if self.dims == 3 {
-                    if oct & 4 != 0 { quarter } else { -quarter }
+                    if oct & 4 != 0 {
+                        quarter
+                    } else {
+                        -quarter
+                    }
                 } else {
                     0.0
                 },
             );
-            children.push(self.build_cell(src, order, ofirst, ocount, center + off, half, depth + 1));
+            children.push(self.build_cell(
+                src,
+                order,
+                ofirst,
+                ocount,
+                center + off,
+                half,
+                depth + 1,
+            ));
         }
         self.nodes[this].children = children;
         this
@@ -461,8 +479,15 @@ mod tests {
         for i in 0..n {
             let x = (i % 17) as f32 * 1.3;
             let y = ((i * 7) % 23) as f32 * 0.9;
-            let z = if dims == 3 { ((i * 13) % 11) as f32 * 1.1 } else { 0.0 };
-            out.push(Particle { pos: Vec3::new(x, y, z), mass: 1.0 + (i % 5) as f32 });
+            let z = if dims == 3 {
+                ((i * 13) % 11) as f32 * 1.1
+            } else {
+                0.0
+            };
+            out.push(Particle {
+                pos: Vec3::new(x, y, z),
+                mass: 1.0 + (i % 5) as f32,
+            });
         }
         out
     }
@@ -473,8 +498,7 @@ mod tests {
             let ps = lattice(500, dims);
             let tree = BarnesHutTree::build(&ps, dims);
             let total: f32 = ps.iter().map(|p| p.mass).sum();
-            let com: Vec3 =
-                ps.iter().map(|p| p.pos * p.mass).sum::<Vec3>() / total;
+            let com: Vec3 = ps.iter().map(|p| p.pos * p.mass).sum::<Vec3>() / total;
             assert!((tree.total_mass() - total).abs() < 1e-2);
             assert!((tree.center_of_mass() - com).length() < 1e-3);
         }
@@ -498,7 +522,10 @@ mod tests {
         let probe = Vec3::new(5.0, 5.0, 0.0);
         let (_, tight) = tree.force_on_counted(probe, 0.2);
         let (_, loose) = tree.force_on_counted(probe, 1.0);
-        assert!(loose < tight, "theta=1.0 ({loose}) must visit fewer than theta=0.2 ({tight})");
+        assert!(
+            loose < tight,
+            "theta=1.0 ({loose}) must visit fewer than theta=0.2 ({tight})"
+        );
     }
 
     #[test]
@@ -510,7 +537,10 @@ mod tests {
         }
         let ps3 = lattice(1000, 3);
         let tree3 = BarnesHutTree::build(&ps3, 3);
-        assert!(tree3.nodes.iter().any(|n| n.children.len() > 4), "octree should use >4 children somewhere");
+        assert!(
+            tree3.nodes.iter().any(|n| n.children.len() > 4),
+            "octree should use >4 children somewhere"
+        );
     }
 
     #[test]
@@ -525,7 +555,10 @@ mod tests {
         ] {
             let a = tree.force_on(probe, 0.5);
             let b = ser.force_on_image(probe, 0.5);
-            assert!((a - b).length() <= 1e-4 * a.length().max(1.0), "{a:?} vs {b:?}");
+            assert!(
+                (a - b).length() <= 1e-4 * a.length().max(1.0),
+                "{a:?} vs {b:?}"
+            );
         }
     }
 
@@ -541,7 +574,13 @@ mod tests {
 
     #[test]
     fn coincident_particles_terminate() {
-        let ps = vec![Particle { pos: Vec3::ONE, mass: 1.0 }; 20];
+        let ps = vec![
+            Particle {
+                pos: Vec3::ONE,
+                mass: 1.0
+            };
+            20
+        ];
         let tree = BarnesHutTree::build(&ps, 3);
         assert_eq!(tree.total_mass(), 20.0);
     }
@@ -555,6 +594,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "dims")]
     fn bad_dims_panic() {
-        let _ = BarnesHutTree::build(&[Particle { pos: Vec3::ZERO, mass: 1.0 }], 4);
+        let _ = BarnesHutTree::build(
+            &[Particle {
+                pos: Vec3::ZERO,
+                mass: 1.0,
+            }],
+            4,
+        );
     }
 }

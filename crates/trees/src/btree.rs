@@ -127,10 +127,19 @@ impl BTree {
     /// `u32::MAX`.
     pub fn bulk_load(flavor: BTreeFlavor, keys: &[u32]) -> Self {
         assert!(!keys.is_empty(), "cannot build a B-tree from zero keys");
-        assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys must be sorted and unique");
-        assert!(*keys.last().expect("non-empty") != KEY_PAD, "u32::MAX is reserved");
+        assert!(
+            keys.windows(2).all(|w| w[0] < w[1]),
+            "keys must be sorted and unique"
+        );
+        assert!(
+            *keys.last().expect("non-empty") != KEY_PAD,
+            "u32::MAX is reserved"
+        );
 
-        let mut builder = Builder { flavor, nodes: Vec::new() };
+        let mut builder = Builder {
+            flavor,
+            nodes: Vec::new(),
+        };
         let root = match flavor {
             BTreeFlavor::BPlus => builder.build_bplus(keys),
             _ => builder.build_classic(keys),
@@ -190,7 +199,10 @@ impl BTree {
             let n = &self.nodes[node];
             if n.is_leaf() {
                 let found = n.keys.binary_search(&query).is_ok();
-                return SearchOutcome { found, nodes_visited: visited };
+                return SearchOutcome {
+                    found,
+                    nodes_visited: visited,
+                };
             }
             let mut next = n.children.len() - 1;
             let mut found_here = false;
@@ -205,7 +217,10 @@ impl BTree {
                 }
             }
             if found_here {
-                return SearchOutcome { found: true, nodes_visited: visited };
+                return SearchOutcome {
+                    found: true,
+                    nodes_visited: visited,
+                };
             }
             node = n.children[next];
         }
@@ -244,7 +259,10 @@ impl BTree {
     fn assert_invariants(&self) {
         for (id, n) in self.nodes.iter().enumerate() {
             assert!(n.keys.len() <= MAX_KEYS, "node {id} has too many keys");
-            assert!(n.keys.windows(2).all(|w| w[0] < w[1]), "node {id} keys unsorted");
+            assert!(
+                n.keys.windows(2).all(|w| w[0] < w[1]),
+                "node {id} keys unsorted"
+            );
             if !n.is_leaf() {
                 assert_eq!(
                     n.children.len(),
@@ -254,8 +272,15 @@ impl BTree {
             }
         }
         let collected = self.keys_in_order();
-        assert_eq!(collected.len(), self.key_count, "key count mismatch after build");
-        assert!(collected.windows(2).all(|w| w[0] < w[1]), "global key order broken");
+        assert_eq!(
+            collected.len(),
+            self.key_count,
+            "key count mismatch after build"
+        );
+        assert!(
+            collected.windows(2).all(|w| w[0] < w[1]),
+            "global key order broken"
+        );
     }
 
     /// Serialises the tree into a [`MemoryImage`] whose nodes are laid out
@@ -281,8 +306,16 @@ impl BTree {
         while let Some(host_id) = queue.pop_front() {
             let node = &self.nodes[host_id];
             let img_id = index_of[host_id];
-            let kind = if node.is_leaf() { NodeHeader::KIND_LEAF } else { NodeHeader::KIND_INNER };
-            image.set_node_word(img_id, 0, NodeHeader::new(kind, node.keys.len() as u8).pack());
+            let kind = if node.is_leaf() {
+                NodeHeader::KIND_LEAF
+            } else {
+                NodeHeader::KIND_INNER
+            };
+            image.set_node_word(
+                img_id,
+                0,
+                NodeHeader::new(kind, node.keys.len() as u8).pack(),
+            );
             if !node.is_leaf() {
                 let first_child = image.alloc_nodes(node.children.len());
                 image.set_node_word(img_id, CHILD_WORD, first_child as u32);
@@ -298,7 +331,12 @@ impl BTree {
                 image.set_node_word(img_id, KEYS_WORD + i, KEY_PAD);
             }
         }
-        SerializedBTree { image, root_index, flavor: self.flavor, height: self.height }
+        SerializedBTree {
+            image,
+            root_index,
+            flavor: self.flavor,
+            height: self.height,
+        }
     }
 }
 
@@ -334,7 +372,10 @@ impl SerializedBTree {
                         break;
                     }
                 }
-                return SearchOutcome { found, nodes_visited: visited };
+                return SearchOutcome {
+                    found,
+                    nodes_visited: visited,
+                };
             }
             let first_child = self.image.node_word(node, CHILD_WORD) as usize;
             let mut next = nkeys; // default: rightmost child
@@ -351,7 +392,10 @@ impl SerializedBTree {
                 }
             }
             if found_here {
-                return SearchOutcome { found: true, nodes_visited: visited };
+                return SearchOutcome {
+                    found: true,
+                    nodes_visited: visited,
+                };
             }
             node = first_child + next;
         }
@@ -391,7 +435,10 @@ impl Builder {
     fn build_classic(&mut self, keys: &[u32]) -> usize {
         let kl = self.keys_per_leaf();
         if keys.len() <= kl {
-            return self.push(Node { keys: keys.to_vec(), children: Vec::new() });
+            return self.push(Node {
+                keys: keys.to_vec(),
+                children: Vec::new(),
+            });
         }
         let ki = self.keys_per_inner();
         // Find the minimal height whose capacity fits.
@@ -415,7 +462,10 @@ impl Builder {
     fn build_classic_level(&mut self, keys: &[u32], kl: usize, ki: usize, height: usize) -> usize {
         if height == 0 || keys.len() <= kl {
             debug_assert!(keys.len() <= MAX_KEYS);
-            return self.push(Node { keys: keys.to_vec(), children: Vec::new() });
+            return self.push(Node {
+                keys: keys.to_vec(),
+                children: Vec::new(),
+            });
         }
         let below = Self::classic_capacity(kl, ki, height - 1);
         // Choose the smallest number of children that fits, then spread keys.
@@ -440,7 +490,10 @@ impl Builder {
             }
         }
         debug_assert_eq!(cursor, keys.len(), "all keys must be consumed");
-        self.push(Node { keys: node_keys, children })
+        self.push(Node {
+            keys: node_keys,
+            children,
+        })
     }
 
     /// B+Tree bulk load: all keys at the leaves, separator copies above.
@@ -453,7 +506,10 @@ impl Builder {
         for i in 0..nleaves {
             let take = (keys.len() - cursor).div_ceil(nleaves - i);
             let slice = &keys[cursor..cursor + take];
-            let id = self.push(Node { keys: slice.to_vec(), children: Vec::new() });
+            let id = self.push(Node {
+                keys: slice.to_vec(),
+                children: Vec::new(),
+            });
             level.push((id, slice[0]));
             cursor += take;
         }
@@ -464,7 +520,8 @@ impl Builder {
             let mut next: Vec<(usize, u32)> = Vec::with_capacity(nparents);
             let mut cursor = 0usize;
             for i in 0..nparents {
-                let take = ((level.len() - cursor).div_ceil(nparents - i)).max(2.min(level.len() - cursor));
+                let take = ((level.len() - cursor).div_ceil(nparents - i))
+                    .max(2.min(level.len() - cursor));
                 let group = &level[cursor..cursor + take];
                 let children: Vec<usize> = group.iter().map(|&(id, _)| id).collect();
                 // Separators: min key of each child except the first.
@@ -529,7 +586,11 @@ mod tests {
         let tree = BTree::bulk_load(BTreeFlavor::BPlus, &ks);
         let h = tree.height();
         for &k in ks.iter().step_by(91) {
-            assert_eq!(tree.search(k).nodes_visited, h, "B+ search must hit leaf level");
+            assert_eq!(
+                tree.search(k).nodes_visited,
+                h,
+                "B+ search must hit leaf level"
+            );
         }
     }
 
@@ -555,7 +616,10 @@ mod tests {
                 let a = tree.search(q);
                 let b = ser.search_image(q);
                 assert_eq!(a.found, b.found, "{flavor} found mismatch at {q}");
-                assert_eq!(a.nodes_visited, b.nodes_visited, "{flavor} path mismatch at {q}");
+                assert_eq!(
+                    a.nodes_visited, b.nodes_visited,
+                    "{flavor} path mismatch at {q}"
+                );
             }
         }
     }
@@ -574,7 +638,10 @@ mod tests {
                 let first = ser.image.node_word(node, CHILD_WORD) as usize;
                 let nchildren = header.count as usize + 1;
                 assert!(first + nchildren <= total, "child range out of bounds");
-                assert!(first > node, "children must come after parents in BFS order");
+                assert!(
+                    first > node,
+                    "children must come after parents in BFS order"
+                );
             }
         }
     }

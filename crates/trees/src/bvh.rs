@@ -40,9 +40,7 @@ impl BvhPrimitive {
     pub fn area(&self) -> f32 {
         match self {
             BvhPrimitive::Triangle(t) => t.area(),
-            BvhPrimitive::Sphere(s) => {
-                4.0 * std::f32::consts::PI * s.radius * s.radius
-            }
+            BvhPrimitive::Sphere(s) => 4.0 * std::f32::consts::PI * s.radius * s.radius,
         }
     }
 
@@ -204,11 +202,10 @@ impl Bvh {
             });
             return nodes.len() - 1;
         }
-        let centroid_bounds =
-            slice.iter().fold(Aabb::empty(), |mut b, &i| {
-                b.grow(prims[i].centroid());
-                b
-            });
+        let centroid_bounds = slice.iter().fold(Aabb::empty(), |mut b, &i| {
+            b.grow(prims[i].centroid());
+            b
+        });
         let axis = centroid_bounds.extent().max_axis();
         let mid = match method {
             BuildMethod::MedianSplit => count / 2,
@@ -283,7 +280,7 @@ impl Bvh {
                 continue;
             }
             let cost = left_area[b - 1] * lcount as f32 + acc.surface_area() * n as f32;
-            if best.map_or(true, |(c, _)| cost < c) {
+            if best.is_none_or(|(c, _)| cost < c) {
                 best = Some((cost, lcount));
             }
         }
@@ -342,11 +339,18 @@ impl Bvh {
 
     fn hit_prim(&self, ray: &Ray, prim: usize) -> Option<BvhHit> {
         match &self.prims[prim] {
-            BvhPrimitive::Triangle(t) => intersect::ray_triangle(ray, t)
-                .map(|h| BvhHit { t: h.t, prim, u: h.u, v: h.v }),
-            BvhPrimitive::Sphere(s) => {
-                intersect::ray_sphere(ray, s).map(|h| BvhHit { t: h.t, prim, u: 0.0, v: 0.0 })
-            }
+            BvhPrimitive::Triangle(t) => intersect::ray_triangle(ray, t).map(|h| BvhHit {
+                t: h.t,
+                prim,
+                u: h.u,
+                v: h.v,
+            }),
+            BvhPrimitive::Sphere(s) => intersect::ray_sphere(ray, s).map(|h| BvhHit {
+                t: h.t,
+                prim,
+                u: 0.0,
+                v: 0.0,
+            }),
         }
     }
 
@@ -511,10 +515,18 @@ impl Bvh {
                 let lb = self.nodes[node.left].bounds;
                 let rb = self.nodes[node.right].bounds;
                 for (w, v) in [
-                    (2, lb.min.x), (3, lb.min.y), (4, lb.min.z),
-                    (5, lb.max.x), (6, lb.max.y), (7, lb.max.z),
-                    (8, rb.min.x), (9, rb.min.y), (10, rb.min.z),
-                    (11, rb.max.x), (12, rb.max.y), (13, rb.max.z),
+                    (2, lb.min.x),
+                    (3, lb.min.y),
+                    (4, lb.min.z),
+                    (5, lb.max.x),
+                    (6, lb.max.y),
+                    (7, lb.max.z),
+                    (8, rb.min.x),
+                    (9, rb.min.y),
+                    (10, rb.min.z),
+                    (11, rb.max.x),
+                    (12, rb.max.y),
+                    (13, rb.max.z),
                 ] {
                     image.set_node_word_f32(img_id, w, v);
                 }
@@ -612,10 +624,22 @@ impl SerializedBvh {
                 let first = self.image.node_word(id, 1) as usize;
                 for p in first..first + header.count as usize {
                     let hit = match self.read_prim(p) {
-                        BvhPrimitive::Triangle(t) => intersect::ray_triangle(&ray, &t)
-                            .map(|h| BvhHit { t: h.t, prim: p, u: h.u, v: h.v }),
-                        BvhPrimitive::Sphere(s) => intersect::ray_sphere(&ray, &s)
-                            .map(|h| BvhHit { t: h.t, prim: p, u: 0.0, v: 0.0 }),
+                        BvhPrimitive::Triangle(t) => {
+                            intersect::ray_triangle(&ray, &t).map(|h| BvhHit {
+                                t: h.t,
+                                prim: p,
+                                u: h.u,
+                                v: h.v,
+                            })
+                        }
+                        BvhPrimitive::Sphere(s) => {
+                            intersect::ray_sphere(&ray, &s).map(|h| BvhHit {
+                                t: h.t,
+                                prim: p,
+                                u: 0.0,
+                                v: 0.0,
+                            })
+                        }
                     };
                     if let Some(h) = hit {
                         if best.is_none_or(|b| h.t < b.t) {
@@ -696,9 +720,7 @@ mod tests {
                 .iter()
                 .enumerate()
                 .filter_map(|(p, prim)| match prim {
-                    BvhPrimitive::Triangle(t) => {
-                        intersect::ray_triangle(&ray, t).map(|h| (p, h.t))
-                    }
+                    BvhPrimitive::Triangle(t) => intersect::ray_triangle(&ray, t).map(|h| (p, h.t)),
                     _ => None,
                 })
                 .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
@@ -768,9 +790,7 @@ mod tests {
             .iter()
             .enumerate()
             .filter_map(|(i, p)| match p {
-                BvhPrimitive::Sphere(s)
-                    if s.center.distance_squared(query) <= radius * radius =>
-                {
+                BvhPrimitive::Sphere(s) if s.center.distance_squared(query) <= radius * radius => {
                     Some(i)
                 }
                 _ => None,
@@ -827,7 +847,11 @@ mod tests {
     fn mixed_primitives_panic() {
         let _ = Bvh::build(vec![
             BvhPrimitive::Sphere(Sphere::new(Vec3::ZERO, 1.0)),
-            BvhPrimitive::Triangle(Triangle::new(Vec3::ZERO, Vec3::ONE, Vec3::new(1.0, 0.0, 0.0))),
+            BvhPrimitive::Triangle(Triangle::new(
+                Vec3::ZERO,
+                Vec3::ONE,
+                Vec3::new(1.0, 0.0, 0.0),
+            )),
         ]);
     }
 

@@ -38,7 +38,9 @@ impl MemoryImage {
 
     /// Creates an empty image with reserved capacity for `nodes` nodes.
     pub fn with_node_capacity(nodes: usize) -> Self {
-        MemoryImage { bytes: Vec::with_capacity(nodes * NODE_SIZE) }
+        MemoryImage {
+            bytes: Vec::with_capacity(nodes * NODE_SIZE),
+        }
     }
 
     /// Total size in bytes.
@@ -58,7 +60,10 @@ impl MemoryImage {
 
     /// Appends one zeroed 64-byte node and returns its **node index**.
     pub fn alloc_node(&mut self) -> usize {
-        debug_assert!(self.bytes.len().is_multiple_of(NODE_SIZE), "node region must stay aligned");
+        debug_assert!(
+            self.bytes.len().is_multiple_of(NODE_SIZE),
+            "node region must stay aligned"
+        );
         let index = self.bytes.len() / NODE_SIZE;
         self.bytes.resize(self.bytes.len() + NODE_SIZE, 0);
         index
@@ -68,7 +73,10 @@ impl MemoryImage {
     /// are contiguous, which is what lets B-tree children be addressed as
     /// `first_child + one_hot_offset`.
     pub fn alloc_nodes(&mut self, n: usize) -> usize {
-        debug_assert!(self.bytes.len().is_multiple_of(NODE_SIZE), "node region must stay aligned");
+        debug_assert!(
+            self.bytes.len().is_multiple_of(NODE_SIZE),
+            "node region must stay aligned"
+        );
         let index = self.bytes.len() / NODE_SIZE;
         self.bytes.resize(self.bytes.len() + n * NODE_SIZE, 0);
         index
@@ -187,7 +195,10 @@ impl NodeHeader {
     /// Unpacks from the word-0 encoding; extra bits are ignored.
     #[inline]
     pub const fn unpack(word: u32) -> Self {
-        NodeHeader { kind: (word & 0xff) as u8, count: ((word >> 8) & 0xff) as u8 }
+        NodeHeader {
+            kind: (word & 0xff) as u8,
+            count: ((word >> 8) & 0xff) as u8,
+        }
     }
 
     /// `true` for leaf nodes.

@@ -86,7 +86,10 @@ impl RTree {
     ///
     /// Panics if `entries` is empty.
     pub fn bulk_load(entries: &[RTreeEntry]) -> Self {
-        assert!(!entries.is_empty(), "cannot build an R-Tree from zero entries");
+        assert!(
+            !entries.is_empty(),
+            "cannot build an R-Tree from zero entries"
+        );
         let mut ordered = entries.to_vec();
         // STR: sort by x, slice, sort slices by y.
         ordered.sort_by(|a, b| {
@@ -113,7 +116,9 @@ impl RTree {
         let mut level: Vec<usize> = Vec::new();
         let mut cursor = 0usize;
         for i in 0..nleaves {
-            let take = (ordered.len() - cursor).div_ceil(nleaves - i).min(RTREE_FANOUT);
+            let take = (ordered.len() - cursor)
+                .div_ceil(nleaves - i)
+                .min(RTREE_FANOUT);
             let mbr = ordered[cursor..cursor + take]
                 .iter()
                 .fold(Aabb::empty(), |mut b, e| {
@@ -135,20 +140,31 @@ impl RTree {
             let mut next = Vec::with_capacity(nparents);
             let mut cursor = 0usize;
             for i in 0..nparents {
-                let take = (level.len() - cursor).div_ceil(nparents - i).min(RTREE_FANOUT);
+                let take = (level.len() - cursor)
+                    .div_ceil(nparents - i)
+                    .min(RTREE_FANOUT);
                 let children: Vec<usize> = level[cursor..cursor + take].to_vec();
                 let mbr = children.iter().fold(Aabb::empty(), |mut b, &c| {
                     b.grow_box(&nodes[c].mbr);
                     b
                 });
-                nodes.push(Node { mbr, children, first_entry: 0, entry_count: 0 });
+                nodes.push(Node {
+                    mbr,
+                    children,
+                    first_entry: 0,
+                    entry_count: 0,
+                });
                 next.push(nodes.len() - 1);
                 cursor += take;
             }
             level = next;
         }
         let root = level[0];
-        let tree = RTree { nodes, entries: ordered, root };
+        let tree = RTree {
+            nodes,
+            entries: ordered,
+            root,
+        };
         tree.assert_invariants();
         tree
     }
@@ -336,7 +352,10 @@ mod tests {
         (0..n)
             .map(|i| {
                 let p = Vec3::new((i % 50) as f32 * 2.0, (i / 50) as f32 * 2.0, 0.0);
-                RTreeEntry { rect: Aabb::new(p, p + Vec3::new(1.2, 1.2, 0.5)), id: i }
+                RTreeEntry {
+                    rect: Aabb::new(p, p + Vec3::new(1.2, 1.2, 0.5)),
+                    id: i,
+                }
             })
             .collect()
     }
@@ -345,7 +364,12 @@ mod tests {
     fn range_query_matches_brute_force() {
         let entries = grid_entries(2000);
         let tree = RTree::bulk_load(&entries);
-        for (qx, qy, s) in [(5.0, 5.0, 7.0), (30.0, 12.0, 3.0), (0.0, 0.0, 200.0), (999.0, 999.0, 1.0)] {
+        for (qx, qy, s) in [
+            (5.0, 5.0, 7.0),
+            (30.0, 12.0, 3.0),
+            (0.0, 0.0, 200.0),
+            (999.0, 999.0, 1.0),
+        ] {
             let q = Aabb::new(Vec3::new(qx, qy, -1.0), Vec3::new(qx + s, qy + s, 1.0));
             let got = tree.range_query(&q);
             let mut brute: Vec<u32> = entries
@@ -401,10 +425,18 @@ mod tests {
 
     #[test]
     fn single_entry_tree() {
-        let e = RTreeEntry { rect: Aabb::new(Vec3::ZERO, Vec3::ONE), id: 7 };
+        let e = RTreeEntry {
+            rect: Aabb::new(Vec3::ZERO, Vec3::ONE),
+            id: 7,
+        };
         let tree = RTree::bulk_load(&[e]);
         assert_eq!(tree.height(), 1);
-        assert_eq!(tree.range_query(&Aabb::new(Vec3::splat(0.5), Vec3::splat(2.0))), vec![7]);
-        assert!(tree.range_query(&Aabb::new(Vec3::splat(5.0), Vec3::splat(6.0))).is_empty());
+        assert_eq!(
+            tree.range_query(&Aabb::new(Vec3::splat(0.5), Vec3::splat(2.0))),
+            vec![7]
+        );
+        assert!(tree
+            .range_query(&Aabb::new(Vec3::splat(5.0), Vec3::splat(6.0)))
+            .is_empty());
     }
 }

@@ -124,7 +124,12 @@ impl TwoLevelScene {
         let mut tlas = Vec::new();
         let len = order.len();
         let tlas_root = Self::build_tlas(&world, &mut order, &mut tlas, 0, len);
-        TwoLevelScene { blases, instances, tlas, tlas_root }
+        TwoLevelScene {
+            blases,
+            instances,
+            tlas,
+            tlas_root,
+        }
     }
 
     fn build_tlas(
@@ -141,7 +146,12 @@ impl TwoLevelScene {
                 b
             });
         if count == 1 {
-            nodes.push(TlasNode { bounds, left: 0, right: 0, instance: order[first] });
+            nodes.push(TlasNode {
+                bounds,
+                left: 0,
+                right: 0,
+                instance: order[first],
+            });
             return nodes.len() - 1;
         }
         let axis = bounds.extent().max_axis();
@@ -152,7 +162,12 @@ impl TwoLevelScene {
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
         let this = nodes.len();
-        nodes.push(TlasNode { bounds, left: 0, right: 0, instance: usize::MAX });
+        nodes.push(TlasNode {
+            bounds,
+            left: 0,
+            right: 0,
+            instance: usize::MAX,
+        });
         let left = Self::build_tlas(world, order, nodes, first, mid);
         let right = Self::build_tlas(world, order, nodes, first + mid, count - mid);
         nodes[this].left = left;
@@ -188,16 +203,15 @@ impl TwoLevelScene {
             }
             let inst = self.instances[n.instance];
             // Translate the ray into object space; t is preserved.
-            let local = Ray::with_interval(
-                ray.origin - inst.translation,
-                ray.dir,
-                ray.tmin,
-                tmax,
-            );
+            let local = Ray::with_interval(ray.origin - inst.translation, ray.dir, ray.tmin, tmax);
             if let (Some(h), _) = self.blases[inst.blas].closest_hit(&local) {
                 if h.t < tmax {
                     tmax = h.t;
-                    best = Some(SceneHit { t: h.t, instance: n.instance, prim: h.prim });
+                    best = Some(SceneHit {
+                        t: h.t,
+                        instance: n.instance,
+                        prim: h.prim,
+                    });
                 }
             }
         }
@@ -232,10 +246,18 @@ impl TwoLevelScene {
                 let lb = &self.tlas[node.left].bounds;
                 let rb = &self.tlas[node.right].bounds;
                 for (w, v) in [
-                    (2, lb.min.x), (3, lb.min.y), (4, lb.min.z),
-                    (5, lb.max.x), (6, lb.max.y), (7, lb.max.z),
-                    (8, rb.min.x), (9, rb.min.y), (10, rb.min.z),
-                    (11, rb.max.x), (12, rb.max.y), (13, rb.max.z),
+                    (2, lb.min.x),
+                    (3, lb.min.y),
+                    (4, lb.min.z),
+                    (5, lb.max.x),
+                    (6, lb.max.y),
+                    (7, lb.max.z),
+                    (8, rb.min.x),
+                    (9, rb.min.y),
+                    (10, rb.min.z),
+                    (11, rb.max.x),
+                    (12, rb.max.y),
+                    (13, rb.max.z),
                 ] {
                     image.set_node_word_f32(img_id, w, v);
                 }
@@ -359,8 +381,12 @@ mod tests {
             for (ii, inst) in scene.instances().iter().enumerate() {
                 let local = Ray::new(ray.origin - inst.translation, ray.dir);
                 if let (Some(h), _) = scene.blases()[inst.blas].closest_hit(&local) {
-                    if best.map_or(true, |b| h.t < b.t) {
-                        best = Some(SceneHit { t: h.t, instance: ii, prim: h.prim });
+                    if best.is_none_or(|b| h.t < b.t) {
+                        best = Some(SceneHit {
+                            t: h.t,
+                            instance: ii,
+                            prim: h.prim,
+                        });
                     }
                 }
             }
@@ -397,7 +423,10 @@ mod tests {
     fn bad_instance_reference_panics() {
         let _ = TwoLevelScene::build(
             vec![quad_blas(1.0)],
-            vec![Instance { translation: Vec3::ZERO, blas: 3 }],
+            vec![Instance {
+                translation: Vec3::ZERO,
+                blas: 3,
+            }],
         );
     }
 }

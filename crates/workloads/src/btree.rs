@@ -1,16 +1,18 @@
 //! The B-Tree / B\*Tree / B+Tree index-search experiment (the paper's
 //! flagship workload: up to 5.4× speedup, Fig. 12 top).
 
+use std::sync::Arc;
+
 use gpu_sim::isa::SReg;
 use gpu_sim::kernel::{Kernel, KernelBuilder};
 use gpu_sim::GpuConfig;
 use rta::units::TestKind;
+use trees::btree::SerializedBTree;
 use trees::{BTree, BTreeFlavor};
-use tta::btree_sem::{
-    read_query_result, write_query_record, BTreeSemantics, QUERY_RECORD_SIZE,
-};
+use tta::btree_sem::{read_query_result, write_query_record, BTreeSemantics, QUERY_RECORD_SIZE};
 use tta::programs::UopProgram;
 
+use crate::cacheable::CacheableExperiment;
 use crate::gen;
 use crate::kernels::{btree_search_kernel, params};
 use crate::runner::{attach_platform, build_gpu, harvest_accel, Platform, RunResult};
@@ -37,6 +39,23 @@ pub struct BTreeExperiment {
     /// When `true`, cross-check a sample of results against the host
     /// oracle (cheap; panics on divergence).
     pub verify: bool,
+    /// Pre-built inputs shared across runs (see [`crate::cacheable`]);
+    /// `None` rebuilds them from the configuration.
+    pub inputs: Option<Arc<BTreeInputs>>,
+}
+
+/// The expensive immutable inputs of a [`BTreeExperiment`]: generated
+/// keys/queries plus the built and serialized tree.
+#[derive(Debug)]
+pub struct BTreeInputs {
+    /// Indexed keys.
+    pub keys: Vec<u32>,
+    /// Query keys, in generation order (unsorted).
+    pub queries: Vec<u32>,
+    /// The host tree (the verification oracle).
+    pub tree: BTree,
+    /// Its serialized device image.
+    pub ser: SerializedBTree,
 }
 
 impl BTreeExperiment {
@@ -51,6 +70,7 @@ impl BTreeExperiment {
             gpu: GpuConfig::vulkan_sim_default(),
             sort_queries: false,
             verify: true,
+            inputs: None,
         }
     }
 
@@ -95,13 +115,22 @@ impl BTreeExperiment {
     /// Panics when `verify` is set and the simulated results disagree with
     /// the host-side search oracle.
     pub fn run(&self) -> RunResult {
-        let keys = gen::btree_keys(self.keys, self.seed);
-        let mut queries = gen::btree_queries(&keys, self.queries, self.seed);
-        if self.sort_queries {
-            queries.sort_unstable();
-        }
-        let tree = BTree::bulk_load(self.flavor, &keys);
-        let ser = tree.serialize();
+        let inputs = match &self.inputs {
+            Some(i) => Arc::clone(i),
+            None => Arc::new(self.build_inputs()),
+        };
+        let (tree, ser) = (&inputs.tree, &inputs.ser);
+        let sorted;
+        let queries: &[u32] = if self.sort_queries {
+            sorted = {
+                let mut q = inputs.queries.clone();
+                q.sort_unstable();
+                q
+            };
+            &sorted
+        } else {
+            &inputs.queries
+        };
 
         let mem_bytes =
             (ser.image.len() + self.queries * QUERY_RECORD_SIZE + (1 << 20)).next_power_of_two();
@@ -121,22 +150,27 @@ impl BTreeExperiment {
             _ => (TestKind::QueryKey, TestKind::QueryKey),
         };
         attach_platform(&mut gpu, &self.platform, move || {
-            vec![Box::new(BTreeSemantics { tree_base, bplus, inner_test, leaf_test })]
+            vec![Box::new(BTreeSemantics {
+                tree_base,
+                bplus,
+                inner_test,
+                leaf_test,
+            })]
         });
 
         let kernel = self.kernel();
-        let stats = gpu.launch(
-            &kernel,
-            self.queries,
-            &[qbase as u32, tree_base as u32],
-        );
+        let stats = gpu.launch(&kernel, self.queries, &[qbase as u32, tree_base as u32]);
 
         if self.verify {
             for (i, &q) in queries.iter().enumerate().step_by(17) {
                 let (found, visited) =
                     read_query_result(&gpu.gmem, qbase + (i * QUERY_RECORD_SIZE) as u64);
                 let oracle = tree.search(q);
-                assert_eq!(found, oracle.found, "{:?} query {q} found mismatch", self.flavor);
+                assert_eq!(
+                    found, oracle.found,
+                    "{:?} query {q} found mismatch",
+                    self.flavor
+                );
                 assert_eq!(
                     visited as usize, oracle.nodes_visited,
                     "{:?} query {q} path mismatch",
@@ -163,6 +197,34 @@ impl BTreeExperiment {
         } else {
             btree_search_kernel(self.flavor == BTreeFlavor::BPlus)
         }
+    }
+}
+
+impl CacheableExperiment for BTreeExperiment {
+    type Inputs = BTreeInputs;
+
+    fn inputs_key(&self) -> String {
+        format!(
+            "btree/{:?}/{}/{}/{:#x}",
+            self.flavor, self.keys, self.queries, self.seed
+        )
+    }
+
+    fn build_inputs(&self) -> BTreeInputs {
+        let keys = gen::btree_keys(self.keys, self.seed);
+        let queries = gen::btree_queries(&keys, self.queries, self.seed);
+        let tree = BTree::bulk_load(self.flavor, &keys);
+        let ser = tree.serialize();
+        BTreeInputs {
+            keys,
+            queries,
+            tree,
+            ser,
+        }
+    }
+
+    fn set_inputs(&mut self, inputs: Arc<BTreeInputs>) {
+        self.inputs = Some(inputs);
     }
 }
 

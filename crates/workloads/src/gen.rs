@@ -58,7 +58,11 @@ pub fn nbody_particles(n: usize, dims: usize, seed: u64) -> Vec<Particle> {
             Vec3::new(
                 rng.random_range(-100.0..100.0),
                 rng.random_range(-100.0..100.0),
-                if dims == 3 { rng.random_range(-100.0..100.0) } else { 0.0 },
+                if dims == 3 {
+                    rng.random_range(-100.0..100.0)
+                } else {
+                    0.0
+                },
             )
         })
         .collect();
@@ -74,7 +78,11 @@ pub fn nbody_particles(n: usize, dims: usize, seed: u64) -> Vec<Particle> {
                 pos: Vec3::new(
                     c.x + gauss(&mut rng, 12.0),
                     c.y + gauss(&mut rng, 12.0),
-                    if dims == 3 { c.z + gauss(&mut rng, 12.0) } else { 0.0 },
+                    if dims == 3 {
+                        c.z + gauss(&mut rng, 12.0)
+                    } else {
+                        0.0
+                    },
                 ),
                 mass: rng.random_range(0.5..2.0),
             }
@@ -240,9 +248,18 @@ pub fn wknd_spheres(grid: i32, seed: u64) -> Vec<BvhPrimitive> {
         }
     }
     // The three hero spheres.
-    prims.push(BvhPrimitive::Sphere(Sphere::new(Vec3::new(0.0, 1.0, 0.0), 1.0)));
-    prims.push(BvhPrimitive::Sphere(Sphere::new(Vec3::new(-4.0, 1.0, 0.0), 1.0)));
-    prims.push(BvhPrimitive::Sphere(Sphere::new(Vec3::new(4.0, 1.0, 0.0), 1.0)));
+    prims.push(BvhPrimitive::Sphere(Sphere::new(
+        Vec3::new(0.0, 1.0, 0.0),
+        1.0,
+    )));
+    prims.push(BvhPrimitive::Sphere(Sphere::new(
+        Vec3::new(-4.0, 1.0, 0.0),
+        1.0,
+    )));
+    prims.push(BvhPrimitive::Sphere(Sphere::new(
+        Vec3::new(4.0, 1.0, 0.0),
+        1.0,
+    )));
     prims
 }
 

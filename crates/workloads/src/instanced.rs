@@ -158,17 +158,17 @@ mod tests {
 
     #[test]
     fn instanced_scene_hits_match_oracle_and_use_rxform() {
-        let mut e = InstancedExperiment::new(
-            4,
-            Platform::BaselineRta(rta::RtaConfig::baseline()),
-        );
+        let mut e = InstancedExperiment::new(4, Platform::BaselineRta(rta::RtaConfig::baseline()));
         e.gpu = GpuConfig::small_test();
         e.width = 32;
         e.height = 24;
         let r = e.run(); // verify checks hits
         let accel = r.accel.expect("accelerated");
         let xform = accel.unit("Transform").expect("transform unit present");
-        assert!(xform.invocations > 0, "R-XFORM must run for instanced scenes");
+        assert!(
+            xform.invocations > 0,
+            "R-XFORM must run for instanced scenes"
+        );
     }
 
     #[test]

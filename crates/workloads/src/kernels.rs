@@ -55,7 +55,11 @@ fn record_addr(k: &mut KernelBuilder, rd: Reg, tid: Reg, base_param: u8, stride:
 /// early-exit equality test at internal nodes — the reason B+Tree kernels
 /// diverge less and gain less from TTA (§V-A).
 pub fn btree_search_kernel(bplus: bool) -> Kernel {
-    let mut k = KernelBuilder::new(if bplus { "bplus_search" } else { "btree_search" });
+    let mut k = KernelBuilder::new(if bplus {
+        "bplus_search"
+    } else {
+        "btree_search"
+    });
     let tid = k.reg();
     let qaddr = k.reg();
     let tree = k.reg();
@@ -523,7 +527,7 @@ pub fn bvh_trace_kernel() -> Kernel {
         k.fmul(t1, tx, idx);
         k.fmin(te, t0, t1);
         k.fmax(ty, t0, t1); // ty = t_exit so far
-        // Y slab.
+                            // Y slab.
         k.load(tx, node, word_off + 4);
         k.fsub(tx, tx, oy);
         k.fmul(t0, tx, idy);

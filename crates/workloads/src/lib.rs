@@ -17,6 +17,7 @@
 //! baseline mini-ISA kernels, and [`runner`] the shared plumbing.
 
 pub mod btree;
+pub mod cacheable;
 pub mod gen;
 pub mod instanced;
 pub mod kernels;
@@ -26,4 +27,5 @@ pub mod rtnn;
 pub mod rtree;
 pub mod runner;
 
+pub use cacheable::CacheableExperiment;
 pub use runner::{AccelReport, Platform, RunResult};

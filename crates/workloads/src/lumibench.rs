@@ -14,6 +14,8 @@
 //! | `WkndPt` | procedural-sphere path tracing | the WKND sphere field |
 //! | `LeafAm` | alpha masking (shader'd any-hit) | dense foliage slab |
 
+use std::sync::Arc;
+
 use geometry::{Ray, Vec3};
 use gpu_sim::isa::SReg;
 use gpu_sim::kernel::{Kernel, KernelBuilder};
@@ -24,10 +26,11 @@ use rta::bvh_semantics::{
     read_ray_result, write_ray_record, BvhSemantics, LeafGeometry, RayQueryMode, RAY_RECORD_SIZE,
 };
 use rta::units::TestKind;
-use trees::bvh::PrimitiveKind;
+use trees::bvh::{PrimitiveKind, SerializedBvh};
 use trees::{Bvh, BvhPrimitive};
 use tta::programs::UopProgram;
 
+use crate::cacheable::CacheableExperiment;
 use crate::gen;
 use crate::kernels::{bvh_trace_kernel, params, THREAD_STACK_BYTES};
 use crate::runner::{attach_platform, build_gpu, harvest_accel, sum_stats, Platform, RunResult};
@@ -113,6 +116,19 @@ pub struct RtExperiment {
     pub perfect_node_fetch: bool,
     /// Cross-check primary-hit results against the host BVH oracle.
     pub verify: bool,
+    /// Pre-built inputs shared across runs (see [`crate::cacheable`]);
+    /// `None` rebuilds them from the configuration.
+    pub inputs: Option<Arc<RtInputs>>,
+}
+
+/// The expensive immutable inputs of an [`RtExperiment`]: the built and
+/// serialized scene BVH (the scene primitives live inside the BVH).
+#[derive(Debug)]
+pub struct RtInputs {
+    /// The host BVH (camera framing + verification oracle).
+    pub bvh: Bvh,
+    /// Its serialized device image.
+    pub ser: SerializedBvh,
 }
 
 impl RtExperiment {
@@ -130,6 +146,7 @@ impl RtExperiment {
             gpu: GpuConfig::vulkan_sim_default(),
             perfect_node_fetch: false,
             verify: true,
+            inputs: None,
         }
     }
 
@@ -190,14 +207,16 @@ impl RtExperiment {
             "the baseline SIMT trace kernel supports triangle scenes only"
         );
 
-        let bvh = Bvh::build(self.scene());
-        let ser = bvh.serialize();
+        let inputs = match &self.inputs {
+            Some(i) => Arc::clone(i),
+            None => Arc::new(self.build_inputs()),
+        };
+        let (bvh, ser) = (&inputs.bvh, &inputs.ser);
         let n = self.width * self.height;
 
-        let mem = (ser.image.len()
-            + 2 * n * (RAY_RECORD_SIZE + THREAD_STACK_BYTES as usize)
-            + (1 << 21))
-            .next_power_of_two();
+        let mem =
+            (ser.image.len() + 2 * n * (RAY_RECORD_SIZE + THREAD_STACK_BYTES as usize) + (1 << 21))
+                .next_power_of_two();
         let mut gpu = build_gpu(&self.gpu, mem);
         gpu.perfect_node_fetch = self.perfect_node_fetch;
         let tree_base = gpu.gmem.alloc(ser.image.len(), 64);
@@ -221,7 +240,9 @@ impl RtExperiment {
         // any-hit pass tests triangles in the intersection shader.
         let am = self.workload == RtWorkload::LeafAm;
         let anyhit_leaf = if am {
-            LeafGeometry::Triangle { test: TestKind::IntersectionShader }
+            LeafGeometry::Triangle {
+                test: TestKind::IntersectionShader,
+            }
         } else {
             leaf
         };
@@ -247,14 +268,22 @@ impl RtExperiment {
         });
 
         // Primary pass.
-        let (eye, target) = self.camera(&bvh);
+        let (eye, target) = self.camera(bvh);
         let primary = gen::camera_rays(self.width, self.height, eye, target);
         for (i, r) in primary.iter().enumerate() {
             write_ray_record(&mut gpu.gmem, qbase + (i * RAY_RECORD_SIZE) as u64, r);
         }
-        let launch_params =
-            [qbase as u32, tree_base as u32, stacks as u32, prim_base as u32];
-        let k_closest = if is_simt { bvh_trace_kernel() } else { rt_kernel_for(0) };
+        let launch_params = [
+            qbase as u32,
+            tree_base as u32,
+            stacks as u32,
+            prim_base as u32,
+        ];
+        let k_closest = if is_simt {
+            bvh_trace_kernel()
+        } else {
+            rt_kernel_for(0)
+        };
         let mut parts = vec![gpu.launch(&k_closest, n, &launch_params)];
 
         if self.verify {
@@ -278,7 +307,7 @@ impl RtExperiment {
             let (t, prim, ..) = read_ray_result(&gpu.gmem, qbase + (i * RAY_RECORD_SIZE) as u64);
             if t.is_finite() {
                 let p = r.at(t);
-                let nrm = prim_normal(&bvh, prim as usize, p, r.dir);
+                let nrm = prim_normal(bvh, prim as usize, p, r.dir);
                 surfels.push((p + nrm * 1e-3, nrm, r.dir));
             }
         }
@@ -289,13 +318,21 @@ impl RtExperiment {
         // without early-exit support.) The shadows workload shoots one
         // pass per light: shadow rays dominate it, as in the paper.
         if !surfels.is_empty() {
-            let rounds: u32 = if self.workload == RtWorkload::ShipSh { 4 } else { 1 };
+            let rounds: u32 = if self.workload == RtWorkload::ShipSh {
+                4
+            } else {
+                1
+            };
             for round in 0..rounds {
                 let (rays, pipeline) = self.secondary_rays(&surfels, round);
                 for (i, r) in rays.iter().enumerate() {
                     write_ray_record(&mut gpu.gmem, qbase + (i * RAY_RECORD_SIZE) as u64, r);
                 }
-                let kernel = if is_simt { bvh_trace_kernel() } else { rt_kernel_for(pipeline) };
+                let kernel = if is_simt {
+                    bvh_trace_kernel()
+                } else {
+                    rt_kernel_for(pipeline)
+                };
                 parts.push(gpu.launch(&kernel, rays.len(), &launch_params));
             }
         }
@@ -317,13 +354,11 @@ impl RtExperiment {
         match self.workload {
             RtWorkload::BlobPt | RtWorkload::WkndPt => {
                 // Diffuse bounce: incoherent hemisphere rays, closest-hit.
-                let pts: Vec<(Vec3, Vec3)> =
-                    surfels.iter().map(|&(p, n, _)| (p, n)).collect();
+                let pts: Vec<(Vec3, Vec3)> = surfels.iter().map(|&(p, n, _)| (p, n)).collect();
                 (gen::hemisphere_rays(&pts, self.seed), 0)
             }
             RtWorkload::BlobAo => {
-                let pts: Vec<(Vec3, Vec3)> =
-                    surfels.iter().map(|&(p, n, _)| (p, n)).collect();
+                let pts: Vec<(Vec3, Vec3)> = surfels.iter().map(|&(p, n, _)| (p, n)).collect();
                 let mut rays = gen::hemisphere_rays(&pts, self.seed);
                 for r in &mut rays {
                     r.tmax = 6.0; // short AO rays
@@ -333,8 +368,7 @@ impl RtExperiment {
             RtWorkload::ShipSh | RtWorkload::LeafAm => {
                 // Lights circle the scene; one shadow pass per light.
                 let angle = round as f32 * 1.7 + 0.4;
-                let light =
-                    Vec3::new(90.0 * angle.cos(), 80.0, 90.0 * angle.sin());
+                let light = Vec3::new(90.0 * angle.cos(), 80.0, 90.0 * angle.sin());
                 let pts: Vec<Vec3> = surfels.iter().map(|&(p, ..)| p).collect();
                 (gen::shadow_rays(&pts, light), 1)
             }
@@ -349,6 +383,29 @@ impl RtExperiment {
                 (rays, 0)
             }
         }
+    }
+}
+
+impl CacheableExperiment for RtExperiment {
+    type Inputs = RtInputs;
+
+    fn inputs_key(&self) -> String {
+        format!(
+            "rt/{}/{:016x}/{:#x}",
+            self.workload,
+            self.detail.to_bits(),
+            self.seed
+        )
+    }
+
+    fn build_inputs(&self) -> RtInputs {
+        let bvh = Bvh::build(self.scene());
+        let ser = bvh.serialize();
+        RtInputs { bvh, ser }
+    }
+
+    fn set_inputs(&mut self, inputs: Arc<RtInputs>) {
+        self.inputs = Some(inputs);
     }
 }
 
@@ -426,7 +483,10 @@ mod tests {
     #[test]
     fn all_workloads_run_on_baseline_rta() {
         for w in RtWorkload::ALL {
-            let e = small(RtExperiment::new(w, Platform::BaselineRta(RtaConfig::baseline())));
+            let e = small(RtExperiment::new(
+                w,
+                Platform::BaselineRta(RtaConfig::baseline()),
+            ));
             let r = e.run(); // verify checks primary hits against the oracle
             assert!(r.stats.cycles > 0, "{w} produced no cycles");
         }

@@ -1,15 +1,19 @@
 //! The Barnes-Hut N-Body experiment (2D and 3D, Fig. 12 top), including
 //! the merged-kernel optimisation of §V-A.
 
+use std::sync::Arc;
+
 use gpu_sim::GpuConfig;
 use rta::units::TestKind;
-use trees::BarnesHutTree;
+use trees::barnes_hut::SerializedBarnesHut;
+use trees::{BarnesHutTree, Particle};
 use tta::nbody_sem::{
     read_nbody_result, write_nbody_record, BarnesHutSemantics, QUERY_RECORD_SIZE,
 };
 use tta::programs::UopProgram;
 
 use crate::btree::traverse_only_kernel;
+use crate::cacheable::CacheableExperiment;
 use crate::gen;
 use crate::kernels::{nbody_force_kernel, nbody_integrate_kernel, params, THREAD_STACK_BYTES};
 use crate::runner::{attach_platform, build_gpu, harvest_accel, sum_stats, Platform, RunResult};
@@ -35,6 +39,21 @@ pub struct NBodyExperiment {
     pub post: PostProcess,
     /// Cross-check sampled forces against the host oracle.
     pub verify: bool,
+    /// Pre-built inputs shared across runs (see [`crate::cacheable`]);
+    /// `None` rebuilds them from the configuration.
+    pub inputs: Option<Arc<NBodyInputs>>,
+}
+
+/// The expensive immutable inputs of an [`NBodyExperiment`]: the particle
+/// set plus the built and serialized Barnes-Hut tree.
+#[derive(Debug)]
+pub struct NBodyInputs {
+    /// Generated bodies.
+    pub particles: Vec<Particle>,
+    /// The host tree (the verification oracle).
+    pub tree: BarnesHutTree,
+    /// Its serialized device image.
+    pub ser: SerializedBarnesHut,
 }
 
 /// How the post-traversal integration kernel runs (§V-A's merged-kernel
@@ -62,13 +81,17 @@ impl NBodyExperiment {
             gpu: GpuConfig::vulkan_sim_default(),
             post: PostProcess::None,
             verify: true,
+            inputs: None,
         }
     }
 
     /// TTA+ μop programs: the Point-to-Point opening test and the force
     /// computation (Table III rows 3–4).
     pub fn uop_programs() -> Vec<UopProgram> {
-        vec![UopProgram::point_to_point_inner(), UopProgram::nbody_force_leaf()]
+        vec![
+            UopProgram::point_to_point_inner(),
+            UopProgram::nbody_force_leaf(),
+        ]
     }
 
     /// The Listing-1 pipeline configuration for the Barnes-Hut walk.
@@ -111,9 +134,11 @@ impl NBodyExperiment {
     /// Panics when `verify` is set and sampled forces diverge from the
     /// host Barnes-Hut oracle.
     pub fn run(&self) -> RunResult {
-        let particles = gen::nbody_particles(self.bodies, self.dims, self.seed);
-        let tree = BarnesHutTree::build(&particles, self.dims);
-        let ser = tree.serialize();
+        let inputs = match &self.inputs {
+            Some(i) => Arc::clone(i),
+            None => Arc::new(self.build_inputs()),
+        };
+        let (particles, tree, ser) = (&inputs.particles, &inputs.tree, &inputs.ser);
 
         let mem = (ser.image.len()
             + self.bodies * (QUERY_RECORD_SIZE + THREAD_STACK_BYTES as usize + 12)
@@ -132,7 +157,9 @@ impl NBodyExperiment {
                 self.theta,
             );
         }
-        let stacks = gpu.gmem.alloc(self.bodies * THREAD_STACK_BYTES as usize, 64);
+        let stacks = gpu
+            .gmem
+            .alloc(self.bodies * THREAD_STACK_BYTES as usize, 64);
         let vels = gpu.gmem.alloc(self.bodies * 12, 64);
 
         let (open_test, force_test) = match &self.platform {
@@ -159,11 +186,15 @@ impl NBodyExperiment {
             other => other.clone(),
         };
         attach_platform(&mut gpu, &platform, move || {
-            vec![Box::new(BarnesHutSemantics { tree_base, particle_base, open_test, force_test })]
+            vec![Box::new(BarnesHutSemantics {
+                tree_base,
+                particle_base,
+                open_test,
+                force_test,
+            })]
         });
 
-        let launch_params =
-            [qbase as u32, tree_base as u32, stacks as u32, vels as u32];
+        let launch_params = [qbase as u32, tree_base as u32, stacks as u32, vels as u32];
         let mut parts = Vec::new();
         if self.platform.has_accelerator() {
             match self.post {
@@ -184,8 +215,12 @@ impl NBodyExperiment {
         } else {
             // Baseline GPU: params[3] doubles as the particle buffer for
             // the force kernel, so pass particles there, then velocities.
-            let force_params =
-                [qbase as u32, tree_base as u32, stacks as u32, particle_base as u32];
+            let force_params = [
+                qbase as u32,
+                tree_base as u32,
+                stacks as u32,
+                particle_base as u32,
+            ];
             parts.push(gpu.launch(&nbody_force_kernel(), self.bodies, &force_params));
             match self.post {
                 PostProcess::None => {}
@@ -223,6 +258,29 @@ impl NBodyExperiment {
             stats: sum_stats(&parts),
             accel: harvest_accel(&gpu),
         }
+    }
+}
+
+impl CacheableExperiment for NBodyExperiment {
+    type Inputs = NBodyInputs;
+
+    fn inputs_key(&self) -> String {
+        format!("nbody/{}d/{}/{:#x}", self.dims, self.bodies, self.seed)
+    }
+
+    fn build_inputs(&self) -> NBodyInputs {
+        let particles = gen::nbody_particles(self.bodies, self.dims, self.seed);
+        let tree = BarnesHutTree::build(&particles, self.dims);
+        let ser = tree.serialize();
+        NBodyInputs {
+            particles,
+            tree,
+            ser,
+        }
+    }
+
+    fn set_inputs(&mut self, inputs: Arc<NBodyInputs>) {
+        self.inputs = Some(inputs);
     }
 }
 
@@ -280,7 +338,10 @@ mod tests {
         let plus = small(NBodyExperiment::new(
             3,
             800,
-            Platform::TtaPlus(TtaPlusConfig::default_paper(), NBodyExperiment::uop_programs()),
+            Platform::TtaPlus(
+                TtaPlusConfig::default_paper(),
+                NBodyExperiment::uop_programs(),
+            ),
         ))
         .run();
         let s_tta = tta.speedup_over(&base);
@@ -295,7 +356,10 @@ mod tests {
             let mut e = small(NBodyExperiment::new(
                 2,
                 1200,
-                Platform::TtaPlus(TtaPlusConfig::default_paper(), NBodyExperiment::uop_programs()),
+                Platform::TtaPlus(
+                    TtaPlusConfig::default_paper(),
+                    NBodyExperiment::uop_programs(),
+                ),
             ));
             // Integrating warps must not starve traversal submission: give
             // the SM headroom (the paper's config has 32 warps/SM).

@@ -8,11 +8,14 @@
 //!   by the 5-μop Table III program on TTA+ ("simply by replacing costly
 //!   intersection shaders with TTA, RTNN improves by up to 1.4×").
 
+use std::sync::Arc;
+
 use geometry::{Sphere, Vec3};
 use gpu_sim::GpuConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rta::units::TestKind;
+use trees::bvh::SerializedBvh;
 use trees::{Bvh, BvhPrimitive};
 use tta::programs::UopProgram;
 use tta::radius_sem::{
@@ -20,6 +23,7 @@ use tta::radius_sem::{
 };
 
 use crate::btree::traverse_only_kernel;
+use crate::cacheable::CacheableExperiment;
 use crate::gen;
 use crate::runner::{attach_platform, build_gpu, harvest_accel, Platform, RunResult};
 
@@ -52,6 +56,23 @@ pub struct RtnnExperiment {
     pub gpu: GpuConfig,
     /// Cross-check sampled neighbour counts against the BVH oracle.
     pub verify: bool,
+    /// Pre-built inputs shared across runs (see [`crate::cacheable`]);
+    /// `None` rebuilds them from the configuration.
+    pub inputs: Option<Arc<RtnnInputs>>,
+}
+
+/// The expensive immutable inputs of an [`RtnnExperiment`]: the point
+/// cloud, query points, and the built/serialized inflated-AABB BVH. The
+/// BVH depends on the search radius (spheres are inflated by it), so the
+/// cache key includes it.
+#[derive(Debug)]
+pub struct RtnnInputs {
+    /// Query points (sensor-frame samples near the cloud).
+    pub queries: Vec<Vec3>,
+    /// The host BVH (the verification oracle).
+    pub bvh: Bvh,
+    /// Its serialized device image.
+    pub ser: SerializedBvh,
 }
 
 impl RtnnExperiment {
@@ -66,6 +87,7 @@ impl RtnnExperiment {
             leaf,
             gpu: GpuConfig::vulkan_sim_default(),
             verify: true,
+            inputs: None,
         }
     }
 
@@ -108,47 +130,50 @@ impl RtnnExperiment {
     /// Panics when `verify` is set and sampled counts diverge from the
     /// brute-force-checked BVH oracle.
     pub fn run(&self) -> RunResult {
-        let pts = gen::lidar_points(self.points, self.seed);
-        let prims: Vec<BvhPrimitive> = pts
-            .iter()
-            .map(|&c| BvhPrimitive::Sphere(Sphere::new(c, self.radius)))
-            .collect();
-        let bvh = Bvh::build(prims);
-        let ser = bvh.serialize();
+        let inputs = match &self.inputs {
+            Some(i) => Arc::clone(i),
+            None => Arc::new(self.build_inputs()),
+        };
+        let (queries, bvh, ser) = (&inputs.queries, &inputs.bvh, &inputs.ser);
 
-        let mem = (ser.image.len() + self.queries * QUERY_RECORD_SIZE + (1 << 20))
-            .next_power_of_two();
+        let mem =
+            (ser.image.len() + self.queries * QUERY_RECORD_SIZE + (1 << 20)).next_power_of_two();
         let mut gpu = build_gpu(&self.gpu, mem);
         let tree_base = gpu.gmem.alloc(ser.image.len(), 64);
         gpu.gmem.write_bytes(tree_base, ser.image.as_bytes());
         let prim_base = tree_base + ser.prim_base as u64;
 
-        // Queries: points near the cloud (sensor-frame samples).
-        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x9e3);
-        let queries: Vec<Vec3> = (0..self.queries)
-            .map(|_| {
-                let r = rng.random_range(0.0f32..1.0).powf(0.6) * 55.0 + 2.0;
-                let a = rng.random_range(0.0..std::f32::consts::TAU);
-                Vec3::new(r * a.cos(), r * a.sin(), rng.random_range(-0.2..1.5))
-            })
-            .collect();
         let qbase = gpu.gmem.alloc(self.queries * QUERY_RECORD_SIZE, 64);
         for (i, &q) in queries.iter().enumerate() {
-            write_radius_record(&mut gpu.gmem, qbase + (i * QUERY_RECORD_SIZE) as u64, q, self.radius);
+            write_radius_record(
+                &mut gpu.gmem,
+                qbase + (i * QUERY_RECORD_SIZE) as u64,
+                q,
+                self.radius,
+            );
         }
 
         let is_plus = matches!(
             self.platform,
             Platform::TtaPlus(..) | Platform::TtaPlusWith(..)
         );
-        let inner_test = if is_plus { TestKind::Program(0) } else { TestKind::RayBox };
+        let inner_test = if is_plus {
+            TestKind::Program(0)
+        } else {
+            TestKind::RayBox
+        };
         let leaf_test = match (self.leaf, is_plus) {
             (LeafPath::Shader, _) => TestKind::IntersectionShader,
             (LeafPath::Offloaded, false) => TestKind::PointToPoint,
             (LeafPath::Offloaded, true) => TestKind::Program(1),
         };
         attach_platform(&mut gpu, &self.platform, move || {
-            vec![Box::new(RadiusSearchSemantics { tree_base, prim_base, inner_test, leaf_test })]
+            vec![Box::new(RadiusSearchSemantics {
+                tree_base,
+                prim_base,
+                inner_test,
+                leaf_test,
+            })]
         });
 
         let kernel = traverse_only_kernel(QUERY_RECORD_SIZE as u32);
@@ -166,13 +191,55 @@ impl RtnnExperiment {
         RunResult {
             label: format!(
                 "{}RTNN {}k pts {}",
-                if self.leaf == LeafPath::Offloaded { "*" } else { "" },
+                if self.leaf == LeafPath::Offloaded {
+                    "*"
+                } else {
+                    ""
+                },
                 self.points / 1000,
                 self.platform.label()
             ),
             stats,
             accel: harvest_accel(&gpu),
         }
+    }
+}
+
+impl CacheableExperiment for RtnnExperiment {
+    type Inputs = RtnnInputs;
+
+    fn inputs_key(&self) -> String {
+        format!(
+            "rtnn/{}/{}/{:08x}/{:#x}",
+            self.points,
+            self.queries,
+            self.radius.to_bits(),
+            self.seed
+        )
+    }
+
+    fn build_inputs(&self) -> RtnnInputs {
+        let pts = gen::lidar_points(self.points, self.seed);
+        let prims: Vec<BvhPrimitive> = pts
+            .iter()
+            .map(|&c| BvhPrimitive::Sphere(Sphere::new(c, self.radius)))
+            .collect();
+        let bvh = Bvh::build(prims);
+        let ser = bvh.serialize();
+        // Queries: points near the cloud (sensor-frame samples).
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x9e3);
+        let queries: Vec<Vec3> = (0..self.queries)
+            .map(|_| {
+                let r = rng.random_range(0.0f32..1.0).powf(0.6) * 55.0 + 2.0;
+                let a = rng.random_range(0.0..std::f32::consts::TAU);
+                Vec3::new(r * a.cos(), r * a.sin(), rng.random_range(-0.2..1.5))
+            })
+            .collect();
+        RtnnInputs { queries, bvh, ser }
+    }
+
+    fn set_inputs(&mut self, inputs: Arc<RtnnInputs>) {
+        self.inputs = Some(inputs);
     }
 }
 
@@ -199,7 +266,10 @@ mod tests {
         let r = e.run();
         assert!(r.stats.cycles > 0);
         let accel = r.accel.expect("RTNN runs on the RTA");
-        assert!(accel.shader_lane_instructions > 0, "baseline must use shaders");
+        assert!(
+            accel.shader_lane_instructions > 0,
+            "baseline must use shaders"
+        );
     }
 
     #[test]
@@ -229,7 +299,10 @@ mod tests {
             let e = small(RtnnExperiment::new(
                 2000,
                 128,
-                Platform::TtaPlus(TtaPlusConfig::default_paper(), RtnnExperiment::uop_programs()),
+                Platform::TtaPlus(
+                    TtaPlusConfig::default_paper(),
+                    RtnnExperiment::uop_programs(),
+                ),
                 leaf,
             ));
             let r = e.run();
@@ -252,9 +325,13 @@ mod pipeline_tests {
         ] {
             assert!(RtnnExperiment::pipeline(gen, LeafPath::Shader).is_ok());
         }
-        assert!(RtnnExperiment::pipeline(AcceleratorGen::BaselineRta, LeafPath::Offloaded).is_err());
+        assert!(
+            RtnnExperiment::pipeline(AcceleratorGen::BaselineRta, LeafPath::Offloaded).is_err()
+        );
         assert!(RtnnExperiment::pipeline(AcceleratorGen::Tta, LeafPath::Offloaded).is_ok());
         // The 5-μop RTNN leaf has no SQRT: fine even without the SQRT unit.
-        assert!(RtnnExperiment::pipeline(AcceleratorGen::TtaPlusNoSqrt, LeafPath::Offloaded).is_ok());
+        assert!(
+            RtnnExperiment::pipeline(AcceleratorGen::TtaPlusNoSqrt, LeafPath::Offloaded).is_ok()
+        );
     }
 }

@@ -6,6 +6,8 @@
 //! against the TTA (MBR overlap on the Ray-Box unit) and TTA+ (Ray-Box μop
 //! program).
 
+use std::sync::Arc;
+
 use geometry::{Aabb, Vec3};
 use gpu_sim::isa::{Cmp, SReg};
 use gpu_sim::kernel::{Kernel, KernelBuilder};
@@ -13,13 +15,12 @@ use gpu_sim::GpuConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rta::units::TestKind;
-use trees::rtree::{RTree, RTreeEntry, ENTRY_STRIDE};
+use trees::rtree::{RTree, RTreeEntry, SerializedRTree, ENTRY_STRIDE};
 use tta::programs::UopProgram;
-use tta::rtree_sem::{
-    read_range_result, write_range_record, RTreeSemantics, QUERY_RECORD_SIZE,
-};
+use tta::rtree_sem::{read_range_result, write_range_record, RTreeSemantics, QUERY_RECORD_SIZE};
 
 use crate::btree::traverse_only_kernel;
+use crate::cacheable::CacheableExperiment;
 use crate::kernels::{params, THREAD_STACK_BYTES};
 use crate::runner::{attach_platform, build_gpu, harvest_accel, Platform, RunResult};
 
@@ -40,6 +41,23 @@ pub struct RTreeExperiment {
     pub gpu: GpuConfig,
     /// Cross-check sampled counts against the host R-Tree oracle.
     pub verify: bool,
+    /// Pre-built inputs shared across runs (see [`crate::cacheable`]);
+    /// `None` rebuilds them from the configuration.
+    pub inputs: Option<Arc<RTreeInputs>>,
+}
+
+/// The expensive immutable inputs of an [`RTreeExperiment`]: the indexed
+/// rectangles, the range queries, and the built/serialized R-Tree.
+#[derive(Debug)]
+pub struct RTreeInputs {
+    /// Indexed rectangles.
+    pub entries: Vec<RTreeEntry>,
+    /// Range queries.
+    pub queries: Vec<Aabb>,
+    /// The host tree (the verification oracle).
+    pub tree: RTree,
+    /// Its serialized device image.
+    pub ser: SerializedRTree,
 }
 
 impl RTreeExperiment {
@@ -53,6 +71,7 @@ impl RTreeExperiment {
             platform,
             gpu: GpuConfig::vulkan_sim_default(),
             verify: true,
+            inputs: None,
         }
     }
 
@@ -66,7 +85,12 @@ impl RTreeExperiment {
         // Geo-tagged-object-like data: clustered rectangles on a plane.
         let nclusters = 12.max(self.rects / 4000);
         let centers: Vec<(f32, f32)> = (0..nclusters)
-            .map(|_| (rng.random_range(-500.0..500.0), rng.random_range(-500.0..500.0)))
+            .map(|_| {
+                (
+                    rng.random_range(-500.0..500.0),
+                    rng.random_range(-500.0..500.0),
+                )
+            })
             .collect();
         let entries: Vec<RTreeEntry> = (0..self.rects)
             .map(|i| {
@@ -100,9 +124,11 @@ impl RTreeExperiment {
     /// Panics when `verify` is set and sampled counts diverge from the
     /// host R-Tree oracle.
     pub fn run(&self) -> RunResult {
-        let (entries, queries) = self.dataset();
-        let tree = RTree::bulk_load(&entries);
-        let ser = tree.serialize();
+        let inputs = match &self.inputs {
+            Some(i) => Arc::clone(i),
+            None => Arc::new(self.build_inputs()),
+        };
+        let (queries, tree, ser) = (&inputs.queries, &inputs.tree, &inputs.ser);
 
         let mem = (ser.image.len()
             + self.queries * (QUERY_RECORD_SIZE + THREAD_STACK_BYTES as usize)
@@ -116,13 +142,19 @@ impl RTreeExperiment {
         for (i, q) in queries.iter().enumerate() {
             write_range_record(&mut gpu.gmem, qbase + (i * QUERY_RECORD_SIZE) as u64, q);
         }
-        let stacks = gpu.gmem.alloc(self.queries * THREAD_STACK_BYTES as usize, 64);
+        let stacks = gpu
+            .gmem
+            .alloc(self.queries * THREAD_STACK_BYTES as usize, 64);
 
         let is_plus = matches!(
             self.platform,
             Platform::TtaPlus(..) | Platform::TtaPlusWith(..)
         );
-        let test = if is_plus { TestKind::Program(0) } else { TestKind::RayBox };
+        let test = if is_plus {
+            TestKind::Program(0)
+        } else {
+            TestKind::RayBox
+        };
         attach_platform(&mut gpu, &self.platform, move || {
             vec![Box::new(RTreeSemantics {
                 tree_base,
@@ -140,7 +172,12 @@ impl RTreeExperiment {
         let stats = gpu.launch(
             &kernel,
             self.queries,
-            &[qbase as u32, tree_base as u32, stacks as u32, entry_base as u32],
+            &[
+                qbase as u32,
+                tree_base as u32,
+                stacks as u32,
+                entry_base as u32,
+            ],
         );
 
         if self.verify {
@@ -154,10 +191,44 @@ impl RTreeExperiment {
         }
 
         RunResult {
-            label: format!("R-Tree {}k rects {}", self.rects / 1000, self.platform.label()),
+            label: format!(
+                "R-Tree {}k rects {}",
+                self.rects / 1000,
+                self.platform.label()
+            ),
             stats,
             accel: harvest_accel(&gpu),
         }
+    }
+}
+
+impl CacheableExperiment for RTreeExperiment {
+    type Inputs = RTreeInputs;
+
+    fn inputs_key(&self) -> String {
+        format!(
+            "rtree/{}/{}/{:08x}/{:#x}",
+            self.rects,
+            self.queries,
+            self.query_extent.to_bits(),
+            self.seed
+        )
+    }
+
+    fn build_inputs(&self) -> RTreeInputs {
+        let (entries, queries) = self.dataset();
+        let tree = RTree::bulk_load(&entries);
+        let ser = tree.serialize();
+        RTreeInputs {
+            entries,
+            queries,
+            tree,
+            ser,
+        }
+    }
+
+    fn set_inputs(&mut self, inputs: Arc<RTreeInputs>) {
+        self.inputs = Some(inputs);
     }
 }
 
@@ -316,7 +387,10 @@ mod tests {
         let e = small(RTreeExperiment::new(4_000, 256, Platform::BaselineGpu));
         let r = e.run(); // verify checks counts and visit counts
         assert!(r.stats.cycles > 0);
-        assert!(r.stats.simt_efficiency() < 0.95, "range queries should diverge");
+        assert!(
+            r.stats.simt_efficiency() < 0.95,
+            "range queries should diverge"
+        );
     }
 
     #[test]
@@ -337,7 +411,10 @@ mod tests {
         let e = small(RTreeExperiment::new(
             3_000,
             256,
-            Platform::TtaPlus(TtaPlusConfig::default_paper(), RTreeExperiment::uop_programs()),
+            Platform::TtaPlus(
+                TtaPlusConfig::default_paper(),
+                RTreeExperiment::uop_programs(),
+            ),
         ));
         let r = e.run();
         assert!(r.accel.is_some());

@@ -81,16 +81,21 @@ impl RunResult {
         self.stats.cycles
     }
 
-    /// Speedup of this run relative to `baseline`.
+    /// Speedup of this run relative to `baseline`. [`f64::NAN`] when the
+    /// baseline executed zero cycles (same contract as
+    /// [`SimStats::speedup_over`]).
     pub fn speedup_over(&self, baseline: &RunResult) -> f64 {
-        baseline.stats.cycles as f64 / self.stats.cycles.max(1) as f64
+        self.stats.speedup_over(&baseline.stats)
     }
 
     /// Total dynamic lane-instructions executed on the general-purpose
     /// cores, including intersection-shader callbacks (Fig. 20's
     /// "compute" portion).
     pub fn core_instructions(&self) -> u64 {
-        let shader = self.accel.as_ref().map_or(0, |a| a.shader_lane_instructions);
+        let shader = self
+            .accel
+            .as_ref()
+            .map_or(0, |a| a.shader_lane_instructions);
         self.stats.mix.total() - self.stats.mix.traverse + shader
     }
 }
@@ -112,14 +117,22 @@ where
             let rta_cfg = rta_cfg.clone();
             gpu.attach_accelerators(move |_| {
                 let backend = Box::new(FixedFunctionBackend::new(&rta_cfg));
-                Box::new(TraversalEngine::new(rta_cfg.clone(), backend, make_semantics()))
+                Box::new(TraversalEngine::new(
+                    rta_cfg.clone(),
+                    backend,
+                    make_semantics(),
+                ))
             });
         }
         Platform::Tta(tta_cfg) => {
             let tta_cfg = tta_cfg.clone();
             gpu.attach_accelerators(move |_| {
                 let backend = Box::new(TtaBackend::new(tta_cfg.clone()));
-                Box::new(TraversalEngine::new(tta_cfg.rta.clone(), backend, make_semantics()))
+                Box::new(TraversalEngine::new(
+                    tta_cfg.rta.clone(),
+                    backend,
+                    make_semantics(),
+                ))
             });
         }
         Platform::TtaPlus(plus_cfg, programs) => {
@@ -127,7 +140,11 @@ where
             let programs = programs.clone();
             gpu.attach_accelerators(move |_| {
                 let backend = Box::new(TtaPlusBackend::new(plus_cfg.clone(), programs.clone()));
-                Box::new(TraversalEngine::new(RtaConfig::baseline(), backend, make_semantics()))
+                Box::new(TraversalEngine::new(
+                    RtaConfig::baseline(),
+                    backend,
+                    make_semantics(),
+                ))
             });
         }
         Platform::TtaPlusWith(rta_cfg, plus_cfg, programs) => {
@@ -136,7 +153,11 @@ where
             let programs = programs.clone();
             gpu.attach_accelerators(move |_| {
                 let backend = Box::new(TtaPlusBackend::new(plus_cfg.clone(), programs.clone()));
-                Box::new(TraversalEngine::new(rta_cfg.clone(), backend, make_semantics()))
+                Box::new(TraversalEngine::new(
+                    rta_cfg.clone(),
+                    backend,
+                    make_semantics(),
+                ))
             });
         }
     }
@@ -147,7 +168,9 @@ pub fn harvest_accel(gpu: &Gpu) -> Option<AccelReport> {
     let mut report = AccelReport::default();
     let mut any = false;
     for sm in 0..gpu.cfg.num_sms {
-        let Some(acc) = gpu.accelerator(sm) else { continue };
+        let Some(acc) = gpu.accelerator(sm) else {
+            continue;
+        };
         any = true;
         report.traversals += acc.traverse_instructions();
         let Some(engine) = acc.as_any().downcast_ref::<TraversalEngine>() else {
@@ -179,7 +202,12 @@ pub fn harvest_accel(gpu: &Gpu) -> Option<AccelReport> {
             report.shader_lane_instructions += b.shader_lane_instructions();
         } else if let Some(b) = backend.as_any().downcast_ref::<TtaPlusBackend>() {
             report.shader_lane_instructions += b.shader_lane_instructions();
-            for name in ["ray_box", "ray_triangle", "query_key_inner", "point_to_point"] {
+            for name in [
+                "ray_box",
+                "ray_triangle",
+                "query_key_inner",
+                "point_to_point",
+            ] {
                 if let Some(s) = b.builtin_stats(name) {
                     merge_program(&mut report.programs, name, s);
                 }
@@ -215,6 +243,7 @@ fn merge_program(list: &mut Vec<(String, ProgramStats)>, name: &str, s: &Program
 pub fn sum_stats(parts: &[SimStats]) -> SimStats {
     let mut total = SimStats::default();
     for s in parts {
+        total.warp_size = s.warp_size;
         total.cycles += s.cycles;
         total.warp_instrs += s.warp_instrs;
         total.lane_instrs += s.lane_instrs;
@@ -259,10 +288,20 @@ mod tests {
 
     #[test]
     fn sum_stats_adds_fields() {
-        let mut a = SimStats { cycles: 10, warp_instrs: 5, lane_instrs: 100, ..Default::default() };
+        let mut a = SimStats {
+            cycles: 10,
+            warp_instrs: 5,
+            lane_instrs: 100,
+            ..Default::default()
+        };
         a.mix.alu = 70;
         a.dram.bytes_read = 1000;
-        let mut b = SimStats { cycles: 20, warp_instrs: 7, lane_instrs: 150, ..Default::default() };
+        let mut b = SimStats {
+            cycles: 20,
+            warp_instrs: 7,
+            lane_instrs: 150,
+            ..Default::default()
+        };
         b.mix.alu = 90;
         b.dram.bytes_read = 500;
         let s = sum_stats(&[a, b]);
@@ -278,9 +317,15 @@ mod tests {
         let mut stats = SimStats::default();
         stats.mix.alu = 100;
         stats.mix.traverse = 10;
-        let mut accel = AccelReport::default();
-        accel.shader_lane_instructions = 40;
-        let r = RunResult { label: "x".into(), stats, accel: Some(accel) };
+        let accel = AccelReport {
+            shader_lane_instructions: 40,
+            ..Default::default()
+        };
+        let r = RunResult {
+            label: "x".into(),
+            stats,
+            accel: Some(accel),
+        };
         assert_eq!(r.core_instructions(), 100 + 40);
     }
 }

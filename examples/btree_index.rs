@@ -20,8 +20,7 @@ fn main() {
     );
     for flavor in BTreeFlavor::ALL {
         for keys in [4_000usize, 32_000, 256_000] {
-            let base =
-                BTreeExperiment::new(flavor, keys, queries, Platform::BaselineGpu).run();
+            let base = BTreeExperiment::new(flavor, keys, queries, Platform::BaselineGpu).run();
             let tta = BTreeExperiment::new(
                 flavor,
                 keys,

@@ -5,8 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use tta::pipeline::{AcceleratorGen, PipelineBuilder, TerminateCond, TestConfig};
 use trees::BTreeFlavor;
+use tta::pipeline::{AcceleratorGen, PipelineBuilder, TerminateCond, TestConfig};
 use workloads::btree::BTreeExperiment;
 use workloads::Platform;
 
@@ -23,7 +23,11 @@ fn main() {
         .config_terminate(TerminateCond::StackEmpty)
         .build(AcceleratorGen::Tta)
         .expect("a valid TTA pipeline");
-    println!("configured pipeline `{}` for {:?}", pipeline.name(), pipeline.generation());
+    println!(
+        "configured pipeline `{}` for {:?}",
+        pipeline.name(),
+        pipeline.generation()
+    );
 
     // 2. Run the full experiment (tree build, GPU setup, kernel, oracle
     //    verification) on both platforms.
@@ -41,12 +45,16 @@ fn main() {
     .run();
 
     println!();
-    println!("baseline GPU : {:>10} cycles, SIMT efficiency {:.0}%, DRAM util {:.1}%",
+    println!(
+        "baseline GPU : {:>10} cycles, SIMT efficiency {:.0}%, DRAM util {:.1}%",
         base.cycles(),
         base.stats.simt_efficiency() * 100.0,
-        base.stats.dram_utilization() * 100.0);
-    println!("TTA          : {:>10} cycles, dynamic instructions cut by {:.0}%",
+        base.stats.dram_utilization() * 100.0
+    );
+    println!(
+        "TTA          : {:>10} cycles, dynamic instructions cut by {:.0}%",
         tta.cycles(),
-        (1.0 - tta.core_instructions() as f64 / base.core_instructions() as f64) * 100.0);
+        (1.0 - tta.core_instructions() as f64 / base.core_instructions() as f64) * 100.0
+    );
     println!("speedup      : {:.2}x", tta.speedup_over(&base));
 }

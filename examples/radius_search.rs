@@ -26,7 +26,9 @@ fn main() {
     println!(
         "RTNN  (RTA + intersection shader): {:>9} cycles, {} shader lane-instructions",
         base.cycles(),
-        base.accel.as_ref().map_or(0, |a| a.shader_lane_instructions)
+        base.accel
+            .as_ref()
+            .map_or(0, |a| a.shader_lane_instructions)
     );
 
     let star_tta = RtnnExperiment::new(points, queries, tta, LeafPath::Offloaded).run();

@@ -28,7 +28,10 @@ fn main() {
     let mut base = RtExperiment::new(RtWorkload::WkndPt, rta);
     size(&mut base);
     let base = base.run();
-    println!("baseline RTA (shader spheres) : {:>9} cycles", base.cycles());
+    println!(
+        "baseline RTA (shader spheres) : {:>9} cycles",
+        base.cycles()
+    );
 
     let mut naive = RtExperiment::new(RtWorkload::WkndPt, plus());
     size(&mut naive);
@@ -51,7 +54,10 @@ fn main() {
 
     // SHIP_SH: long thin primitives; SATO re-orders any-hit traversal.
     println!("\nSHIP_SH: shadow rays over long thin rigging\n");
-    let mut base = RtExperiment::new(RtWorkload::ShipSh, Platform::BaselineRta(rta::RtaConfig::baseline()));
+    let mut base = RtExperiment::new(
+        RtWorkload::ShipSh,
+        Platform::BaselineRta(rta::RtaConfig::baseline()),
+    );
     size(&mut base);
     let base = base.run();
     let mut sato = RtExperiment::new(RtWorkload::ShipSh, plus());

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# CI gate for the tta-repro workspace.
+#
+# Everything here must pass before merging:
+#   1. cargo fmt --check       — formatting
+#   2. cargo clippy -D warnings — lints, workspace-wide including bins/tests
+#   3. cargo build --release && cargo test  — the tier-1 gate
+#   4. cargo test --workspace  — every crate's unit/integration/doc tests
+#   5. a --quick smoke run of one sweep binary, checking that the run
+#      journal lands under results/
+#
+# Offline-registry fallback: this workspace has NO crates.io dependencies —
+# every dependency is a path dependency inside the workspace (the `rand`
+# API is provided by crates/rand-shim). If the environment has no network
+# access to a registry, pass --offline (or set CARGO_NET_OFFLINE=true) and
+# everything below still works:
+#
+#   CARGO_NET_OFFLINE=true scripts/ci.sh
+#
+# The script forwards any extra arguments (e.g. --offline) to every cargo
+# invocation.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CARGO_FLAGS=("$@")
+if [ "${CARGO_NET_OFFLINE:-}" = "true" ]; then
+    CARGO_FLAGS+=(--offline)
+fi
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo fmt --all -- --check
+run cargo clippy "${CARGO_FLAGS[@]}" --workspace --all-targets -- -D warnings
+
+# Tier-1: exactly what the repository gate runs.
+run cargo build "${CARGO_FLAGS[@]}" --release
+run cargo test "${CARGO_FLAGS[@]}" -q
+
+# Full workspace test suite (includes the harness determinism test:
+# byte-identical journals at 1 vs 4 sweep threads).
+run cargo test "${CARGO_FLAGS[@]}" --workspace -q
+
+# Smoke one sweep binary and verify the journal appears.
+run cargo run "${CARGO_FLAGS[@]}" --release -p tta-bench --bin fig15 -- --quick --threads 2
+test -s results/fig15.journal.json || { echo "missing results/fig15.journal.json" >&2; exit 1; }
+test -s results/fig15.timing.json || { echo "missing results/fig15.timing.json" >&2; exit 1; }
+
+echo "CI OK"

@@ -99,8 +99,7 @@ fn warp_buffer_sensitivity_matches_fig14_shape() {
     let run = |warps: usize| {
         let mut cfg = tta::backend::TtaConfig::default_paper();
         cfg.rta.warp_buffer_warps = warps;
-        let mut e =
-            BTreeExperiment::new(BTreeFlavor::BStar, 16_000, 2_048, Platform::Tta(cfg));
+        let mut e = BTreeExperiment::new(BTreeFlavor::BStar, 16_000, 2_048, Platform::Tta(cfg));
         e.gpu = small_gpu();
         e.run().cycles()
     };
@@ -112,7 +111,10 @@ fn warp_buffer_sensitivity_matches_fig14_shape() {
     assert!(w8 <= w4, "8 warps ({w8}) must not lose to 4 ({w4})");
     // Saturation: 32 warps gains little over 8.
     let tail_gain = w8 as f64 / w32 as f64;
-    assert!(tail_gain < 1.5, "8->32 warps gained {tail_gain:.2}x; should be near-saturated");
+    assert!(
+        tail_gain < 1.5,
+        "8->32 warps gained {tail_gain:.2}x; should be near-saturated"
+    );
 }
 
 #[test]
@@ -120,8 +122,7 @@ fn intersection_latency_insensitivity_matches_fig14() {
     let run = |latency: u64| {
         let mut cfg = tta::backend::TtaConfig::default_paper();
         cfg.query_key_latency = latency;
-        let mut e =
-            BTreeExperiment::new(BTreeFlavor::BTree, 16_000, 2_048, Platform::Tta(cfg));
+        let mut e = BTreeExperiment::new(BTreeFlavor::BTree, 16_000, 2_048, Platform::Tta(cfg));
         e.gpu = small_gpu();
         e.run().cycles()
     };
@@ -132,7 +133,10 @@ fn intersection_latency_insensitivity_matches_fig14() {
     let d = (default as f64 / fast as f64 - 1.0).abs();
     assert!(d < 0.10, "3cy vs 13cy differ by {:.0}%", d * 100.0);
     // Even 10x latency must not destroy the benefit.
-    assert!((slow as f64) < (default as f64) * 2.0, "130cy blew up: {slow} vs {default}");
+    assert!(
+        (slow as f64) < (default as f64) * 2.0,
+        "130cy blew up: {slow} vs {default}"
+    );
 }
 
 #[test]
@@ -189,10 +193,7 @@ fn ray_tracing_hits_match_oracle_on_every_platform() {
 #[test]
 fn perfect_limits_compound_like_fig17() {
     let run = |perfect_rt: bool, perfect_mem: bool| {
-        let mut e = RtExperiment::new(
-            RtWorkload::WkndPt,
-            ttaplus(RtExperiment::uop_programs()),
-        );
+        let mut e = RtExperiment::new(RtWorkload::WkndPt, ttaplus(RtExperiment::uop_programs()));
         e.gpu = small_gpu();
         e.width = 32;
         e.height = 24;
@@ -204,6 +205,9 @@ fn perfect_limits_compound_like_fig17() {
     let real = run(false, false);
     let perf_rt = run(true, false);
     let perf_mem = run(false, true);
-    assert!(perf_rt < real, "Perf.RT ({perf_rt}) must beat real ({real})");
+    assert!(
+        perf_rt < real,
+        "Perf.RT ({perf_rt}) must beat real ({real})"
+    );
     assert!(perf_mem <= perf_rt, "Perf.Mem ({perf_mem}) must be fastest");
 }

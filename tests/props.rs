@@ -1,7 +1,12 @@
-//! Workspace-level property tests: on random inputs, the simulated
+//! Workspace-level property-style tests: on random inputs, the simulated
 //! accelerator pipelines must agree exactly with the host-side oracles.
+//!
+//! Written against the workspace's seeded `rand` shim rather than
+//! `proptest` (no registry access in the build environment): each property
+//! runs a fixed number of deterministic random cases.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use geometry::Vec3;
 use gpu_sim::isa::SReg;
@@ -9,7 +14,7 @@ use gpu_sim::kernel::{Kernel, KernelBuilder};
 use gpu_sim::{Gpu, GpuConfig};
 use rta::units::TestKind;
 use rta::TraversalEngine;
-use trees::{BarnesHutTree, BTree, BTreeFlavor, Bvh, BvhPrimitive, Particle};
+use trees::{BTree, BTreeFlavor, BarnesHutTree, Bvh, BvhPrimitive, Particle};
 use tta::backend::{TtaBackend, TtaConfig};
 use tta::btree_sem::{read_query_result, write_query_record, BTreeSemantics, QUERY_RECORD_SIZE};
 use tta::radius_sem::{read_radius_result, write_radius_record, RadiusSearchSemantics};
@@ -46,19 +51,15 @@ fn attach_btree(gpu: &mut Gpu, tree_base: u64, bplus: bool) {
     });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Random key sets + random queries: the TTA traversal over the
-    /// serialized image returns exactly what the host B-tree returns, for
-    /// every variant.
-    #[test]
-    fn btree_tta_equals_oracle(
-        seed in 0u64..1000,
-        nkeys in 64usize..2000,
-        flavor_ix in 0usize..3,
-    ) {
-        let flavor = BTreeFlavor::ALL[flavor_ix];
+/// Random key sets + random queries: the TTA traversal over the serialized
+/// image returns exactly what the host B-tree returns, for every variant.
+#[test]
+fn btree_tta_equals_oracle() {
+    let mut rng = StdRng::seed_from_u64(0xb7ee);
+    for case in 0..12 {
+        let seed = rng.random_range(0u64..1000);
+        let nkeys = rng.random_range(64usize..2000);
+        let flavor = BTreeFlavor::ALL[case % 3];
         let keys = workloads::gen::btree_keys(nkeys, seed);
         let queries = workloads::gen::btree_queries(&keys, 96, seed ^ 1);
         let tree = BTree::bulk_load(flavor, &keys);
@@ -79,19 +80,21 @@ proptest! {
             let (found, visited) =
                 read_query_result(&gpu.gmem, qbase + (i * QUERY_RECORD_SIZE) as u64);
             let oracle = tree.search(q);
-            prop_assert_eq!(found, oracle.found, "{} query {}", flavor, q);
-            prop_assert_eq!(visited as usize, oracle.nodes_visited);
+            assert_eq!(found, oracle.found, "{flavor} query {q}");
+            assert_eq!(visited as usize, oracle.nodes_visited, "{flavor} query {q}");
         }
     }
+}
 
-    /// Random point clouds: accelerated radius-search counts equal both the
-    /// BVH oracle and a brute-force count.
-    #[test]
-    fn radius_search_equals_brute_force(
-        seed in 0u64..1000,
-        npoints in 100usize..800,
-        radius in 0.5f32..4.0,
-    ) {
+/// Random point clouds: accelerated radius-search counts equal both the
+/// BVH oracle and a brute-force count.
+#[test]
+fn radius_search_equals_brute_force() {
+    let mut rng = StdRng::seed_from_u64(0x7ad1);
+    for _case in 0..12 {
+        let seed = rng.random_range(0u64..1000);
+        let npoints = rng.random_range(100usize..800);
+        let radius: f32 = rng.random_range(0.5..4.0);
         let points = workloads::gen::lidar_points(npoints, seed);
         let prims: Vec<BvhPrimitive> = points
             .iter()
@@ -128,29 +131,33 @@ proptest! {
         let r2 = radius * radius;
         for (i, &q) in queries.iter().enumerate() {
             let (count, _) = read_radius_result(&gpu.gmem, qbase + (i * 32) as u64);
-            let brute =
-                points.iter().filter(|p| p.distance_squared(q) <= r2).count() as u32;
+            let brute = points
+                .iter()
+                .filter(|p| p.distance_squared(q) <= r2)
+                .count() as u32;
             // The BVH oracle uses the same arithmetic as the accelerator;
             // brute force may differ by boundary rounding on a few points.
             let oracle = bvh.points_within(q, radius).len() as u32;
-            prop_assert_eq!(count, oracle, "query {} at {}", i, q);
+            assert_eq!(count, oracle, "query {i} at {q}");
             let diff = count.abs_diff(brute);
-            prop_assert!(diff <= 2, "count {} vs brute {} at {}", count, brute, q);
+            assert!(diff <= 2, "count {count} vs brute {brute} at {q}");
         }
     }
+}
 
-    /// Random particle sets: tree aggregates conserve mass and the force
-    /// walk converges toward direct summation as theta shrinks.
-    #[test]
-    fn barnes_hut_aggregation_invariants(
-        seed in 0u64..1000,
-        n in 50usize..600,
-        dims in 2usize..4,
-    ) {
+/// Random particle sets: tree aggregates conserve mass and the force walk
+/// converges toward direct summation as theta shrinks.
+#[test]
+fn barnes_hut_aggregation_invariants() {
+    let mut rng = StdRng::seed_from_u64(0xba24);
+    for _case in 0..12 {
+        let seed = rng.random_range(0u64..1000);
+        let n = rng.random_range(50usize..600);
+        let dims = rng.random_range(2usize..4);
         let particles = workloads::gen::nbody_particles(n, dims, seed);
         let tree = BarnesHutTree::build(&particles, dims);
         let total: f32 = particles.iter().map(|p| p.mass).sum();
-        prop_assert!((tree.total_mass() - total).abs() < 1e-2 * total);
+        assert!((tree.total_mass() - total).abs() < 1e-2 * total);
 
         let probe = Vec3::new(400.0, 300.0, if dims == 3 { 200.0 } else { 0.0 });
         let exact = tree.direct_force_on(probe);
@@ -158,25 +165,33 @@ proptest! {
         let loose = tree.force_on(probe, 1.2);
         let err_tight = (tight - exact).length() / exact.length().max(1e-6);
         let err_loose = (loose - exact).length() / exact.length().max(1e-6);
-        prop_assert!(err_tight < 0.05, "theta=0.1 error {}", err_tight);
-        prop_assert!(err_tight <= err_loose + 1e-6, "accuracy must not improve with looser theta");
+        assert!(err_tight < 0.05, "theta=0.1 error {err_tight}");
+        assert!(
+            err_tight <= err_loose + 1e-6,
+            "accuracy must not improve with looser theta"
+        );
     }
+}
 
-    /// Serialization round-trip: particles and search results survive the
-    /// image encoding byte-for-byte.
-    #[test]
-    fn serialization_roundtrips(seed in 0u64..1000, n in 10usize..300) {
+/// Serialization round-trip: particles and search results survive the
+/// image encoding byte-for-byte.
+#[test]
+fn serialization_roundtrips() {
+    let mut rng = StdRng::seed_from_u64(0x5e21);
+    for _case in 0..12 {
+        let seed = rng.random_range(0u64..1000);
+        let n = rng.random_range(10usize..300);
         let particles: Vec<Particle> = workloads::gen::nbody_particles(n, 3, seed);
         let tree = BarnesHutTree::build(&particles, 3);
         let ser = tree.serialize();
         for (i, p) in tree.particles().iter().enumerate() {
-            prop_assert_eq!(ser.read_particle(i), *p);
+            assert_eq!(ser.read_particle(i), *p);
         }
         let keys = workloads::gen::btree_keys(n.max(64), seed);
         let btree = BTree::bulk_load(BTreeFlavor::BStar, &keys);
         let bser = btree.serialize();
         for &k in keys.iter().step_by(7) {
-            prop_assert!(bser.search_image(k).found);
+            assert!(bser.search_image(k).found);
         }
     }
 }

@@ -47,6 +47,7 @@
 
 pub mod backend;
 pub mod btree_sem;
+pub mod dataflow;
 pub mod nbody_sem;
 pub mod op_unit;
 pub mod pipeline;
@@ -56,7 +57,8 @@ pub mod rtree_sem;
 pub mod ttaplus;
 
 pub use backend::{TtaBackend, TtaConfig};
+pub use dataflow::{check_program, ProgramIssue};
 pub use op_unit::OpUnit;
-pub use pipeline::{AcceleratorGen, PipelineBuilder, TraversalPipeline};
+pub use pipeline::{AcceleratorGen, PipelineBuilder, PipelineIssue, TraversalPipeline};
 pub use programs::UopProgram;
 pub use ttaplus::{TtaPlusBackend, TtaPlusConfig};

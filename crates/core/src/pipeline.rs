@@ -221,6 +221,16 @@ impl TraversalPipeline {
         &self.ray_layout
     }
 
+    /// The validated internal-node layout (`DecodeI`).
+    pub fn inner_layout(&self) -> &RecordLayout {
+        &self.inner_layout
+    }
+
+    /// The validated leaf-node layout (`DecodeL`).
+    pub fn leaf_layout(&self) -> &RecordLayout {
+        &self.leaf_layout
+    }
+
     /// The inner-node test as an engine [`TestKind`]. μop programs map to
     /// [`TestKind::Program`] with the id assigned by the caller's backend
     /// registration order.
@@ -256,6 +266,132 @@ impl TraversalPipeline {
             TestConfig::PointToPoint => TestKind::PointToPoint,
             TestConfig::Shader => TestKind::IntersectionShader,
             TestConfig::Uops(_) => TestKind::Program(program_id),
+        }
+    }
+
+    /// The `decode-coverage` lint pass: cross-checks the `DecodeR` /
+    /// `DecodeI` / `DecodeL` field layouts against the operand slots the
+    /// configured intersection programs actually read.
+    ///
+    /// Every `TestConfig::Uops` program is checked directly. On the TTA+
+    /// generations the fixed-function tests also execute as Table III μop
+    /// programs, so `RayBox` / `RayTriangle` / `QueryKey` / `PointToPoint`
+    /// configurations resolve to the corresponding built-in program and
+    /// are checked too; on the baseline RTA and TTA the fixed units decode
+    /// their records in hardware, so only explicit μop programs apply.
+    ///
+    /// An empty vector means every routed `Ray(i)` / `Node(i)` operand has
+    /// a matching declared field.
+    pub fn check_decode_coverage(&self) -> Vec<PipelineIssue> {
+        let mut issues = Vec::new();
+        let slots: [(&'static str, &TestConfig, &RecordLayout); 2] = [
+            ("inner", &self.inner, &self.inner_layout),
+            ("leaf", &self.leaf, &self.leaf_layout),
+        ];
+        for (slot, test, node_layout) in slots {
+            let Some(program) = Self::resolved_program(self.gen, slot, test) else {
+                continue;
+            };
+            for (pc, uop) in program.uops().iter().enumerate() {
+                for op in uop.operands() {
+                    match op {
+                        crate::programs::Operand::Ray(i) if i >= self.ray_layout.fields().len() => {
+                            issues.push(PipelineIssue::RayFieldOutOfRange {
+                                slot,
+                                pc,
+                                field: i,
+                                fields: self.ray_layout.fields().len(),
+                            });
+                        }
+                        crate::programs::Operand::Node(i) if i >= node_layout.fields().len() => {
+                            issues.push(PipelineIssue::NodeFieldOutOfRange {
+                                slot,
+                                pc,
+                                field: i,
+                                fields: node_layout.fields().len(),
+                            });
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        issues
+    }
+
+    /// The μop program that will actually execute for `test` on `gen`, if
+    /// one exists.
+    fn resolved_program(
+        gen: AcceleratorGen,
+        slot: &'static str,
+        test: &TestConfig,
+    ) -> Option<UopProgram> {
+        let ttaplus = matches!(gen, AcceleratorGen::TtaPlus | AcceleratorGen::TtaPlusNoSqrt);
+        match test {
+            TestConfig::Uops(p) => Some(p.clone()),
+            TestConfig::RayBox if ttaplus => Some(UopProgram::ray_box()),
+            TestConfig::RayTriangle if ttaplus => Some(UopProgram::ray_triangle_leaf()),
+            TestConfig::QueryKey if ttaplus => Some(if slot == "leaf" {
+                UopProgram::query_key_leaf()
+            } else {
+                UopProgram::query_key_inner()
+            }),
+            TestConfig::PointToPoint if ttaplus => Some(UopProgram::point_to_point_inner()),
+            _ => None,
+        }
+    }
+}
+
+/// One decode-coverage defect: a configured program reads a record field
+/// the `Decode` layouts never declared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipelineIssue {
+    /// A μop reads a ray-record field past the `DecodeR` layout.
+    RayFieldOutOfRange {
+        /// Which configuration slot (`"inner"` or `"leaf"`).
+        slot: &'static str,
+        /// μop index within the program.
+        pc: usize,
+        /// The missing field index.
+        field: usize,
+        /// Fields the layout declares.
+        fields: usize,
+    },
+    /// A μop reads a node-record field past the `DecodeI`/`DecodeL` layout.
+    NodeFieldOutOfRange {
+        /// Which configuration slot (`"inner"` or `"leaf"`).
+        slot: &'static str,
+        /// μop index within the program.
+        pc: usize,
+        /// The missing field index.
+        field: usize,
+        /// Fields the layout declares.
+        fields: usize,
+    },
+}
+
+impl std::fmt::Display for PipelineIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineIssue::RayFieldOutOfRange {
+                slot,
+                pc,
+                field,
+                fields,
+            } => write!(
+                f,
+                "{slot} μop {pc} reads ray field {field} but DecodeR declares {fields} fields"
+            ),
+            PipelineIssue::NodeFieldOutOfRange {
+                slot,
+                pc,
+                field,
+                fields,
+            } => write!(
+                f,
+                "{slot} μop {pc} reads node field {field} but the node layout declares \
+                 {fields} fields"
+            ),
         }
     }
 }
@@ -464,6 +600,72 @@ mod tests {
             .build(AcceleratorGen::Tta)
             .unwrap_err();
         assert_eq!(err, ConfigError::Missing("DecodeR"));
+    }
+
+    #[test]
+    fn decode_coverage_accepts_matching_layouts() {
+        // The B-Tree shape: 4 ray fields, 4 node fields cover everything
+        // Query-Key reads (Ray 0, Node 0, Node 2).
+        let p = PipelineBuilder::new("btree-uops")
+            .decode_r(&[4, 4, 4, 4])
+            .decode_i(&[4, 4, 32, 24])
+            .decode_l(&[4, 4, 32, 24])
+            .config_i(TestConfig::Uops(UopProgram::query_key_inner()))
+            .config_l(TestConfig::Uops(UopProgram::query_key_leaf()))
+            .config_terminate(TerminateCond::StackEmpty)
+            .build(AcceleratorGen::TtaPlus)
+            .unwrap();
+        assert!(p.check_decode_coverage().is_empty());
+        assert_eq!(p.inner_layout().fields().len(), 4);
+        assert_eq!(p.leaf_layout().total_bytes(), 64);
+    }
+
+    #[test]
+    fn decode_coverage_flags_missing_node_field() {
+        // Point-to-Point reads Node(4), but this layout declares only 3
+        // node fields — the classic misconfigured-DecodeI mistake.
+        let p = PipelineBuilder::new("bad")
+            .decode_r(&[12, 4])
+            .decode_i(&[4, 4, 12])
+            .decode_l(&[4, 4, 12])
+            .config_i(TestConfig::Uops(UopProgram::point_to_point_inner()))
+            .config_l(TestConfig::Shader)
+            .config_terminate(TerminateCond::StackEmpty)
+            .build(AcceleratorGen::TtaPlus)
+            .unwrap();
+        let issues = p.check_decode_coverage();
+        assert!(issues.contains(&PipelineIssue::NodeFieldOutOfRange {
+            slot: "inner",
+            pc: 2,
+            field: 4,
+            fields: 3,
+        }));
+    }
+
+    #[test]
+    fn decode_coverage_resolves_fixed_function_tests_on_ttaplus() {
+        // On TTA+ a RayBox config executes the Table III program, which
+        // reads Ray(1) — absent from this single-field ray layout.
+        let build = |gen| {
+            PipelineBuilder::new("fixed")
+                .decode_r(&[12])
+                .decode_i(&[4, 4, 24, 24])
+                .decode_l(&[4, 4, 24, 24])
+                .config_i(TestConfig::RayBox)
+                .config_l(TestConfig::Shader)
+                .config_terminate(TerminateCond::StackEmpty)
+                .build(gen)
+                .unwrap()
+        };
+        let issues = build(AcceleratorGen::TtaPlus).check_decode_coverage();
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, PipelineIssue::RayFieldOutOfRange { field: 1, .. })));
+        // The baseline RTA decodes Ray-Box in hardware — no μop routing to
+        // check, so the same layout passes.
+        assert!(build(AcceleratorGen::BaselineRta)
+            .check_decode_coverage()
+            .is_empty());
     }
 
     #[test]

@@ -2,21 +2,93 @@
 //! benchmark, matching Table III of the paper μop-for-μop.
 //!
 //! A [`UopProgram`] is the validated list of μops an intersection test
-//! executes by visiting OP units through the crossbar. The canned
+//! executes by visiting OP units through the crossbar. Since the lint
+//! subsystem landed, every μop also carries its *operand routing* — where
+//! each source value comes from ([`Operand`]) and which OP Dest Table slot
+//! receives the result — so the dataflow verifier in [`crate::dataflow`]
+//! can reject ill-formed programs before any cycle is simulated. The canned
 //! constructors below reproduce each row of Table III; a unit test asserts
 //! the exact per-unit counts of the table.
+//!
+//! # Value model
+//!
+//! Each OP Dest Table slot holds one `vec3` result. A μop reads up to three
+//! operands (routed through the crossbar from the decoded ray record, the
+//! decoded node record, or an earlier μop's dest slot), executes on its
+//! unit, and writes one result slot. Slots still live when the program ends
+//! are its *outputs*: the final μop's slot is the traversal predicate, and
+//! leaf programs may write further slots back into the ray record
+//! (Listing 1's result fields).
 
 use crate::op_unit::OpUnit;
 
-/// One micro-operation: which unit executes it.
-///
-/// Operand routing (the Config Regs / OP Dest Table state) is modelled at
-/// validation time: the program records the unit *sequence*; the crossbar
-/// transfer between consecutive μops is charged by the TTA+ backend.
+/// Number of result slots in the OP Dest Table (one 16-entry vec3 register
+/// bank, matching the 16x16 crossbar and the 16-register warp-buffer record
+/// of Fig. 7). Programs may be up to 64 μops deep, but at most this many
+/// results can be live at once.
+pub const OP_DEST_SLOTS: usize = 16;
+
+/// Maximum μops per program (the OP Dest Table routing depth).
+pub const MAX_PROGRAM_LEN: usize = 64;
+
+/// Where a μop source operand comes from (the Config Regs routing state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operand {
+    /// Field `i` of the decoded ray/query record (`DecodeR` layout).
+    Ray(usize),
+    /// Field `i` of the decoded node record (`DecodeI`/`DecodeL` layout,
+    /// depending on whether the program runs as the inner or leaf test).
+    Node(usize),
+    /// The OP Dest Table slot written by an earlier μop.
+    Slot(u8),
+    /// A constant preloaded into the config registers (no crossbar
+    /// transfer).
+    Imm,
+}
+
+/// One micro-operation: the executing unit plus its operand routing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Uop {
     /// Executing unit.
     pub unit: OpUnit,
+    /// Source operands (up to three, e.g. `MIN(a, MAX(b, c))`).
+    pub srcs: [Option<Operand>; 3],
+    /// OP Dest Table slot receiving the result.
+    pub dest: u8,
+}
+
+impl Uop {
+    /// Builds a μop from a source slice (at most three operands).
+    ///
+    /// # Panics
+    ///
+    /// Panics on more than three sources.
+    pub fn new(unit: OpUnit, srcs: &[Operand], dest: u8) -> Self {
+        assert!(srcs.len() <= 3, "a μop reads at most three operands");
+        let mut s = [None; 3];
+        for (slot, &op) in s.iter_mut().zip(srcs) {
+            *slot = Some(op);
+        }
+        Uop {
+            unit,
+            srcs: s,
+            dest,
+        }
+    }
+
+    /// The populated source operands, in order.
+    pub fn operands(&self) -> impl Iterator<Item = Operand> + '_ {
+        self.srcs.iter().filter_map(|s| *s)
+    }
+
+    /// Number of operands routed through the crossbar ([`Operand::Imm`]
+    /// constants live in the config registers and consume no transfer
+    /// lane).
+    pub fn crossbar_fan_in(&self) -> usize {
+        self.operands()
+            .filter(|o| !matches!(o, Operand::Imm))
+            .count()
+    }
 }
 
 /// A validated μop program for one intersection test.
@@ -36,22 +108,53 @@ pub struct UopProgram {
 }
 
 impl UopProgram {
-    /// Builds a program from a unit sequence.
+    /// Builds a program from a unit sequence, deriving a serial default
+    /// routing: the first μop reads ray field 0 and node field 0, every
+    /// later μop reads its predecessor's result, and dest slots cycle
+    /// through the OP Dest Table. Use [`UopProgram::from_uops`] to author
+    /// explicit routing.
     ///
     /// # Errors
     ///
     /// Returns [`ProgramError::Empty`] for an empty sequence and
     /// [`ProgramError::TooLong`] beyond 64 μops (the OP Dest Table depth).
     pub fn new(name: impl Into<String>, units: Vec<OpUnit>) -> Result<Self, ProgramError> {
-        if units.is_empty() {
+        let uops = units
+            .iter()
+            .enumerate()
+            .map(|(i, &unit)| {
+                let dest = (i % OP_DEST_SLOTS) as u8;
+                if i == 0 {
+                    Uop::new(unit, &[Operand::Ray(0), Operand::Node(0)], dest)
+                } else {
+                    let prev = ((i - 1) % OP_DEST_SLOTS) as u8;
+                    Uop::new(unit, &[Operand::Slot(prev)], dest)
+                }
+            })
+            .collect();
+        Self::from_uops(name, uops)
+    }
+
+    /// Builds a program from fully-routed μops.
+    ///
+    /// Only the structural limits are enforced here; dataflow-level
+    /// validity (read-before-write, dead results, table capacity, crossbar
+    /// fan-in, ...) is the job of [`crate::dataflow::check_program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError::Empty`] for an empty sequence and
+    /// [`ProgramError::TooLong`] beyond 64 μops.
+    pub fn from_uops(name: impl Into<String>, uops: Vec<Uop>) -> Result<Self, ProgramError> {
+        if uops.is_empty() {
             return Err(ProgramError::Empty);
         }
-        if units.len() > 64 {
-            return Err(ProgramError::TooLong(units.len()));
+        if uops.len() > MAX_PROGRAM_LEN {
+            return Err(ProgramError::TooLong(uops.len()));
         }
         Ok(UopProgram {
             name: name.into(),
-            uops: units.into_iter().map(|unit| Uop { unit }).collect(),
+            uops,
         })
     }
 
@@ -86,123 +189,259 @@ impl UopProgram {
         self.count_of(OpUnit::Sqrt) > 0
     }
 
-    /// Sum of unit latencies — the serialised lower bound on the test's
-    /// latency, before crossbar hops and contention.
+    /// Sum of unit latencies — the fully serialised bound on the test's
+    /// latency, before crossbar hops and contention. Superseded for lint
+    /// purposes by [`UopProgram::critical_path_latency`], which follows the
+    /// operand routing instead of assuming every μop depends on its
+    /// predecessor.
     pub fn unit_latency_sum(&self) -> u64 {
         self.uops.iter().map(|u| u.unit.latency()).sum()
     }
 
+    /// Critical-path latency through the routed dataflow graph: each μop
+    /// becomes ready when its last slot operand is produced, then pays one
+    /// crossbar hop (`hop` cycles) plus its unit latency. Ray/node/constant
+    /// operands are ready at time zero (they arrive with the scheduled
+    /// test). This is the contention-free lower bound the TTA+ backend can
+    /// approach when μops with independent routing overlap, and the metric
+    /// the `latency-bound` lint pass checks — unlike the purely serial
+    /// [`UopProgram::unit_latency_sum`].
+    pub fn critical_path_latency(&self, hop: u64) -> u64 {
+        let mut slot_ready = [0u64; 256];
+        let mut finish = 0u64;
+        for uop in &self.uops {
+            let ready = uop
+                .operands()
+                .map(|op| match op {
+                    Operand::Slot(s) => slot_ready[s as usize],
+                    _ => 0,
+                })
+                .max()
+                .unwrap_or(0);
+            let done = ready + hop + uop.unit.latency();
+            slot_ready[uop.dest as usize] = done;
+            finish = finish.max(done);
+        }
+        finish
+    }
+
     // ---- Table III rows ------------------------------------------------
+    //
+    // Routing conventions shared with the shipped workload pipelines
+    // (checked by `TraversalPipeline::check_decode_coverage`):
+    //   Ray(0) = the query value (search key / query point / ray origin)
+    //   Ray(1) = the second query field (ray direction / search radius)
+    //   Node(0) = the node header word
+    //   Node(2..) = the node payload (keys / child boxes / centre of mass)
 
     /// B-Tree/B\*Tree/B+Tree inner node: Query-Key comparison (12 μops:
     /// 6 MIN/MAX, 3 Vec3 CMP, 3 Vec3 OR).
     pub fn query_key_inner() -> Self {
-        let mut units = Vec::new();
+        let mut uops = Vec::new();
         // Three minmax/maxmin pairs, each comparing the query to 3 keys.
-        for _ in 0..3 {
-            units.push(OpUnit::MinMax);
-            units.push(OpUnit::MaxMin);
+        for i in 0..3u8 {
+            uops.push(Uop::new(
+                OpUnit::MinMax,
+                &[Operand::Ray(0), Operand::Node(2)],
+                2 * i,
+            ));
+            uops.push(Uop::new(
+                OpUnit::MaxMin,
+                &[Operand::Ray(0), Operand::Node(2)],
+                2 * i + 1,
+            ));
         }
-        // Equality checks and one-hot child selection.
-        units.extend([OpUnit::Vec3Cmp; 3]);
-        units.extend([OpUnit::Logical; 3]);
-        Self::new("QueryKey/Inner", units).expect("static program")
+        // Equality checks on each bound pair.
+        for i in 0..3u8 {
+            uops.push(Uop::new(
+                OpUnit::Vec3Cmp,
+                &[Operand::Slot(2 * i), Operand::Slot(2 * i + 1)],
+                6 + i,
+            ));
+        }
+        // One-hot child selection: OR-reduce, then mask with the header's
+        // valid-key bits.
+        uops.push(Uop::new(
+            OpUnit::Logical,
+            &[Operand::Slot(6), Operand::Slot(7)],
+            9,
+        ));
+        uops.push(Uop::new(
+            OpUnit::Logical,
+            &[Operand::Slot(9), Operand::Slot(8)],
+            10,
+        ));
+        uops.push(Uop::new(
+            OpUnit::Logical,
+            &[Operand::Slot(10), Operand::Node(0)],
+            11,
+        ));
+        Self::from_uops("QueryKey/Inner", uops).expect("static program")
     }
 
-    /// B-Tree leaf: Query-Key equality only (3 Vec3 CMP μops).
+    /// B-Tree leaf: Query-Key equality only (3 Vec3 CMP μops). Each result
+    /// slot stays live at program end: the found flags are written back to
+    /// the ray record.
     pub fn query_key_leaf() -> Self {
-        Self::new("QueryKey/Leaf", vec![OpUnit::Vec3Cmp; 3]).expect("static program")
+        let uops = (0..3u8)
+            .map(|i| Uop::new(OpUnit::Vec3Cmp, &[Operand::Ray(0), Operand::Node(2)], i))
+            .collect();
+        Self::from_uops("QueryKey/Leaf", uops).expect("static program")
     }
 
     /// N-Body inner node: Point-to-Point distance (3 μops: SUB, DOT, CMP).
+    /// Compares |com - p|^2 against the opening threshold derived from the
+    /// node width (theta is folded into the config constants).
     pub fn point_to_point_inner() -> Self {
-        Self::new(
-            "PointToPoint/Inner",
-            vec![OpUnit::Vec3AddSub, OpUnit::DotProduct, OpUnit::Vec3Cmp],
-        )
-        .expect("static program")
+        let uops = vec![
+            Uop::new(OpUnit::Vec3AddSub, &[Operand::Ray(0), Operand::Node(2)], 0),
+            Uop::new(OpUnit::DotProduct, &[Operand::Slot(0), Operand::Slot(0)], 1),
+            Uop::new(OpUnit::Vec3Cmp, &[Operand::Slot(1), Operand::Node(4)], 2),
+        ];
+        Self::from_uops("PointToPoint/Inner", uops).expect("static program")
     }
 
     /// N-Body leaf: force computation (5 μops: 3 MUL, 1 SQRT, 1 R-XFORM —
     /// the paper folds three multiplications into one R-XFORM).
     pub fn nbody_force_leaf() -> Self {
-        Self::new(
-            "NBodyForce/Leaf",
-            vec![
-                OpUnit::Multiplier,
-                OpUnit::Multiplier,
-                OpUnit::Multiplier,
-                OpUnit::Sqrt,
+        let uops = vec![
+            // G * m
+            Uop::new(OpUnit::Multiplier, &[Operand::Node(3), Operand::Imm], 0),
+            // |d|^2 lanes from the particle position
+            Uop::new(OpUnit::Multiplier, &[Operand::Node(2), Operand::Node(2)], 1),
+            Uop::new(OpUnit::Multiplier, &[Operand::Slot(0), Operand::Slot(1)], 2),
+            Uop::new(OpUnit::Sqrt, &[Operand::Slot(2)], 3),
+            // Scale the displacement and accumulate into the force field.
+            Uop::new(
                 OpUnit::RayTransform,
-            ],
-        )
-        .expect("static program")
+                &[Operand::Slot(3), Operand::Ray(0), Operand::Node(2)],
+                4,
+            ),
+        ];
+        Self::from_uops("NBodyForce/Leaf", uops).expect("static program")
     }
 
     /// Ray-Box intersection (19 μops: 2 SUB, 6 MUL, 3 RCP, 6 MIN/MAX,
     /// 1 CMP, 1 OR) — the inner test of RTNN, WKND_PT and LumiBench.
     pub fn ray_box() -> Self {
-        let mut units = Vec::new();
-        units.extend([OpUnit::Vec3AddSub; 2]); // box.min - o, box.max - o
-        units.extend([OpUnit::Reciprocal; 3]); // 1 / dir.xyz
-        units.extend([OpUnit::Multiplier; 6]); // t planes
-        for _ in 0..3 {
-            units.push(OpUnit::MinMax);
-            units.push(OpUnit::MaxMin);
-        }
-        units.push(OpUnit::Vec3Cmp); // t_enter <= t_exit
-        units.push(OpUnit::Logical); // interval and validity
-        Self::new("RayBox/Inner", units).expect("static program")
+        use Operand::{Imm, Node, Ray, Slot};
+        let uops = vec![
+            // box.min - o, box.max - o
+            Uop::new(OpUnit::Vec3AddSub, &[Node(2), Ray(0)], 0),
+            Uop::new(OpUnit::Vec3AddSub, &[Node(3), Ray(0)], 1),
+            // 1 / dir lanes
+            Uop::new(OpUnit::Reciprocal, &[Ray(1)], 2),
+            Uop::new(OpUnit::Reciprocal, &[Ray(1)], 3),
+            Uop::new(OpUnit::Reciprocal, &[Ray(1)], 4),
+            // t planes
+            Uop::new(OpUnit::Multiplier, &[Slot(0), Slot(2)], 5),
+            Uop::new(OpUnit::Multiplier, &[Slot(0), Slot(3)], 6),
+            Uop::new(OpUnit::Multiplier, &[Slot(0), Slot(4)], 7),
+            Uop::new(OpUnit::Multiplier, &[Slot(1), Slot(2)], 8),
+            Uop::new(OpUnit::Multiplier, &[Slot(1), Slot(3)], 9),
+            Uop::new(OpUnit::Multiplier, &[Slot(1), Slot(4)], 10),
+            // Fold per-axis entry/exit times (the 3-operand MIN/MAX forms
+            // carry the previous axis's result along).
+            Uop::new(OpUnit::MinMax, &[Slot(5), Slot(8)], 0),
+            Uop::new(OpUnit::MaxMin, &[Slot(5), Slot(8)], 1),
+            Uop::new(OpUnit::MinMax, &[Slot(6), Slot(9), Slot(0)], 2),
+            Uop::new(OpUnit::MaxMin, &[Slot(6), Slot(9), Slot(1)], 3),
+            Uop::new(OpUnit::MinMax, &[Slot(7), Slot(10), Slot(2)], 4),
+            Uop::new(OpUnit::MaxMin, &[Slot(7), Slot(10), Slot(3)], 5),
+            // t_enter <= t_exit, masked with interval validity.
+            Uop::new(OpUnit::Vec3Cmp, &[Slot(4), Slot(5)], 6),
+            Uop::new(OpUnit::Logical, &[Slot(6), Imm], 7),
+        ];
+        Self::from_uops("RayBox/Inner", uops).expect("static program")
     }
 
     /// RTNN leaf: Point-to-Point distance with radius compare (5 μops:
-    /// SUB, MUL, DOT, CMP, OR).
+    /// SUB, DOT, MUL, CMP, OR).
     pub fn rtnn_leaf() -> Self {
-        Self::new(
-            "RTNN/Leaf",
-            vec![
-                OpUnit::Vec3AddSub,
-                OpUnit::DotProduct,
-                OpUnit::Multiplier,
-                OpUnit::Vec3Cmp,
-                OpUnit::Logical,
-            ],
-        )
-        .expect("static program")
+        use Operand::{Imm, Node, Ray, Slot};
+        let uops = vec![
+            Uop::new(OpUnit::Vec3AddSub, &[Node(2), Ray(0)], 0),
+            Uop::new(OpUnit::DotProduct, &[Slot(0), Slot(0)], 1),
+            Uop::new(OpUnit::Multiplier, &[Ray(1), Ray(1)], 2),
+            Uop::new(OpUnit::Vec3Cmp, &[Slot(1), Slot(2)], 3),
+            Uop::new(OpUnit::Logical, &[Slot(3), Imm], 4),
+        ];
+        Self::from_uops("RTNN/Leaf", uops).expect("static program")
     }
 
     /// WKND_PT leaf: Ray-Sphere intersection (18 μops: 5 SUB, 5 MUL,
     /// 1 SQRT, 1 RCP, 3 DOT, 2 CMP, 1 OR).
     pub fn ray_sphere_leaf() -> Self {
-        let mut units = Vec::new();
-        units.extend([OpUnit::Vec3AddSub; 5]);
-        units.extend([OpUnit::Multiplier; 5]);
-        units.extend([OpUnit::DotProduct; 3]);
-        units.push(OpUnit::Sqrt);
-        units.push(OpUnit::Reciprocal);
-        units.extend([OpUnit::Vec3Cmp; 2]);
-        units.push(OpUnit::Logical);
-        Self::new("RaySphere/Leaf", units).expect("static program")
+        use Operand::{Imm, Node, Ray, Slot};
+        let uops = vec![
+            // a = d . d ; oc = o - c
+            Uop::new(OpUnit::DotProduct, &[Ray(1), Ray(1)], 0),
+            Uop::new(OpUnit::Vec3AddSub, &[Ray(0), Node(2)], 1),
+            // b = oc . d ; oc . oc ; r^2
+            Uop::new(OpUnit::DotProduct, &[Slot(1), Ray(1)], 2),
+            Uop::new(OpUnit::DotProduct, &[Slot(1), Slot(1)], 3),
+            Uop::new(OpUnit::Multiplier, &[Node(3), Node(3)], 4),
+            // c = oc.oc - r^2 ; disc = b^2 - a*c
+            Uop::new(OpUnit::Vec3AddSub, &[Slot(3), Slot(4)], 5),
+            Uop::new(OpUnit::Multiplier, &[Slot(2), Slot(2)], 6),
+            Uop::new(OpUnit::Multiplier, &[Slot(0), Slot(5)], 7),
+            Uop::new(OpUnit::Vec3AddSub, &[Slot(6), Slot(7)], 8),
+            Uop::new(OpUnit::Sqrt, &[Slot(8)], 9),
+            Uop::new(OpUnit::Reciprocal, &[Slot(0)], 10),
+            // t0 = (-b + sqrt(disc)) / a ; t1 = (-b - sqrt(disc)) / a
+            Uop::new(OpUnit::Vec3AddSub, &[Slot(9), Slot(2)], 11),
+            Uop::new(OpUnit::Multiplier, &[Slot(11), Slot(10)], 12),
+            Uop::new(OpUnit::Vec3AddSub, &[Slot(2), Slot(9)], 13),
+            Uop::new(OpUnit::Multiplier, &[Slot(13), Slot(10)], 14),
+            // Range checks and combine.
+            Uop::new(OpUnit::Vec3Cmp, &[Slot(12), Imm], 15),
+            Uop::new(OpUnit::Vec3Cmp, &[Slot(14), Slot(12)], 0),
+            Uop::new(OpUnit::Logical, &[Slot(15), Slot(0)], 1),
+        ];
+        Self::from_uops("RaySphere/Leaf", uops).expect("static program")
     }
 
     /// LumiBench leaf: Ray-Triangle (Möller-Trumbore, 17 μops: 3 SUB,
     /// 3 MUL, 1 RCP, 2 CROSS, 4 DOT, 2 CMP, 2 OR).
     pub fn ray_triangle_leaf() -> Self {
-        let mut units = Vec::new();
-        units.extend([OpUnit::Vec3AddSub; 3]); // edges + tvec
-        units.extend([OpUnit::CrossProduct; 2]); // pvec, qvec
-        units.extend([OpUnit::DotProduct; 4]); // det, u, v, t
-        units.push(OpUnit::Reciprocal); // 1/det
-        units.extend([OpUnit::Multiplier; 3]); // scale u, v, t
-        units.extend([OpUnit::Vec3Cmp; 2]); // range checks
-        units.extend([OpUnit::Logical; 2]); // combine
-        Self::new("RayTriangle/Leaf", units).expect("static program")
+        use Operand::{Imm, Node, Ray, Slot};
+        let uops = vec![
+            // e1, e2, tvec
+            Uop::new(OpUnit::Vec3AddSub, &[Node(3), Node(2)], 0),
+            Uop::new(OpUnit::Vec3AddSub, &[Node(4), Node(2)], 1),
+            Uop::new(OpUnit::Vec3AddSub, &[Ray(0), Node(2)], 4),
+            // pvec = d x e2 ; qvec = tvec x e1
+            Uop::new(OpUnit::CrossProduct, &[Ray(1), Slot(1)], 2),
+            Uop::new(OpUnit::CrossProduct, &[Slot(4), Slot(0)], 5),
+            // det, u*det, v*det, t*det
+            Uop::new(OpUnit::DotProduct, &[Slot(0), Slot(2)], 3),
+            Uop::new(OpUnit::DotProduct, &[Slot(4), Slot(2)], 6),
+            Uop::new(OpUnit::DotProduct, &[Ray(1), Slot(5)], 7),
+            Uop::new(OpUnit::DotProduct, &[Slot(1), Slot(5)], 8),
+            // 1/det, then scale u, v, t
+            Uop::new(OpUnit::Reciprocal, &[Slot(3)], 9),
+            Uop::new(OpUnit::Multiplier, &[Slot(6), Slot(9)], 10),
+            Uop::new(OpUnit::Multiplier, &[Slot(7), Slot(9)], 11),
+            Uop::new(OpUnit::Multiplier, &[Slot(8), Slot(9)], 12),
+            // Barycentric range checks and combine.
+            Uop::new(OpUnit::Vec3Cmp, &[Slot(10), Slot(11)], 13),
+            Uop::new(OpUnit::Vec3Cmp, &[Slot(12), Imm], 14),
+            Uop::new(OpUnit::Logical, &[Slot(13), Slot(14)], 15),
+            Uop::new(OpUnit::Logical, &[Slot(15), Imm], 0),
+        ];
+        Self::from_uops("RayTriangle/Leaf", uops).expect("static program")
     }
 
     /// The two-level-BVH transform step (1 R-XFORM μop) used by RTNN,
-    /// WKND_PT and LumiBench between BVH levels.
+    /// WKND_PT and LumiBench between BVH levels: transforms the ray by the
+    /// instance matrix stored in the node.
     pub fn transform() -> Self {
-        Self::new("Transform", vec![OpUnit::RayTransform]).expect("static program")
+        let uops = vec![Uop::new(
+            OpUnit::RayTransform,
+            &[Operand::Ray(0), Operand::Node(2)],
+            0,
+        )];
+        Self::from_uops("Transform", uops).expect("static program")
     }
 
     /// The §IV-A strength-reduction the paper applies to the N-Body force
@@ -211,25 +450,85 @@ impl UopProgram {
     /// consecutive Multiplier μops becomes one R-XFORM μop (the transform
     /// unit is a 3-lane multiply-accumulate array).
     ///
-    /// Returns `self` unchanged when no such run exists.
+    /// The fused μop reads the run's external inputs (operands not produced
+    /// inside the run) and writes the run's final dest slot; later reads of
+    /// the run's intermediate slots are rerouted to that slot, so the
+    /// program stays clean under the [`crate::dataflow`] passes.
+    ///
+    /// Idempotent: when no run of three consecutive multiplies exists —
+    /// in particular on any program this method already fused — `self` is
+    /// returned unchanged, name included.
     pub fn fuse_muls_into_xform(&self) -> Self {
-        let mut units = Vec::with_capacity(self.uops.len());
-        let mut run = 0usize;
+        let fusable = self
+            .uops
+            .windows(3)
+            .any(|w| w.iter().all(|u| u.unit == OpUnit::Multiplier));
+        if !fusable {
+            return self.clone();
+        }
+
+        let mut out: Vec<Uop> = Vec::with_capacity(self.uops.len());
+        // Slots folded away by fusion: reads of key are rerouted to value
+        // until the key slot is written again.
+        let mut remap: std::collections::HashMap<u8, u8> = std::collections::HashMap::new();
+        let mut run: Vec<Uop> = Vec::new();
+
+        let apply = |uop: &Uop, remap: &std::collections::HashMap<u8, u8>| -> Uop {
+            let mut u = *uop;
+            for src in u.srcs.iter_mut().flatten() {
+                if let Operand::Slot(s) = src {
+                    if let Some(&to) = remap.get(s) {
+                        *src = Operand::Slot(to);
+                    }
+                }
+            }
+            u
+        };
+        let define = |slot: u8, remap: &mut std::collections::HashMap<u8, u8>| {
+            // A fresh write ends any reroute through or into this slot.
+            remap.remove(&slot);
+            remap.retain(|_, v| *v != slot);
+        };
+
         for uop in &self.uops {
+            let uop = apply(uop, &remap);
             if uop.unit == OpUnit::Multiplier {
-                run += 1;
-                if run == 3 {
-                    units.push(OpUnit::RayTransform);
-                    run = 0;
+                run.push(uop);
+                if run.len() == 3 {
+                    let dest = run[2].dest;
+                    let internal: Vec<u8> = run[..2].iter().map(|u| u.dest).collect();
+                    let mut srcs: Vec<Operand> = Vec::new();
+                    for (i, m) in run.iter().enumerate() {
+                        for op in m.operands() {
+                            let is_internal = matches!(op, Operand::Slot(s)
+                                if internal[..i.min(2)].contains(&s));
+                            if !is_internal && !srcs.contains(&op) && srcs.len() < 3 {
+                                srcs.push(op);
+                            }
+                        }
+                    }
+                    for d in internal {
+                        if d != dest {
+                            remap.insert(d, dest);
+                        }
+                    }
+                    define(dest, &mut remap);
+                    out.push(Uop::new(OpUnit::RayTransform, &srcs, dest));
+                    run.clear();
                 }
             } else {
-                units.extend(std::iter::repeat_n(OpUnit::Multiplier, run));
-                run = 0;
-                units.push(uop.unit);
+                for m in run.drain(..) {
+                    define(m.dest, &mut remap);
+                    out.push(m);
+                }
+                define(uop.dest, &mut remap);
+                out.push(uop);
             }
         }
-        units.extend(std::iter::repeat_n(OpUnit::Multiplier, run));
-        Self::new(format!("{}+fused", self.name), units).expect("fusion preserves validity")
+        for m in run.drain(..) {
+            out.push(m);
+        }
+        Self::from_uops(format!("{}+fused", self.name), out).expect("fusion preserves validity")
     }
 }
 
@@ -249,7 +548,7 @@ impl std::fmt::Display for ProgramError {
             ProgramError::TooLong(n) => {
                 write!(
                     f,
-                    "μop program of {n} μops exceeds the 64-entry OP Dest Table"
+                    "μop program of {n} μops exceeds the {MAX_PROGRAM_LEN}-entry OP Dest Table"
                 )
             }
         }
@@ -375,10 +674,77 @@ mod tests {
     }
 
     #[test]
+    fn mul_fusion_is_idempotent() {
+        let unfused = UopProgram::new(
+            "force-unfused",
+            vec![
+                OpUnit::Multiplier,
+                OpUnit::Multiplier,
+                OpUnit::Multiplier,
+                OpUnit::Sqrt,
+            ],
+        )
+        .unwrap();
+        let once = unfused.fuse_muls_into_xform();
+        assert_eq!(once.name(), "force-unfused+fused");
+        let twice = once.fuse_muls_into_xform();
+        assert_eq!(once, twice, "second fusion must be a no-op");
+        assert_eq!(
+            twice.name(),
+            "force-unfused+fused",
+            "the name must not grow to +fused+fused"
+        );
+        // A program with no 3-run is returned untouched, name included.
+        let partial = UopProgram::new(
+            "p",
+            vec![OpUnit::Multiplier, OpUnit::Multiplier, OpUnit::Vec3Cmp],
+        )
+        .unwrap();
+        assert_eq!(partial.fuse_muls_into_xform(), partial);
+    }
+
+    #[test]
+    fn fusion_reroutes_consumers_of_folded_slots() {
+        // The fused R-XFORM writes the run's final slot; the SQRT consumer
+        // of that slot keeps a valid operand.
+        let fused = UopProgram::nbody_force_leaf().fuse_muls_into_xform();
+        assert_eq!(fused.count_of(OpUnit::Multiplier), 0);
+        let xform_dest = fused.uops()[0].dest;
+        let sqrt = &fused.uops()[1];
+        assert_eq!(sqrt.unit, OpUnit::Sqrt);
+        assert_eq!(sqrt.srcs[0], Some(Operand::Slot(xform_dest)));
+    }
+
+    #[test]
     fn latency_sum_reflects_units() {
         // Query-Key inner: 6×1 + 3×1 + 3×1 = 12 cycles of raw unit time.
         assert_eq!(UopProgram::query_key_inner().unit_latency_sum(), 12);
         // Ray-Box: 2×4 + 6×4 + 3×4 + 6×1 + 1×1 + 1×1 = 52.
         assert_eq!(UopProgram::ray_box().unit_latency_sum(), 52);
+    }
+
+    #[test]
+    fn critical_path_beats_serial_sum_on_parallel_routing() {
+        let hop = 4;
+        for p in [
+            UopProgram::ray_box(),
+            UopProgram::query_key_inner(),
+            UopProgram::ray_triangle_leaf(),
+            UopProgram::ray_sphere_leaf(),
+        ] {
+            let cp = p.critical_path_latency(hop);
+            let serial = p.unit_latency_sum() + hop * p.len() as u64;
+            assert!(
+                cp < serial,
+                "{}: critical path {cp} must beat serial {serial}",
+                p.name()
+            );
+        }
+        // A `new()`-derived chain is fully serial: the two agree.
+        let chain = UopProgram::new("chain", vec![OpUnit::Sqrt; 8]).unwrap();
+        assert_eq!(
+            chain.critical_path_latency(hop),
+            chain.unit_latency_sum() + hop * 8
+        );
     }
 }

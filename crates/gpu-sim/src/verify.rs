@@ -1,11 +1,14 @@
 //! Static kernel checks: catch common authoring mistakes in mini-ISA
 //! kernels before simulation (read-before-write registers, unreachable
-//! code, branch-target sanity, SIMT-stack depth bounds).
+//! regions, out-of-bounds branch targets, missing `Exit`, register
+//! pressure, SIMT-stack depth bounds).
 //!
 //! Hand-writing traversal kernels with the builder is error-prone in
 //! exactly the ways real assembly is; [`check`] runs a conservative
-//! abstract interpretation over the CFG and reports [`KernelIssue`]s. The
-//! workload tests run it over every shipped kernel.
+//! abstract interpretation over the CFG and reports [`KernelIssue`]s.
+//! Issues split into errors and warnings (see [`KernelIssue::is_error`]):
+//! errors gate CI through `tta-lint`, warnings are advisory. The workload
+//! tests run the checker over every shipped kernel.
 
 use crate::isa::Instr;
 use crate::kernel::Kernel;
@@ -20,16 +23,49 @@ pub enum KernelIssue {
         /// The register.
         reg: u8,
     },
-    /// An instruction can never be reached from PC 0.
-    Unreachable {
-        /// Program counter of the dead instruction.
+    /// A maximal run of instructions that can never be reached from PC 0
+    /// (typically the region after an unconditional `Jump`).
+    UnreachableRegion {
+        /// First dead program counter.
+        start: usize,
+        /// Last dead program counter (inclusive).
+        end: usize,
+    },
+    /// A branch or jump targets a PC past the end of the kernel.
+    BranchOutOfBounds {
+        /// Program counter of the branching instruction.
         pc: usize,
+        /// The out-of-bounds target.
+        target: usize,
+    },
+    /// Some path falls through the last instruction without reaching
+    /// `Exit`.
+    MissingExit {
+        /// Program counter of the instruction that falls off the end.
+        pc: usize,
+    },
+    /// The kernel needs more live registers than one warp-buffer record
+    /// holds (16 × 32-bit, Fig. 7) — legal on the SIMT cores, but such a
+    /// kernel's state cannot be captured in a traversal record. Warning.
+    RegisterPressure {
+        /// Registers the kernel allocates.
+        used: usize,
+        /// The warp-buffer record budget.
+        limit: usize,
     },
     /// Structured nesting exceeds the SIMT stack budget.
     ExcessiveNesting {
         /// Deepest branch nesting found.
         depth: usize,
     },
+}
+
+impl KernelIssue {
+    /// Whether this issue is an error (gates CI) rather than an advisory
+    /// warning.
+    pub fn is_error(&self) -> bool {
+        !matches!(self, KernelIssue::RegisterPressure { .. })
+    }
 }
 
 impl std::fmt::Display for KernelIssue {
@@ -41,7 +77,21 @@ impl std::fmt::Display for KernelIssue {
                     "pc {pc}: register r{reg} may be read before it is written"
                 )
             }
-            KernelIssue::Unreachable { pc } => write!(f, "pc {pc}: unreachable instruction"),
+            KernelIssue::UnreachableRegion { start, end } => {
+                write!(f, "pc {start}..={end}: unreachable instructions")
+            }
+            KernelIssue::BranchOutOfBounds { pc, target } => {
+                write!(f, "pc {pc}: branch target {target} is past the kernel end")
+            }
+            KernelIssue::MissingExit { pc } => {
+                write!(f, "pc {pc}: control falls off the kernel without Exit")
+            }
+            KernelIssue::RegisterPressure { used, limit } => {
+                write!(
+                    f,
+                    "kernel allocates {used} registers; the warp-buffer record holds {limit}"
+                )
+            }
             KernelIssue::ExcessiveNesting { depth } => {
                 write!(
                     f,
@@ -55,25 +105,32 @@ impl std::fmt::Display for KernelIssue {
 /// Maximum divergent-branch nesting the SIMT stack supports comfortably.
 const MAX_NESTING: usize = 30;
 
+/// Registers one 64-byte warp-buffer record can capture (Fig. 7).
+pub const WARP_RECORD_REGS: usize = 16;
+
 /// Checks a kernel; returns every issue found (empty = clean).
 ///
 /// The analysis is a forward dataflow over the CFG: the set of
 /// definitely-written registers is intersected at join points, so a
 /// `ReadBeforeWrite` report means *some* path reaches the read without a
 /// write — conservative but exact for the structured CFGs the builder
-/// emits.
+/// emits. Filter with [`KernelIssue::is_error`] when only CI-gating
+/// defects matter.
 pub fn check(kernel: &Kernel) -> Vec<KernelIssue> {
     let n = kernel.instrs.len();
     let mut issues = Vec::new();
 
     // written[pc] = bitmask of registers definitely written before pc
-    // executes; None = not yet visited.
+    // executes; None = not yet visited. Slot n is the virtual
+    // "fell off the end" PC.
     let mut written: Vec<Option<u128>> = vec![None; n + 1];
     written[0] = Some(0);
     let mut work = vec![0usize];
     let mut max_depth = 0usize;
     // Track nesting depth as #branches on the path (approximation).
     let mut depth: Vec<usize> = vec![0; n + 1];
+    // First instruction seen falling through / branching to the end.
+    let mut fell_off_from: Option<usize> = None;
 
     while let Some(pc) = work.pop() {
         if pc >= n {
@@ -109,7 +166,16 @@ pub fn check(kernel: &Kernel) -> Vec<KernelIssue> {
         };
         for &(succ, d) in successors {
             if succ > n {
+                // A branch past the virtual end PC can never execute —
+                // the target does not exist.
+                let issue = KernelIssue::BranchOutOfBounds { pc, target: succ };
+                if !issues.contains(&issue) {
+                    issues.push(issue);
+                }
                 continue;
+            }
+            if succ == n && fell_off_from.is_none() {
+                fell_off_from = Some(pc);
             }
             max_depth = max_depth.max(d);
             let merged = match written[succ] {
@@ -128,10 +194,30 @@ pub fn check(kernel: &Kernel) -> Vec<KernelIssue> {
         }
     }
 
-    for (pc, w) in written.iter().enumerate().take(n) {
-        if w.is_none() {
-            issues.push(KernelIssue::Unreachable { pc });
+    // Coalesce never-visited PCs into maximal dead regions.
+    let mut pc = 0usize;
+    while pc < n {
+        if written[pc].is_none() {
+            let start = pc;
+            while pc < n && written[pc].is_none() {
+                pc += 1;
+            }
+            issues.push(KernelIssue::UnreachableRegion { start, end: pc - 1 });
+        } else {
+            pc += 1;
         }
+    }
+    // Reaching the virtual end PC means some path never hit `Exit`.
+    if written[n].is_some() {
+        issues.push(KernelIssue::MissingExit {
+            pc: fell_off_from.expect("end PC reached from somewhere"),
+        });
+    }
+    if kernel.num_regs > WARP_RECORD_REGS {
+        issues.push(KernelIssue::RegisterPressure {
+            used: kernel.num_regs,
+            limit: WARP_RECORD_REGS,
+        });
     }
     if max_depth > MAX_NESTING {
         issues.push(KernelIssue::ExcessiveNesting { depth: max_depth });
@@ -142,7 +228,7 @@ pub fn check(kernel: &Kernel) -> Vec<KernelIssue> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::isa::{Cmp, SReg};
+    use crate::isa::{Cmp, Reg, SReg};
     use crate::kernel::KernelBuilder;
 
     #[test]
@@ -208,6 +294,94 @@ mod tests {
         k.store(i, n, 0);
         k.exit();
         assert_eq!(check(&k.build()), vec![]);
+    }
+
+    /// Regression: a jump past the kernel end used to be silently ignored
+    /// (`succ > n` hit a bare `continue`) — it must be reported.
+    #[test]
+    fn branch_past_kernel_end_is_reported() {
+        let k = Kernel {
+            name: "oob".into(),
+            instrs: vec![
+                Instr::MovImm { rd: Reg(0), imm: 1 },
+                Instr::Jump { target: 999 },
+                Instr::Exit,
+            ],
+            num_regs: 1,
+        };
+        let issues = check(&k);
+        assert!(
+            issues.contains(&KernelIssue::BranchOutOfBounds { pc: 1, target: 999 }),
+            "{issues:?}"
+        );
+        // The Exit after the bad jump is also dead.
+        assert!(issues.contains(&KernelIssue::UnreachableRegion { start: 2, end: 2 }));
+    }
+
+    /// Regression: falling through the last instruction without `Exit`
+    /// used to be accepted.
+    #[test]
+    fn missing_exit_is_reported() {
+        let k = Kernel {
+            name: "noexit".into(),
+            instrs: vec![
+                Instr::MovImm { rd: Reg(0), imm: 1 },
+                Instr::MovImm { rd: Reg(1), imm: 2 },
+            ],
+            num_regs: 2,
+        };
+        let issues = check(&k);
+        assert!(
+            issues.contains(&KernelIssue::MissingExit { pc: 1 }),
+            "{issues:?}"
+        );
+        // Only one path falls off — one report, anchored to the last pc.
+        assert_eq!(
+            issues
+                .iter()
+                .filter(|i| matches!(i, KernelIssue::MissingExit { .. }))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn unreachable_instructions_coalesce_into_one_region() {
+        let k = Kernel {
+            name: "dead".into(),
+            instrs: vec![
+                Instr::Jump { target: 4 },
+                Instr::MovImm { rd: Reg(0), imm: 0 },
+                Instr::MovImm { rd: Reg(0), imm: 1 },
+                Instr::MovImm { rd: Reg(0), imm: 2 },
+                Instr::Exit,
+            ],
+            num_regs: 1,
+        };
+        let issues = check(&k);
+        assert_eq!(
+            issues,
+            vec![KernelIssue::UnreachableRegion { start: 1, end: 3 }]
+        );
+    }
+
+    #[test]
+    fn register_pressure_is_a_warning_not_an_error() {
+        let mut k = KernelBuilder::new("fat");
+        let regs: Vec<_> = (0..20).map(|_| k.reg()).collect();
+        for &r in &regs {
+            k.mov_imm(r, 1);
+        }
+        k.exit();
+        let issues = check(&k.build());
+        assert!(issues.contains(&KernelIssue::RegisterPressure {
+            used: 20,
+            limit: WARP_RECORD_REGS
+        }));
+        assert!(
+            issues.iter().all(|i| !i.is_error()),
+            "register pressure alone must not make the kernel erroneous: {issues:?}"
+        );
     }
 
     #[test]

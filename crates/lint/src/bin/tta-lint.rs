@@ -1,0 +1,57 @@
+//! The `tta-lint` CI gate: run every static-analysis pass over the shipped
+//! μop programs, workload kernels, and traversal pipelines.
+//!
+//! ```text
+//! tta-lint [--deny-warnings] [--quiet]
+//! ```
+//!
+//! Exit status is nonzero when any error-severity diagnostic is produced
+//! (or any diagnostic at all under `--deny-warnings`).
+
+use tta_lint::{lint_shipped, Severity};
+
+fn main() {
+    let mut deny_warnings = false;
+    let mut quiet = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--deny-warnings" => deny_warnings = true,
+            "--quiet" | "-q" => quiet = true,
+            "--help" | "-h" => {
+                println!("usage: tta-lint [--deny-warnings] [--quiet]");
+                println!();
+                println!("Statically analyzes every shipped Table III μop program,");
+                println!("workload kernel, and Listing-1 pipeline; exits nonzero on");
+                println!("any error-severity diagnostic.");
+                return;
+            }
+            other => {
+                eprintln!("tta-lint: unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let diags = lint_shipped();
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = diags.len() - errors;
+
+    if !quiet {
+        for d in &diags {
+            println!("{d}");
+        }
+        println!(
+            "tta-lint: {} error{}, {} warning{}",
+            errors,
+            if errors == 1 { "" } else { "s" },
+            warnings,
+            if warnings == 1 { "" } else { "s" },
+        );
+    }
+
+    let gate_failed = errors > 0 || (deny_warnings && warnings > 0);
+    std::process::exit(if gate_failed { 1 } else { 0 });
+}

@@ -1,0 +1,317 @@
+//! Seeded-defect fixtures: one positive test per analysis pass (a defect
+//! seeded into an otherwise-clean artifact must be flagged, with the pass
+//! name and location in the diagnostic) plus the negative (the whole
+//! shipped inventory produces zero error diagnostics).
+//!
+//! Written in the seeded-loop style of `tests/props.rs`: where a defect
+//! can be injected at random positions, a deterministic RNG sweeps
+//! several variants of it.
+
+use gpu_sim::isa::{Instr, Reg};
+use gpu_sim::kernel::Kernel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tta::pipeline::{AcceleratorGen, PipelineBuilder, TerminateCond, TestConfig};
+use tta::programs::{Operand, Uop, UopProgram};
+use tta::ttaplus::TtaPlusConfig;
+use tta::OpUnit;
+use tta_lint::{has_errors, lint_kernel, lint_pipeline, lint_program, lint_shipped, Severity};
+
+fn cfg() -> TtaPlusConfig {
+    TtaPlusConfig::default_paper()
+}
+
+/// Asserts exactly the contract the CI gate relies on: an error from
+/// `pass`, anchored at `location`.
+fn assert_flagged(diags: &[tta_lint::Diagnostic], pass: &str, location: &str) {
+    assert!(
+        diags.iter().any(|d| d.severity == Severity::Error
+            && d.pass == pass
+            && d.location.contains(location)),
+        "expected an error from pass `{pass}` at `{location}`, got: {diags:#?}"
+    );
+}
+
+// ---- negative: the shipped inventory is clean --------------------------
+
+#[test]
+fn shipped_programs_kernels_and_pipelines_have_zero_errors() {
+    let diags = lint_shipped();
+    let errors: Vec<_> = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .collect();
+    assert!(errors.is_empty(), "{errors:#?}");
+    assert!(!has_errors(&diags));
+}
+
+// ---- μop program passes ------------------------------------------------
+
+#[test]
+fn fixture_uop_read_before_write() {
+    let mut rng = StdRng::seed_from_u64(0x11a7);
+    for _case in 0..8 {
+        let base = UopProgram::ray_box();
+        let mut uops = base.uops().to_vec();
+        let victim = rng.random_range(1..uops.len());
+        // Read a slot no μop before `victim` has written: slots are only
+        // written by earlier μops, so slot 15 is never live in ray_box.
+        uops[victim].srcs[0] = Some(Operand::Slot(15));
+        let p = UopProgram::from_uops("rbw-fixture", uops).unwrap();
+        assert_flagged(
+            &lint_program(&p, &cfg()),
+            "uop-read-before-write",
+            &format!("rbw-fixture:uop{victim}"),
+        );
+    }
+}
+
+#[test]
+fn fixture_uop_dead_result() {
+    let mut rng = StdRng::seed_from_u64(0xdead);
+    for _case in 0..8 {
+        let slot = rng.random_range(0u8..16);
+        // Two writes to the same slot with no intervening read: the first
+        // μop's result is discarded.
+        let p = UopProgram::from_uops(
+            "dead-fixture",
+            vec![
+                Uop::new(OpUnit::Vec3Cmp, &[Operand::Ray(0)], slot),
+                Uop::new(OpUnit::Vec3Cmp, &[Operand::Ray(0)], slot),
+            ],
+        )
+        .unwrap();
+        assert_flagged(
+            &lint_program(&p, &cfg()),
+            "uop-dead-result",
+            "dead-fixture:uop0",
+        );
+    }
+}
+
+#[test]
+fn fixture_op_dest_capacity() {
+    let mut rng = StdRng::seed_from_u64(0xca9);
+    for _case in 0..8 {
+        let base = UopProgram::query_key_inner();
+        let mut uops = base.uops().to_vec();
+        let victim = rng.random_range(0..uops.len());
+        uops[victim].dest = 16 + rng.random_range(0u8..240);
+        let p = UopProgram::from_uops("capacity-fixture", uops).unwrap();
+        assert_flagged(
+            &lint_program(&p, &cfg()),
+            "op-dest-capacity",
+            &format!("capacity-fixture:uop{victim}"),
+        );
+    }
+}
+
+#[test]
+fn fixture_crossbar_fan_in() {
+    // A 3-source μop on a crossbar configured for 2 parallel transfers.
+    let mut narrow = cfg();
+    narrow.crossbar_parallel_transfers = 2;
+    let p = UopProgram::from_uops(
+        "fanin-fixture",
+        vec![
+            Uop::new(OpUnit::Vec3AddSub, &[Operand::Ray(0), Operand::Node(0)], 0),
+            Uop::new(
+                OpUnit::MinMax,
+                &[Operand::Slot(0), Operand::Ray(0), Operand::Node(0)],
+                1,
+            ),
+        ],
+    )
+    .unwrap();
+    assert_flagged(
+        &lint_program(&p, &narrow),
+        "crossbar-fan-in",
+        "fanin-fixture:uop1",
+    );
+    // The same program is fine on the paper's 16-lane crossbar.
+    assert!(!has_errors(&lint_program(&p, &cfg())));
+}
+
+#[test]
+fn fixture_sqrt_without_unit() {
+    let mut no_sqrt = cfg();
+    no_sqrt.with_sqrt = false;
+    // Ray-Sphere needs SQRT at μop 9 — the Table IV no-SQRT design point
+    // must reject it.
+    assert_flagged(
+        &lint_program(&UopProgram::ray_sphere_leaf(), &no_sqrt),
+        "sqrt-unit",
+        "RaySphere/Leaf:uop9",
+    );
+    assert!(!has_errors(&lint_program(
+        &UopProgram::ray_sphere_leaf(),
+        &cfg()
+    )));
+}
+
+#[test]
+fn fixture_latency_bound() {
+    // A 60-deep serial SQRT chain: 60 x (4-cycle hop + 11-cycle unit) =
+    // 900 cycles of critical path, past the 800-cycle profitability bound
+    // (2 x the 400-cycle shader callback it would replace).
+    let p = UopProgram::new("latency-fixture", vec![OpUnit::Sqrt; 60]).unwrap();
+    assert_flagged(
+        &lint_program(&p, &cfg()),
+        "latency-bound",
+        "latency-fixture",
+    );
+    // The longest shipped program stays comfortably inside the bound.
+    assert!(!has_errors(&lint_program(&UopProgram::ray_box(), &cfg())));
+}
+
+// ---- kernel passes -----------------------------------------------------
+
+#[test]
+fn fixture_branch_out_of_bounds() {
+    let mut rng = StdRng::seed_from_u64(0x0b0b);
+    for _case in 0..8 {
+        let target = rng.random_range(4u32..10_000);
+        let k = Kernel {
+            name: "oob-fixture".into(),
+            instrs: vec![
+                Instr::MovImm { rd: Reg(0), imm: 1 },
+                Instr::Jump { target },
+                Instr::Exit,
+            ],
+            num_regs: 1,
+        };
+        assert_flagged(&lint_kernel(&k), "branch-out-of-bounds", "oob-fixture:pc1");
+    }
+}
+
+#[test]
+fn fixture_missing_exit() {
+    let k = Kernel {
+        name: "noexit-fixture".into(),
+        instrs: vec![
+            Instr::MovImm { rd: Reg(0), imm: 1 },
+            Instr::MovImm { rd: Reg(1), imm: 2 },
+        ],
+        num_regs: 2,
+    };
+    assert_flagged(&lint_kernel(&k), "missing-exit", "noexit-fixture:pc1");
+}
+
+#[test]
+fn fixture_kernel_read_before_write() {
+    let k = Kernel {
+        name: "krbw-fixture".into(),
+        instrs: vec![
+            Instr::Mov {
+                rd: Reg(1),
+                rs: Reg(0), // r0 never written
+            },
+            Instr::Exit,
+        ],
+        num_regs: 2,
+    };
+    assert_flagged(
+        &lint_kernel(&k),
+        "kernel-read-before-write",
+        "krbw-fixture:pc0",
+    );
+}
+
+#[test]
+fn fixture_kernel_unreachable_region() {
+    let k = Kernel {
+        name: "dead-fixture".into(),
+        instrs: vec![
+            Instr::Jump { target: 3 },
+            Instr::MovImm { rd: Reg(0), imm: 0 },
+            Instr::MovImm { rd: Reg(0), imm: 1 },
+            Instr::Exit,
+        ],
+        num_regs: 1,
+    };
+    assert_flagged(&lint_kernel(&k), "kernel-unreachable", "dead-fixture:pc1");
+}
+
+#[test]
+fn fixture_register_pressure_is_warning_severity() {
+    // 20 registers exceed the 16-register warp-buffer record (Fig. 7);
+    // the kernel is still legal SIMT code, so this must stay a warning.
+    let k = Kernel {
+        name: "fat-fixture".into(),
+        instrs: vec![
+            Instr::MovImm {
+                rd: Reg(19),
+                imm: 1,
+            },
+            Instr::Exit,
+        ],
+        num_regs: 20,
+    };
+    let diags = lint_kernel(&k);
+    assert!(diags
+        .iter()
+        .any(|d| d.pass == "register-pressure" && d.severity == Severity::Warning));
+    assert!(!has_errors(&diags), "{diags:#?}");
+}
+
+// ---- pipeline pass -----------------------------------------------------
+
+#[test]
+fn fixture_decode_coverage() {
+    // Point-to-Point reads Node(4) but this DecodeI declares 3 fields —
+    // the btree-shaped layout cannot feed the N-Body inner program.
+    let p = PipelineBuilder::new("decode-fixture")
+        .decode_r(&[12, 4])
+        .decode_i(&[4, 4, 12])
+        .decode_l(&[4, 4, 12])
+        .config_i(TestConfig::Uops(UopProgram::point_to_point_inner()))
+        .config_l(TestConfig::Shader)
+        .config_terminate(TerminateCond::StackEmpty)
+        .build(AcceleratorGen::TtaPlus)
+        .unwrap();
+    assert_flagged(
+        &lint_pipeline(&p, &cfg()),
+        "decode-coverage",
+        "decode-fixture:inner:uop2",
+    );
+}
+
+/// Seeded sweep across every program-level pass: random defect kind on a
+/// random shipped program must always produce at least one error.
+#[test]
+fn seeded_defects_never_escape() {
+    let mut rng = StdRng::seed_from_u64(0x5eed);
+    let shipped = [
+        UopProgram::ray_box(),
+        UopProgram::query_key_inner(),
+        UopProgram::ray_triangle_leaf(),
+        UopProgram::rtnn_leaf(),
+    ];
+    for _case in 0..24 {
+        let base = &shipped[rng.random_range(0..shipped.len())];
+        let mut uops = base.uops().to_vec();
+        let victim = rng.random_range(0..uops.len());
+        // Slot 15 may legitimately be live at `victim` (ray-triangle
+        // writes it) — fall back to the capacity defect in that case.
+        let slot15_live = uops[..victim].iter().any(|u| u.dest == 15);
+        match rng.random_range(0u32..3) {
+            0 if !slot15_live => uops[victim].srcs[0] = Some(Operand::Slot(15)),
+            0 => uops[victim].dest = 16 + rng.random_range(0u8..64),
+            1 => uops[victim].dest = 16 + rng.random_range(0u8..64),
+            _ => {
+                // Duplicate a μop so the first copy's result dies unread —
+                // unless its slot is read by the next μop; routing both
+                // copies to the same dest makes the first one dead if the
+                // original had no self-read consumer in between.
+                uops.insert(victim, uops[victim]);
+            }
+        }
+        let p = UopProgram::from_uops("mutated", uops).unwrap();
+        let diags = lint_program(&p, &cfg());
+        assert!(
+            has_errors(&diags),
+            "defect on {} at μop {victim} escaped: {diags:#?}",
+            base.name()
+        );
+    }
+}

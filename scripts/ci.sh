@@ -4,9 +4,12 @@
 # Everything here must pass before merging:
 #   1. cargo fmt --check       — formatting
 #   2. cargo clippy -D warnings — lints, workspace-wide including bins/tests
-#   3. cargo build --release && cargo test  — the tier-1 gate
-#   4. cargo test --workspace  — every crate's unit/integration/doc tests
-#   5. a --quick smoke run of one sweep binary, checking that the run
+#   3. tta-lint               — static analysis over every shipped μop
+#      program, workload kernel, and pipeline (nonzero exit on any
+#      error-severity diagnostic)
+#   4. cargo build --release && cargo test  — the tier-1 gate
+#   5. cargo test --workspace  — every crate's unit/integration/doc tests
+#   6. a --quick smoke run of one sweep binary, checking that the run
 #      journal lands under results/
 #
 # Offline-registry fallback: this workspace has NO crates.io dependencies —
@@ -35,6 +38,10 @@ run() {
 
 run cargo fmt --all -- --check
 run cargo clippy "${CARGO_FLAGS[@]}" --workspace --all-targets -- -D warnings
+
+# Static analysis: every shipped Table III program, workload kernel, and
+# Listing-1 pipeline must produce zero error-severity diagnostics.
+run cargo run "${CARGO_FLAGS[@]}" -p tta-lint --bin tta-lint
 
 # Tier-1: exactly what the repository gate runs.
 run cargo build "${CARGO_FLAGS[@]}" --release

@@ -453,11 +453,13 @@ impl UopProgram {
     /// The fused μop reads the run's external inputs (operands not produced
     /// inside the run) and writes the run's final dest slot; later reads of
     /// the run's intermediate slots are rerouted to that slot, so the
-    /// program stays clean under the [`crate::dataflow`] passes.
+    /// program stays clean under the [`crate::dataflow`] passes. A run
+    /// whose external operand set exceeds the three R-XFORM source ports is
+    /// left unfused (dropping an operand would sever dataflow edges); the
+    /// window slides by one multiply so a later sub-run may still fuse.
     ///
-    /// Idempotent: when no run of three consecutive multiplies exists —
-    /// in particular on any program this method already fused — `self` is
-    /// returned unchanged, name included.
+    /// Idempotent: when no run fuses — in particular on any program this
+    /// method already fused — `self` is returned unchanged, name included.
     pub fn fuse_muls_into_xform(&self) -> Self {
         let fusable = self
             .uops
@@ -490,6 +492,7 @@ impl UopProgram {
             remap.retain(|_, v| *v != slot);
         };
 
+        let mut fused_any = false;
         for uop in &self.uops {
             let uop = apply(uop, &remap);
             if uop.unit == OpUnit::Multiplier {
@@ -502,19 +505,35 @@ impl UopProgram {
                         for op in m.operands() {
                             let is_internal = matches!(op, Operand::Slot(s)
                                 if internal[..i.min(2)].contains(&s));
-                            if !is_internal && !srcs.contains(&op) && srcs.len() < 3 {
+                            if !is_internal && !srcs.contains(&op) {
                                 srcs.push(op);
                             }
                         }
                     }
-                    for d in internal {
-                        if d != dest {
-                            remap.insert(d, dest);
+                    if srcs.len() > 3 {
+                        // More externals than R-XFORM source ports: fusing
+                        // would sever dataflow edges. Emit the oldest
+                        // multiply unfused and slide the window.
+                        let m = run.remove(0);
+                        define(m.dest, &mut remap);
+                        out.push(m);
+                    } else {
+                        // Fresh write to dest: clear stale aliases BEFORE
+                        // recording the run's own reroutes, which define()
+                        // would otherwise delete.
+                        define(dest, &mut remap);
+                        for d in internal {
+                            if d != dest {
+                                // The folded write destroys any value an
+                                // earlier reroute parked in d.
+                                define(d, &mut remap);
+                                remap.insert(d, dest);
+                            }
                         }
+                        out.push(Uop::new(OpUnit::RayTransform, &srcs, dest));
+                        run.clear();
+                        fused_any = true;
                     }
-                    define(dest, &mut remap);
-                    out.push(Uop::new(OpUnit::RayTransform, &srcs, dest));
-                    run.clear();
                 }
             } else {
                 for m in run.drain(..) {
@@ -527,6 +546,10 @@ impl UopProgram {
         }
         for m in run.drain(..) {
             out.push(m);
+        }
+        if !fused_any {
+            // Every candidate run was too wide to route — nothing changed.
+            return self.clone();
         }
         Self::from_uops(format!("{}+fused", self.name), out).expect("fusion preserves validity")
     }
@@ -701,6 +724,71 @@ mod tests {
         )
         .unwrap();
         assert_eq!(partial.fuse_muls_into_xform(), partial);
+    }
+
+    #[test]
+    fn fusion_reroutes_reads_of_intermediate_slots() {
+        use Operand::{Node, Ray, Slot};
+        // Regression: the AddSub reads Slot(0) — an *intermediate* of the
+        // fused run, not its final dest — and must be rerouted to the
+        // R-XFORM's dest slot. (define(dest) used to run after the reroute
+        // inserts and delete them, leaving a read of an unwritten slot.)
+        let p = UopProgram::from_uops(
+            "intermediate-read",
+            vec![
+                Uop::new(OpUnit::Multiplier, &[Ray(0), Ray(0)], 0),
+                Uop::new(OpUnit::Multiplier, &[Node(2), Node(2)], 1),
+                Uop::new(OpUnit::Multiplier, &[Slot(0), Slot(1)], 2),
+                Uop::new(OpUnit::Vec3AddSub, &[Slot(0), Slot(2)], 3),
+            ],
+        )
+        .unwrap();
+        let fused = p.fuse_muls_into_xform();
+        assert_eq!(fused.count_of(OpUnit::Multiplier), 0);
+        let addsub = fused.uops().last().unwrap();
+        assert_eq!(addsub.unit, OpUnit::Vec3AddSub);
+        assert_eq!(addsub.srcs[0], Some(Slot(2)), "intermediate read rerouted");
+        assert_eq!(addsub.srcs[1], Some(Slot(2)));
+        let issues =
+            crate::dataflow::check_program(&fused, &crate::ttaplus::TtaPlusConfig::default_paper());
+        assert!(issues.is_empty(), "{issues:?}");
+    }
+
+    #[test]
+    fn fusion_skips_runs_with_too_many_external_operands() {
+        use Operand::{Node, Ray, Slot};
+        // Four distinct external inputs cannot route into the three
+        // R-XFORM source ports — the run must stay unfused rather than
+        // silently dropping an operand.
+        let wide = UopProgram::from_uops(
+            "wide",
+            vec![
+                Uop::new(OpUnit::Multiplier, &[Ray(0), Ray(1)], 0),
+                Uop::new(OpUnit::Multiplier, &[Node(2), Node(3)], 1),
+                Uop::new(OpUnit::Multiplier, &[Slot(0), Slot(1)], 2),
+            ],
+        )
+        .unwrap();
+        assert_eq!(
+            wide.fuse_muls_into_xform(),
+            wide,
+            "unchanged, name included"
+        );
+        // With a fourth multiply, the window slides past the wide run and
+        // fuses the narrower sub-run [mul1, mul2, mul3] (externals: Node(2),
+        // Node(3), Slot(0) — mul0's now-external result).
+        let mut uops = wide.uops().to_vec();
+        uops.push(Uop::new(OpUnit::Multiplier, &[Slot(2), Slot(2)], 3));
+        let slid = UopProgram::from_uops("wide4", uops)
+            .unwrap()
+            .fuse_muls_into_xform();
+        assert_eq!(slid.count_of(OpUnit::Multiplier), 1);
+        assert_eq!(slid.count_of(OpUnit::RayTransform), 1);
+        let xform = &slid.uops()[1];
+        assert_eq!(xform.srcs, [Some(Node(2)), Some(Node(3)), Some(Slot(0))]);
+        let issues =
+            crate::dataflow::check_program(&slid, &crate::ttaplus::TtaPlusConfig::default_paper());
+        assert!(issues.is_empty(), "{issues:?}");
     }
 
     #[test]

@@ -118,6 +118,12 @@ pub const WARP_RECORD_REGS: usize = 16;
 /// defects matter.
 pub fn check(kernel: &Kernel) -> Vec<KernelIssue> {
     let n = kernel.instrs.len();
+    if n == 0 {
+        // With no instructions, PC 0 *is* the virtual end PC: control
+        // falls off before any `Exit`. The analysis below would otherwise
+        // see the end as reached with no faller to anchor the report to.
+        return vec![KernelIssue::MissingExit { pc: 0 }];
+    }
     let mut issues = Vec::new();
 
     // written[pc] = bitmask of registers definitely written before pc
@@ -343,6 +349,18 @@ mod tests {
                 .count(),
             1
         );
+    }
+
+    /// Regression: an empty kernel used to panic (the virtual end PC was
+    /// also the entry, "reached" with no faller to anchor the report to).
+    #[test]
+    fn empty_kernel_is_reported_not_a_panic() {
+        let k = Kernel {
+            name: "empty".into(),
+            instrs: vec![],
+            num_regs: 0,
+        };
+        assert_eq!(check(&k), vec![KernelIssue::MissingExit { pc: 0 }]);
     }
 
     #[test]

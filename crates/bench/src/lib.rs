@@ -32,39 +32,61 @@ pub struct Args {
     pub threads: usize,
 }
 
+/// One-line usage string shared by `--help` and parse errors.
+pub const USAGE: &str = "usage: [--scale <f>] [--quick] [--threads <n>]";
+
 impl Args {
-    /// Parses `std::env::args`.
-    ///
-    /// # Panics
-    ///
-    /// Panics with a usage message on malformed arguments.
+    /// Parses `std::env::args`, printing a clear error (exit code 2) on
+    /// malformed input instead of a panic backtrace.
     pub fn parse() -> Self {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        if argv.iter().any(|a| a == "--help" || a == "-h") {
+            eprintln!("{USAGE}");
+            std::process::exit(0);
+        }
+        match Self::parse_from(argv.into_iter()) {
+            Ok(args) => args,
+            Err(e) => {
+                eprintln!("error: {e}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses an argument list (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on an unknown flag, a missing
+    /// value, or an invalid value — notably `--threads 0`, which is
+    /// rejected here rather than silently clamped to 1 deep inside
+    /// [`harness::pool::run_ordered`].
+    pub fn parse_from(mut it: impl Iterator<Item = String>) -> Result<Self, String> {
         let mut args = Args {
             scale: 1.0,
             quick: false,
             threads: harness::pool::default_threads(),
         };
-        let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
             match a.as_str() {
                 "--scale" => {
-                    let v = it.next().expect("--scale needs a value");
-                    args.scale = v.parse().expect("--scale needs a number");
+                    let v = it.next().ok_or("--scale needs a value")?;
+                    args.scale = v
+                        .parse()
+                        .map_err(|_| format!("--scale needs a number, got `{v}`"))?;
                 }
                 "--quick" => args.quick = true,
                 "--threads" => {
-                    let v = it.next().expect("--threads needs a value");
-                    args.threads = v.parse().expect("--threads needs a positive integer");
-                    assert!(args.threads >= 1, "--threads needs a positive integer");
+                    let v = it.next().ok_or("--threads needs a value")?;
+                    args.threads = match v.parse::<usize>() {
+                        Ok(n) if n >= 1 => n,
+                        _ => return Err(format!("--threads needs a positive integer, got `{v}`")),
+                    };
                 }
-                "--help" | "-h" => {
-                    eprintln!("usage: [--scale <f>] [--quick] [--threads <n>]");
-                    std::process::exit(0);
-                }
-                other => panic!("unknown argument `{other}` (try --help)"),
+                other => return Err(format!("unknown argument `{other}` (try --help)")),
             }
         }
-        args
+        Ok(args)
     }
 
     /// Scales a default size, with a floor so nothing degenerates.
@@ -223,6 +245,21 @@ mod tests {
             threads: 1,
         };
         assert_eq!(q.sized(1000), 250);
+    }
+
+    #[test]
+    fn parse_from_rejects_zero_threads_with_clear_error() {
+        let parse = |argv: &[&str]| Args::parse_from(argv.iter().map(|s| (*s).to_owned()));
+        let err = parse(&["--threads", "0"]).unwrap_err();
+        assert!(err.contains("positive integer"), "unhelpful error: {err}");
+        assert!(parse(&["--threads", "-2"]).is_err());
+        assert!(parse(&["--threads", "four"]).is_err());
+        assert!(parse(&["--threads"]).is_err());
+        assert!(parse(&["--bogus"]).is_err());
+        let ok = parse(&["--threads", "3", "--quick", "--scale", "0.5"]).unwrap();
+        assert_eq!(ok.threads, 3);
+        assert!(ok.quick);
+        assert!((ok.scale - 0.5).abs() < 1e-12);
     }
 
     #[test]

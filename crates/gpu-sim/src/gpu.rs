@@ -209,6 +209,13 @@ impl Gpu {
         }
 
         stats.cycles = self.clock - start_cycle;
+        // Completion cycles were recorded on the absolute clock; rebase
+        // them to this launch. Every launched warp exits before the loop
+        // terminates, so the vector is dense over [0, num_warps).
+        debug_assert_eq!(stats.warp_completions.len(), num_warps);
+        for c in &mut stats.warp_completions {
+            *c -= start_cycle;
+        }
         stats.l1.hits = self.mem.l1_stats.hits - l1_before.hits;
         stats.l1.misses = self.mem.l1_stats.misses - l1_before.misses;
         stats.l1.mshr_merges = self.mem.l1_stats.mshr_merges - l1_before.mshr_merges;
@@ -363,6 +370,26 @@ mod tests {
         let kernel = k.build();
         let mut gpu = Gpu::new(GpuConfig::small_test(), 1 << 16);
         let _ = gpu.launch(&kernel, 32, &[0]);
+    }
+
+    #[test]
+    fn per_warp_completions_are_dense_and_bounded() {
+        let mut gpu = Gpu::new(GpuConfig::small_test(), 1 << 20);
+        let n = 1000usize;
+        let inp = gpu.gmem.alloc(4 * n, 64);
+        let out = gpu.gmem.alloc(4 * n, 64);
+        let stats = gpu.launch(&incr_kernel(), n, &[inp as u32, out as u32]);
+        assert_eq!(stats.warp_completions.len(), n.div_ceil(32));
+        assert!(
+            stats.warp_completions.iter().all(|&c| c <= stats.cycles),
+            "completions are launch-relative"
+        );
+        let max = *stats.warp_completions.iter().max().unwrap();
+        assert_eq!(stats.warp_completion_percentile(100.0), Some(max));
+        // A second launch starts its completion clock from zero again.
+        let s2 = gpu.launch(&incr_kernel(), 64, &[inp as u32, out as u32]);
+        assert_eq!(s2.warp_completions.len(), 2);
+        assert!(s2.warp_completions.iter().all(|&c| c <= s2.cycles));
     }
 
     #[test]

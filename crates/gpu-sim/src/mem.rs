@@ -51,13 +51,20 @@ impl GlobalMemory {
     /// Panics when out of memory or `align` is not a power of two.
     pub fn alloc(&mut self, size: usize, align: usize) -> u64 {
         assert!(align.is_power_of_two(), "alignment must be a power of two");
-        let base = (self.next_free + align - 1) & !(align - 1);
-        assert!(
-            base + size <= self.bytes.len(),
-            "simulated GPU memory exhausted"
-        );
-        self.next_free = base + size;
-        base as u64
+        // Checked arithmetic: a huge `size` must report exhaustion, not
+        // wrap around in release builds and hand out an aliased base.
+        let end = self
+            .next_free
+            .checked_add(align - 1)
+            .map(|v| v & !(align - 1))
+            .and_then(|base| base.checked_add(size).map(|end| (base, end)));
+        match end {
+            Some((base, end)) if end <= self.bytes.len() => {
+                self.next_free = end;
+                base as u64
+            }
+            _ => panic!("simulated GPU memory exhausted"),
+        }
     }
 
     /// Copies a byte slice into memory at `addr`.
@@ -460,6 +467,16 @@ mod tests {
     fn global_memory_oom_panics() {
         let mut m = GlobalMemory::new(1024);
         let _ = m.alloc(4096, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn global_memory_overflowing_size_reports_exhaustion() {
+        // `base + size` would wrap; checked arithmetic must turn that into
+        // the exhaustion panic, not an aliased allocation (release builds
+        // would otherwise wrap silently).
+        let mut m = GlobalMemory::new(1024);
+        let _ = m.alloc(usize::MAX - 16, 64);
     }
 
     #[test]

@@ -195,8 +195,15 @@ impl Sm {
             if instr.is_flop() {
                 stats.flops += lanes;
             }
+            let warp_id = warp.id;
             Self::execute(warp, instr, mask, now, cfg, params, mem, gmem, self.id);
             if matches!(instr, Instr::Exit) {
+                // Record when this warp retired. `now` is the absolute
+                // clock; `Gpu::launch` rebases to launch-relative cycles.
+                if stats.warp_completions.len() <= warp_id {
+                    stats.warp_completions.resize(warp_id + 1, 0);
+                }
+                stats.warp_completions[warp_id] = now;
                 self.slots[slot] = None;
                 self.order.retain(|&i| i != slot);
                 self.last_issued = None;

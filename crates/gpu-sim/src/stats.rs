@@ -62,6 +62,13 @@ pub struct SimStats {
     pub traversals_offloaded: u64,
     /// Cycles during which at least one SM issued an instruction.
     pub sm_active_cycles: u64,
+    /// Completion cycle of each warp, indexed by warp id and relative to
+    /// the launch start (the cycle the warp issued its `Exit`). Filled by
+    /// [`crate::Gpu::launch`]; the serving layer turns these into
+    /// per-query latencies. When launches are summed
+    /// (`workloads::runner::sum_stats`), later launches' entries are
+    /// shifted by the cycles of the preceding launches and appended.
+    pub warp_completions: Vec<u64>,
 }
 
 impl Default for SimStats {
@@ -79,8 +86,38 @@ impl Default for SimStats {
             dram_channels: 0,
             traversals_offloaded: 0,
             sm_active_cycles: 0,
+            warp_completions: Vec::new(),
         }
     }
+}
+
+/// Nearest-rank percentile of a sample set: the smallest element such
+/// that at least `p` percent of the samples are ≤ it. `p` is clamped to
+/// `[0, 100]`; `p = 0` returns the minimum, `p = 100` the maximum.
+/// Returns `None` on an empty sample set — an empty launch has no p99.
+pub fn percentile(samples: &[u64], p: f64) -> Option<u64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let p = p.clamp(0.0, 100.0);
+    // Nearest-rank, 1-based: ceil(p/100 · n); rank 0 maps to the minimum.
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    Some(sorted[rank.max(1) - 1])
+}
+
+/// Fixed-width histogram of a sample set: `(bucket_start, count)` pairs
+/// for every non-empty bucket, in ascending bucket order. A
+/// `bucket_width` of 0 is treated as 1. Deterministic: equal samples
+/// always produce the same bucket list.
+pub fn histogram(samples: &[u64], bucket_width: u64) -> Vec<(u64, u64)> {
+    let w = bucket_width.max(1);
+    let mut buckets = std::collections::BTreeMap::new();
+    for &s in samples {
+        *buckets.entry((s / w) * w).or_insert(0u64) += 1;
+    }
+    buckets.into_iter().collect()
 }
 
 impl SimStats {
@@ -129,6 +166,19 @@ impl SimStats {
         baseline.cycles as f64 / self.cycles.max(1) as f64
     }
 
+    /// Nearest-rank percentile of the per-warp completion cycles (see
+    /// [`percentile`]). `None` when the run recorded no warp completions
+    /// (e.g. stats that were never produced by a launch).
+    pub fn warp_completion_percentile(&self, p: f64) -> Option<u64> {
+        percentile(&self.warp_completions, p)
+    }
+
+    /// Fixed-width histogram of the per-warp completion cycles (see
+    /// [`histogram`]).
+    pub fn warp_completion_histogram(&self, bucket_width: u64) -> Vec<(u64, u64)> {
+        histogram(&self.warp_completions, bucket_width)
+    }
+
     /// Serializes the raw counters as a JSON object with a stable field
     /// order and integer-only values, so equal stats always produce
     /// byte-identical text (the run-journal determinism contract).
@@ -143,7 +193,8 @@ impl SimStats {
              \"l2\":{{\"hits\":{},\"misses\":{},\"mshr_merges\":{}}},\
              \"dram\":{{\"bytes_read\":{},\"bytes_written\":{},\"bytes_requested\":{},\
              \"busy_channel_cycles\":{},\"transactions\":{}}},\
-             \"dram_channels\":{},\"traversals_offloaded\":{},\"sm_active_cycles\":{}}}",
+             \"dram_channels\":{},\"traversals_offloaded\":{},\"sm_active_cycles\":{},\
+             \"warp_completions\":[{}]}}",
             self.warp_size,
             self.cycles,
             self.warp_instrs,
@@ -167,6 +218,11 @@ impl SimStats {
             self.dram_channels,
             self.traversals_offloaded,
             self.sm_active_cycles,
+            self.warp_completions
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(","),
         )
     }
 }
@@ -282,6 +338,62 @@ mod tests {
             assert!(a.contains(key), "missing {key} in {a}");
         }
         assert!(a.starts_with('{') && a.ends_with('}'));
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = vec![10, 20, 30, 40, 50, 60, 70, 80, 90, 100];
+        assert_eq!(percentile(&v, 0.0), Some(10));
+        assert_eq!(percentile(&v, 50.0), Some(50));
+        assert_eq!(percentile(&v, 95.0), Some(100));
+        assert_eq!(percentile(&v, 99.0), Some(100));
+        assert_eq!(percentile(&v, 100.0), Some(100));
+        // Unsorted input is handled.
+        assert_eq!(percentile(&[50, 10, 30], 50.0), Some(30));
+        // Out-of-range p is clamped rather than panicking.
+        assert_eq!(percentile(&v, -5.0), Some(10));
+        assert_eq!(percentile(&v, 250.0), Some(100));
+    }
+
+    #[test]
+    fn percentile_empty_and_single_sample() {
+        assert_eq!(percentile(&[], 50.0), None, "empty sample set has no p50");
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(percentile(&[42], p), Some(42), "single sample at p={p}");
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_ascending_and_complete() {
+        let h = histogram(&[0, 1, 99, 100, 101, 250], 100);
+        assert_eq!(h, vec![(0, 3), (100, 2), (200, 1)]);
+        assert!(histogram(&[], 100).is_empty());
+        // Width 0 is clamped to 1 instead of dividing by zero.
+        assert_eq!(histogram(&[5, 5, 6], 0), vec![(5, 2), (6, 1)]);
+    }
+
+    #[test]
+    fn warp_completion_helpers_delegate() {
+        let s = SimStats {
+            warp_completions: vec![100, 300, 200],
+            ..Default::default()
+        };
+        assert_eq!(s.warp_completion_percentile(50.0), Some(200));
+        assert_eq!(s.warp_completion_histogram(1000), vec![(0, 3)]);
+        let empty = SimStats::default();
+        assert_eq!(empty.warp_completion_percentile(99.0), None);
+        assert!(empty.warp_completion_histogram(10).is_empty());
+    }
+
+    #[test]
+    fn to_json_includes_warp_completions() {
+        let s = SimStats {
+            warp_completions: vec![7, 11],
+            ..Default::default()
+        };
+        assert!(s.to_json().contains("\"warp_completions\":[7,11]"));
+        let none = SimStats::default();
+        assert!(none.to_json().contains("\"warp_completions\":[]"));
     }
 
     #[test]

@@ -12,10 +12,14 @@
 //! differ run to run and would break byte-identity. [`crate::sweep`]
 //! writes them to a separate `.timing.json` sidecar.
 
-use workloads::{AccelReport, RunResult};
+use workloads::{AccelReport, RunResult, ServeSummary};
 
 /// Journal schema version (bump on breaking shape changes).
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2 added the per-run `"serve"` section (online-serving metrics, `null`
+/// for closed-batch figure runs) and `"warp_completions"` inside
+/// `"stats"`.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Serializes a finished sweep as the journal JSON document.
 pub fn journal_json(sweep: &str, results: &[RunResult]) -> String {
@@ -61,12 +65,44 @@ fn run_json(r: &RunResult) -> String {
         r.core_instructions()
     ));
     out.push_str(&format!("      \"stats\": {},\n", r.stats.to_json()));
+    match &r.serve {
+        Some(s) => out.push_str(&format!("      \"serve\": {},\n", serve_json(s))),
+        None => out.push_str("      \"serve\": null,\n"),
+    }
     match &r.accel {
         Some(a) => out.push_str(&format!("      \"accel\": {}\n", accel_json(a))),
         None => out.push_str("      \"accel\": null\n"),
     }
     out.push_str("    }");
     out
+}
+
+/// The serving-metrics journal section: one flat object, stable field
+/// order, integer cycle counters verbatim, rates via [`num`] — the same
+/// determinism contract as the rest of the journal.
+fn serve_json(s: &ServeSummary) -> String {
+    format!(
+        "{{\"policy\":{},\"backend\":{},\"arrival_mean_cycles\":{},\
+         \"offered\":{},\"admitted\":{},\"dropped\":{},\"completed\":{},\
+         \"batches\":{},\
+         \"p50_latency\":{},\"p95_latency\":{},\"p99_latency\":{},\"max_latency\":{},\
+         \"throughput_qpkc\":{},\"max_queue_depth\":{},\"makespan_cycles\":{}}}",
+        escape(&s.policy),
+        escape(&s.backend),
+        num(s.arrival_mean_cycles),
+        s.offered,
+        s.admitted,
+        s.dropped,
+        s.completed,
+        s.batches,
+        s.p50_latency,
+        s.p95_latency,
+        s.p99_latency,
+        s.max_latency,
+        num(s.throughput_qpkc),
+        s.max_queue_depth,
+        s.makespan_cycles,
+    )
 }
 
 fn accel_json(a: &AccelReport) -> String {
@@ -199,6 +235,7 @@ mod tests {
             label: label.to_owned(),
             stats,
             accel: None,
+            serve: None,
         }
     }
 
@@ -212,6 +249,44 @@ mod tests {
         assert!(x.contains("\"cycles\": 100"));
         assert!(x.contains("\"run_count\": 2"));
         assert!(x.contains("\"accel\": null"));
+    }
+
+    #[test]
+    fn serve_section_serializes_deterministically() {
+        let mut r = result("serve", 5000);
+        r.serve = Some(ServeSummary {
+            policy: "cont8w".into(),
+            backend: "TTA".into(),
+            arrival_mean_cycles: 120.5,
+            offered: 512,
+            admitted: 512,
+            dropped: 0,
+            completed: 512,
+            batches: 9,
+            p50_latency: 400,
+            p95_latency: 900,
+            p99_latency: 1200,
+            max_latency: 1500,
+            throughput_qpkc: 2.5,
+            max_queue_depth: 64,
+            makespan_cycles: 204800,
+        });
+        let a = journal_json("serve", std::slice::from_ref(&r));
+        let b = journal_json("serve", &[r.clone()]);
+        assert_eq!(a, b, "equal serve runs must serialize byte-identically");
+        for key in [
+            "\"policy\":\"cont8w\"",
+            "\"backend\":\"TTA\"",
+            "\"p99_latency\":1200",
+            "\"dropped\":0",
+            "\"max_queue_depth\":64",
+            "\"throughput_qpkc\":2.5",
+        ] {
+            assert!(a.contains(key), "missing {key}");
+        }
+        // Closed-batch runs keep a null serve section.
+        let plain = journal_json("plain", &[result("x", 1)]);
+        assert!(plain.contains("\"serve\": null"));
     }
 
     #[test]

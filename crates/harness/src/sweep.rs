@@ -161,6 +161,7 @@ mod tests {
                 ..Default::default()
             },
             accel: None,
+            serve: None,
         }
     }
 

@@ -1,0 +1,359 @@
+//! The deterministic virtual-clock serving loop.
+//!
+//! Time here is *simulated GPU cycles*, never wall clock: arrivals are a
+//! precomputed cycle-stamped stream, batches advance the clock by the
+//! simulated kernel duration, and every decision is a pure function of
+//! (stream, policy, backend). Two runs with the same inputs therefore
+//! produce identical outcomes regardless of host, thread count, or load —
+//! the property `tests/determinism.rs` asserts on journal bytes.
+
+use std::collections::VecDeque;
+
+use gpu_sim::SimStats;
+
+use crate::policy::BatchPolicy;
+
+/// A backend that can execute one batch of queries as a simulated kernel
+/// launch. Implementations own the device state (GPU, tree image, query
+/// buffers) and keep it across batches — caches stay warm, accelerator
+/// counters accumulate.
+pub trait BatchService {
+    /// Human-readable backend label (e.g. `BASE`, `TTA`).
+    fn label(&self) -> String;
+    /// Size of the query universe; stream query `i` maps to universe entry
+    /// `i % query_count()`.
+    fn query_count(&self) -> usize;
+    /// Lanes per warp of the underlying device — continuous batching sizes
+    /// batches in warps of this width.
+    fn warp_width(&self) -> usize;
+    /// Runs `ids` (stream query indices) as one kernel launch and returns
+    /// the launch's [`SimStats`] (cycles, per-warp completion cycles, …).
+    fn run_batch(&mut self, ids: &[usize]) -> SimStats;
+    /// Accelerator counters accumulated over every batch served so far
+    /// (`None` for backends without an accelerator).
+    fn accel_report(&self) -> Option<workloads::AccelReport> {
+        None
+    }
+}
+
+/// Serving-engine configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Batch-formation policy.
+    pub policy: BatchPolicy,
+    /// Queue bound for backpressure: arrivals beyond this depth are
+    /// dropped. `None` (the default) admits everything — the property
+    /// tests rely on this meaning zero drops, ever.
+    pub queue_capacity: Option<usize>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            policy: BatchPolicy::Continuous { max_warps: 8 },
+            queue_capacity: None,
+        }
+    }
+}
+
+/// Per-query outcome of a serving run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryOutcome {
+    /// Arrival cycle (from the offered stream).
+    pub arrival: u64,
+    /// Completion cycle; `None` means the query was dropped at admission
+    /// by a bounded queue.
+    pub completion: Option<u64>,
+}
+
+impl QueryOutcome {
+    /// Arrival-to-completion latency in cycles (`None` if dropped).
+    pub fn latency(&self) -> Option<u64> {
+        self.completion.map(|c| c - self.arrival)
+    }
+}
+
+/// Everything a serving run produced.
+#[derive(Debug, Clone)]
+pub struct ServeOutcome {
+    /// One entry per offered query, in stream order.
+    pub queries: Vec<QueryOutcome>,
+    /// Kernel batches launched.
+    pub batches: u64,
+    /// Deepest the wait queue ever got (measured after each admission).
+    pub max_queue_depth: usize,
+    /// Queries rejected by backpressure.
+    pub dropped: u64,
+    /// Virtual cycle at which the last query completed.
+    pub makespan: u64,
+    /// Per-launch simulator stats, in launch order.
+    pub launch_stats: Vec<SimStats>,
+}
+
+/// Runs the serving loop: admits `arrivals` (cycle stamps, ascending) into
+/// a FIFO queue, forms batches per `cfg.policy`, executes them on `svc`,
+/// and accounts per-query completion.
+///
+/// The device is exclusive — one batch in flight at a time; the next
+/// launch waits for the previous one to finish. Size/deadline policies are
+/// batch-synchronous (every query in a batch completes when the kernel
+/// does); continuous batching credits each query with its *warp's*
+/// completion cycle inside the launch.
+///
+/// # Panics
+///
+/// Panics if `arrivals` is not sorted ascending, or if the backend reports
+/// fewer per-warp completion slots than the batch needs.
+pub fn serve(svc: &mut dyn BatchService, cfg: &ServeConfig, arrivals: &[u64]) -> ServeOutcome {
+    assert!(
+        arrivals.windows(2).all(|w| w[0] <= w[1]),
+        "arrival stream must be sorted by cycle"
+    );
+    let universe = svc.query_count();
+    assert!(universe > 0, "backend has an empty query universe");
+    let warp_width = svc.warp_width().max(1);
+
+    let mut queries: Vec<QueryOutcome> = arrivals
+        .iter()
+        .map(|&t| QueryOutcome {
+            arrival: t,
+            completion: None,
+        })
+        .collect();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut outcome_batches = 0u64;
+    let mut max_queue_depth = 0usize;
+    let mut dropped = 0u64;
+    let mut makespan = 0u64;
+    let mut launch_stats: Vec<SimStats> = Vec::new();
+
+    let mut now = 0u64; // virtual clock, in cycles
+    let mut device_free_at = 0u64;
+    let mut next_arrival = 0usize;
+
+    loop {
+        // Admit every arrival that has happened by `now`.
+        while next_arrival < arrivals.len() && arrivals[next_arrival] <= now {
+            let full = cfg.queue_capacity.is_some_and(|cap| queue.len() >= cap);
+            if full {
+                dropped += 1; // completion stays None
+            } else {
+                queue.push_back(next_arrival);
+                max_queue_depth = max_queue_depth.max(queue.len());
+            }
+            next_arrival += 1;
+        }
+        let drained = next_arrival >= arrivals.len();
+        if drained && queue.is_empty() {
+            break;
+        }
+
+        // Launch if the device is free and the policy triggers.
+        if device_free_at <= now && !queue.is_empty() {
+            let oldest = queries[queue[0]].arrival;
+            if cfg.policy.should_launch(queue.len(), oldest, now, drained) {
+                let n = cfg.policy.take(queue.len(), warp_width);
+                let batch: Vec<usize> = queue.drain(..n).collect();
+                let stats = svc.run_batch(&batch);
+                let per_warp = cfg.policy.per_warp_accounting();
+                if per_warp {
+                    let warps_needed = batch.len().div_ceil(warp_width);
+                    assert!(
+                        stats.warp_completions.len() >= warps_needed,
+                        "backend reported {} warp completions for a {}-query batch \
+                         (warp width {warp_width})",
+                        stats.warp_completions.len(),
+                        batch.len()
+                    );
+                }
+                for (i, &qi) in batch.iter().enumerate() {
+                    let done = if per_warp {
+                        now + stats.warp_completions[i / warp_width]
+                    } else {
+                        now + stats.cycles
+                    };
+                    queries[qi].completion = Some(done);
+                    makespan = makespan.max(done);
+                }
+                device_free_at = now + stats.cycles;
+                outcome_batches += 1;
+                launch_stats.push(stats);
+                continue; // re-admit at the same `now` before advancing
+            }
+        }
+
+        // Advance the clock to the next event: an arrival, the device
+        // becoming free, or a policy deadline.
+        let mut next: Option<u64> = (!drained).then(|| arrivals[next_arrival]);
+        if !queue.is_empty() {
+            if device_free_at > now {
+                next = Some(next.map_or(device_free_at, |t| t.min(device_free_at)));
+            } else if let Some(d) = cfg.policy.next_deadline(queries[queue[0]].arrival) {
+                let d = d.max(now + 1);
+                next = Some(next.map_or(d, |t| t.min(d)));
+            }
+        }
+        match next {
+            Some(t) => {
+                debug_assert!(t > now, "virtual clock must advance");
+                now = t;
+            }
+            // Unreachable in practice: a drained non-empty queue always
+            // triggers the flush rule above. Defensive exit, not a hang.
+            None => break,
+        }
+    }
+
+    ServeOutcome {
+        queries,
+        batches: outcome_batches,
+        max_queue_depth,
+        dropped,
+        makespan,
+        launch_stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A fake backend: every batch takes `base + per_query × n` cycles and
+    /// reports evenly-spread warp completions.
+    struct FakeService {
+        universe: usize,
+        base: u64,
+        per_query: u64,
+        batches_seen: Vec<Vec<usize>>,
+    }
+
+    impl BatchService for FakeService {
+        fn label(&self) -> String {
+            "FAKE".into()
+        }
+        fn query_count(&self) -> usize {
+            self.universe
+        }
+        fn warp_width(&self) -> usize {
+            4
+        }
+        fn run_batch(&mut self, ids: &[usize]) -> SimStats {
+            self.batches_seen.push(ids.to_vec());
+            let cycles = self.base + self.per_query * ids.len() as u64;
+            let warps = ids.len().div_ceil(4);
+            SimStats {
+                cycles,
+                warp_size: 4,
+                // Warp w finishes at base + per_query × (queries through w).
+                warp_completions: (1..=warps)
+                    .map(|w| self.base + self.per_query * ((w * 4).min(ids.len()) as u64))
+                    .collect(),
+                ..Default::default()
+            }
+        }
+    }
+
+    fn fake(universe: usize) -> FakeService {
+        FakeService {
+            universe,
+            base: 100,
+            per_query: 10,
+            batches_seen: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn size_triggered_launches_full_batches_then_flushes() {
+        let mut svc = fake(64);
+        let cfg = ServeConfig {
+            policy: BatchPolicy::SizeTriggered { batch: 4 },
+            queue_capacity: None,
+        };
+        // 6 arrivals: one full batch of 4, then a drained flush of 2.
+        let arrivals = vec![0, 0, 5, 5, 7, 9];
+        let out = serve(&mut svc, &cfg, &arrivals);
+        assert_eq!(out.batches, 2);
+        assert_eq!(svc.batches_seen[0], vec![0, 1, 2, 3]);
+        assert_eq!(svc.batches_seen[1], vec![4, 5]);
+        assert_eq!(out.dropped, 0);
+        // Batch 1 launches at t=5 (4th arrival), takes 100+40=140.
+        assert_eq!(out.queries[0].completion, Some(5 + 140));
+        // Batch 2 flushes when the device frees at t=145, takes 100+20.
+        assert_eq!(out.queries[5].completion, Some(145 + 120));
+        assert_eq!(out.makespan, 265);
+        assert_eq!(out.launch_stats.len(), 2);
+    }
+
+    #[test]
+    fn deadline_policy_launches_partial_batch_at_deadline() {
+        let mut svc = fake(64);
+        let cfg = ServeConfig {
+            policy: BatchPolicy::DeadlineTriggered {
+                max_wait: 50,
+                max_batch: 8,
+            },
+            queue_capacity: None,
+        };
+        // Two early arrivals, then a long gap: the deadline (not the
+        // drain) must trigger the first launch at t=0+50.
+        let arrivals = vec![0, 10, 100_000];
+        let out = serve(&mut svc, &cfg, &arrivals);
+        assert_eq!(out.batches, 2);
+        assert_eq!(svc.batches_seen[0], vec![0, 1]);
+        assert_eq!(out.queries[0].completion, Some(50 + 100 + 20));
+        assert_eq!(out.queries[1].latency(), Some(160));
+    }
+
+    #[test]
+    fn continuous_batching_credits_per_warp_completions() {
+        let mut svc = fake(64);
+        let cfg = ServeConfig {
+            policy: BatchPolicy::Continuous { max_warps: 4 },
+            queue_capacity: None,
+        };
+        let arrivals = vec![0; 8]; // two warps' worth, all at t=0
+        let out = serve(&mut svc, &cfg, &arrivals);
+        assert_eq!(out.batches, 1);
+        // Warp 0 (queries 0-3) completes at 100+40, warp 1 at 100+80.
+        assert_eq!(out.queries[0].completion, Some(140));
+        assert_eq!(out.queries[7].completion, Some(180));
+        assert_eq!(out.makespan, 180);
+    }
+
+    #[test]
+    fn bounded_queue_drops_and_counts() {
+        let mut svc = fake(64);
+        let cfg = ServeConfig {
+            // batch=4 never triggers mid-stream with capacity 2: drops.
+            policy: BatchPolicy::SizeTriggered { batch: 4 },
+            queue_capacity: Some(2),
+        };
+        let arrivals = vec![0, 0, 0, 0, 0];
+        let out = serve(&mut svc, &cfg, &arrivals);
+        assert_eq!(out.dropped, 3);
+        assert_eq!(out.max_queue_depth, 2);
+        let completed = out
+            .queries
+            .iter()
+            .filter(|q| q.completion.is_some())
+            .count();
+        assert_eq!(completed, 2);
+        assert!(out.queries[4].latency().is_none());
+    }
+
+    #[test]
+    fn empty_stream_is_a_no_op() {
+        let mut svc = fake(8);
+        let out = serve(&mut svc, &ServeConfig::default(), &[]);
+        assert_eq!(out.batches, 0);
+        assert_eq!(out.makespan, 0);
+        assert!(out.queries.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_arrivals_panic() {
+        let mut svc = fake(8);
+        let _ = serve(&mut svc, &ServeConfig::default(), &[5, 3]);
+    }
+}

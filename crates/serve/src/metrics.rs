@@ -1,0 +1,101 @@
+//! Latency-SLO accounting: folds a [`ServeOutcome`](crate::ServeOutcome)
+//! into the journal-facing [`ServeSummary`].
+
+use gpu_sim::stats::percentile;
+use workloads::ServeSummary;
+
+use crate::engine::ServeOutcome;
+
+/// Summarizes a serving run into p50/p95/p99 latency, throughput, and
+/// queue/drop counters. `arrival_mean_cycles` is the offered stream's mean
+/// inter-arrival time (recorded, not recomputed). Throughput is completed
+/// queries per **kilocycle** of makespan — a rate that stays readable at
+/// simulator scale.
+pub fn summarize(
+    policy: &str,
+    backend: &str,
+    arrival_mean_cycles: f64,
+    out: &ServeOutcome,
+) -> ServeSummary {
+    let latencies: Vec<u64> = out.queries.iter().filter_map(|q| q.latency()).collect();
+    let completed = latencies.len() as u64;
+    let pct = |p: f64| percentile(&latencies, p).unwrap_or(0);
+    let throughput_qpkc = if out.makespan > 0 {
+        completed as f64 / out.makespan as f64 * 1000.0
+    } else {
+        0.0
+    };
+    ServeSummary {
+        policy: policy.to_owned(),
+        backend: backend.to_owned(),
+        arrival_mean_cycles,
+        offered: out.queries.len() as u64,
+        admitted: out.queries.len() as u64 - out.dropped,
+        dropped: out.dropped,
+        completed,
+        batches: out.batches,
+        p50_latency: pct(50.0),
+        p95_latency: pct(95.0),
+        p99_latency: pct(99.0),
+        max_latency: latencies.iter().copied().max().unwrap_or(0),
+        throughput_qpkc,
+        max_queue_depth: out.max_queue_depth as u64,
+        makespan_cycles: out.makespan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::QueryOutcome;
+
+    fn outcome(latencies: &[u64], dropped: u64) -> ServeOutcome {
+        let mut queries: Vec<QueryOutcome> = latencies
+            .iter()
+            .map(|&l| QueryOutcome {
+                arrival: 10,
+                completion: Some(10 + l),
+            })
+            .collect();
+        for _ in 0..dropped {
+            queries.push(QueryOutcome {
+                arrival: 10,
+                completion: None,
+            });
+        }
+        ServeOutcome {
+            queries,
+            batches: 3,
+            max_queue_depth: 7,
+            dropped,
+            makespan: 2000,
+            launch_stats: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn percentiles_and_counters_line_up() {
+        let lat: Vec<u64> = (1..=100).collect();
+        let s = summarize("size32", "BASE", 50.0, &outcome(&lat, 2));
+        assert_eq!(s.offered, 102);
+        assert_eq!(s.admitted, 100);
+        assert_eq!(s.dropped, 2);
+        assert_eq!(s.completed, 100);
+        assert_eq!(s.p50_latency, 50);
+        assert_eq!(s.p95_latency, 95);
+        assert_eq!(s.p99_latency, 99);
+        assert_eq!(s.max_latency, 100);
+        assert_eq!(s.max_queue_depth, 7);
+        // 100 completed over 2000 cycles = 50 per kilocycle.
+        assert!((s.throughput_qpkc - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_run_yields_zeroes_not_nans() {
+        let s = summarize("cont8w", "TTA", 50.0, &outcome(&[], 0));
+        assert_eq!(s.completed, 0);
+        assert_eq!(s.p99_latency, 0);
+        assert_eq!(s.max_latency, 0);
+        assert!(s.throughput_qpkc.abs() < 1e-12 || s.throughput_qpkc == 0.0);
+    }
+}

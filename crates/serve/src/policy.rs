@@ -1,0 +1,164 @@
+//! Batch-formation policies for the virtual-clock serving engine.
+//!
+//! A policy answers two questions against the engine's virtual clock:
+//! *should the queue launch now?* and *how many queries go into the
+//! batch?*. All three policies obey the drained-flush rule — once the
+//! arrival stream is exhausted, any non-empty queue launches as soon as
+//! the device is free — which is what guarantees that no admitted query
+//! is ever starved (see `tests/props.rs`).
+
+/// How the serving engine forms kernel batches from the query queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchPolicy {
+    /// Launch whenever `batch` queries are waiting. Simple and
+    /// throughput-oriented, but the fixed size means per-launch overhead
+    /// is never amortised beyond `batch`, and a near-full batch can wait
+    /// forever mid-stream (only the drained flush rescues it).
+    SizeTriggered {
+        /// Exact batch size (also the trigger threshold).
+        batch: usize,
+    },
+    /// Launch when `max_batch` queries are waiting **or** the oldest
+    /// queued query has waited `max_wait` cycles — a latency SLO guard on
+    /// top of size triggering.
+    DeadlineTriggered {
+        /// Oldest-query wait bound, in cycles.
+        max_wait: u64,
+        /// Upper bound on the batch size.
+        max_batch: usize,
+    },
+    /// Continuous batching: whenever the device is free, launch everything
+    /// waiting (up to `max_warps` warps' worth). Work-conserving — warp
+    /// slots refill as soon as the previous batch completes — and the only
+    /// policy whose latency accounting uses *per-warp* completion cycles
+    /// rather than whole-batch completion.
+    Continuous {
+        /// Largest batch, in warps (threads = `max_warps × warp_width`).
+        max_warps: usize,
+    },
+}
+
+impl BatchPolicy {
+    /// Short label for journals and report rows (e.g. `size32`,
+    /// `deadline500x32`, `cont8w`).
+    pub fn label(&self) -> String {
+        match self {
+            BatchPolicy::SizeTriggered { batch } => format!("size{batch}"),
+            BatchPolicy::DeadlineTriggered {
+                max_wait,
+                max_batch,
+            } => format!("deadline{max_wait}x{max_batch}"),
+            BatchPolicy::Continuous { max_warps } => format!("cont{max_warps}w"),
+        }
+    }
+
+    /// Whether the engine should launch a batch now. Only called with a
+    /// non-empty queue and an idle device; `drained` means the arrival
+    /// stream is exhausted (the flush rule applies).
+    pub fn should_launch(
+        &self,
+        queue_len: usize,
+        oldest_arrival: u64,
+        now: u64,
+        drained: bool,
+    ) -> bool {
+        if drained {
+            return true;
+        }
+        match *self {
+            BatchPolicy::SizeTriggered { batch } => queue_len >= batch,
+            BatchPolicy::DeadlineTriggered {
+                max_wait,
+                max_batch,
+            } => queue_len >= max_batch || now >= oldest_arrival.saturating_add(max_wait),
+            BatchPolicy::Continuous { .. } => true,
+        }
+    }
+
+    /// How many queries the next batch takes from a queue of `queue_len`.
+    pub fn take(&self, queue_len: usize, warp_width: usize) -> usize {
+        let cap = self.max_batch(warp_width);
+        queue_len.min(cap)
+    }
+
+    /// The largest batch this policy can ever launch — what the backend
+    /// service must size its device-side query buffers for.
+    pub fn max_batch(&self, warp_width: usize) -> usize {
+        match *self {
+            BatchPolicy::SizeTriggered { batch } => batch.max(1),
+            BatchPolicy::DeadlineTriggered { max_batch, .. } => max_batch.max(1),
+            BatchPolicy::Continuous { max_warps } => (max_warps * warp_width).max(1),
+        }
+    }
+
+    /// The next virtual time at which this policy could trigger without any
+    /// further arrival — `None` when only arrivals (or the drained flush)
+    /// can trigger it.
+    pub fn next_deadline(&self, oldest_arrival: u64) -> Option<u64> {
+        match *self {
+            BatchPolicy::DeadlineTriggered { max_wait, .. } => {
+                Some(oldest_arrival.saturating_add(max_wait))
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether per-query completion uses the batch's per-warp completion
+    /// cycles (continuous batching) instead of whole-batch completion.
+    pub fn per_warp_accounting(&self) -> bool {
+        matches!(self, BatchPolicy::Continuous { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(BatchPolicy::SizeTriggered { batch: 32 }.label(), "size32");
+        assert_eq!(
+            BatchPolicy::DeadlineTriggered {
+                max_wait: 500,
+                max_batch: 32
+            }
+            .label(),
+            "deadline500x32"
+        );
+        assert_eq!(BatchPolicy::Continuous { max_warps: 8 }.label(), "cont8w");
+    }
+
+    #[test]
+    fn size_triggered_fires_at_threshold_or_drain() {
+        let p = BatchPolicy::SizeTriggered { batch: 4 };
+        assert!(!p.should_launch(3, 0, 1000, false));
+        assert!(p.should_launch(4, 0, 1000, false));
+        assert!(p.should_launch(1, 0, 1000, true), "drained flush");
+        assert_eq!(p.take(10, 32), 4);
+        assert_eq!(p.take(3, 32), 3);
+        assert_eq!(p.next_deadline(0), None);
+    }
+
+    #[test]
+    fn deadline_triggered_fires_on_either_bound() {
+        let p = BatchPolicy::DeadlineTriggered {
+            max_wait: 100,
+            max_batch: 8,
+        };
+        assert!(!p.should_launch(2, 50, 100, false));
+        assert!(p.should_launch(2, 50, 150, false), "oldest aged out");
+        assert!(p.should_launch(8, 50, 51, false), "batch full");
+        assert_eq!(p.next_deadline(50), Some(150));
+        assert_eq!(p.take(100, 32), 8);
+    }
+
+    #[test]
+    fn continuous_is_work_conserving_and_warp_sized() {
+        let p = BatchPolicy::Continuous { max_warps: 2 };
+        assert!(p.should_launch(1, 0, 0, false));
+        assert_eq!(p.take(1000, 32), 64);
+        assert_eq!(p.take(10, 32), 10);
+        assert!(p.per_warp_accounting());
+        assert!(!BatchPolicy::SizeTriggered { batch: 1 }.per_warp_accounting());
+    }
+}

@@ -1,0 +1,62 @@
+//! The serving determinism contract: a serving sweep — virtual-clock
+//! engine, continuous batching, latency accounting and all — writes a
+//! byte-identical journal whether it runs on 1 worker thread or 4. Time is
+//! simulated cycles, arrivals are a seeded stream, and the pool restores
+//! submission order, so nothing host- or schedule-dependent can leak into
+//! the journal.
+
+use std::path::Path;
+
+use gpu_sim::GpuConfig;
+use harness::{prepare, InputCache, Sweep};
+use trees::BTreeFlavor;
+use tta_serve::{BatchPolicy, ServeBackend, ServeExperiment, ServeWorkload};
+
+/// A small but real serving sweep: two backends × two policies over an
+/// actual simulated GPU, sharing inputs through the cache like the `serve`
+/// binary does.
+fn run_sweep(threads: usize, dir: &Path) -> Vec<u8> {
+    let cache = InputCache::new();
+    let mut sweep = Sweep::new("serve-determinism", threads);
+    for backend in [ServeBackend::Base, ServeBackend::Tta] {
+        for policy in [
+            BatchPolicy::SizeTriggered { batch: 16 },
+            BatchPolicy::Continuous { max_warps: 4 },
+        ] {
+            let mut e = ServeExperiment::new(
+                ServeWorkload::BTree {
+                    flavor: BTreeFlavor::BTree,
+                    keys: 2000,
+                    universe: 256,
+                },
+                backend,
+                policy,
+                160,
+                120.0,
+            );
+            e.gpu = GpuConfig::small_test();
+            let e = prepare(&cache, e);
+            sweep.add(move || e.run());
+        }
+    }
+    let outcome = sweep.run_to(dir);
+    assert_eq!(outcome.results.len(), 4);
+    for r in &outcome.results {
+        let s = r.serve.as_ref().expect("serving summary present");
+        assert_eq!(s.completed, s.admitted, "every admitted query completes");
+    }
+    std::fs::read(outcome.journal_path.expect("journal written")).expect("journal readable")
+}
+
+#[test]
+fn serving_journal_is_byte_identical_across_thread_counts() {
+    let base = std::env::temp_dir().join(format!("tta-serve-determinism-{}", std::process::id()));
+    let serial = run_sweep(1, &base.join("t1"));
+    let parallel = run_sweep(4, &base.join("t4"));
+    assert!(!serial.is_empty());
+    assert_eq!(
+        serial, parallel,
+        "1-thread and 4-thread serving sweeps must write byte-identical journals"
+    );
+    let _ = std::fs::remove_dir_all(&base);
+}

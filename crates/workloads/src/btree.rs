@@ -188,6 +188,7 @@ impl BTreeExperiment {
             ),
             stats,
             accel: harvest_accel(&gpu),
+            serve: None,
         }
     }
 

@@ -47,6 +47,37 @@ pub fn btree_queries(keys: &[u32], n: usize, seed: u64) -> Vec<u32> {
         .collect()
 }
 
+/// Arrival cycles of an open-loop online query stream: `n` queries with
+/// exponential inter-arrival times of the given mean (a Poisson process —
+/// the canonical open-loop traffic model), accumulated into absolute
+/// virtual-clock cycles. Seeded and deterministic; there is no wall clock
+/// anywhere in the serving model, so journals built on these streams are
+/// byte-identical across runs and thread counts.
+///
+/// The returned vector is non-decreasing; `arrivals[i]` is the arrival
+/// cycle of query `i`.
+///
+/// # Panics
+///
+/// Panics when `mean_interarrival_cycles` is not strictly positive.
+pub fn exponential_arrivals(n: usize, mean_interarrival_cycles: f64, seed: u64) -> Vec<u64> {
+    assert!(
+        mean_interarrival_cycles > 0.0,
+        "mean inter-arrival must be positive"
+    );
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xa441_7a1e);
+    let mut t = 0.0f64;
+    (0..n)
+        .map(|_| {
+            // Inverse-CDF sample: u ∈ [0, 1) keeps 1-u ∈ (0, 1], so the
+            // log is finite and the increment non-negative.
+            let u: f64 = rng.random_range(0.0..1.0);
+            t += -(1.0 - u).ln() * mean_interarrival_cycles;
+            t as u64
+        })
+        .collect()
+}
+
 /// Clustered particle distribution (a crude Plummer-like model: a few
 /// gaussian blobs), 2D (`dims == 2`) or 3D.
 pub fn nbody_particles(n: usize, dims: usize, seed: u64) -> Vec<Particle> {
@@ -342,6 +373,27 @@ mod tests {
         let qs = btree_queries(&keys, 1000, 2);
         let hits = qs.iter().filter(|q| keys.binary_search(q).is_ok()).count();
         assert!(hits > 300 && hits < 900, "hit fraction off: {hits}/1000");
+    }
+
+    #[test]
+    fn exponential_arrivals_are_sorted_seeded_and_calibrated() {
+        let a = exponential_arrivals(4000, 100.0, 9);
+        assert_eq!(a.len(), 4000);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]), "must be non-decreasing");
+        assert_eq!(a, exponential_arrivals(4000, 100.0, 9), "deterministic");
+        assert_ne!(a, exponential_arrivals(4000, 100.0, 10));
+        // Mean inter-arrival ≈ 100 cycles → last arrival ≈ 400k.
+        let last = *a.last().unwrap() as f64;
+        assert!(
+            (250_000.0..600_000.0).contains(&last),
+            "mean off: last arrival {last}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn exponential_arrivals_reject_zero_mean() {
+        let _ = exponential_arrivals(10, 0.0, 1);
     }
 
     #[test]

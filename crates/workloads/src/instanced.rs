@@ -148,6 +148,7 @@ impl InstancedExperiment {
             ),
             stats,
             accel: harvest_accel(&gpu),
+            serve: None,
         }
     }
 }

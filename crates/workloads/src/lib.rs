@@ -28,4 +28,4 @@ pub mod rtree;
 pub mod runner;
 
 pub use cacheable::CacheableExperiment;
-pub use runner::{AccelReport, Platform, RunResult};
+pub use runner::{AccelReport, Platform, RunResult, ServeSummary};

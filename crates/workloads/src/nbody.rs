@@ -257,6 +257,7 @@ impl NBodyExperiment {
             ),
             stats: sum_stats(&parts),
             accel: harvest_accel(&gpu),
+            serve: None,
         }
     }
 }

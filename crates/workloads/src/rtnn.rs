@@ -201,6 +201,7 @@ impl RtnnExperiment {
             ),
             stats,
             accel: harvest_accel(&gpu),
+            serve: None,
         }
     }
 }

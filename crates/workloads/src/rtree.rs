@@ -198,6 +198,7 @@ impl RTreeExperiment {
             ),
             stats,
             accel: harvest_accel(&gpu),
+            serve: None,
         }
     }
 }

@@ -64,6 +64,47 @@ impl AccelReport {
     }
 }
 
+/// Aggregated metrics of one *online-serving* run (produced by the
+/// `tta-serve` crate's virtual-clock engine). This is plain data living
+/// here — rather than in `tta-serve` — so [`RunResult`] and the harness
+/// journal can carry a serving section without a dependency cycle.
+///
+/// All cycle quantities are virtual-clock cycles; nothing here is
+/// wall-clock, so equal runs serialize byte-identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeSummary {
+    /// Batching-policy label (e.g. `size32`, `deadline500`, `cont8w`).
+    pub policy: String,
+    /// Backend label (e.g. `BASE`, `RTA`, `TTA`, `TTA+`).
+    pub backend: String,
+    /// Mean inter-arrival time of the offered stream, in cycles.
+    pub arrival_mean_cycles: f64,
+    /// Queries offered by the arrival stream.
+    pub offered: u64,
+    /// Queries admitted to the queue (offered − dropped).
+    pub admitted: u64,
+    /// Queries rejected by backpressure (bounded queue full on arrival).
+    pub dropped: u64,
+    /// Queries that completed (every admitted query completes).
+    pub completed: u64,
+    /// Kernel batches launched.
+    pub batches: u64,
+    /// Median per-query latency (arrival → completion), in cycles.
+    pub p50_latency: u64,
+    /// 95th-percentile latency, in cycles.
+    pub p95_latency: u64,
+    /// 99th-percentile latency, in cycles.
+    pub p99_latency: u64,
+    /// Worst-case latency, in cycles.
+    pub max_latency: u64,
+    /// Completed queries per 1000 virtual cycles of makespan.
+    pub throughput_qpkc: f64,
+    /// Deepest the admission queue ever got.
+    pub max_queue_depth: u64,
+    /// Virtual cycle at which the last query completed.
+    pub makespan_cycles: u64,
+}
+
 /// The outcome of one experiment run.
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -73,6 +114,9 @@ pub struct RunResult {
     pub stats: SimStats,
     /// Accelerator report (None for the pure-SIMT baseline).
     pub accel: Option<AccelReport>,
+    /// Serving metrics (None for the closed-batch figure experiments;
+    /// filled by `tta-serve` runs).
+    pub serve: Option<ServeSummary>,
 }
 
 impl RunResult {
@@ -243,6 +287,12 @@ fn merge_program(list: &mut Vec<(String, ProgramStats)>, name: &str, s: &Program
 pub fn sum_stats(parts: &[SimStats]) -> SimStats {
     let mut total = SimStats::default();
     for s in parts {
+        // Launches are sequential: rebase this part's per-warp completion
+        // cycles onto the end of the preceding parts before appending.
+        let offset = total.cycles;
+        total
+            .warp_completions
+            .extend(s.warp_completions.iter().map(|c| c + offset));
         total.warp_size = s.warp_size;
         total.cycles += s.cycles;
         total.warp_instrs += s.warp_instrs;
@@ -313,6 +363,23 @@ mod tests {
     }
 
     #[test]
+    fn sum_stats_rebases_warp_completions_onto_prior_launches() {
+        let a = SimStats {
+            cycles: 100,
+            warp_completions: vec![40, 90],
+            ..Default::default()
+        };
+        let b = SimStats {
+            cycles: 50,
+            warp_completions: vec![30],
+            ..Default::default()
+        };
+        let s = sum_stats(&[a, b]);
+        // Launch 2 starts after launch 1's 100 cycles.
+        assert_eq!(s.warp_completions, vec![40, 90, 130]);
+    }
+
+    #[test]
     fn run_result_core_instructions_exclude_traverse_include_shader() {
         let mut stats = SimStats::default();
         stats.mix.alu = 100;
@@ -325,6 +392,7 @@ mod tests {
             label: "x".into(),
             stats,
             accel: Some(accel),
+            serve: None,
         };
         assert_eq!(r.core_instructions(), 100 + 40);
     }

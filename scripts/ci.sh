@@ -56,4 +56,11 @@ run cargo run "${CARGO_FLAGS[@]}" --release -p tta-bench --bin fig15 -- --quick 
 test -s results/fig15.journal.json || { echo "missing results/fig15.journal.json" >&2; exit 1; }
 test -s results/fig15.timing.json || { echo "missing results/fig15.timing.json" >&2; exit 1; }
 
+# Smoke the online-serving grid (the binary itself asserts that continuous
+# batching beats size-triggered batching on p99 at the saturating arrival
+# rate) and verify its journal appears.
+run cargo run "${CARGO_FLAGS[@]}" --release -p tta-bench --bin serve -- --quick --threads 2
+test -s results/serve.journal.json || { echo "missing results/serve.journal.json" >&2; exit 1; }
+test -s results/serve.timing.json || { echo "missing results/serve.timing.json" >&2; exit 1; }
+
 echo "CI OK"

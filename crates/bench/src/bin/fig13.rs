@@ -24,10 +24,11 @@ fn main() {
     let mut triples: Vec<(String, usize, usize, usize)> = Vec::new();
     for flavor in BTreeFlavor::ALL {
         let mut add = |platform: Platform| {
-            let e = prepare(
+            let mut e = prepare(
                 &cache,
                 BTreeExperiment::new(flavor, keys, queries, platform),
             );
+            e.trace_dir = args.trace.clone();
             sweep.add(move || e.run())
         };
         let base = add(Platform::BaselineGpu);
@@ -38,7 +39,8 @@ fn main() {
 
     let bodies = args.sized(4_000);
     let mut add = |platform: Platform| {
-        let e = prepare(&cache, NBodyExperiment::new(3, bodies, platform));
+        let mut e = prepare(&cache, NBodyExperiment::new(3, bodies, platform));
+        e.trace_dir = args.trace.clone();
         sweep.add(move || e.run())
     };
     let base = add(Platform::BaselineGpu);
@@ -50,7 +52,8 @@ fn main() {
     let points = args.sized(64_000);
     let rtnn_q = args.sized(2_048);
     let mut add = |platform: Platform, leaf: LeafPath| {
-        let e = prepare(&cache, RtnnExperiment::new(points, rtnn_q, platform, leaf));
+        let mut e = prepare(&cache, RtnnExperiment::new(points, rtnn_q, platform, leaf));
+        e.trace_dir = args.trace.clone();
         sweep.add(move || e.run())
     };
     let base = add(tta_bench::platform_rta(), LeafPath::Shader);

@@ -66,10 +66,11 @@ fn main() {
     for &rate in &rates {
         for backend in [ServeBackend::Base, ServeBackend::Tta, ServeBackend::TtaPlus] {
             for policy in policies() {
-                let e = prepare(
+                let mut e = prepare(
                     cache,
                     ServeExperiment::new(btree.clone(), backend, policy, offered, rate),
                 );
+                e.trace_dir = args.trace.clone();
                 sweep.add(move || e.run());
             }
         }
@@ -78,7 +79,7 @@ fn main() {
     // continuous batching on their baseline and on TTA.
     for workload in [rtnn, nbody] {
         for backend in [ServeBackend::Base, ServeBackend::Tta] {
-            let e = prepare(
+            let mut e = prepare(
                 cache,
                 ServeExperiment::new(
                     workload.clone(),
@@ -88,6 +89,7 @@ fn main() {
                     rates[1],
                 ),
             );
+            e.trace_dir = args.trace.clone();
             sweep.add(move || e.run());
         }
     }

@@ -8,7 +8,8 @@
 //!   larger values approach the paper's sizes), `--quick` shrinks runs for
 //!   smoke testing, `--threads <n>` sets the sweep worker count (default:
 //!   available parallelism, capped at 8; results are byte-identical at any
-//!   value).
+//!   value), `--trace <dir>` writes one Chrome trace per run into `<dir>`
+//!   (see DESIGN.md §10; traces are byte-identical at any thread count).
 //! * [`sweep`] — starts a [`harness::Sweep`] sized from the parsed args;
 //!   every binary runs its independent experiment points through it and
 //!   gets `results/<name>.journal.json` (+ `.timing.json`) for free.
@@ -30,10 +31,13 @@ pub struct Args {
     pub quick: bool,
     /// Sweep worker threads.
     pub threads: usize,
+    /// Chrome-trace output directory (`None` = tracing disabled, the
+    /// zero-overhead default).
+    pub trace: Option<std::path::PathBuf>,
 }
 
 /// One-line usage string shared by `--help` and parse errors.
-pub const USAGE: &str = "usage: [--scale <f>] [--quick] [--threads <n>]";
+pub const USAGE: &str = "usage: [--scale <f>] [--quick] [--threads <n>] [--trace <dir>]";
 
 impl Args {
     /// Parses `std::env::args`, printing a clear error (exit code 2) on
@@ -66,6 +70,7 @@ impl Args {
             scale: 1.0,
             quick: false,
             threads: harness::pool::default_threads(),
+            trace: None,
         };
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -76,6 +81,10 @@ impl Args {
                         .map_err(|_| format!("--scale needs a number, got `{v}`"))?;
                 }
                 "--quick" => args.quick = true,
+                "--trace" => {
+                    let v = it.next().ok_or("--trace needs a directory")?;
+                    args.trace = Some(std::path::PathBuf::from(v));
+                }
                 "--threads" => {
                     let v = it.next().ok_or("--threads needs a value")?;
                     args.threads = match v.parse::<usize>() {
@@ -236,6 +245,7 @@ mod tests {
             scale: 0.5,
             quick: false,
             threads: 1,
+            trace: None,
         };
         assert_eq!(a.sized(1000), 500);
         assert_eq!(a.sized(10), 64, "floor applies");
@@ -243,6 +253,7 @@ mod tests {
             scale: 1.0,
             quick: true,
             threads: 1,
+            trace: None,
         };
         assert_eq!(q.sized(1000), 250);
     }
@@ -260,6 +271,13 @@ mod tests {
         assert_eq!(ok.threads, 3);
         assert!(ok.quick);
         assert!((ok.scale - 0.5).abs() < 1e-12);
+        assert!(ok.trace.is_none(), "tracing is opt-in");
+        let tr = parse(&["--trace", "results/tr"]).unwrap();
+        assert_eq!(
+            tr.trace.as_deref(),
+            Some(std::path::Path::new("results/tr"))
+        );
+        assert!(parse(&["--trace"]).is_err());
     }
 
     #[test]

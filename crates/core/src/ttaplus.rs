@@ -108,6 +108,9 @@ pub struct TtaPlusBackend {
     builtin_stats: HashMap<&'static str, ProgramStats>,
     shader: PipelinedUnit,
     shader_calls: u64,
+    trace: trace::TraceHandle,
+    /// Monotone id for per-invocation trace spans.
+    trace_invocations: u64,
 }
 
 impl TtaPlusBackend {
@@ -162,6 +165,8 @@ impl TtaPlusBackend {
             program_stats,
             builtin,
             builtin_stats: HashMap::new(),
+            trace: trace::TraceHandle::default(),
+            trace_invocations: 0,
         }
     }
 
@@ -228,9 +233,37 @@ impl TtaPlusBackend {
         stats.invocations += 1;
         stats.total_latency += t - now;
         stats.icnt_cycles += icnt;
+        if self.trace.enabled() {
+            let (track, name) = match which {
+                ProgramRef::Custom(i) => (trace::Track::Program(i as u32), "uop_program"),
+                ProgramRef::Builtin(name) => {
+                    let slot = BUILTIN_TRACE_ORDER
+                        .iter()
+                        .position(|&n| n == name)
+                        .expect("builtin registered in BUILTIN_TRACE_ORDER")
+                        as u32;
+                    (
+                        trace::Track::Program(trace::Track::BUILTIN_PROGRAM_BASE + slot),
+                        name,
+                    )
+                }
+            };
+            let id = self.trace_invocations;
+            self.trace_invocations += 1;
+            self.trace.async_span(track, name, id, now, t, icnt);
+        }
         t
     }
 }
+
+/// Stable trace-track ordering of the built-in Table III programs.
+const BUILTIN_TRACE_ORDER: [&str; 5] = [
+    "ray_box",
+    "ray_triangle",
+    "query_key_inner",
+    "point_to_point",
+    "transform",
+];
 
 #[derive(Debug, Clone, Copy)]
 enum ProgramRef {
@@ -258,6 +291,10 @@ impl IntersectionBackend for TtaPlusBackend {
             }
         };
         Ok(self.run_program_indexed(which, now))
+    }
+
+    fn set_trace(&mut self, trace: trace::TraceHandle) {
+        self.trace = trace;
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

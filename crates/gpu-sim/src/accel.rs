@@ -72,6 +72,12 @@ pub trait Accelerator: std::fmt::Debug {
     /// Downcast support so callers can harvest implementation-specific
     /// statistics (unit occupancy, warp-buffer accesses...) after a run.
     fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Installs a trace handle. The default ignores it; implementations
+    /// that emit busy spans or fetch events override this.
+    fn set_trace(&mut self, trace: trace::TraceHandle) {
+        let _ = trace;
+    }
 }
 
 /// A trivial accelerator that completes every traversal after a fixed

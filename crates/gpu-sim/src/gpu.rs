@@ -8,6 +8,7 @@ use crate::mem::{GlobalMemory, MemorySystem};
 use crate::simt::Warp;
 use crate::sm::Sm;
 use crate::stats::SimStats;
+use trace::{Bucket, TraceHandle, Track};
 
 /// A simulated GPU.
 ///
@@ -49,6 +50,7 @@ pub struct Gpu {
     sms: Vec<Sm>,
     accels: Vec<Option<Box<dyn Accelerator>>>,
     clock: u64,
+    trace: TraceHandle,
     /// Fig. 17 "Perf. RT" limit: accelerator node fetches are free.
     pub perfect_node_fetch: bool,
 }
@@ -69,6 +71,7 @@ impl Gpu {
             sms,
             accels,
             clock: 0,
+            trace: TraceHandle::default(),
             perfect_node_fetch: false,
         }
     }
@@ -79,7 +82,21 @@ impl Gpu {
         F: Fn(usize) -> Box<dyn Accelerator>,
     {
         for i in 0..self.cfg.num_sms {
-            self.accels[i] = Some(make(i));
+            let mut acc = make(i);
+            if self.trace.enabled() {
+                acc.set_trace(self.trace.clone());
+            }
+            self.accels[i] = Some(acc);
+        }
+    }
+
+    /// Installs a trace handle, propagating it to the memory system and to
+    /// every attached accelerator (accelerators attached later inherit it).
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace.clone();
+        self.mem.set_trace(trace.clone());
+        for acc in self.accels.iter_mut().flatten() {
+            acc.set_trace(trace.clone());
         }
     }
 
@@ -155,6 +172,7 @@ impl Gpu {
 
             // 3. One issue slot per SM.
             let mut any_issued = false;
+            let mut any_mem_stall = false;
             let mut min_wake: Option<u64> = None;
             for i in 0..self.sms.len() {
                 let accel = self.accels[i].as_mut();
@@ -167,8 +185,10 @@ impl Gpu {
                     &mut self.gmem,
                     accel,
                     &mut stats,
+                    &self.trace,
                 );
                 any_issued |= r.issued;
+                any_mem_stall |= r.mem_stall;
                 if let Some(w) = r.next_wake {
                     min_wake = Some(min_wake.map_or(w, |m: u64| m.min(w)));
                 }
@@ -184,6 +204,16 @@ impl Gpu {
                 .iter()
                 .all(|a| a.as_deref().is_none_or(|a| !a.busy()));
             if sms_idle && accels_idle && next_warp >= num_warps {
+                // The terminating iteration usually issued the last warp's
+                // `Exit`. That cycle was historically counted in
+                // `sm_active_cycles` but not in `cycles` (the clock never
+                // advanced past it), so `sm_activity()` could exceed 1 on
+                // tiny kernels. Advance past it so the attribution buckets
+                // partition `cycles` exactly.
+                if any_issued {
+                    stats.attribution.add(Bucket::SimtBusy, 1);
+                    self.clock = now + 1;
+                }
                 break;
             }
 
@@ -200,6 +230,29 @@ impl Gpu {
                     next = next.max(t.max(now + 1));
                 }
             }
+            // Attribute this landing cycle plus any skipped interval, so
+            // the buckets partition `stats.cycles` exactly (asserted after
+            // the loop). The break path above attributes nothing.
+            let landing = if any_issued {
+                Bucket::SimtBusy
+            } else if !accels_idle {
+                Bucket::AccelBusy
+            } else if any_mem_stall {
+                Bucket::SimtStallMem
+            } else {
+                Bucket::SimtStallOther
+            };
+            stats.attribution.add(landing, 1);
+            if next > now + 1 {
+                let skipped = if !accels_idle {
+                    Bucket::AccelStarved
+                } else if any_mem_stall {
+                    Bucket::SimtStallMem
+                } else {
+                    Bucket::SimtStallOther
+                };
+                stats.attribution.add(skipped, next - now - 1);
+            }
             self.clock = next;
             assert!(
                 self.clock - start_cycle < watchdog,
@@ -209,6 +262,26 @@ impl Gpu {
         }
 
         stats.cycles = self.clock - start_cycle;
+        debug_assert_eq!(
+            stats.attribution.total(),
+            stats.cycles,
+            "attribution buckets must partition the launch cycles"
+        );
+        debug_assert_eq!(
+            stats.attribution.simt_busy, stats.sm_active_cycles,
+            "SimtBusy must equal sm_active_cycles (double-count audit)"
+        );
+        if self.trace.enabled() {
+            self.trace.span_arg(
+                Track::Gpu,
+                "launch",
+                start_cycle,
+                self.clock,
+                num_threads as u64,
+            );
+            self.trace
+                .counters(Track::Gpu, &stats.attribution, self.clock);
+        }
         // Completion cycles were recorded on the absolute clock; rebase
         // them to this launch. Every launched warp exits before the loop
         // terminates, so the vector is dense over [0, num_warps).

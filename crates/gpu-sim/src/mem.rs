@@ -9,6 +9,7 @@
 
 use crate::config::MemConfig;
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use trace::{TraceHandle, Track};
 
 /// Byte-addressable functional memory with a bump allocator.
 ///
@@ -295,6 +296,9 @@ pub struct MemorySystem {
     l2_mshr: MshrFile,
     l2_pending: HashMap<u64, u64>,
     dram_channel_busy: Vec<f64>,
+    trace: TraceHandle,
+    /// Monotone id shared by memory and DRAM trace spans.
+    next_req_id: u64,
     /// Statistics.
     pub l1_stats: CacheStats,
     /// L2 statistics.
@@ -320,6 +324,8 @@ impl MemorySystem {
             l2_mshr: MshrFile::new(cfg.l2_mshrs),
             l2_pending: HashMap::new(),
             dram_channel_busy: vec![0.0; cfg.dram_channels],
+            trace: TraceHandle::default(),
+            next_req_id: 0,
             l1_stats: CacheStats::default(),
             l2_stats: CacheStats::default(),
             dram_stats: DramStats::default(),
@@ -329,6 +335,23 @@ impl MemorySystem {
     /// Line size in bytes.
     pub fn line_size(&self) -> usize {
         self.cfg.line_size
+    }
+
+    /// Installs a trace handle; request-lifecycle spans are emitted on
+    /// [`Track::Mem`] (per requesting SM) and [`Track::Dram`] (per
+    /// channel) from now on.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
+    }
+
+    /// Emits one async request span, allocating a fresh id.
+    fn trace_req(&mut self, track: Track, name: &'static str, start: u64, end: u64, bytes: u32) {
+        if self.trace.enabled() {
+            let id = self.next_req_id;
+            self.next_req_id += 1;
+            self.trace
+                .async_span(track, name, id, start, end, u64::from(bytes));
+        }
     }
 
     /// Maps a byte address to its cache line index.
@@ -356,12 +379,15 @@ impl MemorySystem {
                 if fill > t0 {
                     self.l1_stats.misses += 1;
                     self.l1_stats.mshr_merges += 1;
+                    self.trace_req(Track::Mem(sm as u32), "read_merge", now, fill, bytes);
                     return fill;
                 }
                 self.l1_pending[sm].remove(&line);
             }
             self.l1_stats.hits += 1;
-            return t0 + self.cfg.l1_latency;
+            let t = t0 + self.cfg.l1_latency;
+            self.trace_req(Track::Mem(sm as u32), "read_hit", now, t, bytes);
+            return t;
         }
         self.l1_stats.misses += 1;
         // Allocate an L1 MSHR (may push the start time back when full).
@@ -369,6 +395,7 @@ impl MemorySystem {
         let fill = self.l2_lookup(line, t1 + self.cfg.l1_latency);
         self.l1_mshr[sm].record(fill);
         self.l1_pending[sm].insert(line, fill);
+        self.trace_req(Track::Mem(sm as u32), "read_miss", now, fill, bytes);
         fill
     }
 
@@ -383,6 +410,7 @@ impl MemorySystem {
         // Write-through: consume DRAM bandwidth for the written bytes.
         let t = self.dram_transfer(addr, bytes, t0 + self.cfg.l2_latency, false);
         self.dram_stats.bytes_written += bytes as u64;
+        self.trace_req(Track::Mem(sm as u32), "write", now, t, bytes);
         t
     }
 
@@ -397,7 +425,10 @@ impl MemorySystem {
         if is_fill {
             self.dram_stats.bytes_read += bytes as u64;
         }
-        end as u64 + if is_fill { self.cfg.dram_latency } else { 0 }
+        let done = end as u64 + if is_fill { self.cfg.dram_latency } else { 0 };
+        let name = if is_fill { "dram_fill" } else { "dram_write" };
+        self.trace_req(Track::Dram(channel as u32), name, now, done, bytes);
+        done
     }
 
     /// Returns when the earliest pending DRAM channel frees (fast-forward

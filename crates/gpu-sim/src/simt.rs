@@ -50,6 +50,9 @@ pub struct Warp {
     regs: Vec<u32>,
     /// Cycle at which each architectural register's value is available.
     pub reg_ready: [u64; MAX_REGS],
+    /// Bit `r` set while register `r`'s pending value is produced by a
+    /// memory load (used to classify scoreboard stalls as memory stalls).
+    mem_pending: u128,
     /// Scheduling state.
     pub state: WarpState,
     /// Activation order stamp (for GTO age).
@@ -80,6 +83,7 @@ impl Warp {
             }],
             regs: vec![0; num_regs.max(1) * 32],
             reg_ready: [0; MAX_REGS],
+            mem_pending: 0,
             state: WarpState::Ready,
             age,
         }
@@ -124,14 +128,18 @@ impl Warp {
 
     /// Applies a potentially divergent branch: lanes in `taken` go to
     /// `target`, the rest fall through; everyone reconverges at `reconv`.
-    pub fn branch(&mut self, taken: u32, target: u32, reconv: u32) {
+    /// Returns `true` when the branch actually diverged (pushed stack
+    /// entries).
+    pub fn branch(&mut self, taken: u32, target: u32, reconv: u32) -> bool {
         let top = *self.stack.last().expect("running warp has a stack");
         let fallthrough_pc = top.pc + 1;
         let not_taken = top.mask & !taken;
         if taken == 0 {
             self.set_pc(fallthrough_pc);
+            false
         } else if not_taken == 0 {
             self.set_pc(target);
+            false
         } else {
             // Divergence: current entry becomes the reconvergence point.
             let last = self.stack.last_mut().expect("running warp has a stack");
@@ -147,7 +155,28 @@ impl Warp {
                 mask: taken,
             });
             debug_assert!(self.stack.len() <= 64, "SIMT stack runaway");
+            true
         }
+    }
+
+    /// Marks register `r` as pending until cycle `at`; `from_memory`
+    /// records whether the producer is a load, so a later scoreboard
+    /// stall on `r` can be attributed to memory. Any non-memory producer
+    /// clears the flag.
+    #[inline]
+    pub fn set_ready(&mut self, r: u8, at: u64, from_memory: bool) {
+        self.reg_ready[r as usize] = at;
+        if from_memory {
+            self.mem_pending |= 1u128 << r;
+        } else {
+            self.mem_pending &= !(1u128 << r);
+        }
+    }
+
+    /// `true` while register `r`'s pending value comes from a load.
+    #[inline]
+    pub fn is_mem_pending(&self, r: u8) -> bool {
+        self.mem_pending >> r & 1 != 0
     }
 
     /// Earliest cycle at which all `regs` are available.

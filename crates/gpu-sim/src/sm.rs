@@ -14,6 +14,7 @@ use crate::kernel::Kernel;
 use crate::mem::{GlobalMemory, MemorySystem};
 use crate::simt::{Warp, WarpState};
 use crate::stats::SimStats;
+use trace::{TraceHandle, Track};
 
 /// Result of one SM tick.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,6 +23,19 @@ pub struct IssueResult {
     pub issued: bool,
     /// Earliest cycle a currently-blocked warp becomes ready, if known.
     pub next_wake: Option<u64>,
+    /// Whether any warp failed its scoreboard check on a register whose
+    /// pending producer is a memory load (stall-attribution signal).
+    pub mem_stall: bool,
+}
+
+/// Trace-event name for an issued instruction of the given class.
+fn issue_name(class: InstrClass) -> &'static str {
+    match class {
+        InstrClass::Alu => "issue_alu",
+        InstrClass::Control => "issue_control",
+        InstrClass::Memory => "issue_memory",
+        InstrClass::Traverse => "issue_traverse",
+    }
 }
 
 /// One streaming multiprocessor.
@@ -102,6 +116,7 @@ impl Sm {
         gmem: &mut GlobalMemory,
         mut accel: Option<&mut Box<dyn Accelerator>>,
         stats: &mut SimStats,
+        trace: &TraceHandle,
     ) -> IssueResult {
         // GTO: greedy on the last-issued warp, then oldest-first. `order`
         // is kept age-sorted incrementally; start iteration at the greedy
@@ -110,6 +125,7 @@ impl Sm {
         let mut note_wake = |t: u64| {
             next_wake = Some(next_wake.map_or(t, |w: u64| w.min(t)));
         };
+        let mut mem_stall = false;
 
         let n = self.order.len();
         let start = self
@@ -122,22 +138,39 @@ impl Sm {
             if warp.state != WarpState::Ready {
                 continue;
             }
+            let stack_depth = warp.stack.len();
             let Some((pc, mask)) = warp.reconverge() else {
                 continue;
             };
+            if warp.stack.len() < stack_depth {
+                trace.instant(Track::Sm(self.id as u32), "reconverge", now, warp.id as u64);
+            }
             let instr = kernel.instrs[pc as usize];
 
-            // Scoreboard: sources and destination must be available.
+            // Scoreboard: sources and destination must be available. A
+            // blocking register whose pending producer is a load marks
+            // this as a memory stall for cycle attribution.
             let (srcs, nsrc) = instr.sources_packed();
             let mut ready_at = 0u64;
-            for r in &srcs[..nsrc] {
-                ready_at = ready_at.max(warp.reg_ready[r.0 as usize]);
-            }
-            if let Some(rd) = instr.dest() {
-                ready_at = ready_at.max(warp.reg_ready[rd.0 as usize]);
+            let mut blocked_on_mem = false;
+            {
+                let mut consider = |r: u8| {
+                    let t = warp.reg_ready[r as usize];
+                    ready_at = ready_at.max(t);
+                    if t > now && warp.is_mem_pending(r) {
+                        blocked_on_mem = true;
+                    }
+                };
+                for r in &srcs[..nsrc] {
+                    consider(r.0);
+                }
+                if let Some(rd) = instr.dest() {
+                    consider(rd.0);
+                }
             }
             if ready_at > now {
                 note_wake(ready_at);
+                mem_stall |= blocked_on_mem;
                 continue;
             }
 
@@ -173,10 +206,12 @@ impl Sm {
                         stats.lane_instrs += lanes;
                         stats.mix.add(InstrClass::Traverse, lanes);
                         stats.traversals_offloaded += 1;
+                        trace.instant(Track::Sm(self.id as u32), "issue_traverse", now, lanes);
                         self.last_issued = Some(slot);
                         return IssueResult {
                             issued: true,
                             next_wake,
+                            mem_stall,
                         };
                     }
                     Err(_) => {
@@ -196,7 +231,15 @@ impl Sm {
                 stats.flops += lanes;
             }
             let warp_id = warp.id;
-            Self::execute(warp, instr, mask, now, cfg, params, mem, gmem, self.id);
+            trace.instant(
+                Track::Sm(self.id as u32),
+                issue_name(instr.class()),
+                now,
+                lanes,
+            );
+            Self::execute(
+                warp, instr, mask, now, cfg, params, mem, gmem, self.id, trace,
+            );
             if matches!(instr, Instr::Exit) {
                 // Record when this warp retired. `now` is the absolute
                 // clock; `Gpu::launch` rebases to launch-relative cycles.
@@ -204,6 +247,12 @@ impl Sm {
                     stats.warp_completions.resize(warp_id + 1, 0);
                 }
                 stats.warp_completions[warp_id] = now;
+                trace.instant(
+                    Track::Sm(self.id as u32),
+                    "warp_retire",
+                    now,
+                    warp_id as u64,
+                );
                 self.slots[slot] = None;
                 self.order.retain(|&i| i != slot);
                 self.last_issued = None;
@@ -213,11 +262,13 @@ impl Sm {
             return IssueResult {
                 issued: true,
                 next_wake,
+                mem_stall,
             };
         }
         IssueResult {
             issued: false,
             next_wake,
+            mem_stall,
         }
     }
 
@@ -232,6 +283,7 @@ impl Sm {
         mem: &mut MemorySystem,
         gmem: &mut GlobalMemory,
         sm_id: usize,
+        trace: &TraceHandle,
     ) {
         let active = |l: usize| mask & (1 << l) != 0;
         let alu_done = now + cfg.alu_latency;
@@ -243,7 +295,7 @@ impl Sm {
                         warp.set_reg(rd.0, l, imm);
                     }
                 }
-                warp.reg_ready[rd.0 as usize] = alu_done;
+                warp.set_ready(rd.0, alu_done, false);
                 warp.advance_pc();
             }
             Instr::MovSreg { rd, sreg } => {
@@ -260,7 +312,7 @@ impl Sm {
                         warp.set_reg(rd.0, l, v);
                     }
                 }
-                warp.reg_ready[rd.0 as usize] = alu_done;
+                warp.set_ready(rd.0, alu_done, false);
                 warp.advance_pc();
             }
             Instr::Mov { rd, rs } => {
@@ -270,7 +322,7 @@ impl Sm {
                         warp.set_reg(rd.0, l, v);
                     }
                 }
-                warp.reg_ready[rd.0 as usize] = alu_done;
+                warp.set_ready(rd.0, alu_done, false);
                 warp.advance_pc();
             }
             Instr::IAlu { op, rd, rs1, rs2 } => {
@@ -281,7 +333,7 @@ impl Sm {
                         warp.set_reg(rd.0, l, Self::ialu(op, a, b));
                     }
                 }
-                warp.reg_ready[rd.0 as usize] = alu_done;
+                warp.set_ready(rd.0, alu_done, false);
                 warp.advance_pc();
             }
             Instr::IAluImm { op, rd, rs1, imm } => {
@@ -291,7 +343,7 @@ impl Sm {
                         warp.set_reg(rd.0, l, Self::ialu(op, a, imm));
                     }
                 }
-                warp.reg_ready[rd.0 as usize] = alu_done;
+                warp.set_ready(rd.0, alu_done, false);
                 warp.advance_pc();
             }
             Instr::FAlu { op, rd, rs1, rs2 } => {
@@ -310,11 +362,12 @@ impl Sm {
                         warp.set_reg(rd.0, l, v.to_bits());
                     }
                 }
-                warp.reg_ready[rd.0 as usize] = if matches!(op, FOp::Div) {
+                let done = if matches!(op, FOp::Div) {
                     sfu_done
                 } else {
                     alu_done
                 };
+                warp.set_ready(rd.0, done, false);
                 warp.advance_pc();
             }
             Instr::FSqrt { rd, rs } => {
@@ -324,7 +377,7 @@ impl Sm {
                         warp.set_reg(rd.0, l, v.to_bits());
                     }
                 }
-                warp.reg_ready[rd.0 as usize] = sfu_done;
+                warp.set_ready(rd.0, sfu_done, false);
                 warp.advance_pc();
             }
             Instr::ICmp {
@@ -346,7 +399,7 @@ impl Sm {
                         warp.set_reg(rd.0, l, r as u32);
                     }
                 }
-                warp.reg_ready[rd.0 as usize] = alu_done;
+                warp.set_ready(rd.0, alu_done, false);
                 warp.advance_pc();
             }
             Instr::FCmp { cmp, rd, rs1, rs2 } => {
@@ -357,7 +410,7 @@ impl Sm {
                         warp.set_reg(rd.0, l, cmp.eval(a, b) as u32);
                     }
                 }
-                warp.reg_ready[rd.0 as usize] = alu_done;
+                warp.set_ready(rd.0, alu_done, false);
                 warp.advance_pc();
             }
             Instr::ItoF { rd, rs } => {
@@ -367,7 +420,7 @@ impl Sm {
                         warp.set_reg(rd.0, l, v.to_bits());
                     }
                 }
-                warp.reg_ready[rd.0 as usize] = alu_done;
+                warp.set_ready(rd.0, alu_done, false);
                 warp.advance_pc();
             }
             Instr::FtoI { rd, rs } => {
@@ -377,7 +430,7 @@ impl Sm {
                         warp.set_reg(rd.0, l, v);
                     }
                 }
-                warp.reg_ready[rd.0 as usize] = alu_done;
+                warp.set_ready(rd.0, alu_done, false);
                 warp.advance_pc();
             }
             Instr::Load {
@@ -405,7 +458,7 @@ impl Sm {
                     let t = mem.read(sm_id, line * line_size, lanes_on_line * 4, now);
                     done = done.max(t);
                 }
-                warp.reg_ready[rd.0 as usize] = done;
+                warp.set_ready(rd.0, done, true);
                 warp.advance_pc();
             }
             Instr::Store {
@@ -439,7 +492,9 @@ impl Sm {
                         taken |= 1 << l;
                     }
                 }
-                warp.branch(taken, target, reconv);
+                if warp.branch(taken, target, reconv) {
+                    trace.instant(Track::Sm(sm_id as u32), "diverge", now, warp.id as u64);
+                }
             }
             Instr::BranchZ { rs, target, reconv } => {
                 let mut taken = 0u32;
@@ -448,7 +503,9 @@ impl Sm {
                         taken |= 1 << l;
                     }
                 }
-                warp.branch(taken, target, reconv);
+                if warp.branch(taken, target, reconv) {
+                    trace.instant(Track::Sm(sm_id as u32), "diverge", now, warp.id as u64);
+                }
             }
             Instr::Jump { target } => {
                 warp.set_pc(target);

@@ -2,6 +2,7 @@
 
 use crate::isa::InstrClass;
 use crate::mem::{CacheStats, DramStats};
+use trace::CycleAttribution;
 
 /// Dynamic instruction counts by category (lane-level, i.e. one increment
 /// per *active lane* per issued instruction — the quantity Fig. 20 plots).
@@ -62,6 +63,11 @@ pub struct SimStats {
     pub traversals_offloaded: u64,
     /// Cycles during which at least one SM issued an instruction.
     pub sm_active_cycles: u64,
+    /// Where every cycle of the run went. Always populated by
+    /// [`crate::Gpu::launch`] (independent of tracing); the buckets
+    /// partition the run, so `attribution.total() == cycles` — this is
+    /// debug-asserted after every launch.
+    pub attribution: CycleAttribution,
     /// Completion cycle of each warp, indexed by warp id and relative to
     /// the launch start (the cycle the warp issued its `Exit`). Filled by
     /// [`crate::Gpu::launch`]; the serving layer turns these into
@@ -86,6 +92,7 @@ impl Default for SimStats {
             dram_channels: 0,
             traversals_offloaded: 0,
             sm_active_cycles: 0,
+            attribution: CycleAttribution::default(),
             warp_completions: Vec::new(),
         }
     }
@@ -194,6 +201,7 @@ impl SimStats {
              \"dram\":{{\"bytes_read\":{},\"bytes_written\":{},\"bytes_requested\":{},\
              \"busy_channel_cycles\":{},\"transactions\":{}}},\
              \"dram_channels\":{},\"traversals_offloaded\":{},\"sm_active_cycles\":{},\
+             \"attribution\":{},\
              \"warp_completions\":[{}]}}",
             self.warp_size,
             self.cycles,
@@ -218,6 +226,7 @@ impl SimStats {
             self.dram_channels,
             self.traversals_offloaded,
             self.sm_active_cycles,
+            self.attribution.to_json(),
             self.warp_completions
                 .iter()
                 .map(u64::to_string)

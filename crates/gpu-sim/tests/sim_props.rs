@@ -9,6 +9,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use trace::Bucket;
 use tta_gpu_sim::isa::{Cmp, IOp, SReg};
 use tta_gpu_sim::kernel::{Kernel, KernelBuilder};
 use tta_gpu_sim::{Gpu, GpuConfig};
@@ -183,6 +184,53 @@ fn divergent_loops_compute_exact_trip_counts() {
             let got = gpu.gmem.read_u32(out_buf + tid as u64 * 4);
             assert_eq!(got, trips.wrapping_mul(step), "tid {tid} modulus {modulus}");
         }
+    }
+}
+
+/// Regression for a double-count surfaced by the cycle-attribution audit:
+/// the launch loop's terminating iteration used to issue the last warp's
+/// `Exit` without advancing the clock, so `sm_active_cycles` could exceed
+/// `cycles` on tiny kernels. Every simulated cycle must land in exactly
+/// one attribution bucket, and the SIMT-busy bucket must equal the
+/// SM-active counter — in release builds too, where the launch loop's
+/// `debug_assert!` audit is compiled out.
+#[test]
+fn attribution_partitions_cycles_and_counts_the_exit_cycle() {
+    // The minimal reproducer: one warp, one instruction. Before the fix,
+    // cycles=0-ish accounting made sm_active_cycles exceed cycles.
+    let mut k = KernelBuilder::new("tiny");
+    k.exit();
+    let kernel = k.build();
+    let mut gpu = Gpu::new(GpuConfig::small_test(), 1 << 16);
+    let stats = gpu.launch(&kernel, 1, &[]);
+    assert_eq!(stats.attribution.total(), stats.cycles);
+    assert_eq!(
+        stats.attribution.get(Bucket::SimtBusy),
+        stats.sm_active_cycles
+    );
+    assert!(stats.sm_active_cycles <= stats.cycles);
+
+    // And across random shapes: straight-line kernels of every size keep
+    // the partition exact.
+    let mut rng = StdRng::seed_from_u64(0xa77d);
+    for _case in 0..12 {
+        let nops = rng.random_range(1usize..30);
+        let ops: Vec<Op> = (0..nops).map(|_| rand_op(&mut rng)).collect();
+        let nthreads = rng.random_range(1usize..200);
+        let kernel = build_kernel(&ops);
+        let mut gpu = Gpu::new(GpuConfig::small_test(), 1 << 20);
+        let out = gpu.gmem.alloc(4 * nthreads, 64);
+        let stats = gpu.launch(&kernel, nthreads, &[out as u32]);
+        assert_eq!(
+            stats.attribution.total(),
+            stats.cycles,
+            "attribution buckets must partition the cycles ({nthreads} threads)"
+        );
+        assert_eq!(
+            stats.attribution.get(Bucket::SimtBusy),
+            stats.sm_active_cycles,
+            "SIMT-busy must equal sm_active_cycles ({nthreads} threads)"
+        );
     }
 }
 

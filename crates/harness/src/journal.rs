@@ -19,7 +19,11 @@ use workloads::{AccelReport, RunResult, ServeSummary};
 /// v2 added the per-run `"serve"` section (online-serving metrics, `null`
 /// for closed-batch figure runs) and `"warp_completions"` inside
 /// `"stats"`.
-pub const SCHEMA_VERSION: u32 = 2;
+///
+/// v3 added the per-run `"attribution"` section (cycle-attribution
+/// buckets summing to `cycles`) and the `queue_wait_cycles` /
+/// `idle_cycles` / `horizon_cycles` counters inside `"serve"`.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Serializes a finished sweep as the journal JSON document.
 pub fn journal_json(sweep: &str, results: &[RunResult]) -> String {
@@ -65,6 +69,10 @@ fn run_json(r: &RunResult) -> String {
         r.core_instructions()
     ));
     out.push_str(&format!("      \"stats\": {},\n", r.stats.to_json()));
+    out.push_str(&format!(
+        "      \"attribution\": {},\n",
+        r.stats.attribution.to_json()
+    ));
     match &r.serve {
         Some(s) => out.push_str(&format!("      \"serve\": {},\n", serve_json(s))),
         None => out.push_str("      \"serve\": null,\n"),
@@ -86,7 +94,8 @@ fn serve_json(s: &ServeSummary) -> String {
          \"offered\":{},\"admitted\":{},\"dropped\":{},\"completed\":{},\
          \"batches\":{},\
          \"p50_latency\":{},\"p95_latency\":{},\"p99_latency\":{},\"max_latency\":{},\
-         \"throughput_qpkc\":{},\"max_queue_depth\":{},\"makespan_cycles\":{}}}",
+         \"throughput_qpkc\":{},\"max_queue_depth\":{},\"makespan_cycles\":{},\
+         \"queue_wait_cycles\":{},\"idle_cycles\":{},\"horizon_cycles\":{}}}",
         escape(&s.policy),
         escape(&s.backend),
         num(s.arrival_mean_cycles),
@@ -102,6 +111,9 @@ fn serve_json(s: &ServeSummary) -> String {
         num(s.throughput_qpkc),
         s.max_queue_depth,
         s.makespan_cycles,
+        s.queue_wait_cycles,
+        s.idle_cycles,
+        s.horizon_cycles,
     )
 }
 
@@ -249,6 +261,10 @@ mod tests {
         assert!(x.contains("\"cycles\": 100"));
         assert!(x.contains("\"run_count\": 2"));
         assert!(x.contains("\"accel\": null"));
+        assert!(
+            x.contains("\"attribution\": {"),
+            "v3 journals carry the attribution section"
+        );
     }
 
     #[test]
@@ -270,6 +286,9 @@ mod tests {
             throughput_qpkc: 2.5,
             max_queue_depth: 64,
             makespan_cycles: 204800,
+            queue_wait_cycles: 3200,
+            idle_cycles: 160000,
+            horizon_cycles: 204800,
         });
         let a = journal_json("serve", std::slice::from_ref(&r));
         let b = journal_json("serve", &[r.clone()]);
@@ -281,6 +300,9 @@ mod tests {
             "\"dropped\":0",
             "\"max_queue_depth\":64",
             "\"throughput_qpkc\":2.5",
+            "\"queue_wait_cycles\":3200",
+            "\"idle_cycles\":160000",
+            "\"horizon_cycles\":204800",
         ] {
             assert!(a.contains(key), "missing {key}");
         }

@@ -186,6 +186,7 @@ pub struct TraversalEngine {
     completed: Vec<u64>,
     traversals: u64,
     last_busy_from: Option<u64>,
+    trace: trace::TraceHandle,
     /// Statistics.
     pub stats: EngineStats,
 }
@@ -223,6 +224,7 @@ impl TraversalEngine {
             completed: Vec::new(),
             traversals: 0,
             last_busy_from: None,
+            trace: trace::TraceHandle::default(),
             stats: EngineStats::default(),
         }
     }
@@ -531,9 +533,15 @@ impl Accelerator for TraversalEngine {
             }
         }
         // Busy-cycle accounting: close the interval when the engine drains.
+        // The trace span covers the identical interval, so trace-derived
+        // busy cycles always equal `EngineStats::busy_cycles`.
         if self.warp_outstanding.is_empty() {
             if let Some(from) = self.last_busy_from.take() {
                 self.stats.busy_cycles += now.saturating_sub(from);
+                if now > from {
+                    self.trace
+                        .span(trace::Track::Accel(ctx.sm_id as u32), "busy", from, now);
+                }
             }
         }
     }
@@ -564,6 +572,11 @@ impl Accelerator for TraversalEngine {
 
     fn as_any(&self) -> &dyn std::any::Any {
         self
+    }
+
+    fn set_trace(&mut self, trace: trace::TraceHandle) {
+        self.backend.set_trace(trace.clone());
+        self.trace = trace;
     }
 }
 

@@ -148,6 +148,12 @@ pub trait IntersectionBackend: std::fmt::Debug {
 
     /// Downcast support for harvesting backend-specific statistics.
     fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Installs a trace handle. The default ignores it; backends that
+    /// emit per-program spans (TTA+) override this.
+    fn set_trace(&mut self, trace: trace::TraceHandle) {
+        let _ = trace;
+    }
 }
 
 /// Error: the backend has no unit for the requested test.

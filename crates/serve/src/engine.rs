@@ -10,6 +10,7 @@
 use std::collections::VecDeque;
 
 use gpu_sim::SimStats;
+use trace::{Bucket, CycleAttribution, TraceHandle, Track};
 
 use crate::policy::BatchPolicy;
 
@@ -34,6 +35,11 @@ pub trait BatchService {
     fn accel_report(&self) -> Option<workloads::AccelReport> {
         None
     }
+    /// Installs a trace handle on the underlying device. The default
+    /// ignores it; GPU-backed services forward it to their `Gpu`.
+    fn set_trace(&mut self, trace: TraceHandle) {
+        let _ = trace;
+    }
 }
 
 /// Serving-engine configuration.
@@ -45,6 +51,8 @@ pub struct ServeConfig {
     /// dropped. `None` (the default) admits everything — the property
     /// tests rely on this meaning zero drops, ever.
     pub queue_capacity: Option<usize>,
+    /// Trace sink for queue/batch/launch spans (disabled by default).
+    pub trace: TraceHandle,
 }
 
 impl Default for ServeConfig {
@@ -52,6 +60,7 @@ impl Default for ServeConfig {
         ServeConfig {
             policy: BatchPolicy::Continuous { max_warps: 8 },
             queue_capacity: None,
+            trace: TraceHandle::default(),
         }
     }
 }
@@ -88,6 +97,16 @@ pub struct ServeOutcome {
     pub makespan: u64,
     /// Per-launch simulator stats, in launch order.
     pub launch_stats: Vec<SimStats>,
+    /// Device-free cycles spent with a non-empty queue (waiting for the
+    /// batch policy to trigger).
+    pub queue_wait_cycles: u64,
+    /// Device-free cycles spent with an empty queue (waiting for
+    /// arrivals).
+    pub idle_cycles: u64,
+    /// Virtual cycle at which the device last went quiet. The invariant
+    /// `Σ launch cycles + queue_wait_cycles + idle_cycles == horizon`
+    /// holds on every run (the serve-side partition).
+    pub horizon: u64,
 }
 
 /// Runs the serving loop: admits `arrivals` (cycle stamps, ascending) into
@@ -112,6 +131,7 @@ pub fn serve(svc: &mut dyn BatchService, cfg: &ServeConfig, arrivals: &[u64]) ->
     let universe = svc.query_count();
     assert!(universe > 0, "backend has an empty query universe");
     let warp_width = svc.warp_width().max(1);
+    svc.set_trace(cfg.trace.clone());
 
     let mut queries: Vec<QueryOutcome> = arrivals
         .iter()
@@ -126,6 +146,8 @@ pub fn serve(svc: &mut dyn BatchService, cfg: &ServeConfig, arrivals: &[u64]) ->
     let mut dropped = 0u64;
     let mut makespan = 0u64;
     let mut launch_stats: Vec<SimStats> = Vec::new();
+    let mut queue_wait_cycles = 0u64;
+    let mut idle_cycles = 0u64;
 
     let mut now = 0u64; // virtual clock, in cycles
     let mut device_free_at = 0u64;
@@ -137,6 +159,12 @@ pub fn serve(svc: &mut dyn BatchService, cfg: &ServeConfig, arrivals: &[u64]) ->
             let full = cfg.queue_capacity.is_some_and(|cap| queue.len() >= cap);
             if full {
                 dropped += 1; // completion stays None
+                cfg.trace.instant(
+                    Track::Queue,
+                    "dropped",
+                    arrivals[next_arrival],
+                    next_arrival as u64,
+                );
             } else {
                 queue.push_back(next_arrival);
                 max_queue_depth = max_queue_depth.max(queue.len());
@@ -174,7 +202,27 @@ pub fn serve(svc: &mut dyn BatchService, cfg: &ServeConfig, arrivals: &[u64]) ->
                     };
                     queries[qi].completion = Some(done);
                     makespan = makespan.max(done);
+                    // Per-query lifecycle: the two async spans meet at the
+                    // launch cycle, so wait + service == recorded latency.
+                    let q = qi as u64;
+                    cfg.trace.async_span(
+                        Track::Queue,
+                        "queue_wait",
+                        2 * q,
+                        queries[qi].arrival,
+                        now,
+                        q,
+                    );
+                    cfg.trace
+                        .async_span(Track::Queue, "service", 2 * q + 1, now, done, q);
                 }
+                cfg.trace.span_arg(
+                    Track::Device,
+                    "batch",
+                    now,
+                    now + stats.cycles,
+                    batch.len() as u64,
+                );
                 device_free_at = now + stats.cycles;
                 outcome_batches += 1;
                 launch_stats.push(stats);
@@ -196,12 +244,38 @@ pub fn serve(svc: &mut dyn BatchService, cfg: &ServeConfig, arrivals: &[u64]) ->
         match next {
             Some(t) => {
                 debug_assert!(t > now, "virtual clock must advance");
+                // Attribute the device-free part of the gap. The busy part
+                // (up to `device_free_at`) is already covered by the
+                // launch's own cycle count; no arrival lands strictly
+                // inside the gap, so the queue state is constant over it.
+                let free_from = device_free_at.clamp(now, t);
+                let idle = t - free_from;
+                if idle > 0 {
+                    if queue.is_empty() {
+                        idle_cycles += idle;
+                    } else {
+                        queue_wait_cycles += idle;
+                    }
+                }
                 now = t;
             }
             // Unreachable in practice: a drained non-empty queue always
             // triggers the flush rule above. Defensive exit, not a hang.
             None => break,
         }
+    }
+
+    let horizon = now.max(device_free_at);
+    debug_assert_eq!(
+        launch_stats.iter().map(|s| s.cycles).sum::<u64>() + queue_wait_cycles + idle_cycles,
+        horizon,
+        "serve-side buckets must partition the horizon"
+    );
+    if cfg.trace.enabled() {
+        let mut attr = CycleAttribution::default();
+        attr.add(Bucket::QueueWait, queue_wait_cycles);
+        attr.add(Bucket::DeviceIdle, idle_cycles);
+        cfg.trace.counters(Track::Device, &attr, horizon);
     }
 
     ServeOutcome {
@@ -211,6 +285,9 @@ pub fn serve(svc: &mut dyn BatchService, cfg: &ServeConfig, arrivals: &[u64]) ->
         dropped,
         makespan,
         launch_stats,
+        queue_wait_cycles,
+        idle_cycles,
+        horizon,
     }
 }
 
@@ -268,6 +345,7 @@ mod tests {
         let cfg = ServeConfig {
             policy: BatchPolicy::SizeTriggered { batch: 4 },
             queue_capacity: None,
+            trace: TraceHandle::default(),
         };
         // 6 arrivals: one full batch of 4, then a drained flush of 2.
         let arrivals = vec![0, 0, 5, 5, 7, 9];
@@ -293,6 +371,7 @@ mod tests {
                 max_batch: 8,
             },
             queue_capacity: None,
+            trace: TraceHandle::default(),
         };
         // Two early arrivals, then a long gap: the deadline (not the
         // drain) must trigger the first launch at t=0+50.
@@ -310,6 +389,7 @@ mod tests {
         let cfg = ServeConfig {
             policy: BatchPolicy::Continuous { max_warps: 4 },
             queue_capacity: None,
+            trace: TraceHandle::default(),
         };
         let arrivals = vec![0; 8]; // two warps' worth, all at t=0
         let out = serve(&mut svc, &cfg, &arrivals);
@@ -327,6 +407,7 @@ mod tests {
             // batch=4 never triggers mid-stream with capacity 2: drops.
             policy: BatchPolicy::SizeTriggered { batch: 4 },
             queue_capacity: Some(2),
+            trace: TraceHandle::default(),
         };
         let arrivals = vec![0, 0, 0, 0, 0];
         let out = serve(&mut svc, &cfg, &arrivals);

@@ -100,6 +100,9 @@ pub struct ServeExperiment {
     /// Pre-built inputs shared across runs (see [`CacheableExperiment`]);
     /// `None` rebuilds them from the configuration.
     pub inputs: Option<Arc<ServeInputs>>,
+    /// When set, a Chrome trace of the serving run is written to this
+    /// directory (file name derived from the run label).
+    pub trace_dir: Option<std::path::PathBuf>,
 }
 
 impl ServeExperiment {
@@ -122,6 +125,7 @@ impl ServeExperiment {
             gpu: GpuConfig::vulkan_sim_default(),
             verify: true,
             inputs: None,
+            trace_dir: None,
         }
     }
 
@@ -180,9 +184,11 @@ impl ServeExperiment {
         let mut svc = self.build_service(&inputs);
         let arrivals =
             workloads::gen::exponential_arrivals(self.offered, self.arrival_mean_cycles, self.seed);
+        let (trace, sink) = workloads::runner::trace_pair(self.trace_dir.as_deref());
         let cfg = ServeConfig {
             policy: self.policy.clone(),
             queue_capacity: self.queue_capacity,
+            trace,
         };
         let outcome = serve(svc.as_mut(), &cfg, &arrivals);
         let summary = summarize(
@@ -191,14 +197,18 @@ impl ServeExperiment {
             self.arrival_mean_cycles,
             &outcome,
         );
+        let label = format!(
+            "serve {} {} {} mean{}",
+            self.workload.name(),
+            svc.label(),
+            self.policy.label(),
+            self.arrival_mean_cycles
+        );
+        if let (Some(dir), Some(sink)) = (&self.trace_dir, &sink) {
+            workloads::runner::write_trace(dir, &label, sink);
+        }
         RunResult {
-            label: format!(
-                "serve {} {} {} mean{}",
-                self.workload.name(),
-                svc.label(),
-                self.policy.label(),
-                self.arrival_mean_cycles
-            ),
+            label,
             stats: sum_stats(&outcome.launch_stats),
             accel: svc.accel_report(),
             serve: Some(summary),

@@ -41,6 +41,9 @@ pub fn summarize(
         throughput_qpkc,
         max_queue_depth: out.max_queue_depth as u64,
         makespan_cycles: out.makespan,
+        queue_wait_cycles: out.queue_wait_cycles,
+        idle_cycles: out.idle_cycles,
+        horizon_cycles: out.horizon,
     }
 }
 
@@ -70,6 +73,9 @@ mod tests {
             dropped,
             makespan: 2000,
             launch_stats: Vec::new(),
+            queue_wait_cycles: 40,
+            idle_cycles: 60,
+            horizon: 2000,
         }
     }
 

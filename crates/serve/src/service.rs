@@ -137,6 +137,10 @@ impl BatchService for BTreeService {
         harvest_accel(&self.gpu)
     }
 
+    fn set_trace(&mut self, trace: trace::TraceHandle) {
+        self.gpu.set_trace(trace);
+    }
+
     fn run_batch(&mut self, ids: &[usize]) -> SimStats {
         assert!(!ids.is_empty() && ids.len() <= self.max_batch);
         let rec = btree_sem::QUERY_RECORD_SIZE;
@@ -253,6 +257,10 @@ impl BatchService for RtnnService {
 
     fn accel_report(&self) -> Option<AccelReport> {
         harvest_accel(&self.gpu)
+    }
+
+    fn set_trace(&mut self, trace: trace::TraceHandle) {
+        self.gpu.set_trace(trace);
     }
 
     fn run_batch(&mut self, ids: &[usize]) -> SimStats {
@@ -401,6 +409,10 @@ impl BatchService for NBodyService {
 
     fn accel_report(&self) -> Option<AccelReport> {
         harvest_accel(&self.gpu)
+    }
+
+    fn set_trace(&mut self, trace: trace::TraceHandle) {
+        self.gpu.set_trace(trace);
     }
 
     fn run_batch(&mut self, ids: &[usize]) -> SimStats {

@@ -85,6 +85,7 @@ fn unbounded_queue_never_drops_an_admitted_query() {
         let cfg = ServeConfig {
             policy: policy.clone(),
             queue_capacity: None, // the default backpressure configuration
+            trace: trace::TraceHandle::default(),
         };
         let out = serve(&mut svc, &cfg, &arrivals);
         assert_eq!(out.dropped, 0, "seed {seed}: {policy:?} dropped queries");
@@ -123,6 +124,7 @@ fn bounded_queue_accounts_for_every_offered_query() {
         let cfg = ServeConfig {
             policy,
             queue_capacity: Some(cap),
+            trace: trace::TraceHandle::default(),
         };
         let out = serve(&mut svc, &cfg, &arrivals);
         let completed = out

@@ -1,0 +1,39 @@
+//! `tta-trace-check` — validates Chrome trace files produced by the
+//! harness (`--trace <dir>`).
+//!
+//! Usage: `tta-trace-check <file.trace.json>...`
+//!
+//! For each file: parses the JSON, checks the `tta-trace-v1` schema and
+//! the span invariants (see [`tta_trace::validate_chrome_json`]), and
+//! prints one summary line. Exits non-zero on the first invalid file —
+//! this is the CI trace smoke gate.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: tta-trace-check <file.trace.json>...");
+        return ExitCode::from(2);
+    }
+    for path in &files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match tta_trace::validate_chrome_json(&text) {
+            Ok(check) => println!(
+                "{path}: OK ({} events: {} spans, {} async, {} instants, {} counters)",
+                check.events, check.spans, check.async_pairs, check.instants, check.counters
+            ),
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,289 @@
+//! A minimal recursive-descent JSON parser.
+//!
+//! The workspace has no registry access, so serde is unavailable; this
+//! ~150-line parser is enough for the trace validator and CI schema
+//! checks. It accepts standard JSON (RFC 8259) minus exotic corner
+//! cases we never emit: `\u` escapes outside the BMP are replaced, and
+//! numbers are read as `f64`.
+
+/// A parsed JSON value. Object keys keep their source order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (as `f64`).
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in source key order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object; `None` for other variants.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if any.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if any.
+    #[must_use]
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The array payload, if any.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The object payload, if any.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a complete JSON document.
+///
+/// # Errors
+///
+/// Returns a message with a byte offset on malformed input or trailing
+/// garbage.
+pub fn parse(text: &str) -> Result<Value, String> {
+    let bytes = text.as_bytes();
+    let mut p = Parser { bytes, pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.bump() == Some(b) {
+            Ok(())
+        } else {
+            Err(format!(
+                "expected `{}` at byte {}",
+                b as char,
+                self.pos.saturating_sub(1)
+            ))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let v = self.value()?;
+            pairs.push((key, v));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => {}
+                Some(b'}') => return Ok(Value::Obj(pairs)),
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => {}
+                Some(b']') => return Ok(Value::Arr(items)),
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => return Ok(s),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => s.push('"'),
+                    Some(b'\\') => s.push('\\'),
+                    Some(b'/') => s.push('/'),
+                    Some(b'b') => s.push('\u{8}'),
+                    Some(b'f') => s.push('\u{c}'),
+                    Some(b'n') => s.push('\n'),
+                    Some(b'r') => s.push('\r'),
+                    Some(b't') => s.push('\t'),
+                    Some(b'u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self.bump().ok_or("truncated \\u escape")?;
+                            code = code * 16
+                                + u32::from((d as char).to_digit(16).ok_or("bad \\u digit")? as u8);
+                        }
+                        s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err(format!("bad escape at byte {}", self.pos)),
+                },
+                Some(b) if b < 0x20 => {
+                    return Err(format!("raw control char in string at byte {}", self.pos))
+                }
+                Some(b) => {
+                    // Re-assemble UTF-8 multibyte sequences byte-wise.
+                    let start = self.pos - 1;
+                    let len = match b {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    self.pos = start + len;
+                    let chunk = self
+                        .bytes
+                        .get(start..start + len)
+                        .ok_or("truncated UTF-8 sequence")?;
+                    s.push_str(std::str::from_utf8(chunk).map_err(|_| "invalid UTF-8 in string")?);
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| format!("bad number at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_shapes_we_emit() {
+        let v = parse(r#"{"a":[1,2.5,-3],"b":{"c":"x\ny"},"d":null,"e":true}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_str(), Some("x\ny"));
+        assert_eq!(v.get("d"), Some(&Value::Null));
+        assert_eq!(v.get("e"), Some(&Value::Bool(true)));
+        let n = v.get("a").unwrap().as_array().unwrap()[1].as_num().unwrap();
+        assert!((n - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\":1} x").is_err());
+        assert!(parse("\"unterminated").is_err());
+        assert!(parse("nul").is_err());
+    }
+
+    #[test]
+    fn handles_unicode_and_escapes() {
+        let v = parse("\"caf\u{e9} \\u00e9\"").unwrap();
+        assert_eq!(v.as_str(), Some("caf\u{e9} \u{e9}"));
+    }
+}

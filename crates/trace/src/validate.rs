@@ -1,0 +1,282 @@
+//! Trace validation: a Chrome-JSON schema check (used by the
+//! `tta-trace-check` binary and the CI smoke step) and event-level
+//! invariant checkers (used by the property-test suites).
+
+use std::collections::BTreeMap;
+
+use crate::event::{EventKind, TraceEvent, Track};
+use crate::json::{parse, Value};
+
+/// Summary counts from a successful validation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceCheck {
+    /// Total `traceEvents` entries (including metadata rows).
+    pub events: usize,
+    /// Complete (`ph:"X"`) spans.
+    pub spans: usize,
+    /// Matched async begin/end pairs.
+    pub async_pairs: usize,
+    /// Instant events.
+    pub instants: usize,
+    /// Counter samples.
+    pub counters: usize,
+}
+
+/// Validates a serialized Chrome `trace_event` document produced by
+/// [`crate::chrome::to_chrome_json`]:
+///
+/// * the document parses and has the `tta-trace-v1` schema marker;
+/// * every event has a valid `ph`, a string `name`, and numeric
+///   non-negative `ts` / `pid` / `tid`;
+/// * `X` spans carry a non-negative `dur` and never partially overlap
+///   within one `(pid, tid)` row (nesting and exact adjacency are fine);
+/// * every async `b` has exactly one `e` with the same `(cat, id)` at a
+///   `ts` no earlier than the begin.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first violation.
+pub fn validate_chrome_json(text: &str) -> Result<TraceCheck, String> {
+    let doc = parse(text)?;
+    if doc.get("schema").and_then(Value::as_str) != Some("tta-trace-v1") {
+        return Err("missing or unexpected \"schema\" marker".into());
+    }
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .ok_or("missing \"traceEvents\" array")?;
+
+    let mut check = TraceCheck {
+        events: events.len(),
+        ..TraceCheck::default()
+    };
+    // (pid, tid) -> sync spans as (ts, end).
+    let mut rows: BTreeMap<(u64, u64), Vec<(u64, u64)>> = BTreeMap::new();
+    // (cat, id) -> open begin ts.
+    let mut open_async: BTreeMap<(String, u64), u64> = BTreeMap::new();
+
+    for (i, ev) in events.iter().enumerate() {
+        let fail = |msg: &str| Err(format!("event {i}: {msg}"));
+        let Some(ph) = ev.get("ph").and_then(Value::as_str) else {
+            return fail("missing \"ph\"");
+        };
+        if ev.get("name").and_then(Value::as_str).is_none() {
+            return fail("missing \"name\"");
+        }
+        let num = |key: &str| -> Option<u64> {
+            let n = ev.get(key)?.as_num()?;
+            if n.is_finite() && n >= 0.0 && n.fract() == 0.0 {
+                Some(n as u64)
+            } else {
+                None
+            }
+        };
+        let (Some(pid), Some(tid)) = (num("pid"), num("tid")) else {
+            return fail("missing or invalid pid/tid");
+        };
+        match ph {
+            "M" => continue,
+            "X" => {
+                let (Some(ts), Some(dur)) = (num("ts"), num("dur")) else {
+                    return fail("X span needs integer ts and dur");
+                };
+                rows.entry((pid, tid)).or_default().push((ts, ts + dur));
+                check.spans += 1;
+            }
+            "b" | "e" => {
+                let Some(ts) = num("ts") else {
+                    return fail("async event needs integer ts");
+                };
+                let Some(id) = num("id") else {
+                    return fail("async event needs an id");
+                };
+                let cat = ev
+                    .get("cat")
+                    .and_then(Value::as_str)
+                    .unwrap_or_default()
+                    .to_owned();
+                if ph == "b" {
+                    if open_async.insert((cat, id), ts).is_some() {
+                        return fail("duplicate async begin for one (cat, id)");
+                    }
+                } else {
+                    let Some(begin) = open_async.remove(&(cat, id)) else {
+                        return fail("async end without a matching begin");
+                    };
+                    if ts < begin {
+                        return fail("async end before its begin");
+                    }
+                    check.async_pairs += 1;
+                }
+            }
+            "i" => {
+                if num("ts").is_none() {
+                    return fail("instant needs integer ts");
+                }
+                if ev.get("s").and_then(Value::as_str) != Some("t") {
+                    return fail("instant needs thread scope \"s\":\"t\"");
+                }
+                check.instants += 1;
+            }
+            "C" => {
+                if num("ts").is_none() {
+                    return fail("counter needs integer ts");
+                }
+                if ev.get("args").and_then(Value::as_object).is_none() {
+                    return fail("counter needs an args object");
+                }
+                check.counters += 1;
+            }
+            other => return fail(&format!("unknown ph `{other}`")),
+        }
+    }
+
+    if let Some(((cat, id), _)) = open_async.into_iter().next() {
+        return Err(format!("unclosed async span (cat `{cat}`, id {id})"));
+    }
+    for ((pid, tid), spans) in &mut rows {
+        check_nesting(spans).map_err(|e| format!("sync spans on pid {pid} tid {tid}: {e}"))?;
+    }
+    Ok(check)
+}
+
+/// Checks that sync spans (as `(start, end)` pairs) nest or are disjoint
+/// — no partial overlap. Sorts by `(start, -len)` so an enclosing span
+/// precedes its children.
+fn check_nesting(spans: &mut [(u64, u64)]) -> Result<(), String> {
+    spans.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
+    let mut stack: Vec<(u64, u64)> = Vec::new();
+    for &(start, end) in spans.iter() {
+        if end < start {
+            return Err(format!("span [{start}, {end}) ends before it starts"));
+        }
+        while stack.last().is_some_and(|&(_, e)| e <= start) {
+            stack.pop();
+        }
+        if let Some(&(ps, pe)) = stack.last() {
+            if end > pe {
+                return Err(format!(
+                    "span [{start}, {end}) partially overlaps [{ps}, {pe})"
+                ));
+            }
+        }
+        stack.push((start, end));
+    }
+    Ok(())
+}
+
+/// Statistics from a successful [`check_events`] pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EventCheck {
+    /// Total events checked.
+    pub events: usize,
+    /// Cycles covered by sync spans, per track (e.g. accel busy time).
+    pub sync_span_cycles: BTreeMap<Track, u64>,
+}
+
+/// Checks the in-memory event invariants the emitters promise:
+///
+/// * every interval ends no earlier than it starts;
+/// * sync spans nest or are disjoint within each track;
+/// * event cycles are non-decreasing in emission order on every
+///   [`Track::Sm`] track (the "monotone per SM" contract — accelerator
+///   and memory tracks may legitimately interleave because fetches can
+///   be scheduled into the future).
+///
+/// # Errors
+///
+/// Returns a description of the first violated invariant.
+pub fn check_events(events: &[TraceEvent]) -> Result<EventCheck, String> {
+    let mut check = EventCheck {
+        events: events.len(),
+        ..EventCheck::default()
+    };
+    let mut sm_clock: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut sync_spans: BTreeMap<Track, Vec<(u64, u64)>> = BTreeMap::new();
+    for (i, ev) in events.iter().enumerate() {
+        match ev.kind {
+            EventKind::Span { name, end, .. } => {
+                if end < ev.cycle {
+                    return Err(format!(
+                        "event {i}: span `{name}` [{}, {end}) ends before it starts",
+                        ev.cycle
+                    ));
+                }
+                sync_spans
+                    .entry(ev.track)
+                    .or_default()
+                    .push((ev.cycle, end));
+                *check.sync_span_cycles.entry(ev.track).or_insert(0) += end - ev.cycle;
+            }
+            EventKind::Async { name, end, .. } => {
+                if end < ev.cycle {
+                    return Err(format!(
+                        "event {i}: async `{name}` [{}, {end}) ends before it starts",
+                        ev.cycle
+                    ));
+                }
+            }
+            EventKind::Instant { .. } | EventKind::Counter { .. } => {}
+        }
+        if let Track::Sm(sm) = ev.track {
+            let clock = sm_clock.entry(sm).or_insert(0);
+            if ev.cycle < *clock {
+                return Err(format!(
+                    "event {i}: SM {sm} cycle went backwards ({} -> {})",
+                    *clock, ev.cycle
+                ));
+            }
+            *clock = ev.cycle;
+        }
+    }
+    for (track, spans) in &mut sync_spans {
+        check_nesting(spans).map_err(|e| format!("sync spans on {track:?}: {e}"))?;
+    }
+    Ok(check)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Bucket;
+    use crate::sink::ChromeTraceSink;
+
+    #[test]
+    fn nesting_checker_accepts_nesting_rejects_overlap() {
+        assert!(check_nesting(&mut [(0, 10), (2, 5), (5, 9), (10, 12)]).is_ok());
+        let err = check_nesting(&mut [(0, 10), (5, 15)]).unwrap_err();
+        assert!(err.contains("partially overlaps"), "{err}");
+    }
+
+    #[test]
+    fn sm_monotonicity_is_enforced() {
+        let (h, sink) = ChromeTraceSink::shared();
+        h.instant(Track::Sm(0), "issue_alu", 5, 1);
+        h.instant(Track::Sm(1), "issue_alu", 2, 1); // other SM: fine
+        h.instant(Track::Sm(0), "issue_alu", 5, 1); // equal: fine
+        assert!(check_events(sink.borrow().events()).is_ok());
+        h.instant(Track::Sm(0), "issue_alu", 4, 1); // backwards: error
+        let err = check_events(sink.borrow().events()).unwrap_err();
+        assert!(err.contains("went backwards"), "{err}");
+    }
+
+    #[test]
+    fn chrome_validation_round_trips_and_catches_breakage() {
+        let (h, sink) = ChromeTraceSink::shared();
+        h.span(Track::Accel(0), "busy", 10, 25);
+        h.async_span(Track::Mem(0), "read_miss", 1, 5, 100, 64);
+        h.instant(Track::Sm(0), "warp_retire", 50, 3);
+        h.counter(Track::Gpu, Bucket::SimtBusy, 40, 99);
+        let json = sink.borrow().to_json();
+        let check = validate_chrome_json(&json).expect("valid");
+        assert_eq!(check.spans, 1);
+        assert_eq!(check.async_pairs, 1);
+        assert_eq!(check.instants, 1);
+        assert_eq!(check.counters, 1);
+
+        assert!(validate_chrome_json("{}").is_err());
+        assert!(validate_chrome_json("not json").is_err());
+        let truncated = json.replace("\"ph\":\"e\"", "\"ph\":\"q\"");
+        assert!(validate_chrome_json(&truncated).is_err());
+    }
+}

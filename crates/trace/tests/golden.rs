@@ -1,0 +1,123 @@
+//! Golden-trace regression tests: tiny, fully deterministic runs whose
+//! Chrome traces are checked in under `tests/golden/` and compared
+//! byte-for-byte.
+//!
+//! A diff here means the observability layer changed observable shape —
+//! event order, cycle stamps, serialization — which the determinism
+//! contract (see the crate docs) forbids from happening silently. After
+//! an intentional change, refresh the goldens with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p tta-trace --test golden
+//! ```
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use gpu_sim::GpuConfig;
+use serve::{BatchPolicy, ServeBackend, ServeExperiment, ServeWorkload};
+use trees::BTreeFlavor;
+use tta_trace::{file_name_for_label, validate_chrome_json};
+use workloads::btree::BTreeExperiment;
+use workloads::Platform;
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tta-trace-golden-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Runs `produce` twice into fresh directories, asserts the regenerated
+/// trace is byte-identical, validates it as Chrome JSON, and compares it
+/// against (or, under `UPDATE_GOLDEN=1`, rewrites) the checked-in golden.
+fn check_golden(name: &str, produce: &dyn Fn(&Path) -> String) {
+    let dir = scratch(name);
+    let label = produce(&dir);
+    let path = dir.join(file_name_for_label(&label));
+    let text = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{name}: reading {} failed: {e}", path.display()));
+    let check =
+        validate_chrome_json(&text).unwrap_or_else(|e| panic!("{name}: invalid trace: {e}"));
+    assert!(check.events > 0, "{name}: trace must not be empty");
+
+    let dir2 = scratch(&format!("{name}-again"));
+    let again = fs::read_to_string(dir2.join(file_name_for_label(&produce(&dir2))))
+        .expect("second run trace");
+    assert_eq!(text, again, "{name}: regeneration must be byte-identical");
+
+    let golden = golden_dir().join(format!("{name}.trace.json"));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::create_dir_all(golden_dir()).expect("golden dir");
+        fs::write(&golden, &text).expect("write golden");
+    }
+    let expected = fs::read_to_string(&golden).unwrap_or_else(|e| {
+        panic!(
+            "{name}: golden {} unreadable ({e}); run with UPDATE_GOLDEN=1 to (re)create it",
+            golden.display()
+        )
+    });
+    assert_eq!(
+        text, expected,
+        "{name}: trace diverged from the checked-in golden; if the change \
+         is intentional, refresh with UPDATE_GOLDEN=1"
+    );
+    let _ = fs::remove_dir_all(&dir);
+    let _ = fs::remove_dir_all(&dir2);
+}
+
+fn btree_run(platform: Platform, dir: &Path) -> String {
+    let mut e = BTreeExperiment::new(BTreeFlavor::BTree, 512, 32, platform);
+    e.gpu = GpuConfig::small_test();
+    e.trace_dir = Some(dir.to_path_buf());
+    e.run().label
+}
+
+#[test]
+fn golden_btree_simt() {
+    check_golden("btree-simt", &|dir| btree_run(Platform::BaselineGpu, dir));
+}
+
+#[test]
+fn golden_btree_tta() {
+    check_golden("btree-tta", &|dir| {
+        btree_run(Platform::Tta(tta::backend::TtaConfig::default_paper()), dir)
+    });
+}
+
+#[test]
+fn golden_btree_ttaplus() {
+    check_golden("btree-ttaplus", &|dir| {
+        btree_run(
+            Platform::TtaPlus(
+                tta::ttaplus::TtaPlusConfig::default_paper(),
+                BTreeExperiment::uop_programs(),
+            ),
+            dir,
+        )
+    });
+}
+
+#[test]
+fn golden_serve_batch() {
+    check_golden("serve-continuous", &|dir| {
+        let mut e = ServeExperiment::new(
+            ServeWorkload::BTree {
+                flavor: BTreeFlavor::BTree,
+                keys: 512,
+                universe: 64,
+            },
+            ServeBackend::Tta,
+            BatchPolicy::Continuous { max_warps: 2 },
+            24,
+            200.0,
+        );
+        e.gpu = GpuConfig::small_test();
+        e.trace_dir = Some(dir.to_path_buf());
+        e.run().label
+    });
+}

@@ -1,0 +1,179 @@
+//! Trace-invariant property tests across the workload × platform matrix:
+//! every run's trace must validate structurally (span nesting, async
+//! balance, monotone SM stamps — `validate_chrome_json`), its attribution
+//! buckets must partition the simulated cycles exactly, the accelerator
+//! busy time recovered from the trace must equal the engine's own
+//! counter, and the whole trace must be byte-identical whether the sweep
+//! ran on 1 worker thread or 4.
+
+use std::fs;
+use std::path::PathBuf;
+
+use gpu_sim::GpuConfig;
+use trees::BTreeFlavor;
+use tta_trace::{file_name_for_label, json, validate_chrome_json, Track};
+use workloads::btree::BTreeExperiment;
+use workloads::nbody::NBodyExperiment;
+use workloads::rtnn::{LeafPath, RtnnExperiment};
+use workloads::{Platform, RunResult};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tta-trace-inv-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn tta_platform() -> Platform {
+    Platform::Tta(tta::backend::TtaConfig::default_paper())
+}
+
+/// Sums the durations of the accelerator `busy` spans in a serialized
+/// trace — the trace-side view of `EngineStats::busy_cycles`.
+fn accel_busy_from_trace(text: &str) -> u64 {
+    let doc = json::parse(text).expect("trace parses as JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array");
+    let accel_pid = f64::from(Track::Accel(0).category_id());
+    events
+        .iter()
+        .filter(|e| e.get("ph").and_then(|v| v.as_str()) == Some("X"))
+        .filter(|e| e.get("name").and_then(|v| v.as_str()) == Some("busy"))
+        .filter(|e| e.get("pid").and_then(|v| v.as_num()) == Some(accel_pid))
+        .map(|e| e.get("dur").and_then(|v| v.as_num()).unwrap_or(0.0) as u64)
+        .sum()
+}
+
+/// Runs one traced experiment and applies the per-run invariants; returns
+/// the run for workload-specific follow-ups.
+fn check_run(tag: &str, run: impl FnOnce(&std::path::Path) -> RunResult) -> RunResult {
+    let dir = scratch(tag);
+    let r = run(&dir);
+    let text =
+        fs::read_to_string(dir.join(file_name_for_label(&r.label))).expect("trace file written");
+    validate_chrome_json(&text).unwrap_or_else(|e| panic!("{tag}: invalid trace: {e}"));
+
+    // Every simulated cycle lands in exactly one attribution bucket.
+    assert_eq!(
+        r.stats.attribution.total(),
+        r.stats.cycles,
+        "{tag}: attribution buckets must partition the simulated cycles"
+    );
+    assert_eq!(
+        r.stats.attribution.simt_busy, r.stats.sm_active_cycles,
+        "{tag}: the SIMT-busy bucket must equal the SM-active counter"
+    );
+
+    // The accelerator busy time recovered from the trace equals the
+    // engine's counter (both views are closed at the same point).
+    if let Some(accel) = &r.accel {
+        assert_eq!(
+            accel_busy_from_trace(&text),
+            accel.engine.busy_cycles,
+            "{tag}: trace-derived accel busy cycles must equal EngineStats"
+        );
+    }
+    let _ = fs::remove_dir_all(&dir);
+    r
+}
+
+#[test]
+fn btree_invariants_hold_on_every_platform() {
+    let platforms = [
+        ("base", Platform::BaselineGpu),
+        ("tta", tta_platform()),
+        (
+            "ttaplus",
+            Platform::TtaPlus(
+                tta::ttaplus::TtaPlusConfig::default_paper(),
+                BTreeExperiment::uop_programs(),
+            ),
+        ),
+    ];
+    for (tag, platform) in platforms {
+        let accelerated = platform.has_accelerator();
+        let r = check_run(&format!("btree-{tag}"), move |dir| {
+            let mut e = BTreeExperiment::new(BTreeFlavor::BTree, 1000, 64, platform);
+            e.gpu = GpuConfig::small_test();
+            e.trace_dir = Some(dir.to_path_buf());
+            e.run()
+        });
+        assert_eq!(accelerated, r.accel.is_some());
+        if accelerated {
+            assert!(
+                r.stats.attribution.accel_busy + r.stats.attribution.accel_starved > 0,
+                "accelerated runs must attribute cycles to the accelerator"
+            );
+        }
+    }
+}
+
+#[test]
+fn nbody_invariants_hold() {
+    for (tag, platform) in [("base", Platform::BaselineGpu), ("tta", tta_platform())] {
+        check_run(&format!("nbody-{tag}"), move |dir| {
+            let mut e = NBodyExperiment::new(2, 300, platform);
+            e.gpu = GpuConfig::small_test();
+            e.trace_dir = Some(dir.to_path_buf());
+            e.run()
+        });
+    }
+}
+
+#[test]
+fn rtnn_invariants_hold() {
+    check_run("rtnn-tta", |dir| {
+        let mut e = RtnnExperiment::new(2000, 128, tta_platform(), LeafPath::Offloaded);
+        e.gpu = GpuConfig::small_test();
+        e.trace_dir = Some(dir.to_path_buf());
+        e.run()
+    });
+}
+
+#[test]
+fn traces_are_byte_identical_across_thread_counts() {
+    let base = std::env::temp_dir().join(format!("tta-trace-threads-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&base);
+    let run = |threads: usize, sub: &str| -> Vec<(String, Vec<u8>)> {
+        let dir = base.join(sub);
+        let trace_dir = dir.join("traces");
+        fs::create_dir_all(&trace_dir).expect("trace dir");
+        let mut sweep = harness::Sweep::new("trace-threads", threads);
+        let platforms = [
+            Platform::BaselineGpu,
+            tta_platform(),
+            Platform::TtaPlus(
+                tta::ttaplus::TtaPlusConfig::default_paper(),
+                BTreeExperiment::uop_programs(),
+            ),
+        ];
+        for platform in platforms {
+            let mut e = BTreeExperiment::new(BTreeFlavor::BTree, 1000, 64, platform);
+            e.gpu = GpuConfig::small_test();
+            e.trace_dir = Some(trace_dir.clone());
+            sweep.add(move || e.run());
+        }
+        sweep
+            .run_to(&dir)
+            .results
+            .iter()
+            .map(|r| {
+                let p = trace_dir.join(file_name_for_label(&r.label));
+                (r.label.clone(), fs::read(&p).expect("trace file"))
+            })
+            .collect()
+    };
+    let serial = run(1, "t1");
+    let parallel = run(4, "t4");
+    assert_eq!(serial.len(), parallel.len());
+    for ((la, ba), (lb, bb)) in serial.iter().zip(&parallel) {
+        assert_eq!(la, lb, "sweep order must be thread-independent");
+        assert!(
+            ba == bb,
+            "trace for {la} differs between 1 and 4 worker threads"
+        );
+    }
+    let _ = fs::remove_dir_all(&base);
+}

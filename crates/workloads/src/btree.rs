@@ -42,6 +42,9 @@ pub struct BTreeExperiment {
     /// Pre-built inputs shared across runs (see [`crate::cacheable`]);
     /// `None` rebuilds them from the configuration.
     pub inputs: Option<Arc<BTreeInputs>>,
+    /// When set, a Chrome trace of the run is written to this directory
+    /// (file name derived from the run label).
+    pub trace_dir: Option<std::path::PathBuf>,
 }
 
 /// The expensive immutable inputs of a [`BTreeExperiment`]: generated
@@ -71,6 +74,7 @@ impl BTreeExperiment {
             sort_queries: false,
             verify: true,
             inputs: None,
+            trace_dir: None,
         }
     }
 
@@ -135,6 +139,8 @@ impl BTreeExperiment {
         let mem_bytes =
             (ser.image.len() + self.queries * QUERY_RECORD_SIZE + (1 << 20)).next_power_of_two();
         let mut gpu = build_gpu(&self.gpu, mem_bytes);
+        let (trace, sink) = crate::runner::trace_pair(self.trace_dir.as_deref());
+        gpu.set_trace(trace);
         let tree_base = gpu.gmem.alloc(ser.image.len(), 64);
         gpu.gmem.write_bytes(tree_base, ser.image.as_bytes());
         let qbase = gpu.gmem.alloc(self.queries * QUERY_RECORD_SIZE, 64);
@@ -179,7 +185,7 @@ impl BTreeExperiment {
             }
         }
 
-        RunResult {
+        let result = RunResult {
             label: format!(
                 "{} {}k keys {}",
                 self.flavor,
@@ -189,7 +195,11 @@ impl BTreeExperiment {
             stats,
             accel: harvest_accel(&gpu),
             serve: None,
+        };
+        if let (Some(dir), Some(sink)) = (&self.trace_dir, &sink) {
+            crate::runner::write_trace(dir, &result.label, sink);
         }
+        result
     }
 
     fn kernel(&self) -> Kernel {

@@ -42,6 +42,9 @@ pub struct NBodyExperiment {
     /// Pre-built inputs shared across runs (see [`crate::cacheable`]);
     /// `None` rebuilds them from the configuration.
     pub inputs: Option<Arc<NBodyInputs>>,
+    /// When set, a Chrome trace of the run is written to this directory
+    /// (file name derived from the run label).
+    pub trace_dir: Option<std::path::PathBuf>,
 }
 
 /// The expensive immutable inputs of an [`NBodyExperiment`]: the particle
@@ -82,6 +85,7 @@ impl NBodyExperiment {
             post: PostProcess::None,
             verify: true,
             inputs: None,
+            trace_dir: None,
         }
     }
 
@@ -145,6 +149,8 @@ impl NBodyExperiment {
             + (1 << 20))
             .next_power_of_two();
         let mut gpu = build_gpu(&self.gpu, mem);
+        let (trace, sink) = crate::runner::trace_pair(self.trace_dir.as_deref());
+        gpu.set_trace(trace);
         let tree_base = gpu.gmem.alloc(ser.image.len(), 64);
         gpu.gmem.write_bytes(tree_base, ser.image.as_bytes());
         let particle_base = tree_base + ser.particle_base as u64;
@@ -243,7 +249,7 @@ impl NBodyExperiment {
             }
         }
 
-        RunResult {
+        let result = RunResult {
             label: format!(
                 "N-Body {}D {} {}{}",
                 self.dims,
@@ -258,7 +264,11 @@ impl NBodyExperiment {
             stats: sum_stats(&parts),
             accel: harvest_accel(&gpu),
             serve: None,
+        };
+        if let (Some(dir), Some(sink)) = (&self.trace_dir, &sink) {
+            crate::runner::write_trace(dir, &result.label, sink);
         }
+        result
     }
 }
 

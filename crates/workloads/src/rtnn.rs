@@ -59,6 +59,9 @@ pub struct RtnnExperiment {
     /// Pre-built inputs shared across runs (see [`crate::cacheable`]);
     /// `None` rebuilds them from the configuration.
     pub inputs: Option<Arc<RtnnInputs>>,
+    /// When set, a Chrome trace of the run is written to this directory
+    /// (file name derived from the run label).
+    pub trace_dir: Option<std::path::PathBuf>,
 }
 
 /// The expensive immutable inputs of an [`RtnnExperiment`]: the point
@@ -88,6 +91,7 @@ impl RtnnExperiment {
             gpu: GpuConfig::vulkan_sim_default(),
             verify: true,
             inputs: None,
+            trace_dir: None,
         }
     }
 
@@ -139,6 +143,8 @@ impl RtnnExperiment {
         let mem =
             (ser.image.len() + self.queries * QUERY_RECORD_SIZE + (1 << 20)).next_power_of_two();
         let mut gpu = build_gpu(&self.gpu, mem);
+        let (trace, sink) = crate::runner::trace_pair(self.trace_dir.as_deref());
+        gpu.set_trace(trace);
         let tree_base = gpu.gmem.alloc(ser.image.len(), 64);
         gpu.gmem.write_bytes(tree_base, ser.image.as_bytes());
         let prim_base = tree_base + ser.prim_base as u64;
@@ -188,7 +194,7 @@ impl RtnnExperiment {
             }
         }
 
-        RunResult {
+        let result = RunResult {
             label: format!(
                 "{}RTNN {}k pts {}",
                 if self.leaf == LeafPath::Offloaded {
@@ -202,7 +208,11 @@ impl RtnnExperiment {
             stats,
             accel: harvest_accel(&gpu),
             serve: None,
+        };
+        if let (Some(dir), Some(sink)) = (&self.trace_dir, &sink) {
+            crate::runner::write_trace(dir, &result.label, sink);
         }
+        result
     }
 }
 

@@ -1,10 +1,15 @@
 //! Shared experiment plumbing: assemble a GPU + accelerators for a chosen
 //! platform, run kernels, and harvest the statistics every figure needs.
 
+use std::cell::RefCell;
+use std::path::Path;
+use std::rc::Rc;
+
 use gpu_sim::{Gpu, GpuConfig, SimStats};
 use rta::engine::{EngineStats, TraversalEngine, TraversalSemantics};
 use rta::units::{FixedFunctionBackend, IntersectionBackend, UnitStats};
 use rta::RtaConfig;
+use trace::{ChromeTraceSink, TraceHandle};
 use tta::backend::{TtaBackend, TtaConfig};
 use tta::programs::UopProgram;
 use tta::ttaplus::{ProgramStats, TtaPlusBackend, TtaPlusConfig};
@@ -103,6 +108,13 @@ pub struct ServeSummary {
     pub max_queue_depth: u64,
     /// Virtual cycle at which the last query completed.
     pub makespan_cycles: u64,
+    /// Device-free cycles spent with queries waiting in the queue.
+    pub queue_wait_cycles: u64,
+    /// Device-free cycles spent with an empty queue.
+    pub idle_cycles: u64,
+    /// Virtual cycle at which the device last went quiet; launch cycles +
+    /// `queue_wait_cycles` + `idle_cycles` always sum to this.
+    pub horizon_cycles: u64,
 }
 
 /// The outcome of one experiment run.
@@ -147,6 +159,32 @@ impl RunResult {
 /// Builds the simulated GPU for an experiment.
 pub fn build_gpu(cfg: &GpuConfig, mem_bytes: usize) -> Gpu {
     Gpu::new(cfg.clone(), mem_bytes)
+}
+
+/// Builds the (handle, sink) pair for an experiment run: a live Chrome
+/// sink when a `--trace` directory was requested, a disabled handle (zero
+/// overhead) otherwise.
+pub fn trace_pair(dir: Option<&Path>) -> (TraceHandle, Option<Rc<RefCell<ChromeTraceSink>>>) {
+    match dir {
+        Some(_) => {
+            let (handle, sink) = ChromeTraceSink::shared();
+            (handle, Some(sink))
+        }
+        None => (TraceHandle::default(), None),
+    }
+}
+
+/// Writes a finished run's events to `<dir>/<slug(label)>.trace.json`
+/// (creating `dir` as needed).
+///
+/// # Panics
+///
+/// Panics when the file cannot be written.
+pub fn write_trace(dir: &Path, label: &str, sink: &RefCell<ChromeTraceSink>) {
+    let path = dir.join(trace::file_name_for_label(label));
+    sink.borrow()
+        .write_to(&path)
+        .unwrap_or_else(|e| panic!("writing trace {} failed: {e}", path.display()));
 }
 
 /// Attaches accelerators for `platform`. `make_semantics` is invoked once
@@ -316,6 +354,7 @@ pub fn sum_stats(parts: &[SimStats]) -> SimStats {
         total.dram_channels = s.dram_channels;
         total.traversals_offloaded += s.traversals_offloaded;
         total.sm_active_cycles += s.sm_active_cycles;
+        total.attribution.merge(&s.attribution);
     }
     total
 }

@@ -9,8 +9,12 @@
 #      error-severity diagnostic)
 #   4. cargo build --release && cargo test  — the tier-1 gate
 #   5. cargo test --workspace  — every crate's unit/integration/doc tests
+#      (including the golden-trace and trace-invariant suites in
+#      tta-trace)
 #   6. a --quick smoke run of one sweep binary, checking that the run
 #      journal lands under results/
+#   7. a traced --quick sweep, with every emitted Chrome trace validated
+#      by the tta-trace-check binary
 #
 # Offline-registry fallback: this workspace has NO crates.io dependencies —
 # every dependency is a path dependency inside the workspace (the `rand`
@@ -62,5 +66,13 @@ test -s results/fig15.timing.json || { echo "missing results/fig15.timing.json" 
 run cargo run "${CARGO_FLAGS[@]}" --release -p tta-bench --bin serve -- --quick --threads 2
 test -s results/serve.journal.json || { echo "missing results/serve.journal.json" >&2; exit 1; }
 test -s results/serve.timing.json || { echo "missing results/serve.timing.json" >&2; exit 1; }
+
+# Trace smoke: rerun the Fig. 13 sweep with tracing on and validate every
+# emitted Chrome trace (schema, span nesting, async balance, monotone SM
+# stamps) with the checker binary.
+rm -rf results/trace-smoke
+run cargo run "${CARGO_FLAGS[@]}" --release -p tta-bench --bin fig13 -- --quick --threads 2 --trace results/trace-smoke
+ls results/trace-smoke/*.trace.json >/dev/null 2>&1 || { echo "no traces under results/trace-smoke" >&2; exit 1; }
+run cargo run "${CARGO_FLAGS[@]}" --release -p tta-trace --bin tta-trace-check -- results/trace-smoke/*.trace.json
 
 echo "CI OK"

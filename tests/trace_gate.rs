@@ -1,0 +1,95 @@
+//! Tier-1 gate for the observability layer (DESIGN.md §10): a traced
+//! B-Tree run on the SIMT baseline and on TTA must produce a valid,
+//! reproducible Chrome trace whose attribution buckets partition the
+//! simulated cycles, and a traced serving session must account for its
+//! whole horizon. This keeps `cargo test -q` at the workspace root
+//! sensitive to regressions in the trace plumbing without pulling in the
+//! full golden suite (which lives in `tta-trace`'s own tests).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use gpu_sim::GpuConfig;
+use trace::{file_name_for_label, validate_chrome_json};
+use trees::BTreeFlavor;
+use workloads::btree::BTreeExperiment;
+use workloads::Platform;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tta-trace-gate-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn traced_btree(platform: Platform, dir: &Path) -> workloads::RunResult {
+    let mut e = BTreeExperiment::new(BTreeFlavor::BTree, 512, 32, platform);
+    e.gpu = GpuConfig::small_test();
+    e.trace_dir = Some(dir.to_path_buf());
+    e.run()
+}
+
+#[test]
+fn traced_runs_validate_and_partition_their_cycles() {
+    for (tag, platform) in [
+        ("base", Platform::BaselineGpu),
+        (
+            "tta",
+            Platform::Tta(tta::backend::TtaConfig::default_paper()),
+        ),
+    ] {
+        let dir = scratch(tag);
+        let r = traced_btree(platform, &dir);
+        let path = dir.join(file_name_for_label(&r.label));
+        let text = fs::read_to_string(&path).expect("trace written");
+        let check =
+            validate_chrome_json(&text).unwrap_or_else(|e| panic!("{tag}: invalid trace: {e}"));
+        assert!(check.events > 0, "{tag}: trace must not be empty");
+        assert_eq!(
+            r.stats.attribution.total(),
+            r.stats.cycles,
+            "{tag}: attribution buckets must partition the simulated cycles"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn untraced_runs_remain_the_default_and_carry_attribution() {
+    // Tracing is strictly opt-in: without a trace_dir the run still fills
+    // the always-on attribution histogram, and its buckets still sum.
+    let mut e = BTreeExperiment::new(BTreeFlavor::BTree, 512, 32, Platform::BaselineGpu);
+    e.gpu = GpuConfig::small_test();
+    let r = e.run();
+    assert_eq!(r.stats.attribution.total(), r.stats.cycles);
+    assert!(r.stats.attribution.simt_busy > 0);
+}
+
+#[test]
+fn traced_serve_session_accounts_for_its_horizon() {
+    use serve::{BatchPolicy, ServeBackend, ServeExperiment, ServeWorkload};
+    let dir = scratch("serve");
+    let mut e = ServeExperiment::new(
+        ServeWorkload::BTree {
+            flavor: BTreeFlavor::BTree,
+            keys: 512,
+            universe: 64,
+        },
+        ServeBackend::Tta,
+        BatchPolicy::Continuous { max_warps: 2 },
+        24,
+        200.0,
+    );
+    e.gpu = GpuConfig::small_test();
+    e.trace_dir = Some(dir.clone());
+    let r = e.run();
+    let s = r.serve.expect("serving summary");
+    assert!(s.horizon_cycles >= s.makespan_cycles);
+    assert!(
+        s.queue_wait_cycles + s.idle_cycles <= s.horizon_cycles,
+        "gap accounting must fit inside the horizon"
+    );
+    let text = fs::read_to_string(dir.join(file_name_for_label(&r.label))).expect("trace written");
+    validate_chrome_json(&text).expect("serve trace validates");
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -319,6 +319,34 @@ impl TraversalPipeline {
         issues
     }
 
+    /// The `terminate-reachable` lint pass: proves the `ConfigTerminate`
+    /// condition can actually fire under this pipeline's configuration.
+    ///
+    /// [`TerminateCond::StackEmpty`] is checked by the scheduler on every
+    /// pop and is always reachable. [`TerminateCond::RayFieldNonZero`] only
+    /// fires when the leaf μop program executes its `at_pc` — so the leaf
+    /// slot must resolve to a μop program on this generation, and `at_pc`
+    /// must lie inside it. A pipeline failing this pass traverses the whole
+    /// tree for every query no matter what the leaf test finds.
+    ///
+    /// An empty vector means the termination condition is reachable.
+    pub fn check_terminate_reachability(&self) -> Vec<PipelineIssue> {
+        let mut issues = Vec::new();
+        if let TerminateCond::RayFieldNonZero { at_pc, .. } = self.terminate {
+            match Self::resolved_program(self.gen, "leaf", &self.leaf) {
+                None => issues.push(PipelineIssue::TerminateNeverChecked),
+                Some(p) if at_pc >= p.uops().len() => {
+                    issues.push(PipelineIssue::TerminatePcOutOfRange {
+                        at_pc,
+                        len: p.uops().len(),
+                    });
+                }
+                Some(_) => {}
+            }
+        }
+        issues
+    }
+
     /// The μop program that will actually execute for `test` on `gen`, if
     /// one exists.
     fn resolved_program(
@@ -368,6 +396,17 @@ pub enum PipelineIssue {
         /// Fields the layout declares.
         fields: usize,
     },
+    /// A `RayFieldNonZero` terminate condition whose leaf slot never runs a
+    /// μop program on this generation — the condition can never fire.
+    TerminateNeverChecked,
+    /// A `RayFieldNonZero` terminate condition anchored at a μop PC past
+    /// the end of the resolved leaf program.
+    TerminatePcOutOfRange {
+        /// The configured check PC.
+        at_pc: usize,
+        /// Length of the resolved leaf program.
+        len: usize,
+    },
 }
 
 impl std::fmt::Display for PipelineIssue {
@@ -391,6 +430,16 @@ impl std::fmt::Display for PipelineIssue {
                 f,
                 "{slot} μop {pc} reads node field {field} but the node layout declares \
                  {fields} fields"
+            ),
+            PipelineIssue::TerminateNeverChecked => write!(
+                f,
+                "RayFieldNonZero terminate condition is never checked: the leaf slot \
+                 runs no μop program on this generation"
+            ),
+            PipelineIssue::TerminatePcOutOfRange { at_pc, len } => write!(
+                f,
+                "RayFieldNonZero terminate check anchored at μop pc {at_pc} but the \
+                 resolved leaf program has only {len} μops"
             ),
         }
     }
@@ -666,6 +715,65 @@ mod tests {
         assert!(build(AcceleratorGen::BaselineRta)
             .check_decode_coverage()
             .is_empty());
+    }
+
+    #[test]
+    fn terminate_reachability_checked() {
+        // StackEmpty is always reachable.
+        let p = base()
+            .config_i(TestConfig::QueryKey)
+            .config_l(TestConfig::QueryKey)
+            .build(AcceleratorGen::Tta)
+            .unwrap();
+        assert!(p.check_terminate_reachability().is_empty());
+
+        // A RayFieldNonZero condition anchored inside the resolved leaf
+        // program is reachable on TTA+...
+        let good = base()
+            .config_i(TestConfig::Uops(UopProgram::query_key_inner()))
+            .config_l(TestConfig::Uops(UopProgram::query_key_leaf()))
+            .config_terminate(TerminateCond::RayFieldNonZero {
+                offset: 4,
+                at_pc: 0,
+            })
+            .build(AcceleratorGen::TtaPlus)
+            .unwrap();
+        assert!(good.check_terminate_reachability().is_empty());
+
+        // ...but a PC past the program's end can never fire.
+        let leaf_len = UopProgram::query_key_leaf().uops().len();
+        let bad_pc = base()
+            .config_i(TestConfig::Uops(UopProgram::query_key_inner()))
+            .config_l(TestConfig::Uops(UopProgram::query_key_leaf()))
+            .config_terminate(TerminateCond::RayFieldNonZero {
+                offset: 4,
+                at_pc: leaf_len + 3,
+            })
+            .build(AcceleratorGen::TtaPlus)
+            .unwrap();
+        assert_eq!(
+            bad_pc.check_terminate_reachability(),
+            vec![PipelineIssue::TerminatePcOutOfRange {
+                at_pc: leaf_len + 3,
+                len: leaf_len,
+            }]
+        );
+
+        // On plain TTA the fixed-function leaf runs no μop program, so a
+        // μop-anchored terminate check never executes at all.
+        let never = base()
+            .config_i(TestConfig::QueryKey)
+            .config_l(TestConfig::QueryKey)
+            .config_terminate(TerminateCond::RayFieldNonZero {
+                offset: 4,
+                at_pc: 0,
+            })
+            .build(AcceleratorGen::Tta)
+            .unwrap();
+        assert_eq!(
+            never.check_terminate_reachability(),
+            vec![PipelineIssue::TerminateNeverChecked]
+        );
     }
 
     #[test]

@@ -1,0 +1,187 @@
+//! Control-flow structure shared by the verifier and the abstract
+//! interpreter: successor edges, divergent-branch regions, back-edges, and
+//! the worst-case SIMT reconvergence-stack depth.
+
+use crate::isa::Instr;
+use crate::kernel::Kernel;
+use crate::simt::SIMT_STACK_LIMIT;
+
+/// Warp width of the simulated SIMT cores.
+pub const WARP_LANES: usize = 32;
+
+/// Lane-count bound on the reconvergence stack: every divergence splits a
+/// nonempty mask into two nonempty parts, so the potential
+/// `len + 2·popcount(top.mask)` never grows — depth can never exceed
+/// `2·lanes − 1` regardless of program structure. This theorem is why the
+/// hardware capacity [`SIMT_STACK_LIMIT`] is 64 for 32-lane warps.
+pub const DYNAMIC_STACK_BOUND: usize = 2 * WARP_LANES - 1;
+
+/// Successor PCs of the instruction at `pc` (fallthrough `pc + 1` for
+/// straight-line code; the virtual end PC `kernel.instrs.len()` when
+/// control falls off the end). `Exit` has no successors.
+pub fn successors(instr: &Instr, pc: usize) -> ([usize; 2], usize) {
+    match *instr {
+        Instr::Exit => ([0, 0], 0),
+        Instr::Jump { target } => ([target as usize, 0], 1),
+        Instr::BranchNz { target, .. } | Instr::BranchZ { target, .. } => {
+            ([target as usize, pc + 1], 2)
+        }
+        _ => ([pc + 1, 0], 1),
+    }
+}
+
+/// A divergent-branch region: while any lane executes a PC strictly
+/// between the branch and its reconvergence point, the branch's two
+/// pushed stack entries are live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchRegion {
+    /// PC of the divergent branch.
+    pub branch_pc: usize,
+    /// Its reconvergence PC (immediate post-dominator).
+    pub reconv: usize,
+}
+
+/// Structural summary of a kernel's divergence.
+#[derive(Debug, Clone)]
+pub struct StackBound {
+    /// Deepest nesting of divergent-branch regions at any PC.
+    pub max_nesting: usize,
+    /// Structural worst-case stack depth: the base entry plus two entries
+    /// per nested region (`1 + 2·max_nesting`).
+    pub structural_depth: usize,
+    /// PCs of back-edges (jumps or branches targeting `target <= pc`).
+    pub back_edges: Vec<usize>,
+    /// Sound runtime bound used by the shadow checker: the structural
+    /// depth for loop-free kernels (capped by the lane-count theorem), the
+    /// lane-count bound [`DYNAMIC_STACK_BOUND`] when back-edges exist
+    /// (divergent loop exits re-push entries across iterations, so
+    /// structure alone does not bound the stack).
+    pub runtime_bound: usize,
+}
+
+impl StackBound {
+    /// Whether the structural worst case fits the hardware stack.
+    pub fn proves_limit(&self) -> bool {
+        self.structural_depth <= SIMT_STACK_LIMIT
+    }
+}
+
+/// Computes the divergent-branch regions, their deepest nesting, the
+/// back-edges, and the resulting worst-case stack depths.
+pub fn stack_bound(kernel: &Kernel) -> StackBound {
+    let n = kernel.instrs.len();
+    let mut regions = Vec::new();
+    let mut back_edges = Vec::new();
+    for (pc, instr) in kernel.instrs.iter().enumerate() {
+        match *instr {
+            Instr::BranchNz { target, reconv, .. } | Instr::BranchZ { target, reconv, .. } => {
+                regions.push(BranchRegion {
+                    branch_pc: pc,
+                    reconv: reconv as usize,
+                });
+                if (target as usize) <= pc {
+                    back_edges.push(pc);
+                }
+            }
+            Instr::Jump { target } if (target as usize) <= pc => back_edges.push(pc),
+            _ => {}
+        }
+    }
+    // Nesting at a PC = number of regions strictly containing it. The
+    // builder emits properly nested regions; for arbitrary CFGs this count
+    // is still a sound over-approximation of simultaneously live regions.
+    let mut max_nesting = 0usize;
+    for pc in 0..n {
+        let nesting = regions
+            .iter()
+            .filter(|r| r.branch_pc < pc && pc < r.reconv)
+            .count();
+        max_nesting = max_nesting.max(nesting);
+    }
+    let structural_depth = 1 + 2 * max_nesting;
+    let runtime_bound = if back_edges.is_empty() {
+        structural_depth.min(DYNAMIC_STACK_BOUND)
+    } else {
+        DYNAMIC_STACK_BOUND
+    };
+    StackBound {
+        max_nesting,
+        structural_depth,
+        back_edges,
+        runtime_bound,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Cmp, SReg};
+    use crate::kernel::KernelBuilder;
+
+    #[test]
+    fn straightline_kernel_has_depth_one() {
+        let mut k = KernelBuilder::new("line");
+        let a = k.reg();
+        k.mov_imm(a, 1);
+        k.exit();
+        let b = stack_bound(&k.build());
+        assert_eq!(b.max_nesting, 0);
+        assert_eq!(b.structural_depth, 1);
+        assert!(b.back_edges.is_empty());
+        assert_eq!(b.runtime_bound, 1);
+        assert!(b.proves_limit());
+    }
+
+    #[test]
+    fn nested_ifs_count_regions() {
+        let mut k = KernelBuilder::new("nest");
+        let c = k.reg();
+        k.mov_sreg(c, SReg::ThreadId);
+        let t0 = k.begin_if_nz(c);
+        let t1 = k.begin_if_nz(c);
+        k.iadd_imm(c, c, 1);
+        k.end_if(t1);
+        k.end_if(t0);
+        k.exit();
+        let b = stack_bound(&k.build());
+        assert_eq!(b.max_nesting, 2);
+        assert_eq!(b.structural_depth, 5);
+        assert_eq!(b.runtime_bound, 5);
+    }
+
+    #[test]
+    fn loops_fall_back_to_the_lane_count_bound() {
+        let mut k = KernelBuilder::new("loop");
+        let i = k.reg();
+        let n = k.reg();
+        let c = k.reg();
+        k.mov_imm(i, 0);
+        k.mov_sreg(n, SReg::ThreadId);
+        let mut l = k.begin_loop();
+        k.icmp(Cmp::Lt, c, i, n);
+        k.break_if_z(c, &mut l);
+        k.iadd_imm(i, i, 1);
+        k.end_loop(l);
+        k.exit();
+        let b = stack_bound(&k.build());
+        assert_eq!(b.back_edges.len(), 1);
+        assert_eq!(b.runtime_bound, DYNAMIC_STACK_BOUND);
+        assert!(b.proves_limit());
+    }
+
+    #[test]
+    fn deep_nesting_fails_the_structural_proof() {
+        let mut k = KernelBuilder::new("deep");
+        let c = k.reg();
+        k.mov_sreg(c, SReg::ThreadId);
+        let tokens: Vec<_> = (0..32).map(|_| k.begin_if_nz(c)).collect();
+        k.iadd_imm(c, c, 1);
+        for t in tokens.into_iter().rev() {
+            k.end_if(t);
+        }
+        k.exit();
+        let b = stack_bound(&k.build());
+        assert_eq!(b.structural_depth, 65);
+        assert!(!b.proves_limit());
+    }
+}

@@ -1,0 +1,410 @@
+//! The proving passes built on the abstract interpretation: memory safety
+//! against declared allocation contracts, and loop termination via ranking
+//! arguments on CFG back-edges.
+
+use super::domain::Base;
+use super::interp::Abstraction;
+use crate::isa::{IOp, Instr, Reg};
+use crate::kernel::Kernel;
+
+/// Byte length of a declared allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContractLen {
+    /// A fixed byte length (shared structures: trees, primitive pools).
+    Bytes(u64),
+    /// `stride` bytes per launched thread (per-thread records/stacks).
+    BytesPerThread(u64),
+}
+
+impl ContractLen {
+    /// Resolves to bytes for a launch of `num_threads` threads.
+    pub fn bytes(self, num_threads: u32) -> u64 {
+        match self {
+            ContractLen::Bytes(b) => b,
+            ContractLen::BytesPerThread(s) => s * num_threads as u64,
+        }
+    }
+}
+
+/// A declared allocation: kernel launch parameter `base_param` holds its
+/// byte base address and it spans `len` bytes. Exported by every workload
+/// kernel builder; the memory-safety pass proves each `Load`/`Store`
+/// address interval is contained in one of these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemContract {
+    /// Allocation name for diagnostics ("queries", "tree", ...).
+    pub name: &'static str,
+    /// Launch parameter index holding the base byte address.
+    pub base_param: u8,
+    /// Declared byte length.
+    pub len: ContractLen,
+}
+
+/// Outcome of the memory-safety pass for one `Load`/`Store`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemIssue {
+    /// Every execution of this access is outside its allocation. Error.
+    ProvedOob {
+        /// PC of the access.
+        pc: usize,
+        /// The allocation it targets.
+        alloc: &'static str,
+        /// Offset interval relative to the allocation base.
+        lo: i64,
+        /// Upper offset bound.
+        hi: i64,
+        /// Resolved allocation byte length.
+        len: u64,
+    },
+    /// The offset interval is not contained in the allocation, but some
+    /// executions may be in bounds. Warning.
+    PossiblyOob {
+        /// PC of the access.
+        pc: usize,
+        /// The allocation it targets.
+        alloc: &'static str,
+        /// Offset interval relative to the allocation base.
+        lo: i64,
+        /// Upper offset bound.
+        hi: i64,
+        /// Resolved allocation byte length.
+        len: u64,
+    },
+    /// The address is an offset from a parameter with no declared
+    /// contract. Warning.
+    NoContract {
+        /// PC of the access.
+        pc: usize,
+        /// The undeclared base parameter.
+        param: u8,
+    },
+    /// The address abstraction carries no usable base (pointer-chasing
+    /// through loaded values). Warning.
+    UnknownAddress {
+        /// PC of the access.
+        pc: usize,
+    },
+}
+
+impl MemIssue {
+    /// Errors gate CI; warnings are advisory.
+    pub fn is_error(&self) -> bool {
+        matches!(self, MemIssue::ProvedOob { .. })
+    }
+}
+
+impl std::fmt::Display for MemIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemIssue::ProvedOob {
+                pc,
+                alloc,
+                lo,
+                hi,
+                len,
+            } => write!(
+                f,
+                "pc {pc}: access at {alloc}+[{lo}, {hi}] is provably outside \
+                 the {len}-byte allocation"
+            ),
+            MemIssue::PossiblyOob {
+                pc,
+                alloc,
+                lo,
+                hi,
+                len,
+            } => write!(
+                f,
+                "pc {pc}: access at {alloc}+[{lo}, {hi}] may leave the \
+                 {len}-byte allocation"
+            ),
+            MemIssue::NoContract { pc, param } => write!(
+                f,
+                "pc {pc}: access relative to Param({param}) which has no \
+                 declared MemContract"
+            ),
+            MemIssue::UnknownAddress { pc } => write!(
+                f,
+                "pc {pc}: address abstraction has no symbolic base \
+                 (pointer-chasing); not provable"
+            ),
+        }
+    }
+}
+
+/// Result of [`check_memory`].
+#[derive(Debug, Clone, Default)]
+pub struct MemReport {
+    /// Accesses proved inside their declared allocation.
+    pub proved: usize,
+    /// Accesses that could not be proved (or are provably wrong).
+    pub issues: Vec<MemIssue>,
+}
+
+/// Access width: every `Load`/`Store` moves one 32-bit word.
+const ACCESS_BYTES: i64 = 4;
+
+/// Checks every `Load`/`Store` address interval against the declared
+/// contracts, under the abstraction's launch bounds.
+pub fn check_memory(kernel: &Kernel, abs: &Abstraction, contracts: &[MemContract]) -> MemReport {
+    let mut report = MemReport::default();
+    for (pc, instr) in kernel.instrs.iter().enumerate() {
+        let (rs_addr, offset) = match *instr {
+            Instr::Load {
+                rs_addr, offset, ..
+            }
+            | Instr::Store {
+                rs_addr, offset, ..
+            } => (rs_addr, offset),
+            _ => continue,
+        };
+        let Some(addr) = abs.reg_in(pc, rs_addr.0) else {
+            continue; // unreachable access — verify reports the dead region
+        };
+        let addr = addr.add_const(offset as i64);
+        match addr.base {
+            Base::Many => report.issues.push(MemIssue::UnknownAddress { pc }),
+            Base::Zero => report.issues.push(MemIssue::UnknownAddress { pc }),
+            Base::Param(p) => {
+                let Some(c) = contracts.iter().find(|c| c.base_param == p) else {
+                    report.issues.push(MemIssue::NoContract { pc, param: p });
+                    continue;
+                };
+                let len = c.len.bytes(abs.bounds.num_threads);
+                if addr.lo >= 0 && addr.hi + ACCESS_BYTES <= len as i64 {
+                    report.proved += 1;
+                } else if addr.hi < 0 || addr.lo > len as i64 - ACCESS_BYTES {
+                    report.issues.push(MemIssue::ProvedOob {
+                        pc,
+                        alloc: c.name,
+                        lo: addr.lo,
+                        hi: addr.hi,
+                        len,
+                    });
+                } else {
+                    report.issues.push(MemIssue::PossiblyOob {
+                        pc,
+                        alloc: c.name,
+                        lo: addr.lo,
+                        hi: addr.hi,
+                        len,
+                    });
+                }
+            }
+        }
+    }
+    report
+}
+
+/// The ranking argument justifying a back-edge's termination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopRank {
+    /// The exit compares a counter that every in-body definition moves in
+    /// one direction by a nonzero constant, against a loop-invariant
+    /// bound.
+    MonotoneCounter {
+        /// The counter register.
+        reg: u8,
+    },
+    /// The exit condition is recomputed inside the body (e.g. a stack
+    /// emptiness test), so the loop can observe progress and exit.
+    ExitReachable {
+        /// The condition register.
+        reg: u8,
+    },
+    /// The body contains an `Exit` instruction.
+    ExitInstr,
+}
+
+/// One analyzed back-edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoopSummary {
+    /// Loop head (the back-edge's target).
+    pub head: usize,
+    /// PC of the back-edge instruction.
+    pub back_pc: usize,
+    /// The accepted ranking argument, if one was found.
+    pub rank: Option<LoopRank>,
+}
+
+/// Termination defects. Both variants are errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TermIssue {
+    /// No control-flow edge leaves the loop body: once entered, the warp
+    /// can never terminate.
+    NoExitEdge {
+        /// Loop head.
+        head: usize,
+        /// Back-edge PC.
+        back_pc: usize,
+    },
+    /// Every exit condition is loop-invariant (never written inside the
+    /// body): a warp that enters with the non-exiting value spins forever.
+    InvariantExitCond {
+        /// Loop head.
+        head: usize,
+        /// Back-edge PC.
+        back_pc: usize,
+        /// The invariant condition register.
+        reg: u8,
+    },
+}
+
+impl std::fmt::Display for TermIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TermIssue::NoExitEdge { head, back_pc } => write!(
+                f,
+                "loop pc {head}..={back_pc}: no exit edge leaves the loop body"
+            ),
+            TermIssue::InvariantExitCond { head, back_pc, reg } => write!(
+                f,
+                "loop pc {head}..={back_pc}: exit condition r{reg} is \
+                 loop-invariant — no ranking argument"
+            ),
+        }
+    }
+}
+
+/// Result of [`check_termination`].
+#[derive(Debug, Clone, Default)]
+pub struct TermReport {
+    /// Every back-edge with its accepted ranking argument.
+    pub loops: Vec<LoopSummary>,
+    /// Back-edges with no ranking argument.
+    pub issues: Vec<TermIssue>,
+}
+
+/// Proves every CFG back-edge carries a ranking argument.
+pub fn check_termination(kernel: &Kernel) -> TermReport {
+    let mut report = TermReport::default();
+    for (pc, instr) in kernel.instrs.iter().enumerate() {
+        let (head, cond_on_back_edge) = match *instr {
+            Instr::Jump { target } if (target as usize) <= pc => (target as usize, None),
+            Instr::BranchNz { rs, target, .. } | Instr::BranchZ { rs, target, .. }
+                if (target as usize) <= pc =>
+            {
+                (target as usize, Some(rs))
+            }
+            _ => continue,
+        };
+        let back_pc = pc;
+        let body = &kernel.instrs[head..=back_pc];
+        // Exit conditions: branches inside the body that leave it, the
+        // fallthrough of a conditional back-edge, and `Exit` itself.
+        let mut has_exit_instr = false;
+        let mut exit_conds: Vec<Reg> = cond_on_back_edge.into_iter().collect();
+        for (i, b) in body.iter().enumerate() {
+            match *b {
+                Instr::Exit => has_exit_instr = true,
+                Instr::BranchNz { rs, target, .. } | Instr::BranchZ { rs, target, .. }
+                    if (target as usize) > back_pc =>
+                {
+                    exit_conds.push(rs);
+                }
+                Instr::Jump { target } if (target as usize) > back_pc && head + i != back_pc => {
+                    // An unconditional jump out (e.g. an `else` arm that
+                    // leaves): treat as an exit with no condition needed.
+                    has_exit_instr = true;
+                }
+                _ => {}
+            }
+        }
+        if !has_exit_instr && exit_conds.is_empty() {
+            report.issues.push(TermIssue::NoExitEdge { head, back_pc });
+            report.loops.push(LoopSummary {
+                head,
+                back_pc,
+                rank: None,
+            });
+            continue;
+        }
+        let rank = if let Some(r) = exit_conds.iter().find_map(|&r| monotone_counter(body, r)) {
+            Some(LoopRank::MonotoneCounter { reg: r })
+        } else if let Some(&r) = exit_conds.iter().find(|&&r| writes_reg(body, r)) {
+            Some(LoopRank::ExitReachable { reg: r.0 })
+        } else if has_exit_instr {
+            Some(LoopRank::ExitInstr)
+        } else {
+            None
+        };
+        if rank.is_none() {
+            report.issues.push(TermIssue::InvariantExitCond {
+                head,
+                back_pc,
+                reg: exit_conds[0].0,
+            });
+        }
+        report.loops.push(LoopSummary {
+            head,
+            back_pc,
+            rank,
+        });
+    }
+    report
+}
+
+/// `true` when any instruction in `body` writes `r`.
+fn writes_reg(body: &[Instr], r: Reg) -> bool {
+    body.iter().any(|i| i.dest() == Some(r))
+}
+
+/// When `cond`'s single in-body definition compares a monotone counter
+/// against a loop-invariant bound, returns the counter register.
+fn monotone_counter(body: &[Instr], cond: Reg) -> Option<u8> {
+    let mut defs = body.iter().filter(|i| i.dest() == Some(cond));
+    let def = defs.next()?;
+    if defs.next().is_some() {
+        return None;
+    }
+    let (rs1, rs2) = match *def {
+        Instr::ICmp { rs1, rs2, .. } => (rs1, rs2),
+        _ => return None,
+    };
+    for (counter, bound) in [(rs1, rs2), (rs2, rs1)] {
+        if writes_reg(body, bound) || counter == bound {
+            continue;
+        }
+        if is_monotone(body, counter) {
+            return Some(counter.0);
+        }
+    }
+    None
+}
+
+/// `true` when every in-body definition of `r` moves it by a nonzero
+/// constant and all such steps share one sign.
+fn is_monotone(body: &[Instr], r: Reg) -> bool {
+    let mut sign = 0i64;
+    let mut any = false;
+    for i in body {
+        if i.dest() != Some(r) {
+            continue;
+        }
+        let step = match *i {
+            Instr::IAluImm {
+                op: IOp::Add,
+                rs1,
+                imm,
+                ..
+            } if rs1 == r => imm as i32 as i64,
+            Instr::IAluImm {
+                op: IOp::Sub,
+                rs1,
+                imm,
+                ..
+            } if rs1 == r => -(imm as i32 as i64),
+            _ => return false,
+        };
+        if step == 0 {
+            return false;
+        }
+        let s = step.signum();
+        if sign != 0 && s != sign {
+            return false;
+        }
+        sign = s;
+        any = true;
+    }
+    any
+}

@@ -1,0 +1,380 @@
+//! The abstract value domain: symbolic base × interval × alignment.
+//!
+//! Every abstract value describes a set of 32-bit machine words as
+//! *base + δ (mod 2³²)* where the base is either the constant 0, a kernel
+//! launch parameter, or unknown, and δ ranges over an integer interval
+//! constrained to a power-of-two alignment. Arithmetic transfer functions
+//! work on mathematical integers, which is sound for the wrapping u32
+//! semantics of the simulator because they preserve the congruence class
+//! mod 2³²; any interval that grows past one full wrap collapses to
+//! [`AbsVal::top`].
+//!
+//! The domain is deliberately small: it is exactly what is needed to prove
+//! the `base + thread_id * stride + field_offset` addressing pattern every
+//! workload kernel uses in bounds, while remaining cheap enough to run at
+//! issue time as a shadow check.
+
+/// Symbolic base of an abstract value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Base {
+    /// The value is an absolute integer (base 0).
+    Zero,
+    /// The value is an offset from kernel launch parameter `i`.
+    Param(u8),
+    /// The base is unknown — the value is unconstrained (⊤).
+    Many,
+}
+
+/// Interval bounds past which a value is widened to ⊤. One wrap of the
+/// 32-bit space on either side keeps the shadow checker's congruence
+/// search to a handful of candidates.
+const BOUND_CLAMP: i64 = 1 << 33;
+
+/// Largest tracked power-of-two alignment (everything is 32-bit, so finer
+/// distinctions past 2³¹ carry no information).
+const MAX_ALIGN: u64 = 1 << 31;
+
+/// An abstract 32-bit value: `base + δ (mod 2³²)` with `δ ∈ [lo, hi]` and
+/// `align | δ`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AbsVal {
+    /// Symbolic base.
+    pub base: Base,
+    /// Inclusive lower bound of δ.
+    pub lo: i64,
+    /// Inclusive upper bound of δ.
+    pub hi: i64,
+    /// Power-of-two alignment dividing δ.
+    pub align: u64,
+}
+
+impl AbsVal {
+    /// The unconstrained value ⊤ (every u32).
+    pub fn top() -> Self {
+        AbsVal {
+            base: Base::Many,
+            lo: 0,
+            hi: u32::MAX as i64,
+            align: 1,
+        }
+    }
+
+    /// `true` when nothing is known about the value.
+    pub fn is_top(&self) -> bool {
+        matches!(self.base, Base::Many)
+    }
+
+    /// The constant `c`.
+    pub fn constant(c: u32) -> Self {
+        AbsVal {
+            base: Base::Zero,
+            lo: c as i64,
+            hi: c as i64,
+            align: align_of_const(c as i64),
+        }
+    }
+
+    /// Launch parameter `i` plus offset 0.
+    pub fn param(i: u8) -> Self {
+        AbsVal {
+            base: Base::Param(i),
+            lo: 0,
+            hi: 0,
+            align: MAX_ALIGN,
+        }
+    }
+
+    /// An absolute value in `[lo, hi]` (e.g. a thread id).
+    pub fn range(lo: u32, hi: u32) -> Self {
+        AbsVal {
+            base: Base::Zero,
+            lo: lo as i64,
+            hi: hi as i64,
+            align: 1,
+        }
+        .normalized()
+    }
+
+    /// Re-establishes the domain invariants; collapses to ⊤ when the
+    /// interval spans a full wrap or escapes the clamp.
+    fn normalized(self) -> Self {
+        if self.is_top()
+            || self.lo > self.hi
+            || self.hi - self.lo >= (1 << 32)
+            || self.lo <= -BOUND_CLAMP
+            || self.hi >= BOUND_CLAMP
+        {
+            AbsVal::top()
+        } else {
+            self
+        }
+    }
+
+    /// When the value is a known absolute (base 0) range inside `[0, 2³²)`,
+    /// returns the exact `(lo, hi)` machine range.
+    pub fn exact_range(&self) -> Option<(u64, u64)> {
+        match self.base {
+            Base::Zero if self.lo >= 0 && self.hi <= u32::MAX as i64 => {
+                Some((self.lo as u64, self.hi as u64))
+            }
+            _ => None,
+        }
+    }
+
+    /// Least upper bound of two abstract values.
+    pub fn join(&self, other: &AbsVal) -> AbsVal {
+        if self.is_top() || other.is_top() || self.base != other.base {
+            return AbsVal::top();
+        }
+        AbsVal {
+            base: self.base,
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+            align: self.align.min(other.align),
+        }
+        .normalized()
+    }
+
+    /// Widening: keeps a stable value, collapses a still-changing one to ⊤
+    /// so the fixpoint terminates in one more round.
+    pub fn widen(&self, next: &AbsVal) -> AbsVal {
+        let joined = self.join(next);
+        if joined == *self {
+            joined
+        } else {
+            AbsVal::top()
+        }
+    }
+
+    /// `self + other` (wrapping u32 add).
+    pub fn add(&self, other: &AbsVal) -> AbsVal {
+        let base = match (self.base, other.base) {
+            (Base::Zero, b) | (b, Base::Zero) => b,
+            _ => return AbsVal::top(),
+        };
+        AbsVal {
+            base,
+            lo: self.lo.saturating_add(other.lo),
+            hi: self.hi.saturating_add(other.hi),
+            align: self.align.min(other.align),
+        }
+        .normalized()
+    }
+
+    /// `self + c` for a sign-extended immediate (wrapping u32 add; adding
+    /// `c` and adding `c + 2³²` are congruent, so the signed reading keeps
+    /// the interval tight for the `+ (-4)` decrement idiom).
+    pub fn add_const(&self, c: i64) -> AbsVal {
+        if self.is_top() {
+            return AbsVal::top();
+        }
+        AbsVal {
+            base: self.base,
+            lo: self.lo.saturating_add(c),
+            hi: self.hi.saturating_add(c),
+            align: self.align.min(align_of_const(c)),
+        }
+        .normalized()
+    }
+
+    /// `self - other` (wrapping u32 subtract). Two offsets from the *same*
+    /// parameter cancel to an absolute difference.
+    pub fn sub(&self, other: &AbsVal) -> AbsVal {
+        let base = match (self.base, other.base) {
+            (b, Base::Zero) => b,
+            (Base::Param(a), Base::Param(b)) if a == b => Base::Zero,
+            _ => return AbsVal::top(),
+        };
+        AbsVal {
+            base,
+            lo: self.lo.saturating_sub(other.hi),
+            hi: self.hi.saturating_sub(other.lo),
+            align: self.align.min(other.align),
+        }
+        .normalized()
+    }
+
+    /// `self * c` (wrapping u32 multiply by a constant). Only an absolute
+    /// value stays representable; scaling a parameter base is ⊤.
+    pub fn mul_const(&self, c: i64) -> AbsVal {
+        if c == 0 {
+            return AbsVal::constant(0);
+        }
+        if c == 1 {
+            return *self;
+        }
+        if self.base != Base::Zero {
+            return AbsVal::top();
+        }
+        let a = self.lo.saturating_mul(c);
+        let b = self.hi.saturating_mul(c);
+        AbsVal {
+            base: Base::Zero,
+            lo: a.min(b),
+            hi: a.max(b),
+            align: self
+                .align
+                .saturating_mul(align_of_const(c))
+                .clamp(1, MAX_ALIGN),
+        }
+        .normalized()
+    }
+
+    /// `self * other` (wrapping u32 multiply).
+    pub fn mul(&self, other: &AbsVal) -> AbsVal {
+        match (self.exact_range(), other.exact_range()) {
+            (Some(_), Some((olo, ohi))) if olo == ohi => self.mul_const(olo as i64),
+            (Some((slo, shi)), Some(_)) if slo == shi => other.mul_const(slo as i64),
+            (Some((_, shi)), Some((_, ohi))) => {
+                match shi.checked_mul(ohi) {
+                    // Product of nonnegative ranges: [lo·lo, hi·hi].
+                    Some(p) if p <= u32::MAX as u64 => AbsVal {
+                        base: Base::Zero,
+                        lo: (self.lo as u64 * other.lo as u64) as i64,
+                        hi: p as i64,
+                        align: self.align.min(other.align),
+                    }
+                    .normalized(),
+                    _ => AbsVal::top(),
+                }
+            }
+            _ => AbsVal::top(),
+        }
+    }
+
+    /// `self & mask` for a constant mask.
+    pub fn and_const(&self, mask: u32) -> AbsVal {
+        let hi = match self.exact_range() {
+            Some((_, hi)) => hi.min(mask as u64),
+            None => mask as u64,
+        };
+        AbsVal {
+            base: Base::Zero,
+            lo: 0,
+            hi: hi as i64,
+            align: if mask == 0 {
+                MAX_ALIGN
+            } else {
+                1u64 << mask.trailing_zeros().min(31)
+            },
+        }
+        .normalized()
+    }
+
+    /// `self >> k` (logical) for a constant shift.
+    pub fn shr_const(&self, k: u32) -> AbsVal {
+        let k = k & 31;
+        match self.exact_range() {
+            Some((lo, hi)) => AbsVal {
+                base: Base::Zero,
+                lo: (lo >> k) as i64,
+                hi: (hi >> k) as i64,
+                align: (self.align >> k).max(1),
+            }
+            .normalized(),
+            None => AbsVal::top(),
+        }
+    }
+
+    /// `true` when the machine word `v` is described by this abstraction
+    /// given the concrete base value `base_val` (0 for [`Base::Zero`], the
+    /// launch parameter for [`Base::Param`]).
+    pub fn contains(&self, v: u32, base_val: u32) -> bool {
+        if self.is_top() {
+            return true;
+        }
+        let diff = v as i64 - base_val as i64;
+        // δ is congruent to diff mod 2³²; the clamp keeps |lo|,|hi| < 2³⁴,
+        // so only a few wraps can land inside the interval.
+        (-2i64..=2).any(|k| {
+            let d = diff + (k << 32);
+            self.lo <= d && d <= self.hi && d.rem_euclid(self.align as i64) == 0
+        })
+    }
+}
+
+/// Largest power of two (≤ 2³¹) dividing `c`; 0 is divisible by everything.
+fn align_of_const(c: i64) -> u64 {
+    if c == 0 {
+        MAX_ALIGN
+    } else {
+        1u64 << (c.trailing_zeros().min(31))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn const_and_param_basics() {
+        let c = AbsVal::constant(12);
+        assert_eq!(c.exact_range(), Some((12, 12)));
+        assert_eq!(c.align, 4);
+        let p = AbsVal::param(2);
+        assert!(p.contains(1000, 1000));
+        assert!(!p.contains(1004, 1000));
+    }
+
+    #[test]
+    fn record_addressing_pattern_stays_precise() {
+        // q = Param(0) + tid * 16, tid ∈ [0, 99]
+        let tid = AbsVal::range(0, 99);
+        let q = AbsVal::param(0).add(&tid.mul_const(16));
+        assert_eq!(q.base, Base::Param(0));
+        assert_eq!((q.lo, q.hi), (0, 99 * 16));
+        assert_eq!(q.align, 16);
+        assert!(q.contains(5000 + 42 * 16, 5000));
+        assert!(!q.contains(5000 + 42 * 16 + 1, 5000));
+        assert!(!q.contains(5000 + 100 * 16, 5000));
+    }
+
+    #[test]
+    fn wrapping_decrement_is_congruent() {
+        // sp -= 4 via + 0xFFFF_FFFC: machine wraps, abstraction subtracts.
+        let sp = AbsVal::param(2).add_const(8);
+        let sp2 = sp.add_const((-4i32) as i64);
+        assert_eq!((sp2.lo, sp2.hi), (4, 4));
+        let base: u32 = 1 << 20;
+        assert!(sp2.contains(base.wrapping_add(8).wrapping_sub(4), base));
+    }
+
+    #[test]
+    fn join_and_widen() {
+        let a = AbsVal::range(0, 4);
+        let b = AbsVal::range(8, 12);
+        let j = a.join(&b);
+        assert_eq!((j.lo, j.hi), (0, 12));
+        assert_eq!(a.widen(&a), a);
+        assert!(a.widen(&b).is_top());
+        assert!(a.join(&AbsVal::param(0)).is_top());
+    }
+
+    #[test]
+    fn param_difference_cancels() {
+        let sp = AbsVal::param(2).add_const(12);
+        let base = AbsVal::param(2);
+        let d = sp.sub(&base);
+        assert_eq!(d.base, Base::Zero);
+        assert_eq!((d.lo, d.hi), (12, 12));
+        assert!(AbsVal::param(0).sub(&AbsVal::param(1)).is_top());
+    }
+
+    #[test]
+    fn overflow_collapses_to_top() {
+        let big = AbsVal::range(0, u32::MAX);
+        assert!(big.mul_const(64).is_top());
+        assert!(AbsVal::param(0).mul_const(2).is_top());
+        // ⊤ contains everything.
+        assert!(AbsVal::top().contains(0xdead_beef, 0));
+    }
+
+    #[test]
+    fn mask_and_shift() {
+        let v = AbsVal::top().and_const(0xf0);
+        assert_eq!((v.lo, v.hi), (0, 0xf0));
+        assert_eq!(v.align, 16);
+        let s = AbsVal::range(0, 256).shr_const(4);
+        assert_eq!((s.lo, s.hi), (0, 16));
+    }
+}

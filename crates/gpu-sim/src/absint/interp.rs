@@ -1,0 +1,261 @@
+//! Flow-sensitive fixpoint interpreter over the mini-ISA.
+//!
+//! Forward analysis: the abstract state at a PC maps every architectural
+//! register to an [`AbsVal`]; states join at merge points and are widened
+//! at PCs that keep changing (loop heads), so the fixpoint terminates in a
+//! handful of rounds. The entry state is all-zero constants — the
+//! simulator zero-fills warp register files ([`crate::simt::Warp::new`]),
+//! so this is exact, not an assumption.
+
+use super::cfg::successors;
+use super::domain::AbsVal;
+use crate::isa::{IOp, Instr, SReg};
+use crate::kernel::Kernel;
+
+/// Static facts about a kernel launch the analysis may rely on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchBounds {
+    /// Number of launched threads (bounds `SReg::ThreadId`).
+    pub num_threads: u32,
+}
+
+/// Joins before a PC's in-state switches from join to widening. Loop
+/// counters get a few precise rounds; anything still changing collapses
+/// to ⊤ so the fixpoint is reached quickly.
+const WIDEN_AFTER: u32 = 4;
+
+/// Result of [`analyze`]: the abstract register state *entering* each PC.
+#[derive(Debug, Clone)]
+pub struct Abstraction {
+    /// `in_states[pc]` is `None` for unreachable PCs.
+    pub in_states: Vec<Option<Vec<AbsVal>>>,
+    /// The launch bounds the states were computed under.
+    pub bounds: LaunchBounds,
+}
+
+impl Abstraction {
+    /// The abstract value of register `r` entering `pc`, if reachable.
+    pub fn reg_in(&self, pc: usize, r: u8) -> Option<AbsVal> {
+        self.in_states
+            .get(pc)?
+            .as_ref()
+            .and_then(|s| s.get(r as usize).copied())
+    }
+}
+
+/// Runs the interpreter to fixpoint and returns the per-PC in-states.
+pub fn analyze(kernel: &Kernel, bounds: LaunchBounds) -> Abstraction {
+    let n = kernel.instrs.len();
+    let regs = kernel.num_regs.max(1);
+    let mut in_states: Vec<Option<Vec<AbsVal>>> = vec![None; n];
+    let mut joins: Vec<u32> = vec![0; n];
+    if n == 0 {
+        return Abstraction { in_states, bounds };
+    }
+    in_states[0] = Some(vec![AbsVal::constant(0); regs]);
+    let mut work = vec![0usize];
+    while let Some(pc) = work.pop() {
+        let mut state = in_states[pc].clone().expect("queued pcs are initialised");
+        transfer(&kernel.instrs[pc], &mut state, bounds);
+        let (succs, cnt) = successors(&kernel.instrs[pc], pc);
+        for &succ in &succs[..cnt] {
+            if succ >= n {
+                continue; // fell off the end / OOB target — verify reports it
+            }
+            let merged = match &in_states[succ] {
+                None => state.clone(),
+                Some(prev) => {
+                    let widen = joins[succ] >= WIDEN_AFTER;
+                    prev.iter()
+                        .zip(&state)
+                        .map(|(a, b)| if widen { a.widen(b) } else { a.join(b) })
+                        .collect()
+                }
+            };
+            if in_states[succ].as_ref() != Some(&merged) {
+                joins[succ] += 1;
+                in_states[succ] = Some(merged);
+                work.push(succ);
+            }
+        }
+    }
+    Abstraction { in_states, bounds }
+}
+
+/// Applies one instruction to the abstract state.
+fn transfer(instr: &Instr, state: &mut [AbsVal], bounds: LaunchBounds) {
+    let val = |state: &[AbsVal], r: crate::isa::Reg| state[r.0 as usize];
+    let out = match *instr {
+        Instr::MovImm { imm, .. } => AbsVal::constant(imm),
+        Instr::MovSreg { sreg, .. } => match sreg {
+            SReg::ThreadId => AbsVal::range(0, bounds.num_threads.saturating_sub(1)),
+            SReg::LaneId => AbsVal::range(0, 31),
+            SReg::WarpId => AbsVal::range(0, bounds.num_threads.saturating_sub(1) / 32),
+            SReg::Param(i) => AbsVal::param(i),
+        },
+        Instr::Mov { rs, .. } => val(state, rs),
+        Instr::IAlu { op, rs1, rs2, .. } => {
+            let (a, b) = (val(state, rs1), val(state, rs2));
+            ialu(op, a, b)
+        }
+        Instr::IAluImm { op, rs1, imm, .. } => {
+            let a = val(state, rs1);
+            match op {
+                // Signed immediate reading is congruent mod 2³² and keeps
+                // the `+ (-4)` decrement idiom precise.
+                IOp::Add => a.add_const(imm as i32 as i64),
+                IOp::Sub => a.add_const(-(imm as i32 as i64)),
+                IOp::Mul => a.mul_const(imm as i32 as i64),
+                IOp::And => a.and_const(imm),
+                IOp::Shl => a.mul_const(1i64 << (imm & 31)),
+                IOp::Shr => a.shr_const(imm),
+                _ => ialu(op, a, AbsVal::constant(imm)),
+            }
+        }
+        // Comparisons produce a 0/1 flag.
+        Instr::ICmp { .. } | Instr::FCmp { .. } => AbsVal::range(0, 1),
+        // Loads and float results are unconstrained.
+        Instr::Load { .. }
+        | Instr::FAlu { .. }
+        | Instr::FSqrt { .. }
+        | Instr::ItoF { .. }
+        | Instr::FtoI { .. } => AbsVal::top(),
+        Instr::Store { .. }
+        | Instr::BranchNz { .. }
+        | Instr::BranchZ { .. }
+        | Instr::Jump { .. }
+        | Instr::Traverse { .. }
+        | Instr::Exit => return,
+    };
+    if let Some(rd) = instr.dest() {
+        state[rd.0 as usize] = out;
+    }
+}
+
+/// Register–register integer ALU transfer.
+fn ialu(op: IOp, a: AbsVal, b: AbsVal) -> AbsVal {
+    match op {
+        IOp::Add => a.add(&b),
+        IOp::Sub => a.sub(&b),
+        IOp::Mul => a.mul(&b),
+        IOp::And => match b.exact_range() {
+            Some((lo, hi)) if lo == hi => a.and_const(hi as u32),
+            _ => match a.exact_range() {
+                Some((lo, hi)) if lo == hi => b.and_const(hi as u32),
+                _ => and_ranges(a, b),
+            },
+        },
+        IOp::Or | IOp::Xor => match (a.exact_range(), b.exact_range()) {
+            // x|y and x^y never exceed x + y for nonnegative operands.
+            (Some((_, ha)), Some((_, hb))) if ha + hb <= u32::MAX as u64 => {
+                AbsVal::range(0, (ha + hb) as u32)
+            }
+            _ => AbsVal::top(),
+        },
+        IOp::Shl => AbsVal::top(),
+        IOp::Shr => match b.exact_range() {
+            Some((lo, hi)) if lo == hi => a.shr_const(hi as u32),
+            _ => AbsVal::top(),
+        },
+        IOp::Min => match (a.exact_range(), b.exact_range()) {
+            (Some((la, ha)), Some((lb, hb))) => AbsVal::range(la.min(lb) as u32, ha.min(hb) as u32),
+            _ => AbsVal::top(),
+        },
+        IOp::Max => match (a.exact_range(), b.exact_range()) {
+            (Some((la, ha)), Some((lb, hb))) => AbsVal::range(la.max(lb) as u32, ha.max(hb) as u32),
+            _ => AbsVal::top(),
+        },
+    }
+}
+
+/// `a & b` when neither operand is constant: bounded by the smaller range.
+fn and_ranges(a: AbsVal, b: AbsVal) -> AbsVal {
+    match (a.exact_range(), b.exact_range()) {
+        (Some((_, ha)), Some((_, hb))) => AbsVal::range(0, ha.min(hb) as u32),
+        _ => AbsVal::top(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::absint::domain::Base;
+    use crate::isa::{Cmp, SReg};
+    use crate::kernel::KernelBuilder;
+
+    const BOUNDS: LaunchBounds = LaunchBounds { num_threads: 256 };
+
+    #[test]
+    fn record_address_is_param_relative() {
+        let mut k = KernelBuilder::new("rec");
+        let tid = k.reg();
+        let q = k.reg();
+        k.mov_sreg(tid, SReg::ThreadId);
+        k.imul_imm(q, tid, 16);
+        k.mov_sreg(tid, SReg::Param(0));
+        k.iadd(q, q, tid);
+        let load_pc = k.pc() as usize;
+        k.load(tid, q, 8);
+        k.exit();
+        let a = analyze(&k.build(), BOUNDS);
+        let addr = a.reg_in(load_pc, 1).unwrap();
+        assert_eq!(addr.base, Base::Param(0));
+        assert_eq!((addr.lo, addr.hi), (0, 255 * 16));
+        assert_eq!(addr.align, 16);
+    }
+
+    #[test]
+    fn loop_counter_widens_but_invariants_survive() {
+        let mut k = KernelBuilder::new("loop");
+        let i = k.reg();
+        let n = k.reg();
+        let c = k.reg();
+        let q = k.reg();
+        k.mov_imm(n, 10);
+        k.mov_sreg(q, SReg::Param(1));
+        k.mov_imm(i, 0);
+        let mut l = k.begin_loop();
+        let head = k.pc() as usize;
+        k.icmp(Cmp::Lt, c, i, n);
+        k.break_if_z(c, &mut l);
+        k.iadd_imm(i, i, 1);
+        k.end_loop(l);
+        k.exit();
+        let a = analyze(&k.build(), BOUNDS);
+        // The counter widened to ⊤, the loop-invariant pointer did not.
+        assert!(a.reg_in(head, 0).unwrap().is_top());
+        assert_eq!(a.reg_in(head, 3).unwrap().base, Base::Param(1));
+        assert_eq!(a.reg_in(head, 1).unwrap().exact_range(), Some((10, 10)));
+    }
+
+    #[test]
+    fn join_hulls_branch_arms() {
+        let mut k = KernelBuilder::new("join");
+        let c = k.reg();
+        let v = k.reg();
+        k.mov_sreg(c, SReg::ThreadId);
+        k.mov_imm(v, 4);
+        let t = k.begin_if_nz(c);
+        k.mov_imm(v, 12);
+        k.end_if(t);
+        let after = k.pc() as usize;
+        k.store(v, c, 0);
+        k.exit();
+        let a = analyze(&k.build(), BOUNDS);
+        let v_in = a.reg_in(after, 1).unwrap();
+        assert_eq!((v_in.lo, v_in.hi), (4, 12));
+        assert_eq!(v_in.align, 4);
+    }
+
+    #[test]
+    fn unreachable_pcs_have_no_state() {
+        let mut k = KernelBuilder::new("dead");
+        let a = k.reg();
+        k.mov_imm(a, 1);
+        k.exit();
+        k.mov_imm(a, 2); // dead
+        k.exit();
+        let abs = analyze(&k.build(), BOUNDS);
+        assert!(abs.in_states[2].is_none());
+    }
+}

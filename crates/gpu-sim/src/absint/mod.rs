@@ -1,0 +1,36 @@
+//! Abstract interpretation over mini-ISA kernels: the `tta-absint`
+//! analysis core.
+//!
+//! A flow-sensitive fixpoint interpreter ([`analyze`]) tracks every
+//! register as *base + interval × alignment* ([`AbsVal`]), where the base
+//! is a kernel launch parameter or the constant 0. On top of it sit the
+//! proving passes surfaced through `tta-lint`:
+//!
+//! - **memory safety** ([`check_memory`]): every `Load`/`Store` address
+//!   interval is contained in a declared [`MemContract`];
+//! - **SIMT-stack bound** ([`stack_bound`]): the worst-case reconvergence
+//!   stack depth derived from divergent-branch region nesting, proved
+//!   within [`crate::simt::SIMT_STACK_LIMIT`];
+//! - **termination** ([`check_termination`]): every CFG back-edge carries
+//!   a ranking argument (monotone counter, recomputed exit condition, or
+//!   reachable `Exit`).
+//!
+//! The [`ShadowChecker`] closes the loop at runtime: a shadow-checked
+//! simulation asserts at every issue that the machine stays inside the
+//! static abstraction, so an unsound transfer function is caught by CI
+//! instead of silently weakening the proofs.
+
+mod cfg;
+mod checks;
+mod domain;
+mod interp;
+mod shadow;
+
+pub use cfg::{stack_bound, successors, BranchRegion, StackBound, DYNAMIC_STACK_BOUND, WARP_LANES};
+pub use checks::{
+    check_memory, check_termination, ContractLen, LoopRank, LoopSummary, MemContract, MemIssue,
+    MemReport, TermIssue, TermReport,
+};
+pub use domain::{AbsVal, Base};
+pub use interp::{analyze, Abstraction, LaunchBounds};
+pub use shadow::ShadowChecker;

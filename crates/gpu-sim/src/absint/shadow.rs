@@ -1,0 +1,174 @@
+//! Runtime soundness gate: shadow-checks the simulator against the static
+//! abstraction.
+//!
+//! When enabled on a [`crate::gpu::Gpu`], every instruction issue is
+//! checked: each source register of each active lane must lie inside the
+//! abstract value the interpreter computed for that PC, and the SIMT
+//! stack depth must stay under the statically derived bound. A violation
+//! is an analyzer soundness bug (or a simulator bug) and panics
+//! immediately — CI runs a shadow-checked sweep so the analyzer can never
+//! silently rot relative to the machine it models.
+
+use super::cfg::{stack_bound, StackBound};
+use super::interp::{analyze, Abstraction, LaunchBounds};
+use crate::isa::Instr;
+use crate::kernel::Kernel;
+use crate::simt::Warp;
+
+/// Shadow-checking state for one kernel launch.
+#[derive(Debug)]
+pub struct ShadowChecker {
+    kernel_name: String,
+    abs: Abstraction,
+    bound: StackBound,
+    params: Vec<u32>,
+    value_checks: u64,
+    stack_checks: u64,
+}
+
+impl ShadowChecker {
+    /// Builds the abstraction for `kernel` under `bounds` and prepares to
+    /// check a launch with the given parameters.
+    pub fn new(kernel: &Kernel, bounds: LaunchBounds, params: &[u32]) -> Self {
+        ShadowChecker {
+            kernel_name: kernel.name.clone(),
+            abs: analyze(kernel, bounds),
+            bound: stack_bound(kernel),
+            params: params.to_vec(),
+            value_checks: 0,
+            stack_checks: 0,
+        }
+    }
+
+    /// Checks one instruction issue: `warp` is about to execute `instr`
+    /// at `pc` with active-lane `mask`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a register value or the stack depth escapes its static
+    /// abstraction — the analyzer's proof did not cover the machine.
+    pub fn check_issue(&mut self, warp: &Warp, pc: u32, mask: u32, instr: &Instr) {
+        self.stack_checks += 1;
+        assert!(
+            warp.stack.len() <= self.bound.runtime_bound,
+            "shadow check: kernel {:?} warp {} pc {pc}: SIMT stack depth {} \
+             exceeds the static bound {}",
+            self.kernel_name,
+            warp.id,
+            warp.stack.len(),
+            self.bound.runtime_bound,
+        );
+        let (srcs, cnt) = instr.sources_packed();
+        for r in &srcs[..cnt] {
+            let Some(abs) = self.abs.reg_in(pc as usize, r.0) else {
+                panic!(
+                    "shadow check: kernel {:?} pc {pc}: statically unreachable \
+                     PC executed",
+                    self.kernel_name,
+                );
+            };
+            if abs.is_top() {
+                continue;
+            }
+            let base_val = match abs.base {
+                super::domain::Base::Zero => 0,
+                super::domain::Base::Param(p) => match self.params.get(p as usize) {
+                    Some(&v) => v,
+                    None => continue, // launch omitted the param; execute() will panic if read
+                },
+                super::domain::Base::Many => unreachable!("is_top filtered"),
+            };
+            for lane in 0..32 {
+                if mask & (1 << lane) == 0 {
+                    continue;
+                }
+                self.value_checks += 1;
+                let v = warp.reg(r.0, lane);
+                assert!(
+                    abs.contains(v, base_val),
+                    "shadow check: kernel {:?} warp {} lane {lane} pc {pc}: \
+                     r{} = {v:#x} escapes its abstraction {abs:?} (base value {base_val:#x})",
+                    self.kernel_name,
+                    warp.id,
+                    r.0,
+                );
+            }
+        }
+    }
+
+    /// Number of per-lane register value checks performed.
+    pub fn value_checks(&self) -> u64 {
+        self.value_checks
+    }
+
+    /// Number of stack-depth checks performed (one per issue).
+    pub fn stack_checks(&self) -> u64 {
+        self.stack_checks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Reg, SReg};
+    use crate::kernel::KernelBuilder;
+
+    fn toy_kernel() -> Kernel {
+        let mut k = KernelBuilder::new("toy");
+        let tid = k.reg();
+        let q = k.reg();
+        k.mov_sreg(tid, SReg::ThreadId);
+        k.imul_imm(q, tid, 16);
+        k.mov_sreg(tid, SReg::Param(0));
+        k.iadd(q, q, tid);
+        k.store(q, q, 0);
+        k.exit();
+        k.build()
+    }
+
+    #[test]
+    fn in_range_values_pass() {
+        let kernel = toy_kernel();
+        let mut sc = ShadowChecker::new(&kernel, LaunchBounds { num_threads: 64 }, &[4096]);
+        let mut w = Warp::new(0, 0, 32, kernel.num_regs, 0);
+        for lane in 0..32 {
+            w.set_reg(0, lane, 4096);
+            w.set_reg(1, lane, 4096 + 16 * lane as u32);
+        }
+        sc.check_issue(&w, 4, u32::MAX, &kernel.instrs[4]);
+        assert!(sc.value_checks() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "escapes its abstraction")]
+    fn out_of_range_value_panics() {
+        let kernel = toy_kernel();
+        let mut sc = ShadowChecker::new(&kernel, LaunchBounds { num_threads: 64 }, &[4096]);
+        let mut w = Warp::new(0, 0, 32, kernel.num_regs, 0);
+        for lane in 0..32 {
+            w.set_reg(0, lane, 4096);
+            // Lane 3's record address is corrupted past the 64-thread range.
+            w.set_reg(1, lane, 4096 + 16 * lane as u32);
+        }
+        w.set_reg(1, 3, 4096 + 16 * 101);
+        sc.check_issue(&w, 4, u32::MAX, &kernel.instrs[4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "SIMT stack depth")]
+    fn stack_overflow_panics() {
+        let kernel = toy_kernel(); // loop-free: bound = 1
+        let mut sc = ShadowChecker::new(&kernel, LaunchBounds { num_threads: 64 }, &[0]);
+        let mut w = Warp::new(0, 0, 32, kernel.num_regs, 0);
+        w.branch(1, 1, 5); // diverge: depth 3 > structural bound 1
+        sc.check_issue(
+            &w,
+            0,
+            1,
+            &Instr::MovSreg {
+                rd: Reg(0),
+                sreg: SReg::ThreadId,
+            },
+        );
+    }
+}

@@ -53,6 +53,9 @@ pub struct Gpu {
     trace: TraceHandle,
     /// Fig. 17 "Perf. RT" limit: accelerator node fetches are free.
     pub perfect_node_fetch: bool,
+    shadow_enabled: bool,
+    shadow_value_checks: u64,
+    shadow_stack_checks: u64,
 }
 
 impl Gpu {
@@ -73,7 +76,26 @@ impl Gpu {
             clock: 0,
             trace: TraceHandle::default(),
             perfect_node_fetch: false,
+            shadow_enabled: false,
+            shadow_value_checks: 0,
+            shadow_stack_checks: 0,
         }
+    }
+
+    /// Enables the abstract-interpretation soundness gate: every launch
+    /// first analyzes its kernel ([`crate::absint::analyze`]) and then
+    /// shadow-checks each instruction issue against the static
+    /// abstraction, panicking when a register value or SIMT-stack depth
+    /// escapes it. Intended for tests and CI (it roughly doubles
+    /// simulation cost).
+    pub fn enable_shadow_check(&mut self) {
+        self.shadow_enabled = true;
+    }
+
+    /// Cumulative (per-lane value, per-issue stack) shadow checks
+    /// performed across all launches since construction.
+    pub fn shadow_checks(&self) -> (u64, u64) {
+        (self.shadow_value_checks, self.shadow_stack_checks)
     }
 
     /// Attaches one accelerator per SM, built by `make(sm_id)`.
@@ -126,6 +148,18 @@ impl Gpu {
             dram_channels: self.cfg.mem.dram_channels,
             ..Default::default()
         };
+
+        // Soundness gate: build the static abstraction for this launch and
+        // shadow-check every issue against it.
+        let mut shadow = self.shadow_enabled.then(|| {
+            crate::absint::ShadowChecker::new(
+                kernel,
+                crate::absint::LaunchBounds {
+                    num_threads: num_threads as u32,
+                },
+                params,
+            )
+        });
 
         // Pending warp descriptors: (base_tid, lanes).
         let warp_width = self.cfg.warp_width;
@@ -186,6 +220,7 @@ impl Gpu {
                     accel,
                     &mut stats,
                     &self.trace,
+                    shadow.as_mut(),
                 );
                 any_issued |= r.issued;
                 any_mem_stall |= r.mem_stall;
@@ -261,6 +296,10 @@ impl Gpu {
             );
         }
 
+        if let Some(sc) = &shadow {
+            self.shadow_value_checks += sc.value_checks();
+            self.shadow_stack_checks += sc.stack_checks();
+        }
         stats.cycles = self.clock - start_cycle;
         debug_assert_eq!(
             stats.attribution.total(),
@@ -483,6 +522,20 @@ mod tests {
             perfect < real,
             "perfect memory ({perfect}) must beat real memory ({real})"
         );
+    }
+
+    #[test]
+    fn shadow_checked_launch_stays_inside_the_abstraction() {
+        let mut gpu = Gpu::new(GpuConfig::small_test(), 1 << 20);
+        gpu.enable_shadow_check();
+        let n = 256usize;
+        let inp = gpu.gmem.alloc(4 * n, 64);
+        let out = gpu.gmem.alloc(4 * n, 64);
+        gpu.launch(&incr_kernel(), n, &[inp as u32, out as u32]);
+        gpu.launch(&divergent_kernel(), n, &[out as u32]);
+        let (values, stacks) = gpu.shadow_checks();
+        assert!(values > 0, "shadow mode must actually check lane values");
+        assert!(stacks > 0, "shadow mode must actually check stack depths");
     }
 
     #[test]

@@ -15,7 +15,11 @@
 //!   DRAM-utilization numbers of Figs. 1 and 13;
 //! * an accelerator attachment point ([`accel`]) through which the baseline
 //!   RTA (`tta-rta`) and TTA/TTA+ (`tta`) plug in, one per SM;
-//! * run statistics ([`stats`]) for every figure of the paper.
+//! * run statistics ([`stats`]) for every figure of the paper;
+//! * an abstract-interpretation analysis core ([`absint`]) that proves
+//!   kernel memory safety, SIMT-stack bounds, and loop termination, with a
+//!   runtime shadow checker ([`absint::ShadowChecker`]) gating its own
+//!   soundness.
 //!
 //! # Examples
 //!
@@ -33,6 +37,7 @@
 //! assert!(stats.cycles > 0);
 //! ```
 
+pub mod absint;
 pub mod accel;
 pub mod config;
 pub mod gpu;

@@ -13,6 +13,15 @@
 /// are outside this model.)
 pub const MAX_REGS: usize = 128;
 
+/// Hardware SIMT reconvergence-stack capacity, in entries.
+///
+/// This is the single source of truth for the stack budget: the simulator
+/// enforces it at every divergent branch (a run that exceeds it panics, in
+/// release builds too), and the static analyzer
+/// ([`crate::absint::worst_case_stack_depth`] via [`crate::verify::check`])
+/// proves kernels stay under it before they ever run.
+pub const SIMT_STACK_LIMIT: usize = 64;
+
 /// One SIMT stack entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StackEntry {
@@ -154,7 +163,14 @@ impl Warp {
                 rpc: reconv,
                 mask: taken,
             });
-            debug_assert!(self.stack.len() <= 64, "SIMT stack runaway");
+            assert!(
+                self.stack.len() <= SIMT_STACK_LIMIT,
+                "SIMT stack runaway: warp {} reached depth {} (limit {}) at pc {}",
+                self.id,
+                self.stack.len(),
+                SIMT_STACK_LIMIT,
+                top.pc,
+            );
             true
         }
     }
@@ -243,6 +259,18 @@ mod tests {
         assert_eq!(w.reconverge(), Some((1, 0xffff_ff00)));
         w.set_pc(30);
         assert_eq!(w.reconverge(), Some((30, u32::MAX)));
+    }
+
+    #[test]
+    #[should_panic(expected = "SIMT stack runaway")]
+    fn stack_runaway_panics_even_in_release() {
+        let mut w = Warp::new(0, 0, 2, 4, 0);
+        // Alternate the taken mask so every branch diverges without ever
+        // reconverging; the guard must fire before depth exceeds the limit.
+        for i in 0..2 * SIMT_STACK_LIMIT {
+            let taken = if i % 2 == 0 { 0b10 } else { 0b01 };
+            w.branch(taken, 10, u32::MAX - 1);
+        }
     }
 
     #[test]

@@ -117,6 +117,7 @@ impl Sm {
         mut accel: Option<&mut Box<dyn Accelerator>>,
         stats: &mut SimStats,
         trace: &TraceHandle,
+        mut shadow: Option<&mut crate::absint::ShadowChecker>,
     ) -> IssueResult {
         // GTO: greedy on the last-issued warp, then oldest-first. `order`
         // is kept age-sorted incrementally; start iteration at the greedy
@@ -172,6 +173,13 @@ impl Sm {
                 note_wake(ready_at);
                 mem_stall |= blocked_on_mem;
                 continue;
+            }
+
+            // Soundness gate: every source register of the issuing
+            // instruction (and the stack depth) must lie inside the
+            // statically computed abstraction.
+            if let Some(sc) = shadow.as_deref_mut() {
+                sc.check_issue(warp, pc, mask, &instr);
             }
 
             // Traverse is special: it can be rejected by a full warp buffer.

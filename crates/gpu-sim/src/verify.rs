@@ -53,10 +53,15 @@ pub enum KernelIssue {
         /// The warp-buffer record budget.
         limit: usize,
     },
-    /// Structured nesting exceeds the SIMT stack budget.
-    ExcessiveNesting {
-        /// Deepest branch nesting found.
+    /// The structural worst-case SIMT stack depth (one base entry plus
+    /// two per nested divergent-branch region, from
+    /// [`crate::absint::stack_bound`]) exceeds the hardware stack
+    /// capacity [`crate::simt::SIMT_STACK_LIMIT`].
+    StackDepthExceeded {
+        /// Structural worst-case stack depth.
         depth: usize,
+        /// The hardware stack capacity.
+        limit: usize,
     },
 }
 
@@ -92,18 +97,16 @@ impl std::fmt::Display for KernelIssue {
                     "kernel allocates {used} registers; the warp-buffer record holds {limit}"
                 )
             }
-            KernelIssue::ExcessiveNesting { depth } => {
+            KernelIssue::StackDepthExceeded { depth, limit } => {
                 write!(
                     f,
-                    "branch nesting depth {depth} exceeds the SIMT stack budget"
+                    "worst-case SIMT stack depth {depth} exceeds the hardware \
+                     stack capacity {limit}"
                 )
             }
         }
     }
 }
-
-/// Maximum divergent-branch nesting the SIMT stack supports comfortably.
-const MAX_NESTING: usize = 30;
 
 /// Registers one 64-byte warp-buffer record can capture (Fig. 7).
 pub const WARP_RECORD_REGS: usize = 16;
@@ -132,9 +135,6 @@ pub fn check(kernel: &Kernel) -> Vec<KernelIssue> {
     let mut written: Vec<Option<u128>> = vec![None; n + 1];
     written[0] = Some(0);
     let mut work = vec![0usize];
-    let mut max_depth = 0usize;
-    // Track nesting depth as #branches on the path (approximation).
-    let mut depth: Vec<usize> = vec![0; n + 1];
     // First instruction seen falling through / branching to the end.
     let mut fell_off_from: Option<usize> = None;
 
@@ -161,16 +161,15 @@ pub fn check(kernel: &Kernel) -> Vec<KernelIssue> {
             out |= 1u128 << rd.0;
         }
 
-        let d_in = depth[pc];
-        let successors: &[(usize, usize)] = match *instr {
+        let successors: &[usize] = match *instr {
             Instr::Exit => &[],
-            Instr::Jump { target } => &[(target as usize, d_in)],
+            Instr::Jump { target } => &[target as usize],
             Instr::BranchNz { target, .. } | Instr::BranchZ { target, .. } => {
-                &[(target as usize, d_in + 1), (pc + 1, d_in + 1)]
+                &[target as usize, pc + 1]
             }
-            _ => &[(pc + 1, d_in)],
+            _ => &[pc + 1],
         };
-        for &(succ, d) in successors {
+        for &succ in successors {
             if succ > n {
                 // A branch past the virtual end PC can never execute —
                 // the target does not exist.
@@ -183,7 +182,6 @@ pub fn check(kernel: &Kernel) -> Vec<KernelIssue> {
             if succ == n && fell_off_from.is_none() {
                 fell_off_from = Some(pc);
             }
-            max_depth = max_depth.max(d);
             let merged = match written[succ] {
                 // Join: a register counts as written only when written on
                 // every incoming path.
@@ -192,10 +190,7 @@ pub fn check(kernel: &Kernel) -> Vec<KernelIssue> {
             };
             if written[succ] != Some(merged) {
                 written[succ] = Some(merged);
-                depth[succ] = depth[succ].max(d);
                 work.push(succ);
-            } else if depth[succ] < d {
-                depth[succ] = d;
             }
         }
     }
@@ -225,8 +220,15 @@ pub fn check(kernel: &Kernel) -> Vec<KernelIssue> {
             limit: WARP_RECORD_REGS,
         });
     }
-    if max_depth > MAX_NESTING {
-        issues.push(KernelIssue::ExcessiveNesting { depth: max_depth });
+    // Worst-case SIMT stack depth from the divergent-branch region
+    // nesting of the CFG — the same computation the simulator's shadow
+    // checker bounds itself by, against the same hardware constant.
+    let bound = crate::absint::stack_bound(kernel);
+    if !bound.proves_limit() {
+        issues.push(KernelIssue::StackDepthExceeded {
+            depth: bound.structural_depth,
+            limit: crate::simt::SIMT_STACK_LIMIT,
+        });
     }
     issues
 }
@@ -400,6 +402,28 @@ mod tests {
             issues.iter().all(|i| !i.is_error()),
             "register pressure alone must not make the kernel erroneous: {issues:?}"
         );
+    }
+
+    #[test]
+    fn deep_nesting_is_a_stack_depth_error() {
+        let mut k = KernelBuilder::new("deep");
+        let c = k.reg();
+        k.mov_sreg(c, SReg::ThreadId);
+        let tokens: Vec<_> = (0..32).map(|_| k.begin_if_nz(c)).collect();
+        k.iadd_imm(c, c, 1);
+        for t in tokens.into_iter().rev() {
+            k.end_if(t);
+        }
+        k.exit();
+        let issues = check(&k.build());
+        assert!(
+            issues.contains(&KernelIssue::StackDepthExceeded {
+                depth: 65,
+                limit: crate::simt::SIMT_STACK_LIMIT
+            }),
+            "{issues:?}"
+        );
+        assert!(issues.iter().any(|i| i.is_error()));
     }
 
     #[test]

@@ -2,27 +2,32 @@
 //! μop programs, workload kernels, and traversal pipelines.
 //!
 //! ```text
-//! tta-lint [--deny-warnings] [--quiet]
+//! tta-lint [--deny-warnings] [--quiet] [--json]
 //! ```
 //!
 //! Exit status is nonzero when any error-severity diagnostic is produced
-//! (or any diagnostic at all under `--deny-warnings`).
+//! (or any diagnostic at all under `--deny-warnings`). With `--json` each
+//! diagnostic prints as one JSON object per line (and the human summary
+//! line is suppressed) so CI tooling can consume the findings.
 
 use tta_lint::{lint_shipped, Severity};
 
 fn main() {
     let mut deny_warnings = false;
     let mut quiet = false;
+    let mut json = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--deny-warnings" => deny_warnings = true,
             "--quiet" | "-q" => quiet = true,
+            "--json" => json = true,
             "--help" | "-h" => {
-                println!("usage: tta-lint [--deny-warnings] [--quiet]");
+                println!("usage: tta-lint [--deny-warnings] [--quiet] [--json]");
                 println!();
                 println!("Statically analyzes every shipped Table III μop program,");
                 println!("workload kernel, and Listing-1 pipeline; exits nonzero on");
-                println!("any error-severity diagnostic.");
+                println!("any error-severity diagnostic. --json emits one JSON object");
+                println!("per diagnostic instead of the human-readable report.");
                 return;
             }
             other => {
@@ -39,7 +44,11 @@ fn main() {
         .count();
     let warnings = diags.len() - errors;
 
-    if !quiet {
+    if json {
+        for d in &diags {
+            println!("{}", d.to_json());
+        }
+    } else if !quiet {
         for d in &diags {
             println!("{d}");
         }

@@ -6,18 +6,25 @@
 //!    availability, critical-path profitability;
 //! 2. **traversal kernels** ([`gpu_sim::verify::check`]) — register
 //!    dataflow, unreachable regions, branch-target sanity, missing `Exit`,
-//!    register pressure, SIMT nesting;
-//! 3. **pipelines** ([`tta::TraversalPipeline::check_decode_coverage`]) —
+//!    register pressure, SIMT stack bounds;
+//! 3. **pipelines** ([`tta::TraversalPipeline::check_decode_coverage`] and
+//!    [`tta::TraversalPipeline::check_terminate_reachability`]) —
 //!    `DecodeR`/`DecodeI`/`DecodeL` field layouts versus the operands the
-//!    configured programs actually read.
+//!    configured programs actually read, and reachability of the
+//!    `ConfigTerminate` condition;
+//! 4. **abstract interpretation** ([`gpu_sim::absint`]) — the `mem-safety`
+//!    pass proves every `Load`/`Store` address interval stays inside a
+//!    declared [`MemContract`], and the `loop-termination` pass demands a
+//!    ranking argument on every CFG back-edge.
 //!
 //! Every layer's findings normalise into one [`Diagnostic`] shape carrying
 //! a [`Severity`], the emitting pass name, and a source location, so the
 //! `tta-lint` binary (and CI) can gate uniformly on error-severity
 //! diagnostics. [`lint_shipped`] runs the full inventory of Table III
-//! programs, workload kernels, and Listing-1 pipelines the workspace
-//! ships.
+//! programs, workload kernels (with their memory contracts), and
+//! Listing-1 pipelines the workspace ships.
 
+use gpu_sim::absint::{LaunchBounds, MemContract, MemIssue};
 use gpu_sim::kernel::Kernel;
 use gpu_sim::verify::KernelIssue;
 use tta::dataflow::ProgramIssue;
@@ -68,6 +75,37 @@ impl std::fmt::Display for Diagnostic {
     }
 }
 
+impl Diagnostic {
+    /// Renders as one machine-readable JSON object (for `tta-lint --json`):
+    /// `{"severity":...,"pass":...,"location":...,"message":...}`.
+    pub fn to_json(&self) -> String {
+        format!(
+            r#"{{"severity":"{}","pass":"{}","location":"{}","message":"{}"}}"#,
+            self.severity,
+            json_escape(self.pass),
+            json_escape(&self.location),
+            json_escape(&self.message),
+        )
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// `true` when any diagnostic in `diags` is error-severity.
 pub fn has_errors(diags: &[Diagnostic]) -> bool {
     diags.iter().any(|d| d.severity == Severity::Error)
@@ -91,7 +129,7 @@ fn kernel_pass(issue: &KernelIssue) -> &'static str {
         KernelIssue::BranchOutOfBounds { .. } => "branch-out-of-bounds",
         KernelIssue::MissingExit { .. } => "missing-exit",
         KernelIssue::RegisterPressure { .. } => "register-pressure",
-        KernelIssue::ExcessiveNesting { .. } => "kernel-nesting",
+        KernelIssue::StackDepthExceeded { .. } => "simt-stack-bound",
     }
 }
 
@@ -125,7 +163,7 @@ pub fn lint_kernel(kernel: &Kernel) -> Vec<Diagnostic> {
                 KernelIssue::UnreachableRegion { start, .. } => {
                     format!("{}:pc{start}", kernel.name)
                 }
-                KernelIssue::RegisterPressure { .. } | KernelIssue::ExcessiveNesting { .. } => {
+                KernelIssue::RegisterPressure { .. } | KernelIssue::StackDepthExceeded { .. } => {
                     kernel.name.clone()
                 }
             };
@@ -143,6 +181,58 @@ pub fn lint_kernel(kernel: &Kernel) -> Vec<Diagnostic> {
         .collect()
 }
 
+/// The `mem-safety` pass: abstractly interprets `kernel` under `bounds`
+/// and checks every `Load`/`Store` address interval against the declared
+/// `contracts`. Provably out-of-bounds accesses are errors; accesses the
+/// interpreter cannot prove either way (pointer-chasing node walks,
+/// widened loop-carried stack pointers, undeclared bases) are warnings.
+pub fn lint_kernel_memory(
+    kernel: &Kernel,
+    contracts: &[MemContract],
+    bounds: LaunchBounds,
+) -> Vec<Diagnostic> {
+    let abs = gpu_sim::absint::analyze(kernel, bounds);
+    gpu_sim::absint::check_memory(kernel, &abs, contracts)
+        .issues
+        .iter()
+        .map(|issue| {
+            let pc = match issue {
+                MemIssue::ProvedOob { pc, .. }
+                | MemIssue::PossiblyOob { pc, .. }
+                | MemIssue::NoContract { pc, .. }
+                | MemIssue::UnknownAddress { pc } => *pc,
+            };
+            Diagnostic {
+                severity: if issue.is_error() {
+                    Severity::Error
+                } else {
+                    Severity::Warning
+                },
+                pass: "mem-safety",
+                location: format!("{}:pc{pc}", kernel.name),
+                message: issue.to_string(),
+            }
+        })
+        .collect()
+}
+
+/// The `loop-termination` pass: every CFG back-edge must carry a ranking
+/// argument (monotone counter, in-body exit condition, or a reachable
+/// `Exit`). A loop with none is an error — a warp entering it can spin
+/// forever.
+pub fn lint_kernel_termination(kernel: &Kernel) -> Vec<Diagnostic> {
+    gpu_sim::absint::check_termination(kernel)
+        .issues
+        .iter()
+        .map(|issue| Diagnostic {
+            severity: Severity::Error,
+            pass: "loop-termination",
+            location: kernel.name.clone(),
+            message: issue.to_string(),
+        })
+        .collect()
+}
+
 /// Lints one traversal pipeline's decode coverage plus every μop program
 /// it configures.
 pub fn lint_pipeline(pipeline: &TraversalPipeline, cfg: &TtaPlusConfig) -> Vec<Diagnostic> {
@@ -153,6 +243,10 @@ pub fn lint_pipeline(pipeline: &TraversalPipeline, cfg: &TtaPlusConfig) -> Vec<D
             let (slot, pc) = match issue {
                 PipelineIssue::RayFieldOutOfRange { slot, pc, .. }
                 | PipelineIssue::NodeFieldOutOfRange { slot, pc, .. } => (slot, pc),
+                PipelineIssue::TerminateNeverChecked
+                | PipelineIssue::TerminatePcOutOfRange { .. } => {
+                    unreachable!("decode coverage never emits terminate issues")
+                }
             };
             Diagnostic {
                 severity: Severity::Error,
@@ -162,6 +256,17 @@ pub fn lint_pipeline(pipeline: &TraversalPipeline, cfg: &TtaPlusConfig) -> Vec<D
             }
         })
         .collect();
+    diags.extend(
+        pipeline
+            .check_terminate_reachability()
+            .iter()
+            .map(|issue| Diagnostic {
+                severity: Severity::Error,
+                pass: "terminate-reachable",
+                location: pipeline.name().to_string(),
+                message: issue.to_string(),
+            }),
+    );
     for test in [pipeline.inner_config(), pipeline.leaf_config()] {
         if let tta::pipeline::TestConfig::Uops(p) = test {
             diags.extend(lint_program(p, cfg));
@@ -187,19 +292,82 @@ pub fn shipped_programs() -> Vec<UopProgram> {
     ]
 }
 
+/// One shipped kernel bundled with its declared memory contracts and a
+/// representative launch size for the proving passes.
+#[derive(Debug, Clone)]
+pub struct ShippedKernel {
+    /// The kernel itself.
+    pub kernel: Kernel,
+    /// The allocation contracts its builder exports.
+    pub contracts: Vec<MemContract>,
+    /// Representative launch bounds (contract lengths scale per-thread).
+    pub bounds: LaunchBounds,
+}
+
+/// Representative tree/primitive pool size for the shipped inventory. The
+/// memory-safety verdicts on shared `Bytes` pools do not depend on the
+/// exact value — pointer-chasing node addresses are unprovable (warnings)
+/// at any size — so one round number serves every workload.
+const SHIPPED_POOL_BYTES: u64 = 1 << 20;
+
+/// Every workload kernel the workspace ships, with its memory contracts.
+pub fn shipped_kernel_inventory() -> Vec<ShippedKernel> {
+    let bounds = LaunchBounds { num_threads: 1024 };
+    let pool = SHIPPED_POOL_BYTES;
+    let entries: Vec<(Kernel, Vec<MemContract>)> = vec![
+        (
+            workloads::kernels::btree_search_kernel(false),
+            workloads::kernels::btree_search_contracts(pool),
+        ),
+        (
+            workloads::kernels::btree_search_kernel(true),
+            workloads::kernels::btree_search_contracts(pool),
+        ),
+        (
+            workloads::kernels::nbody_force_kernel(),
+            workloads::kernels::nbody_force_contracts(pool),
+        ),
+        (
+            workloads::kernels::nbody_integrate_kernel(),
+            workloads::kernels::nbody_integrate_contracts(),
+        ),
+        (
+            workloads::kernels::bvh_trace_kernel(),
+            workloads::kernels::bvh_trace_contracts(pool, pool),
+        ),
+        (
+            workloads::rtree::rtree_range_kernel(),
+            workloads::rtree::rtree_range_contracts(pool, pool),
+        ),
+        (
+            workloads::lumibench::rt_kernel_for(0),
+            workloads::lumibench::rt_contracts(pool),
+        ),
+        (
+            workloads::lumibench::rt_kernel_for(1),
+            workloads::lumibench::rt_contracts(pool),
+        ),
+        (
+            workloads::btree::traverse_only_kernel(16),
+            workloads::btree::traverse_only_contracts(16, pool),
+        ),
+    ];
+    entries
+        .into_iter()
+        .map(|(kernel, contracts)| ShippedKernel {
+            kernel,
+            contracts,
+            bounds,
+        })
+        .collect()
+}
+
 /// Every workload kernel the workspace ships.
 pub fn shipped_kernels() -> Vec<Kernel> {
-    vec![
-        workloads::kernels::btree_search_kernel(false),
-        workloads::kernels::btree_search_kernel(true),
-        workloads::kernels::nbody_force_kernel(),
-        workloads::kernels::nbody_integrate_kernel(),
-        workloads::kernels::bvh_trace_kernel(),
-        workloads::rtree::rtree_range_kernel(),
-        workloads::lumibench::rt_kernel_for(0),
-        workloads::lumibench::rt_kernel_for(1),
-        workloads::btree::traverse_only_kernel(16),
-    ]
+    shipped_kernel_inventory()
+        .into_iter()
+        .map(|s| s.kernel)
+        .collect()
 }
 
 /// Every Listing-1 pipeline the workloads configure, across the
@@ -237,8 +405,10 @@ pub fn lint_shipped() -> Vec<Diagnostic> {
     for p in shipped_programs() {
         diags.extend(lint_program(&p, &cfg));
     }
-    for k in shipped_kernels() {
-        diags.extend(lint_kernel(&k));
+    for s in shipped_kernel_inventory() {
+        diags.extend(lint_kernel(&s.kernel));
+        diags.extend(lint_kernel_memory(&s.kernel, &s.contracts, s.bounds));
+        diags.extend(lint_kernel_termination(&s.kernel));
     }
     for p in shipped_pipelines() {
         diags.extend(lint_pipeline(&p, &cfg));

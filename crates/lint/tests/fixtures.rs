@@ -7,15 +7,19 @@
 //! can be injected at random positions, a deterministic RNG sweeps
 //! several variants of it.
 
-use gpu_sim::isa::{Instr, Reg};
-use gpu_sim::kernel::Kernel;
+use gpu_sim::absint::{ContractLen, LaunchBounds, MemContract};
+use gpu_sim::isa::{Instr, Reg, SReg};
+use gpu_sim::kernel::{Kernel, KernelBuilder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tta::pipeline::{AcceleratorGen, PipelineBuilder, TerminateCond, TestConfig};
 use tta::programs::{Operand, Uop, UopProgram};
 use tta::ttaplus::TtaPlusConfig;
 use tta::OpUnit;
-use tta_lint::{has_errors, lint_kernel, lint_pipeline, lint_program, lint_shipped, Severity};
+use tta_lint::{
+    has_errors, lint_kernel, lint_kernel_memory, lint_kernel_termination, lint_pipeline,
+    lint_program, lint_shipped, Severity,
+};
 
 fn cfg() -> TtaPlusConfig {
     TtaPlusConfig::default_paper()
@@ -254,7 +258,167 @@ fn fixture_register_pressure_is_warning_severity() {
     assert!(!has_errors(&diags), "{diags:#?}");
 }
 
+// ---- abstract-interpretation passes ------------------------------------
+
+#[test]
+fn fixture_mem_safety_provably_oob_load() {
+    // The load offset lands past the end of the 64 x 16-byte query
+    // allocation on every execution — a hard error.
+    let mut k = KernelBuilder::new("oob-load-fixture");
+    let q = k.reg();
+    let v = k.reg();
+    k.mov_sreg(q, SReg::Param(0));
+    k.load(v, q, 2048);
+    k.store(v, q, 0);
+    k.exit();
+    let contracts = [MemContract {
+        name: "queries",
+        base_param: 0,
+        len: ContractLen::BytesPerThread(16),
+    }];
+    let diags = lint_kernel_memory(&k.build(), &contracts, LaunchBounds { num_threads: 64 });
+    assert_flagged(&diags, "mem-safety", "oob-load-fixture:pc1");
+}
+
+#[test]
+fn fixture_mem_safety_possibly_oob_is_warning_severity() {
+    // tid * 16 strides past an 8-byte-per-thread allocation for most
+    // threads, but thread 0 is in bounds — not provably wrong, so the
+    // finding must stay a warning.
+    let mut k = KernelBuilder::new("maybe-oob-fixture");
+    let tid = k.reg();
+    let q = k.reg();
+    let off = k.reg();
+    k.mov_sreg(tid, SReg::ThreadId);
+    k.mov_sreg(q, SReg::Param(0));
+    k.imul_imm(off, tid, 16);
+    k.iadd(q, q, off);
+    k.store(tid, q, 0);
+    k.exit();
+    let contracts = [MemContract {
+        name: "queries",
+        base_param: 0,
+        len: ContractLen::BytesPerThread(8),
+    }];
+    let diags = lint_kernel_memory(&k.build(), &contracts, LaunchBounds { num_threads: 64 });
+    assert!(
+        diags.iter().any(|d| d.pass == "mem-safety"
+            && d.severity == Severity::Warning
+            && d.location.contains("maybe-oob-fixture:pc4")),
+        "{diags:#?}"
+    );
+    assert!(!has_errors(&diags), "{diags:#?}");
+}
+
+#[test]
+fn fixture_simt_stack_bound_overflow() {
+    // 32 nested divergent ifs need 1 + 2*32 = 65 reconvergence-stack
+    // entries in the worst case — past the 64-entry hardware stack.
+    let mut k = KernelBuilder::new("deep-fixture");
+    let c = k.reg();
+    k.mov_sreg(c, SReg::ThreadId);
+    let tokens: Vec<_> = (0..32).map(|_| k.begin_if_nz(c)).collect();
+    k.iadd_imm(c, c, 1);
+    for t in tokens.into_iter().rev() {
+        k.end_if(t);
+    }
+    k.exit();
+    assert_flagged(&lint_kernel(&k.build()), "simt-stack-bound", "deep-fixture");
+}
+
+#[test]
+fn fixture_loop_termination_invariant_exit_cond() {
+    // The loop's only exit tests r0, which nothing in the body writes: a
+    // warp entering with the non-exiting value spins forever.
+    let mut k = KernelBuilder::new("spin-fixture");
+    let c = k.reg();
+    let x = k.reg();
+    k.mov_imm(c, 1);
+    k.mov_imm(x, 0);
+    let head = k.pc();
+    k.iadd_imm(x, x, 1);
+    let reconv = k.pc() + 1;
+    k.emit(Instr::BranchNz {
+        rs: c,
+        target: head,
+        reconv,
+    });
+    k.exit();
+    assert_flagged(
+        &lint_kernel_termination(&k.build()),
+        "loop-termination",
+        "spin-fixture",
+    );
+}
+
+#[test]
+fn fixture_loop_termination_accepts_counted_loop() {
+    // The same shape with the counter in the exit comparison has a
+    // monotone ranking argument and passes.
+    let mut k = KernelBuilder::new("counted-fixture");
+    let i = k.reg();
+    let n = k.reg();
+    let c = k.reg();
+    k.mov_imm(i, 0);
+    k.mov_imm(n, 10);
+    let head = k.pc();
+    k.iadd_imm(i, i, 1);
+    k.icmp(gpu_sim::isa::Cmp::Lt, c, i, n);
+    let reconv = k.pc() + 1;
+    k.emit(Instr::BranchNz {
+        rs: c,
+        target: head,
+        reconv,
+    });
+    k.exit();
+    assert!(lint_kernel_termination(&k.build()).is_empty());
+}
+
 // ---- pipeline pass -----------------------------------------------------
+
+#[test]
+fn fixture_terminate_unreachable() {
+    // The terminate check is anchored at μop 99 of a leaf program that is
+    // far shorter — ConfigTerminate can never fire and every query walks
+    // the full tree.
+    let p = PipelineBuilder::new("term-fixture")
+        .decode_r(&[4, 4, 4, 4])
+        .decode_i(&[4, 4, 32, 24])
+        .decode_l(&[4, 4, 32, 24])
+        .config_i(TestConfig::Uops(UopProgram::query_key_inner()))
+        .config_l(TestConfig::Uops(UopProgram::query_key_leaf()))
+        .config_terminate(TerminateCond::RayFieldNonZero {
+            offset: 4,
+            at_pc: 99,
+        })
+        .build(AcceleratorGen::TtaPlus)
+        .unwrap();
+    assert_flagged(
+        &lint_pipeline(&p, &cfg()),
+        "terminate-reachable",
+        "term-fixture",
+    );
+
+    // On plain TTA the fixed-function leaf runs no μop program at all, so
+    // even an in-range PC never executes the check.
+    let p = PipelineBuilder::new("term-fixture-tta")
+        .decode_r(&[4, 4, 4, 4])
+        .decode_i(&[4, 4, 32])
+        .decode_l(&[4, 4, 32])
+        .config_i(TestConfig::QueryKey)
+        .config_l(TestConfig::QueryKey)
+        .config_terminate(TerminateCond::RayFieldNonZero {
+            offset: 4,
+            at_pc: 0,
+        })
+        .build(AcceleratorGen::Tta)
+        .unwrap();
+    assert_flagged(
+        &lint_pipeline(&p, &cfg()),
+        "terminate-reachable",
+        "term-fixture-tta",
+    );
+}
 
 #[test]
 fn fixture_decode_coverage() {

@@ -3,6 +3,7 @@
 
 use std::sync::Arc;
 
+use gpu_sim::absint::{ContractLen, MemContract};
 use gpu_sim::isa::SReg;
 use gpu_sim::kernel::{Kernel, KernelBuilder};
 use gpu_sim::GpuConfig;
@@ -237,6 +238,25 @@ impl CacheableExperiment for BTreeExperiment {
     fn set_inputs(&mut self, inputs: Arc<BTreeInputs>) {
         self.inputs = Some(inputs);
     }
+}
+
+/// Memory contracts for [`traverse_only_kernel`]: per-thread query records
+/// of `record_size` bytes and a `tree_bytes` node pool. The kernel itself
+/// issues no loads or stores — the traversal unit owns all memory traffic —
+/// so these only describe the offload operands.
+pub fn traverse_only_contracts(record_size: u32, tree_bytes: u64) -> Vec<MemContract> {
+    vec![
+        MemContract {
+            name: "queries",
+            base_param: params::QUERIES,
+            len: ContractLen::BytesPerThread(record_size as u64),
+        },
+        MemContract {
+            name: "tree",
+            base_param: params::TREE,
+            len: ContractLen::Bytes(tree_bytes),
+        },
+    ]
 }
 
 /// The accelerated kernel: compute the record address and offload — the

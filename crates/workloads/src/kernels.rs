@@ -16,6 +16,7 @@
 //! | 2 | per-thread stack buffer base (kernels that need one) |
 //! | 3 | auxiliary data base (primitives / particles) |
 
+use gpu_sim::absint::{ContractLen, MemContract};
 use gpu_sim::isa::{Cmp, Reg, SReg};
 use gpu_sim::kernel::{Kernel, KernelBuilder};
 
@@ -47,6 +48,23 @@ fn record_addr(k: &mut KernelBuilder, rd: Reg, tid: Reg, base_param: u8, stride:
     k.mov_sreg(rd, SReg::Param(base_param));
     k.imul_imm(t, tid, stride);
     k.iadd(rd, rd, t);
+}
+
+/// Memory contracts for [`btree_search_kernel`]: 16-byte query records at
+/// param 0, a `tree_bytes`-byte node pool at param 1.
+pub fn btree_search_contracts(tree_bytes: u64) -> Vec<MemContract> {
+    vec![
+        MemContract {
+            name: "queries",
+            base_param: params::QUERIES,
+            len: ContractLen::BytesPerThread(BTREE_RECORD as u64),
+        },
+        MemContract {
+            name: "tree",
+            base_param: params::TREE,
+            len: ContractLen::Bytes(tree_bytes),
+        },
+    ]
 }
 
 /// Baseline B-Tree search kernel (Algorithm 1 inside a while-loop).
@@ -159,6 +177,34 @@ pub fn btree_search_kernel(bplus: bool) -> Kernel {
     k.store(visited, qaddr, 8);
     k.exit();
     k.build()
+}
+
+/// Memory contracts for [`nbody_force_kernel`]: 32-byte body records,
+/// 256-byte per-thread stacks, a `tree_bytes` node pool, and the particle
+/// array (16 bytes per body, one thread per body).
+pub fn nbody_force_contracts(tree_bytes: u64) -> Vec<MemContract> {
+    vec![
+        MemContract {
+            name: "queries",
+            base_param: params::QUERIES,
+            len: ContractLen::BytesPerThread(NBODY_RECORD as u64),
+        },
+        MemContract {
+            name: "tree",
+            base_param: params::TREE,
+            len: ContractLen::Bytes(tree_bytes),
+        },
+        MemContract {
+            name: "stacks",
+            base_param: params::STACKS,
+            len: ContractLen::BytesPerThread(THREAD_STACK_BYTES as u64),
+        },
+        MemContract {
+            name: "particles",
+            base_param: params::AUX,
+            len: ContractLen::BytesPerThread(16),
+        },
+    ]
 }
 
 /// Baseline Barnes-Hut force kernel: stack-based octree walk with inline
@@ -356,6 +402,23 @@ pub fn nbody_force_kernel() -> Kernel {
     k.build()
 }
 
+/// Memory contracts for [`nbody_integrate_kernel`]: 32-byte body records
+/// and a 12-byte velocity vector per body.
+pub fn nbody_integrate_contracts() -> Vec<MemContract> {
+    vec![
+        MemContract {
+            name: "queries",
+            base_param: params::QUERIES,
+            len: ContractLen::BytesPerThread(NBODY_RECORD as u64),
+        },
+        MemContract {
+            name: "velocities",
+            base_param: params::AUX,
+            len: ContractLen::BytesPerThread(12),
+        },
+    ]
+}
+
 /// Post-traversal N-Body integration kernel (the "heavy computations after
 /// the tree traversal", §V-A): reads the accumulated force from the query
 /// record and advances a velocity state vector (12 bytes per body at
@@ -429,6 +492,34 @@ pub fn emit_integrate(k: &mut KernelBuilder, qaddr: Reg, vaddr: Reg) {
     k.store(vx, vaddr, 0);
     k.store(vy, vaddr, 4);
     k.store(vz, vaddr, 8);
+}
+
+/// Memory contracts for [`bvh_trace_kernel`]: 48-byte ray records,
+/// 256-byte per-thread stacks, a `tree_bytes` node pool and a
+/// `prim_bytes` triangle pool.
+pub fn bvh_trace_contracts(tree_bytes: u64, prim_bytes: u64) -> Vec<MemContract> {
+    vec![
+        MemContract {
+            name: "queries",
+            base_param: params::QUERIES,
+            len: ContractLen::BytesPerThread(48),
+        },
+        MemContract {
+            name: "tree",
+            base_param: params::TREE,
+            len: ContractLen::Bytes(tree_bytes),
+        },
+        MemContract {
+            name: "stacks",
+            base_param: params::STACKS,
+            len: ContractLen::BytesPerThread(THREAD_STACK_BYTES as u64),
+        },
+        MemContract {
+            name: "prims",
+            base_param: params::AUX,
+            len: ContractLen::Bytes(prim_bytes),
+        },
+    ]
 }
 
 /// Baseline SIMT BVH ray-tracing kernel (closest-hit, triangles): the

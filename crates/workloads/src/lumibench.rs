@@ -17,6 +17,7 @@
 use std::sync::Arc;
 
 use geometry::{Ray, Vec3};
+use gpu_sim::absint::{ContractLen, MemContract};
 use gpu_sim::isa::SReg;
 use gpu_sim::kernel::{Kernel, KernelBuilder};
 use gpu_sim::GpuConfig;
@@ -408,6 +409,24 @@ impl CacheableExperiment for RtExperiment {
     fn set_inputs(&mut self, inputs: Arc<RtInputs>) {
         self.inputs = Some(inputs);
     }
+}
+
+/// Memory contracts for [`rt_kernel_for`]: 48-byte ray records and a
+/// `tree_bytes` BVH pool. Like the other offload kernels it performs no
+/// explicit loads or stores itself.
+pub fn rt_contracts(tree_bytes: u64) -> Vec<MemContract> {
+    vec![
+        MemContract {
+            name: "queries",
+            base_param: params::QUERIES,
+            len: ContractLen::BytesPerThread(RAY_RECORD_SIZE as u64),
+        },
+        MemContract {
+            name: "tree",
+            base_param: params::TREE,
+            len: ContractLen::Bytes(tree_bytes),
+        },
+    ]
 }
 
 /// Traversal kernel bound to a specific pipeline (0 = closest, 1 = any).

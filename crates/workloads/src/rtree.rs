@@ -23,6 +23,7 @@ use crate::btree::traverse_only_kernel;
 use crate::cacheable::CacheableExperiment;
 use crate::kernels::{params, THREAD_STACK_BYTES};
 use crate::runner::{attach_platform, build_gpu, harvest_accel, Platform, RunResult};
+use gpu_sim::absint::{ContractLen, MemContract};
 
 /// One R-Tree experiment configuration.
 #[derive(Debug, Clone)]
@@ -231,6 +232,34 @@ impl CacheableExperiment for RTreeExperiment {
     fn set_inputs(&mut self, inputs: Arc<RTreeInputs>) {
         self.inputs = Some(inputs);
     }
+}
+
+/// Memory contracts for [`rtree_range_kernel`]: 24-byte query records,
+/// 256-byte per-thread stacks, a `tree_bytes` node pool and an
+/// `entry_bytes` leaf-entry pool.
+pub fn rtree_range_contracts(tree_bytes: u64, entry_bytes: u64) -> Vec<MemContract> {
+    vec![
+        MemContract {
+            name: "queries",
+            base_param: params::QUERIES,
+            len: ContractLen::BytesPerThread(QUERY_RECORD_SIZE as u64),
+        },
+        MemContract {
+            name: "tree",
+            base_param: params::TREE,
+            len: ContractLen::Bytes(tree_bytes),
+        },
+        MemContract {
+            name: "stacks",
+            base_param: params::STACKS,
+            len: ContractLen::BytesPerThread(THREAD_STACK_BYTES as u64),
+        },
+        MemContract {
+            name: "entries",
+            base_param: params::AUX,
+            len: ContractLen::Bytes(entry_bytes),
+        },
+    ]
 }
 
 /// Baseline SIMT R-Tree range-query kernel: stack-based walk with inline

@@ -156,9 +156,17 @@ impl RunResult {
     }
 }
 
-/// Builds the simulated GPU for an experiment.
+/// Builds the simulated GPU for an experiment. When the
+/// `TTA_SHADOW_CHECK` environment variable is set to `1`, every launch is
+/// shadow-checked against the abstract interpreter (the CI soundness
+/// gate): a register value or SIMT stack depth escaping its static
+/// abstraction aborts the run.
 pub fn build_gpu(cfg: &GpuConfig, mem_bytes: usize) -> Gpu {
-    Gpu::new(cfg.clone(), mem_bytes)
+    let mut gpu = Gpu::new(cfg.clone(), mem_bytes);
+    if std::env::var("TTA_SHADOW_CHECK").is_ok_and(|v| v == "1") {
+        gpu.enable_shadow_check();
+    }
+    gpu
 }
 
 /// Builds the (handle, sink) pair for an experiment run: a live Chrome

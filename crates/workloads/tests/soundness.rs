@@ -1,0 +1,135 @@
+//! The runtime soundness gate: every shipped workload runs shadow-checked
+//! against the abstract interpreter, across the SIMT baseline and the
+//! accelerated platforms.
+//!
+//! Each launch re-derives the static abstraction for its kernel and
+//! asserts — at every instruction issue — that all live register values
+//! and the SIMT reconvergence-stack depth stay inside what the analyzer
+//! proved. A panic here means the `mem-safety`/`simt-stack-bound` proofs
+//! in `tta-lint` do not cover the machine they claim to model.
+//!
+//! The gate is wired through the `TTA_SHADOW_CHECK` environment variable
+//! that `runner::build_gpu` reads; this test binary owns the variable, so
+//! it cannot leak into other test binaries.
+
+use gpu_sim::GpuConfig;
+use rta::RtaConfig;
+use trees::BTreeFlavor;
+use tta::backend::TtaConfig;
+use tta::ttaplus::TtaPlusConfig;
+use tta_workloads::btree::BTreeExperiment;
+use tta_workloads::lumibench::{RtExperiment, RtWorkload};
+use tta_workloads::nbody::NBodyExperiment;
+use tta_workloads::rtnn::{LeafPath, RtnnExperiment};
+use tta_workloads::rtree::RTreeExperiment;
+use tta_workloads::runner::Platform;
+
+fn enable_shadow() {
+    std::env::set_var("TTA_SHADOW_CHECK", "1");
+}
+
+#[test]
+fn build_gpu_honors_the_shadow_check_env_var() {
+    enable_shadow();
+    let mut gpu = tta_workloads::runner::build_gpu(&GpuConfig::small_test(), 1 << 20);
+    let kernel = tta_workloads::kernels::nbody_integrate_kernel();
+    gpu.launch(&kernel, 64, &[0, 0, 0, 4096]);
+    let (values, stacks) = gpu.shadow_checks();
+    assert!(
+        values > 0 && stacks > 0,
+        "shadow checker did not engage: {values} value / {stacks} stack checks"
+    );
+}
+
+#[test]
+fn btree_runs_shadow_checked_on_all_platforms() {
+    enable_shadow();
+    let platforms = [
+        Platform::BaselineGpu,
+        Platform::Tta(TtaConfig::default_paper()),
+        Platform::TtaPlus(
+            TtaPlusConfig::default_paper(),
+            BTreeExperiment::uop_programs(),
+        ),
+    ];
+    for p in platforms {
+        let mut e = BTreeExperiment::new(BTreeFlavor::BTree, 2000, 256, p);
+        e.gpu = GpuConfig::small_test();
+        let r = e.run();
+        assert!(r.stats.cycles > 0);
+    }
+}
+
+#[test]
+fn nbody_runs_shadow_checked_on_all_platforms() {
+    enable_shadow();
+    let platforms = [
+        Platform::BaselineGpu,
+        Platform::Tta(TtaConfig::default_paper()),
+        Platform::TtaPlus(
+            TtaPlusConfig::default_paper(),
+            NBodyExperiment::uop_programs(),
+        ),
+    ];
+    for p in platforms {
+        let mut e = NBodyExperiment::new(3, 800, p);
+        e.gpu = GpuConfig::small_test();
+        let r = e.run();
+        assert!(r.stats.cycles > 0);
+    }
+}
+
+#[test]
+fn rtnn_runs_shadow_checked_on_all_platforms() {
+    enable_shadow();
+    let platforms = [
+        Platform::BaselineRta(RtaConfig::baseline()),
+        Platform::TtaPlus(
+            TtaPlusConfig::default_paper(),
+            RtnnExperiment::uop_programs(),
+        ),
+    ];
+    for p in platforms {
+        let mut e = RtnnExperiment::new(3000, 128, p, LeafPath::Shader);
+        e.gpu = GpuConfig::small_test();
+        let r = e.run();
+        assert!(r.stats.cycles > 0);
+    }
+}
+
+#[test]
+fn rtree_runs_shadow_checked_on_all_platforms() {
+    enable_shadow();
+    let platforms = [
+        Platform::BaselineGpu,
+        Platform::Tta(TtaConfig::default_paper()),
+        Platform::TtaPlus(
+            TtaPlusConfig::default_paper(),
+            RTreeExperiment::uop_programs(),
+        ),
+    ];
+    for p in platforms {
+        let mut e = RTreeExperiment::new(4_000, 256, p);
+        e.gpu = GpuConfig::small_test();
+        let r = e.run();
+        assert!(r.stats.cycles > 0);
+    }
+}
+
+#[test]
+fn rt_runs_shadow_checked_on_all_platforms() {
+    enable_shadow();
+    let platforms = [
+        Platform::BaselineRta(RtaConfig::baseline()),
+        Platform::TtaPlus(TtaPlusConfig::default_paper(), RtExperiment::uop_programs()),
+    ];
+    for p in platforms {
+        let mut e = RtExperiment::new(RtWorkload::BlobPt, p);
+        e.gpu = GpuConfig::small_test();
+        e.width = 32;
+        e.height = 24;
+        e.detail = 0.05;
+        let r = e.run();
+        assert!(r.stats.cycles > 0);
+    }
+}

@@ -6,15 +6,21 @@
 #   2. cargo clippy -D warnings — lints, workspace-wide including bins/tests
 #   3. tta-lint               — static analysis over every shipped μop
 #      program, workload kernel, and pipeline (nonzero exit on any
-#      error-severity diagnostic)
+#      error-severity diagnostic), including the abstract-interpretation
+#      proving passes (mem-safety, simt-stack-bound, loop-termination,
+#      terminate-reachable); also smokes the --json output mode
 #   4. cargo build --release && cargo test  — the tier-1 gate
 #   5. cargo test --workspace  — every crate's unit/integration/doc tests
 #      (including the golden-trace and trace-invariant suites in
-#      tta-trace)
+#      tta-trace, and the shadow-checked soundness suite in
+#      tta-workloads)
 #   6. a --quick smoke run of one sweep binary, checking that the run
 #      journal lands under results/
 #   7. a traced --quick sweep, with every emitted Chrome trace validated
 #      by the tta-trace-check binary
+#   8. a shadow-checked --quick fig13 sweep (TTA_SHADOW_CHECK=1): the
+#      runtime soundness gate asserting every register value and SIMT
+#      stack depth stays inside its static abstraction
 #
 # Offline-registry fallback: this workspace has NO crates.io dependencies —
 # every dependency is a path dependency inside the workspace (the `rand`
@@ -44,8 +50,18 @@ run cargo fmt --all -- --check
 run cargo clippy "${CARGO_FLAGS[@]}" --workspace --all-targets -- -D warnings
 
 # Static analysis: every shipped Table III program, workload kernel, and
-# Listing-1 pipeline must produce zero error-severity diagnostics.
+# Listing-1 pipeline must produce zero error-severity diagnostics across
+# all passes, including the abstract-interpretation provers. The --json
+# smoke checks the machine-readable output stays one object per line.
 run cargo run "${CARGO_FLAGS[@]}" -p tta-lint --bin tta-lint
+run cargo run "${CARGO_FLAGS[@]}" -q -p tta-lint --bin tta-lint -- --json | {
+    while IFS= read -r line; do
+        case "$line" in
+            '{"severity":'*'}') ;;
+            *) echo "bad --json line: $line" >&2; exit 1;;
+        esac
+    done
+}
 
 # Tier-1: exactly what the repository gate runs.
 run cargo build "${CARGO_FLAGS[@]}" --release
@@ -74,5 +90,11 @@ rm -rf results/trace-smoke
 run cargo run "${CARGO_FLAGS[@]}" --release -p tta-bench --bin fig13 -- --quick --threads 2 --trace results/trace-smoke
 ls results/trace-smoke/*.trace.json >/dev/null 2>&1 || { echo "no traces under results/trace-smoke" >&2; exit 1; }
 run cargo run "${CARGO_FLAGS[@]}" --release -p tta-trace --bin tta-trace-check -- results/trace-smoke/*.trace.json
+
+# Runtime soundness gate: rerun the Fig. 13 sweep with every launch
+# shadow-checked against the abstract interpreter. A register value or
+# SIMT stack depth escaping its static abstraction aborts the run.
+echo "==> TTA_SHADOW_CHECK=1 fig13 --quick (soundness gate)"
+TTA_SHADOW_CHECK=1 cargo run "${CARGO_FLAGS[@]}" --release -p tta-bench --bin fig13 -- --quick --threads 2
 
 echo "CI OK"

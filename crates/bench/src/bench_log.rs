@@ -1,0 +1,476 @@
+//! The perf-trajectory log: `BENCH_fig13.json` parsing, validation and
+//! regression gating.
+//!
+//! The repository tracks the wall-clock cost of the `fig13` sweep — the
+//! broadest figure harness, covering every workload × platform pair — as a
+//! committed series of measurements. `scripts/bench.sh` appends entries;
+//! CI validates the file's schema and fails when a fresh shadow-checked
+//! `--quick` run regresses more than the configured fraction against the
+//! latest committed entry of the same mode (see `scripts/ci.sh`).
+//!
+//! The file is plain JSON with a fixed shape:
+//!
+//! ```json
+//! {"schema": 1, "bench": "fig13", "entries": [
+//!   {"id": "quick-1", "mode": "quick", "threads": 1,
+//!    "wall_seconds": 9.13, "date": "2026-08-09", "note": "pre-PR baseline"}
+//! ]}
+//! ```
+//!
+//! Everything here is dependency-free: a minimal recursive-descent JSON
+//! reader tailored to machine-written input (no serde in the workspace).
+
+/// A parsed JSON value (just enough for the bench log and timing sidecars).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (parsed as `f64`).
+    Num(f64),
+    /// A string (escapes decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses a complete JSON document (trailing whitespace allowed).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = match parse_value(bytes, pos)? {
+                    Json::Str(s) => s,
+                    other => return Err(format!("object key must be a string, got {other:?}")),
+                };
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                let value = parse_value(bytes, pos)?;
+                fields.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => {
+            *pos += 1;
+            let mut out = String::new();
+            loop {
+                match bytes.get(*pos) {
+                    None => return Err("unterminated string".into()),
+                    Some(b'"') => {
+                        *pos += 1;
+                        return Ok(Json::Str(out));
+                    }
+                    Some(b'\\') => {
+                        *pos += 1;
+                        match bytes.get(*pos) {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b'u') => {
+                                let hex = bytes
+                                    .get(*pos + 1..*pos + 5)
+                                    .ok_or("truncated \\u escape")?;
+                                let code = u32::from_str_radix(
+                                    std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                    16,
+                                )
+                                .map_err(|e| e.to_string())?;
+                                out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                                *pos += 4;
+                            }
+                            other => return Err(format!("bad escape {other:?}")),
+                        }
+                        *pos += 1;
+                    }
+                    Some(&c) => {
+                        // Multi-byte UTF-8 passes through unmodified.
+                        let len = match c {
+                            0x00..=0x7f => 1,
+                            0xc0..=0xdf => 2,
+                            0xe0..=0xef => 3,
+                            _ => 4,
+                        };
+                        let chunk = bytes
+                            .get(*pos..*pos + len)
+                            .ok_or("truncated UTF-8 sequence")?;
+                        out.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+                        *pos += len;
+                    }
+                }
+            }
+        }
+        Some(b't') if bytes[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if bytes[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if bytes[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < bytes.len()
+                && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+            text.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| format!("bad number {text:?} at byte {start}"))
+        }
+    }
+}
+
+/// The measurement modes a trajectory entry may carry.
+pub const MODES: [&str; 3] = ["quick", "quick-shadow", "full"];
+
+/// One measurement of the fig13 sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Unique entry label, e.g. `"quick-2"`.
+    pub id: String,
+    /// One of [`MODES`]: `--quick`, shadow-checked `--quick`, or full scale.
+    pub mode: String,
+    /// Sweep worker threads the measurement used.
+    pub threads: u64,
+    /// End-to-end wall-clock of the sweep binary, in seconds.
+    pub wall_seconds: f64,
+    /// ISO date (`YYYY-MM-DD`) the measurement was taken.
+    pub date: String,
+    /// Free-form context (what changed relative to the previous entry).
+    pub note: String,
+}
+
+/// The parsed, schema-validated trajectory file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchLog {
+    /// Benchmark name (always `"fig13"` today).
+    pub bench: String,
+    /// Measurements, oldest first.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl BenchLog {
+    /// Parses and validates a trajectory file.
+    pub fn parse(text: &str) -> Result<BenchLog, String> {
+        let root = Json::parse(text)?;
+        let schema = root
+            .get("schema")
+            .and_then(Json::as_num)
+            .ok_or("missing numeric \"schema\"")?;
+        if schema != 1.0 {
+            return Err(format!("unsupported schema version {schema}"));
+        }
+        let bench = root
+            .get("bench")
+            .and_then(Json::as_str)
+            .ok_or("missing string \"bench\"")?
+            .to_string();
+        let raw_entries = root
+            .get("entries")
+            .and_then(Json::as_arr)
+            .ok_or("missing array \"entries\"")?;
+        let mut entries = Vec::with_capacity(raw_entries.len());
+        let mut seen_ids = Vec::new();
+        for (i, e) in raw_entries.iter().enumerate() {
+            let field_str = |k: &str| -> Result<String, String> {
+                e.get(k)
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .ok_or(format!("entry {i}: missing string {k:?}"))
+            };
+            let id = field_str("id")?;
+            if seen_ids.contains(&id) {
+                return Err(format!("entry {i}: duplicate id {id:?}"));
+            }
+            seen_ids.push(id.clone());
+            let mode = field_str("mode")?;
+            if !MODES.contains(&mode.as_str()) {
+                return Err(format!("entry {i}: unknown mode {mode:?} (want {MODES:?})"));
+            }
+            let date = field_str("date")?;
+            if date.len() != 10 || date.as_bytes()[4] != b'-' || date.as_bytes()[7] != b'-' {
+                return Err(format!("entry {i}: date {date:?} is not YYYY-MM-DD"));
+            }
+            let wall_seconds = e
+                .get("wall_seconds")
+                .and_then(Json::as_num)
+                .ok_or(format!("entry {i}: missing numeric \"wall_seconds\""))?;
+            if !(wall_seconds.is_finite() && wall_seconds > 0.0) {
+                return Err(format!(
+                    "entry {i}: wall_seconds {wall_seconds} not positive"
+                ));
+            }
+            let threads = e
+                .get("threads")
+                .and_then(Json::as_num)
+                .ok_or(format!("entry {i}: missing numeric \"threads\""))?;
+            if threads < 1.0 || threads.fract() != 0.0 {
+                return Err(format!(
+                    "entry {i}: threads {threads} not a positive integer"
+                ));
+            }
+            entries.push(BenchEntry {
+                id,
+                mode,
+                threads: threads as u64,
+                wall_seconds,
+                date,
+                note: field_str("note")?,
+            });
+        }
+        Ok(BenchLog { bench, entries })
+    }
+
+    /// The newest entry recorded with `mode`.
+    pub fn latest(&self, mode: &str) -> Option<&BenchEntry> {
+        self.entries.iter().rev().find(|e| e.mode == mode)
+    }
+
+    /// A fresh id for an entry of `mode`: `"<mode>-<n>"`, n counting
+    /// existing entries of that mode.
+    pub fn next_id(&self, mode: &str) -> String {
+        let n = self.entries.iter().filter(|e| e.mode == mode).count() + 1;
+        format!("{mode}-{n}")
+    }
+
+    /// Serializes back to the canonical on-disk form.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"schema\": 1,\n");
+        out.push_str(&format!("  \"bench\": \"{}\",\n", self.bench));
+        out.push_str("  \"entries\": [");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"id\": \"{}\", \"mode\": \"{}\", \"threads\": {}, \
+                 \"wall_seconds\": {}, \"date\": \"{}\", \"note\": \"{}\"}}",
+                e.id,
+                e.mode,
+                e.threads,
+                format_seconds(e.wall_seconds),
+                e.date,
+                escape(&e.note),
+            ));
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            '\n' => vec!['\\', 'n'],
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Seconds with millisecond precision (wall-clock noise below that is
+/// meaningless and churns the committed file).
+fn format_seconds(s: f64) -> String {
+    format!("{s:.3}")
+}
+
+/// Reads `wall_seconds` out of a sweep timing sidecar
+/// (`results/<name>.timing.json`).
+pub fn sweep_wall_seconds(timing_json: &str) -> Result<f64, String> {
+    Json::parse(timing_json)?
+        .get("wall_seconds")
+        .and_then(Json::as_num)
+        .ok_or("timing sidecar has no \"wall_seconds\"".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+      "schema": 1, "bench": "fig13",
+      "entries": [
+        {"id": "quick-1", "mode": "quick", "threads": 1,
+         "wall_seconds": 9.13, "date": "2026-08-09", "note": "baseline"},
+        {"id": "quick-2", "mode": "quick", "threads": 1,
+         "wall_seconds": 1.32, "date": "2026-08-09", "note": "event-driven"}
+      ]
+    }"#;
+
+    #[test]
+    fn parses_and_finds_latest() {
+        let log = BenchLog::parse(SAMPLE).unwrap();
+        assert_eq!(log.bench, "fig13");
+        assert_eq!(log.entries.len(), 2);
+        assert_eq!(log.latest("quick").unwrap().id, "quick-2");
+        assert!(log.latest("full").is_none());
+        assert_eq!(log.next_id("quick"), "quick-3");
+        assert_eq!(log.next_id("full"), "full-1");
+    }
+
+    #[test]
+    fn roundtrips_through_to_json() {
+        let log = BenchLog::parse(SAMPLE).unwrap();
+        let again = BenchLog::parse(&log.to_json()).unwrap();
+        assert_eq!(log, again);
+    }
+
+    #[test]
+    fn rejects_bad_schema_version() {
+        let bad = SAMPLE.replace("\"schema\": 1", "\"schema\": 2");
+        assert!(BenchLog::parse(&bad).unwrap_err().contains("schema"));
+    }
+
+    #[test]
+    fn rejects_unknown_mode() {
+        let bad = SAMPLE.replace("\"mode\": \"quick\"", "\"mode\": \"warm\"");
+        assert!(BenchLog::parse(&bad).unwrap_err().contains("mode"));
+    }
+
+    #[test]
+    fn rejects_duplicate_ids() {
+        let bad = SAMPLE.replace("quick-2", "quick-1");
+        assert!(BenchLog::parse(&bad).unwrap_err().contains("duplicate"));
+    }
+
+    #[test]
+    fn rejects_nonpositive_wall() {
+        let bad = SAMPLE.replace("1.32", "0.0");
+        assert!(BenchLog::parse(&bad).unwrap_err().contains("wall_seconds"));
+    }
+
+    #[test]
+    fn rejects_malformed_date() {
+        let bad = SAMPLE.replace("2026-08-09", "yesterday..");
+        assert!(BenchLog::parse(&bad).unwrap_err().contains("date"));
+    }
+
+    #[test]
+    fn reads_timing_sidecar() {
+        let t = r#"{"sweep": "fig13", "threads": 1, "wall_seconds": 2.354, "runs": []}"#;
+        assert_eq!(sweep_wall_seconds(t).unwrap(), 2.354);
+    }
+
+    #[test]
+    fn json_parser_handles_escapes_and_nesting() {
+        let v = Json::parse(r#"{"a": [1, -2.5e1, "x\n\"y\""], "b": null, "c": true}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(
+            v.get("a").unwrap().as_arr().unwrap()[1].as_num(),
+            Some(-25.0)
+        );
+        assert_eq!(
+            v.get("a").unwrap().as_arr().unwrap()[2].as_str(),
+            Some("x\n\"y\"")
+        );
+        assert_eq!(v.get("b"), Some(&Json::Null));
+        assert!(Json::parse("{\"a\": 1} trailing").is_err());
+    }
+}

@@ -11,9 +11,9 @@
 
 use super::cfg::{stack_bound, StackBound};
 use super::interp::{analyze, Abstraction, LaunchBounds};
-use crate::isa::Instr;
+use crate::isa::Reg;
 use crate::kernel::Kernel;
-use crate::simt::Warp;
+use crate::simt::{active_lanes, Warp};
 
 /// Shadow-checking state for one kernel launch.
 #[derive(Debug)]
@@ -40,14 +40,15 @@ impl ShadowChecker {
         }
     }
 
-    /// Checks one instruction issue: `warp` is about to execute `instr`
-    /// at `pc` with active-lane `mask`.
+    /// Checks one instruction issue: `warp` is about to execute the
+    /// instruction at `pc` with active-lane `mask` and source registers
+    /// `srcs` (pre-decoded by [`crate::kernel::Kernel::decode`]).
     ///
     /// # Panics
     ///
     /// Panics when a register value or the stack depth escapes its static
     /// abstraction — the analyzer's proof did not cover the machine.
-    pub fn check_issue(&mut self, warp: &Warp, pc: u32, mask: u32, instr: &Instr) {
+    pub fn check_issue(&mut self, warp: &Warp, pc: u32, mask: u32, srcs: &[Reg]) {
         self.stack_checks += 1;
         assert!(
             warp.stack.len() <= self.bound.runtime_bound,
@@ -58,8 +59,7 @@ impl ShadowChecker {
             warp.stack.len(),
             self.bound.runtime_bound,
         );
-        let (srcs, cnt) = instr.sources_packed();
-        for r in &srcs[..cnt] {
+        for r in srcs {
             let Some(abs) = self.abs.reg_in(pc as usize, r.0) else {
                 panic!(
                     "shadow check: kernel {:?} pc {pc}: statically unreachable \
@@ -78,10 +78,7 @@ impl ShadowChecker {
                 },
                 super::domain::Base::Many => unreachable!("is_top filtered"),
             };
-            for lane in 0..32 {
-                if mask & (1 << lane) == 0 {
-                    continue;
-                }
+            for lane in active_lanes(mask) {
                 self.value_checks += 1;
                 let v = warp.reg(r.0, lane);
                 assert!(
@@ -110,8 +107,15 @@ impl ShadowChecker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::isa::{Reg, SReg};
+    use crate::isa::SReg;
     use crate::kernel::KernelBuilder;
+
+    /// Source registers of `kernel.instrs[pc]`, as the issue loop passes
+    /// them (pre-decoded).
+    fn srcs_at(kernel: &Kernel, pc: usize) -> Vec<Reg> {
+        let (srcs, cnt) = kernel.instrs[pc].sources_packed();
+        srcs[..cnt].to_vec()
+    }
 
     fn toy_kernel() -> Kernel {
         let mut k = KernelBuilder::new("toy");
@@ -135,7 +139,7 @@ mod tests {
             w.set_reg(0, lane, 4096);
             w.set_reg(1, lane, 4096 + 16 * lane as u32);
         }
-        sc.check_issue(&w, 4, u32::MAX, &kernel.instrs[4]);
+        sc.check_issue(&w, 4, u32::MAX, &srcs_at(&kernel, 4));
         assert!(sc.value_checks() > 0);
     }
 
@@ -151,7 +155,7 @@ mod tests {
             w.set_reg(1, lane, 4096 + 16 * lane as u32);
         }
         w.set_reg(1, 3, 4096 + 16 * 101);
-        sc.check_issue(&w, 4, u32::MAX, &kernel.instrs[4]);
+        sc.check_issue(&w, 4, u32::MAX, &srcs_at(&kernel, 4));
     }
 
     #[test]
@@ -161,14 +165,6 @@ mod tests {
         let mut sc = ShadowChecker::new(&kernel, LaunchBounds { num_threads: 64 }, &[0]);
         let mut w = Warp::new(0, 0, 32, kernel.num_regs, 0);
         w.branch(1, 1, 5); // diverge: depth 3 > structural bound 1
-        sc.check_issue(
-            &w,
-            0,
-            1,
-            &Instr::MovSreg {
-                rd: Reg(0),
-                sreg: SReg::ThreadId,
-            },
-        );
+        sc.check_issue(&w, 0, 1, &[]); // MovSreg has no sources
     }
 }

@@ -51,6 +51,13 @@ pub trait Accelerator: std::fmt::Debug {
     /// buffer is full (the SM will retry next cycle).
     fn try_submit(&mut self, req: TraversalRequest, now: u64) -> Result<(), TraversalRequest>;
 
+    /// `true` when `try_submit` would accept a new warp right now. The SM
+    /// probes this before building a request so a full warp buffer costs a
+    /// comparison per retry cycle instead of a lane-descriptor allocation.
+    fn can_accept(&self) -> bool {
+        true
+    }
+
     /// Advances internal state up to and including cycle `now`. The Gpu may
     /// skip cycles; implementations must process everything due `<= now`.
     fn tick(&mut self, now: u64, ctx: &mut AccelCtx<'_>);

@@ -1,5 +1,24 @@
 //! Simulator configuration, mirroring Table II of the paper.
 
+/// Which issue-scheduler implementation an SM uses.
+///
+/// Both produce byte-identical journals and traces — `ReferenceScan` is
+/// the original O(resident-warps)-per-cycle scoreboard scan, kept as a
+/// permanently testable oracle for the event-driven rewrite (see the
+/// scheduler-equivalence suite in `crates/harness/tests/determinism.rs`
+/// and DESIGN.md §12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// Ready-set + earliest-wake heap: scoreboard-blocked warps sleep on
+    /// a per-SM binary heap and are skipped by the GTO scan until their
+    /// cached wake cycle arrives. The default.
+    #[default]
+    EventDriven,
+    /// The original implementation: re-scan every resident warp's
+    /// scoreboard each cycle. Slower; bit-for-bit the same schedule.
+    ReferenceScan,
+}
+
 /// Top-level GPU configuration.
 ///
 /// The defaults reproduce the Vulkan-Sim configuration of Table II: 8 SMs,
@@ -33,6 +52,8 @@ pub struct GpuConfig {
     /// When `true`, every memory access completes in one cycle — the
     /// "Perf. Mem" limit configuration of Fig. 17.
     pub perfect_memory: bool,
+    /// Issue-scheduler implementation (schedule-equivalent either way).
+    pub scheduler: SchedulerKind,
 }
 
 /// Memory hierarchy configuration.
@@ -87,6 +108,7 @@ impl GpuConfig {
                 dram_bytes_per_cycle_per_channel: 8.0,
             },
             perfect_memory: false,
+            scheduler: SchedulerKind::EventDriven,
         }
     }
 

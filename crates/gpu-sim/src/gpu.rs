@@ -161,6 +161,11 @@ impl Gpu {
             )
         });
 
+        // Pre-decode once: the per-cycle issue loop reads operand lists,
+        // destinations, and classes from this side table instead of
+        // re-matching on `Instr` every scoreboard check.
+        let decoded = kernel.decode();
+
         // Pending warp descriptors: (base_tid, lanes).
         let warp_width = self.cfg.warp_width;
         let num_warps = num_threads.div_ceil(warp_width);
@@ -174,16 +179,26 @@ impl Gpu {
         let watchdog = 4_000_000_000u64;
         loop {
             let now = self.clock;
-            // 1. Fill free warp slots round-robin.
+            // 1. Fill free warp slots round-robin: one warp per SM per
+            // sweep, repeating until slots or warps run out, so a launch
+            // smaller than one SM's slot budget still spreads across all
+            // SMs instead of piling onto SM 0.
             if next_warp < num_warps {
-                'fill: for sm in &mut self.sms {
-                    while sm.has_free_slot() {
+                'fill: loop {
+                    let mut filled = false;
+                    for sm in &mut self.sms {
                         if next_warp >= num_warps {
                             break 'fill;
                         }
-                        let (base_tid, lanes) = warp_desc(next_warp);
-                        sm.add_warp(Warp::new(next_warp, base_tid, lanes, kernel.num_regs, 0));
-                        next_warp += 1;
+                        if sm.has_free_slot() {
+                            let (base_tid, lanes) = warp_desc(next_warp);
+                            sm.add_warp(Warp::new(next_warp, base_tid, lanes, kernel.num_regs, 0));
+                            next_warp += 1;
+                            filled = true;
+                        }
+                    }
+                    if !filled {
+                        break;
                     }
                 }
             }
@@ -213,7 +228,7 @@ impl Gpu {
                 let r = self.sms[i].tick(
                     now,
                     &self.cfg,
-                    kernel,
+                    &decoded,
                     params,
                     &mut self.mem,
                     &mut self.gmem,
@@ -482,6 +497,63 @@ mod tests {
         let kernel = k.build();
         let mut gpu = Gpu::new(GpuConfig::small_test(), 1 << 16);
         let _ = gpu.launch(&kernel, 32, &[0]);
+    }
+
+    #[test]
+    fn warp_fill_spreads_across_sms() {
+        // 4 warps onto 2 SMs with 8 slots each: round-robin fill must give
+        // each SM 2 warps (the old greedy fill parked all 4 on SM 0).
+        let mut k = KernelBuilder::new("offload");
+        let q = k.reg();
+        let root = k.reg();
+        k.mov_sreg(q, SReg::Param(0));
+        k.mov_sreg(root, SReg::Param(1));
+        k.traverse(q, root, 0);
+        k.exit();
+        let kernel = k.build();
+
+        let mut gpu = Gpu::new(GpuConfig::small_test(), 1 << 20);
+        gpu.attach_accelerators(|_| Box::new(NullAccelerator::new(50)));
+        let stats = gpu.launch(&kernel, 128, &[0, 0]);
+        assert_eq!(stats.traversals_offloaded, 4);
+        let per_sm: Vec<u64> = gpu
+            .accels
+            .iter()
+            .map(|a| a.as_deref().expect("attached").traverse_instructions())
+            .collect();
+        assert_eq!(
+            per_sm,
+            vec![2, 2],
+            "round-robin fill must balance warps across SMs"
+        );
+    }
+
+    #[test]
+    fn partial_warp_width_launch() {
+        // warp_width below the hardware maximum: 20 threads at width 8 form
+        // warps of 8, 8 and 4 lanes, and every lane loop must honour the
+        // narrow masks instead of assuming 32 lanes.
+        let mut cfg = GpuConfig::small_test();
+        cfg.warp_width = 8;
+        let mut gpu = Gpu::new(cfg, 1 << 20);
+        let n = 20usize;
+        let inp = gpu.gmem.alloc(4 * n, 64);
+        let out = gpu.gmem.alloc(4 * n, 64);
+        for i in 0..n {
+            gpu.gmem.write_u32(inp + 4 * i as u64, i as u32 * 7);
+        }
+        let stats = gpu.launch(&incr_kernel(), n, &[inp as u32, out as u32]);
+        for i in 0..n {
+            assert_eq!(
+                gpu.gmem.read_u32(out + 4 * i as u64),
+                i as u32 * 7 + 1,
+                "thread {i}"
+            );
+        }
+        assert_eq!(stats.warp_completions.len(), 3);
+        // Two memory instructions per thread, counted per active lane.
+        assert_eq!(stats.mix.memory, 2 * n as u64);
+        assert_eq!(stats.lane_instrs % n as u64, 0, "straight-line kernel");
     }
 
     #[test]

@@ -7,10 +7,62 @@
 //! emitted [`Instr::BranchNz`]/[`Instr::BranchZ`] instructions carry correct
 //! reconvergence PCs by construction.
 
-use crate::isa::{Cmp, FOp, IOp, Instr, Reg, SReg};
+use crate::isa::{Cmp, FOp, IOp, Instr, InstrClass, Reg, SReg};
 
 /// Sentinel for not-yet-patched branch targets.
 const PATCH: u32 = u32::MAX;
+
+/// One pre-decoded instruction: the raw [`Instr`] plus everything the
+/// per-cycle issue loop would otherwise re-derive on every scoreboard
+/// check (`sources_packed`, `dest`, `class`, `is_flop`).
+#[derive(Debug, Clone, Copy)]
+pub struct DecodedInstr {
+    /// The instruction itself.
+    pub instr: Instr,
+    /// Packed source registers; `srcs[..nsrc]` are meaningful.
+    pub srcs: [Reg; 2],
+    /// Number of live entries in `srcs`.
+    pub nsrc: u8,
+    /// Destination register, if the instruction writes one.
+    pub dest: Option<Reg>,
+    /// Fig. 20 instruction category.
+    pub class: InstrClass,
+    /// Whether the instruction counts as a FLOP (roofline numerator).
+    pub is_flop: bool,
+}
+
+/// A kernel's pre-decoded side table, built once per launch so the
+/// per-cycle machinery never re-matches on [`Instr`] variants. Indexed
+/// by PC, parallel to [`Kernel::instrs`].
+#[derive(Debug, Clone)]
+pub struct DecodedKernel {
+    /// Per-PC decoded entries.
+    pub instrs: Vec<DecodedInstr>,
+}
+
+impl Kernel {
+    /// Builds the pre-decoded side table ([`DecodedKernel`]) for this
+    /// kernel. O(program length); called once per launch.
+    pub fn decode(&self) -> DecodedKernel {
+        DecodedKernel {
+            instrs: self
+                .instrs
+                .iter()
+                .map(|instr| {
+                    let (srcs, nsrc) = instr.sources_packed();
+                    DecodedInstr {
+                        instr: *instr,
+                        srcs,
+                        nsrc: nsrc as u8,
+                        dest: instr.dest(),
+                        class: instr.class(),
+                        is_flop: instr.is_flop(),
+                    }
+                })
+                .collect(),
+        }
+    }
+}
 
 /// A finished kernel: a program plus its register demand.
 ///

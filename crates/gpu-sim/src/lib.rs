@@ -50,8 +50,8 @@ pub mod stats;
 pub mod verify;
 
 pub use accel::{AccelCtx, Accelerator, LaneTraversal, TraversalRequest};
-pub use config::{GpuConfig, MemConfig};
+pub use config::{GpuConfig, MemConfig, SchedulerKind};
 pub use gpu::Gpu;
-pub use kernel::{Kernel, KernelBuilder};
+pub use kernel::{DecodedInstr, DecodedKernel, Kernel, KernelBuilder};
 pub use mem::{GlobalMemory, MemorySystem};
 pub use stats::{InstrMix, SimStats};

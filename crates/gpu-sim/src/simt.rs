@@ -22,6 +22,35 @@ pub const MAX_REGS: usize = 128;
 /// proves kernels stay under it before they ever run.
 pub const SIMT_STACK_LIMIT: usize = 64;
 
+/// Iterates the set bits of an active-lane mask in ascending lane order.
+///
+/// Replaces `for l in 0..32 { if mask & (1 << l) != 0 { … } }` loops: cost
+/// scales with the popcount (so partial warps under a small
+/// `GpuConfig::warp_width` pay only for live lanes), and the ascending
+/// order keeps lane-visit order — and therefore memory-system and journal
+/// bytes — identical to the dense loop.
+///
+/// # Examples
+///
+/// ```
+/// use tta_gpu_sim::simt::active_lanes;
+///
+/// let lanes: Vec<usize> = active_lanes(0b1010_0001).collect();
+/// assert_eq!(lanes, [0, 5, 7]);
+/// assert_eq!(active_lanes(0).count(), 0);
+/// ```
+#[inline]
+pub fn active_lanes(mut mask: u32) -> impl Iterator<Item = usize> {
+    std::iter::from_fn(move || {
+        if mask == 0 {
+            return None;
+        }
+        let l = mask.trailing_zeros() as usize;
+        mask &= mask - 1;
+        Some(l)
+    })
+}
+
 /// One SIMT stack entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StackEntry {

@@ -173,6 +173,17 @@ impl SimStats {
         baseline.cycles as f64 / self.cycles.max(1) as f64
     }
 
+    /// Records the retire cycle of `warp_id`. Cycles are absolute at
+    /// record time; [`crate::Gpu::launch`] rebases them to launch-relative
+    /// before returning. Warps retire in arbitrary order, so the vector
+    /// grows to cover the highest id seen and the launch asserts density.
+    pub fn record_warp_completion(&mut self, warp_id: usize, cycle: u64) {
+        if self.warp_completions.len() <= warp_id {
+            self.warp_completions.resize(warp_id + 1, 0);
+        }
+        self.warp_completions[warp_id] = cycle;
+    }
+
     /// Nearest-rank percentile of the per-warp completion cycles (see
     /// [`percentile`]). `None` when the run recorded no warp completions
     /// (e.g. stats that were never produced by a launch).
@@ -379,6 +390,16 @@ mod tests {
         assert!(histogram(&[], 100).is_empty());
         // Width 0 is clamped to 1 instead of dividing by zero.
         assert_eq!(histogram(&[5, 5, 6], 0), vec![(5, 2), (6, 1)]);
+    }
+
+    #[test]
+    fn record_warp_completion_grows_and_overwrites() {
+        let mut s = SimStats::default();
+        s.record_warp_completion(2, 40);
+        assert_eq!(s.warp_completions, vec![0, 0, 40]);
+        s.record_warp_completion(0, 10);
+        s.record_warp_completion(2, 41);
+        assert_eq!(s.warp_completions, vec![10, 0, 41]);
     }
 
     #[test]

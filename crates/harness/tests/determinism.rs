@@ -6,7 +6,7 @@
 
 use std::path::Path;
 
-use gpu_sim::GpuConfig;
+use gpu_sim::{GpuConfig, SchedulerKind};
 use trees::BTreeFlavor;
 use tta::backend::TtaConfig;
 use tta_harness::{prepare, InputCache, Sweep};
@@ -16,25 +16,55 @@ use workloads::Platform;
 
 /// A small but real multi-workload sweep (actual simulator runs).
 fn run_sweep(threads: usize, dir: &Path) -> Vec<u8> {
+    run_sweep_with(threads, SchedulerKind::EventDriven, dir)
+}
+
+fn run_sweep_with(threads: usize, scheduler: SchedulerKind, dir: &Path) -> Vec<u8> {
     let cache = InputCache::new();
     let mut sweep = Sweep::new("determinism", threads);
-    for platform in [
-        Platform::BaselineGpu,
-        Platform::Tta(TtaConfig::default_paper()),
-    ] {
-        let mut e = BTreeExperiment::new(BTreeFlavor::BTree, 2000, 256, platform.clone());
+    // SIMT-only, TTA (fixed-function engine) and TTA+ (μop programs):
+    // all three issue paths the scheduler interacts with.
+    let platforms = |programs: Vec<tta::programs::UopProgram>| {
+        [
+            Platform::BaselineGpu,
+            Platform::Tta(TtaConfig::default_paper()),
+            Platform::TtaPlus(tta::ttaplus::TtaPlusConfig::default_paper(), programs),
+        ]
+    };
+    for platform in platforms(BTreeExperiment::uop_programs()) {
+        let mut e = BTreeExperiment::new(BTreeFlavor::BTree, 2000, 256, platform);
         e.gpu = GpuConfig::small_test();
+        e.gpu.scheduler = scheduler;
         let e = prepare(&cache, e);
         sweep.add(move || e.run());
-
+    }
+    for platform in platforms(NBodyExperiment::uop_programs()) {
         let mut e = NBodyExperiment::new(3, 600, platform);
         e.gpu = GpuConfig::small_test();
+        e.gpu.scheduler = scheduler;
         let e = prepare(&cache, e);
         sweep.add(move || e.run());
     }
     let outcome = sweep.run_to(dir);
-    assert_eq!(outcome.results.len(), 4);
+    assert_eq!(outcome.results.len(), 6);
     std::fs::read(outcome.journal_path.expect("journal written")).expect("journal readable")
+}
+
+/// The event-driven issue scheduler is an optimization, not a model
+/// change: its journal must match the reference full-scan scheduler's
+/// byte for byte, across SIMT-only and accelerator-offload platforms.
+#[test]
+fn event_driven_scheduler_matches_reference_scan() {
+    let base = std::env::temp_dir().join(format!("tta-sched-equiv-{}", std::process::id()));
+    let event = run_sweep_with(1, SchedulerKind::EventDriven, &base.join("event"));
+    let reference = run_sweep_with(1, SchedulerKind::ReferenceScan, &base.join("reference"));
+    assert!(!event.is_empty());
+    assert_eq!(
+        event, reference,
+        "event-driven and reference-scan schedulers must write \
+         byte-identical journals"
+    );
+    let _ = std::fs::remove_dir_all(&base);
 }
 
 #[test]

@@ -467,6 +467,10 @@ impl TraversalEngine {
 }
 
 impl Accelerator for TraversalEngine {
+    fn can_accept(&self) -> bool {
+        self.resident_warps() < self.cfg.warp_buffer_warps
+    }
+
     fn try_submit(&mut self, req: TraversalRequest, now: u64) -> Result<(), TraversalRequest> {
         if self.resident_warps() >= self.cfg.warp_buffer_warps {
             return Err(req);

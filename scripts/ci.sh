@@ -21,6 +21,10 @@
 #   8. a shadow-checked --quick fig13 sweep (TTA_SHADOW_CHECK=1): the
 #      runtime soundness gate asserting every register value and SIMT
 #      stack depth stays inside its static abstraction
+#   9. the perf-trajectory gate: BENCH_fig13.json must parse against its
+#      schema, and the wall-clock of step 8 must not regress more than
+#      25% against the latest committed quick-shadow entry (record new
+#      entries with scripts/bench.sh)
 #
 # Offline-registry fallback: this workspace has NO crates.io dependencies —
 # every dependency is a path dependency inside the workspace (the `rand`
@@ -54,7 +58,11 @@ run cargo clippy "${CARGO_FLAGS[@]}" --workspace --all-targets -- -D warnings
 # all passes, including the abstract-interpretation provers. The --json
 # smoke checks the machine-readable output stays one object per line.
 run cargo run "${CARGO_FLAGS[@]}" -p tta-lint --bin tta-lint
-run cargo run "${CARGO_FLAGS[@]}" -q -p tta-lint --bin tta-lint -- --json | {
+# The banner must be printed outside the pipeline: `run` echoes to
+# stdout, and inside the pipe that echo would reach the JSON validator
+# as a bogus first line.
+echo "==> cargo run -q -p tta-lint --bin tta-lint -- --json (line format check)"
+cargo run "${CARGO_FLAGS[@]}" -q -p tta-lint --bin tta-lint -- --json | {
     while IFS= read -r line; do
         case "$line" in
             '{"severity":'*'}') ;;
@@ -93,8 +101,19 @@ run cargo run "${CARGO_FLAGS[@]}" --release -p tta-trace --bin tta-trace-check -
 
 # Runtime soundness gate: rerun the Fig. 13 sweep with every launch
 # shadow-checked against the abstract interpreter. A register value or
-# SIMT stack depth escaping its static abstraction aborts the run.
+# SIMT stack depth escaping its static abstraction aborts the run. The
+# sweep's own wall-clock (from the timing sidecar, excluding cargo
+# overhead) doubles as the perf-trajectory measurement for step 9.
 echo "==> TTA_SHADOW_CHECK=1 fig13 --quick (soundness gate)"
 TTA_SHADOW_CHECK=1 cargo run "${CARGO_FLAGS[@]}" --release -p tta-bench --bin fig13 -- --quick --threads 2
+
+# Perf-trajectory gate: the committed BENCH_fig13.json must be
+# schema-valid, and the shadow-checked sweep above must not be more than
+# 25% slower than the latest committed quick-shadow baseline. When the
+# simulator legitimately changes speed, record a fresh entry with
+# scripts/bench.sh quick-shadow.
+run cargo run "${CARGO_FLAGS[@]}" --release -q -p tta-bench --bin bench_gate -- validate BENCH_fig13.json
+run cargo run "${CARGO_FLAGS[@]}" --release -q -p tta-bench --bin bench_gate -- \
+    check BENCH_fig13.json --mode quick-shadow --timing results/fig13.timing.json --max-regress 0.25
 
 echo "CI OK"

@@ -1,5 +1,6 @@
 //! The proving passes built on the abstract interpretation: memory safety
-//! against declared allocation contracts, and loop termination via ranking
+//! against declared allocation contracts, race freedom via tid-affine
+//! disjointness of write footprints, and loop termination via ranking
 //! arguments on CFG back-edges.
 
 use super::domain::Base;
@@ -26,10 +27,30 @@ impl ContractLen {
     }
 }
 
+/// Declared cross-thread access discipline of an allocation — the input
+/// to the race-freedom pass ([`check_races`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessMode {
+    /// Read-only shared data (trees, primitive pools): any store is a
+    /// proved race (or at minimum a contract violation caught as one).
+    ReadShared,
+    /// Per-thread exclusive region of `stride` bytes: thread `t` owns
+    /// `[base + stride·t, base + stride·(t+1))`. Stores must be tid-affine
+    /// with exactly this stride to be proved disjoint across threads.
+    WriteExclusivePerThread {
+        /// Bytes owned by each thread.
+        stride: u64,
+    },
+    /// Deliberately shared read-write data (e.g. a union-find epilogue):
+    /// the static pass accepts it; only the runtime sanitizer watches it.
+    ReadWriteShared,
+}
+
 /// A declared allocation: kernel launch parameter `base_param` holds its
 /// byte base address and it spans `len` bytes. Exported by every workload
 /// kernel builder; the memory-safety pass proves each `Load`/`Store`
-/// address interval is contained in one of these.
+/// address interval is contained in one of these, and the race pass
+/// proves accesses respect the declared [`AccessMode`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemContract {
     /// Allocation name for diagnostics ("queries", "tree", ...).
@@ -38,6 +59,8 @@ pub struct MemContract {
     pub base_param: u8,
     /// Declared byte length.
     pub len: ContractLen,
+    /// Declared cross-thread access discipline.
+    pub mode: AccessMode,
 }
 
 /// Outcome of the memory-safety pass for one `Load`/`Store`.
@@ -71,7 +94,8 @@ pub enum MemIssue {
         len: u64,
     },
     /// The address is an offset from a parameter with no declared
-    /// contract. Warning.
+    /// contract. Error: an undeclared base is invisible to both the
+    /// OOB prover and the race prover.
     NoContract {
         /// PC of the access.
         pc: usize,
@@ -89,7 +113,10 @@ pub enum MemIssue {
 impl MemIssue {
     /// Errors gate CI; warnings are advisory.
     pub fn is_error(&self) -> bool {
-        matches!(self, MemIssue::ProvedOob { .. })
+        matches!(
+            self,
+            MemIssue::ProvedOob { .. } | MemIssue::NoContract { .. }
+        )
     }
 }
 
@@ -161,7 +188,11 @@ pub fn check_memory(kernel: &Kernel, abs: &Abstraction, contracts: &[MemContract
         let Some(addr) = abs.reg_in(pc, rs_addr.0) else {
             continue; // unreachable access — verify reports the dead region
         };
-        let addr = addr.add_const(offset as i64);
+        // Fold the symbolic tid term into the interval: the OOB question
+        // is about the union of all threads' footprints.
+        let addr = addr
+            .add_const(offset as i64)
+            .concretize_tid(abs.bounds.num_threads.saturating_sub(1));
         match addr.base {
             Base::Many => report.issues.push(MemIssue::UnknownAddress { pc }),
             Base::Zero => report.issues.push(MemIssue::UnknownAddress { pc }),
@@ -188,6 +219,175 @@ pub fn check_memory(kernel: &Kernel, abs: &Abstraction, contracts: &[MemContract
                         lo: addr.lo,
                         hi: addr.hi,
                         len,
+                    });
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Outcome of the race-freedom pass for one `Load`/`Store`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RaceIssue {
+    /// Two distinct tids' footprints provably conflict: a store targets a
+    /// `ReadShared` allocation, or a store into a `WriteExclusivePerThread`
+    /// allocation is tid-independent (every thread writes the same words).
+    /// Error.
+    ProvedRace {
+        /// PC of the access.
+        pc: usize,
+        /// The allocation it targets.
+        alloc: &'static str,
+        /// What made the conflict provable.
+        reason: &'static str,
+    },
+    /// The access's cross-thread disjointness could not be refuted or
+    /// proved (e.g. a tid stride that disagrees with the declared
+    /// per-thread stride). Warning — the runtime sanitizer still watches.
+    PossibleRace {
+        /// PC of the access.
+        pc: usize,
+        /// The allocation it targets, when attributable.
+        alloc: &'static str,
+        /// Why disjointness is not provable.
+        reason: &'static str,
+    },
+}
+
+impl RaceIssue {
+    /// Errors gate CI; warnings are advisory.
+    pub fn is_error(&self) -> bool {
+        matches!(self, RaceIssue::ProvedRace { .. })
+    }
+}
+
+impl std::fmt::Display for RaceIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RaceIssue::ProvedRace { pc, alloc, reason } => write!(
+                f,
+                "pc {pc}: store into {alloc} is a proved cross-thread race: {reason}"
+            ),
+            RaceIssue::PossibleRace { pc, alloc, reason } => write!(
+                f,
+                "pc {pc}: access into {alloc} is not provably race-free: {reason}"
+            ),
+        }
+    }
+}
+
+/// Result of [`check_races`].
+#[derive(Debug, Clone, Default)]
+pub struct RaceReport {
+    /// Accesses proved disjoint across threads (or harmlessly shared).
+    pub proved: usize,
+    /// Accesses that could not be proved race-free (or provably race).
+    pub issues: Vec<RaceIssue>,
+}
+
+/// Proves every `Load`/`Store` respects its allocation's declared
+/// [`AccessMode`] across threads.
+///
+/// The proof decomposes race freedom of a `WriteExclusivePerThread`
+/// allocation into **tid-affinity** (the address is `base + stride·tid + δ`
+/// with exactly the declared stride — proved here) and **slot confinement**
+/// (δ stays inside one thread's `stride`-byte slot — this is precisely the
+/// memory-safety obligation [`check_memory`] already discharges per-slot
+/// via the footprint interval, backed at runtime by the shadow checker and
+/// race sanitizer). Two threads `t ≠ u` with affine addresses at the same
+/// stride differ by `stride·(t-u) ≠ 0`, so confined footprints are
+/// disjoint.
+///
+/// Loads through unknown bases (pointer-chasing node walks) are out of
+/// scope: reads race only with writes, and every attributable write is
+/// covered; unattributable *stores* are flagged. Launches with a single
+/// thread are trivially race-free.
+pub fn check_races(kernel: &Kernel, abs: &Abstraction, contracts: &[MemContract]) -> RaceReport {
+    let mut report = RaceReport::default();
+    if abs.bounds.num_threads <= 1 {
+        report.proved = kernel
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::Load { .. } | Instr::Store { .. }))
+            .count();
+        return report;
+    }
+    for (pc, instr) in kernel.instrs.iter().enumerate() {
+        let (rs_addr, offset, is_store) = match *instr {
+            Instr::Load {
+                rs_addr, offset, ..
+            } => (rs_addr, offset, false),
+            Instr::Store {
+                rs_addr, offset, ..
+            } => (rs_addr, offset, true),
+            _ => continue,
+        };
+        let Some(addr) = abs.reg_in(pc, rs_addr.0) else {
+            continue; // unreachable access
+        };
+        let addr = addr.add_const(offset as i64);
+        let contract = match addr.base {
+            Base::Param(p) => contracts.iter().find(|c| c.base_param == p),
+            // No symbolic base: loads are pointer-chasing node walks
+            // (reads only race with writes, all attributable writes are
+            // checked); an unattributable store cannot be proved disjoint.
+            Base::Zero | Base::Many => {
+                if is_store {
+                    report.issues.push(RaceIssue::PossibleRace {
+                        pc,
+                        alloc: "<unknown>",
+                        reason: "store address has no symbolic base",
+                    });
+                } else {
+                    report.proved += 1;
+                }
+                continue;
+            }
+        };
+        let Some(c) = contract else {
+            continue; // NoContract is already an error in check_memory
+        };
+        match c.mode {
+            AccessMode::ReadWriteShared => report.proved += 1,
+            AccessMode::ReadShared => {
+                if is_store {
+                    report.issues.push(RaceIssue::ProvedRace {
+                        pc,
+                        alloc: c.name,
+                        reason: "allocation is declared ReadShared",
+                    });
+                } else {
+                    report.proved += 1;
+                }
+            }
+            AccessMode::WriteExclusivePerThread { stride } => {
+                if addr.tid_stride == stride as i64 {
+                    // Tid-affine at the declared stride: slot confinement
+                    // (the δ bound) is check_memory's obligation.
+                    report.proved += 1;
+                } else if addr.tid_stride == 0 {
+                    if is_store {
+                        report.issues.push(RaceIssue::ProvedRace {
+                            pc,
+                            alloc: c.name,
+                            reason: "store address is tid-independent — \
+                                     all threads write the same words",
+                        });
+                    } else {
+                        report.issues.push(RaceIssue::PossibleRace {
+                            pc,
+                            alloc: c.name,
+                            reason: "load address is tid-independent in a \
+                                     per-thread-exclusive allocation",
+                        });
+                    }
+                } else {
+                    report.issues.push(RaceIssue::PossibleRace {
+                        pc,
+                        alloc: c.name,
+                        reason: "tid stride disagrees with the declared \
+                                 per-thread stride",
                     });
                 }
             }

@@ -1,18 +1,27 @@
-//! The abstract value domain: symbolic base × interval × alignment.
+//! The abstract value domain: symbolic base × tid-affine term × interval ×
+//! alignment.
 //!
 //! Every abstract value describes a set of 32-bit machine words as
-//! *base + δ (mod 2³²)* where the base is either the constant 0, a kernel
-//! launch parameter, or unknown, and δ ranges over an integer interval
-//! constrained to a power-of-two alignment. Arithmetic transfer functions
-//! work on mathematical integers, which is sound for the wrapping u32
-//! semantics of the simulator because they preserve the congruence class
-//! mod 2³²; any interval that grows past one full wrap collapses to
-//! [`AbsVal::top`].
+//! *base + tid_stride·tid + δ (mod 2³²)* where the base is either the
+//! constant 0, a kernel launch parameter, or unknown; `tid` is the
+//! executing thread's id (a per-lane constant at runtime); and δ ranges
+//! over an integer interval constrained to a power-of-two alignment.
+//! Arithmetic transfer functions work on mathematical integers, which is
+//! sound for the wrapping u32 semantics of the simulator because they
+//! preserve the congruence class mod 2³².
 //!
-//! The domain is deliberately small: it is exactly what is needed to prove
-//! the `base + thread_id * stride + field_offset` addressing pattern every
-//! workload kernel uses in bounds, while remaining cheap enough to run at
-//! issue time as a shadow check.
+//! The symbolic tid term is what makes cross-thread reasoning possible:
+//! `Param(0) + 16·tid + [0, 0]` names a *different* word for every thread,
+//! so two distinct tids' store footprints can be proved disjoint — the
+//! race-freedom pass — where a plain interval (`Param(0) + [0, 16·(N-1)]`)
+//! only supports an in-bounds argument.
+//!
+//! An interval that grows past one full wrap no longer collapses to
+//! [`AbsVal::top`]: it *saturates* to `[-2³³, 2³³]`, keeping the base, the
+//! tid stride, and the alignment. A saturated interval constrains nothing
+//! positionally, but the congruence `align | δ` survives (every tracked
+//! alignment divides 2³²), and crucially the tid-affinity of loop-carried
+//! pointers (per-thread stack pointers) survives widening.
 
 /// Symbolic base of an abstract value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,7 +34,7 @@ pub enum Base {
     Many,
 }
 
-/// Interval bounds past which a value is widened to ⊤. One wrap of the
+/// Saturation bound for δ (and the cap on |tid_stride|): one wrap of the
 /// 32-bit space on either side keeps the shadow checker's congruence
 /// search to a handful of candidates.
 const BOUND_CLAMP: i64 = 1 << 33;
@@ -34,12 +43,14 @@ const BOUND_CLAMP: i64 = 1 << 33;
 /// distinctions past 2³¹ carry no information).
 const MAX_ALIGN: u64 = 1 << 31;
 
-/// An abstract 32-bit value: `base + δ (mod 2³²)` with `δ ∈ [lo, hi]` and
-/// `align | δ`.
+/// An abstract 32-bit value: `base + tid_stride·tid + δ (mod 2³²)` with
+/// `δ ∈ [lo, hi]` and `align | δ`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AbsVal {
     /// Symbolic base.
     pub base: Base,
+    /// Coefficient of the symbolic thread id (0 = tid-independent).
+    pub tid_stride: i64,
     /// Inclusive lower bound of δ.
     pub lo: i64,
     /// Inclusive upper bound of δ.
@@ -53,6 +64,7 @@ impl AbsVal {
     pub fn top() -> Self {
         AbsVal {
             base: Base::Many,
+            tid_stride: 0,
             lo: 0,
             hi: u32::MAX as i64,
             align: 1,
@@ -64,10 +76,17 @@ impl AbsVal {
         matches!(self.base, Base::Many)
     }
 
+    /// `true` when δ's interval spans a full 2³² wrap: the positional
+    /// bound constrains nothing, only base, stride and congruence remain.
+    pub fn is_saturated(&self) -> bool {
+        self.hi.saturating_sub(self.lo) >= (1 << 32)
+    }
+
     /// The constant `c`.
     pub fn constant(c: u32) -> Self {
         AbsVal {
             base: Base::Zero,
+            tid_stride: 0,
             lo: c as i64,
             hi: c as i64,
             align: align_of_const(c as i64),
@@ -78,16 +97,29 @@ impl AbsVal {
     pub fn param(i: u8) -> Self {
         AbsVal {
             base: Base::Param(i),
+            tid_stride: 0,
             lo: 0,
             hi: 0,
             align: MAX_ALIGN,
         }
     }
 
-    /// An absolute value in `[lo, hi]` (e.g. a thread id).
+    /// The executing thread's id, exactly: `0 + 1·tid + [0, 0]`.
+    pub fn tid() -> Self {
+        AbsVal {
+            base: Base::Zero,
+            tid_stride: 1,
+            lo: 0,
+            hi: 0,
+            align: MAX_ALIGN, // δ = 0 is divisible by everything
+        }
+    }
+
+    /// An absolute value in `[lo, hi]` (e.g. a lane id).
     pub fn range(lo: u32, hi: u32) -> Self {
         AbsVal {
             base: Base::Zero,
+            tid_stride: 0,
             lo: lo as i64,
             hi: hi as i64,
             align: 1,
@@ -95,39 +127,77 @@ impl AbsVal {
         .normalized()
     }
 
-    /// Re-establishes the domain invariants; collapses to ⊤ when the
-    /// interval spans a full wrap or escapes the clamp.
+    /// Re-establishes the domain invariants: an empty interval or an
+    /// escaped stride collapses to ⊤; an interval past one full wrap (or
+    /// the clamp) saturates, keeping base, stride, and alignment.
     fn normalized(self) -> Self {
-        if self.is_top()
-            || self.lo > self.hi
-            || self.hi - self.lo >= (1 << 32)
-            || self.lo <= -BOUND_CLAMP
-            || self.hi >= BOUND_CLAMP
-        {
-            AbsVal::top()
-        } else {
-            self
+        if self.is_top() || self.lo > self.hi || self.tid_stride.abs() >= BOUND_CLAMP {
+            return AbsVal::top();
         }
+        if self.hi.saturating_sub(self.lo) >= (1 << 32)
+            || self.lo < -BOUND_CLAMP
+            || self.hi > BOUND_CLAMP
+        {
+            return AbsVal {
+                lo: -BOUND_CLAMP,
+                hi: BOUND_CLAMP,
+                ..self
+            };
+        }
+        self
     }
 
-    /// When the value is a known absolute (base 0) range inside `[0, 2³²)`,
-    /// returns the exact `(lo, hi)` machine range.
+    /// When the value is a known tid-independent absolute (base 0) range
+    /// inside `[0, 2³²)`, returns the exact `(lo, hi)` machine range.
     pub fn exact_range(&self) -> Option<(u64, u64)> {
         match self.base {
-            Base::Zero if self.lo >= 0 && self.hi <= u32::MAX as i64 => {
+            Base::Zero if self.tid_stride == 0 && self.lo >= 0 && self.hi <= u32::MAX as i64 => {
                 Some((self.lo as u64, self.hi as u64))
             }
             _ => None,
         }
     }
 
-    /// Least upper bound of two abstract values.
+    /// When the value is one known constant, returns it.
+    fn as_const(&self) -> Option<i64> {
+        match self.exact_range() {
+            Some((lo, hi)) if lo == hi => Some(lo as i64),
+            _ => None,
+        }
+    }
+
+    /// Folds the symbolic tid term into the interval for a launch whose
+    /// tids range over `[0, tid_hi]` — the bridge back to the plain
+    /// interval domain for transfer functions (and footprint checks) that
+    /// have no per-thread reading.
+    pub fn concretize_tid(&self, tid_hi: u32) -> AbsVal {
+        if self.tid_stride == 0 {
+            return *self;
+        }
+        let span = self.tid_stride.saturating_mul(tid_hi as i64);
+        AbsVal {
+            base: self.base,
+            tid_stride: 0,
+            lo: self.lo.saturating_add(span.min(0)),
+            hi: self.hi.saturating_add(span.max(0)),
+            align: self.align.min(align_of_const(self.tid_stride)),
+        }
+        .normalized()
+    }
+
+    /// Least upper bound of two abstract values. Distinct bases or
+    /// distinct tid strides cannot be hulled — that is ⊤.
     pub fn join(&self, other: &AbsVal) -> AbsVal {
-        if self.is_top() || other.is_top() || self.base != other.base {
+        if self.is_top()
+            || other.is_top()
+            || self.base != other.base
+            || self.tid_stride != other.tid_stride
+        {
             return AbsVal::top();
         }
         AbsVal {
             base: self.base,
+            tid_stride: self.tid_stride,
             lo: self.lo.min(other.lo),
             hi: self.hi.max(other.hi),
             align: self.align.min(other.align),
@@ -135,18 +205,23 @@ impl AbsVal {
         .normalized()
     }
 
-    /// Widening: keeps a stable value, collapses a still-changing one to ⊤
-    /// so the fixpoint terminates in one more round.
+    /// Widening: keeps a stable value; saturates a still-changing one so
+    /// the fixpoint terminates while the base, tid stride, and alignment
+    /// survive (a loop-carried per-thread stack pointer keeps its
+    /// `Param + stride·tid` shape, it only loses the δ bound).
     pub fn widen(&self, next: &AbsVal) -> AbsVal {
         let joined = self.join(next);
-        if joined == *self {
-            joined
-        } else {
-            AbsVal::top()
+        if joined == *self || joined.is_top() {
+            return joined;
+        }
+        AbsVal {
+            lo: -BOUND_CLAMP,
+            hi: BOUND_CLAMP,
+            ..joined
         }
     }
 
-    /// `self + other` (wrapping u32 add).
+    /// `self + other` (wrapping u32 add). Tid strides add.
     pub fn add(&self, other: &AbsVal) -> AbsVal {
         let base = match (self.base, other.base) {
             (Base::Zero, b) | (b, Base::Zero) => b,
@@ -154,6 +229,7 @@ impl AbsVal {
         };
         AbsVal {
             base,
+            tid_stride: self.tid_stride.saturating_add(other.tid_stride),
             lo: self.lo.saturating_add(other.lo),
             hi: self.hi.saturating_add(other.hi),
             align: self.align.min(other.align),
@@ -169,16 +245,16 @@ impl AbsVal {
             return AbsVal::top();
         }
         AbsVal {
-            base: self.base,
             lo: self.lo.saturating_add(c),
             hi: self.hi.saturating_add(c),
             align: self.align.min(align_of_const(c)),
+            ..*self
         }
         .normalized()
     }
 
     /// `self - other` (wrapping u32 subtract). Two offsets from the *same*
-    /// parameter cancel to an absolute difference.
+    /// parameter cancel to an absolute difference; tid strides subtract.
     pub fn sub(&self, other: &AbsVal) -> AbsVal {
         let base = match (self.base, other.base) {
             (b, Base::Zero) => b,
@@ -187,6 +263,7 @@ impl AbsVal {
         };
         AbsVal {
             base,
+            tid_stride: self.tid_stride.saturating_sub(other.tid_stride),
             lo: self.lo.saturating_sub(other.hi),
             hi: self.hi.saturating_sub(other.lo),
             align: self.align.min(other.align),
@@ -194,8 +271,8 @@ impl AbsVal {
         .normalized()
     }
 
-    /// `self * c` (wrapping u32 multiply by a constant). Only an absolute
-    /// value stays representable; scaling a parameter base is ⊤.
+    /// `self * c` (wrapping u32 multiply by a constant). The tid stride
+    /// scales with the interval; scaling a parameter base is ⊤.
     pub fn mul_const(&self, c: i64) -> AbsVal {
         if c == 0 {
             return AbsVal::constant(0);
@@ -210,6 +287,7 @@ impl AbsVal {
         let b = self.hi.saturating_mul(c);
         AbsVal {
             base: Base::Zero,
+            tid_stride: self.tid_stride.saturating_mul(c),
             lo: a.min(b),
             hi: a.max(b),
             align: self
@@ -220,16 +298,23 @@ impl AbsVal {
         .normalized()
     }
 
-    /// `self * other` (wrapping u32 multiply).
+    /// `self * other` (wrapping u32 multiply). A constant operand scales
+    /// the other side (keeping a tid stride symbolic); otherwise both
+    /// operands must be exact tid-independent ranges.
     pub fn mul(&self, other: &AbsVal) -> AbsVal {
+        if let Some(c) = other.as_const() {
+            return self.mul_const(c);
+        }
+        if let Some(c) = self.as_const() {
+            return other.mul_const(c);
+        }
         match (self.exact_range(), other.exact_range()) {
-            (Some(_), Some((olo, ohi))) if olo == ohi => self.mul_const(olo as i64),
-            (Some((slo, shi)), Some(_)) if slo == shi => other.mul_const(slo as i64),
             (Some((_, shi)), Some((_, ohi))) => {
                 match shi.checked_mul(ohi) {
                     // Product of nonnegative ranges: [lo·lo, hi·hi].
                     Some(p) if p <= u32::MAX as u64 => AbsVal {
                         base: Base::Zero,
+                        tid_stride: 0,
                         lo: (self.lo as u64 * other.lo as u64) as i64,
                         hi: p as i64,
                         align: self.align.min(other.align),
@@ -242,7 +327,8 @@ impl AbsVal {
         }
     }
 
-    /// `self & mask` for a constant mask.
+    /// `self & mask` for a constant mask. The result is absolutely
+    /// bounded by the mask whatever the operand was (tid-affine included).
     pub fn and_const(&self, mask: u32) -> AbsVal {
         let hi = match self.exact_range() {
             Some((_, hi)) => hi.min(mask as u64),
@@ -250,6 +336,7 @@ impl AbsVal {
         };
         AbsVal {
             base: Base::Zero,
+            tid_stride: 0,
             lo: 0,
             hi: hi as i64,
             align: if mask == 0 {
@@ -267,6 +354,7 @@ impl AbsVal {
         match self.exact_range() {
             Some((lo, hi)) => AbsVal {
                 base: Base::Zero,
+                tid_stride: 0,
                 lo: (lo >> k) as i64,
                 hi: (hi >> k) as i64,
                 align: (self.align >> k).max(1),
@@ -278,17 +366,31 @@ impl AbsVal {
 
     /// `true` when the machine word `v` is described by this abstraction
     /// given the concrete base value `base_val` (0 for [`Base::Zero`], the
-    /// launch parameter for [`Base::Param`]).
-    pub fn contains(&self, v: u32, base_val: u32) -> bool {
+    /// launch parameter for [`Base::Param`]) and the executing thread's
+    /// `tid`.
+    pub fn contains(&self, v: u32, base_val: u32, tid: u32) -> bool {
         if self.is_top() {
             return true;
         }
-        let diff = v as i64 - base_val as i64;
-        // δ is congruent to diff mod 2³²; the clamp keeps |lo|,|hi| < 2³⁴,
-        // so only a few wraps can land inside the interval.
-        (-2i64..=2).any(|k| {
+        let mut diff = v as i64 - base_val as i64;
+        if self.tid_stride != 0 {
+            // Subtract stride·tid mod 2³² (i128 guards the product).
+            let t = (self.tid_stride as i128 * tid as i128).rem_euclid(1i128 << 32) as i64;
+            diff -= t;
+        }
+        // δ ≡ diff (mod 2³²). Every tracked alignment divides 2³², so the
+        // congruence check is wrap-invariant.
+        let diff = diff.rem_euclid(1 << 32); // in [0, 2³²)
+        if diff % self.align as i64 != 0 {
+            return false;
+        }
+        if self.is_saturated() {
+            return true; // positional bound spans a full wrap
+        }
+        // The clamp keeps |lo|,|hi| ≤ 2³³, so a few wraps cover [lo, hi].
+        (-3i64..=2).any(|k| {
             let d = diff + (k << 32);
-            self.lo <= d && d <= self.hi && d.rem_euclid(self.align as i64) == 0
+            self.lo <= d && d <= self.hi
         })
     }
 }
@@ -312,21 +414,46 @@ mod tests {
         assert_eq!(c.exact_range(), Some((12, 12)));
         assert_eq!(c.align, 4);
         let p = AbsVal::param(2);
-        assert!(p.contains(1000, 1000));
-        assert!(!p.contains(1004, 1000));
+        assert!(p.contains(1000, 1000, 0));
+        assert!(!p.contains(1004, 1000, 0));
     }
 
     #[test]
-    fn record_addressing_pattern_stays_precise() {
-        // q = Param(0) + tid * 16, tid ∈ [0, 99]
-        let tid = AbsVal::range(0, 99);
-        let q = AbsVal::param(0).add(&tid.mul_const(16));
+    fn record_addressing_pattern_is_tid_affine() {
+        // q = Param(0) + tid * 16: per-thread exact, not just in-range.
+        let q = AbsVal::param(0).add(&AbsVal::tid().mul_const(16));
+        assert_eq!(q.base, Base::Param(0));
+        assert_eq!(q.tid_stride, 16);
+        assert_eq!((q.lo, q.hi), (0, 0));
+        assert!(q.contains(5000 + 42 * 16, 5000, 42));
+        assert!(!q.contains(5000 + 42 * 16 + 1, 5000, 42));
+        // Another thread's record is NOT contained — per-thread identity.
+        assert!(!q.contains(5000 + 41 * 16, 5000, 42));
+    }
+
+    #[test]
+    fn record_addressing_pattern_stays_precise_for_plain_ranges() {
+        // q = Param(0) + r * 16, r ∈ [0, 99] (a non-tid range).
+        let r = AbsVal::range(0, 99);
+        let q = AbsVal::param(0).add(&r.mul_const(16));
         assert_eq!(q.base, Base::Param(0));
         assert_eq!((q.lo, q.hi), (0, 99 * 16));
         assert_eq!(q.align, 16);
-        assert!(q.contains(5000 + 42 * 16, 5000));
-        assert!(!q.contains(5000 + 42 * 16 + 1, 5000));
-        assert!(!q.contains(5000 + 100 * 16, 5000));
+        assert!(q.contains(5000 + 42 * 16, 5000, 0));
+        assert!(!q.contains(5000 + 42 * 16 + 1, 5000, 0));
+        assert!(!q.contains(5000 + 100 * 16, 5000, 0));
+    }
+
+    #[test]
+    fn concretize_folds_the_tid_term() {
+        let q = AbsVal::param(0)
+            .add(&AbsVal::tid().mul_const(16))
+            .add_const(4);
+        let c = q.concretize_tid(99);
+        assert_eq!(c.base, Base::Param(0));
+        assert_eq!(c.tid_stride, 0);
+        assert_eq!((c.lo, c.hi), (4, 4 + 99 * 16));
+        assert_eq!(c.align, 4);
     }
 
     #[test]
@@ -336,7 +463,7 @@ mod tests {
         let sp2 = sp.add_const((-4i32) as i64);
         assert_eq!((sp2.lo, sp2.hi), (4, 4));
         let base: u32 = 1 << 20;
-        assert!(sp2.contains(base.wrapping_add(8).wrapping_sub(4), base));
+        assert!(sp2.contains(base.wrapping_add(8).wrapping_sub(4), base, 0));
     }
 
     #[test]
@@ -346,8 +473,53 @@ mod tests {
         let j = a.join(&b);
         assert_eq!((j.lo, j.hi), (0, 12));
         assert_eq!(a.widen(&a), a);
-        assert!(a.widen(&b).is_top());
         assert!(a.join(&AbsVal::param(0)).is_top());
+        // Same base, changing interval: widening saturates, not ⊤.
+        let w = a.widen(&b);
+        assert!(!w.is_top());
+        assert!(w.is_saturated());
+        assert_eq!(w.base, Base::Zero);
+    }
+
+    #[test]
+    fn widening_preserves_tid_affinity_of_stack_pointers() {
+        // sp = Param(2) + 256·tid, then a push/pop loop moves δ by ±4.
+        let sp0 = AbsVal::param(2).add(&AbsVal::tid().mul_const(256));
+        let sp1 = sp0.add_const(4);
+        let mut w = sp0;
+        for _ in 0..8 {
+            w = w.widen(&w.add_const(4));
+        }
+        assert!(w.is_saturated());
+        assert_eq!(w.base, Base::Param(2));
+        assert_eq!(w.tid_stride, 256);
+        assert_eq!(w.align, 4); // alignment survives
+                                // Saturated: any 4-aligned slot of thread 7's stack is contained...
+        let base: u32 = 1 << 20;
+        assert!(w.contains(base + 256 * 7 + 12, base, 7));
+        // ...but a misaligned word is not.
+        assert!(!w.contains(base + 256 * 7 + 13, base, 7));
+        // The un-widened values still have exact δ.
+        assert_eq!((sp1.lo, sp1.hi), (4, 4));
+    }
+
+    #[test]
+    fn tid_strides_mismatch_joins_to_top() {
+        let a = AbsVal::tid().mul_const(16);
+        let b = AbsVal::tid().mul_const(32);
+        assert!(a.join(&b).is_top());
+        assert_eq!(a.join(&a), a);
+    }
+
+    #[test]
+    fn tid_sub_cancels_stride() {
+        // (Param(2) + 256·tid + 8) - (Param(2) + 256·tid) = 8.
+        let base = AbsVal::param(2).add(&AbsVal::tid().mul_const(256));
+        let sp = base.add_const(8);
+        let d = sp.sub(&base);
+        assert_eq!(d.base, Base::Zero);
+        assert_eq!(d.tid_stride, 0);
+        assert_eq!((d.lo, d.hi), (8, 8));
     }
 
     #[test]
@@ -361,20 +533,29 @@ mod tests {
     }
 
     #[test]
-    fn overflow_collapses_to_top() {
+    fn overflow_saturates_but_param_scaling_is_top() {
         let big = AbsVal::range(0, u32::MAX);
-        assert!(big.mul_const(64).is_top());
+        let s = big.mul_const(64);
+        assert!(!s.is_top());
+        assert!(s.is_saturated());
+        assert_eq!(s.align, 64);
         assert!(AbsVal::param(0).mul_const(2).is_top());
         // ⊤ contains everything.
-        assert!(AbsVal::top().contains(0xdead_beef, 0));
+        assert!(AbsVal::top().contains(0xdead_beef, 0, 0));
     }
 
     #[test]
-    fn mask_and_shift() {
+    fn mask_and_shift_drop_the_tid_term_soundly() {
         let v = AbsVal::top().and_const(0xf0);
         assert_eq!((v.lo, v.hi), (0, 0xf0));
         assert_eq!(v.align, 16);
         let s = AbsVal::range(0, 256).shr_const(4);
         assert_eq!((s.lo, s.hi), (0, 16));
+        // tid & 0xff is in [0, 0xff] for every thread (stride dropped).
+        let m = AbsVal::tid().and_const(0xff);
+        assert_eq!(m.tid_stride, 0);
+        assert!(m.contains(0x31, 0, 0x131 & 0xff)); // value, not identity
+                                                    // A strided value shifted right is unknown.
+        assert!(AbsVal::tid().mul_const(16).shr_const(2).is_top());
     }
 }

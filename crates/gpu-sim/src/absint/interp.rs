@@ -88,7 +88,11 @@ fn transfer(instr: &Instr, state: &mut [AbsVal], bounds: LaunchBounds) {
     let out = match *instr {
         Instr::MovImm { imm, .. } => AbsVal::constant(imm),
         Instr::MovSreg { sreg, .. } => match sreg {
-            SReg::ThreadId => AbsVal::range(0, bounds.num_threads.saturating_sub(1)),
+            // The thread id stays symbolic (`0 + 1·tid`): per-thread
+            // identity is what the race-freedom pass reasons about. The
+            // launch bound is reapplied by `AbsVal::concretize_tid` where
+            // a plain footprint interval is needed.
+            SReg::ThreadId => AbsVal::tid(),
             SReg::LaneId => AbsVal::range(0, 31),
             SReg::WarpId => AbsVal::range(0, bounds.num_threads.saturating_sub(1) / 32),
             SReg::Param(i) => AbsVal::param(i),
@@ -199,9 +203,14 @@ mod tests {
         k.exit();
         let a = analyze(&k.build(), BOUNDS);
         let addr = a.reg_in(load_pc, 1).unwrap();
+        // Tid-affine: Param(0) + 16·tid exactly, per-thread identity kept.
         assert_eq!(addr.base, Base::Param(0));
-        assert_eq!((addr.lo, addr.hi), (0, 255 * 16));
-        assert_eq!(addr.align, 16);
+        assert_eq!(addr.tid_stride, 16);
+        assert_eq!((addr.lo, addr.hi), (0, 0));
+        // Folding the tid term back in recovers the footprint interval.
+        let foot = addr.concretize_tid(BOUNDS.num_threads - 1);
+        assert_eq!((foot.lo, foot.hi), (0, 255 * 16));
+        assert_eq!(foot.align, 16);
     }
 
     #[test]
@@ -222,8 +231,11 @@ mod tests {
         k.end_loop(l);
         k.exit();
         let a = analyze(&k.build(), BOUNDS);
-        // The counter widened to ⊤, the loop-invariant pointer did not.
-        assert!(a.reg_in(head, 0).unwrap().is_top());
+        // The counter widened to a saturated (but not ⊤) value, the
+        // loop-invariant pointer kept its exact shape.
+        let counter = a.reg_in(head, 0).unwrap();
+        assert!(!counter.is_top());
+        assert!(counter.is_saturated());
         assert_eq!(a.reg_in(head, 3).unwrap().base, Base::Param(1));
         assert_eq!(a.reg_in(head, 1).unwrap().exact_range(), Some((10, 10)));
     }

@@ -2,12 +2,18 @@
 //! analysis core.
 //!
 //! A flow-sensitive fixpoint interpreter ([`analyze`]) tracks every
-//! register as *base + interval × alignment* ([`AbsVal`]), where the base
-//! is a kernel launch parameter or the constant 0. On top of it sit the
+//! register as *base + stride·tid + interval × alignment* ([`AbsVal`]),
+//! where the base is a kernel launch parameter or the constant 0 and the
+//! tid term keeps per-thread identity relational. On top of it sit the
 //! proving passes surfaced through `tta-lint`:
 //!
 //! - **memory safety** ([`check_memory`]): every `Load`/`Store` address
-//!   interval is contained in a declared [`MemContract`];
+//!   interval (tid term folded in) is contained in a declared
+//!   [`MemContract`];
+//! - **race freedom** ([`check_races`]): every access respects its
+//!   allocation's declared [`AccessMode`] — stores into per-thread
+//!   regions are tid-affine at the declared stride, so distinct threads'
+//!   footprints are provably disjoint;
 //! - **SIMT-stack bound** ([`stack_bound`]): the worst-case reconvergence
 //!   stack depth derived from divergent-branch region nesting, proved
 //!   within [`crate::simt::SIMT_STACK_LIMIT`];
@@ -28,8 +34,8 @@ mod shadow;
 
 pub use cfg::{stack_bound, successors, BranchRegion, StackBound, DYNAMIC_STACK_BOUND, WARP_LANES};
 pub use checks::{
-    check_memory, check_termination, ContractLen, LoopRank, LoopSummary, MemContract, MemIssue,
-    MemReport, TermIssue, TermReport,
+    check_memory, check_races, check_termination, AccessMode, ContractLen, LoopRank, LoopSummary,
+    MemContract, MemIssue, MemReport, RaceIssue, RaceReport, TermIssue, TermReport,
 };
 pub use domain::{AbsVal, Base};
 pub use interp::{analyze, Abstraction, LaunchBounds};

@@ -81,9 +81,12 @@ impl ShadowChecker {
             for lane in active_lanes(mask) {
                 self.value_checks += 1;
                 let v = warp.reg(r.0, lane);
+                // Tid-affine abstractions are checked per-thread: the
+                // lane's global thread id resolves the symbolic tid term.
+                let tid = warp.base_tid + lane as u32;
                 assert!(
-                    abs.contains(v, base_val),
-                    "shadow check: kernel {:?} warp {} lane {lane} pc {pc}: \
+                    abs.contains(v, base_val, tid),
+                    "shadow check: kernel {:?} warp {} lane {lane} (tid {tid}) pc {pc}: \
                      r{} = {v:#x} escapes its abstraction {abs:?} (base value {base_val:#x})",
                     self.kernel_name,
                     warp.id,

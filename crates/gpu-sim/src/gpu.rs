@@ -56,6 +56,7 @@ pub struct Gpu {
     shadow_enabled: bool,
     shadow_value_checks: u64,
     shadow_stack_checks: u64,
+    race: Option<crate::race::RaceSanitizer>,
 }
 
 impl Gpu {
@@ -79,6 +80,7 @@ impl Gpu {
             shadow_enabled: false,
             shadow_value_checks: 0,
             shadow_stack_checks: 0,
+            race: None,
         }
     }
 
@@ -96,6 +98,22 @@ impl Gpu {
     /// performed across all launches since construction.
     pub fn shadow_checks(&self) -> (u64, u64) {
         (self.shadow_value_checks, self.shadow_stack_checks)
+    }
+
+    /// Enables the dynamic race sanitizer ([`crate::race::RaceSanitizer`]):
+    /// every lane's global-memory `Load`/`Store` is recorded in a
+    /// per-word last-accessor table (reset at each launch boundary), and
+    /// a cross-warp write-write or read-write conflict panics with both
+    /// accessors attributed. Bookkeeping only — statistics and journals
+    /// are unaffected.
+    pub fn enable_race_check(&mut self) {
+        self.race = Some(crate::race::RaceSanitizer::new());
+    }
+
+    /// Cumulative sanitizer access checks performed across all launches
+    /// since the race check was enabled (0 when disabled).
+    pub fn race_checks(&self) -> u64 {
+        self.race.as_ref().map_or(0, |r| r.checks())
     }
 
     /// Attaches one accelerator per SM, built by `make(sm_id)`.
@@ -160,6 +178,11 @@ impl Gpu {
                 params,
             )
         });
+
+        // Launch boundaries synchronize: reset the sanitizer's history.
+        if let Some(rs) = &mut self.race {
+            rs.begin_launch(&kernel.name);
+        }
 
         // Pre-decode once: the per-cycle issue loop reads operand lists,
         // destinations, and classes from this side table instead of
@@ -236,6 +259,7 @@ impl Gpu {
                     &mut stats,
                     &self.trace,
                     shadow.as_mut(),
+                    self.race.as_mut(),
                 );
                 any_issued |= r.issued;
                 any_mem_stall |= r.mem_stall;
@@ -608,6 +632,52 @@ mod tests {
         let (values, stacks) = gpu.shadow_checks();
         assert!(values > 0, "shadow mode must actually check lane values");
         assert!(stacks > 0, "shadow mode must actually check stack depths");
+    }
+
+    #[test]
+    fn race_checked_launch_is_clean_on_disjoint_footprints() {
+        let mut gpu = Gpu::new(GpuConfig::small_test(), 1 << 20);
+        gpu.enable_race_check();
+        let n = 256usize;
+        let inp = gpu.gmem.alloc(4 * n, 64);
+        let out = gpu.gmem.alloc(4 * n, 64);
+        gpu.launch(&incr_kernel(), n, &[inp as u32, out as u32]);
+        assert!(gpu.race_checks() > 0, "race mode must actually check");
+        // A second launch writing the same buffer is synchronized by the
+        // launch boundary — no false positive.
+        gpu.launch(&incr_kernel(), n, &[inp as u32, out as u32]);
+    }
+
+    /// Every thread stores its tid to the same word of Param(0) — a
+    /// cross-warp write-write race by construction.
+    fn racy_kernel() -> Kernel {
+        let mut k = KernelBuilder::new("racy");
+        let tid = k.reg();
+        let out = k.reg();
+        k.mov_sreg(tid, SReg::ThreadId);
+        k.mov_sreg(out, SReg::Param(0));
+        k.store(tid, out, 0);
+        k.exit();
+        k.build()
+    }
+
+    #[test]
+    #[should_panic(expected = "cross-warp write-after-write")]
+    fn race_sanitizer_catches_the_racy_kernel() {
+        let mut gpu = Gpu::new(GpuConfig::small_test(), 1 << 20);
+        gpu.enable_race_check();
+        let out = gpu.gmem.alloc(64, 64);
+        let _ = gpu.launch(&racy_kernel(), 64, &[out as u32]);
+    }
+
+    #[test]
+    fn race_check_off_misses_the_racy_kernel() {
+        // The same launch without the sanitizer runs to completion (last
+        // writer wins) — the check is opt-in and changes no semantics.
+        let mut gpu = Gpu::new(GpuConfig::small_test(), 1 << 20);
+        let out = gpu.gmem.alloc(64, 64);
+        let _ = gpu.launch(&racy_kernel(), 64, &[out as u32]);
+        assert_eq!(gpu.race_checks(), 0);
     }
 
     #[test]

@@ -17,9 +17,10 @@
 //!   RTA (`tta-rta`) and TTA/TTA+ (`tta`) plug in, one per SM;
 //! * run statistics ([`stats`]) for every figure of the paper;
 //! * an abstract-interpretation analysis core ([`absint`]) that proves
-//!   kernel memory safety, SIMT-stack bounds, and loop termination, with a
-//!   runtime shadow checker ([`absint::ShadowChecker`]) gating its own
-//!   soundness.
+//!   kernel memory safety, race freedom, SIMT-stack bounds, and loop
+//!   termination, with a runtime shadow checker
+//!   ([`absint::ShadowChecker`]) and a dynamic race sanitizer
+//!   ([`race::RaceSanitizer`]) gating its own soundness.
 //!
 //! # Examples
 //!
@@ -44,6 +45,7 @@ pub mod gpu;
 pub mod isa;
 pub mod kernel;
 pub mod mem;
+pub mod race;
 pub mod simt;
 pub mod sm;
 pub mod stats;

@@ -68,6 +68,18 @@ impl GlobalMemory {
         }
     }
 
+    /// Reports an out-of-bounds access with full context, so sanitizer
+    /// and absint diagnoses are attributable to an address and size
+    /// instead of a raw slice-index panic.
+    #[cold]
+    #[inline(never)]
+    fn oob(&self, kind: &str, addr: u64, len: usize) -> ! {
+        panic!(
+            "simulated GPU OOB: {kind} {len} B at {addr:#x} beyond capacity {} B",
+            self.bytes.len()
+        );
+    }
+
     /// Copies a byte slice into memory at `addr`.
     ///
     /// # Panics
@@ -75,27 +87,54 @@ impl GlobalMemory {
     /// Panics on out-of-bounds writes.
     pub fn write_bytes(&mut self, addr: u64, data: &[u8]) {
         let a = addr as usize;
-        self.bytes[a..a + data.len()].copy_from_slice(data);
+        match a
+            .checked_add(data.len())
+            .and_then(|e| self.bytes.get_mut(a..e))
+        {
+            Some(dst) => dst.copy_from_slice(data),
+            None => self.oob("write", addr, data.len()),
+        }
     }
 
     /// Reads `len` bytes at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds reads.
     pub fn read_bytes(&self, addr: u64, len: usize) -> &[u8] {
         let a = addr as usize;
-        &self.bytes[a..a + len]
+        match a.checked_add(len).and_then(|e| self.bytes.get(a..e)) {
+            Some(src) => src,
+            None => self.oob("read", addr, len),
+        }
     }
 
     /// Reads a `u32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds reads.
     #[inline]
     pub fn read_u32(&self, addr: u64) -> u32 {
         let a = addr as usize;
-        u32::from_le_bytes(self.bytes[a..a + 4].try_into().expect("in bounds"))
+        match a.checked_add(4).and_then(|e| self.bytes.get(a..e)) {
+            Some(src) => u32::from_le_bytes(src.try_into().expect("4-byte slice")),
+            None => self.oob("read", addr, 4),
+        }
     }
 
     /// Writes a `u32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds writes.
     #[inline]
     pub fn write_u32(&mut self, addr: u64, value: u32) {
         let a = addr as usize;
-        self.bytes[a..a + 4].copy_from_slice(&value.to_le_bytes());
+        match a.checked_add(4).and_then(|e| self.bytes.get_mut(a..e)) {
+            Some(dst) => dst.copy_from_slice(&value.to_le_bytes()),
+            None => self.oob("write", addr, 4),
+        }
     }
 
     /// Reads an `f32`.
@@ -508,6 +547,34 @@ mod tests {
         // would otherwise wrap silently).
         let mut m = GlobalMemory::new(1024);
         let _ = m.alloc(usize::MAX - 16, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "simulated GPU OOB: read 4 B")]
+    fn global_memory_read_oob_reports_context() {
+        let m = GlobalMemory::new(1024);
+        let _ = m.read_u32(1022); // straddles the end
+    }
+
+    #[test]
+    #[should_panic(expected = "simulated GPU OOB: write 4 B")]
+    fn global_memory_write_oob_reports_context() {
+        let mut m = GlobalMemory::new(1024);
+        m.write_u32(u64::MAX - 2, 7); // end-of-range would overflow usize
+    }
+
+    #[test]
+    #[should_panic(expected = "simulated GPU OOB: read 16 B")]
+    fn global_memory_read_bytes_oob_reports_context() {
+        let m = GlobalMemory::new(64);
+        let _ = m.read_bytes(60, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "simulated GPU OOB: write 8 B")]
+    fn global_memory_write_bytes_oob_reports_context() {
+        let mut m = GlobalMemory::new(64);
+        m.write_bytes(60, &[0u8; 8]);
     }
 
     #[test]

@@ -1,0 +1,217 @@
+//! Dynamic race sanitizer over simulated global memory: the runtime
+//! soundness gate behind the static race-freedom pass
+//! ([`crate::absint::check_races`]).
+//!
+//! When enabled on a [`crate::gpu::Gpu`] (`TTA_RACE_CHECK=1` through the
+//! workload runner), every `Load`/`Store` a lane performs against
+//! [`crate::mem::GlobalMemory`] is recorded in a per-word last-accessor
+//! table keyed by word index, tracking which warp, lane, and PC touched
+//! it last. A **cross-warp** write-write or read-write conflict panics
+//! immediately with both accessors attributed — if the prover said
+//! "race-free" and this trips, one of the two is wrong and CI catches it.
+//!
+//! Two scoping decisions keep the check meaningful rather than noisy:
+//!
+//! - **Intra-warp conflicts are not races.** The simulator executes a
+//!   warp's lanes in lockstep (warp-synchronous SIMT); lanes of one warp
+//!   touching the same word within or across instructions is ordered by
+//!   the machine itself. Only cross-warp interleavings are scheduler-
+//!   dependent, so only those are flagged.
+//! - **The table resets at kernel-launch boundaries.** A launch is a
+//!   synchronization point: writes from a finished launch happen-before
+//!   every access of the next one.
+//!
+//! Accelerator-side node fetches (the traversal unit's reads of tree
+//! data) are not instrumented: they are reads of `ReadShared` structures
+//! the static pass already forbids any store into. The sanitizer is
+//! bookkeeping only — it never touches simulation state or statistics,
+//! so journals stay byte-identical with the check on or off.
+
+use std::collections::HashMap;
+
+/// One recorded access for attribution in panic messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Accessor {
+    /// Warp id of the accessor.
+    warp: usize,
+    /// Lane within the warp.
+    lane: usize,
+    /// PC of the accessing instruction.
+    pc: u32,
+}
+
+/// Per-word access history within one kernel launch.
+#[derive(Debug, Clone, Copy, Default)]
+struct WordState {
+    /// Last writer, if any.
+    writer: Option<Accessor>,
+    /// First recorded reader, if any.
+    reader: Option<Accessor>,
+    /// Set once readers from more than one warp were seen.
+    multi_warp_readers: bool,
+}
+
+/// The sanitizer: a per-word last-accessor table over global memory.
+#[derive(Debug, Default)]
+pub struct RaceSanitizer {
+    kernel_name: String,
+    words: HashMap<u64, WordState>,
+    checks: u64,
+}
+
+impl RaceSanitizer {
+    /// An empty sanitizer; arm it per launch with [`Self::begin_launch`].
+    pub fn new() -> Self {
+        RaceSanitizer::default()
+    }
+
+    /// Resets the table at a kernel-launch boundary (launches are
+    /// synchronization points) and records the kernel name for
+    /// attribution.
+    pub fn begin_launch(&mut self, kernel_name: &str) {
+        self.kernel_name.clear();
+        self.kernel_name.push_str(kernel_name);
+        self.words.clear();
+    }
+
+    /// Number of access checks performed (diagnostics only).
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+
+    /// Word indices covered by a 4-byte access at `addr` (two when the
+    /// access straddles a word boundary).
+    fn words_of(addr: u64) -> [Option<u64>; 2] {
+        let first = addr >> 2;
+        let last = (addr + 3) >> 2;
+        [Some(first), (last != first).then_some(last)]
+    }
+
+    /// Records a 4-byte read by `(warp, lane)` at `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a cross-warp read-after-write conflict.
+    pub fn read(&mut self, addr: u64, warp: usize, lane: usize, pc: u32) {
+        self.checks += 1;
+        let me = Accessor { warp, lane, pc };
+        for w in Self::words_of(addr).into_iter().flatten() {
+            let state = self.words.entry(w).or_default();
+            if let Some(writer) = state.writer {
+                if writer.warp != warp {
+                    self.conflict("read-after-write", addr, me, writer);
+                }
+            }
+            match state.reader {
+                None => state.reader = Some(me),
+                Some(r) if r.warp != warp => state.multi_warp_readers = true,
+                Some(_) => {}
+            }
+        }
+    }
+
+    /// Records a 4-byte write by `(warp, lane)` at `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a cross-warp write-write or write-after-read conflict.
+    pub fn write(&mut self, addr: u64, warp: usize, lane: usize, pc: u32) {
+        self.checks += 1;
+        let me = Accessor { warp, lane, pc };
+        for w in Self::words_of(addr).into_iter().flatten() {
+            let state = self.words.entry(w).or_default();
+            if let Some(writer) = state.writer {
+                if writer.warp != warp {
+                    self.conflict("write-after-write", addr, me, writer);
+                }
+            }
+            if let Some(reader) = state.reader {
+                if reader.warp != warp || state.multi_warp_readers {
+                    self.conflict("write-after-read", addr, me, reader);
+                }
+            }
+            state.writer = Some(me);
+        }
+    }
+
+    /// Reports a cross-warp conflict and aborts the simulation.
+    fn conflict(&self, kind: &str, addr: u64, me: Accessor, other: Accessor) -> ! {
+        panic!(
+            "race sanitizer: kernel {:?}: cross-warp {kind} conflict at {addr:#x}: \
+             warp {} lane {} pc {} conflicts with warp {} lane {} pc {}",
+            self.kernel_name, me.warp, me.lane, me.pc, other.warp, other.lane, other.pc,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_writes_and_shared_reads_pass() {
+        let mut rs = RaceSanitizer::new();
+        rs.begin_launch("clean");
+        // Many warps read the same tree word: fine.
+        for warp in 0..4 {
+            rs.read(0x100, warp, 0, 7);
+        }
+        // Each warp writes its own record: fine.
+        for warp in 0..4 {
+            rs.write(0x1000 + 16 * warp as u64, warp, 0, 9);
+        }
+        // Same-warp read-modify-write of one word: warp-synchronous, fine.
+        rs.read(0x2000, 2, 5, 11);
+        rs.write(0x2000, 2, 5, 12);
+        rs.write(0x2000, 2, 6, 12);
+        assert!(rs.checks() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "write-after-write")]
+    fn cross_warp_ww_panics() {
+        let mut rs = RaceSanitizer::new();
+        rs.begin_launch("racy");
+        rs.write(0x40, 0, 0, 3);
+        rs.write(0x40, 1, 0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "read-after-write")]
+    fn cross_warp_rw_panics() {
+        let mut rs = RaceSanitizer::new();
+        rs.begin_launch("racy");
+        rs.write(0x40, 0, 0, 3);
+        rs.read(0x40, 1, 0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "write-after-read")]
+    fn cross_warp_wr_panics() {
+        let mut rs = RaceSanitizer::new();
+        rs.begin_launch("racy");
+        rs.read(0x40, 0, 0, 3);
+        rs.write(0x40, 1, 0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "write-after-write")]
+    fn straddling_access_conflicts_on_the_shared_word() {
+        let mut rs = RaceSanitizer::new();
+        // Unaligned 4-byte writes overlapping in their second/first word.
+        rs.begin_launch("straddle");
+        rs.write(0x42, 0, 0, 1); // words 0x10, 0x11
+        rs.write(0x46, 1, 0, 1); // words 0x11, 0x12 — 0x11 conflicts
+    }
+
+    #[test]
+    fn launch_boundary_resets_history() {
+        let mut rs = RaceSanitizer::new();
+        rs.begin_launch("a");
+        rs.write(0x40, 0, 0, 3);
+        // A new launch synchronizes: the same word may change owner.
+        rs.begin_launch("b");
+        rs.write(0x40, 1, 0, 3);
+        rs.read(0x40, 1, 2, 4);
+    }
+}

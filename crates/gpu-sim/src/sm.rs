@@ -171,6 +171,7 @@ impl Sm {
         stats: &mut SimStats,
         trace: &TraceHandle,
         mut shadow: Option<&mut crate::absint::ShadowChecker>,
+        mut race: Option<&mut crate::race::RaceSanitizer>,
     ) -> IssueResult {
         let event = cfg.scheduler == SchedulerKind::EventDriven;
         if event {
@@ -350,6 +351,7 @@ impl Sm {
                 warp,
                 d.instr,
                 mask,
+                pc,
                 now,
                 cfg,
                 params,
@@ -358,6 +360,7 @@ impl Sm {
                 self.id,
                 trace,
                 &mut self.coalesce,
+                race.as_deref_mut(),
             );
             if matches!(d.instr, Instr::Exit) {
                 // Record when this warp retired. `now` is the absolute
@@ -407,6 +410,7 @@ impl Sm {
         warp: &mut Warp,
         instr: Instr,
         mask: u32,
+        pc: u32,
         now: u64,
         cfg: &GpuConfig,
         params: &[u32],
@@ -415,6 +419,7 @@ impl Sm {
         sm_id: usize,
         trace: &TraceHandle,
         lines: &mut Vec<(u64, u32)>,
+        mut race: Option<&mut crate::race::RaceSanitizer>,
     ) {
         let alu_done = now + cfg.alu_latency;
         let sfu_done = now + cfg.sfu_latency;
@@ -553,6 +558,9 @@ impl Sm {
                 lines.clear();
                 for l in active_lanes(mask) {
                     let addr = (warp.reg(rs_addr.0, l) as i64 + offset as i64) as u64;
+                    if let Some(rs) = race.as_deref_mut() {
+                        rs.read(addr, warp.id, l, pc);
+                    }
                     let v = gmem.read_u32(addr);
                     warp.set_reg(rd.0, l, v);
                     let line = addr / line_size;
@@ -578,6 +586,9 @@ impl Sm {
                 lines.clear();
                 for l in active_lanes(mask) {
                     let addr = (warp.reg(rs_addr.0, l) as i64 + offset as i64) as u64;
+                    if let Some(rs) = race.as_deref_mut() {
+                        rs.write(addr, warp.id, l, pc);
+                    }
                     gmem.write_u32(addr, warp.reg(rs_val.0, l));
                     let line = addr / line_size;
                     match lines.iter_mut().find(|(ln, _)| *ln == line) {

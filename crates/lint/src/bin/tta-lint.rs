@@ -2,31 +2,45 @@
 //! μop programs, workload kernels, and traversal pipelines.
 //!
 //! ```text
-//! tta-lint [--deny-warnings] [--quiet] [--json]
+//! tta-lint [--deny-warnings] [--deny <pass>]... [--quiet] [--json]
 //! ```
 //!
 //! Exit status is nonzero when any error-severity diagnostic is produced
-//! (or any diagnostic at all under `--deny-warnings`). With `--json` each
-//! diagnostic prints as one JSON object per line (and the human summary
-//! line is suppressed) so CI tooling can consume the findings.
+//! (or any diagnostic at all under `--deny-warnings`; or any warning of a
+//! `--deny`-named pass). With `--json` each diagnostic prints as one JSON
+//! object per line (and the human summary line is suppressed) so CI
+//! tooling can consume the findings. Output order is stable: diagnostics
+//! are sorted by pass, location, and message, so `--json` streams diff
+//! cleanly across runs.
 
-use tta_lint::{lint_shipped, Severity};
+use tta_lint::{lint_shipped, Diagnostic, Severity};
 
 fn main() {
     let mut deny_warnings = false;
+    let mut deny_passes: Vec<String> = Vec::new();
     let mut quiet = false;
     let mut json = false;
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--deny-warnings" => deny_warnings = true,
+            "--deny" => match args.next() {
+                Some(pass) => deny_passes.push(pass),
+                None => {
+                    eprintln!("tta-lint: --deny requires a pass name");
+                    std::process::exit(2);
+                }
+            },
             "--quiet" | "-q" => quiet = true,
             "--json" => json = true,
             "--help" | "-h" => {
-                println!("usage: tta-lint [--deny-warnings] [--quiet] [--json]");
+                println!("usage: tta-lint [--deny-warnings] [--deny <pass>]... [--quiet] [--json]");
                 println!();
                 println!("Statically analyzes every shipped Table III μop program,");
                 println!("workload kernel, and Listing-1 pipeline; exits nonzero on");
-                println!("any error-severity diagnostic. --json emits one JSON object");
+                println!("any error-severity diagnostic. --deny <pass> additionally");
+                println!("fails the gate on warnings of the named pass (repeatable,");
+                println!("e.g. --deny race-freedom). --json emits one JSON object");
                 println!("per diagnostic instead of the human-readable report.");
                 return;
             }
@@ -37,12 +51,25 @@ fn main() {
         }
     }
 
-    let diags = lint_shipped();
+    let mut diags = lint_shipped();
+    // Stable output ordering for CI diffs and the --json line protocol.
+    diags.sort_by(|a: &Diagnostic, b: &Diagnostic| {
+        (a.pass, &a.location, &a.message, a.severity).cmp(&(
+            b.pass,
+            &b.location,
+            &b.message,
+            b.severity,
+        ))
+    });
     let errors = diags
         .iter()
         .filter(|d| d.severity == Severity::Error)
         .count();
     let warnings = diags.len() - errors;
+    let denied = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Warning && deny_passes.iter().any(|p| p == d.pass))
+        .count();
 
     if json {
         for d in &diags {
@@ -53,14 +80,19 @@ fn main() {
             println!("{d}");
         }
         println!(
-            "tta-lint: {} error{}, {} warning{}",
+            "tta-lint: {} error{}, {} warning{}{}",
             errors,
             if errors == 1 { "" } else { "s" },
             warnings,
             if warnings == 1 { "" } else { "s" },
+            if denied > 0 {
+                format!(" ({denied} denied)")
+            } else {
+                String::new()
+            },
         );
     }
 
-    let gate_failed = errors > 0 || (deny_warnings && warnings > 0);
+    let gate_failed = errors > 0 || (deny_warnings && warnings > 0) || denied > 0;
     std::process::exit(if gate_failed { 1 } else { 0 });
 }

@@ -14,8 +14,11 @@
 //!    `ConfigTerminate` condition;
 //! 4. **abstract interpretation** ([`gpu_sim::absint`]) — the `mem-safety`
 //!    pass proves every `Load`/`Store` address interval stays inside a
-//!    declared [`MemContract`], and the `loop-termination` pass demands a
-//!    ranking argument on every CFG back-edge.
+//!    declared [`MemContract`], the `race-freedom` pass proves every
+//!    access respects its allocation's declared cross-thread
+//!    [`gpu_sim::absint::AccessMode`] (tid-affine disjoint write
+//!    footprints), and the `loop-termination` pass demands a ranking
+//!    argument on every CFG back-edge.
 //!
 //! Every layer's findings normalise into one [`Diagnostic`] shape carrying
 //! a [`Severity`], the emitting pass name, and a source location, so the
@@ -24,7 +27,7 @@
 //! programs, workload kernels (with their memory contracts), and
 //! Listing-1 pipelines the workspace ships.
 
-use gpu_sim::absint::{LaunchBounds, MemContract, MemIssue};
+use gpu_sim::absint::{LaunchBounds, MemContract, MemIssue, RaceIssue};
 use gpu_sim::kernel::Kernel;
 use gpu_sim::verify::KernelIssue;
 use tta::dataflow::ProgramIssue;
@@ -216,6 +219,40 @@ pub fn lint_kernel_memory(
         .collect()
 }
 
+/// The `race-freedom` pass: abstractly interprets `kernel` under `bounds`
+/// and proves every `Load`/`Store` respects its allocation's declared
+/// [`gpu_sim::absint::AccessMode`]. A store into a `ReadShared`
+/// allocation, or a tid-independent store into a per-thread-exclusive
+/// one, is a proved race (error); an access whose cross-thread
+/// disjointness can be neither proved nor refuted is a warning the
+/// runtime race sanitizer backs up.
+pub fn lint_kernel_races(
+    kernel: &Kernel,
+    contracts: &[MemContract],
+    bounds: LaunchBounds,
+) -> Vec<Diagnostic> {
+    let abs = gpu_sim::absint::analyze(kernel, bounds);
+    gpu_sim::absint::check_races(kernel, &abs, contracts)
+        .issues
+        .iter()
+        .map(|issue| {
+            let pc = match issue {
+                RaceIssue::ProvedRace { pc, .. } | RaceIssue::PossibleRace { pc, .. } => *pc,
+            };
+            Diagnostic {
+                severity: if issue.is_error() {
+                    Severity::Error
+                } else {
+                    Severity::Warning
+                },
+                pass: "race-freedom",
+                location: format!("{}:pc{pc}", kernel.name),
+                message: issue.to_string(),
+            }
+        })
+        .collect()
+}
+
 /// The `loop-termination` pass: every CFG back-edge must carry a ranking
 /// argument (monotone counter, in-body exit condition, or a reachable
 /// `Exit`). A loop with none is an error — a warp entering it can spin
@@ -351,6 +388,10 @@ pub fn shipped_kernel_inventory() -> Vec<ShippedKernel> {
             workloads::btree::traverse_only_kernel(16),
             workloads::btree::traverse_only_contracts(16, pool),
         ),
+        (
+            workloads::nbody::merged_traverse_integrate_kernel(),
+            workloads::nbody::merged_traverse_integrate_contracts(pool),
+        ),
     ];
     entries
         .into_iter()
@@ -408,6 +449,7 @@ pub fn lint_shipped() -> Vec<Diagnostic> {
     for s in shipped_kernel_inventory() {
         diags.extend(lint_kernel(&s.kernel));
         diags.extend(lint_kernel_memory(&s.kernel, &s.contracts, s.bounds));
+        diags.extend(lint_kernel_races(&s.kernel, &s.contracts, s.bounds));
         diags.extend(lint_kernel_termination(&s.kernel));
     }
     for p in shipped_pipelines() {

@@ -7,7 +7,7 @@
 //! can be injected at random positions, a deterministic RNG sweeps
 //! several variants of it.
 
-use gpu_sim::absint::{ContractLen, LaunchBounds, MemContract};
+use gpu_sim::absint::{AccessMode, ContractLen, LaunchBounds, MemContract};
 use gpu_sim::isa::{Instr, Reg, SReg};
 use gpu_sim::kernel::{Kernel, KernelBuilder};
 use rand::rngs::StdRng;
@@ -17,8 +17,8 @@ use tta::programs::{Operand, Uop, UopProgram};
 use tta::ttaplus::TtaPlusConfig;
 use tta::OpUnit;
 use tta_lint::{
-    has_errors, lint_kernel, lint_kernel_memory, lint_kernel_termination, lint_pipeline,
-    lint_program, lint_shipped, Severity,
+    has_errors, lint_kernel, lint_kernel_memory, lint_kernel_races, lint_kernel_termination,
+    lint_pipeline, lint_program, lint_shipped, Severity,
 };
 
 fn cfg() -> TtaPlusConfig {
@@ -275,6 +275,7 @@ fn fixture_mem_safety_provably_oob_load() {
         name: "queries",
         base_param: 0,
         len: ContractLen::BytesPerThread(16),
+        mode: AccessMode::ReadWriteShared,
     }];
     let diags = lint_kernel_memory(&k.build(), &contracts, LaunchBounds { num_threads: 64 });
     assert_flagged(&diags, "mem-safety", "oob-load-fixture:pc1");
@@ -299,6 +300,7 @@ fn fixture_mem_safety_possibly_oob_is_warning_severity() {
         name: "queries",
         base_param: 0,
         len: ContractLen::BytesPerThread(8),
+        mode: AccessMode::ReadWriteShared,
     }];
     let diags = lint_kernel_memory(&k.build(), &contracts, LaunchBounds { num_threads: 64 });
     assert!(
@@ -308,6 +310,101 @@ fn fixture_mem_safety_possibly_oob_is_warning_severity() {
         "{diags:#?}"
     );
     assert!(!has_errors(&diags), "{diags:#?}");
+}
+
+#[test]
+fn fixture_race_store_to_read_shared() {
+    // Storing into an allocation the contract declares ReadShared is a
+    // proved race no matter how the address is formed — even a perfectly
+    // tid-affine pattern writes memory other threads are reading.
+    let mut k = KernelBuilder::new("shared-store-fixture");
+    let tid = k.reg();
+    let t = k.reg();
+    let off = k.reg();
+    k.mov_sreg(tid, SReg::ThreadId);
+    k.mov_sreg(t, SReg::Param(1));
+    k.imul_imm(off, tid, 16);
+    k.iadd(t, t, off);
+    k.store(tid, t, 0);
+    k.exit();
+    let contracts = [MemContract {
+        name: "tree",
+        base_param: 1,
+        len: ContractLen::Bytes(4096),
+        mode: AccessMode::ReadShared,
+    }];
+    let diags = lint_kernel_races(&k.build(), &contracts, LaunchBounds { num_threads: 64 });
+    assert_flagged(&diags, "race-freedom", "shared-store-fixture:pc4");
+}
+
+#[test]
+fn fixture_race_tid_independent_store() {
+    // Every thread stores to base + off with no tid term: under a
+    // WriteExclusivePerThread contract all 64 threads hit the same word,
+    // a proved write-write race. Sweep the constant offset.
+    let mut rng = StdRng::seed_from_u64(0x9ace);
+    for _case in 0..8 {
+        let off = 4 * rng.random_range(0i32..4);
+        let mut k = KernelBuilder::new("broadcast-store-fixture");
+        let tid = k.reg();
+        let q = k.reg();
+        k.mov_sreg(tid, SReg::ThreadId);
+        k.mov_sreg(q, SReg::Param(0));
+        k.store(tid, q, off);
+        k.exit();
+        let contracts = [MemContract {
+            name: "queries",
+            base_param: 0,
+            len: ContractLen::BytesPerThread(16),
+            mode: AccessMode::WriteExclusivePerThread { stride: 16 },
+        }];
+        let diags = lint_kernel_races(&k.build(), &contracts, LaunchBounds { num_threads: 64 });
+        assert_flagged(&diags, "race-freedom", "broadcast-store-fixture:pc2");
+    }
+}
+
+#[test]
+fn fixture_race_stride_mismatch_is_warning_severity() {
+    // tid * 8 against a declared 16-byte-per-thread record: adjacent
+    // threads overlap half a record, but the analysis cannot prove two
+    // threads reach the same word on the same launch, so the finding
+    // must stay a (gate-denied, but warning-severity) diagnostic.
+    let mut k = KernelBuilder::new("stride-mismatch-fixture");
+    let tid = k.reg();
+    let q = k.reg();
+    let off = k.reg();
+    k.mov_sreg(tid, SReg::ThreadId);
+    k.mov_sreg(q, SReg::Param(0));
+    k.imul_imm(off, tid, 8);
+    k.iadd(q, q, off);
+    k.store(tid, q, 0);
+    k.exit();
+    let contracts = [MemContract {
+        name: "queries",
+        base_param: 0,
+        len: ContractLen::BytesPerThread(16),
+        mode: AccessMode::WriteExclusivePerThread { stride: 16 },
+    }];
+    let diags = lint_kernel_races(&k.build(), &contracts, LaunchBounds { num_threads: 64 });
+    assert!(
+        diags.iter().any(|d| d.pass == "race-freedom"
+            && d.severity == Severity::Warning
+            && d.location.contains("stride-mismatch-fixture:pc4")),
+        "{diags:#?}"
+    );
+    assert!(!has_errors(&diags), "{diags:#?}");
+}
+
+#[test]
+fn shipped_inventory_is_race_free() {
+    // Stronger than the zero-errors negative above: the race-freedom
+    // pass must stay completely silent on the shipped kernels — no
+    // PossibleRace warnings either, since CI runs `--deny race-freedom`.
+    let race_diags: Vec<_> = lint_shipped()
+        .into_iter()
+        .filter(|d| d.pass == "race-freedom")
+        .collect();
+    assert!(race_diags.is_empty(), "{race_diags:#?}");
 }
 
 #[test]

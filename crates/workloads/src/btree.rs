@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use gpu_sim::absint::{ContractLen, MemContract};
+use gpu_sim::absint::{AccessMode, ContractLen, MemContract};
 use gpu_sim::isa::SReg;
 use gpu_sim::kernel::{Kernel, KernelBuilder};
 use gpu_sim::GpuConfig;
@@ -250,11 +250,15 @@ pub fn traverse_only_contracts(record_size: u32, tree_bytes: u64) -> Vec<MemCont
             name: "queries",
             base_param: params::QUERIES,
             len: ContractLen::BytesPerThread(record_size as u64),
+            mode: AccessMode::WriteExclusivePerThread {
+                stride: record_size as u64,
+            },
         },
         MemContract {
             name: "tree",
             base_param: params::TREE,
             len: ContractLen::Bytes(tree_bytes),
+            mode: AccessMode::ReadShared,
         },
     ]
 }

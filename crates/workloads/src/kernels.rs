@@ -16,7 +16,7 @@
 //! | 2 | per-thread stack buffer base (kernels that need one) |
 //! | 3 | auxiliary data base (primitives / particles) |
 
-use gpu_sim::absint::{ContractLen, MemContract};
+use gpu_sim::absint::{AccessMode, ContractLen, MemContract};
 use gpu_sim::isa::{Cmp, Reg, SReg};
 use gpu_sim::kernel::{Kernel, KernelBuilder};
 
@@ -58,11 +58,15 @@ pub fn btree_search_contracts(tree_bytes: u64) -> Vec<MemContract> {
             name: "queries",
             base_param: params::QUERIES,
             len: ContractLen::BytesPerThread(BTREE_RECORD as u64),
+            mode: AccessMode::WriteExclusivePerThread {
+                stride: BTREE_RECORD as u64,
+            },
         },
         MemContract {
             name: "tree",
             base_param: params::TREE,
             len: ContractLen::Bytes(tree_bytes),
+            mode: AccessMode::ReadShared,
         },
     ]
 }
@@ -188,21 +192,31 @@ pub fn nbody_force_contracts(tree_bytes: u64) -> Vec<MemContract> {
             name: "queries",
             base_param: params::QUERIES,
             len: ContractLen::BytesPerThread(NBODY_RECORD as u64),
+            mode: AccessMode::WriteExclusivePerThread {
+                stride: NBODY_RECORD as u64,
+            },
         },
         MemContract {
             name: "tree",
             base_param: params::TREE,
             len: ContractLen::Bytes(tree_bytes),
+            mode: AccessMode::ReadShared,
         },
         MemContract {
             name: "stacks",
             base_param: params::STACKS,
             len: ContractLen::BytesPerThread(THREAD_STACK_BYTES as u64),
+            mode: AccessMode::WriteExclusivePerThread {
+                stride: THREAD_STACK_BYTES as u64,
+            },
         },
+        // The force pass gathers every interacting particle's record:
+        // threads read each other's entries by design, and nothing writes.
         MemContract {
             name: "particles",
             base_param: params::AUX,
             len: ContractLen::BytesPerThread(16),
+            mode: AccessMode::ReadShared,
         },
     ]
 }
@@ -410,11 +424,15 @@ pub fn nbody_integrate_contracts() -> Vec<MemContract> {
             name: "queries",
             base_param: params::QUERIES,
             len: ContractLen::BytesPerThread(NBODY_RECORD as u64),
+            mode: AccessMode::WriteExclusivePerThread {
+                stride: NBODY_RECORD as u64,
+            },
         },
         MemContract {
             name: "velocities",
             base_param: params::AUX,
             len: ContractLen::BytesPerThread(12),
+            mode: AccessMode::WriteExclusivePerThread { stride: 12 },
         },
     ]
 }
@@ -503,21 +521,27 @@ pub fn bvh_trace_contracts(tree_bytes: u64, prim_bytes: u64) -> Vec<MemContract>
             name: "queries",
             base_param: params::QUERIES,
             len: ContractLen::BytesPerThread(48),
+            mode: AccessMode::WriteExclusivePerThread { stride: 48 },
         },
         MemContract {
             name: "tree",
             base_param: params::TREE,
             len: ContractLen::Bytes(tree_bytes),
+            mode: AccessMode::ReadShared,
         },
         MemContract {
             name: "stacks",
             base_param: params::STACKS,
             len: ContractLen::BytesPerThread(THREAD_STACK_BYTES as u64),
+            mode: AccessMode::WriteExclusivePerThread {
+                stride: THREAD_STACK_BYTES as u64,
+            },
         },
         MemContract {
             name: "prims",
             base_param: params::AUX,
             len: ContractLen::Bytes(prim_bytes),
+            mode: AccessMode::ReadShared,
         },
     ]
 }

@@ -17,7 +17,7 @@
 use std::sync::Arc;
 
 use geometry::{Ray, Vec3};
-use gpu_sim::absint::{ContractLen, MemContract};
+use gpu_sim::absint::{AccessMode, ContractLen, MemContract};
 use gpu_sim::isa::SReg;
 use gpu_sim::kernel::{Kernel, KernelBuilder};
 use gpu_sim::GpuConfig;
@@ -420,11 +420,15 @@ pub fn rt_contracts(tree_bytes: u64) -> Vec<MemContract> {
             name: "queries",
             base_param: params::QUERIES,
             len: ContractLen::BytesPerThread(RAY_RECORD_SIZE as u64),
+            mode: AccessMode::WriteExclusivePerThread {
+                stride: RAY_RECORD_SIZE as u64,
+            },
         },
         MemContract {
             name: "tree",
             base_param: params::TREE,
             len: ContractLen::Bytes(tree_bytes),
+            mode: AccessMode::ReadShared,
         },
     ]
 }

@@ -23,7 +23,7 @@ use crate::btree::traverse_only_kernel;
 use crate::cacheable::CacheableExperiment;
 use crate::kernels::{params, THREAD_STACK_BYTES};
 use crate::runner::{attach_platform, build_gpu, harvest_accel, Platform, RunResult};
-use gpu_sim::absint::{ContractLen, MemContract};
+use gpu_sim::absint::{AccessMode, ContractLen, MemContract};
 
 /// One R-Tree experiment configuration.
 #[derive(Debug, Clone)]
@@ -243,21 +243,29 @@ pub fn rtree_range_contracts(tree_bytes: u64, entry_bytes: u64) -> Vec<MemContra
             name: "queries",
             base_param: params::QUERIES,
             len: ContractLen::BytesPerThread(QUERY_RECORD_SIZE as u64),
+            mode: AccessMode::WriteExclusivePerThread {
+                stride: QUERY_RECORD_SIZE as u64,
+            },
         },
         MemContract {
             name: "tree",
             base_param: params::TREE,
             len: ContractLen::Bytes(tree_bytes),
+            mode: AccessMode::ReadShared,
         },
         MemContract {
             name: "stacks",
             base_param: params::STACKS,
             len: ContractLen::BytesPerThread(THREAD_STACK_BYTES as u64),
+            mode: AccessMode::WriteExclusivePerThread {
+                stride: THREAD_STACK_BYTES as u64,
+            },
         },
         MemContract {
             name: "entries",
             base_param: params::AUX,
             len: ContractLen::Bytes(entry_bytes),
+            mode: AccessMode::ReadShared,
         },
     ]
 }

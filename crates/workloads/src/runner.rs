@@ -160,11 +160,17 @@ impl RunResult {
 /// `TTA_SHADOW_CHECK` environment variable is set to `1`, every launch is
 /// shadow-checked against the abstract interpreter (the CI soundness
 /// gate): a register value or SIMT stack depth escaping its static
-/// abstraction aborts the run.
+/// abstraction aborts the run. When `TTA_RACE_CHECK` is set to `1`, every
+/// launch additionally runs the dynamic race sanitizer: a cross-warp
+/// write-write or read-write conflict on global memory aborts the run —
+/// the runtime gate behind the static race-freedom proofs.
 pub fn build_gpu(cfg: &GpuConfig, mem_bytes: usize) -> Gpu {
     let mut gpu = Gpu::new(cfg.clone(), mem_bytes);
     if std::env::var("TTA_SHADOW_CHECK").is_ok_and(|v| v == "1") {
         gpu.enable_shadow_check();
+    }
+    if std::env::var("TTA_RACE_CHECK").is_ok_and(|v| v == "1") {
+        gpu.enable_race_check();
     }
     gpu
 }

@@ -1,16 +1,18 @@
 //! The runtime soundness gate: every shipped workload runs shadow-checked
-//! against the abstract interpreter, across the SIMT baseline and the
-//! accelerated platforms.
+//! and race-checked against the abstract interpreter, across the SIMT
+//! baseline and the accelerated platforms.
 //!
 //! Each launch re-derives the static abstraction for its kernel and
 //! asserts — at every instruction issue — that all live register values
 //! and the SIMT reconvergence-stack depth stay inside what the analyzer
-//! proved. A panic here means the `mem-safety`/`simt-stack-bound` proofs
-//! in `tta-lint` do not cover the machine they claim to model.
+//! proved, and that no two warps touch the same global-memory word
+//! conflictingly within a launch. A panic here means the
+//! `mem-safety`/`simt-stack-bound`/`race-freedom` proofs in `tta-lint`
+//! do not cover the machine they claim to model.
 //!
-//! The gate is wired through the `TTA_SHADOW_CHECK` environment variable
-//! that `runner::build_gpu` reads; this test binary owns the variable, so
-//! it cannot leak into other test binaries.
+//! The gates are wired through the `TTA_SHADOW_CHECK` / `TTA_RACE_CHECK`
+//! environment variables that `runner::build_gpu` reads; this test binary
+//! owns the variables, so they cannot leak into other test binaries.
 
 use gpu_sim::GpuConfig;
 use rta::RtaConfig;
@@ -26,6 +28,7 @@ use tta_workloads::runner::Platform;
 
 fn enable_shadow() {
     std::env::set_var("TTA_SHADOW_CHECK", "1");
+    std::env::set_var("TTA_RACE_CHECK", "1");
 }
 
 #[test]
@@ -38,6 +41,18 @@ fn build_gpu_honors_the_shadow_check_env_var() {
     assert!(
         values > 0 && stacks > 0,
         "shadow checker did not engage: {values} value / {stacks} stack checks"
+    );
+}
+
+#[test]
+fn build_gpu_honors_the_race_check_env_var() {
+    enable_shadow();
+    let mut gpu = tta_workloads::runner::build_gpu(&GpuConfig::small_test(), 1 << 20);
+    let kernel = tta_workloads::kernels::nbody_integrate_kernel();
+    gpu.launch(&kernel, 64, &[0, 0, 0, 4096]);
+    assert!(
+        gpu.race_checks() > 0,
+        "race sanitizer did not engage: 0 access checks"
     );
 }
 

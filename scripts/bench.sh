@@ -41,7 +41,7 @@ cp results/fig13.journal.json results/fig13.timing.json results/fig13.csv "$SAVE
 
 case "$MODE" in
     quick)        ./target/release/fig13 --quick --threads 1;;
-    quick-shadow) TTA_SHADOW_CHECK=1 ./target/release/fig13 --quick --threads 1;;
+    quick-shadow) TTA_SHADOW_CHECK=1 TTA_RACE_CHECK=1 ./target/release/fig13 --quick --threads 1;;
     full)         ./target/release/fig13 --threads 1;;
     *) echo "unknown mode '$MODE' (want quick|quick-shadow|full)" >&2; exit 2;;
 esac

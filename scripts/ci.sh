@@ -8,7 +8,10 @@
 #      program, workload kernel, and pipeline (nonzero exit on any
 #      error-severity diagnostic), including the abstract-interpretation
 #      proving passes (mem-safety, simt-stack-bound, loop-termination,
-#      terminate-reachable); also smokes the --json output mode
+#      terminate-reachable, race-freedom); also smokes the --json output
+#      mode. race-freedom runs under --deny: even warning-severity
+#      PossibleRace findings fail the gate, because the shipped kernels
+#      are supposed to be *proved* race-free, not merely un-disproved
 #   4. cargo build --release && cargo test  — the tier-1 gate
 #   5. cargo test --workspace  — every crate's unit/integration/doc tests
 #      (including the golden-trace and trace-invariant suites in
@@ -18,9 +21,11 @@
 #      journal lands under results/
 #   7. a traced --quick sweep, with every emitted Chrome trace validated
 #      by the tta-trace-check binary
-#   8. a shadow-checked --quick fig13 sweep (TTA_SHADOW_CHECK=1): the
-#      runtime soundness gate asserting every register value and SIMT
-#      stack depth stays inside its static abstraction
+#   8. a shadow- and race-checked --quick fig13 sweep (TTA_SHADOW_CHECK=1
+#      TTA_RACE_CHECK=1): the runtime soundness gate asserting every
+#      register value and SIMT stack depth stays inside its static
+#      abstraction, and that no two warps conflict on a global-memory
+#      word within a launch
 #   9. the perf-trajectory gate: BENCH_fig13.json must parse against its
 #      schema, and the wall-clock of step 8 must not regress more than
 #      25% against the latest committed quick-shadow entry (record new
@@ -55,9 +60,14 @@ run cargo clippy "${CARGO_FLAGS[@]}" --workspace --all-targets -- -D warnings
 
 # Static analysis: every shipped Table III program, workload kernel, and
 # Listing-1 pipeline must produce zero error-severity diagnostics across
-# all passes, including the abstract-interpretation provers. The --json
-# smoke checks the machine-readable output stays one object per line.
-run cargo run "${CARGO_FLAGS[@]}" -p tta-lint --bin tta-lint
+# all passes, including the abstract-interpretation provers. The
+# race-freedom pass is additionally held to zero *warnings* via --deny:
+# a PossibleRace on a shipped kernel means the proof didn't go through.
+# (A global --deny-warnings is deliberately not used — the
+# register-pressure and possibly-OOB mem-safety warnings are intentional,
+# documented, and asserted by the lint test suite.) The --json smoke
+# checks the machine-readable output stays one object per line.
+run cargo run "${CARGO_FLAGS[@]}" -p tta-lint --bin tta-lint -- --deny race-freedom
 # The banner must be printed outside the pipeline: `run` echoes to
 # stdout, and inside the pipe that echo would reach the JSON validator
 # as a bogus first line.
@@ -100,12 +110,14 @@ ls results/trace-smoke/*.trace.json >/dev/null 2>&1 || { echo "no traces under r
 run cargo run "${CARGO_FLAGS[@]}" --release -p tta-trace --bin tta-trace-check -- results/trace-smoke/*.trace.json
 
 # Runtime soundness gate: rerun the Fig. 13 sweep with every launch
-# shadow-checked against the abstract interpreter. A register value or
-# SIMT stack depth escaping its static abstraction aborts the run. The
-# sweep's own wall-clock (from the timing sidecar, excluding cargo
-# overhead) doubles as the perf-trajectory measurement for step 9.
-echo "==> TTA_SHADOW_CHECK=1 fig13 --quick (soundness gate)"
-TTA_SHADOW_CHECK=1 cargo run "${CARGO_FLAGS[@]}" --release -p tta-bench --bin fig13 -- --quick --threads 2
+# shadow-checked against the abstract interpreter and race-checked by the
+# dynamic sanitizer. A register value or SIMT stack depth escaping its
+# static abstraction, or two warps conflicting on a global-memory word
+# within a launch, aborts the run. The sweep's own wall-clock (from the
+# timing sidecar, excluding cargo overhead) doubles as the
+# perf-trajectory measurement for step 9.
+echo "==> TTA_SHADOW_CHECK=1 TTA_RACE_CHECK=1 fig13 --quick (soundness gate)"
+TTA_SHADOW_CHECK=1 TTA_RACE_CHECK=1 cargo run "${CARGO_FLAGS[@]}" --release -p tta-bench --bin fig13 -- --quick --threads 2
 
 # Perf-trajectory gate: the committed BENCH_fig13.json must be
 # schema-valid, and the shadow-checked sweep above must not be more than

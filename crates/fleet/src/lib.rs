@@ -1,0 +1,46 @@
+//! tta-fleet: a sharded multi-device serving cluster on the deterministic
+//! virtual clock.
+//!
+//! `tta-serve` answers *one device's* open-loop question — latency
+//! percentiles of a single accelerator under a batching policy. A deployed
+//! tree-query service runs a **fleet**: the tree is partitioned into
+//! shards replicated across devices, a router spreads arrivals, priority
+//! classes gate admission, and capacity follows load. This crate models
+//! that layer, reusing the per-device mechanics of
+//! [`serve::DeviceEngine`] unchanged:
+//!
+//! * [`shard`] — contiguous universe partition, round-robin replica
+//!   placement, hot-shard extra replication; off-replica service pays a
+//!   per-query remote-fetch penalty inside the launch.
+//! * [`router`] — round-robin, join-shortest-queue, power-of-two-choices
+//!   (seeded), and locality-aware routing with deterministic tie-breaks.
+//! * [`slo`] — priority classes with deadlines and cluster-wide queue
+//!   caps; overload either drops at admission or degrades (spills off the
+//!   shard locality).
+//! * [`autoscale`] — warm/cold replica scaling driven by queue depth, with
+//!   a cold-start penalty charged to the first batch after warming.
+//! * [`cluster`] — the N-device event loop on one global virtual clock;
+//!   every device keeps the exact partition `busy + queue_wait + idle ==
+//!   horizon`, so cluster cycles sum to `devices × horizon`.
+//! * [`metrics`] / [`experiment`] — the journal's schema-v4 `"fleet"`
+//!   section and the harness-sweepable [`FleetExperiment`].
+//!
+//! Determinism contract: a fleet run is a pure function of (inputs, seed,
+//! config). The `fleet` binary in `tta-bench` writes
+//! `results/fleet.journal.json`, byte-identical at any `--threads`.
+
+pub mod autoscale;
+pub mod cluster;
+pub mod experiment;
+pub mod metrics;
+pub mod router;
+pub mod shard;
+pub mod slo;
+
+pub use autoscale::{AutoscaleConfig, Autoscaler};
+pub use cluster::{run_fleet, FleetConfig, FleetDeviceReport, FleetOutcome, FleetQueryOutcome};
+pub use experiment::FleetExperiment;
+pub use metrics::summarize;
+pub use router::{Router, RouterPolicy};
+pub use shard::{ShardMap, ShardSpec};
+pub use slo::{OverloadAction, SloClass, SloConfig};

@@ -1,0 +1,173 @@
+//! Tree sharding and replica placement.
+//!
+//! The query universe is **hash-partitioned**: entry `e` lives in shard
+//! `e % shards` (round-robin interleave — the moral equivalent of hash
+//! sharding in a distributed store). This decorrelates shard identity from
+//! stream position, which matters because the serving contract maps stream
+//! query `i` onto universe entry `i % universe`: a *contiguous* (range)
+//! partition would make sequential stream ids sweep one shard at a time,
+//! turning locality routing into a single-device hotspot. (Range
+//! partitioning is available as [`workloads::gen::shard_of`] for analyses
+//! that want it.) Each shard is replicated onto a round-robin set of
+//! devices. A query served by a device that does not hold its shard is a
+//! *shard miss* and pays the configured remote-fetch penalty inside that
+//! batch's launch.
+
+/// How the universe is partitioned and replicated across the fleet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Number of contiguous shards the query universe is split into.
+    pub shards: usize,
+    /// Replicas per shard (clamped to the device count at placement).
+    pub replication: usize,
+    /// The first `hot_shards` shards are considered hot and get
+    /// `hot_replication` replicas instead of `replication`.
+    pub hot_shards: usize,
+    /// Replication factor for hot shards.
+    pub hot_replication: usize,
+}
+
+impl ShardSpec {
+    /// Uniform spec: every shard gets the same replication factor.
+    pub fn uniform(shards: usize, replication: usize) -> Self {
+        ShardSpec {
+            shards,
+            replication,
+            hot_shards: 0,
+            hot_replication: replication,
+        }
+    }
+}
+
+/// The placed shard topology: which devices hold a replica of each shard.
+///
+/// Placement is deterministic: shard `s`'s replicas are devices
+/// `(s + k) % devices` for `k < r(s)`, stored ascending so every iteration
+/// order (and router tie-break) is reproducible.
+#[derive(Debug, Clone)]
+pub struct ShardMap {
+    universe: usize,
+    spec: ShardSpec,
+    /// Per shard: ascending device ids holding a replica.
+    replicas: Vec<Vec<usize>>,
+    /// Per device: residency bitmap over shards.
+    resident: Vec<Vec<bool>>,
+}
+
+impl ShardMap {
+    /// Places `spec` over a `universe`-entry query space on `devices`
+    /// devices.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `universe`, `devices`, or `spec.shards` is zero.
+    pub fn place(universe: usize, devices: usize, spec: &ShardSpec) -> Self {
+        assert!(universe > 0, "empty query universe");
+        assert!(devices > 0, "fleet needs at least one device");
+        assert!(spec.shards > 0, "shard count must be positive");
+        let replicas: Vec<Vec<usize>> = (0..spec.shards)
+            .map(|s| {
+                let r = if s < spec.hot_shards {
+                    spec.hot_replication
+                } else {
+                    spec.replication
+                };
+                let r = r.clamp(1, devices);
+                let mut held: Vec<usize> = (0..r).map(|k| (s + k) % devices).collect();
+                held.sort_unstable();
+                held
+            })
+            .collect();
+        let mut resident = vec![vec![false; spec.shards]; devices];
+        for (s, held) in replicas.iter().enumerate() {
+            for &d in held {
+                resident[d][s] = true;
+            }
+        }
+        ShardMap {
+            universe,
+            spec: spec.clone(),
+            replicas,
+            resident,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.spec.shards
+    }
+
+    /// The placement spec this map was built from.
+    pub fn spec(&self) -> &ShardSpec {
+        &self.spec
+    }
+
+    /// Shard of stream query `id` (stream ids wrap onto the universe the
+    /// same way [`serve::BatchService`] maps them onto query entries).
+    pub fn shard_of_query(&self, id: usize) -> usize {
+        (id % self.universe) % self.spec.shards
+    }
+
+    /// Devices holding a replica of `shard`, ascending.
+    pub fn replicas(&self, shard: usize) -> &[usize] {
+        &self.replicas[shard]
+    }
+
+    /// Whether `device` holds a replica of `shard`.
+    pub fn holds(&self, device: usize, shard: usize) -> bool {
+        self.resident[device][shard]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_placement_is_ascending_and_total() {
+        let map = ShardMap::place(1000, 4, &ShardSpec::uniform(8, 2));
+        for s in 0..8 {
+            let r = map.replicas(s);
+            assert_eq!(r.len(), 2);
+            assert!(r.windows(2).all(|w| w[0] < w[1]), "replicas sorted");
+            for &d in r {
+                assert!(map.holds(d, s));
+            }
+        }
+        // Shard 0 lands on devices {0, 1}; shard 3 on {3, 0} → {0, 3}.
+        assert_eq!(map.replicas(0), &[0, 1]);
+        assert_eq!(map.replicas(3), &[0, 3]);
+    }
+
+    #[test]
+    fn hot_shards_get_extra_replicas() {
+        let spec = ShardSpec {
+            shards: 4,
+            replication: 1,
+            hot_shards: 1,
+            hot_replication: 3,
+        };
+        let map = ShardMap::place(100, 4, &spec);
+        assert_eq!(map.replicas(0).len(), 3);
+        assert_eq!(map.replicas(1).len(), 1);
+    }
+
+    #[test]
+    fn replication_clamps_to_device_count() {
+        let map = ShardMap::place(100, 2, &ShardSpec::uniform(3, 8));
+        for s in 0..3 {
+            assert_eq!(map.replicas(s), &[0, 1]);
+        }
+    }
+
+    #[test]
+    fn query_ids_wrap_onto_the_universe_and_interleave_shards() {
+        let map = ShardMap::place(100, 2, &ShardSpec::uniform(4, 1));
+        assert_eq!(map.shard_of_query(0), map.shard_of_query(100));
+        // Hash partition: consecutive stream ids cycle through shards.
+        assert_eq!(
+            (0..5).map(|i| map.shard_of_query(i)).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 0]
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! Priority/SLO classes and admission control.
+//!
+//! Every offered query belongs to one class (assigned deterministically by
+//! [`workloads::gen::class_assignments`]). A class carries a latency
+//! deadline — completions past it count as SLO misses — and an optional
+//! cluster-wide queued-query cap. When the cap is hit, the class's
+//! overload action decides: **drop** the query at admission, or **degrade**
+//! it (admit, but spill it off its shard locality onto the globally
+//! least-loaded device).
+
+/// What to do with a query arriving while its class is over its cap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverloadAction {
+    /// Reject at admission (counted as a drop; the query never queues).
+    Drop,
+    /// Admit, but degrade: locality routing is bypassed so the query
+    /// lands on the least-loaded active device, shard miss or not.
+    Spill,
+}
+
+/// One priority class of the offered stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SloClass {
+    /// Label for journals (e.g. `interactive`, `bulk`).
+    pub name: String,
+    /// Latency SLO in cycles; completions above it are SLO misses.
+    pub deadline_cycles: u64,
+    /// Relative share of the offered stream (integer weight).
+    pub weight: u32,
+    /// Cluster-wide cap on this class's queued (admitted, unlaunched)
+    /// queries. `None` admits unconditionally.
+    pub queue_cap: Option<usize>,
+    /// Overload behavior once `queue_cap` is reached.
+    pub overload: OverloadAction,
+}
+
+/// The fleet's class mix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SloConfig {
+    /// Classes in priority order; class indices in the stream refer here.
+    pub classes: Vec<SloClass>,
+}
+
+impl SloConfig {
+    /// One class covering the whole stream — no admission control, only a
+    /// deadline for SLO-miss accounting.
+    pub fn single(deadline_cycles: u64) -> Self {
+        SloConfig {
+            classes: vec![SloClass {
+                name: "all".into(),
+                deadline_cycles,
+                weight: 1,
+                queue_cap: None,
+                overload: OverloadAction::Drop,
+            }],
+        }
+    }
+
+    /// The bench's two-tier mix: a latency-sensitive `interactive` class
+    /// (3/4 of traffic, uncapped) and a `bulk` class (1/4) that is dropped
+    /// once `bulk_cap` of its queries are queued cluster-wide.
+    pub fn two_tier(interactive_deadline: u64, bulk_deadline: u64, bulk_cap: usize) -> Self {
+        SloConfig {
+            classes: vec![
+                SloClass {
+                    name: "interactive".into(),
+                    deadline_cycles: interactive_deadline,
+                    weight: 3,
+                    queue_cap: None,
+                    overload: OverloadAction::Drop,
+                },
+                SloClass {
+                    name: "bulk".into(),
+                    deadline_cycles: bulk_deadline,
+                    weight: 1,
+                    queue_cap: Some(bulk_cap),
+                    overload: OverloadAction::Drop,
+                },
+            ],
+        }
+    }
+
+    /// Class weights, in class order — the shape
+    /// [`workloads::gen::class_assignments`] consumes.
+    pub fn weights(&self) -> Vec<u32> {
+        self.classes.iter().map(|c| c.weight).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_the_documented_shape() {
+        let s = SloConfig::single(5000);
+        assert_eq!(s.classes.len(), 1);
+        assert_eq!(s.weights(), vec![1]);
+        assert!(s.classes[0].queue_cap.is_none());
+
+        let t = SloConfig::two_tier(2000, 20_000, 64);
+        assert_eq!(t.classes.len(), 2);
+        assert_eq!(t.weights(), vec![3, 1]);
+        assert_eq!(t.classes[1].queue_cap, Some(64));
+        assert!(t.classes[0].deadline_cycles < t.classes[1].deadline_cycles);
+    }
+}

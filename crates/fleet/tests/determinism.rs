@@ -1,0 +1,78 @@
+//! The fleet determinism contract: a fleet sweep — N-device cluster loop,
+//! routing, admission control, autoscaling and all — writes a
+//! byte-identical journal whether it runs on 1 worker thread or 4. Every
+//! cluster decision (route, drop, scale) is a pure function of
+//! virtual-clock state and the seed, so nothing host- or
+//! schedule-dependent can leak into the schema-v4 `"fleet"` section.
+
+use std::path::Path;
+
+use gpu_sim::GpuConfig;
+use harness::{prepare, InputCache, Sweep};
+use serve::{BatchPolicy, ServeBackend, ServeWorkload};
+use trees::BTreeFlavor;
+use tta_fleet::{AutoscaleConfig, FleetExperiment, RouterPolicy, ShardSpec, SloConfig};
+
+/// A small but real fleet sweep: two routers × two device counts over an
+/// actual simulated GPU, with sharding, a two-tier class mix, and one
+/// autoscaled point — sharing inputs through the cache like the `fleet`
+/// binary does.
+fn run_sweep(threads: usize, dir: &Path) -> Vec<u8> {
+    let cache = InputCache::new();
+    let mut sweep = Sweep::new("fleet-determinism", threads);
+    for router in [RouterPolicy::PowerOfTwo, RouterPolicy::LocalityAware] {
+        for devices in [2usize, 4] {
+            let mut e = FleetExperiment::new(
+                ServeWorkload::BTree {
+                    flavor: BTreeFlavor::BTree,
+                    keys: 2000,
+                    universe: 256,
+                },
+                ServeBackend::Tta,
+                devices,
+                router,
+                BatchPolicy::Continuous { max_warps: 4 },
+                160,
+                120.0 / devices as f64,
+            );
+            e.gpu = GpuConfig::small_test();
+            e.shards = ShardSpec::uniform(devices, 1);
+            e.shard_miss_penalty = 200;
+            e.slo = SloConfig::two_tier(4000, 40_000, 24);
+            if devices == 4 {
+                e.autoscale = Some(AutoscaleConfig {
+                    min_warm: 2,
+                    scale_up_depth: 8,
+                    scale_down_idle: 2000,
+                    cold_start_cycles: 400,
+                });
+            }
+            let e = prepare(&cache, e);
+            sweep.add(move || e.run());
+        }
+    }
+    let outcome = sweep.run_to(dir);
+    assert_eq!(outcome.results.len(), 4);
+    for r in &outcome.results {
+        let f = r.fleet.as_ref().expect("fleet summary present");
+        assert_eq!(
+            f.completed + f.dropped,
+            f.offered,
+            "cluster conservation holds in every journaled run"
+        );
+    }
+    std::fs::read(outcome.journal_path.expect("journal written")).expect("journal readable")
+}
+
+#[test]
+fn fleet_journal_is_byte_identical_across_thread_counts() {
+    let base = std::env::temp_dir().join(format!("tta-fleet-determinism-{}", std::process::id()));
+    let serial = run_sweep(1, &base.join("t1"));
+    let parallel = run_sweep(4, &base.join("t4"));
+    assert!(!serial.is_empty());
+    assert_eq!(
+        serial, parallel,
+        "1-thread and 4-thread fleet sweeps must write byte-identical journals"
+    );
+    let _ = std::fs::remove_dir_all(&base);
+}

@@ -23,7 +23,11 @@ use workloads::{AccelReport, RunResult, ServeSummary};
 /// v3 added the per-run `"attribution"` section (cycle-attribution
 /// buckets summing to `cycles`) and the `queue_wait_cycles` /
 /// `idle_cycles` / `horizon_cycles` counters inside `"serve"`.
-pub const SCHEMA_VERSION: u32 = 3;
+///
+/// v4 added the per-run `"fleet"` section (multi-device cluster-serving
+/// metrics with nested `per_device` and `per_class` rows, `null` for
+/// non-fleet runs).
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// Serializes a finished sweep as the journal JSON document.
 pub fn journal_json(sweep: &str, results: &[RunResult]) -> String {
@@ -77,6 +81,10 @@ fn run_json(r: &RunResult) -> String {
         Some(s) => out.push_str(&format!("      \"serve\": {},\n", serve_json(s))),
         None => out.push_str("      \"serve\": null,\n"),
     }
+    match &r.fleet {
+        Some(f) => out.push_str(&format!("      \"fleet\": {},\n", fleet_json(f))),
+        None => out.push_str("      \"fleet\": null,\n"),
+    }
     match &r.accel {
         Some(a) => out.push_str(&format!("      \"accel\": {}\n", accel_json(a))),
         None => out.push_str("      \"accel\": null\n"),
@@ -114,6 +122,89 @@ fn serve_json(s: &ServeSummary) -> String {
         s.queue_wait_cycles,
         s.idle_cycles,
         s.horizon_cycles,
+    )
+}
+
+/// The fleet-metrics journal section (schema v4): one object with nested
+/// `per_device` / `per_class` arrays, stable field order, integer cycle
+/// counters verbatim, rates via [`num`] — the same determinism contract as
+/// the rest of the journal.
+fn fleet_json(f: &workloads::FleetSummary) -> String {
+    let devices: Vec<String> = f
+        .per_device
+        .iter()
+        .map(|d| {
+            format!(
+                "{{\"device\":{},\"batches\":{},\"completed\":{},\"dropped\":{},\
+                 \"busy_cycles\":{},\"queue_wait_cycles\":{},\"idle_cycles\":{},\
+                 \"max_queue_depth\":{},\"shard_misses\":{},\"cold_starts\":{}}}",
+                d.device,
+                d.batches,
+                d.completed,
+                d.dropped,
+                d.busy_cycles,
+                d.queue_wait_cycles,
+                d.idle_cycles,
+                d.max_queue_depth,
+                d.shard_misses,
+                d.cold_starts,
+            )
+        })
+        .collect();
+    let classes: Vec<String> = f
+        .per_class
+        .iter()
+        .map(|c| {
+            format!(
+                "{{\"class\":{},\"deadline_cycles\":{},\"offered\":{},\"completed\":{},\
+                 \"dropped\":{},\"slo_misses\":{},\"p50_latency\":{},\"p99_latency\":{},\
+                 \"max_latency\":{}}}",
+                escape(&c.class),
+                c.deadline_cycles,
+                c.offered,
+                c.completed,
+                c.dropped,
+                c.slo_misses,
+                c.p50_latency,
+                c.p99_latency,
+                c.max_latency,
+            )
+        })
+        .collect();
+    format!(
+        "{{\"router\":{},\"backend\":{},\"policy\":{},\"devices\":{},\"shards\":{},\
+         \"replication\":{},\"shard_miss_penalty\":{},\"arrival_mean_cycles\":{},\
+         \"offered\":{},\"admitted\":{},\"dropped\":{},\"completed\":{},\"batches\":{},\
+         \"p50_latency\":{},\"p95_latency\":{},\"p99_latency\":{},\"max_latency\":{},\
+         \"throughput_qpkc\":{},\"slo_misses\":{},\"shard_hits\":{},\"shard_misses\":{},\
+         \"cold_starts\":{},\"makespan_cycles\":{},\"horizon_cycles\":{},\
+         \"per_device\":[{}],\"per_class\":[{}]}}",
+        escape(&f.router),
+        escape(&f.backend),
+        escape(&f.policy),
+        f.devices,
+        f.shards,
+        f.replication,
+        f.shard_miss_penalty,
+        num(f.arrival_mean_cycles),
+        f.offered,
+        f.admitted,
+        f.dropped,
+        f.completed,
+        f.batches,
+        f.p50_latency,
+        f.p95_latency,
+        f.p99_latency,
+        f.max_latency,
+        num(f.throughput_qpkc),
+        f.slo_misses,
+        f.shard_hits,
+        f.shard_misses,
+        f.cold_starts,
+        f.makespan_cycles,
+        f.horizon_cycles,
+        devices.join(","),
+        classes.join(","),
     )
 }
 
@@ -248,6 +339,7 @@ mod tests {
             stats,
             accel: None,
             serve: None,
+            fleet: None,
         }
     }
 
@@ -309,6 +401,79 @@ mod tests {
         // Closed-batch runs keep a null serve section.
         let plain = journal_json("plain", &[result("x", 1)]);
         assert!(plain.contains("\"serve\": null"));
+    }
+
+    #[test]
+    fn fleet_section_serializes_deterministically() {
+        use workloads::{FleetClassSummary, FleetDeviceSummary, FleetSummary};
+        let mut r = result("fleet", 9000);
+        r.fleet = Some(FleetSummary {
+            router: "p2c".into(),
+            backend: "TTA".into(),
+            policy: "cont8w".into(),
+            devices: 2,
+            shards: 8,
+            replication: 2,
+            shard_miss_penalty: 500,
+            arrival_mean_cycles: 75.0,
+            offered: 256,
+            admitted: 250,
+            dropped: 6,
+            completed: 250,
+            batches: 17,
+            p50_latency: 300,
+            p95_latency: 800,
+            p99_latency: 1100,
+            max_latency: 1400,
+            throughput_qpkc: 3.5,
+            slo_misses: 4,
+            shard_hits: 200,
+            shard_misses: 50,
+            cold_starts: 1,
+            makespan_cycles: 80_000,
+            horizon_cycles: 80_000,
+            per_device: vec![FleetDeviceSummary {
+                device: 0,
+                batches: 9,
+                completed: 130,
+                dropped: 0,
+                busy_cycles: 50_000,
+                queue_wait_cycles: 10_000,
+                idle_cycles: 20_000,
+                max_queue_depth: 40,
+                shard_misses: 25,
+                cold_starts: 0,
+            }],
+            per_class: vec![FleetClassSummary {
+                class: "interactive".into(),
+                deadline_cycles: 2_000,
+                offered: 200,
+                completed: 196,
+                dropped: 4,
+                slo_misses: 3,
+                p50_latency: 280,
+                p99_latency: 1_050,
+                max_latency: 1_400,
+            }],
+        });
+        let a = journal_json("fleet", std::slice::from_ref(&r));
+        let b = journal_json("fleet", &[r.clone()]);
+        assert_eq!(a, b, "equal fleet runs must serialize byte-identically");
+        for key in [
+            "\"router\":\"p2c\"",
+            "\"devices\":2",
+            "\"shard_miss_penalty\":500",
+            "\"per_device\":[{\"device\":0,",
+            "\"per_class\":[{\"class\":\"interactive\",",
+            "\"slo_misses\":4",
+            "\"cold_starts\":1",
+            "\"horizon_cycles\":80000",
+        ] {
+            assert!(a.contains(key), "missing {key}");
+        }
+        // Non-fleet runs keep a null fleet section (v4 contract).
+        let plain = journal_json("plain", &[result("x", 1)]);
+        assert!(plain.contains("\"fleet\": null"));
     }
 
     #[test]

@@ -162,6 +162,7 @@ mod tests {
             },
             accel: None,
             serve: None,
+            fleet: None,
         }
     }
 

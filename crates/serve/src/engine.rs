@@ -109,6 +109,289 @@ pub struct ServeOutcome {
     pub horizon: u64,
 }
 
+/// One device's half of the serving loop: the admission queue, the
+/// batch-formation decision, the exclusive-device launch accounting, and
+/// the idle/queue-wait attribution — everything *except* the clock and the
+/// arrival stream, which the driver owns.
+///
+/// [`serve`] drives exactly one engine; `tta-fleet` drives N of them from
+/// a single virtual clock. The event interface is explicit:
+///
+/// * [`on_arrival`](DeviceEngine::on_arrival) — a query reaches this
+///   device (admitted or dropped by the queue bound);
+/// * [`wants_launch`](DeviceEngine::wants_launch) /
+///   [`launch`](DeviceEngine::launch) — the policy triggers and a batch
+///   executes, returning per-query completion cycles;
+/// * [`next_event`](DeviceEngine::next_event) — the next cycle at which
+///   this device could act without a new arrival;
+/// * [`advance`](DeviceEngine::advance) — the clock moved; attribute the
+///   device-free gap to idle or queue-wait;
+/// * [`settle`](DeviceEngine::settle) — the run ended at a cluster-wide
+///   horizon; extend the idle accounting so the per-device partition
+///   `Σ batch + queue_wait + idle == horizon` holds.
+#[derive(Debug)]
+pub struct DeviceEngine {
+    policy: BatchPolicy,
+    queue_capacity: Option<usize>,
+    warp_width: usize,
+    trace: TraceHandle,
+    device_track: Track,
+    queue_track: Track,
+    /// FIFO of (stream id, arrival cycle).
+    queue: VecDeque<(usize, u64)>,
+    device_free_at: u64,
+    launch_stats: Vec<SimStats>,
+    batches: u64,
+    max_queue_depth: usize,
+    dropped: u64,
+    completed: u64,
+    busy_cycles: u64,
+    queue_wait_cycles: u64,
+    idle_cycles: u64,
+}
+
+impl DeviceEngine {
+    /// A fresh engine for one device. `device_track` / `queue_track` name
+    /// the trace rows ([`Track::Device`] / [`Track::Queue`] for the
+    /// single-device [`serve`] loop, `Track::FleetDevice(i)` /
+    /// `Track::FleetQueue(i)` in a fleet).
+    pub fn new(
+        policy: BatchPolicy,
+        queue_capacity: Option<usize>,
+        warp_width: usize,
+        trace: TraceHandle,
+        device_track: Track,
+        queue_track: Track,
+    ) -> Self {
+        DeviceEngine {
+            policy,
+            queue_capacity,
+            warp_width: warp_width.max(1),
+            trace,
+            device_track,
+            queue_track,
+            queue: VecDeque::new(),
+            device_free_at: 0,
+            launch_stats: Vec::new(),
+            batches: 0,
+            max_queue_depth: 0,
+            dropped: 0,
+            completed: 0,
+            busy_cycles: 0,
+            queue_wait_cycles: 0,
+            idle_cycles: 0,
+        }
+    }
+
+    /// Arrival event: query `id` reaches this device at `cycle`. Returns
+    /// `false` when the bounded queue rejected it (counted as a drop).
+    pub fn on_arrival(&mut self, id: usize, cycle: u64) -> bool {
+        let full = self
+            .queue_capacity
+            .is_some_and(|cap| self.queue.len() >= cap);
+        if full {
+            self.dropped += 1;
+            self.trace
+                .instant(self.queue_track, "dropped", cycle, id as u64);
+            false
+        } else {
+            self.queue.push_back((id, cycle));
+            self.max_queue_depth = self.max_queue_depth.max(self.queue.len());
+            true
+        }
+    }
+
+    /// Queries currently waiting.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Arrival cycle of the oldest waiting query, if any.
+    pub fn oldest_arrival(&self) -> Option<u64> {
+        self.queue.front().map(|&(_, t)| t)
+    }
+
+    /// The cycle at which the in-flight batch (if any) finishes.
+    pub fn device_free_at(&self) -> u64 {
+        self.device_free_at
+    }
+
+    /// Whether the device is free at `now` and the policy triggers a
+    /// launch (`drained` = no further arrivals will ever reach this
+    /// device, which invokes the flush rule).
+    pub fn wants_launch(&self, now: u64, drained: bool) -> bool {
+        self.device_free_at <= now
+            && !self.queue.is_empty()
+            && self
+                .policy
+                .should_launch(self.queue.len(), self.queue[0].1, now, drained)
+    }
+
+    /// Launch event: forms the batch, executes it through `run` (the
+    /// driver's wrapper around [`BatchService::run_batch`], where a fleet
+    /// adds shard-miss and cold-start overheads to the returned stats),
+    /// accounts it, and returns `(stream id, completion cycle)` per query.
+    /// Call only when [`wants_launch`](DeviceEngine::wants_launch).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the policy uses per-warp accounting and the backend
+    /// reports fewer warp-completion slots than the batch needs.
+    pub fn launch(
+        &mut self,
+        now: u64,
+        run: &mut dyn FnMut(&[usize]) -> SimStats,
+    ) -> Vec<(usize, u64)> {
+        let n = self.policy.take(self.queue.len(), self.warp_width);
+        let batch: Vec<(usize, u64)> = self.queue.drain(..n).collect();
+        let ids: Vec<usize> = batch.iter().map(|&(id, _)| id).collect();
+        let stats = run(&ids);
+        let per_warp = self.policy.per_warp_accounting();
+        if per_warp {
+            let warps_needed = batch.len().div_ceil(self.warp_width);
+            assert!(
+                stats.warp_completions.len() >= warps_needed,
+                "backend reported {} warp completions for a {}-query batch \
+                 (warp width {})",
+                stats.warp_completions.len(),
+                batch.len(),
+                self.warp_width
+            );
+        }
+        let mut completions = Vec::with_capacity(batch.len());
+        for (i, &(id, arrival)) in batch.iter().enumerate() {
+            let done = if per_warp {
+                now + stats.warp_completions[i / self.warp_width]
+            } else {
+                now + stats.cycles
+            };
+            completions.push((id, done));
+            // Per-query lifecycle: the two async spans meet at the
+            // launch cycle, so wait + service == recorded latency.
+            let q = id as u64;
+            self.trace
+                .async_span(self.queue_track, "queue_wait", 2 * q, arrival, now, q);
+            self.trace
+                .async_span(self.queue_track, "service", 2 * q + 1, now, done, q);
+        }
+        self.trace.span_arg(
+            self.device_track,
+            "batch",
+            now,
+            now + stats.cycles,
+            batch.len() as u64,
+        );
+        self.device_free_at = now + stats.cycles;
+        self.batches += 1;
+        self.completed += batch.len() as u64;
+        self.busy_cycles += stats.cycles;
+        self.launch_stats.push(stats);
+        completions
+    }
+
+    /// The next cycle at which this device could act without a new
+    /// arrival: the in-flight batch finishing, or a policy deadline
+    /// (clamped to `now + 1` so the clock always advances). `None` when
+    /// the queue is empty — only an arrival can wake an empty device.
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        if self.queue.is_empty() {
+            return None;
+        }
+        if self.device_free_at > now {
+            Some(self.device_free_at)
+        } else {
+            self.policy
+                .next_deadline(self.queue[0].1)
+                .map(|d| d.max(now + 1))
+        }
+    }
+
+    /// Clock-advance event: attribute the device-free part of `[from, to)`
+    /// to idle (empty queue) or queue-wait (policy not yet triggered). The
+    /// busy part up to [`device_free_at`](DeviceEngine::device_free_at) is
+    /// already covered by the launch's own cycle count. The caller
+    /// guarantees no arrival lands strictly inside the gap, so the queue
+    /// state is constant over it.
+    pub fn advance(&mut self, from: u64, to: u64) {
+        let free_from = self.device_free_at.clamp(from, to);
+        let idle = to - free_from;
+        if idle > 0 {
+            if self.queue.is_empty() {
+                self.idle_cycles += idle;
+            } else {
+                self.queue_wait_cycles += idle;
+            }
+        }
+    }
+
+    /// End-of-run event: the run's horizon is `horizon` (at least this
+    /// device's own quiet point). Extends idle accounting so that
+    /// `Σ batch + queue_wait + idle == horizon` holds exactly, emits the
+    /// attribution counters when tracing, and returns the partition's
+    /// checked buckets `(busy, queue_wait, idle)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) when the partition does not hold — an accounting bug,
+    /// never data-dependent.
+    pub fn settle(&mut self, horizon: u64) -> (u64, u64, u64) {
+        debug_assert!(self.queue.is_empty(), "settle with queries still queued");
+        debug_assert!(horizon >= self.device_free_at, "horizon before busy end");
+        // The driver advanced us to its final clock; anything between our
+        // own quiet point and the cluster horizon is idle time.
+        let accounted = self.busy_cycles + self.queue_wait_cycles + self.idle_cycles;
+        debug_assert!(horizon >= accounted, "buckets exceed the horizon");
+        self.idle_cycles += horizon - accounted;
+        if self.trace.enabled() {
+            let mut attr = CycleAttribution::default();
+            attr.add(Bucket::QueueWait, self.queue_wait_cycles);
+            attr.add(Bucket::DeviceIdle, self.idle_cycles);
+            self.trace.counters(self.device_track, &attr, horizon);
+        }
+        (self.busy_cycles, self.queue_wait_cycles, self.idle_cycles)
+    }
+
+    /// Batches launched so far.
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// Queries completed so far.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Queries rejected by the queue bound so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Deepest the queue ever got (measured after each admission).
+    pub fn max_queue_depth(&self) -> usize {
+        self.max_queue_depth
+    }
+
+    /// Device-busy cycles accumulated by launches so far.
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
+    }
+
+    /// Device-free cycles spent with a non-empty queue so far.
+    pub fn queue_wait_cycles(&self) -> u64 {
+        self.queue_wait_cycles
+    }
+
+    /// Device-free cycles spent with an empty queue so far.
+    pub fn idle_cycles(&self) -> u64 {
+        self.idle_cycles
+    }
+
+    /// Per-launch simulator stats, in launch order (consumes the engine).
+    pub fn into_launch_stats(self) -> Vec<SimStats> {
+        self.launch_stats
+    }
+}
+
 /// Runs the serving loop: admits `arrivals` (cycle stamps, ascending) into
 /// a FIFO queue, forms batches per `cfg.policy`, executes them on `svc`,
 /// and accounts per-query completion.
@@ -118,6 +401,10 @@ pub struct ServeOutcome {
 /// batch-synchronous (every query in a batch completes when the kernel
 /// does); continuous batching credits each query with its *warp's*
 /// completion cycle inside the launch.
+///
+/// Internally this drives a single [`DeviceEngine`]; `tta-fleet` drives
+/// many from one clock. The journal bytes this produces are part of the
+/// determinism contract and did not change with that refactor.
 ///
 /// # Panics
 ///
@@ -130,7 +417,6 @@ pub fn serve(svc: &mut dyn BatchService, cfg: &ServeConfig, arrivals: &[u64]) ->
     );
     let universe = svc.query_count();
     assert!(universe > 0, "backend has an empty query universe");
-    let warp_width = svc.warp_width().max(1);
     svc.set_trace(cfg.trace.clone());
 
     let mut queries: Vec<QueryOutcome> = arrivals
@@ -140,123 +426,48 @@ pub fn serve(svc: &mut dyn BatchService, cfg: &ServeConfig, arrivals: &[u64]) ->
             completion: None,
         })
         .collect();
-    let mut queue: VecDeque<usize> = VecDeque::new();
-    let mut outcome_batches = 0u64;
-    let mut max_queue_depth = 0usize;
-    let mut dropped = 0u64;
+    let mut engine = DeviceEngine::new(
+        cfg.policy.clone(),
+        cfg.queue_capacity,
+        svc.warp_width(),
+        cfg.trace.clone(),
+        Track::Device,
+        Track::Queue,
+    );
     let mut makespan = 0u64;
-    let mut launch_stats: Vec<SimStats> = Vec::new();
-    let mut queue_wait_cycles = 0u64;
-    let mut idle_cycles = 0u64;
-
     let mut now = 0u64; // virtual clock, in cycles
-    let mut device_free_at = 0u64;
     let mut next_arrival = 0usize;
 
     loop {
         // Admit every arrival that has happened by `now`.
         while next_arrival < arrivals.len() && arrivals[next_arrival] <= now {
-            let full = cfg.queue_capacity.is_some_and(|cap| queue.len() >= cap);
-            if full {
-                dropped += 1; // completion stays None
-                cfg.trace.instant(
-                    Track::Queue,
-                    "dropped",
-                    arrivals[next_arrival],
-                    next_arrival as u64,
-                );
-            } else {
-                queue.push_back(next_arrival);
-                max_queue_depth = max_queue_depth.max(queue.len());
-            }
+            engine.on_arrival(next_arrival, arrivals[next_arrival]);
             next_arrival += 1;
         }
         let drained = next_arrival >= arrivals.len();
-        if drained && queue.is_empty() {
+        if drained && engine.queue_len() == 0 {
             break;
         }
 
         // Launch if the device is free and the policy triggers.
-        if device_free_at <= now && !queue.is_empty() {
-            let oldest = queries[queue[0]].arrival;
-            if cfg.policy.should_launch(queue.len(), oldest, now, drained) {
-                let n = cfg.policy.take(queue.len(), warp_width);
-                let batch: Vec<usize> = queue.drain(..n).collect();
-                let stats = svc.run_batch(&batch);
-                let per_warp = cfg.policy.per_warp_accounting();
-                if per_warp {
-                    let warps_needed = batch.len().div_ceil(warp_width);
-                    assert!(
-                        stats.warp_completions.len() >= warps_needed,
-                        "backend reported {} warp completions for a {}-query batch \
-                         (warp width {warp_width})",
-                        stats.warp_completions.len(),
-                        batch.len()
-                    );
-                }
-                for (i, &qi) in batch.iter().enumerate() {
-                    let done = if per_warp {
-                        now + stats.warp_completions[i / warp_width]
-                    } else {
-                        now + stats.cycles
-                    };
-                    queries[qi].completion = Some(done);
-                    makespan = makespan.max(done);
-                    // Per-query lifecycle: the two async spans meet at the
-                    // launch cycle, so wait + service == recorded latency.
-                    let q = qi as u64;
-                    cfg.trace.async_span(
-                        Track::Queue,
-                        "queue_wait",
-                        2 * q,
-                        queries[qi].arrival,
-                        now,
-                        q,
-                    );
-                    cfg.trace
-                        .async_span(Track::Queue, "service", 2 * q + 1, now, done, q);
-                }
-                cfg.trace.span_arg(
-                    Track::Device,
-                    "batch",
-                    now,
-                    now + stats.cycles,
-                    batch.len() as u64,
-                );
-                device_free_at = now + stats.cycles;
-                outcome_batches += 1;
-                launch_stats.push(stats);
-                continue; // re-admit at the same `now` before advancing
+        if engine.wants_launch(now, drained) {
+            for (qi, done) in engine.launch(now, &mut |ids| svc.run_batch(ids)) {
+                queries[qi].completion = Some(done);
+                makespan = makespan.max(done);
             }
+            continue; // re-admit at the same `now` before advancing
         }
 
         // Advance the clock to the next event: an arrival, the device
         // becoming free, or a policy deadline.
         let mut next: Option<u64> = (!drained).then(|| arrivals[next_arrival]);
-        if !queue.is_empty() {
-            if device_free_at > now {
-                next = Some(next.map_or(device_free_at, |t| t.min(device_free_at)));
-            } else if let Some(d) = cfg.policy.next_deadline(queries[queue[0]].arrival) {
-                let d = d.max(now + 1);
-                next = Some(next.map_or(d, |t| t.min(d)));
-            }
+        if let Some(e) = engine.next_event(now) {
+            next = Some(next.map_or(e, |t| t.min(e)));
         }
         match next {
             Some(t) => {
                 debug_assert!(t > now, "virtual clock must advance");
-                // Attribute the device-free part of the gap. The busy part
-                // (up to `device_free_at`) is already covered by the
-                // launch's own cycle count; no arrival lands strictly
-                // inside the gap, so the queue state is constant over it.
-                let free_from = device_free_at.clamp(now, t);
-                let idle = t - free_from;
-                if idle > 0 {
-                    if queue.is_empty() {
-                        idle_cycles += idle;
-                    } else {
-                        queue_wait_cycles += idle;
-                    }
-                }
+                engine.advance(now, t);
                 now = t;
             }
             // Unreachable in practice: a drained non-empty queue always
@@ -265,26 +476,21 @@ pub fn serve(svc: &mut dyn BatchService, cfg: &ServeConfig, arrivals: &[u64]) ->
         }
     }
 
-    let horizon = now.max(device_free_at);
+    let horizon = now.max(engine.device_free_at());
+    let (busy, queue_wait_cycles, idle_cycles) = engine.settle(horizon);
     debug_assert_eq!(
-        launch_stats.iter().map(|s| s.cycles).sum::<u64>() + queue_wait_cycles + idle_cycles,
+        busy + queue_wait_cycles + idle_cycles,
         horizon,
         "serve-side buckets must partition the horizon"
     );
-    if cfg.trace.enabled() {
-        let mut attr = CycleAttribution::default();
-        attr.add(Bucket::QueueWait, queue_wait_cycles);
-        attr.add(Bucket::DeviceIdle, idle_cycles);
-        cfg.trace.counters(Track::Device, &attr, horizon);
-    }
 
     ServeOutcome {
         queries,
-        batches: outcome_batches,
-        max_queue_depth,
-        dropped,
+        batches: engine.batches(),
+        max_queue_depth: engine.max_queue_depth(),
+        dropped: engine.dropped(),
         makespan,
-        launch_stats,
+        launch_stats: engine.into_launch_stats(),
         queue_wait_cycles,
         idle_cycles,
         horizon,

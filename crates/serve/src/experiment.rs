@@ -75,6 +75,46 @@ pub enum ServeInputs {
     NBody(Arc<NBodyInputs>),
 }
 
+/// Builds one persistent warm [`BatchService`] device for `workload` on
+/// `backend` — the same construction [`ServeExperiment::run`] performs,
+/// exposed so `tta-fleet` can stand up N identical devices sharing one
+/// [`ServeInputs`] tree image.
+///
+/// # Panics
+///
+/// Panics when `inputs` does not match `workload`.
+pub fn build_service(
+    workload: &ServeWorkload,
+    backend: ServeBackend,
+    inputs: &ServeInputs,
+    gpu: &GpuConfig,
+    max_batch: usize,
+    verify: bool,
+) -> Box<dyn BatchService> {
+    match (workload, inputs) {
+        (ServeWorkload::BTree { flavor, .. }, ServeInputs::BTree(i)) => Box::new(
+            BTreeService::new(Arc::clone(i), *flavor, backend, gpu, max_batch, verify),
+        ),
+        (ServeWorkload::Rtnn { radius, .. }, ServeInputs::Rtnn(i)) => Box::new(RtnnService::new(
+            Arc::clone(i),
+            *radius,
+            backend,
+            gpu,
+            max_batch,
+            verify,
+        )),
+        (ServeWorkload::NBody { theta, .. }, ServeInputs::NBody(i)) => Box::new(NBodyService::new(
+            Arc::clone(i),
+            *theta,
+            backend,
+            gpu,
+            max_batch,
+            verify,
+        )),
+        _ => panic!("serve inputs do not match the configured workload"),
+    }
+}
+
 /// One serving-experiment configuration: a seeded open-loop query stream
 /// offered to one backend under one batching policy.
 #[derive(Debug, Clone)]
@@ -132,39 +172,14 @@ impl ServeExperiment {
     /// Builds the backend service for this configuration.
     fn build_service(&self, inputs: &ServeInputs) -> Box<dyn BatchService> {
         let max_batch = self.policy.max_batch(self.gpu.warp_width);
-        match (&self.workload, inputs) {
-            (ServeWorkload::BTree { flavor, .. }, ServeInputs::BTree(i)) => {
-                Box::new(BTreeService::new(
-                    Arc::clone(i),
-                    *flavor,
-                    self.backend,
-                    &self.gpu,
-                    max_batch,
-                    self.verify,
-                ))
-            }
-            (ServeWorkload::Rtnn { radius, .. }, ServeInputs::Rtnn(i)) => {
-                Box::new(RtnnService::new(
-                    Arc::clone(i),
-                    *radius,
-                    self.backend,
-                    &self.gpu,
-                    max_batch,
-                    self.verify,
-                ))
-            }
-            (ServeWorkload::NBody { theta, .. }, ServeInputs::NBody(i)) => {
-                Box::new(NBodyService::new(
-                    Arc::clone(i),
-                    *theta,
-                    self.backend,
-                    &self.gpu,
-                    max_batch,
-                    self.verify,
-                ))
-            }
-            _ => panic!("serve inputs do not match the configured workload"),
-        }
+        build_service(
+            &self.workload,
+            self.backend,
+            inputs,
+            &self.gpu,
+            max_batch,
+            self.verify,
+        )
     }
 
     /// Runs the serving experiment: generates the arrival stream, drives
@@ -212,6 +227,7 @@ impl ServeExperiment {
             stats: sum_stats(&outcome.launch_stats),
             accel: svc.accel_report(),
             serve: Some(summary),
+            fleet: None,
         }
     }
 }

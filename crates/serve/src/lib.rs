@@ -32,8 +32,8 @@ pub mod metrics;
 pub mod policy;
 pub mod service;
 
-pub use engine::{serve, BatchService, QueryOutcome, ServeConfig, ServeOutcome};
-pub use experiment::{ServeExperiment, ServeInputs, ServeWorkload};
+pub use engine::{serve, BatchService, DeviceEngine, QueryOutcome, ServeConfig, ServeOutcome};
+pub use experiment::{build_service, ServeExperiment, ServeInputs, ServeWorkload};
 pub use metrics::summarize;
 pub use policy::BatchPolicy;
 pub use service::{BTreeService, NBodyService, RtnnService, ServeBackend};

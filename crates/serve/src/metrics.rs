@@ -11,6 +11,15 @@ use crate::engine::ServeOutcome;
 /// inter-arrival time (recorded, not recomputed). Throughput is completed
 /// queries per **kilocycle** of makespan — a rate that stays readable at
 /// simulator scale.
+///
+/// Percentiles use **nearest-rank** semantics ([`percentile`]): the
+/// reported pN is always an *observed* latency, never an interpolation.
+/// On completion sets smaller than `ceil(100 / (100 − N))` samples the
+/// nearest rank is the maximum — e.g. p99 of n < 100 completions *is* the
+/// max sample. That is deliberate (a p99 claim over 40 queries has no
+/// better unbiased witness than the worst one) and is what makes tiny
+/// per-class percentile rows in fleet journals well-defined; see the
+/// `nearest_rank_*` tests below for the exact n = 1, 2, 99, 100 behavior.
 pub fn summarize(
     policy: &str,
     backend: &str,
@@ -94,6 +103,52 @@ mod tests {
         assert_eq!(s.max_queue_depth, 7);
         // 100 completed over 2000 cycles = 50 per kilocycle.
         assert!((s.throughput_qpkc - 50.0).abs() < 1e-9);
+    }
+
+    /// n = 1: every percentile (p50, p95, p99, max) is the one sample —
+    /// nearest-rank never interpolates or invents a value.
+    #[test]
+    fn nearest_rank_single_sample_is_every_percentile() {
+        let s = summarize("size1", "BASE", 50.0, &outcome(&[7], 0));
+        assert_eq!(s.completed, 1);
+        assert_eq!(s.p50_latency, 7);
+        assert_eq!(s.p95_latency, 7);
+        assert_eq!(s.p99_latency, 7);
+        assert_eq!(s.max_latency, 7);
+    }
+
+    /// n = 2: p50 is the *lower* sample (rank ceil(0.5·2) = 1), while p95
+    /// and p99 are the max (rank ceil(1.9) = ceil(1.98) = 2).
+    #[test]
+    fn nearest_rank_two_samples_split_median_from_tail() {
+        let s = summarize("size2", "BASE", 50.0, &outcome(&[3, 9], 0));
+        assert_eq!(s.p50_latency, 3);
+        assert_eq!(s.p95_latency, 9);
+        assert_eq!(s.p99_latency, 9);
+        assert_eq!(s.max_latency, 9);
+    }
+
+    /// n = 99: rank ceil(0.99·99) = ceil(98.01) = 99 — p99 is still the
+    /// max sample. The p99-equals-max regime covers every n < 100.
+    #[test]
+    fn nearest_rank_ninety_nine_samples_p99_is_max() {
+        let lat: Vec<u64> = (1..=99).collect();
+        let s = summarize("size99", "BASE", 50.0, &outcome(&lat, 0));
+        assert_eq!(s.p99_latency, 99);
+        assert_eq!(s.p99_latency, s.max_latency);
+        assert_eq!(s.p50_latency, 50);
+        assert_eq!(s.p95_latency, 95);
+    }
+
+    /// n = 100: the first size at which p99 detaches from the max — rank
+    /// ceil(0.99·100) = 99 picks the 99th of 100 sorted samples.
+    #[test]
+    fn nearest_rank_hundred_samples_p99_detaches_from_max() {
+        let lat: Vec<u64> = (1..=100).collect();
+        let s = summarize("size100", "BASE", 50.0, &outcome(&lat, 0));
+        assert_eq!(s.p99_latency, 99);
+        assert_eq!(s.max_latency, 100);
+        assert!(s.p99_latency < s.max_latency);
     }
 
     #[test]

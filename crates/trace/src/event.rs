@@ -36,6 +36,15 @@ pub enum Track {
     Device,
     /// The serving engine's admission queue: per-query wait/service spans.
     Queue,
+    /// The fleet router: one instant per routing decision (arg = chosen
+    /// device), plus admission-drop and autoscaling instants.
+    Router,
+    /// Device `n` of a fleet: batch spans and idle accounting (the
+    /// multi-device analogue of [`Track::Device`]).
+    FleetDevice(u32),
+    /// Device `n`'s admission queue in a fleet: per-query wait/service
+    /// spans (the multi-device analogue of [`Track::Queue`]).
+    FleetQueue(u32),
 }
 
 impl Track {
@@ -55,6 +64,9 @@ impl Track {
             Track::Program(_) => "uop",
             Track::Device => "serve.device",
             Track::Queue => "serve.queue",
+            Track::Router => "fleet.router",
+            Track::FleetDevice(_) => "fleet.device",
+            Track::FleetQueue(_) => "fleet.queue",
         }
     }
 
@@ -70,6 +82,9 @@ impl Track {
             Track::Program(_) => 6,
             Track::Device => 7,
             Track::Queue => 8,
+            Track::Router => 9,
+            Track::FleetDevice(_) => 10,
+            Track::FleetQueue(_) => 11,
         }
     }
 
@@ -78,10 +93,14 @@ impl Track {
     #[must_use]
     pub fn index(self) -> u32 {
         match self {
-            Track::Sm(i) | Track::Accel(i) | Track::Mem(i) | Track::Dram(i) | Track::Program(i) => {
-                i
-            }
-            Track::Gpu | Track::Device | Track::Queue => 0,
+            Track::Sm(i)
+            | Track::Accel(i)
+            | Track::Mem(i)
+            | Track::Dram(i)
+            | Track::Program(i)
+            | Track::FleetDevice(i)
+            | Track::FleetQueue(i) => i,
+            Track::Gpu | Track::Device | Track::Queue | Track::Router => 0,
         }
     }
 }

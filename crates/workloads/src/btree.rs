@@ -196,6 +196,7 @@ impl BTreeExperiment {
             stats,
             accel: harvest_accel(&gpu),
             serve: None,
+            fleet: None,
         };
         if let (Some(dir), Some(sink)) = (&self.trace_dir, &sink) {
             crate::runner::write_trace(dir, &result.label, sink);

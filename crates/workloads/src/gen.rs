@@ -78,6 +78,58 @@ pub fn exponential_arrivals(n: usize, mean_interarrival_cycles: f64, seed: u64) 
         .collect()
 }
 
+/// The shard of universe entry `index` under a contiguous equal-width
+/// partition of `universe` entries into `shards` shards — the shard-aware
+/// input-builder primitive shared by `tta-fleet`'s placement layer and the
+/// fleet workload streams. Contiguity matters: B-Tree universe entries are
+/// key-ordered and RTNN entries are point-cloud-ordered, so a contiguous
+/// range is a meaningful "tree region" for a device to hold.
+///
+/// When `shards >= universe` the mapping degenerates to one entry per
+/// shard (entry `i` → shard `i`). The mapping is monotone and surjective
+/// onto `0..min(shards, universe)`.
+///
+/// # Panics
+///
+/// Panics when `universe` or `shards` is zero, or `index >= universe`.
+pub fn shard_of(index: usize, universe: usize, shards: usize) -> usize {
+    assert!(universe > 0 && shards > 0, "empty universe or shard count");
+    assert!(index < universe, "universe index out of range");
+    if shards >= universe {
+        return index;
+    }
+    // Contiguous equal-width ranges; the multiply fits easily in u128.
+    ((index as u128 * shards as u128) / universe as u128) as usize
+}
+
+/// Seeded categorical assignment of `n` stream queries to priority/SLO
+/// classes with the given integer `weights` (e.g. `[9, 1]` = 90% class 0,
+/// 10% class 1). Deterministic and independent of the arrival-time
+/// stream's RNG, so changing the traffic mix never perturbs arrival
+/// cycles (and vice versa).
+///
+/// # Panics
+///
+/// Panics when `weights` is empty or sums to zero.
+pub fn class_assignments(n: usize, weights: &[u32], seed: u64) -> Vec<usize> {
+    let total: u64 = weights.iter().map(|&w| u64::from(w)).sum();
+    assert!(total > 0, "class weights must sum to a positive value");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xc1a5_5e5d);
+    (0..n)
+        .map(|_| {
+            let mut pick = rng.random_range(0..total);
+            for (c, &w) in weights.iter().enumerate() {
+                let w = u64::from(w);
+                if pick < w {
+                    return c;
+                }
+                pick -= w;
+            }
+            weights.len() - 1
+        })
+        .collect()
+}
+
 /// Clustered particle distribution (a crude Plummer-like model: a few
 /// gaussian blobs), 2D (`dims == 2`) or 3D.
 pub fn nbody_particles(n: usize, dims: usize, seed: u64) -> Vec<Particle> {
@@ -373,6 +425,38 @@ mod tests {
         let qs = btree_queries(&keys, 1000, 2);
         let hits = qs.iter().filter(|q| keys.binary_search(q).is_ok()).count();
         assert!(hits > 300 && hits < 900, "hit fraction off: {hits}/1000");
+    }
+
+    #[test]
+    fn shard_of_is_monotone_contiguous_and_total() {
+        let universe = 1000;
+        let shards = 8;
+        let mapped: Vec<usize> = (0..universe)
+            .map(|i| shard_of(i, universe, shards))
+            .collect();
+        assert!(mapped.windows(2).all(|w| w[0] <= w[1]), "monotone");
+        assert_eq!(*mapped.first().unwrap(), 0);
+        assert_eq!(*mapped.last().unwrap(), shards - 1);
+        // Every shard gets a near-equal contiguous slice.
+        for s in 0..shards {
+            let count = mapped.iter().filter(|&&m| m == s).count();
+            assert!((124..=126).contains(&count), "shard {s} holds {count}");
+        }
+        // Degenerate: more shards than entries → identity.
+        assert_eq!(shard_of(3, 4, 16), 3);
+    }
+
+    #[test]
+    fn class_assignments_follow_weights_deterministically() {
+        let classes = class_assignments(10_000, &[9, 1], 7);
+        assert_eq!(classes.len(), 10_000);
+        assert_eq!(classes, class_assignments(10_000, &[9, 1], 7));
+        assert_ne!(classes, class_assignments(10_000, &[9, 1], 8));
+        let c1 = classes.iter().filter(|&&c| c == 1).count();
+        assert!((700..1300).contains(&c1), "10% class drew {c1}/10000");
+        assert!(classes.iter().all(|&c| c < 2));
+        // Single class: everything lands in it.
+        assert!(class_assignments(64, &[5], 1).iter().all(|&c| c == 0));
     }
 
     #[test]

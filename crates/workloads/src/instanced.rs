@@ -149,6 +149,7 @@ impl InstancedExperiment {
             stats,
             accel: harvest_accel(&gpu),
             serve: None,
+            fleet: None,
         }
     }
 }

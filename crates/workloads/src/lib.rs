@@ -28,4 +28,7 @@ pub mod rtree;
 pub mod runner;
 
 pub use cacheable::CacheableExperiment;
-pub use runner::{AccelReport, Platform, RunResult, ServeSummary};
+pub use runner::{
+    AccelReport, FleetClassSummary, FleetDeviceSummary, FleetSummary, Platform, RunResult,
+    ServeSummary,
+};

@@ -349,6 +349,7 @@ impl RtExperiment {
             stats: sum_stats(&parts),
             accel: harvest_accel(&gpu),
             serve: None,
+            fleet: None,
         }
     }
 

@@ -264,6 +264,7 @@ impl NBodyExperiment {
             stats: sum_stats(&parts),
             accel: harvest_accel(&gpu),
             serve: None,
+            fleet: None,
         };
         if let (Some(dir), Some(sink)) = (&self.trace_dir, &sink) {
             crate::runner::write_trace(dir, &result.label, sink);

@@ -208,6 +208,7 @@ impl RtnnExperiment {
             stats,
             accel: harvest_accel(&gpu),
             serve: None,
+            fleet: None,
         };
         if let (Some(dir), Some(sink)) = (&self.trace_dir, &sink) {
             crate::runner::write_trace(dir, &result.label, sink);

@@ -200,6 +200,7 @@ impl RTreeExperiment {
             stats,
             accel: harvest_accel(&gpu),
             serve: None,
+            fleet: None,
         }
     }
 }

@@ -117,6 +117,122 @@ pub struct ServeSummary {
     pub horizon_cycles: u64,
 }
 
+/// Per-device totals of one fleet serving run — one row per simulated
+/// device in the journal's schema-v4 `"fleet"` section. The three cycle
+/// buckets partition the cluster horizon on every device:
+/// `busy + queue_wait + idle == horizon_cycles`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetDeviceSummary {
+    /// Device index within the fleet.
+    pub device: u64,
+    /// Kernel batches this device launched.
+    pub batches: u64,
+    /// Queries this device completed.
+    pub completed: u64,
+    /// Queries dropped at this device's bounded queue.
+    pub dropped: u64,
+    /// Cycles the device spent executing batches (including shard-miss
+    /// and cold-start overheads charged to its launches).
+    pub busy_cycles: u64,
+    /// Device-free cycles with queries waiting for the policy to trigger.
+    pub queue_wait_cycles: u64,
+    /// Device-free cycles with an empty queue (or while cold).
+    pub idle_cycles: u64,
+    /// Deepest this device's queue ever got.
+    pub max_queue_depth: u64,
+    /// Queries served by this device whose shard was not resident.
+    pub shard_misses: u64,
+    /// Warm-up transitions this device paid the cold-start penalty for.
+    pub cold_starts: u64,
+}
+
+/// Per-SLO-class totals of one fleet serving run — one row per priority
+/// class in the journal's schema-v4 `"fleet"` section. Conservation:
+/// `completed + dropped == offered` for every class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetClassSummary {
+    /// Class label (e.g. `interactive`, `batch`).
+    pub class: String,
+    /// The class's latency SLO, in cycles.
+    pub deadline_cycles: u64,
+    /// Queries of this class the stream offered.
+    pub offered: u64,
+    /// Queries of this class that completed.
+    pub completed: u64,
+    /// Queries of this class dropped by admission control.
+    pub dropped: u64,
+    /// Completed queries whose latency exceeded the class deadline.
+    pub slo_misses: u64,
+    /// Median latency of the class's completed queries (nearest-rank).
+    pub p50_latency: u64,
+    /// 99th-percentile latency (nearest-rank; the max sample when the
+    /// class completed fewer than 100 queries).
+    pub p99_latency: u64,
+    /// Worst-case latency of the class.
+    pub max_latency: u64,
+}
+
+/// Cluster-wide metrics of one fleet serving run: the journal's schema-v4
+/// `"fleet"` section, produced by `tta-fleet` and serialized by the
+/// harness with the same stable-field-order determinism contract as
+/// [`ServeSummary`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSummary {
+    /// Router-policy label (`rr`, `jsq`, `p2c`, `locality`).
+    pub router: String,
+    /// Backend label (e.g. `BASE`, `TTA`, `TTA+`).
+    pub backend: String,
+    /// Batching-policy label (per device).
+    pub policy: String,
+    /// Simulated devices in the fleet.
+    pub devices: u64,
+    /// Tree shards the query universe is partitioned into.
+    pub shards: u64,
+    /// Devices holding a replica of each shard.
+    pub replication: u64,
+    /// Per-query penalty (cycles) for serving a non-resident shard.
+    pub shard_miss_penalty: u64,
+    /// Mean inter-arrival time of the offered stream, in cycles.
+    pub arrival_mean_cycles: f64,
+    /// Queries offered by the arrival stream.
+    pub offered: u64,
+    /// Queries admitted past admission control (offered − dropped).
+    pub admitted: u64,
+    /// Queries dropped (admission control + bounded device queues).
+    pub dropped: u64,
+    /// Queries completed across all devices.
+    pub completed: u64,
+    /// Kernel batches launched across all devices.
+    pub batches: u64,
+    /// Median cluster latency, in cycles (nearest-rank).
+    pub p50_latency: u64,
+    /// 95th-percentile cluster latency, in cycles.
+    pub p95_latency: u64,
+    /// 99th-percentile cluster latency, in cycles.
+    pub p99_latency: u64,
+    /// Worst-case cluster latency, in cycles.
+    pub max_latency: u64,
+    /// Completed queries per 1000 virtual cycles of makespan.
+    pub throughput_qpkc: f64,
+    /// Completed queries that missed their class deadline.
+    pub slo_misses: u64,
+    /// Queries served by a device holding their shard.
+    pub shard_hits: u64,
+    /// Queries served by a device *not* holding their shard.
+    pub shard_misses: u64,
+    /// Cold-start transitions paid by the autoscaler.
+    pub cold_starts: u64,
+    /// Virtual cycle at which the last query completed.
+    pub makespan_cycles: u64,
+    /// Cluster horizon: every device's `busy + queue_wait + idle` equals
+    /// this, so the cluster-wide sum is `devices × horizon_cycles`.
+    pub horizon_cycles: u64,
+    /// One row per device, in device order.
+    pub per_device: Vec<FleetDeviceSummary>,
+    /// One row per SLO class, in class order.
+    pub per_class: Vec<FleetClassSummary>,
+}
+
 /// The outcome of one experiment run.
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -129,6 +245,9 @@ pub struct RunResult {
     /// Serving metrics (None for the closed-batch figure experiments;
     /// filled by `tta-serve` runs).
     pub serve: Option<ServeSummary>,
+    /// Fleet (multi-device) serving metrics (None everywhere except
+    /// `tta-fleet` runs).
+    pub fleet: Option<FleetSummary>,
 }
 
 impl RunResult {
@@ -446,6 +565,7 @@ mod tests {
             stats,
             accel: Some(accel),
             serve: None,
+            fleet: None,
         };
         assert_eq!(r.core_instructions(), 100 + 40);
     }

@@ -1,57 +1,66 @@
 #!/usr/bin/env bash
-# Perf-trajectory recorder: measure the fig13 sweep and append the result
-# to the committed BENCH_fig13.json log.
+# Perf-trajectory recorder: measure a sweep binary and append the result
+# to its committed BENCH_<name>.json log.
 #
-#   scripts/bench.sh [quick|quick-shadow|full] [--note "<what changed>"]
+#   scripts/bench.sh [quick|quick-shadow|full] [--bench fig13|fleet] [--note "<what changed>"]
 #
-# fig13 is the broadest harness binary (every workload × platform pair),
-# so its wall-clock is the repository's simulator-throughput benchmark.
-# The script runs it single-threaded for stable numbers, reads the
-# wall-clock from the results/fig13.timing.json sidecar, appends an entry
-# via `bench_gate record`, and restores whatever results/fig13.* artifacts
-# the measurement run overwrote — the trajectory tracks time, not
-# artifacts, and the committed artifacts are full-scale.
+# fig13 (the default) is the broadest harness binary (every workload ×
+# platform pair), so its wall-clock is the repository's
+# simulator-throughput benchmark. fleet is the multi-device cluster grid,
+# tracking the serving-loop overhead on top of the simulator. The script
+# runs the chosen binary single-threaded for stable numbers, reads the
+# wall-clock from the results/<bench>.timing.json sidecar, appends an
+# entry via `bench_gate record`, and restores whatever results/<bench>.*
+# artifacts the measurement run overwrote — the trajectory tracks time,
+# not artifacts, and the committed artifacts are full-scale.
 #
-# CI does not run this script; it only validates BENCH_fig13.json and
-# gates the shadow-checked --quick step against the latest committed
-# quick-shadow entry (scripts/ci.sh). Record a new entry when you make the
-# simulator faster (or deliberately slower) so the gate tracks reality.
+# CI does not run this script; it only validates the BENCH_*.json logs
+# and gates its own smoke runs against the latest committed entries
+# (scripts/ci.sh). Record a new entry when you make the simulator (or the
+# cluster loop) faster — or deliberately slower — so the gates track
+# reality.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 MODE="${1:-quick}"
 [ $# -gt 0 ] && shift
+BENCH="fig13"
 NOTE=""
 while [ $# -gt 0 ]; do
     case "$1" in
+        --bench) BENCH="$2"; shift 2;;
         --note) NOTE="$2"; shift 2;;
-        *) echo "usage: scripts/bench.sh [quick|quick-shadow|full] [--note <text>]" >&2; exit 2;;
+        *) echo "usage: scripts/bench.sh [quick|quick-shadow|full] [--bench fig13|fleet] [--note <text>]" >&2; exit 2;;
     esac
 done
+case "$BENCH" in
+    fig13|fleet) ;;
+    *) echo "unknown bench '$BENCH' (want fig13|fleet)" >&2; exit 2;;
+esac
 
 CARGO_FLAGS=()
 if [ "${CARGO_NET_OFFLINE:-}" = "true" ]; then
     CARGO_FLAGS+=(--offline)
 fi
-cargo build "${CARGO_FLAGS[@]}" --release -p tta-bench --bin fig13 --bin bench_gate
+cargo build "${CARGO_FLAGS[@]}" --release -p tta-bench --bin "$BENCH" --bin bench_gate
 
 SAVED=$(mktemp -d)
 trap 'rm -rf "$SAVED"' EXIT
-cp results/fig13.journal.json results/fig13.timing.json results/fig13.csv "$SAVED"/ 2>/dev/null || true
+cp results/"$BENCH".journal.json results/"$BENCH".timing.json results/"$BENCH".csv "$SAVED"/ 2>/dev/null || true
 
 case "$MODE" in
-    quick)        ./target/release/fig13 --quick --threads 1;;
-    quick-shadow) TTA_SHADOW_CHECK=1 TTA_RACE_CHECK=1 ./target/release/fig13 --quick --threads 1;;
-    full)         ./target/release/fig13 --threads 1;;
+    quick)        ./target/release/"$BENCH" --quick --threads 1;;
+    quick-shadow) TTA_SHADOW_CHECK=1 TTA_RACE_CHECK=1 ./target/release/"$BENCH" --quick --threads 1;;
+    full)         ./target/release/"$BENCH" --threads 1;;
     *) echo "unknown mode '$MODE' (want quick|quick-shadow|full)" >&2; exit 2;;
 esac
 
-./target/release/bench_gate record BENCH_fig13.json \
+./target/release/bench_gate record "BENCH_$BENCH.json" \
     --mode "$MODE" --date "$(date +%F)" --threads 1 \
-    --timing results/fig13.timing.json --note "$NOTE"
-./target/release/bench_gate validate BENCH_fig13.json
+    --timing results/"$BENCH".timing.json --note "$NOTE"
+./target/release/bench_gate validate "BENCH_$BENCH.json"
 
 # Put back the artifacts from before the measurement run.
-cp "$SAVED"/fig13.* results/ 2>/dev/null || true
+cp "$SAVED"/"$BENCH".* results/ 2>/dev/null || true
 
-echo "bench.sh: recorded a '$MODE' entry in BENCH_fig13.json"
+echo "bench.sh: recorded a '$MODE' entry in BENCH_$BENCH.json"

@@ -17,19 +17,24 @@
 #      (including the golden-trace and trace-invariant suites in
 #      tta-trace, and the shadow-checked soundness suite in
 #      tta-workloads)
-#   6. a --quick smoke run of one sweep binary, checking that the run
+#   6. --quick smoke runs of the sweep binaries (fig15, the serving grid,
+#      and the fleet cluster grid — the latter two assert their own
+#      batching/routing claims internally), checking that each run
 #      journal lands under results/
-#   7. a traced --quick sweep, with every emitted Chrome trace validated
-#      by the tta-trace-check binary
+#   7. traced --quick sweeps (fig13 and the fleet grid), with every
+#      emitted Chrome trace validated by the tta-trace-check binary
 #   8. a shadow- and race-checked --quick fig13 sweep (TTA_SHADOW_CHECK=1
 #      TTA_RACE_CHECK=1): the runtime soundness gate asserting every
 #      register value and SIMT stack depth stays inside its static
 #      abstraction, and that no two warps conflict on a global-memory
 #      word within a launch
-#   9. the perf-trajectory gate: BENCH_fig13.json must parse against its
-#      schema, and the wall-clock of step 8 must not regress more than
-#      25% against the latest committed quick-shadow entry (record new
-#      entries with scripts/bench.sh)
+#   9. the perf-trajectory gates: BENCH_fig13.json and BENCH_fleet.json
+#      must parse against their schema; the wall-clock of step 8 must not
+#      regress more than 25% against the latest committed quick-shadow
+#      fig13 entry, and the untraced fleet smoke of step 6 not more than
+#      100% against the latest committed quick fleet entry (the fleet
+#      check runs inline after its smoke, before tracing overwrites the
+#      timing sidecar; record new entries with scripts/bench.sh)
 #
 # Offline-registry fallback: this workspace has NO crates.io dependencies —
 # every dependency is a path dependency inside the workspace (the `rand`
@@ -101,6 +106,26 @@ run cargo run "${CARGO_FLAGS[@]}" --release -p tta-bench --bin serve -- --quick 
 test -s results/serve.journal.json || { echo "missing results/serve.journal.json" >&2; exit 1; }
 test -s results/serve.timing.json || { echo "missing results/serve.timing.json" >&2; exit 1; }
 
+# Smoke the fleet cluster grid (the binary asserts power-of-two-choices
+# beats round-robin on p99 on every backend, locality routing beats JSQ
+# under a shard-miss penalty, per-device horizon conservation, and that
+# the autoscale row pays real cold starts) and verify its journal
+# appears. The timing sidecar feeds the fleet perf gate below.
+run cargo run "${CARGO_FLAGS[@]}" --release -p tta-bench --bin fleet -- --quick --threads 2
+test -s results/fleet.journal.json || { echo "missing results/fleet.journal.json" >&2; exit 1; }
+test -s results/fleet.timing.json || { echo "missing results/fleet.timing.json" >&2; exit 1; }
+
+# Fleet perf-trajectory gate: checked here, before the traced rerun
+# below overwrites the timing sidecar with tracing overhead. The 100%
+# margin reflects the grid's small absolute wall-clock (tens of
+# milliseconds, where scheduler jitter under CI load is a large
+# relative effect) — this gate exists to catch gross cluster-loop
+# regressions (an accidentally quadratic router or admission scan),
+# which overshoot 2x immediately.
+run cargo run "${CARGO_FLAGS[@]}" --release -q -p tta-bench --bin bench_gate -- validate BENCH_fleet.json
+run cargo run "${CARGO_FLAGS[@]}" --release -q -p tta-bench --bin bench_gate -- \
+    check BENCH_fleet.json --mode quick --timing results/fleet.timing.json --max-regress 1.0
+
 # Trace smoke: rerun the Fig. 13 sweep with tracing on and validate every
 # emitted Chrome trace (schema, span nesting, async balance, monotone SM
 # stamps) with the checker binary.
@@ -108,6 +133,14 @@ rm -rf results/trace-smoke
 run cargo run "${CARGO_FLAGS[@]}" --release -p tta-bench --bin fig13 -- --quick --threads 2 --trace results/trace-smoke
 ls results/trace-smoke/*.trace.json >/dev/null 2>&1 || { echo "no traces under results/trace-smoke" >&2; exit 1; }
 run cargo run "${CARGO_FLAGS[@]}" --release -p tta-trace --bin tta-trace-check -- results/trace-smoke/*.trace.json
+
+# Fleet trace smoke: rerun the cluster grid with tracing on and validate
+# the cluster-level timelines (router decisions, per-device batch spans,
+# per-query wait/service async spans) the same way.
+rm -rf results/trace-smoke-fleet
+run cargo run "${CARGO_FLAGS[@]}" --release -p tta-bench --bin fleet -- --quick --threads 2 --trace results/trace-smoke-fleet
+ls results/trace-smoke-fleet/*.trace.json >/dev/null 2>&1 || { echo "no traces under results/trace-smoke-fleet" >&2; exit 1; }
+run cargo run "${CARGO_FLAGS[@]}" --release -p tta-trace --bin tta-trace-check -- results/trace-smoke-fleet/*.trace.json
 
 # Runtime soundness gate: rerun the Fig. 13 sweep with every launch
 # shadow-checked against the abstract interpreter and race-checked by the

@@ -226,14 +226,21 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
 }
 
 /// The measurement modes a trajectory entry may carry.
-pub const MODES: [&str; 3] = ["quick", "quick-shadow", "full"];
+pub const MODES: [&str; 5] = [
+    "quick",
+    "quick-shadow",
+    "quick-snap-cold",
+    "quick-snap-warm",
+    "full",
+];
 
 /// One measurement of the fig13 sweep.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchEntry {
     /// Unique entry label, e.g. `"quick-2"`.
     pub id: String,
-    /// One of [`MODES`]: `--quick`, shadow-checked `--quick`, or full scale.
+    /// One of [`MODES`]: `--quick`, shadow-checked `--quick`, the
+    /// snapshot-store cold/warm `--quick` pair, or full scale.
     pub mode: String,
     /// Sweep worker threads the measurement used.
     pub threads: u64,

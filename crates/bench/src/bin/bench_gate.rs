@@ -28,7 +28,7 @@ const USAGE: &str = "usage: bench_gate <validate|record|check> <log.json> [optio
   check    <log.json> --mode <m>
            (--timing <sidecar.json> | --wall-seconds <s>)
            [--max-regress <frac>]
-  modes: quick | quick-shadow | full";
+  modes: quick | quick-shadow | quick-snap-cold | quick-snap-warm | full";
 
 fn fail(msg: &str) -> ! {
     eprintln!("bench_gate: {msg}");

@@ -6,7 +6,9 @@
 //! tree-index workloads.
 
 use trees::BTreeFlavor;
-use tta_bench::{pct, platform_tta, platform_ttaplus, prepare, Args, InputCache, Report};
+use tta_bench::{
+    pct, platform_tta, platform_ttaplus, prepare, run_or_resume, Args, InputCache, Report,
+};
 use workloads::btree::BTreeExperiment;
 use workloads::nbody::NBodyExperiment;
 use workloads::rtnn::{LeafPath, RtnnExperiment};
@@ -16,6 +18,11 @@ fn main() {
     let args = Args::parse();
     let cache = InputCache::new();
     let mut sweep = args.sweep("fig13");
+    // With --snapshot-dir, runs go through the snapshot store: cold runs
+    // save their final state, warm reruns restore it and skip simulation
+    // (journals stay byte-identical; the CI snapshot smoke diffs them).
+    let store = args.snapshot_store();
+    let strict = args.resume;
 
     let queries = args.sized(16_384);
     let keys = args.sized(64_000);
@@ -29,7 +36,8 @@ fn main() {
                 BTreeExperiment::new(flavor, keys, queries, platform),
             );
             e.trace_dir = args.trace.clone();
-            sweep.add(move || e.run())
+            let store = store.clone();
+            sweep.add(move || run_or_resume(store.as_ref(), strict, Box::new(e.session(1))))
         };
         let base = add(Platform::BaselineGpu);
         let tta = add(platform_tta());
@@ -41,7 +49,8 @@ fn main() {
     let mut add = |platform: Platform| {
         let mut e = prepare(&cache, NBodyExperiment::new(3, bodies, platform));
         e.trace_dir = args.trace.clone();
-        sweep.add(move || e.run())
+        let store = store.clone();
+        sweep.add(move || run_or_resume(store.as_ref(), strict, Box::new(e.session())))
     };
     let base = add(Platform::BaselineGpu);
     let tta = add(platform_tta());
@@ -54,7 +63,8 @@ fn main() {
     let mut add = |platform: Platform, leaf: LeafPath| {
         let mut e = prepare(&cache, RtnnExperiment::new(points, rtnn_q, platform, leaf));
         e.trace_dir = args.trace.clone();
-        sweep.add(move || e.run())
+        let store = store.clone();
+        sweep.add(move || run_or_resume(store.as_ref(), strict, Box::new(e.session(1))))
     };
     let base = add(tta_bench::platform_rta(), LeafPath::Shader);
     let tta = add(platform_tta(), LeafPath::Offloaded);

@@ -9,7 +9,10 @@
 //!   smoke testing, `--threads <n>` sets the sweep worker count (default:
 //!   available parallelism, capped at 8; results are byte-identical at any
 //!   value), `--trace <dir>` writes one Chrome trace per run into `<dir>`
-//!   (see DESIGN.md §10; traces are byte-identical at any thread count).
+//!   (see DESIGN.md §10; traces are byte-identical at any thread count),
+//!   `--snapshot-dir <dir>` keeps a [`SnapshotStore`] of final run states
+//!   so reruns restore instead of re-simulating (`--resume` makes a miss
+//!   fatal; see DESIGN.md §15).
 //! * [`sweep`] — starts a [`harness::Sweep`] sized from the parsed args;
 //!   every binary runs its independent experiment points through it and
 //!   gets `results/<name>.journal.json` (+ `.timing.json`) for free.
@@ -22,7 +25,7 @@ pub mod bench_log;
 use energy::ActivityCounts;
 use workloads::RunResult;
 
-pub use harness::{prepare, InputCache, Sweep};
+pub use harness::{prepare, run_or_resume, InputCache, SnapshotStore, Sweep};
 
 /// Command-line arguments shared by all harness binaries.
 #[derive(Debug, Clone)]
@@ -36,10 +39,18 @@ pub struct Args {
     /// Chrome-trace output directory (`None` = tracing disabled, the
     /// zero-overhead default).
     pub trace: Option<std::path::PathBuf>,
+    /// Snapshot-store directory (`None` = snapshotting disabled). With a
+    /// store, binaries that run through [`run_or_resume`] save each run's
+    /// final state on a cold pass and restore it on reruns, skipping
+    /// simulation while producing byte-identical journals.
+    pub snapshot_dir: Option<std::path::PathBuf>,
+    /// Strict warm mode: every run must restore from the store; a missing
+    /// snapshot aborts instead of silently re-simulating.
+    pub resume: bool,
 }
 
 /// One-line usage string shared by `--help` and parse errors.
-pub const USAGE: &str = "usage: [--scale <f>] [--quick] [--threads <n>] [--trace <dir>]";
+pub const USAGE: &str = "usage: [--scale <f>] [--quick] [--threads <n>] [--trace <dir>] [--snapshot-dir <dir>] [--resume]";
 
 impl Args {
     /// Parses `std::env::args`, printing a clear error (exit code 2) on
@@ -73,6 +84,8 @@ impl Args {
             quick: false,
             threads: harness::pool::default_threads(),
             trace: None,
+            snapshot_dir: None,
+            resume: false,
         };
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -94,10 +107,38 @@ impl Args {
                         _ => return Err(format!("--threads needs a positive integer, got `{v}`")),
                     };
                 }
+                "--snapshot-dir" => {
+                    let v = it.next().ok_or("--snapshot-dir needs a directory")?;
+                    args.snapshot_dir = Some(std::path::PathBuf::from(v));
+                }
+                "--resume" => args.resume = true,
                 other => return Err(format!("unknown argument `{other}` (try --help)")),
             }
         }
+        if args.resume && args.snapshot_dir.is_none() {
+            return Err("--resume requires --snapshot-dir".to_owned());
+        }
         Ok(args)
+    }
+
+    /// Opens the snapshot store named by `--snapshot-dir` (exiting with a
+    /// clear error when the directory cannot be created). Tracing and
+    /// snapshot restore are mutually exclusive — a restored run performs
+    /// no launches, so its trace would be empty; when both are requested
+    /// the store is disabled and the runs trace normally.
+    pub fn snapshot_store(&self) -> Option<SnapshotStore> {
+        let dir = self.snapshot_dir.as_ref()?;
+        if self.trace.is_some() {
+            eprintln!("[snap] --trace requested; ignoring --snapshot-dir for this run");
+            return None;
+        }
+        match SnapshotStore::open(dir) {
+            Ok(store) => Some(store),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
     }
 
     /// Scales a default size, with a floor so nothing degenerates.
@@ -248,6 +289,8 @@ mod tests {
             quick: false,
             threads: 1,
             trace: None,
+            snapshot_dir: None,
+            resume: false,
         };
         assert_eq!(a.sized(1000), 500);
         assert_eq!(a.sized(10), 64, "floor applies");
@@ -256,6 +299,8 @@ mod tests {
             quick: true,
             threads: 1,
             trace: None,
+            snapshot_dir: None,
+            resume: false,
         };
         assert_eq!(q.sized(1000), 250);
     }
@@ -280,6 +325,15 @@ mod tests {
             Some(std::path::Path::new("results/tr"))
         );
         assert!(parse(&["--trace"]).is_err());
+        let sn = parse(&["--snapshot-dir", "results/snaps", "--resume"]).unwrap();
+        assert_eq!(
+            sn.snapshot_dir.as_deref(),
+            Some(std::path::Path::new("results/snaps"))
+        );
+        assert!(sn.resume);
+        assert!(parse(&["--snapshot-dir"]).is_err());
+        let err = parse(&["--resume"]).unwrap_err();
+        assert!(err.contains("--snapshot-dir"), "unhelpful error: {err}");
     }
 
     #[test]

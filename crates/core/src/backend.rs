@@ -12,8 +12,12 @@
 //! for actual ray tracing, shader callbacks — is inherited unchanged, which
 //! is why TTA's area overhead is <2% of the Ray-Box unit (§V-C1).
 
+use gpu_sim::snapshot::{BagError, StateBag};
 use rta::config::RtaConfig;
-use rta::units::{IntersectionBackend, PipelinedUnit, TestKind, UnitStats, UnsupportedTest};
+use rta::units::{
+    export_units, import_units, IntersectionBackend, PipelinedUnit, TestKind, UnitStats,
+    UnsupportedTest,
+};
 
 /// TTA configuration: the baseline RTA plus the modified-unit latencies.
 #[derive(Debug, Clone, PartialEq)]
@@ -165,6 +169,29 @@ impl IntersectionBackend for TtaBackend {
             ("IntersectionShader".to_owned(), self.shader.stats.clone()),
         ]
     }
+
+    fn export_state(&self) -> StateBag {
+        let mut bag = StateBag::new();
+        bag.put("box_units", export_units(&self.box_units));
+        bag.put("tri_units", export_units(&self.tri_units));
+        bag.put_bag("xform_unit", self.xform_unit.export_state());
+        bag.put_bag("shader", self.shader.export_state());
+        bag.put_u64("shader_calls", self.shader_calls);
+        bag.put_u64("query_key_tests", self.query_key_tests);
+        bag.put_u64("point_tests", self.point_tests);
+        bag
+    }
+
+    fn import_state(&mut self, bag: &StateBag) -> Result<(), BagError> {
+        import_units(&mut self.box_units, bag, "box_units")?;
+        import_units(&mut self.tri_units, bag, "tri_units")?;
+        self.xform_unit.import_state(bag.bag("xform_unit")?)?;
+        self.shader.import_state(bag.bag("shader")?)?;
+        self.shader_calls = bag.u64("shader_calls")?;
+        self.query_key_tests = bag.u64("query_key_tests")?;
+        self.point_tests = bag.u64("point_tests")?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -195,6 +222,26 @@ mod tests {
     fn programs_are_rejected() {
         let mut b = TtaBackend::new(TtaConfig::default_paper());
         assert!(b.schedule(TestKind::Program(0), 0).is_err());
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_unit_stamps() {
+        let mut b = TtaBackend::new(TtaConfig::default_paper());
+        b.schedule(TestKind::QueryKey, 0).unwrap();
+        b.schedule(TestKind::RayBox, 5).unwrap();
+        b.schedule(TestKind::PointToPoint, 7).unwrap();
+        let snap = b.export_state();
+
+        let mut fresh = TtaBackend::new(TtaConfig::default_paper());
+        fresh.import_state(&snap).expect("snapshot fits");
+        assert_eq!(fresh.export_state(), snap, "export/import is lossless");
+        assert_eq!(fresh.query_key_tests(), 1);
+        assert_eq!(fresh.point_tests(), 1);
+        // Scheduling after restore lands exactly where the original does.
+        assert_eq!(
+            fresh.schedule(TestKind::RayBox, 8),
+            b.schedule(TestKind::RayBox, 8)
+        );
     }
 
     #[test]

@@ -10,7 +10,10 @@
 
 use std::collections::HashMap;
 
-use rta::units::{IntersectionBackend, PipelinedUnit, TestKind, UnitStats, UnsupportedTest};
+use gpu_sim::snapshot::{BagError, SnapValue, StateBag};
+use rta::units::{
+    import_units, IntersectionBackend, PipelinedUnit, TestKind, UnitStats, UnsupportedTest,
+};
 
 use crate::op_unit::OpUnit;
 use crate::programs::UopProgram;
@@ -327,6 +330,108 @@ impl IntersectionBackend for TtaPlusBackend {
         out.push(("IntersectionShader".to_owned(), self.shader.stats.clone()));
         out
     }
+
+    fn export_state(&self) -> StateBag {
+        let program_bag = |s: &ProgramStats| {
+            SnapValue::List(
+                [s.invocations, s.total_latency, s.icnt_cycles]
+                    .into_iter()
+                    .map(SnapValue::U64)
+                    .collect(),
+            )
+        };
+        let mut bag = StateBag::new();
+        // OP unit pools keyed by unit name, iterated in the fixed
+        // `OpUnit::ALL` order (the HashMap's own order is nondeterministic).
+        let mut units = StateBag::new();
+        for u in OpUnit::ALL {
+            if let Some(pool) = self.units.get(&u) {
+                units.put(u.name(), rta::units::export_units(pool));
+            }
+        }
+        bag.put_bag("units", units);
+        bag.put("crossbar", rta::units::export_units(&self.crossbar));
+        bag.put_list(
+            "program_stats",
+            self.program_stats.iter().map(program_bag).collect(),
+        );
+        // Parallel to BUILTIN_TRACE_ORDER; programs that never ran export
+        // all-zero rows (a live entry always has `invocations >= 1`).
+        bag.put_list(
+            "builtin_stats",
+            BUILTIN_TRACE_ORDER
+                .iter()
+                .map(|name| {
+                    self.builtin_stats
+                        .get(name)
+                        .map_or(SnapValue::List(vec![SnapValue::U64(0); 3]), &program_bag)
+                })
+                .collect(),
+        );
+        bag.put_bag("shader", self.shader.export_state());
+        bag.put_u64("shader_calls", self.shader_calls);
+        bag.put_u64("trace_invocations", self.trace_invocations);
+        bag
+    }
+
+    fn import_state(&mut self, bag: &StateBag) -> Result<(), BagError> {
+        let unpack = |v: &SnapValue, what: &str| -> Result<ProgramStats, BagError> {
+            let SnapValue::List(items) = v else {
+                return Err(BagError::WrongKind(what.to_owned()));
+            };
+            let row: Vec<u64> = items
+                .iter()
+                .map(|x| match x {
+                    SnapValue::U64(n) => Ok(*n),
+                    _ => Err(BagError::WrongKind(what.to_owned())),
+                })
+                .collect::<Result<_, _>>()?;
+            let row: [u64; 3] = row
+                .try_into()
+                .map_err(|_| BagError::Mismatch(format!("{what} arity")))?;
+            Ok(ProgramStats {
+                invocations: row[0],
+                total_latency: row[1],
+                icnt_cycles: row[2],
+            })
+        };
+        let units_bag = bag.bag("units")?;
+        for u in OpUnit::ALL {
+            if let Some(pool) = self.units.get_mut(&u) {
+                import_units(pool, units_bag, u.name())?;
+            }
+        }
+        import_units(&mut self.crossbar, bag, "crossbar")?;
+        let ps = bag.list("program_stats")?;
+        if ps.len() != self.program_stats.len() {
+            return Err(BagError::Mismatch(format!(
+                "snapshot has {} custom programs, host has {}",
+                ps.len(),
+                self.program_stats.len()
+            )));
+        }
+        self.program_stats = ps
+            .iter()
+            .map(|v| unpack(v, "program_stats"))
+            .collect::<Result<_, _>>()?;
+        let bs = bag.list("builtin_stats")?;
+        if bs.len() != BUILTIN_TRACE_ORDER.len() {
+            return Err(BagError::Mismatch("builtin_stats arity".to_owned()));
+        }
+        self.builtin_stats.clear();
+        for (name, v) in BUILTIN_TRACE_ORDER.iter().zip(bs) {
+            let s = unpack(v, "builtin_stats")?;
+            // All-zero means "never ran": keep the entry absent so
+            // `builtin_stats()` still answers `None` after a restore.
+            if s != ProgramStats::default() {
+                self.builtin_stats.insert(name, s);
+            }
+        }
+        self.shader.import_state(bag.bag("shader")?)?;
+        self.shader_calls = bag.u64("shader_calls")?;
+        self.trace_invocations = bag.u64("trace_invocations")?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -398,6 +503,46 @@ mod tests {
         // Throughput is bounded by the shader initiation interval.
         let second = b.schedule(TestKind::IntersectionShader, 0).unwrap();
         assert_eq!(second, 424);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_replays_contention() {
+        let p = UopProgram::ray_sphere_leaf();
+        let mut b = TtaPlusBackend::new(TtaPlusConfig::default_paper(), vec![p.clone()]);
+        b.schedule(TestKind::RayBox, 0).unwrap();
+        b.schedule(TestKind::Program(0), 3).unwrap();
+        let snap = b.export_state();
+
+        let mut fresh = TtaPlusBackend::new(TtaPlusConfig::default_paper(), vec![p]);
+        fresh.import_state(&snap).expect("snapshot fits");
+        assert_eq!(fresh.export_state(), snap, "export/import is lossless");
+        assert_eq!(fresh.program_stats(0), b.program_stats(0));
+        assert_eq!(fresh.builtin_stats("ray_box"), b.builtin_stats("ray_box"));
+        assert_eq!(
+            fresh.builtin_stats("transform"),
+            None,
+            "never-ran builtins stay absent after restore"
+        );
+        // Structural hazards replay identically from the restored stamps.
+        assert_eq!(
+            fresh.schedule(TestKind::RayBox, 10),
+            b.schedule(TestKind::RayBox, 10)
+        );
+    }
+
+    #[test]
+    fn snapshot_rejects_program_count_mismatch() {
+        let mut b = TtaPlusBackend::new(TtaPlusConfig::default_paper(), vec![]);
+        b.schedule(TestKind::RayBox, 0).unwrap();
+        let snap = b.export_state();
+        let mut other = TtaPlusBackend::new(
+            TtaPlusConfig::default_paper(),
+            vec![UopProgram::ray_sphere_leaf()],
+        );
+        assert!(matches!(
+            other.import_state(&snap),
+            Err(BagError::Mismatch(_))
+        ));
     }
 
     #[test]

@@ -13,13 +13,13 @@
 //! state, so a fleet run is byte-deterministic at any host thread count.
 
 use gpu_sim::SimStats;
-use serve::{BatchService, DeviceEngine};
-use trace::{TraceHandle, Track};
+use serve::BatchService;
+use trace::TraceHandle;
 
-use crate::autoscale::{AutoscaleConfig, Autoscaler};
-use crate::router::{Router, RouterPolicy};
-use crate::shard::{ShardMap, ShardSpec};
-use crate::slo::{OverloadAction, SloConfig};
+use crate::autoscale::AutoscaleConfig;
+use crate::router::RouterPolicy;
+use crate::shard::ShardSpec;
+use crate::slo::SloConfig;
 
 /// Fleet configuration: everything above the per-device batch policy.
 #[derive(Debug, Clone)]
@@ -117,6 +117,10 @@ pub struct FleetOutcome {
 /// same query universe), an offered arrival stream with per-query class
 /// assignments, and the cluster mechanics of [`FleetConfig`].
 ///
+/// Internally this drives a [`crate::session::FleetSession`] to
+/// completion — the resumable form used for horizon sharding and
+/// snapshot/restore; the journal bytes are identical by construction.
+///
 /// # Panics
 ///
 /// Panics when `services` is empty or the devices disagree on the query
@@ -128,229 +132,11 @@ pub fn run_fleet(
     arrivals: &[u64],
     classes: &[usize],
 ) -> FleetOutcome {
-    assert!(!services.is_empty(), "fleet needs at least one device");
-    assert_eq!(
-        arrivals.len(),
-        classes.len(),
-        "every offered query needs a class"
+    let session = crate::session::FleetSession::new(
+        services,
+        cfg.clone(),
+        arrivals.to_vec(),
+        classes.to_vec(),
     );
-    assert!(
-        arrivals.windows(2).all(|w| w[0] <= w[1]),
-        "arrival stream must be sorted by cycle"
-    );
-    let n_classes = cfg.slo.classes.len();
-    assert!(n_classes > 0, "fleet needs at least one SLO class");
-    assert!(
-        classes.iter().all(|&c| c < n_classes),
-        "class index out of range"
-    );
-    let universe = services[0].query_count();
-    assert!(universe > 0, "backend has an empty query universe");
-    assert!(
-        services.iter().all(|s| s.query_count() == universe),
-        "all devices must host the same query universe"
-    );
-
-    let n_dev = services.len();
-    // The fleet trace stays at cluster level (router, per-device batch,
-    // per-query queue tracks). The shared handle is deliberately NOT
-    // wired into the device sims: each backend GPU stamps its singleton
-    // tracks with its own sim-local clock, and N devices' clocks would
-    // interleave into overlapping spans on one timeline.
-    let map = ShardMap::place(universe, n_dev, &cfg.shards);
-    let mut engines: Vec<DeviceEngine> = (0..n_dev)
-        .map(|d| {
-            DeviceEngine::new(
-                cfg.policy.clone(),
-                cfg.queue_capacity,
-                services[d].warp_width(),
-                cfg.trace.clone(),
-                Track::FleetDevice(d as u32),
-                Track::FleetQueue(d as u32),
-            )
-        })
-        .collect();
-    let mut router = Router::new(cfg.router, cfg.router_seed);
-    let mut scaler = Autoscaler::new(n_dev, cfg.autoscale.clone(), cfg.trace.clone());
-
-    let mut queries: Vec<FleetQueryOutcome> = arrivals
-        .iter()
-        .zip(classes)
-        .enumerate()
-        .map(|(id, (&t, &c))| FleetQueryOutcome {
-            arrival: t,
-            completion: None,
-            device: None,
-            class: c,
-            shard: map.shard_of_query(id),
-            local: false,
-        })
-        .collect();
-    let qshard: Vec<usize> = queries.iter().map(|q| q.shard).collect();
-
-    let mut routed = vec![0u64; n_dev];
-    let mut in_flight = vec![0usize; n_dev];
-    let mut shard_misses = vec![0u64; n_dev];
-    let mut queued_per_class = vec![0usize; n_classes];
-    let mut admission_dropped = 0u64;
-    let mut makespan = 0u64;
-    let mut now = 0u64;
-    let mut next_arrival = 0usize;
-
-    loop {
-        // Admit every arrival that has happened by `now`, in stream order.
-        while next_arrival < arrivals.len() && arrivals[next_arrival] <= now {
-            let id = next_arrival;
-            next_arrival += 1;
-            let class = queries[id].class;
-            let queued_total: usize = engines.iter().map(|e| e.queue_len()).sum();
-            // Scaling is evaluated lazily at arrival boundaries: parking
-            // and warming only matter when there is a query to route.
-            scaler.maybe_scale_down(now, &mut |d| {
-                engines[d].queue_len() == 0 && engines[d].device_free_at() <= now
-            });
-            scaler.maybe_scale_up(queued_total, now);
-
-            let slo_class = &cfg.slo.classes[class];
-            let over = slo_class
-                .queue_cap
-                .is_some_and(|cap| queued_per_class[class] >= cap);
-            let spill = match (over, slo_class.overload) {
-                (true, OverloadAction::Drop) => {
-                    admission_dropped += 1;
-                    cfg.trace
-                        .instant(Track::Router, "admission_drop", now, class as u64);
-                    continue;
-                }
-                (true, OverloadAction::Spill) => true,
-                (false, _) => false,
-            };
-
-            let shard = qshard[id];
-            let active = scaler.active();
-            let preferred: Vec<usize> = if spill {
-                Vec::new() // degraded: locality bypassed
-            } else {
-                map.replicas(shard)
-                    .iter()
-                    .copied()
-                    .filter(|&d| scaler.is_warm(d))
-                    .collect()
-            };
-            let d = router.route(&active, &preferred, &mut |d| {
-                engines[d].queue_len()
-                    + if engines[d].device_free_at() > now {
-                        in_flight[d]
-                    } else {
-                        0
-                    }
-            });
-            cfg.trace.instant(Track::Router, "route", now, d as u64);
-            routed[d] += 1;
-            if engines[d].on_arrival(id, now) {
-                queued_per_class[class] += 1;
-                queries[id].device = Some(d);
-                queries[id].local = map.holds(d, shard);
-                scaler.note_activity(d, now);
-            }
-        }
-        let drained = next_arrival >= arrivals.len();
-        if drained && engines.iter().all(|e| e.queue_len() == 0) {
-            break;
-        }
-
-        // Launch pass, ascending device order.
-        let mut launched = false;
-        for d in 0..n_dev {
-            if !engines[d].wants_launch(now, drained) {
-                continue;
-            }
-            let cold = scaler.take_pending(d);
-            let mut misses = 0u64;
-            let mut batch_len = 0usize;
-            let svc = &mut services[d];
-            let completions = engines[d].launch(now, &mut |ids| {
-                batch_len = ids.len();
-                let mut stats = svc.run_batch(ids);
-                misses = ids.iter().filter(|&&id| !map.holds(d, qshard[id])).count() as u64;
-                // Remote-shard fetches and cold-start warm-up extend the
-                // launch itself, keeping the busy bucket honest.
-                let extra = cold + cfg.shard_miss_penalty * misses;
-                if extra > 0 {
-                    stats.cycles += extra;
-                    for w in &mut stats.warp_completions {
-                        *w += extra;
-                    }
-                }
-                stats
-            });
-            shard_misses[d] += misses;
-            in_flight[d] = batch_len;
-            for (id, done) in completions {
-                queries[id].completion = Some(done);
-                makespan = makespan.max(done);
-                queued_per_class[queries[id].class] -= 1;
-            }
-            scaler.note_activity(d, engines[d].device_free_at());
-            launched = true;
-        }
-        if launched {
-            continue; // re-check admissions/launches at the same `now`
-        }
-
-        // Advance the clock to the next event anywhere in the cluster.
-        let mut next: Option<u64> = (!drained).then(|| arrivals[next_arrival]);
-        for e in &engines {
-            if let Some(t) = e.next_event(now) {
-                next = Some(next.map_or(t, |x| x.min(t)));
-            }
-        }
-        match next {
-            Some(t) => {
-                debug_assert!(t > now, "virtual clock must advance");
-                for e in &mut engines {
-                    e.advance(now, t);
-                }
-                now = t;
-            }
-            // Unreachable in practice (a drained non-empty queue always
-            // flushes); defensive exit, not a hang.
-            None => break,
-        }
-    }
-
-    let horizon = engines.iter().fold(now, |h, e| h.max(e.device_free_at()));
-    let mut per_device = Vec::with_capacity(n_dev);
-    for (d, mut e) in engines.into_iter().enumerate() {
-        // Bring every device to the cluster-wide quiet point first, then
-        // settle: the partition holds against the *cluster* horizon.
-        e.advance(now, horizon);
-        let (busy, queue_wait, idle) = e.settle(horizon);
-        debug_assert_eq!(
-            busy + queue_wait + idle,
-            horizon,
-            "device {d} buckets must partition the cluster horizon"
-        );
-        per_device.push(FleetDeviceReport {
-            routed: routed[d],
-            batches: e.batches(),
-            completed: e.completed(),
-            dropped: e.dropped(),
-            busy_cycles: busy,
-            queue_wait_cycles: queue_wait,
-            idle_cycles: idle,
-            max_queue_depth: e.max_queue_depth(),
-            shard_misses: shard_misses[d],
-            cold_starts: scaler.cold_starts(d),
-            launch_stats: e.into_launch_stats(),
-        });
-    }
-
-    FleetOutcome {
-        queries,
-        per_device,
-        admission_dropped,
-        makespan,
-        horizon,
-    }
+    session.finish(services)
 }

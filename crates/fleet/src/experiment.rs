@@ -14,6 +14,7 @@ use crate::autoscale::AutoscaleConfig;
 use crate::cluster::{run_fleet, FleetConfig};
 use crate::metrics::summarize;
 use crate::router::RouterPolicy;
+use crate::session::FleetSession;
 use crate::shard::ShardSpec;
 use crate::slo::SloConfig;
 
@@ -162,6 +163,128 @@ impl FleetExperiment {
         if let (Some(dir), Some(sink)) = (&self.trace_dir, &sink) {
             workloads::runner::write_trace(dir, &label, sink);
         }
+        let all_stats: Vec<_> = outcome
+            .per_device
+            .iter()
+            .flat_map(|d| d.launch_stats.iter().cloned())
+            .collect();
+        RunResult {
+            label,
+            stats: sum_stats(&all_stats),
+            accel: merge_accel(services.iter().filter_map(|s| s.accel_report())),
+            serve: None,
+            fleet: Some(summary),
+        }
+    }
+
+    /// Runs the fleet as `segments` horizon shards: the virtual horizon is
+    /// cut at evenly spaced cycles, and at each cut the full cluster state
+    /// (session clock/router/autoscaler/engines + every device's GPU) is
+    /// exported, **fresh** services and a fresh session are built from the
+    /// configuration, and the snapshot is restored onto them before
+    /// continuing. The result is identical to
+    /// [`run`](FleetExperiment::run) — the differential tests in
+    /// `tta-snap` assert journal byte-equality.
+    ///
+    /// Tracing is disabled in sharded mode (spans would split across
+    /// segments); `trace_dir` is ignored. `segments == 1` degenerates to a
+    /// straight-line run.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `segments` is zero, when `verify` is set and a sampled
+    /// batch diverges from the host oracle, or when attached inputs
+    /// mismatch the workload.
+    pub fn run_sharded(&self, segments: usize) -> RunResult {
+        assert!(segments >= 1, "horizon sharding needs at least one segment");
+        let inputs = match &self.inputs {
+            Some(i) => Arc::clone(i),
+            None => Arc::new(self.build_inputs()),
+        };
+        let max_batch = self.policy.max_batch(self.gpu.warp_width);
+        let build_fleet = || -> Vec<Box<dyn BatchService>> {
+            (0..self.devices)
+                .map(|_| {
+                    build_service(
+                        &self.workload,
+                        self.backend,
+                        &inputs,
+                        &self.gpu,
+                        max_batch,
+                        self.verify,
+                    )
+                })
+                .collect()
+        };
+        let arrivals =
+            workloads::gen::exponential_arrivals(self.offered, self.arrival_mean_cycles, self.seed);
+        let classes =
+            workloads::gen::class_assignments(self.offered, &self.slo.weights(), self.seed);
+        let cfg = FleetConfig {
+            policy: self.policy.clone(),
+            router: self.router,
+            router_seed: self.seed,
+            queue_capacity: self.queue_capacity,
+            shards: self.shards.clone(),
+            shard_miss_penalty: self.shard_miss_penalty,
+            slo: self.slo.clone(),
+            autoscale: self.autoscale.clone(),
+            trace: trace::TraceHandle::default(),
+        };
+        let mut services = build_fleet();
+        let mut session = FleetSession::new(
+            &mut services,
+            cfg.clone(),
+            arrivals.clone(),
+            classes.clone(),
+        );
+        let last = arrivals.last().copied().unwrap_or(0);
+        for k in 1..segments as u64 {
+            let stop = last * k / segments as u64;
+            if session.run_until(&mut services, Some(stop)) {
+                break;
+            }
+            let mut snap = gpu_sim::StateBag::new();
+            snap.put_bag("session", session.export_state());
+            snap.put_list(
+                "services",
+                services
+                    .iter()
+                    .map(|s| gpu_sim::SnapValue::Bag(s.export_state()))
+                    .collect(),
+            );
+
+            let mut fresh = build_fleet();
+            let mut fresh_session =
+                FleetSession::new(&mut fresh, cfg.clone(), arrivals.clone(), classes.clone());
+            for (svc, v) in fresh
+                .iter_mut()
+                .zip(snap.list("services").expect("just written"))
+            {
+                let gpu_sim::SnapValue::Bag(b) = v else {
+                    unreachable!("just written as bags")
+                };
+                svc.import_state(b)
+                    .expect("device snapshot fits an identically built backend");
+            }
+            fresh_session
+                .import_state(snap.bag("session").expect("just written"))
+                .expect("cluster snapshot fits an identical configuration");
+            services = fresh;
+            session = fresh_session;
+        }
+        let outcome = session.finish(&mut services);
+        let backend_label = services[0].label();
+        let summary = summarize(&cfg, &backend_label, self.arrival_mean_cycles, &outcome);
+        let label = format!(
+            "fleet {} {} {} d{} {} mean{}",
+            self.workload.name(),
+            backend_label,
+            self.router.label(),
+            self.devices,
+            self.policy.label(),
+            self.arrival_mean_cycles
+        );
         let all_stats: Vec<_> = outcome
             .per_device
             .iter()

@@ -22,6 +22,10 @@
 //! * [`cluster`] — the N-device event loop on one global virtual clock;
 //!   every device keeps the exact partition `busy + queue_wait + idle ==
 //!   horizon`, so cluster cycles sum to `devices × horizon`.
+//! * [`session`] — the resumable form of that loop: pause at any virtual
+//!   cycle, export cluster + router + autoscaler state into a
+//!   [`StateBag`](gpu_sim::snapshot::StateBag), resume on fresh hosts
+//!   with byte-identical journals (`tta-snap` asserts this).
 //! * [`metrics`] / [`experiment`] — the journal's schema-v4 `"fleet"`
 //!   section and the harness-sweepable [`FleetExperiment`].
 //!
@@ -34,6 +38,7 @@ pub mod cluster;
 pub mod experiment;
 pub mod metrics;
 pub mod router;
+pub mod session;
 pub mod shard;
 pub mod slo;
 
@@ -42,5 +47,6 @@ pub use cluster::{run_fleet, FleetConfig, FleetDeviceReport, FleetOutcome, Fleet
 pub use experiment::FleetExperiment;
 pub use metrics::summarize;
 pub use router::{Router, RouterPolicy};
+pub use session::FleetSession;
 pub use shard::{ShardMap, ShardSpec};
 pub use slo::{OverloadAction, SloClass, SloConfig};

@@ -5,6 +5,7 @@
 //! power-of-two-choices — routing is part of the byte-determinism
 //! contract, not a scheduling heuristic left to chance.
 
+use gpu_sim::snapshot::{BagError, StateBag};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -113,6 +114,31 @@ impl Router {
                 Self::shortest(pool, load)
             }
         }
+    }
+
+    /// Exports the router's dynamic state: the round-robin cursor and the
+    /// p2c sampler's RNG words. The policy itself is configuration.
+    pub fn export_state(&self) -> StateBag {
+        let mut bag = StateBag::new();
+        bag.put_u64("rr_next", self.rr_next as u64);
+        bag.put_u64_list("rng", self.rng.state());
+        bag
+    }
+
+    /// Restores state exported by [`Router::export_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`BagError`] when the bag is malformed.
+    pub fn import_state(&mut self, bag: &StateBag) -> Result<(), BagError> {
+        let rng = bag.u64_list("rng")?;
+        let words: [u64; 4] = rng
+            .as_slice()
+            .try_into()
+            .map_err(|_| BagError::Mismatch("router rng state needs 4 words".into()))?;
+        self.rr_next = bag.u64("rr_next")? as usize;
+        self.rng = StdRng::from_state(words);
+        Ok(())
     }
 
     fn shortest(pool: &[usize], load: &mut dyn FnMut(usize) -> usize) -> usize {

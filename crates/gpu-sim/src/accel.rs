@@ -8,6 +8,7 @@
 //! models (`tta`) implement this trait.
 
 use crate::mem::{GlobalMemory, MemorySystem};
+use crate::snapshot::{BagError, StateBag};
 
 /// One lane's traversal descriptor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,6 +86,25 @@ pub trait Accelerator: std::fmt::Debug {
     fn set_trace(&mut self, trace: trace::TraceHandle) {
         let _ = trace;
     }
+
+    /// Exports the accelerator's persistent cross-launch state (snapshot
+    /// support). Called only at a quiescent point — between kernel
+    /// launches, when [`Accelerator::busy`] is false. The default exports
+    /// nothing, which is correct for stateless accelerators.
+    fn export_state(&self) -> StateBag {
+        StateBag::new()
+    }
+
+    /// Restores state exported by [`Accelerator::export_state`] onto an
+    /// identically-configured accelerator.
+    ///
+    /// # Errors
+    ///
+    /// [`BagError`] when the bag does not fit this accelerator.
+    fn import_state(&mut self, bag: &StateBag) -> Result<(), BagError> {
+        let _ = bag;
+        Ok(())
+    }
 }
 
 /// A trivial accelerator that completes every traversal after a fixed
@@ -139,6 +159,17 @@ impl Accelerator for NullAccelerator {
 
     fn as_any(&self) -> &dyn std::any::Any {
         self
+    }
+
+    fn export_state(&self) -> StateBag {
+        let mut bag = StateBag::new();
+        bag.put_u64("submitted", self.submitted);
+        bag
+    }
+
+    fn import_state(&mut self, bag: &StateBag) -> Result<(), BagError> {
+        self.submitted = bag.u64("submitted")?;
+        Ok(())
     }
 }
 

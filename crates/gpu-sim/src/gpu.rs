@@ -7,6 +7,7 @@ use crate::kernel::Kernel;
 use crate::mem::{GlobalMemory, MemorySystem};
 use crate::simt::Warp;
 use crate::sm::Sm;
+use crate::snapshot::{BagError, SnapValue, StateBag};
 use crate::stats::SimStats;
 use trace::{Bucket, TraceHandle, Track};
 
@@ -388,6 +389,87 @@ impl Gpu {
     pub fn accelerator(&self, sm: usize) -> Option<&dyn Accelerator> {
         self.accels[sm].as_deref()
     }
+
+    /// Exports all persistent cross-launch state into a [`StateBag`]:
+    /// the clock, the functional memory image, the timing-model state
+    /// (cache tags, MSHRs, port/channel busy stamps, cumulative stats),
+    /// shadow-check counters, and each attached accelerator's state.
+    ///
+    /// Must be called at a quiescent point — between launches, when every
+    /// SM is idle and no accelerator is busy. Warp/scoreboard/SIMT-stack
+    /// state is transient within a launch and therefore never serialized.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called mid-launch (an SM or accelerator is busy).
+    pub fn export_state(&self) -> StateBag {
+        assert!(
+            self.sms.iter().all(Sm::is_idle)
+                && self
+                    .accels
+                    .iter()
+                    .all(|a| a.as_deref().is_none_or(|a| !a.busy())),
+            "snapshots are taken only at quiescent points (between launches)"
+        );
+        let mut bag = StateBag::new();
+        bag.put_u64("clock", self.clock);
+        bag.put_bag("gmem", self.gmem.export_state());
+        bag.put_bag("mem", self.mem.export_state());
+        bag.put_u64("shadow_value_checks", self.shadow_value_checks);
+        bag.put_u64("shadow_stack_checks", self.shadow_stack_checks);
+        bag.put_list(
+            "accels",
+            self.accels
+                .iter()
+                .map(|a| {
+                    SnapValue::Bag(
+                        a.as_deref()
+                            .map_or_else(StateBag::new, |a| a.export_state()),
+                    )
+                })
+                .collect(),
+        );
+        bag
+    }
+
+    /// Restores state exported by [`Gpu::export_state`] onto a GPU built
+    /// with the same configuration and the same accelerators attached.
+    ///
+    /// # Errors
+    ///
+    /// [`BagError`] when the bag is malformed or does not fit this host
+    /// (e.g. a different SM count or unattached accelerators with state).
+    pub fn import_state(&mut self, bag: &StateBag) -> Result<(), BagError> {
+        let accels = bag.list("accels")?;
+        if accels.len() != self.accels.len() {
+            return Err(BagError::Mismatch(format!(
+                "snapshot has {} accelerator slots, host has {}",
+                accels.len(),
+                self.accels.len()
+            )));
+        }
+        self.clock = bag.u64("clock")?;
+        self.gmem.import_state(bag.bag("gmem")?)?;
+        self.mem.import_state(bag.bag("mem")?)?;
+        self.shadow_value_checks = bag.u64("shadow_value_checks")?;
+        self.shadow_stack_checks = bag.u64("shadow_stack_checks")?;
+        for (i, v) in accels.iter().enumerate() {
+            let sub = match v {
+                SnapValue::Bag(b) => b,
+                _ => return Err(BagError::WrongKind(format!("accels[{i}]"))),
+            };
+            match self.accels[i].as_deref_mut() {
+                Some(acc) => acc.import_state(sub)?,
+                None if sub.entries().is_empty() => {}
+                None => {
+                    return Err(BagError::Mismatch(format!(
+                        "snapshot carries accelerator state for SM {i} but none is attached"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -678,6 +760,90 @@ mod tests {
         let out = gpu.gmem.alloc(64, 64);
         let _ = gpu.launch(&racy_kernel(), 64, &[out as u32]);
         assert_eq!(gpu.race_checks(), 0);
+    }
+
+    #[test]
+    fn snapshot_between_launches_resumes_identically() {
+        // Straight-line: two launches back to back. Snapshotted: snapshot
+        // after the first launch, restore onto a *fresh* GPU, run the
+        // second launch there. Stats and memory must match bit for bit —
+        // warm caches, clock and accelerator counters all carry over.
+        let build = || {
+            let mut gpu = Gpu::new(GpuConfig::small_test(), 1 << 20);
+            gpu.attach_accelerators(|_| Box::new(NullAccelerator::new(50)));
+            gpu
+        };
+        let mut k = KernelBuilder::new("offload");
+        let q = k.reg();
+        let root = k.reg();
+        k.mov_sreg(q, SReg::Param(0));
+        k.mov_sreg(root, SReg::Param(1));
+        k.traverse(q, root, 0);
+        k.exit();
+        let offload = k.build();
+
+        let mut straight = build();
+        let inp = straight.gmem.alloc(4 * 256, 64);
+        let out = straight.gmem.alloc(4 * 256, 64);
+        for i in 0..256u64 {
+            straight.gmem.write_u32(inp + 4 * i, i as u32);
+        }
+        straight.launch(&incr_kernel(), 256, &[inp as u32, out as u32]);
+        straight.launch(&offload, 128, &[0, 0]);
+        let snap = straight.export_state();
+
+        let mut resumed = build();
+        resumed.import_state(&snap).expect("snapshot fits");
+        assert_eq!(resumed.now(), straight.now());
+        assert_eq!(resumed.export_state(), snap, "export/import is lossless");
+
+        let a = straight.launch(&incr_kernel(), 256, &[inp as u32, out as u32]);
+        let b = resumed.launch(&incr_kernel(), 256, &[inp as u32, out as u32]);
+        assert_eq!(a, b, "resumed launch must replay exactly");
+        let a2 = straight.launch(&offload, 128, &[0, 0]);
+        let b2 = resumed.launch(&offload, 128, &[0, 0]);
+        assert_eq!(a2, b2);
+        assert_eq!(resumed.now(), straight.now());
+        for i in 0..256u64 {
+            assert_eq!(
+                resumed.gmem.read_u32(out + 4 * i),
+                straight.gmem.read_u32(out + 4 * i)
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_mismatched_host() {
+        let mut gpu = Gpu::new(GpuConfig::small_test(), 1 << 20);
+        let inp = gpu.gmem.alloc(4 * 64, 64);
+        let out = gpu.gmem.alloc(4 * 64, 64);
+        gpu.launch(&incr_kernel(), 64, &[inp as u32, out as u32]);
+        let snap = gpu.export_state();
+
+        // Different SM count: structured error, no panic.
+        let mut cfg = GpuConfig::small_test();
+        cfg.num_sms = 4;
+        let mut other = Gpu::new(cfg, 1 << 20);
+        assert!(matches!(
+            other.import_state(&snap),
+            Err(BagError::Mismatch(_))
+        ));
+
+        // Snapshot carries accelerator state, host has none attached.
+        let mut accel_gpu = Gpu::new(GpuConfig::small_test(), 1 << 20);
+        accel_gpu.attach_accelerators(|_| Box::new(NullAccelerator::new(50)));
+        let mut k = KernelBuilder::new("offload");
+        let q = k.reg();
+        k.mov_sreg(q, SReg::Param(0));
+        k.traverse(q, q, 0);
+        k.exit();
+        accel_gpu.launch(&k.build(), 64, &[0]);
+        let accel_snap = accel_gpu.export_state();
+        let mut bare = Gpu::new(GpuConfig::small_test(), 1 << 20);
+        assert!(matches!(
+            bare.import_state(&accel_snap),
+            Err(BagError::Mismatch(_))
+        ));
     }
 
     #[test]

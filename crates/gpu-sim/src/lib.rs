@@ -48,6 +48,7 @@ pub mod mem;
 pub mod race;
 pub mod simt;
 pub mod sm;
+pub mod snapshot;
 pub mod stats;
 pub mod verify;
 
@@ -56,4 +57,5 @@ pub use config::{GpuConfig, MemConfig, SchedulerKind};
 pub use gpu::Gpu;
 pub use kernel::{DecodedInstr, DecodedKernel, Kernel, KernelBuilder};
 pub use mem::{GlobalMemory, MemorySystem};
+pub use snapshot::{BagError, SnapValue, StateBag};
 pub use stats::{InstrMix, SimStats};

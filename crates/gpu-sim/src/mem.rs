@@ -8,6 +8,7 @@
 //! parallelism, and DRAM bandwidth saturation — without a full event queue.
 
 use crate::config::MemConfig;
+use crate::snapshot::{BagError, StateBag};
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use trace::{TraceHandle, Track};
 
@@ -147,6 +148,45 @@ impl GlobalMemory {
     #[inline]
     pub fn write_f32(&mut self, addr: u64, value: f32) {
         self.write_u32(addr, value.to_bits());
+    }
+
+    /// Exports the memory image (snapshot support). The zero tail past the
+    /// last nonzero byte is elided — fresh memory is zero-filled, so the
+    /// prefix plus the capacity reproduces the image exactly.
+    pub fn export_state(&self) -> StateBag {
+        let used = self
+            .bytes
+            .iter()
+            .rposition(|&b| b != 0)
+            .map_or(0, |i| i + 1);
+        let mut bag = StateBag::new();
+        bag.put_u64("capacity", self.bytes.len() as u64);
+        bag.put_u64("next_free", self.next_free as u64);
+        bag.put_bytes("image", self.bytes[..used].to_vec());
+        bag
+    }
+
+    /// Restores the image exported by [`GlobalMemory::export_state`],
+    /// resizing to the snapshot's capacity.
+    ///
+    /// # Errors
+    ///
+    /// [`BagError`] on a malformed bag or an image longer than its
+    /// declared capacity.
+    pub fn import_state(&mut self, bag: &StateBag) -> Result<(), BagError> {
+        let capacity = bag.u64("capacity")? as usize;
+        let image = bag.bytes("image")?;
+        if image.len() > capacity {
+            return Err(BagError::Mismatch(format!(
+                "memory image of {} B exceeds capacity {} B",
+                image.len(),
+                capacity
+            )));
+        }
+        self.bytes = vec![0; capacity];
+        self.bytes[..image.len()].copy_from_slice(image);
+        self.next_free = bag.u64("next_free")? as usize;
+        Ok(())
     }
 }
 
@@ -512,6 +552,228 @@ impl MemorySystem {
     }
 }
 
+// Snapshot support. Hash-keyed containers are exported in sorted order so
+// equal states export equal bags; heaps are exported as sorted vectors
+// (pop order is by value, so heap-internal layout is not state).
+impl FullyAssocCache {
+    fn export_state(&self) -> StateBag {
+        let mut bag = StateBag::new();
+        bag.put_u64("stamp", self.stamp);
+        // The BTreeMap `order` (stamp -> line) is the canonical form; the
+        // `lines` HashMap is its inverse and is rebuilt on import.
+        bag.put_u64_list("order", self.order.iter().flat_map(|(&s, &l)| [s, l]));
+        bag
+    }
+
+    fn import_state(&mut self, bag: &StateBag) -> Result<(), BagError> {
+        let flat = bag.u64_list("order")?;
+        if !flat.len().is_multiple_of(2) {
+            return Err(BagError::Mismatch("odd lru-order pair list".into()));
+        }
+        self.stamp = bag.u64("stamp")?;
+        self.order = flat.chunks(2).map(|p| (p[0], p[1])).collect();
+        self.lines = flat.chunks(2).map(|p| (p[1], p[0])).collect();
+        Ok(())
+    }
+}
+
+impl SetAssocCache {
+    fn export_state(&self) -> StateBag {
+        let mut bag = StateBag::new();
+        bag.put_u64("stamp", self.stamp);
+        bag.put_list(
+            "sets",
+            self.sets
+                .iter()
+                .map(|set| {
+                    crate::snapshot::SnapValue::List(
+                        set.iter()
+                            .flat_map(|&(l, s)| [l, s])
+                            .map(crate::snapshot::SnapValue::U64)
+                            .collect(),
+                    )
+                })
+                .collect(),
+        );
+        bag
+    }
+
+    fn import_state(&mut self, bag: &StateBag) -> Result<(), BagError> {
+        let sets = bag.list("sets")?;
+        if sets.len() != self.sets.len() {
+            return Err(BagError::Mismatch(format!(
+                "snapshot has {} L2 sets, host has {}",
+                sets.len(),
+                self.sets.len()
+            )));
+        }
+        self.stamp = bag.u64("stamp")?;
+        for (host, snap) in self.sets.iter_mut().zip(sets) {
+            let crate::snapshot::SnapValue::List(items) = snap else {
+                return Err(BagError::WrongKind("sets".into()));
+            };
+            let flat: Vec<u64> = items
+                .iter()
+                .map(|v| match v {
+                    crate::snapshot::SnapValue::U64(x) => Ok(*x),
+                    _ => Err(BagError::WrongKind("sets".into())),
+                })
+                .collect::<Result<_, _>>()?;
+            if !flat.len().is_multiple_of(2) || flat.len() / 2 > self.ways {
+                return Err(BagError::Mismatch("bad L2 set contents".into()));
+            }
+            *host = flat.chunks(2).map(|p| (p[0], p[1])).collect();
+        }
+        Ok(())
+    }
+}
+
+impl MshrFile {
+    fn export_state(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.inflight.iter().map(|r| r.0).collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn import_state(&mut self, v: Vec<u64>) {
+        self.inflight = v.into_iter().map(std::cmp::Reverse).collect();
+    }
+}
+
+fn sorted_pairs(map: &HashMap<u64, u64>) -> Vec<u64> {
+    let mut pairs: Vec<(u64, u64)> = map.iter().map(|(&k, &v)| (k, v)).collect();
+    pairs.sort_unstable();
+    pairs.into_iter().flat_map(|(k, v)| [k, v]).collect()
+}
+
+fn pairs_into_map(flat: Vec<u64>, name: &str) -> Result<HashMap<u64, u64>, BagError> {
+    if !flat.len().is_multiple_of(2) {
+        return Err(BagError::Mismatch(format!("odd pair list `{name}`")));
+    }
+    Ok(flat.chunks(2).map(|p| (p[0], p[1])).collect())
+}
+
+impl MemorySystem {
+    /// Exports the full timing state: cache tags and LRU stamps, MSHR
+    /// occupancy, pending-fill merge tables, port and channel busy-until
+    /// stamps, and the cumulative statistics.
+    pub fn export_state(&self) -> StateBag {
+        let mut bag = StateBag::new();
+        bag.put_list(
+            "l1",
+            (0..self.l1.len())
+                .map(|sm| {
+                    let mut b = StateBag::new();
+                    b.put_bag("cache", self.l1[sm].export_state());
+                    b.put_u64_list("mshr", self.l1_mshr[sm].export_state());
+                    b.put_u64("port_busy", self.l1_port_busy[sm]);
+                    b.put_u64_list("pending", sorted_pairs(&self.l1_pending[sm]));
+                    crate::snapshot::SnapValue::Bag(b)
+                })
+                .collect(),
+        );
+        bag.put_bag("l2", self.l2.export_state());
+        bag.put_u64_list("l2_mshr", self.l2_mshr.export_state());
+        bag.put_u64_list("l2_pending", sorted_pairs(&self.l2_pending));
+        bag.put_u64_list(
+            "dram_channel_busy",
+            self.dram_channel_busy.iter().map(|b| b.to_bits()),
+        );
+        bag.put_u64("next_req_id", self.next_req_id);
+        bag.put_u64_list(
+            "l1_stats",
+            [
+                self.l1_stats.hits,
+                self.l1_stats.misses,
+                self.l1_stats.mshr_merges,
+            ],
+        );
+        bag.put_u64_list(
+            "l2_stats",
+            [
+                self.l2_stats.hits,
+                self.l2_stats.misses,
+                self.l2_stats.mshr_merges,
+            ],
+        );
+        bag.put_u64_list(
+            "dram_stats",
+            [
+                self.dram_stats.bytes_read,
+                self.dram_stats.bytes_written,
+                self.dram_stats.bytes_requested,
+                self.dram_stats.busy_channel_cycles.to_bits(),
+                self.dram_stats.transactions,
+            ],
+        );
+        bag
+    }
+
+    /// Restores state exported by [`MemorySystem::export_state`] onto a
+    /// hierarchy built with the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`BagError`] when the bag is malformed or was exported from a
+    /// differently-shaped hierarchy (SM count, set count, channel count).
+    pub fn import_state(&mut self, bag: &StateBag) -> Result<(), BagError> {
+        let l1 = bag.list("l1")?;
+        if l1.len() != self.l1.len() {
+            return Err(BagError::Mismatch(format!(
+                "snapshot has {} L1s, host has {}",
+                l1.len(),
+                self.l1.len()
+            )));
+        }
+        for (sm, snap) in l1.iter().enumerate() {
+            let crate::snapshot::SnapValue::Bag(b) = snap else {
+                return Err(BagError::WrongKind("l1".into()));
+            };
+            self.l1[sm].import_state(b.bag("cache")?)?;
+            self.l1_mshr[sm].import_state(b.u64_list("mshr")?);
+            self.l1_port_busy[sm] = b.u64("port_busy")?;
+            self.l1_pending[sm] = pairs_into_map(b.u64_list("pending")?, "pending")?;
+        }
+        self.l2.import_state(bag.bag("l2")?)?;
+        self.l2_mshr.import_state(bag.u64_list("l2_mshr")?);
+        self.l2_pending = pairs_into_map(bag.u64_list("l2_pending")?, "l2_pending")?;
+        let chans = bag.u64_list("dram_channel_busy")?;
+        if chans.len() != self.dram_channel_busy.len() {
+            return Err(BagError::Mismatch(format!(
+                "snapshot has {} DRAM channels, host has {}",
+                chans.len(),
+                self.dram_channel_busy.len()
+            )));
+        }
+        self.dram_channel_busy = chans.into_iter().map(f64::from_bits).collect();
+        self.next_req_id = bag.u64("next_req_id")?;
+        let s1 = bag.u64_list("l1_stats")?;
+        let s2 = bag.u64_list("l2_stats")?;
+        let sd = bag.u64_list("dram_stats")?;
+        if s1.len() != 3 || s2.len() != 3 || sd.len() != 5 {
+            return Err(BagError::Mismatch("bad stats arity".into()));
+        }
+        self.l1_stats = CacheStats {
+            hits: s1[0],
+            misses: s1[1],
+            mshr_merges: s1[2],
+        };
+        self.l2_stats = CacheStats {
+            hits: s2[0],
+            misses: s2[1],
+            mshr_merges: s2[2],
+        };
+        self.dram_stats = DramStats {
+            bytes_read: sd[0],
+            bytes_written: sd[1],
+            bytes_requested: sd[2],
+            busy_channel_cycles: f64::from_bits(sd[3]),
+            transactions: sd[4],
+        };
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -673,6 +935,63 @@ mod tests {
         let mut m = MemorySystem::new(&cfg.mem, 1, true);
         assert_eq!(m.read(0, 0x1000, 32, 10), 11);
         assert_eq!(m.write(0, 0x1000, 32, 10), 11);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_timing_behavior() {
+        // Drive two identical hierarchies to the same state; snapshot one,
+        // restore onto a fresh hierarchy, and require identical completion
+        // times for an identical access sequence afterwards.
+        let drive = |m: &mut MemorySystem| {
+            for i in 0..64u64 {
+                m.read(0, i * 96, 32, i);
+                m.read(1, i * 160 + (1 << 18), 32, i + 3);
+            }
+            m.write(0, 0x8000, 64, 70);
+        };
+        let mut a = mem();
+        drive(&mut a);
+        let mut b = mem();
+        b.import_state(&a.export_state()).unwrap();
+        assert_eq!(a.export_state(), b.export_state(), "exact state copy");
+        let tail: Vec<u64> = (0..32u64)
+            .map(|i| a.read(0, i * 96, 32, 10_000 + i))
+            .collect();
+        let tail_b: Vec<u64> = (0..32u64)
+            .map(|i| b.read(0, i * 96, 32, 10_000 + i))
+            .collect();
+        assert_eq!(
+            tail, tail_b,
+            "restored hierarchy times accesses identically"
+        );
+        assert_eq!(a.l1_stats, b.l1_stats);
+        assert_eq!(a.dram_stats, b.dram_stats);
+    }
+
+    #[test]
+    fn snapshot_rejects_wrong_shape() {
+        let a = mem();
+        let cfg = GpuConfig::vulkan_sim_default();
+        let mut other = MemorySystem::new(&cfg.mem, 4, false); // 4 SMs, not 2
+        assert!(matches!(
+            other.import_state(&a.export_state()),
+            Err(BagError::Mismatch(_))
+        ));
+    }
+
+    #[test]
+    fn global_memory_snapshot_elides_zero_tail() {
+        let mut m = GlobalMemory::new(1 << 16);
+        let buf = m.alloc(128, 64);
+        m.write_u32(buf, 0xdead_beef);
+        let bag = m.export_state();
+        assert!(bag.bytes("image").unwrap().len() < 1 << 12, "tail elided");
+        let mut back = GlobalMemory::new(16); // wrong size: import resizes
+        back.import_state(&bag).unwrap();
+        assert_eq!(back.capacity(), 1 << 16);
+        assert_eq!(back.read_u32(buf), 0xdead_beef);
+        let next = back.alloc(16, 16);
+        assert_eq!(next, m.alloc(16, 16), "bump allocator position restored");
     }
 
     #[test]

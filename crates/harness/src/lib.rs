@@ -53,9 +53,10 @@ pub mod pool;
 pub mod sweep;
 
 pub use cache::InputCache;
+pub use snap::SnapshotStore;
 pub use sweep::{Sweep, SweepOutcome};
 
-use workloads::CacheableExperiment;
+use workloads::{CacheableExperiment, RunSession};
 
 /// Attaches shared cached inputs to an experiment: looks the experiment's
 /// input key up in `cache`, building (once) on miss, and returns the
@@ -65,6 +66,61 @@ pub fn prepare<E: CacheableExperiment>(cache: &InputCache, mut e: E) -> E {
     let inputs = cache.get_or_build(&e.inputs_key(), || e.build_inputs());
     e.set_inputs(inputs);
     e
+}
+
+/// Runs a session through a [`SnapshotStore`]: the `InputCache` idea one
+/// level deeper. With no store this is exactly
+/// [`workloads::session::run_to_end`]. With a store, the session first
+/// tries to restore the snapshot filed under its
+/// [`RunSession::snapshot_key`] and only simulates the steps the snapshot
+/// does not already cover — a completed snapshot skips simulation entirely
+/// and goes straight to verification/harvest, which is what makes warm
+/// sweep reruns (`--snapshot-dir` + `--resume` in the bench binaries)
+/// fast. After a cold run the final state is saved for the next rerun.
+///
+/// A snapshot that no longer fits the session (schema or configuration
+/// drift) is treated as a miss and re-simulated, so stale stores degrade
+/// to cold runs instead of failing.
+///
+/// # Panics
+///
+/// Panics when `strict` is set and no usable snapshot exists — the
+/// `--resume` contract is "restore or fail loudly", never silently
+/// re-simulate.
+pub fn run_or_resume(
+    store: Option<&SnapshotStore>,
+    strict: bool,
+    mut session: Box<dyn RunSession>,
+) -> workloads::RunResult {
+    let Some(store) = store else {
+        assert!(!strict, "--resume requires a snapshot store");
+        return workloads::session::run_to_end(session);
+    };
+    let key = session.snapshot_key().to_owned();
+    let mut restored = false;
+    match store.load(&key) {
+        Ok(bag) => match session.import_state(&bag) {
+            Ok(()) => restored = true,
+            Err(e) => eprintln!("[snap] stale snapshot for `{key}` ({e}); re-running"),
+        },
+        Err(snap::SnapError::Io(_)) if !store.contains(&key) => {}
+        Err(e) => eprintln!("[snap] unreadable snapshot for `{key}` ({e}); re-running"),
+    }
+    assert!(
+        !strict || restored,
+        "--resume: no usable snapshot for `{key}` under {}",
+        store.dir().display()
+    );
+    let was_done = session.done();
+    while !session.done() {
+        session.step();
+    }
+    if !(restored && was_done) {
+        if let Err(e) = store.save(&key, &session.export_state()) {
+            eprintln!("[snap] could not save snapshot for `{key}`: {e}");
+        }
+    }
+    session.finish()
 }
 
 #[cfg(test)]

@@ -143,6 +143,19 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The raw xoshiro256++ state, for snapshot support: restoring it
+        /// with [`StdRng::from_state`] resumes the stream exactly.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a state captured by [`StdRng::state`].
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     impl Rng for StdRng {
         fn next_u64(&mut self) -> u64 {
             let result = self.s[0]
@@ -198,6 +211,18 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let heads = (0..20_000).filter(|_| rng.random_bool(0.25)).count();
         assert!((4_000..6_000).contains(&heads), "got {heads}/20000");
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_the_stream() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            rng.next_u64();
+        }
+        let mut resumed = StdRng::from_state(rng.state());
+        let a: Vec<u64> = (0..16).map(|_| rng.next_u64()).collect();
+        let b: Vec<u64> = (0..16).map(|_| resumed.next_u64()).collect();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -22,6 +22,7 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use gpu_sim::accel::{AccelCtx, Accelerator, TraversalRequest};
 use gpu_sim::mem::GlobalMemory;
+use gpu_sim::snapshot::{BagError, StateBag};
 
 use crate::config::RtaConfig;
 use crate::units::{IntersectionBackend, TestKind, UnitStats};
@@ -582,6 +583,94 @@ impl Accelerator for TraversalEngine {
         self.backend.set_trace(trace.clone());
         self.trace = trace;
     }
+
+    fn export_state(&self) -> StateBag {
+        // Quiescent-point invariants: no resident rays, no queued work.
+        // What *does* persist across launches: the free-slot order (its
+        // pop order decides future slot ids, which break event-queue ties),
+        // the in-flight fetch map and speculative prefetch queue (late
+        // completions merge with future fetches), the issue/arbiter stamps,
+        // and all cumulative statistics.
+        assert!(
+            self.warp_outstanding.is_empty()
+                && self.completed.is_empty()
+                && self.events.is_empty()
+                && self.fetch_queue.is_empty()
+                && self.rays.iter().all(Option::is_none)
+                && self.last_busy_from.is_none(),
+            "engine snapshots are taken only at quiescent points"
+        );
+        let mut bag = StateBag::new();
+        bag.put_u64_list("free_slots", self.free_slots.iter().map(|&s| s as u64));
+        let mut inflight: Vec<(u64, u64)> = self.inflight.iter().map(|(&a, &d)| (a, d)).collect();
+        inflight.sort_unstable();
+        bag.put_u64_list("inflight", inflight.into_iter().flat_map(|(a, d)| [a, d]));
+        bag.put_u64_list(
+            "prefetch_queue",
+            self.prefetch_queue.iter().flat_map(|&(a, t)| [a, t]),
+        );
+        bag.put_u64("next_issue_slot", self.next_issue_slot);
+        bag.put_u64("next_arbiter_slot", self.next_arbiter_slot);
+        bag.put_u64("traversals", self.traversals);
+        bag.put_u64_list(
+            "stats",
+            [
+                self.stats.warps_accepted,
+                self.stats.rays_completed,
+                self.stats.node_fetches,
+                self.stats.fetch_merges,
+                self.stats.nodes_processed,
+                self.stats.warp_buffer_accesses,
+                self.stats.prefetches,
+                self.stats.busy_cycles,
+            ],
+        );
+        bag.put_bag("backend", self.backend.export_state());
+        bag
+    }
+
+    fn import_state(&mut self, bag: &StateBag) -> Result<(), BagError> {
+        let free_slots = bag.u64_list("free_slots")?;
+        if free_slots.len() != self.rays.len()
+            || free_slots.iter().any(|&s| s as usize >= self.rays.len())
+        {
+            return Err(BagError::Mismatch(format!(
+                "snapshot has {} ray slots, host has {}",
+                free_slots.len(),
+                self.rays.len()
+            )));
+        }
+        self.free_slots = free_slots.into_iter().map(|s| s as usize).collect();
+        let inflight = bag.u64_list("inflight")?;
+        if inflight.len() % 2 != 0 {
+            return Err(BagError::Mismatch("odd inflight pair list".to_owned()));
+        }
+        self.inflight = inflight.chunks_exact(2).map(|p| (p[0], p[1])).collect();
+        let prefetch = bag.u64_list("prefetch_queue")?;
+        if prefetch.len() % 2 != 0 {
+            return Err(BagError::Mismatch("odd prefetch pair list".to_owned()));
+        }
+        self.prefetch_queue = prefetch.chunks_exact(2).map(|p| (p[0], p[1])).collect();
+        self.next_issue_slot = bag.u64("next_issue_slot")?;
+        self.next_arbiter_slot = bag.u64("next_arbiter_slot")?;
+        self.traversals = bag.u64("traversals")?;
+        let s = bag.u64_list("stats")?;
+        let s: [u64; 8] = s
+            .try_into()
+            .map_err(|_| BagError::Mismatch("engine stats arity".to_owned()))?;
+        self.stats = EngineStats {
+            warps_accepted: s[0],
+            rays_completed: s[1],
+            node_fetches: s[2],
+            fetch_merges: s[3],
+            nodes_processed: s[4],
+            warp_buffer_accesses: s[5],
+            prefetches: s[6],
+            busy_cycles: s[7],
+        };
+        self.backend.import_state(bag.bag("backend")?)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -765,6 +854,73 @@ mod tests {
             now = engine.next_event(now).unwrap_or(now + 1).max(now + 1);
         }
         assert_eq!(tokens, vec![42]);
+    }
+
+    #[test]
+    fn engine_snapshot_roundtrips_and_replays() {
+        // Drain one warp, snapshot, restore onto a fresh engine, then run
+        // a second warp on both: identical statistics and completion time.
+        let (mut mem, mut gmem, mut engine) = harness();
+        engine.try_submit(one_lane(7, 0x100), 0).unwrap();
+        let t = drive(&mut engine, &mut mem, &mut gmem);
+        let snap = engine.export_state();
+
+        let (_, _, mut fresh) = harness();
+        fresh.import_state(&snap).expect("snapshot fits");
+        assert_eq!(fresh.export_state(), snap, "export/import is lossless");
+        assert_eq!(fresh.stats, engine.stats);
+        assert_eq!(fresh.traverse_instructions(), 1);
+
+        // Both engines continue from the same point. The second warp's
+        // ray-slot assignment and unit stamps depend on the restored state.
+        let mut gmem2 = gmem.clone();
+        let mut mem2 = MemorySystem::new(&GpuConfig::small_test().mem, 1, false);
+        mem2.import_state(&mem.export_state()).expect("mem fits");
+        engine.try_submit(one_lane(8, 0x110), t).unwrap();
+        fresh.try_submit(one_lane(8, 0x110), t).unwrap();
+        let mut now_a = t;
+        let mut now_b = t;
+        while engine.busy() || fresh.busy() {
+            let mut ctx = AccelCtx {
+                mem: &mut mem,
+                gmem: &mut gmem,
+                sm_id: 0,
+                perfect_node_fetch: false,
+            };
+            engine.tick(now_a, &mut ctx);
+            let _ = engine.drain_completed();
+            let mut ctx2 = AccelCtx {
+                mem: &mut mem2,
+                gmem: &mut gmem2,
+                sm_id: 0,
+                perfect_node_fetch: false,
+            };
+            fresh.tick(now_b, &mut ctx2);
+            let _ = fresh.drain_completed();
+            now_a = engine.next_event(now_a).unwrap_or(now_a + 1).max(now_a + 1);
+            now_b = fresh.next_event(now_b).unwrap_or(now_b + 1).max(now_b + 1);
+            assert!(now_a < 1_000_000, "engine hung");
+        }
+        assert_eq!(now_a, now_b, "replay must finish at the same cycle");
+        assert_eq!(engine.stats, fresh.stats);
+        assert_eq!(engine.export_state(), fresh.export_state());
+    }
+
+    #[test]
+    fn engine_snapshot_rejects_wrong_capacity() {
+        let (mut mem, mut gmem, mut engine) = harness();
+        engine.try_submit(one_lane(7, 0x100), 0).unwrap();
+        drive(&mut engine, &mut mem, &mut gmem);
+        let snap = engine.export_state();
+
+        let mut cfg = RtaConfig::baseline();
+        cfg.warp_buffer_warps *= 2;
+        let backend = Box::new(FixedFunctionBackend::new(&cfg));
+        let mut other = TraversalEngine::new(cfg, backend, vec![Box::new(ChainSemantics)]);
+        assert!(matches!(
+            other.import_state(&snap),
+            Err(gpu_sim::snapshot::BagError::Mismatch(_))
+        ));
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //!   crossbar.
 
 use crate::config::RtaConfig;
+use gpu_sim::snapshot::{BagError, StateBag};
 
 /// Which hardware path performs a test.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -130,6 +131,74 @@ impl PipelinedUnit {
     pub fn next_free(&self, now: u64) -> u64 {
         self.next_issue.max(now)
     }
+
+    /// Exports the unit's dynamic state (issue stamp, in-flight tracker,
+    /// statistics). Latency and interval are configuration and stay out.
+    pub fn export_state(&self) -> StateBag {
+        let mut bag = StateBag::new();
+        bag.put_u64("next_issue", self.next_issue);
+        // Retained lazily, so stale end-times are part of the state: the
+        // peak-occupancy accounting of the next `schedule` depends on them.
+        bag.put_u64_list("in_flight", self.in_flight.iter().copied());
+        bag.put_u64("invocations", self.stats.invocations);
+        bag.put_u64("busy_cycles", self.stats.busy_cycles);
+        bag.put_u64("peak_in_flight", self.stats.peak_in_flight as u64);
+        bag.put_u64("total_latency", self.stats.total_latency);
+        bag
+    }
+
+    /// Restores state exported by [`PipelinedUnit::export_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`BagError`] when the bag is malformed.
+    pub fn import_state(&mut self, bag: &StateBag) -> Result<(), BagError> {
+        self.next_issue = bag.u64("next_issue")?;
+        self.in_flight = bag.u64_list("in_flight")?;
+        self.stats.invocations = bag.u64("invocations")?;
+        self.stats.busy_cycles = bag.u64("busy_cycles")?;
+        self.stats.peak_in_flight = bag.u64("peak_in_flight")? as usize;
+        self.stats.total_latency = bag.u64("total_latency")?;
+        Ok(())
+    }
+}
+
+/// Exports a bank of units as a list of per-unit bags.
+pub fn export_units(units: &[PipelinedUnit]) -> gpu_sim::snapshot::SnapValue {
+    gpu_sim::snapshot::SnapValue::List(
+        units
+            .iter()
+            .map(|u| gpu_sim::snapshot::SnapValue::Bag(u.export_state()))
+            .collect(),
+    )
+}
+
+/// Restores a bank of units from a list exported by [`export_units`].
+///
+/// # Errors
+///
+/// [`BagError::Mismatch`] when the bank sizes disagree, [`BagError`] when
+/// any element is malformed.
+pub fn import_units(
+    units: &mut [PipelinedUnit],
+    bag: &StateBag,
+    name: &str,
+) -> Result<(), BagError> {
+    let list = bag.list(name)?;
+    if list.len() != units.len() {
+        return Err(BagError::Mismatch(format!(
+            "`{name}` has {} units, host has {}",
+            list.len(),
+            units.len()
+        )));
+    }
+    for (u, v) in units.iter_mut().zip(list) {
+        match v {
+            gpu_sim::snapshot::SnapValue::Bag(b) => u.import_state(b)?,
+            _ => return Err(BagError::WrongKind(name.to_owned())),
+        }
+    }
+    Ok(())
 }
 
 /// Timing backend for intersection tests.
@@ -153,6 +222,23 @@ pub trait IntersectionBackend: std::fmt::Debug {
     /// emit per-program spans (TTA+) override this.
     fn set_trace(&mut self, trace: trace::TraceHandle) {
         let _ = trace;
+    }
+
+    /// Exports the backend's persistent state (unit issue stamps and
+    /// statistics) for snapshot support. The default exports nothing.
+    fn export_state(&self) -> StateBag {
+        StateBag::new()
+    }
+
+    /// Restores state exported by [`IntersectionBackend::export_state`]
+    /// onto an identically-configured backend.
+    ///
+    /// # Errors
+    ///
+    /// [`BagError`] when the bag does not fit this backend.
+    fn import_state(&mut self, bag: &StateBag) -> Result<(), BagError> {
+        let _ = bag;
+        Ok(())
     }
 }
 
@@ -254,6 +340,25 @@ impl IntersectionBackend for FixedFunctionBackend {
         out.push(("Transform".to_owned(), self.xform_unit.stats.clone()));
         out.push(("IntersectionShader".to_owned(), self.shader.stats.clone()));
         out
+    }
+
+    fn export_state(&self) -> StateBag {
+        let mut bag = StateBag::new();
+        bag.put("box_units", export_units(&self.box_units));
+        bag.put("tri_units", export_units(&self.tri_units));
+        bag.put_bag("xform_unit", self.xform_unit.export_state());
+        bag.put_bag("shader", self.shader.export_state());
+        bag.put_u64("shader_calls", self.shader_calls);
+        bag
+    }
+
+    fn import_state(&mut self, bag: &StateBag) -> Result<(), BagError> {
+        import_units(&mut self.box_units, bag, "box_units")?;
+        import_units(&mut self.tri_units, bag, "tri_units")?;
+        self.xform_unit.import_state(bag.bag("xform_unit")?)?;
+        self.shader.import_state(bag.bag("shader")?)?;
+        self.shader_calls = bag.u64("shader_calls")?;
+        Ok(())
     }
 }
 

@@ -9,6 +9,7 @@
 
 use std::collections::VecDeque;
 
+use gpu_sim::snapshot::{BagError, SnapValue, StateBag};
 use gpu_sim::SimStats;
 use trace::{Bucket, CycleAttribution, TraceHandle, Track};
 
@@ -39,6 +40,25 @@ pub trait BatchService {
     /// ignores it; GPU-backed services forward it to their `Gpu`.
     fn set_trace(&mut self, trace: TraceHandle) {
         let _ = trace;
+    }
+    /// Exports the backend's dynamic state (warm caches, accelerator
+    /// counters, query-buffer contents) for a snapshot. The default is an
+    /// empty bag — correct for stateless backends; GPU-backed services
+    /// forward to [`gpu_sim::Gpu::export_state`].
+    fn export_state(&self) -> StateBag {
+        StateBag::new()
+    }
+    /// Restores state exported by
+    /// [`export_state`](BatchService::export_state) onto a backend built
+    /// from the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`BagError`] when the bag is malformed or does not fit this
+    /// backend's configuration.
+    fn import_state(&mut self, bag: &StateBag) -> Result<(), BagError> {
+        let _ = bag;
+        Ok(())
     }
 }
 
@@ -390,6 +410,71 @@ impl DeviceEngine {
     pub fn into_launch_stats(self) -> Vec<SimStats> {
         self.launch_stats
     }
+
+    /// Exports the engine's dynamic state — queue contents, accounting
+    /// counters, per-launch stats — into a [`StateBag`]. Policy, trace
+    /// handle and track ids are configuration and stay out of the bag;
+    /// restore overlays onto an engine built with the same
+    /// [`DeviceEngine::new`] arguments.
+    pub fn export_state(&self) -> StateBag {
+        let mut bag = StateBag::new();
+        bag.put_u64_list("queue_ids", self.queue.iter().map(|&(id, _)| id as u64));
+        bag.put_u64_list("queue_arrivals", self.queue.iter().map(|&(_, t)| t));
+        bag.put_u64("device_free_at", self.device_free_at);
+        bag.put_u64("batches", self.batches);
+        bag.put_u64("max_queue_depth", self.max_queue_depth as u64);
+        bag.put_u64("dropped", self.dropped);
+        bag.put_u64("completed", self.completed);
+        bag.put_u64("busy_cycles", self.busy_cycles);
+        bag.put_u64("queue_wait_cycles", self.queue_wait_cycles);
+        bag.put_u64("idle_cycles", self.idle_cycles);
+        bag.put_list(
+            "launch_stats",
+            self.launch_stats
+                .iter()
+                .map(|s| SnapValue::Bag(s.to_bag()))
+                .collect(),
+        );
+        bag
+    }
+
+    /// Restores state exported by [`DeviceEngine::export_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`BagError`] when the bag is malformed (missing entries, wrong
+    /// kinds, or inconsistent queue lists).
+    pub fn import_state(&mut self, bag: &StateBag) -> Result<(), BagError> {
+        let ids = bag.u64_list("queue_ids")?;
+        let arrivals = bag.u64_list("queue_arrivals")?;
+        if ids.len() != arrivals.len() {
+            return Err(BagError::Mismatch(
+                "queue id/arrival list lengths disagree".into(),
+            ));
+        }
+        self.queue = ids
+            .iter()
+            .zip(&arrivals)
+            .map(|(&id, &t)| (id as usize, t))
+            .collect();
+        self.device_free_at = bag.u64("device_free_at")?;
+        self.batches = bag.u64("batches")?;
+        self.max_queue_depth = bag.u64("max_queue_depth")? as usize;
+        self.dropped = bag.u64("dropped")?;
+        self.completed = bag.u64("completed")?;
+        self.busy_cycles = bag.u64("busy_cycles")?;
+        self.queue_wait_cycles = bag.u64("queue_wait_cycles")?;
+        self.idle_cycles = bag.u64("idle_cycles")?;
+        self.launch_stats = bag
+            .list("launch_stats")?
+            .iter()
+            .map(|v| match v {
+                SnapValue::Bag(b) => SimStats::from_bag(b),
+                _ => Err(BagError::WrongKind("launch_stats".into())),
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(())
+    }
 }
 
 /// Runs the serving loop: admits `arrivals` (cycle stamps, ascending) into
@@ -402,99 +487,18 @@ impl DeviceEngine {
 /// does); continuous batching credits each query with its *warp's*
 /// completion cycle inside the launch.
 ///
-/// Internally this drives a single [`DeviceEngine`]; `tta-fleet` drives
-/// many from one clock. The journal bytes this produces are part of the
-/// determinism contract and did not change with that refactor.
+/// Internally this drives a [`crate::session::ServeSession`] to
+/// completion; `tta-fleet` drives many [`DeviceEngine`]s from one clock.
+/// The journal bytes this produces are part of the determinism contract
+/// and did not change with either refactor.
 ///
 /// # Panics
 ///
 /// Panics if `arrivals` is not sorted ascending, or if the backend reports
 /// fewer per-warp completion slots than the batch needs.
 pub fn serve(svc: &mut dyn BatchService, cfg: &ServeConfig, arrivals: &[u64]) -> ServeOutcome {
-    assert!(
-        arrivals.windows(2).all(|w| w[0] <= w[1]),
-        "arrival stream must be sorted by cycle"
-    );
-    let universe = svc.query_count();
-    assert!(universe > 0, "backend has an empty query universe");
-    svc.set_trace(cfg.trace.clone());
-
-    let mut queries: Vec<QueryOutcome> = arrivals
-        .iter()
-        .map(|&t| QueryOutcome {
-            arrival: t,
-            completion: None,
-        })
-        .collect();
-    let mut engine = DeviceEngine::new(
-        cfg.policy.clone(),
-        cfg.queue_capacity,
-        svc.warp_width(),
-        cfg.trace.clone(),
-        Track::Device,
-        Track::Queue,
-    );
-    let mut makespan = 0u64;
-    let mut now = 0u64; // virtual clock, in cycles
-    let mut next_arrival = 0usize;
-
-    loop {
-        // Admit every arrival that has happened by `now`.
-        while next_arrival < arrivals.len() && arrivals[next_arrival] <= now {
-            engine.on_arrival(next_arrival, arrivals[next_arrival]);
-            next_arrival += 1;
-        }
-        let drained = next_arrival >= arrivals.len();
-        if drained && engine.queue_len() == 0 {
-            break;
-        }
-
-        // Launch if the device is free and the policy triggers.
-        if engine.wants_launch(now, drained) {
-            for (qi, done) in engine.launch(now, &mut |ids| svc.run_batch(ids)) {
-                queries[qi].completion = Some(done);
-                makespan = makespan.max(done);
-            }
-            continue; // re-admit at the same `now` before advancing
-        }
-
-        // Advance the clock to the next event: an arrival, the device
-        // becoming free, or a policy deadline.
-        let mut next: Option<u64> = (!drained).then(|| arrivals[next_arrival]);
-        if let Some(e) = engine.next_event(now) {
-            next = Some(next.map_or(e, |t| t.min(e)));
-        }
-        match next {
-            Some(t) => {
-                debug_assert!(t > now, "virtual clock must advance");
-                engine.advance(now, t);
-                now = t;
-            }
-            // Unreachable in practice: a drained non-empty queue always
-            // triggers the flush rule above. Defensive exit, not a hang.
-            None => break,
-        }
-    }
-
-    let horizon = now.max(engine.device_free_at());
-    let (busy, queue_wait_cycles, idle_cycles) = engine.settle(horizon);
-    debug_assert_eq!(
-        busy + queue_wait_cycles + idle_cycles,
-        horizon,
-        "serve-side buckets must partition the horizon"
-    );
-
-    ServeOutcome {
-        queries,
-        batches: engine.batches(),
-        max_queue_depth: engine.max_queue_depth(),
-        dropped: engine.dropped(),
-        makespan,
-        launch_stats: engine.into_launch_stats(),
-        queue_wait_cycles,
-        idle_cycles,
-        horizon,
-    }
+    let session = crate::session::ServeSession::new(svc, cfg.clone(), arrivals.to_vec());
+    session.finish(svc)
 }
 
 #[cfg(test)]

@@ -16,6 +16,7 @@ use crate::engine::{serve, BatchService, ServeConfig};
 use crate::metrics::summarize;
 use crate::policy::BatchPolicy;
 use crate::service::{BTreeService, NBodyService, RtnnService, ServeBackend};
+use crate::session::ServeSession;
 
 /// Which query workload the server hosts, with its tree parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -222,6 +223,85 @@ impl ServeExperiment {
         if let (Some(dir), Some(sink)) = (&self.trace_dir, &sink) {
             workloads::runner::write_trace(dir, &label, sink);
         }
+        RunResult {
+            label,
+            stats: sum_stats(&outcome.launch_stats),
+            accel: svc.accel_report(),
+            serve: Some(summary),
+            fleet: None,
+        }
+    }
+
+    /// Runs the experiment as `segments` horizon shards: the virtual
+    /// horizon is cut at evenly spaced cycles, and at each cut the full
+    /// state (session clock/queue/outcomes + backend GPU) is exported,
+    /// a **fresh** service and session are built from the configuration,
+    /// and the snapshot is restored onto them before continuing. The
+    /// result is identical to [`run`](ServeExperiment::run) — the
+    /// differential tests in `tta-snap` assert journal byte-equality.
+    ///
+    /// Tracing is disabled in sharded mode (spans would split across
+    /// segments); `trace_dir` is ignored. `segments == 1` degenerates to
+    /// a straight-line run.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `segments` is zero, when `verify` is set and a sampled
+    /// batch diverges from the host oracle, or when attached inputs
+    /// mismatch the configured workload.
+    pub fn run_sharded(&self, segments: usize) -> RunResult {
+        assert!(segments >= 1, "horizon sharding needs at least one segment");
+        let inputs = match &self.inputs {
+            Some(i) => Arc::clone(i),
+            None => Arc::new(self.build_inputs()),
+        };
+        let arrivals =
+            workloads::gen::exponential_arrivals(self.offered, self.arrival_mean_cycles, self.seed);
+        let cfg = ServeConfig {
+            policy: self.policy.clone(),
+            queue_capacity: self.queue_capacity,
+            trace: trace::TraceHandle::default(),
+        };
+        let mut svc = self.build_service(&inputs);
+        let mut session = ServeSession::new(svc.as_mut(), cfg.clone(), arrivals.clone());
+        // Cut the span of arrival stamps into `segments` equal slices; the
+        // final segment runs past the last arrival to completion.
+        let last = arrivals.last().copied().unwrap_or(0);
+        for k in 1..segments as u64 {
+            let stop = last * k / segments as u64;
+            if session.run_until(svc.as_mut(), Some(stop)) {
+                break;
+            }
+            let mut snap = gpu_sim::StateBag::new();
+            snap.put_bag("session", session.export_state());
+            snap.put_bag("service", svc.export_state());
+
+            let mut fresh_svc = self.build_service(&inputs);
+            let mut fresh_session =
+                ServeSession::new(fresh_svc.as_mut(), cfg.clone(), arrivals.clone());
+            fresh_svc
+                .import_state(snap.bag("service").expect("just written"))
+                .expect("service snapshot fits an identically built backend");
+            fresh_session
+                .import_state(snap.bag("session").expect("just written"))
+                .expect("session snapshot fits an identical stream");
+            svc = fresh_svc;
+            session = fresh_session;
+        }
+        let outcome = session.finish(svc.as_mut());
+        let summary = summarize(
+            &self.policy.label(),
+            &svc.label(),
+            self.arrival_mean_cycles,
+            &outcome,
+        );
+        let label = format!(
+            "serve {} {} {} mean{}",
+            self.workload.name(),
+            svc.label(),
+            self.policy.label(),
+            self.arrival_mean_cycles
+        );
         RunResult {
             label,
             stats: sum_stats(&outcome.launch_stats),

@@ -21,6 +21,10 @@
 //!   queue depth, and drop counters
 //!   ([`ServeSummary`](workloads::ServeSummary), journaled by the
 //!   harness).
+//! * [`session`] — the resumable serving loop: pause at any virtual
+//!   cycle, export engine + clock state into a
+//!   [`StateBag`](gpu_sim::snapshot::StateBag), resume on a fresh host
+//!   with byte-identical journals (`tta-snap` asserts this).
 //! * [`experiment`] — the sweepable [`ServeExperiment`] tying it together.
 //!
 //! The `serve` binary in `tta-bench` runs the checked-in smoke grid and
@@ -31,9 +35,11 @@ pub mod experiment;
 pub mod metrics;
 pub mod policy;
 pub mod service;
+pub mod session;
 
 pub use engine::{serve, BatchService, DeviceEngine, QueryOutcome, ServeConfig, ServeOutcome};
 pub use experiment::{build_service, ServeExperiment, ServeInputs, ServeWorkload};
 pub use metrics::summarize;
 pub use policy::BatchPolicy;
 pub use service::{BTreeService, NBodyService, RtnnService, ServeBackend};
+pub use session::ServeSession;

@@ -141,6 +141,14 @@ impl BatchService for BTreeService {
         self.gpu.set_trace(trace);
     }
 
+    fn export_state(&self) -> gpu_sim::StateBag {
+        self.gpu.export_state()
+    }
+
+    fn import_state(&mut self, bag: &gpu_sim::StateBag) -> Result<(), gpu_sim::BagError> {
+        self.gpu.import_state(bag)
+    }
+
     fn run_batch(&mut self, ids: &[usize]) -> SimStats {
         assert!(!ids.is_empty() && ids.len() <= self.max_batch);
         let rec = btree_sem::QUERY_RECORD_SIZE;
@@ -261,6 +269,14 @@ impl BatchService for RtnnService {
 
     fn set_trace(&mut self, trace: trace::TraceHandle) {
         self.gpu.set_trace(trace);
+    }
+
+    fn export_state(&self) -> gpu_sim::StateBag {
+        self.gpu.export_state()
+    }
+
+    fn import_state(&mut self, bag: &gpu_sim::StateBag) -> Result<(), gpu_sim::BagError> {
+        self.gpu.import_state(bag)
     }
 
     fn run_batch(&mut self, ids: &[usize]) -> SimStats {
@@ -413,6 +429,14 @@ impl BatchService for NBodyService {
 
     fn set_trace(&mut self, trace: trace::TraceHandle) {
         self.gpu.set_trace(trace);
+    }
+
+    fn export_state(&self) -> gpu_sim::StateBag {
+        self.gpu.export_state()
+    }
+
+    fn import_state(&mut self, bag: &gpu_sim::StateBag) -> Result<(), gpu_sim::BagError> {
+        self.gpu.import_state(bag)
     }
 
     fn run_batch(&mut self, ids: &[usize]) -> SimStats {

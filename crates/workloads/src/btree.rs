@@ -7,16 +7,14 @@ use gpu_sim::absint::{AccessMode, ContractLen, MemContract};
 use gpu_sim::isa::SReg;
 use gpu_sim::kernel::{Kernel, KernelBuilder};
 use gpu_sim::GpuConfig;
-use rta::units::TestKind;
 use trees::btree::SerializedBTree;
 use trees::{BTree, BTreeFlavor};
-use tta::btree_sem::{read_query_result, write_query_record, BTreeSemantics, QUERY_RECORD_SIZE};
 use tta::programs::UopProgram;
 
 use crate::cacheable::CacheableExperiment;
 use crate::gen;
-use crate::kernels::{btree_search_kernel, params};
-use crate::runner::{attach_platform, build_gpu, harvest_accel, Platform, RunResult};
+use crate::kernels::params;
+use crate::runner::{Platform, RunResult};
 
 /// One B-Tree experiment configuration.
 #[derive(Debug, Clone)]
@@ -113,103 +111,15 @@ impl BTreeExperiment {
             .build(gen)
     }
 
-    /// Runs the experiment.
+    /// Runs the experiment — a [`crate::session::BTreeSession`] with a
+    /// single chunk, stepped to completion.
     ///
     /// # Panics
     ///
     /// Panics when `verify` is set and the simulated results disagree with
     /// the host-side search oracle.
     pub fn run(&self) -> RunResult {
-        let inputs = match &self.inputs {
-            Some(i) => Arc::clone(i),
-            None => Arc::new(self.build_inputs()),
-        };
-        let (tree, ser) = (&inputs.tree, &inputs.ser);
-        let sorted;
-        let queries: &[u32] = if self.sort_queries {
-            sorted = {
-                let mut q = inputs.queries.clone();
-                q.sort_unstable();
-                q
-            };
-            &sorted
-        } else {
-            &inputs.queries
-        };
-
-        let mem_bytes =
-            (ser.image.len() + self.queries * QUERY_RECORD_SIZE + (1 << 20)).next_power_of_two();
-        let mut gpu = build_gpu(&self.gpu, mem_bytes);
-        let (trace, sink) = crate::runner::trace_pair(self.trace_dir.as_deref());
-        gpu.set_trace(trace);
-        let tree_base = gpu.gmem.alloc(ser.image.len(), 64);
-        gpu.gmem.write_bytes(tree_base, ser.image.as_bytes());
-        let qbase = gpu.gmem.alloc(self.queries * QUERY_RECORD_SIZE, 64);
-        for (i, &q) in queries.iter().enumerate() {
-            write_query_record(&mut gpu.gmem, qbase + (i * QUERY_RECORD_SIZE) as u64, q);
-        }
-
-        let bplus = self.flavor == BTreeFlavor::BPlus;
-        let (inner_test, leaf_test) = match &self.platform {
-            Platform::TtaPlus(..) | Platform::TtaPlusWith(..) => {
-                (TestKind::Program(0), TestKind::Program(1))
-            }
-            _ => (TestKind::QueryKey, TestKind::QueryKey),
-        };
-        attach_platform(&mut gpu, &self.platform, move || {
-            vec![Box::new(BTreeSemantics {
-                tree_base,
-                bplus,
-                inner_test,
-                leaf_test,
-            })]
-        });
-
-        let kernel = self.kernel();
-        let stats = gpu.launch(&kernel, self.queries, &[qbase as u32, tree_base as u32]);
-
-        if self.verify {
-            for (i, &q) in queries.iter().enumerate().step_by(17) {
-                let (found, visited) =
-                    read_query_result(&gpu.gmem, qbase + (i * QUERY_RECORD_SIZE) as u64);
-                let oracle = tree.search(q);
-                assert_eq!(
-                    found, oracle.found,
-                    "{:?} query {q} found mismatch",
-                    self.flavor
-                );
-                assert_eq!(
-                    visited as usize, oracle.nodes_visited,
-                    "{:?} query {q} path mismatch",
-                    self.flavor
-                );
-            }
-        }
-
-        let result = RunResult {
-            label: format!(
-                "{} {}k keys {}",
-                self.flavor,
-                self.keys / 1000,
-                self.platform.label()
-            ),
-            stats,
-            accel: harvest_accel(&gpu),
-            serve: None,
-            fleet: None,
-        };
-        if let (Some(dir), Some(sink)) = (&self.trace_dir, &sink) {
-            crate::runner::write_trace(dir, &result.label, sink);
-        }
-        result
-    }
-
-    fn kernel(&self) -> Kernel {
-        if self.platform.has_accelerator() {
-            traverse_only_kernel(QUERY_RECORD_SIZE as u32)
-        } else {
-            btree_search_kernel(self.flavor == BTreeFlavor::BPlus)
-        }
+        crate::session::run_to_end(Box::new(self.session(1)))
     }
 }
 
@@ -345,6 +255,7 @@ mod tests {
 #[cfg(test)]
 mod pipeline_tests {
     use super::*;
+    use tta::btree_sem::QUERY_RECORD_SIZE;
     use tta::pipeline::AcceleratorGen;
 
     #[test]

@@ -14,7 +14,9 @@
 //! | [`rtree`] | R-Tree range query (extension; §I motivates it) | SIMT kernel | MBR tests on the Ray-Box unit |
 //!
 //! [`gen`] provides the seeded data/scene generators, [`kernels`] the
-//! baseline mini-ISA kernels, and [`runner`] the shared plumbing.
+//! baseline mini-ISA kernels, [`runner`] the shared plumbing, and
+//! [`session`] the resumable launch-by-launch form of every experiment
+//! that the `tta-snap` snapshot/restore machinery drives.
 
 pub mod btree;
 pub mod cacheable;
@@ -26,9 +28,11 @@ pub mod nbody;
 pub mod rtnn;
 pub mod rtree;
 pub mod runner;
+pub mod session;
 
 pub use cacheable::CacheableExperiment;
 pub use runner::{
     AccelReport, FleetClassSummary, FleetDeviceSummary, FleetSummary, Platform, RunResult,
     ServeSummary,
 };
+pub use session::RunSession;

@@ -23,18 +23,15 @@ use gpu_sim::kernel::{Kernel, KernelBuilder};
 use gpu_sim::GpuConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rta::bvh_semantics::{
-    read_ray_result, write_ray_record, BvhSemantics, LeafGeometry, RayQueryMode, RAY_RECORD_SIZE,
-};
-use rta::units::TestKind;
-use trees::bvh::{PrimitiveKind, SerializedBvh};
+use rta::bvh_semantics::RAY_RECORD_SIZE;
+use trees::bvh::SerializedBvh;
 use trees::{Bvh, BvhPrimitive};
 use tta::programs::UopProgram;
 
 use crate::cacheable::CacheableExperiment;
 use crate::gen;
-use crate::kernels::{bvh_trace_kernel, params, THREAD_STACK_BYTES};
-use crate::runner::{attach_platform, build_gpu, harvest_accel, sum_stats, Platform, RunResult};
+use crate::kernels::params;
+use crate::runner::{Platform, RunResult};
 
 /// The evaluated ray-tracing workloads (the LumiBench representative
 /// subset's behaviours).
@@ -174,7 +171,7 @@ impl RtExperiment {
         }
     }
 
-    fn camera(&self, bvh: &Bvh) -> (Vec3, Vec3) {
+    pub(crate) fn camera(&self, bvh: &Bvh) -> (Vec3, Vec3) {
         let b = bvh.bounds();
         let c = b.center();
         let ext = b.extent().max_component();
@@ -182,7 +179,8 @@ impl RtExperiment {
     }
 
     /// Runs the experiment (primary pass + one secondary pass whose ray
-    /// type depends on the workload).
+    /// type depends on the workload) — a [`crate::session::RtSession`]
+    /// stepped to completion.
     ///
     /// # Panics
     ///
@@ -190,170 +188,19 @@ impl RtExperiment {
     /// host BVH oracle, or when `sato`/`offload_sphere` are combined with a
     /// platform that cannot express them.
     pub fn run(&self) -> RunResult {
-        let is_plus = matches!(
-            self.platform,
-            Platform::TtaPlus(..) | Platform::TtaPlusWith(..)
-        );
-        let is_simt = !self.platform.has_accelerator();
-        assert!(
-            !self.sato || is_plus,
-            "SATO needs TTA+'s programmable traversal (the paper's *SHIP_SH)"
-        );
-        assert!(
-            !self.offload_sphere || is_plus,
-            "Ray-Sphere offload needs TTA+'s SQRT unit (the paper's *WKND_PT)"
-        );
-        assert!(
-            !is_simt || !self.workload.uses_spheres(),
-            "the baseline SIMT trace kernel supports triangle scenes only"
-        );
-
-        let inputs = match &self.inputs {
-            Some(i) => Arc::clone(i),
-            None => Arc::new(self.build_inputs()),
-        };
-        let (bvh, ser) = (&inputs.bvh, &inputs.ser);
-        let n = self.width * self.height;
-
-        let mem =
-            (ser.image.len() + 2 * n * (RAY_RECORD_SIZE + THREAD_STACK_BYTES as usize) + (1 << 21))
-                .next_power_of_two();
-        let mut gpu = build_gpu(&self.gpu, mem);
-        gpu.perfect_node_fetch = self.perfect_node_fetch;
-        let tree_base = gpu.gmem.alloc(ser.image.len(), 64);
-        gpu.gmem.write_bytes(tree_base, ser.image.as_bytes());
-        let prim_base = tree_base + ser.prim_base as u64;
-        let qbase = gpu.gmem.alloc(n * RAY_RECORD_SIZE, 64);
-        let stacks = gpu.gmem.alloc(n * THREAD_STACK_BYTES as usize, 64);
-
-        let leaf = match ser.prim_kind {
-            PrimitiveKind::Triangle => LeafGeometry::TRIANGLE,
-            PrimitiveKind::Sphere => LeafGeometry::Sphere {
-                test: if self.offload_sphere {
-                    TestKind::Program(0)
-                } else {
-                    TestKind::IntersectionShader
-                },
-            },
-        };
-        // Alpha masking keeps its shader even on an accelerated box path:
-        // the alpha texture lookup cannot be expressed as μops, so the
-        // any-hit pass tests triangles in the intersection shader.
-        let am = self.workload == RtWorkload::LeafAm;
-        let anyhit_leaf = if am {
-            LeafGeometry::Triangle {
-                test: TestKind::IntersectionShader,
-            }
-        } else {
-            leaf
-        };
-
-        let sato = self.sato;
-        // Pipeline 0: closest hit. Pipeline 1: any hit (secondary passes).
-        attach_platform(&mut gpu, &self.platform, move || {
-            let closest = BvhSemantics {
-                tree_base,
-                prim_base,
-                leaf,
-                mode: RayQueryMode::ClosestHit,
-                sato: false,
-            };
-            let any = BvhSemantics {
-                tree_base,
-                prim_base,
-                leaf: anyhit_leaf,
-                mode: RayQueryMode::AnyHit,
-                sato,
-            };
-            vec![Box::new(closest), Box::new(any)]
-        });
-
-        // Primary pass.
-        let (eye, target) = self.camera(bvh);
-        let primary = gen::camera_rays(self.width, self.height, eye, target);
-        for (i, r) in primary.iter().enumerate() {
-            write_ray_record(&mut gpu.gmem, qbase + (i * RAY_RECORD_SIZE) as u64, r);
-        }
-        let launch_params = [
-            qbase as u32,
-            tree_base as u32,
-            stacks as u32,
-            prim_base as u32,
-        ];
-        let k_closest = if is_simt {
-            bvh_trace_kernel()
-        } else {
-            rt_kernel_for(0)
-        };
-        let mut parts = vec![gpu.launch(&k_closest, n, &launch_params)];
-
-        if self.verify {
-            for (i, r) in primary.iter().enumerate().step_by(97) {
-                let (t, prim, ..) =
-                    read_ray_result(&gpu.gmem, qbase + (i * RAY_RECORD_SIZE) as u64);
-                let (oracle, _) = bvh.closest_hit(r);
-                match oracle {
-                    Some(h) => {
-                        assert_eq!(prim, h.prim as u32, "{} ray {i}", self.workload);
-                        assert!((t - h.t).abs() < 1e-3 * h.t.max(1.0));
-                    }
-                    None => assert_eq!(prim, u32::MAX, "{} ray {i}", self.workload),
-                }
-            }
-        }
-
-        // Collect surfels from the primary hits for the secondary pass.
-        let mut surfels = Vec::new();
-        for (i, r) in primary.iter().enumerate() {
-            let (t, prim, ..) = read_ray_result(&gpu.gmem, qbase + (i * RAY_RECORD_SIZE) as u64);
-            if t.is_finite() {
-                let p = r.at(t);
-                let nrm = prim_normal(bvh, prim as usize, p, r.dir);
-                surfels.push((p + nrm * 1e-3, nrm, r.dir));
-            }
-        }
-
-        // Secondary pass(es): workload-dependent ray type. (On the SIMT
-        // baseline, any-hit passes run the same closest-hit kernel — a
-        // slightly pessimistic but standard formulation for a kernel
-        // without early-exit support.) The shadows workload shoots one
-        // pass per light: shadow rays dominate it, as in the paper.
-        if !surfels.is_empty() {
-            let rounds: u32 = if self.workload == RtWorkload::ShipSh {
-                4
-            } else {
-                1
-            };
-            for round in 0..rounds {
-                let (rays, pipeline) = self.secondary_rays(&surfels, round);
-                for (i, r) in rays.iter().enumerate() {
-                    write_ray_record(&mut gpu.gmem, qbase + (i * RAY_RECORD_SIZE) as u64, r);
-                }
-                let kernel = if is_simt {
-                    bvh_trace_kernel()
-                } else {
-                    rt_kernel_for(pipeline)
-                };
-                parts.push(gpu.launch(&kernel, rays.len(), &launch_params));
-            }
-        }
-
-        let star = self.sato || self.offload_sphere;
-        RunResult {
-            label: format!(
-                "{}{} {}",
-                if star { "*" } else { "" },
-                self.workload,
-                self.platform.label()
-            ),
-            stats: sum_stats(&parts),
-            accel: harvest_accel(&gpu),
-            serve: None,
-            fleet: None,
-        }
+        crate::session::run_to_end(Box::new(self.session()))
     }
 
-    fn secondary_rays(&self, surfels: &[(Vec3, Vec3, Vec3)], round: u32) -> (Vec<Ray>, u16) {
+    // Secondary pass(es): workload-dependent ray type. (On the SIMT
+    // baseline, any-hit passes run the same closest-hit kernel — a
+    // slightly pessimistic but standard formulation for a kernel without
+    // early-exit support.) The shadows workload shoots one pass per
+    // light: shadow rays dominate it, as in the paper.
+    pub(crate) fn secondary_rays(
+        &self,
+        surfels: &[(Vec3, Vec3, Vec3)],
+        round: u32,
+    ) -> (Vec<Ray>, u16) {
         match self.workload {
             RtWorkload::BlobPt | RtWorkload::WkndPt => {
                 // Diffuse bounce: incoherent hemisphere rays, closest-hit.
@@ -454,7 +301,7 @@ pub fn rt_kernel_for(pipeline: u16) -> Kernel {
 }
 
 /// Surface normal of a hit primitive, flipped to face the incoming ray.
-fn prim_normal(bvh: &Bvh, prim: usize, point: Vec3, incoming: Vec3) -> Vec3 {
+pub(crate) fn prim_normal(bvh: &Bvh, prim: usize, point: Vec3, incoming: Vec3) -> Vec3 {
     let n = match bvh.primitives()[prim] {
         BvhPrimitive::Triangle(t) => t.normal().normalized(),
         BvhPrimitive::Sphere(s) => s.normal_at(point),

@@ -4,19 +4,15 @@
 use std::sync::Arc;
 
 use gpu_sim::GpuConfig;
-use rta::units::TestKind;
 use trees::barnes_hut::SerializedBarnesHut;
 use trees::{BarnesHutTree, Particle};
-use tta::nbody_sem::{
-    read_nbody_result, write_nbody_record, BarnesHutSemantics, QUERY_RECORD_SIZE,
-};
+use tta::nbody_sem::QUERY_RECORD_SIZE;
 use tta::programs::UopProgram;
 
-use crate::btree::traverse_only_kernel;
 use crate::cacheable::CacheableExperiment;
 use crate::gen;
-use crate::kernels::{nbody_force_kernel, nbody_integrate_kernel, params, THREAD_STACK_BYTES};
-use crate::runner::{attach_platform, build_gpu, harvest_accel, sum_stats, Platform, RunResult};
+use crate::kernels::params;
+use crate::runner::{Platform, RunResult};
 use gpu_sim::isa::SReg;
 use gpu_sim::kernel::{Kernel, KernelBuilder};
 
@@ -131,145 +127,15 @@ impl NBodyExperiment {
             .build(gen)
     }
 
-    /// Runs the experiment.
+    /// Runs the experiment — a [`crate::session::NBodySession`] stepped
+    /// through its launch plan.
     ///
     /// # Panics
     ///
     /// Panics when `verify` is set and sampled forces diverge from the
     /// host Barnes-Hut oracle.
     pub fn run(&self) -> RunResult {
-        let inputs = match &self.inputs {
-            Some(i) => Arc::clone(i),
-            None => Arc::new(self.build_inputs()),
-        };
-        let (particles, tree, ser) = (&inputs.particles, &inputs.tree, &inputs.ser);
-
-        let mem = (ser.image.len()
-            + self.bodies * (QUERY_RECORD_SIZE + THREAD_STACK_BYTES as usize + 12)
-            + (1 << 20))
-            .next_power_of_two();
-        let mut gpu = build_gpu(&self.gpu, mem);
-        let (trace, sink) = crate::runner::trace_pair(self.trace_dir.as_deref());
-        gpu.set_trace(trace);
-        let tree_base = gpu.gmem.alloc(ser.image.len(), 64);
-        gpu.gmem.write_bytes(tree_base, ser.image.as_bytes());
-        let particle_base = tree_base + ser.particle_base as u64;
-        let qbase = gpu.gmem.alloc(self.bodies * QUERY_RECORD_SIZE, 64);
-        for (i, p) in particles.iter().enumerate() {
-            write_nbody_record(
-                &mut gpu.gmem,
-                qbase + (i * QUERY_RECORD_SIZE) as u64,
-                p.pos,
-                self.theta,
-            );
-        }
-        let stacks = gpu
-            .gmem
-            .alloc(self.bodies * THREAD_STACK_BYTES as usize, 64);
-        let vels = gpu.gmem.alloc(self.bodies * 12, 64);
-
-        let (open_test, force_test) = match &self.platform {
-            Platform::TtaPlus(..) | Platform::TtaPlusWith(..) => {
-                (TestKind::Program(0), TestKind::Program(1))
-            }
-            // On TTA the force computation needs SQRT, which only the
-            // cores have: it runs as deferred core work (§IV-A).
-            _ => (TestKind::PointToPoint, TestKind::IntersectionShader),
-        };
-        // The TTA force path is not a full intersection-shader round-trip:
-        // accumulations are deferred and batched on the cores as coherent
-        // element-wise work (the paper's "computations [that] can already
-        // be easily parallelized"), so it is billed much cheaper than the
-        // procedural-geometry shader callbacks of RTNN/WKND.
-        let platform = match &self.platform {
-            Platform::Tta(cfg) => {
-                let mut cfg = cfg.clone();
-                cfg.rta.shader_callback_latency = 120;
-                cfg.rta.shader_interval = 2;
-                cfg.rta.shader_instructions = 12;
-                Platform::Tta(cfg)
-            }
-            other => other.clone(),
-        };
-        attach_platform(&mut gpu, &platform, move || {
-            vec![Box::new(BarnesHutSemantics {
-                tree_base,
-                particle_base,
-                open_test,
-                force_test,
-            })]
-        });
-
-        let launch_params = [qbase as u32, tree_base as u32, stacks as u32, vels as u32];
-        let mut parts = Vec::new();
-        if self.platform.has_accelerator() {
-            match self.post {
-                PostProcess::Merged => {
-                    let kernel = merged_traverse_integrate_kernel();
-                    parts.push(gpu.launch(&kernel, self.bodies, &launch_params));
-                }
-                PostProcess::Split => {
-                    let kernel = traverse_only_kernel(QUERY_RECORD_SIZE as u32);
-                    parts.push(gpu.launch(&kernel, self.bodies, &launch_params));
-                    parts.push(gpu.launch(&nbody_integrate_kernel(), self.bodies, &launch_params));
-                }
-                PostProcess::None => {
-                    let kernel = traverse_only_kernel(QUERY_RECORD_SIZE as u32);
-                    parts.push(gpu.launch(&kernel, self.bodies, &launch_params));
-                }
-            }
-        } else {
-            // Baseline GPU: params[3] doubles as the particle buffer for
-            // the force kernel, so pass particles there, then velocities.
-            let force_params = [
-                qbase as u32,
-                tree_base as u32,
-                stacks as u32,
-                particle_base as u32,
-            ];
-            parts.push(gpu.launch(&nbody_force_kernel(), self.bodies, &force_params));
-            match self.post {
-                PostProcess::None => {}
-                _ => {
-                    parts.push(gpu.launch(&nbody_integrate_kernel(), self.bodies, &launch_params));
-                }
-            }
-        }
-
-        if self.verify {
-            for (i, p) in particles.iter().enumerate().step_by(61) {
-                let (force, _) =
-                    read_nbody_result(&gpu.gmem, qbase + (i * QUERY_RECORD_SIZE) as u64);
-                let oracle = tree.force_on(p.pos, self.theta);
-                let err = (force - oracle).length();
-                assert!(
-                    err <= 2e-2 * oracle.length().max(1.0),
-                    "body {i}: force {force} vs oracle {oracle}"
-                );
-            }
-        }
-
-        let result = RunResult {
-            label: format!(
-                "N-Body {}D {} {}{}",
-                self.dims,
-                self.bodies,
-                self.platform.label(),
-                match self.post {
-                    PostProcess::Merged => " merged",
-                    PostProcess::Split => " split",
-                    PostProcess::None => "",
-                }
-            ),
-            stats: sum_stats(&parts),
-            accel: harvest_accel(&gpu),
-            serve: None,
-            fleet: None,
-        };
-        if let (Some(dir), Some(sink)) = (&self.trace_dir, &sink) {
-            crate::runner::write_trace(dir, &result.label, sink);
-        }
-        result
+        crate::session::run_to_end(Box::new(self.session()))
     }
 }
 

@@ -14,18 +14,13 @@ use geometry::{Sphere, Vec3};
 use gpu_sim::GpuConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rta::units::TestKind;
 use trees::bvh::SerializedBvh;
 use trees::{Bvh, BvhPrimitive};
 use tta::programs::UopProgram;
-use tta::radius_sem::{
-    read_radius_result, write_radius_record, RadiusSearchSemantics, QUERY_RECORD_SIZE,
-};
 
-use crate::btree::traverse_only_kernel;
 use crate::cacheable::CacheableExperiment;
 use crate::gen;
-use crate::runner::{attach_platform, build_gpu, harvest_accel, Platform, RunResult};
+use crate::runner::{Platform, RunResult};
 
 /// Whether the leaf distance test stays in the intersection shader
 /// (baseline RTNN) or is offloaded (\*RTNN).
@@ -127,93 +122,15 @@ impl RtnnExperiment {
             .build(gen)
     }
 
-    /// Runs the experiment.
+    /// Runs the experiment — a [`crate::session::RtnnSession`] with a
+    /// single chunk, stepped to completion.
     ///
     /// # Panics
     ///
     /// Panics when `verify` is set and sampled counts diverge from the
     /// brute-force-checked BVH oracle.
     pub fn run(&self) -> RunResult {
-        let inputs = match &self.inputs {
-            Some(i) => Arc::clone(i),
-            None => Arc::new(self.build_inputs()),
-        };
-        let (queries, bvh, ser) = (&inputs.queries, &inputs.bvh, &inputs.ser);
-
-        let mem =
-            (ser.image.len() + self.queries * QUERY_RECORD_SIZE + (1 << 20)).next_power_of_two();
-        let mut gpu = build_gpu(&self.gpu, mem);
-        let (trace, sink) = crate::runner::trace_pair(self.trace_dir.as_deref());
-        gpu.set_trace(trace);
-        let tree_base = gpu.gmem.alloc(ser.image.len(), 64);
-        gpu.gmem.write_bytes(tree_base, ser.image.as_bytes());
-        let prim_base = tree_base + ser.prim_base as u64;
-
-        let qbase = gpu.gmem.alloc(self.queries * QUERY_RECORD_SIZE, 64);
-        for (i, &q) in queries.iter().enumerate() {
-            write_radius_record(
-                &mut gpu.gmem,
-                qbase + (i * QUERY_RECORD_SIZE) as u64,
-                q,
-                self.radius,
-            );
-        }
-
-        let is_plus = matches!(
-            self.platform,
-            Platform::TtaPlus(..) | Platform::TtaPlusWith(..)
-        );
-        let inner_test = if is_plus {
-            TestKind::Program(0)
-        } else {
-            TestKind::RayBox
-        };
-        let leaf_test = match (self.leaf, is_plus) {
-            (LeafPath::Shader, _) => TestKind::IntersectionShader,
-            (LeafPath::Offloaded, false) => TestKind::PointToPoint,
-            (LeafPath::Offloaded, true) => TestKind::Program(1),
-        };
-        attach_platform(&mut gpu, &self.platform, move || {
-            vec![Box::new(RadiusSearchSemantics {
-                tree_base,
-                prim_base,
-                inner_test,
-                leaf_test,
-            })]
-        });
-
-        let kernel = traverse_only_kernel(QUERY_RECORD_SIZE as u32);
-        let stats = gpu.launch(&kernel, self.queries, &[qbase as u32, tree_base as u32]);
-
-        if self.verify {
-            for (i, &q) in queries.iter().enumerate().step_by(29) {
-                let (count, _) =
-                    read_radius_result(&gpu.gmem, qbase + (i * QUERY_RECORD_SIZE) as u64);
-                let oracle = bvh.points_within(q, self.radius).len() as u32;
-                assert_eq!(count, oracle, "query {i} at {q}");
-            }
-        }
-
-        let result = RunResult {
-            label: format!(
-                "{}RTNN {}k pts {}",
-                if self.leaf == LeafPath::Offloaded {
-                    "*"
-                } else {
-                    ""
-                },
-                self.points / 1000,
-                self.platform.label()
-            ),
-            stats,
-            accel: harvest_accel(&gpu),
-            serve: None,
-            fleet: None,
-        };
-        if let (Some(dir), Some(sink)) = (&self.trace_dir, &sink) {
-            crate::runner::write_trace(dir, &result.label, sink);
-        }
-        result
+        crate::session::run_to_end(Box::new(self.session(1)))
     }
 }
 

@@ -14,15 +14,13 @@ use gpu_sim::kernel::{Kernel, KernelBuilder};
 use gpu_sim::GpuConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rta::units::TestKind;
 use trees::rtree::{RTree, RTreeEntry, SerializedRTree, ENTRY_STRIDE};
 use tta::programs::UopProgram;
-use tta::rtree_sem::{read_range_result, write_range_record, RTreeSemantics, QUERY_RECORD_SIZE};
+use tta::rtree_sem::QUERY_RECORD_SIZE;
 
-use crate::btree::traverse_only_kernel;
 use crate::cacheable::CacheableExperiment;
 use crate::kernels::{params, THREAD_STACK_BYTES};
-use crate::runner::{attach_platform, build_gpu, harvest_accel, Platform, RunResult};
+use crate::runner::{Platform, RunResult};
 use gpu_sim::absint::{AccessMode, ContractLen, MemContract};
 
 /// One R-Tree experiment configuration.
@@ -118,90 +116,15 @@ impl RTreeExperiment {
         (entries, queries)
     }
 
-    /// Runs the experiment.
+    /// Runs the experiment — a [`crate::session::RTreeSession`] with a
+    /// single chunk, stepped to completion.
     ///
     /// # Panics
     ///
     /// Panics when `verify` is set and sampled counts diverge from the
     /// host R-Tree oracle.
     pub fn run(&self) -> RunResult {
-        let inputs = match &self.inputs {
-            Some(i) => Arc::clone(i),
-            None => Arc::new(self.build_inputs()),
-        };
-        let (queries, tree, ser) = (&inputs.queries, &inputs.tree, &inputs.ser);
-
-        let mem = (ser.image.len()
-            + self.queries * (QUERY_RECORD_SIZE + THREAD_STACK_BYTES as usize)
-            + (1 << 20))
-            .next_power_of_two();
-        let mut gpu = build_gpu(&self.gpu, mem);
-        let tree_base = gpu.gmem.alloc(ser.image.len(), 64);
-        gpu.gmem.write_bytes(tree_base, ser.image.as_bytes());
-        let entry_base = tree_base + ser.entry_base as u64;
-        let qbase = gpu.gmem.alloc(self.queries * QUERY_RECORD_SIZE, 64);
-        for (i, q) in queries.iter().enumerate() {
-            write_range_record(&mut gpu.gmem, qbase + (i * QUERY_RECORD_SIZE) as u64, q);
-        }
-        let stacks = gpu
-            .gmem
-            .alloc(self.queries * THREAD_STACK_BYTES as usize, 64);
-
-        let is_plus = matches!(
-            self.platform,
-            Platform::TtaPlus(..) | Platform::TtaPlusWith(..)
-        );
-        let test = if is_plus {
-            TestKind::Program(0)
-        } else {
-            TestKind::RayBox
-        };
-        attach_platform(&mut gpu, &self.platform, move || {
-            vec![Box::new(RTreeSemantics {
-                tree_base,
-                entry_base,
-                inner_test: test,
-                leaf_test: test,
-            })]
-        });
-
-        let kernel = if self.platform.has_accelerator() {
-            traverse_only_kernel(QUERY_RECORD_SIZE as u32)
-        } else {
-            rtree_range_kernel()
-        };
-        let stats = gpu.launch(
-            &kernel,
-            self.queries,
-            &[
-                qbase as u32,
-                tree_base as u32,
-                stacks as u32,
-                entry_base as u32,
-            ],
-        );
-
-        if self.verify {
-            for (i, q) in queries.iter().enumerate().step_by(23) {
-                let (count, visited) =
-                    read_range_result(&gpu.gmem, qbase + (i * QUERY_RECORD_SIZE) as u64);
-                let (oracle, ovisited) = tree.range_query_counted(q);
-                assert_eq!(count as usize, oracle.len(), "query {i}");
-                assert_eq!(visited as usize, ovisited, "query {i} visit count");
-            }
-        }
-
-        RunResult {
-            label: format!(
-                "R-Tree {}k rects {}",
-                self.rects / 1000,
-                self.platform.label()
-            ),
-            stats,
-            accel: harvest_accel(&gpu),
-            serve: None,
-            fleet: None,
-        }
+        crate::session::run_to_end(Box::new(self.session(1)))
     }
 }
 

@@ -2,7 +2,14 @@
 # Perf-trajectory recorder: measure a sweep binary and append the result
 # to its committed BENCH_<name>.json log.
 #
-#   scripts/bench.sh [quick|quick-shadow|full] [--bench fig13|fleet] [--note "<what changed>"]
+#   scripts/bench.sh [quick|quick-shadow|quick-snap-cold|quick-snap-warm|full]
+#                    [--bench fig13|fleet] [--note "<what changed>"]
+#
+# The quick-snap-* modes measure the snapshot store (fig13 only):
+# quick-snap-cold is a --quick run that also saves every run's final
+# state, quick-snap-warm is the --resume rerun that restores instead of
+# simulating — the pair's wall-clock ratio is the warm-reuse speedup
+# quoted in EXPERIMENTS.md.
 #
 # fig13 (the default) is the broadest harness binary (every workload ×
 # platform pair), so its wall-clock is the repository's
@@ -30,7 +37,7 @@ while [ $# -gt 0 ]; do
     case "$1" in
         --bench) BENCH="$2"; shift 2;;
         --note) NOTE="$2"; shift 2;;
-        *) echo "usage: scripts/bench.sh [quick|quick-shadow|full] [--bench fig13|fleet] [--note <text>]" >&2; exit 2;;
+        *) echo "usage: scripts/bench.sh [quick|quick-shadow|quick-snap-cold|quick-snap-warm|full] [--bench fig13|fleet] [--note <text>]" >&2; exit 2;;
     esac
 done
 case "$BENCH" in
@@ -51,8 +58,17 @@ cp results/"$BENCH".journal.json results/"$BENCH".timing.json results/"$BENCH".c
 case "$MODE" in
     quick)        ./target/release/"$BENCH" --quick --threads 1;;
     quick-shadow) TTA_SHADOW_CHECK=1 TTA_RACE_CHECK=1 ./target/release/"$BENCH" --quick --threads 1;;
+    quick-snap-cold)
+        rm -rf results/snap-bench
+        ./target/release/"$BENCH" --quick --threads 1 --snapshot-dir results/snap-bench;;
+    quick-snap-warm)
+        # Populate a fresh store (unrecorded), then measure the warm
+        # --resume rerun that restores final states instead of simulating.
+        rm -rf results/snap-bench
+        ./target/release/"$BENCH" --quick --threads 1 --snapshot-dir results/snap-bench
+        ./target/release/"$BENCH" --quick --threads 1 --snapshot-dir results/snap-bench --resume;;
     full)         ./target/release/"$BENCH" --threads 1;;
-    *) echo "unknown mode '$MODE' (want quick|quick-shadow|full)" >&2; exit 2;;
+    *) echo "unknown mode '$MODE' (want quick|quick-shadow|quick-snap-cold|quick-snap-warm|full)" >&2; exit 2;;
 esac
 
 ./target/release/bench_gate record "BENCH_$BENCH.json" \

@@ -23,13 +23,19 @@
 #      journal lands under results/
 #   7. traced --quick sweeps (fig13 and the fleet grid), with every
 #      emitted Chrome trace validated by the tta-trace-check binary
-#   8. a shadow- and race-checked --quick fig13 sweep (TTA_SHADOW_CHECK=1
+#   8. the snapshot/restore smoke: a cold --quick fig13 populates a
+#      snapshot store, a warm --resume rerun restores every run's final
+#      state without re-simulating, and the two journals must be
+#      byte-identical; then tta-snap-bisect --diff proves one real
+#      TTA point restores and replays byte-identically at every step
+#      boundary
+#   9. a shadow- and race-checked --quick fig13 sweep (TTA_SHADOW_CHECK=1
 #      TTA_RACE_CHECK=1): the runtime soundness gate asserting every
 #      register value and SIMT stack depth stays inside its static
 #      abstraction, and that no two warps conflict on a global-memory
 #      word within a launch
-#   9. the perf-trajectory gates: BENCH_fig13.json and BENCH_fleet.json
-#      must parse against their schema; the wall-clock of step 8 must not
+#  10. the perf-trajectory gates: BENCH_fig13.json and BENCH_fleet.json
+#      must parse against their schema; the wall-clock of step 9 must not
 #      regress more than 25% against the latest committed quick-shadow
 #      fig13 entry, and the untraced fleet smoke of step 6 not more than
 #      100% against the latest committed quick fleet entry (the fleet
@@ -142,13 +148,25 @@ run cargo run "${CARGO_FLAGS[@]}" --release -p tta-bench --bin fleet -- --quick 
 ls results/trace-smoke-fleet/*.trace.json >/dev/null 2>&1 || { echo "no traces under results/trace-smoke-fleet" >&2; exit 1; }
 run cargo run "${CARGO_FLAGS[@]}" --release -p tta-trace --bin tta-trace-check -- results/trace-smoke-fleet/*.trace.json
 
+# Snapshot/restore smoke: the cold pass simulates and saves every run's
+# final state under results/snap-smoke; the warm --resume pass restores
+# instead of simulating and must write the byte-identical journal. The
+# bisect tool's --diff self-check then proves a real TTA point restores
+# and replays byte-identically at every step boundary.
+rm -rf results/snap-smoke
+run cargo run "${CARGO_FLAGS[@]}" --release -p tta-bench --bin fig13 -- --quick --threads 2 --snapshot-dir results/snap-smoke
+cp results/fig13.journal.json results/snap-smoke-cold.journal.json
+run cargo run "${CARGO_FLAGS[@]}" --release -p tta-bench --bin fig13 -- --quick --threads 2 --snapshot-dir results/snap-smoke --resume
+run cmp results/snap-smoke-cold.journal.json results/fig13.journal.json
+run cargo run "${CARGO_FLAGS[@]}" --release -p tta-snap --bin tta-snap-bisect -- --workload btree --platform tta --chunks 3 --scale 0.2 --diff
+
 # Runtime soundness gate: rerun the Fig. 13 sweep with every launch
 # shadow-checked against the abstract interpreter and race-checked by the
 # dynamic sanitizer. A register value or SIMT stack depth escaping its
 # static abstraction, or two warps conflicting on a global-memory word
 # within a launch, aborts the run. The sweep's own wall-clock (from the
 # timing sidecar, excluding cargo overhead) doubles as the
-# perf-trajectory measurement for step 9.
+# perf-trajectory measurement for step 10.
 echo "==> TTA_SHADOW_CHECK=1 TTA_RACE_CHECK=1 fig13 --quick (soundness gate)"
 TTA_SHADOW_CHECK=1 TTA_RACE_CHECK=1 cargo run "${CARGO_FLAGS[@]}" --release -p tta-bench --bin fig13 -- --quick --threads 2
 

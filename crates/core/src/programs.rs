@@ -225,6 +225,18 @@ impl UopProgram {
         finish
     }
 
+    /// Static `[lower, upper]` latency bracket for one scheduled test of
+    /// this program on a TTA+ backend with crossbar hop cost `hop`. The
+    /// lower end is the contention-free critical path; the upper end is
+    /// the fully serialised schedule (every μop waits for its predecessor
+    /// and pays its own hop), which dominates any legal issue order.
+    pub fn latency_bounds(&self, hop: u64) -> (u64, u64) {
+        (
+            self.critical_path_latency(hop),
+            self.unit_latency_sum() + hop * self.len() as u64,
+        )
+    }
+
     // ---- Table III rows ------------------------------------------------
     //
     // Routing conventions shared with the shipped workload pipelines
@@ -834,5 +846,32 @@ mod tests {
             chain.critical_path_latency(hop),
             chain.unit_latency_sum() + hop * 8
         );
+    }
+
+    #[test]
+    fn latency_bounds_bracket_every_table_iii_program() {
+        let hop = 4;
+        for p in [
+            UopProgram::query_key_inner(),
+            UopProgram::query_key_leaf(),
+            UopProgram::point_to_point_inner(),
+            UopProgram::nbody_force_leaf(),
+            UopProgram::ray_box(),
+            UopProgram::rtnn_leaf(),
+            UopProgram::ray_sphere_leaf(),
+            UopProgram::ray_triangle_leaf(),
+            UopProgram::transform(),
+        ] {
+            let (lo, hi) = p.latency_bounds(hop);
+            assert_eq!(lo, p.critical_path_latency(hop), "{}", p.name());
+            assert_eq!(
+                hi,
+                p.unit_latency_sum() + hop * p.len() as u64,
+                "{}",
+                p.name()
+            );
+            assert!(lo <= hi, "{}: {lo} > {hi}", p.name());
+            assert!(lo > 0, "{}", p.name());
+        }
     }
 }

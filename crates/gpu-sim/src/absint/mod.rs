@@ -28,6 +28,7 @@
 
 mod cfg;
 mod checks;
+mod cost;
 mod domain;
 mod interp;
 mod shadow;
@@ -36,6 +37,11 @@ pub use cfg::{stack_bound, successors, BranchRegion, StackBound, DYNAMIC_STACK_B
 pub use checks::{
     check_memory, check_races, check_termination, AccessMode, ContractLen, LoopRank, LoopSummary,
     MemContract, MemIssue, MemReport, RaceIssue, RaceReport, TermIssue, TermReport,
+};
+pub use cost::{
+    coalescing, coalescing_with, cycle_bounds, divergence, mem_worst_round_trip, BranchDivergence,
+    CoalesceClass, CoalescingReport, CostFacts, CostIssue, CostReport, CycleBounds, Divergence,
+    DivergenceReport, MemSite, TraversalFact, TripFact,
 };
 pub use domain::{AbsVal, Base};
 pub use interp::{analyze, Abstraction, LaunchBounds};

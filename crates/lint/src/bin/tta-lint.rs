@@ -2,22 +2,25 @@
 //! μop programs, workload kernels, and traversal pipelines.
 //!
 //! ```text
-//! tta-lint [--deny-warnings] [--deny <pass>]... [--quiet] [--json]
+//! tta-lint [--deny-warnings] [--deny <pass>]... [--only <pass>]... [--quiet] [--json]
 //! ```
 //!
 //! Exit status is nonzero when any error-severity diagnostic is produced
 //! (or any diagnostic at all under `--deny-warnings`; or any warning of a
-//! `--deny`-named pass). With `--json` each diagnostic prints as one JSON
-//! object per line (and the human summary line is suppressed) so CI
-//! tooling can consume the findings. Output order is stable: diagnostics
-//! are sorted by pass, location, and message, so `--json` streams diff
-//! cleanly across runs.
+//! `--deny`-named pass). `--only <pass>` (repeatable) restricts the report
+//! — and the gate — to the named passes, so a single pass can be iterated
+//! on without wading through the full inventory. With `--json` each
+//! diagnostic prints as one JSON object per line (and the human summary
+//! line is suppressed) so CI tooling can consume the findings. Output
+//! order is stable: diagnostics are sorted by pass, location, and message,
+//! so `--json` streams diff cleanly across runs.
 
 use tta_lint::{lint_shipped, Diagnostic, Severity};
 
 fn main() {
     let mut deny_warnings = false;
     let mut deny_passes: Vec<String> = Vec::new();
+    let mut only_passes: Vec<String> = Vec::new();
     let mut quiet = false;
     let mut json = false;
     let mut args = std::env::args().skip(1);
@@ -31,16 +34,28 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--only" => match args.next() {
+                Some(pass) => only_passes.push(pass),
+                None => {
+                    eprintln!("tta-lint: --only requires a pass name");
+                    std::process::exit(2);
+                }
+            },
             "--quiet" | "-q" => quiet = true,
             "--json" => json = true,
             "--help" | "-h" => {
-                println!("usage: tta-lint [--deny-warnings] [--deny <pass>]... [--quiet] [--json]");
+                println!(
+                    "usage: tta-lint [--deny-warnings] [--deny <pass>]... [--only <pass>]... \
+                     [--quiet] [--json]"
+                );
                 println!();
                 println!("Statically analyzes every shipped Table III μop program,");
                 println!("workload kernel, and Listing-1 pipeline; exits nonzero on");
                 println!("any error-severity diagnostic. --deny <pass> additionally");
                 println!("fails the gate on warnings of the named pass (repeatable,");
-                println!("e.g. --deny race-freedom). --json emits one JSON object");
+                println!("e.g. --deny race-freedom). --only <pass> restricts the run");
+                println!("to the named passes (repeatable, e.g. --only kernel-cost");
+                println!("--only kernel-coalescing). --json emits one JSON object");
                 println!("per diagnostic instead of the human-readable report.");
                 return;
             }
@@ -52,6 +67,9 @@ fn main() {
     }
 
     let mut diags = lint_shipped();
+    if !only_passes.is_empty() {
+        diags.retain(|d| only_passes.iter().any(|p| p == d.pass));
+    }
     // Stable output ordering for CI diffs and the --json line protocol.
     diags.sort_by(|a: &Diagnostic, b: &Diagnostic| {
         (a.pass, &a.location, &a.message, a.severity).cmp(&(

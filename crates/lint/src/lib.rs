@@ -270,6 +270,90 @@ pub fn lint_kernel_termination(kernel: &Kernel) -> Vec<Diagnostic> {
         .collect()
 }
 
+/// The `kernel-divergence` pass: classifies every conditional branch with
+/// the warp-uniformity dataflow and the tid-affine zero-crossing proof.
+/// A branch *proved* to split a warp (an exactly-known `s·tid + c`
+/// condition crossing zero inside a multi-lane warp) is an error — it
+/// forfeits SIMT efficiency on every warp containing the crossing, which
+/// is never what a traversal kernel wants from a structural (non-data)
+/// condition. Data-dependent branches that merely *may* diverge are the
+/// nature of tree traversal and stay silent here; their full
+/// classification is surfaced in the `tta-cost` report instead.
+pub fn lint_kernel_divergence(kernel: &Kernel, bounds: LaunchBounds) -> Vec<Diagnostic> {
+    gpu_sim::absint::divergence(kernel, bounds)
+        .branches
+        .iter()
+        .filter(|b| b.kind == gpu_sim::absint::Divergence::Divergent)
+        .map(|b| Diagnostic {
+            severity: Severity::Error,
+            pass: "kernel-divergence",
+            location: format!("{}:pc{}", kernel.name, b.pc),
+            message: format!(
+                "branch condition is tid-affine (stride {}) and provably crosses zero \
+                 inside a warp: the branch always splits the active mask",
+                b.cond_stride
+            ),
+        })
+        .collect()
+}
+
+/// The `kernel-coalescing` pass: classifies every `Load`/`Store` site
+/// from the tid-stride term of its address. A site whose known stride is
+/// not a multiple of the 4-byte access size is an error: neighbouring
+/// lanes straddle word boundaries, every warp execution splits into
+/// word-misaligned transactions, and (for stores) lane footprints
+/// provably overlap other threads' bytes. Merely *uncoalesced* (large or
+/// unknown stride) sites stay silent — per-thread stack traffic is legal
+/// by design — and get their transaction brackets in the `tta-cost`
+/// report.
+pub fn lint_kernel_coalescing(
+    kernel: &Kernel,
+    bounds: LaunchBounds,
+    gpu: &gpu_sim::GpuConfig,
+) -> Vec<Diagnostic> {
+    gpu_sim::absint::coalescing(kernel, bounds, gpu)
+        .sites
+        .iter()
+        .filter(|s| s.misaligned)
+        .map(|s| Diagnostic {
+            severity: Severity::Error,
+            pass: "kernel-coalescing",
+            location: format!("{}:pc{}", kernel.name, s.pc),
+            message: format!(
+                "{} has word-misaligned tid stride ({}): lanes straddle 4-byte \
+                 boundaries on every warp execution",
+                if s.is_store { "store" } else { "load" },
+                s.class
+            ),
+        })
+        .collect()
+}
+
+/// The `kernel-cost` pass: composes static cycle bounds from decoded
+/// instruction latencies, the coalescing transaction brackets, and the
+/// declared trip/traversal facts. Anything that leaves the bound open —
+/// a loop without a finite trip fact, a fact vector that does not match
+/// the termination prover's back-edges, a `Traverse` without a declared
+/// step bracket — is an error: the kernel's latency is statically
+/// unbounded, so no soundness gate can cover it.
+pub fn lint_kernel_cost(
+    kernel: &Kernel,
+    bounds: LaunchBounds,
+    gpu: &gpu_sim::GpuConfig,
+    facts: &gpu_sim::absint::CostFacts,
+) -> Vec<Diagnostic> {
+    gpu_sim::absint::cycle_bounds(kernel, bounds, gpu, facts)
+        .issues
+        .iter()
+        .map(|issue| Diagnostic {
+            severity: Severity::Error,
+            pass: "kernel-cost",
+            location: kernel.name.clone(),
+            message: issue.to_string(),
+        })
+        .collect()
+}
+
 /// Lints one traversal pipeline's decode coverage plus every μop program
 /// it configures.
 pub fn lint_pipeline(pipeline: &TraversalPipeline, cfg: &TtaPlusConfig) -> Vec<Diagnostic> {
@@ -446,11 +530,25 @@ pub fn lint_shipped() -> Vec<Diagnostic> {
     for p in shipped_programs() {
         diags.extend(lint_program(&p, &cfg));
     }
+    let gpu = gpu_sim::GpuConfig::vulkan_sim_default();
     for s in shipped_kernel_inventory() {
         diags.extend(lint_kernel(&s.kernel));
         diags.extend(lint_kernel_memory(&s.kernel, &s.contracts, s.bounds));
         diags.extend(lint_kernel_races(&s.kernel, &s.contracts, s.bounds));
         diags.extend(lint_kernel_termination(&s.kernel));
+        diags.extend(lint_kernel_divergence(&s.kernel, s.bounds));
+        diags.extend(lint_kernel_coalescing(&s.kernel, s.bounds, &gpu));
+        match workloads::cost::shipped_facts(&s.kernel.name, &gpu) {
+            Some(facts) => diags.extend(lint_kernel_cost(&s.kernel, s.bounds, &gpu, &facts)),
+            None => diags.push(Diagnostic {
+                severity: Severity::Error,
+                pass: "kernel-cost",
+                location: s.kernel.name.clone(),
+                message:
+                    "shipped kernel has no declared cost facts (workloads::cost::shipped_facts)"
+                        .to_string(),
+            }),
+        }
     }
     for p in shipped_pipelines() {
         diags.extend(lint_pipeline(&p, &cfg));

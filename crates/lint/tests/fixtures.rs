@@ -17,8 +17,9 @@ use tta::programs::{Operand, Uop, UopProgram};
 use tta::ttaplus::TtaPlusConfig;
 use tta::OpUnit;
 use tta_lint::{
-    has_errors, lint_kernel, lint_kernel_memory, lint_kernel_races, lint_kernel_termination,
-    lint_pipeline, lint_program, lint_shipped, Severity,
+    has_errors, lint_kernel, lint_kernel_coalescing, lint_kernel_cost, lint_kernel_divergence,
+    lint_kernel_memory, lint_kernel_races, lint_kernel_termination, lint_pipeline, lint_program,
+    lint_shipped, Severity,
 };
 
 fn cfg() -> TtaPlusConfig {
@@ -469,6 +470,165 @@ fn fixture_loop_termination_accepts_counted_loop() {
     });
     k.exit();
     assert!(lint_kernel_termination(&k.build()).is_empty());
+}
+
+// ---- static cost-model passes ------------------------------------------
+
+#[test]
+fn fixture_divergence_branch_on_raw_tid() {
+    // Branching on the raw thread id splits every warp at lane 0 on every
+    // launch with >= 2 threads per warp — a *proved* divergent branch, not
+    // merely a may-diverge: the condition is exactly 1*tid + 0, whose zero
+    // crossing (tid = 0) lands inside a populated warp.
+    let mut k = KernelBuilder::new("forced-div-fixture");
+    let t = k.reg();
+    k.mov_sreg(t, SReg::ThreadId);
+    let tok = k.begin_if_nz(t);
+    k.mov_imm(t, 7);
+    k.end_if(tok);
+    k.exit();
+    let diags = lint_kernel_divergence(&k.build(), LaunchBounds { num_threads: 1024 });
+    assert_flagged(&diags, "kernel-divergence", "forced-div-fixture:pc1");
+}
+
+#[test]
+fn fixture_divergence_data_dependent_branch_is_not_an_error() {
+    // A branch on a value loaded from memory may diverge but cannot be
+    // proved to — the pass must stay silent (shipped kernels are full of
+    // these).
+    let mut k = KernelBuilder::new("data-div-fixture");
+    let t = k.reg();
+    let q = k.reg();
+    let v = k.reg();
+    k.mov_sreg(t, SReg::ThreadId);
+    k.mov_sreg(q, SReg::Param(0));
+    k.imul_imm(v, t, 4);
+    k.iadd(q, q, v);
+    k.load(v, q, 0);
+    let tok = k.begin_if_nz(v);
+    k.mov_imm(v, 7);
+    k.end_if(tok);
+    k.exit();
+    let diags = lint_kernel_divergence(&k.build(), LaunchBounds { num_threads: 1024 });
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn fixture_coalescing_stride_33_store() {
+    // A 33-byte thread stride is not word-aligned: half-word straddles on
+    // every other lane, which the coalescer cannot merge. Sweep several
+    // odd strides — all must be flagged at the store site.
+    let mut rng = StdRng::seed_from_u64(0x33);
+    for _case in 0..8 {
+        let stride = 2 * rng.random_range(1u32..64) + 1; // odd, 3..=127
+        let mut k = KernelBuilder::new("stride33-fixture");
+        let t = k.reg();
+        let a = k.reg();
+        let off = k.reg();
+        k.mov_sreg(t, SReg::ThreadId);
+        k.mov_sreg(a, SReg::Param(0));
+        k.imul_imm(off, t, stride);
+        k.iadd(a, a, off);
+        k.store(t, a, 0);
+        k.exit();
+        let diags = lint_kernel_coalescing(
+            &k.build(),
+            LaunchBounds { num_threads: 1024 },
+            &gpu_sim::GpuConfig::vulkan_sim_default(),
+        );
+        assert_flagged(&diags, "kernel-coalescing", "stride33-fixture:pc4");
+    }
+}
+
+#[test]
+fn fixture_coalescing_word_stride_is_clean() {
+    // The same shape with a 4-byte stride is fully coalesced — one line
+    // per warp, no diagnostic.
+    let mut k = KernelBuilder::new("coalesced-fixture");
+    let t = k.reg();
+    let a = k.reg();
+    let off = k.reg();
+    k.mov_sreg(t, SReg::ThreadId);
+    k.mov_sreg(a, SReg::Param(0));
+    k.imul_imm(off, t, 4);
+    k.iadd(a, a, off);
+    k.store(t, a, 0);
+    k.exit();
+    let diags = lint_kernel_coalescing(
+        &k.build(),
+        LaunchBounds { num_threads: 1024 },
+        &gpu_sim::GpuConfig::vulkan_sim_default(),
+    );
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn fixture_cost_unbounded_latency_loop() {
+    // A loop whose trip fact is declared unbounded (and the same loop
+    // with no fact at all) has no finite cycle upper bound — both forms
+    // must fail the kernel-cost pass.
+    let mut k = KernelBuilder::new("unbounded-fixture");
+    let i = k.reg();
+    let n = k.reg();
+    let c = k.reg();
+    k.mov_imm(i, 0);
+    k.mov_sreg(n, SReg::Param(0));
+    let head = k.pc();
+    k.iadd_imm(i, i, 1);
+    k.icmp(gpu_sim::isa::Cmp::Lt, c, i, n);
+    let reconv = k.pc() + 1;
+    k.emit(Instr::BranchNz {
+        rs: c,
+        target: head,
+        reconv,
+    });
+    k.exit();
+    let k = k.build();
+    let gpu = gpu_sim::GpuConfig::vulkan_sim_default();
+    let bounds = LaunchBounds { num_threads: 1024 };
+
+    let declared_unbounded = gpu_sim::absint::CostFacts {
+        trips: vec![gpu_sim::absint::TripFact::unbounded()],
+        traversal: None,
+    };
+    assert_flagged(
+        &lint_kernel_cost(&k, bounds, &gpu, &declared_unbounded),
+        "kernel-cost",
+        "unbounded-fixture",
+    );
+
+    // Missing fact entirely: arity mismatch, also an error.
+    assert_flagged(
+        &lint_kernel_cost(&k, bounds, &gpu, &gpu_sim::absint::CostFacts::default()),
+        "kernel-cost",
+        "unbounded-fixture",
+    );
+
+    // The same loop with a finite [1, 4096] fact passes and yields bounds.
+    let bounded = gpu_sim::absint::CostFacts {
+        trips: vec![gpu_sim::absint::TripFact::new(1, 4096)],
+        traversal: None,
+    };
+    let diags = lint_kernel_cost(&k, bounds, &gpu, &bounded);
+    assert!(diags.is_empty(), "{diags:#?}");
+    let rep = gpu_sim::absint::cycle_bounds(&k, bounds, &gpu, &bounded);
+    assert!(rep.bounds.is_some());
+}
+
+#[test]
+fn shipped_inventory_is_cost_clean() {
+    // Stronger than the zero-errors negative: the three cost-model passes
+    // must stay completely silent on the shipped kernels, since CI runs
+    // them under --deny.
+    let cost_diags: Vec<_> = lint_shipped()
+        .into_iter()
+        .filter(|d| {
+            d.pass == "kernel-divergence"
+                || d.pass == "kernel-coalescing"
+                || d.pass == "kernel-cost"
+        })
+        .collect();
+    assert!(cost_diags.is_empty(), "{cost_diags:#?}");
 }
 
 // ---- pipeline pass -----------------------------------------------------

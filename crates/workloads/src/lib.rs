@@ -20,6 +20,7 @@
 
 pub mod btree;
 pub mod cacheable;
+pub mod cost;
 pub mod gen;
 pub mod instanced;
 pub mod kernels;

@@ -74,11 +74,16 @@ run cargo clippy "${CARGO_FLAGS[@]}" --workspace --all-targets -- -D warnings
 # all passes, including the abstract-interpretation provers. The
 # race-freedom pass is additionally held to zero *warnings* via --deny:
 # a PossibleRace on a shipped kernel means the proof didn't go through.
-# (A global --deny-warnings is deliberately not used — the
-# register-pressure and possibly-OOB mem-safety warnings are intentional,
-# documented, and asserted by the lint test suite.) The --json smoke
-# checks the machine-readable output stays one object per line.
-run cargo run "${CARGO_FLAGS[@]}" -p tta-lint --bin tta-lint -- --deny race-freedom
+# The cost-model passes (kernel-divergence, kernel-coalescing,
+# kernel-cost) run under --deny for the same reason: a shipped kernel
+# must have a *proved* finite cycle bound and no provable divergence or
+# misalignment defects. (A global --deny-warnings is deliberately not
+# used — the register-pressure and possibly-OOB mem-safety warnings are
+# intentional, documented, and asserted by the lint test suite.) The
+# --json smoke checks the machine-readable output stays one object per
+# line.
+run cargo run "${CARGO_FLAGS[@]}" -p tta-lint --bin tta-lint -- --deny race-freedom \
+    --deny kernel-divergence --deny kernel-coalescing --deny kernel-cost
 # The banner must be printed outside the pipeline: `run` echoes to
 # stdout, and inside the pipe that echo would reach the JSON validator
 # as a bogus first line.
@@ -91,6 +96,18 @@ cargo run "${CARGO_FLAGS[@]}" -q -p tta-lint --bin tta-lint -- --json | {
         esac
     done
 }
+
+# Static cost report: journal the cost model's predictions for the whole
+# shipped inventory, and prove the journal byte-identical at two thread
+# counts (the determinism contract every journal in this repo carries).
+# The *soundness* of the predictions — measured cycles inside the static
+# bounds on all five workloads x platforms, coalescing classes matching
+# measured transaction counters — is gated by the cost_gate integration
+# suite inside the workspace test run below.
+run cargo run "${CARGO_FLAGS[@]}" -p tta-lint --bin tta-cost -- --threads 1 --out results/tta-cost.journal.json
+run cargo run "${CARGO_FLAGS[@]}" -q -p tta-lint --bin tta-cost -- --threads 4 --out results/tta-cost.threads4.json --quiet
+run cmp results/tta-cost.journal.json results/tta-cost.threads4.json
+rm -f results/tta-cost.threads4.json
 
 # Tier-1: exactly what the repository gate runs.
 run cargo build "${CARGO_FLAGS[@]}" --release
